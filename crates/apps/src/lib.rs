@@ -1,0 +1,45 @@
+//! # hpf-apps — mini-applications on the PACK/UNPACK runtime
+//!
+//! The paper motivates PACK/UNPACK as runtime support for data-parallel
+//! languages: compilers lower irregular, data-dependent array operations to
+//! these intrinsics. This crate demonstrates that layer with applications
+//! built *entirely* from the workspace's public APIs:
+//!
+//! * [`gather_global`] / [`scatter_add_global`] — the irregular READ/WRITE
+//!   primitives (UNPACK's request/reply pattern generalised to arbitrary
+//!   indices, and its additive inverse);
+//! * [`SparseMatrix`] — dense→sparse compression via PACK (which doubles as
+//!   a perfect rebalancer) plus SpMV over the compact form;
+//! * [`run_compaction`] — iterative stream compaction with per-step load
+//!   statistics, the introduction's canonical workload;
+//! * [`sample_sort`] — parallel sample sort, finished with a PACK-style
+//!   rank-and-redistribute rebalance.
+
+//! ## Example
+//!
+//! ```
+//! use hpf_machine::{Machine, CostModel, ProcGrid};
+//! use hpf_machine::collectives::A2aSchedule;
+//! use hpf_apps::sample_sort;
+//!
+//! let machine = Machine::new(ProcGrid::line(4), CostModel::cm5());
+//! let out = machine.run(|proc| {
+//!     // Each processor contributes a decreasing run.
+//!     let v: Vec<i64> = (0..8).map(|i| 100 - (proc.id() * 8 + i) as i64).collect();
+//!     sample_sort(proc, &v, true, A2aSchedule::LinearPermutation).0
+//! });
+//! let sorted: Vec<i64> = out.results.iter().flatten().copied().collect();
+//! assert_eq!(sorted, (69..=100).rev().map(|x| 100 - x + 69).collect::<Vec<_>>());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compaction;
+pub mod gather;
+pub mod sort;
+pub mod spmv;
+
+pub use compaction::{run_compaction, StepStats};
+pub use gather::{gather_global, scatter_add_global};
+pub use sort::sample_sort;
+pub use spmv::SparseMatrix;

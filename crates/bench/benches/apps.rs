@@ -1,0 +1,64 @@
+//! Wall-time benchmark of the mini-applications: sparse compression + SpMV
+//! and one compaction step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpf_apps::{run_compaction, SparseMatrix};
+use hpf_core::PackOptions;
+use hpf_distarray::{local_from_fn, ArrayDesc, DimLayout, Dist};
+use hpf_machine::collectives::A2aSchedule;
+use hpf_machine::{CostModel, Machine, ProcGrid};
+
+fn tridiag(col: usize, row: usize) -> f64 {
+    match row.abs_diff(col) {
+        0 => 2.0,
+        1 => -1.0,
+        _ => 0.0,
+    }
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apps");
+    g.sample_size(10);
+
+    let n = 64usize;
+    let grid = ProcGrid::new(&[2, 2]);
+    let desc =
+        ArrayDesc::new(&[n, n], &grid, &[Dist::BlockCyclic(4), Dist::BlockCyclic(4)]).unwrap();
+    let machine = Machine::new(grid.clone(), CostModel::cm5());
+    let x_layout = DimLayout::new_general(n, 4, n.div_ceil(4)).unwrap();
+
+    g.bench_function("spmv_compress_and_multiply", |b| {
+        b.iter(|| {
+            let (d, xl) = (&desc, &x_layout);
+            machine.run(move |proc| {
+                let dense = local_from_fn(d, proc.id(), |gi| tridiag(gi[0], gi[1]));
+                let a = SparseMatrix::compress(proc, d, &dense, &PackOptions::default()).unwrap();
+                let x = vec![1.0f64; xl.local_len(proc.id())];
+                a.spmv(proc, &x, xl, A2aSchedule::LinearPermutation).0.len()
+            })
+        });
+    });
+
+    let machine1d = Machine::new(ProcGrid::line(8), CostModel::cm5());
+    g.bench_function("compaction_4_steps", |b| {
+        b.iter(|| {
+            machine1d.run(move |proc| {
+                run_compaction(
+                    proc,
+                    4096,
+                    4,
+                    |p, _| p.wrapping_mul(7).wrapping_add(1) % 10_000,
+                    |p, step| !(p as usize + step).is_multiple_of(3),
+                    &PackOptions::default(),
+                )
+                .unwrap()
+                .len()
+            })
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Wall-time benchmark of the communication primitives: the fused
+//! prefix-reduction-sum (direct vs split) and many-to-many personalized
+//! communication (linear permutation vs naive push).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpf_machine::collectives::{alltoallv, prefix_reduction_sum, A2aSchedule, PrsAlgorithm};
+use hpf_machine::{CostModel, Machine, ProcGrid};
+
+fn bench_prs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefix_reduction_sum");
+    g.sample_size(10);
+    for algo in [PrsAlgorithm::Direct, PrsAlgorithm::Split] {
+        for m in [64usize, 4096] {
+            let id = BenchmarkId::new(format!("{algo:?}"), m);
+            g.bench_with_input(id, &m, |b, &m| {
+                let machine = Machine::new(ProcGrid::line(8), CostModel::cm5());
+                b.iter(|| {
+                    machine.run(move |proc| {
+                        let world = proc.world();
+                        let v = vec![proc.id() as i32 + 1; m];
+                        prefix_reduction_sum(proc, &world, &v, algo).1[0]
+                    })
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_alltoall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alltoallv");
+    g.sample_size(10);
+    for schedule in [A2aSchedule::LinearPermutation, A2aSchedule::NaivePush] {
+        for m in [64usize, 4096] {
+            let id = BenchmarkId::new(format!("{schedule:?}"), m);
+            g.bench_with_input(id, &m, |b, &m| {
+                let machine = Machine::new(ProcGrid::line(8), CostModel::cm5());
+                b.iter(|| {
+                    machine.run(move |proc| {
+                        let world = proc.world();
+                        let sends: Vec<Vec<i32>> =
+                            (0..8).map(|j| vec![j; m / 8]).collect();
+                        alltoallv(proc, &world, sends, schedule).len()
+                    })
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_prs, bench_alltoall);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Wall-time benchmark of the companion intrinsics (extension layer):
+//! global reductions, dimension scans, and shifts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpf_distarray::{local_from_fn, ArrayDesc, Dist};
+use hpf_intrinsics::{cshift_dim, sum_all, sum_prefix_dim, ScanKind};
+use hpf_machine::collectives::{A2aSchedule, PrsAlgorithm};
+use hpf_machine::{CostModel, Machine, ProcGrid};
+
+fn bench_intrinsics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("intrinsics");
+    g.sample_size(10);
+    let n = 16384usize;
+    let grid = ProcGrid::line(8);
+    let desc = ArrayDesc::new(&[n], &grid, &[Dist::BlockCyclic(16)]).unwrap();
+    let machine = Machine::new(grid, CostModel::cm5());
+
+    g.bench_function(BenchmarkId::new("sum_all", n), |b| {
+        b.iter(|| {
+            let d = &desc;
+            machine.run(move |proc| {
+                let a = local_from_fn(d, proc.id(), |gi| gi[0] as i64);
+                sum_all(proc, d, &a)
+            })
+        });
+    });
+
+    g.bench_function(BenchmarkId::new("sum_prefix", n), |b| {
+        b.iter(|| {
+            let d = &desc;
+            machine.run(move |proc| {
+                let a = local_from_fn(d, proc.id(), |gi| gi[0] as i64);
+                sum_prefix_dim(proc, d, &a, 0, ScanKind::Inclusive, PrsAlgorithm::Auto).len()
+            })
+        });
+    });
+
+    g.bench_function(BenchmarkId::new("cshift", n), |b| {
+        b.iter(|| {
+            let d = &desc;
+            machine.run(move |proc| {
+                let a = local_from_fn(d, proc.id(), |gi| gi[0] as i64);
+                cshift_dim(proc, d, &a, 0, 17, A2aSchedule::LinearPermutation).len()
+            })
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_intrinsics);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Wall-time benchmark of parallel PACK under all three schemes
+//! (the Figure 3/4 kernels, measured as real execution time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpf_bench::ExpConfig;
+use hpf_core::{pack, MaskPattern, PackOptions, PackScheme};
+use hpf_distarray::local_from_fn;
+
+fn bench_pack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pack");
+    g.sample_size(10);
+    for scheme in PackScheme::ALL {
+        for (dist_label, w) in [("block", 2048usize), ("cyclic8", 8)] {
+            let id = BenchmarkId::new(scheme.label(), dist_label);
+            g.bench_with_input(id, &w, |b, &w| {
+                let cfg = ExpConfig::new(
+                    &[16384],
+                    &[8],
+                    w,
+                    MaskPattern::Random { density: 0.5, seed: 3 },
+                );
+                let desc = cfg.desc();
+                let machine = cfg.machine();
+                let opts = PackOptions::new(scheme);
+                let shape = cfg.shape.clone();
+                b.iter(|| {
+                    let (desc_ref, shape_ref, opts_ref) = (&desc, &shape, &opts);
+                    let pattern = cfg.pattern;
+                    machine.run(move |proc| {
+                        let a = local_from_fn(desc_ref, proc.id(), ExpConfig::value_at);
+                        let m =
+                            local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, shape_ref));
+                        pack(proc, desc_ref, &a, &m, opts_ref).unwrap().size
+                    })
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pack);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Wall-time benchmark of the ranking stage (Section 5) — real execution
+//! time of the threaded simulation, complementary to the simulated-clock
+//! tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpf_core::ranking::{rank_from_counts, slice_counts, RankShape};
+use hpf_core::MaskPattern;
+use hpf_distarray::{local_from_fn, ArrayDesc, Dist};
+use hpf_machine::collectives::PrsAlgorithm;
+use hpf_machine::{CostModel, Machine, ProcGrid};
+
+fn bench_ranking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ranking");
+    g.sample_size(10);
+    for (label, n, w) in [("block", 16384usize, 2048usize), ("cyclic16", 16384, 16)] {
+        g.bench_with_input(BenchmarkId::new("1d_p8", label), &(n, w), |b, &(n, w)| {
+            let grid = ProcGrid::line(8);
+            let desc = ArrayDesc::new(&[n], &grid, &[Dist::BlockCyclic(w)]).unwrap();
+            let machine = Machine::new(grid, CostModel::cm5());
+            let pattern = MaskPattern::Random { density: 0.5, seed: 7 };
+            b.iter(|| {
+                let desc_ref = &desc;
+                machine.run(move |proc| {
+                    let shape = RankShape::from_desc(desc_ref);
+                    let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &[n]));
+                    let counts = slice_counts(&m, shape.w[0]);
+                    rank_from_counts(proc, &shape, counts, PrsAlgorithm::Auto).size
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ranking);
+criterion_main!(benches);

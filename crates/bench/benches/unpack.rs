@@ -1,0 +1,41 @@
+//! Wall-time benchmark of parallel UNPACK under both schemes
+//! (the Figure 5 kernels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpf_core::{unpack, MaskPattern, UnpackOptions, UnpackScheme};
+use hpf_distarray::{local_from_fn, ArrayDesc, DimLayout, Dist};
+use hpf_machine::{CostModel, Machine, ProcGrid};
+
+fn bench_unpack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("unpack");
+    g.sample_size(10);
+    let n = 16384usize;
+    let p = 8usize;
+    let pattern = MaskPattern::Random { density: 0.5, seed: 5 };
+    let size = pattern.global(&[n]).data().iter().filter(|&&b| b).count();
+    for scheme in UnpackScheme::ALL {
+        for (dist_label, w) in [("block", n / p), ("cyclic8", 8)] {
+            let id = BenchmarkId::new(scheme.label(), dist_label);
+            g.bench_with_input(id, &w, |b, &w| {
+                let grid = ProcGrid::line(p);
+                let desc = ArrayDesc::new(&[n], &grid, &[Dist::BlockCyclic(w)]).unwrap();
+                let v_layout = DimLayout::new_general(size, p, size.div_ceil(p)).unwrap();
+                let machine = Machine::new(grid, CostModel::cm5());
+                let opts = UnpackOptions::new(scheme);
+                b.iter(|| {
+                    let (desc_ref, vl, opts_ref) = (&desc, &v_layout, &opts);
+                    machine.run(move |proc| {
+                        let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &[n]));
+                        let f = vec![0i32; desc_ref.local_len(proc.id())];
+                        let v = vec![1i32; vl.local_len(proc.id())];
+                        unpack(proc, desc_ref, &m, &f, &v, vl, opts_ref).unwrap().len()
+                    })
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_unpack);
+criterion_main!(benches);

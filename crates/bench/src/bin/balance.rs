@@ -1,0 +1,55 @@
+//! Communication-balance study: where does the redistribution traffic go?
+//!
+//! Quantifies the paper's Section 7 observation: "when an input array is
+//! distributed in block, each processor will send most parts of the message
+//! to itself" (for random masks with a block result vector) — so the
+//! *remote* volume collapses at block distribution — "if the elements to be
+//! packed are not randomly distributed, that will not happen", which the
+//! structured mask demonstrates.
+
+use hpf_bench::{block_sizes, Table};
+use hpf_core::{pack, MaskPattern, PackOptions, PackScheme};
+use hpf_distarray::{local_from_fn, ArrayDesc, Dist};
+use hpf_machine::{CostModel, Machine, ProcGrid};
+
+fn measure(n: usize, p: usize, w: usize, pattern: MaskPattern) -> (u64, f64, String) {
+    let grid = ProcGrid::line(p);
+    let desc = ArrayDesc::new(&[n], &grid, &[Dist::BlockCyclic(w)]).unwrap();
+    let machine = Machine::new(grid, CostModel::cm5());
+    let d = &desc;
+    let out = machine.run(move |proc| {
+        let a = local_from_fn(d, proc.id(), |g| g[0] as i32);
+        let m = local_from_fn(d, proc.id(), |g| pattern.value(g, &[n]));
+        pack(proc, d, &a, &m, &PackOptions::new(PackScheme::CompactMessage)).unwrap();
+    });
+    let words = out.total_words_sent();
+    let imbalance = out.send_imbalance();
+    let heaviest = out
+        .heaviest_flow()
+        .map(|(s, t, w)| format!("{s}->{t}:{w}"))
+        .unwrap_or_else(|| "-".into());
+    (words, imbalance, heaviest)
+}
+
+fn main() {
+    let (n, p) = (65536usize, 16usize);
+    println!("Communication balance of PACK/CMS, N = {n}, P = {p}");
+    println!("(remote words only — self-messages are free and excluded)\n");
+
+    for pattern in [MaskPattern::Random { density: 0.5, seed: 42 }, MaskPattern::FirstHalf] {
+        println!("mask {}:", pattern.label());
+        let mut t = Table::new(vec!["Block Size", "remote words", "imbalance", "heaviest flow"]);
+        for w in block_sizes(&[n], &[p]) {
+            let (words, imb, heavy) = measure(n, p, w, pattern);
+            t.row(vec![w.to_string(), words.to_string(), format!("{imb:.2}"), heavy]);
+        }
+        t.print();
+        println!();
+    }
+    println!(
+        "(expected: for the random mask, remote volume collapses at full block \
+         distribution — ranks align with owners; for the structured first-half mask \
+         it does not, and the send imbalance spikes instead: only the first half of \
+         the processors hold selected elements)"
+    );
+}

@@ -1,0 +1,36 @@
+//! Figure 3 — local computation time (msec) for the three PACK schemes as a
+//! function of block size, at several mask densities.
+//!
+//! "Local computation" is the ranking-stage local work (excluding the
+//! prefix-reduction-sum) plus message composition/decomposition in the
+//! redistribution stage — exactly the paper's measurement. Expected shape:
+//! time grows as the block size shrinks (tile count grows); SSS is flattest
+//! (best at cyclic), CSS/CMS win from β₁/β₂ onward, most clearly at high
+//! density.
+
+use hpf_bench::{block_sizes, ms, pack_scheme_opts, paper_masks, time_pack, ExpConfig, Table};
+
+fn run_panel(title: &str, shape: &[usize], grid: &[usize], seed: u64) {
+    let masks = paper_masks(shape.len(), seed);
+    for mask in [masks[0], masks[2], masks[4], masks[5]] {
+        println!("\n{title}, mask {}:", mask.label());
+        let mut t = Table::new(vec!["Block Size", "SSS", "CSS", "CMS"]);
+        for w in block_sizes(shape, grid) {
+            let cfg = ExpConfig::new(shape, grid, w, mask);
+            let mut row = vec![w.to_string()];
+            for (_, opts) in pack_scheme_opts() {
+                row.push(ms(time_pack(&cfg, &opts).local_ms()));
+            }
+            t.row(row);
+        }
+        t.print();
+    }
+}
+
+fn main() {
+    println!("Figure 3: local computation time (msec) for three schemes in PACK");
+    println!("(SSS: simple storage, CSS: compact storage, CMS: compact message)");
+
+    run_panel("1-D, N = 65536, P = 16", &[65536], &[16], 42);
+    run_panel("2-D, 512 x 512, P = 4x4", &[512, 512], &[4, 4], 42);
+}

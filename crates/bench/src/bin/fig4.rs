@@ -1,0 +1,50 @@
+//! Figure 4 — total execution time (msec) for the three PACK schemes as a
+//! function of block size, at several mask densities, with the breakdown
+//! into local computation, prefix-reduction-sum, and many-to-many
+//! communication.
+//!
+//! Expected shape: CMS best overall; the PRS term only dominates the
+//! many-to-many term at very small block sizes (especially block size 1).
+
+use hpf_bench::{block_sizes, ms, pack_scheme_opts, paper_masks, time_pack, ExpConfig, Table};
+
+fn run_panel(title: &str, shape: &[usize], grid: &[usize], seed: u64) {
+    let masks = paper_masks(shape.len(), seed);
+    for mask in [masks[0], masks[2], masks[4], masks[5]] {
+        println!("\n{title}, mask {}:", mask.label());
+        let mut t = Table::new(vec![
+            "Block Size",
+            "SSS",
+            "CSS",
+            "CMS",
+            "CMS local",
+            "CMS prs",
+            "CMS m2m",
+        ]);
+        for w in block_sizes(shape, grid) {
+            let cfg = ExpConfig::new(shape, grid, w, mask);
+            let mut row = vec![w.to_string()];
+            let mut cms_detail = (0.0, 0.0, 0.0);
+            for (scheme, opts) in pack_scheme_opts() {
+                let m = time_pack(&cfg, &opts);
+                row.push(ms(m.total_ms()));
+                if scheme == hpf_core::PackScheme::CompactMessage {
+                    cms_detail = (m.local_ms(), m.prs_ms(), m.m2m_ms());
+                }
+            }
+            row.push(ms(cms_detail.0));
+            row.push(ms(cms_detail.1));
+            row.push(ms(cms_detail.2));
+            t.row(row);
+        }
+        t.print();
+    }
+}
+
+fn main() {
+    println!("Figure 4: total execution time (msec) for three schemes in PACK");
+    println!("(totals per scheme, plus the CMS stage breakdown)");
+
+    run_panel("1-D, N = 65536, P = 16", &[65536], &[16], 42);
+    run_panel("2-D, 512 x 512, P = 4x4", &[512, 512], &[4, 4], 42);
+}

@@ -1,0 +1,44 @@
+//! Figure 5 — total execution time (msec) for the two UNPACK schemes as a
+//! function of block size, at several mask densities.
+//!
+//! UNPACK's redistribution is a READ: two communication stages
+//! (request + reply), so its many-to-many time runs up to twice PACK's
+//! (Section 4.2). CSS compresses the request stage to (base, count) runs.
+
+use hpf_bench::{
+    block_sizes, ms, paper_masks, time_unpack, unpack_scheme_opts, ExpConfig, Table,
+};
+
+fn run_panel(title: &str, shape: &[usize], grid: &[usize], seed: u64) {
+    let masks = paper_masks(shape.len(), seed);
+    for mask in [masks[0], masks[2], masks[4], masks[5]] {
+        println!("\n{title}, mask {}:", mask.label());
+        let mut t =
+            Table::new(vec!["Block Size", "SSS", "CSS", "CSS local", "CSS prs", "CSS m2m"]);
+        for w in block_sizes(shape, grid) {
+            let cfg = ExpConfig::new(shape, grid, w, mask);
+            let mut row = vec![w.to_string()];
+            let mut css_detail = (0.0, 0.0, 0.0);
+            for (scheme, opts) in unpack_scheme_opts() {
+                let m = time_unpack(&cfg, &opts);
+                row.push(ms(m.total_ms()));
+                if scheme == hpf_core::UnpackScheme::CompactStorage {
+                    css_detail = (m.local_ms(), m.prs_ms(), m.m2m_ms());
+                }
+            }
+            row.push(ms(css_detail.0));
+            row.push(ms(css_detail.1));
+            row.push(ms(css_detail.2));
+            t.row(row);
+        }
+        t.print();
+    }
+}
+
+fn main() {
+    println!("Figure 5: total execution time (msec) for two schemes in UNPACK");
+    println!("(SSS: simple storage, CSS: compact storage; input vector block-distributed)");
+
+    run_panel("1-D, N = 65536, P = 16", &[65536], &[16], 42);
+    run_panel("2-D, 512 x 512, P = 4x4", &[512, 512], &[4, 4], 42);
+}

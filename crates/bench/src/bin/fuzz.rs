@@ -1,0 +1,129 @@
+//! Differential fuzzing driver: random configurations (shape, grid, block
+//! sizes, density, scheme, schedule, vector block size) of parallel PACK
+//! and UNPACK against the sequential Fortran 90 oracle.
+//!
+//! Usage:
+//! ```sh
+//! cargo run -p hpf-bench --release --bin fuzz -- [cases] [seed]
+//! # defaults: 500 cases, seed 1
+//! ```
+//!
+//! Complements the proptest suites with a long-running, user-controllable
+//! sweep (proptest shrinks nicely but runs a fixed case budget in CI).
+
+use hpf_core::seq::{count_seq, pack_seq, unpack_seq};
+use hpf_core::{
+    pack, unpack, PackOptions, PackScheme, UnpackOptions, UnpackScheme,
+};
+use hpf_distarray::{ArrayDesc, DimLayout, Dist, GlobalArray};
+use hpf_machine::collectives::A2aSchedule;
+use hpf_machine::{CostModel, Machine, ProcGrid};
+
+/// SplitMix64 for reproducible pseudo-random draws.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.0;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cases: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(500);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let mut rng = Rng(seed);
+
+    let schemes = PackScheme::ALL;
+    let schedules =
+        [A2aSchedule::LinearPermutation, A2aSchedule::NaivePush, A2aSchedule::PairwiseExchange];
+
+    let mut pack_cases = 0usize;
+    let mut unpack_cases = 0usize;
+    for case in 0..cases {
+        // Random rank 1..=3, per-dim (P, W, T) in 1..=3.
+        let rank = 1 + rng.below(3);
+        let mut grid_dims = Vec::new();
+        let mut dists = Vec::new();
+        let mut shape = Vec::new();
+        for _ in 0..rank {
+            let (p, w, t) = (1 + rng.below(3), 1 + rng.below(3), 1 + rng.below(3));
+            grid_dims.push(p);
+            dists.push(Dist::BlockCyclic(w));
+            shape.push(p * w * t);
+        }
+        let n: usize = shape.iter().product();
+        let grid = ProcGrid::new(&grid_dims);
+        let desc = ArrayDesc::new(&shape, &grid, &dists).unwrap();
+
+        let mask_bits: Vec<bool> = (0..n).map(|_| rng.below(100) < 35 + case % 50).collect();
+        let values: Vec<i32> = (0..n).map(|_| rng.below(2000) as i32 - 1000).collect();
+        let a = GlobalArray::from_vec(&shape, values);
+        let m = GlobalArray::from_vec(&shape, mask_bits);
+
+        let mut opts = PackOptions::new(schemes[rng.below(3)]);
+        opts.schedule = schedules[rng.below(3)];
+        if rng.below(2) == 0 {
+            opts.result_block_size = Some(1 + rng.below(7));
+        }
+
+        // PACK differential check.
+        let want = pack_seq(&a, &m, None);
+        let (ap, mp) = (a.partition(&desc), m.partition(&desc));
+        let machine = Machine::new(grid.clone(), CostModel::cm5());
+        let (d, apr, mpr, o) = (&desc, &ap, &mp, &opts);
+        let out =
+            machine.run(move |proc| pack(proc, d, &apr[proc.id()], &mpr[proc.id()], o).unwrap());
+        let mut got = vec![0i32; out.results[0].size];
+        if let Some(layout) = out.results[0].v_layout {
+            for (p, r) in out.results.iter().enumerate() {
+                for (l, &x) in r.local_v.iter().enumerate() {
+                    got[layout.global_of(p, l)] = x;
+                }
+            }
+        }
+        assert_eq!(
+            got, want,
+            "PACK mismatch at case {case}: shape {shape:?}, grid {grid_dims:?}, opts {opts:?}"
+        );
+        pack_cases += 1;
+
+        // UNPACK differential check on the same mask.
+        let size = count_seq(&m);
+        let n_prime = (size + rng.below(4)).max(1);
+        let w_prime = 1 + rng.below(6);
+        let v: Vec<i32> = (0..n_prime as i32).map(|i| 7000 + i).collect();
+        let want = unpack_seq(&v, &m, &a);
+        let v_layout = DimLayout::new_general(n_prime, grid.nprocs(), w_prime).unwrap();
+        let v_locals: Vec<Vec<i32>> = (0..grid.nprocs())
+            .map(|p| (0..v_layout.local_len(p)).map(|l| v[v_layout.global_of(p, l)]).collect())
+            .collect();
+        let uscheme = UnpackScheme::ALL[rng.below(2)];
+        let uopts = UnpackOptions::new(uscheme);
+        let (vpr, vl, uo) = (&v_locals, &v_layout, &uopts);
+        let out = machine.run(move |proc| {
+            unpack(proc, d, &mpr[proc.id()], &apr[proc.id()], &vpr[proc.id()], vl, uo).unwrap()
+        });
+        assert_eq!(
+            GlobalArray::assemble(&desc, &out.results),
+            want,
+            "UNPACK mismatch at case {case}: shape {shape:?}, scheme {uscheme:?}, W'={w_prime}"
+        );
+        unpack_cases += 1;
+
+        if (case + 1) % 100 == 0 {
+            println!("  {} / {cases} cases passed", case + 1);
+        }
+    }
+    println!(
+        "fuzz: all {pack_cases} PACK and {unpack_cases} UNPACK differential cases passed \
+         (seed {seed})"
+    );
+}

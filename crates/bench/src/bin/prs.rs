@@ -1,0 +1,62 @@
+//! Prefix-reduction-sum study (Section 5.1, Section 7's "Vector
+//! Prefix-Reduction-Sum" paragraph, and the comparison the paper defers
+//! to [6]): direct vs. split algorithm time across processor counts and
+//! vector sizes, plus the PRS time inside a PACK as a function of block
+//! size (the vector the ranking performs PRS on has one entry per tile, so
+//! halving the block size doubles the PRS vector).
+
+use hpf_bench::{block_sizes, ms, time_pack, ExpConfig, Table};
+use hpf_core::{MaskPattern, PackOptions, PackScheme};
+use hpf_machine::collectives::{prefix_reduction_sum, PrsAlgorithm};
+use hpf_machine::{Category, CostModel, Machine, ProcGrid};
+
+fn time_prs(p: usize, m: usize, algo: PrsAlgorithm) -> f64 {
+    let machine = Machine::new(ProcGrid::line(p), CostModel::cm5());
+    let out = machine.run(move |proc| {
+        proc.clock().set_category(Category::PrefixReductionSum);
+        let world = proc.world();
+        let v = vec![1i32; m];
+        let (prefix, total) = prefix_reduction_sum(proc, &world, &v, algo);
+        // Sanity inside the run: totals must equal P.
+        assert!(total.iter().all(|&t| t as usize == p));
+        assert!(prefix.len() == m);
+    });
+    out.max_cat_ms(Category::PrefixReductionSum)
+}
+
+fn main() {
+    println!("Vector prefix-reduction-sum: direct vs split algorithm (msec)");
+    println!("(direct ~ (tau + mu*M) log P; split ~ P*tau + mu*M; auto = paper's CM-5 rule)");
+
+    for p in [4usize, 16, 64, 256] {
+        println!("\nP = {p}:");
+        let mut t =
+            Table::new(vec!["Vector M", "direct", "split", "hardware", "auto", "auto picks"]);
+        for m in [1usize, 16, 128, 1024, 8192, 65536] {
+            let d = time_prs(p, m, PrsAlgorithm::Direct);
+            let s = time_prs(p, m, PrsAlgorithm::Split);
+            let h = time_prs(p, m, PrsAlgorithm::Hardware);
+            let a = time_prs(p, m, PrsAlgorithm::Auto);
+            let picks = match PrsAlgorithm::Auto.resolve(p, m) {
+                PrsAlgorithm::Direct => "direct",
+                PrsAlgorithm::Split => "split",
+                _ => unreachable!(),
+            };
+            t.row(vec![m.to_string(), ms(d), ms(s), ms(h), ms(a), picks.to_string()]);
+        }
+        t.print();
+    }
+
+    println!("\nPRS time inside PACK vs block size (1-D, N = 65536, P = 16, density 50%):");
+    let shape = [65536usize];
+    let grid = [16usize];
+    let mut t = Table::new(vec!["Block Size", "PRS ms", "m2m ms", "local ms"]);
+    for w in block_sizes(&shape, &grid) {
+        let cfg =
+            ExpConfig::new(&shape, &grid, w, MaskPattern::Random { density: 0.5, seed: 42 });
+        let m = time_pack(&cfg, &PackOptions::new(PackScheme::CompactMessage));
+        t.row(vec![w.to_string(), ms(m.prs_ms()), ms(m.m2m_ms()), ms(m.local_ms())]);
+    }
+    t.print();
+    println!("\n(expected: PRS exceeds m2m only at the smallest block sizes, per Section 7)");
+}

@@ -1,0 +1,43 @@
+//! Section 7's scaled experiment: increase the processor count 16× (16→256
+//! for 1-D, 4×4→16×16 for 2-D) while growing the array 16× so the local
+//! array size stays fixed, and watch the time shift from local computation
+//! to communication ("in a large number of processors the most time is
+//! spent for communication").
+
+use hpf_bench::{ms, pack_scheme_opts, time_pack, ExpConfig, Table};
+use hpf_core::MaskPattern;
+
+fn run_case(title: &str, shape: &[usize], grid: &[usize], w: usize, density: f64) {
+    println!("\n{title}");
+    let mut t = Table::new(vec!["Scheme", "local", "prs", "m2m", "total"]);
+    for (scheme, opts) in pack_scheme_opts() {
+        let cfg = ExpConfig::new(shape, grid, w, MaskPattern::Random { density, seed: 42 });
+        let m = time_pack(&cfg, &opts);
+        t.row(vec![
+            scheme.label().to_string(),
+            ms(m.local_ms()),
+            ms(m.prs_ms()),
+            ms(m.m2m_ms()),
+            ms(m.total_ms()),
+        ]);
+    }
+    t.print();
+}
+
+fn main() {
+    println!("Scaled experiment: 16x more processors, 16x larger arrays (fixed local size)");
+    println!("(density 50%, block size 16; PACK, all three schemes)");
+
+    // 1-D: N = 65536 on 16 procs  ->  N = 2^20 on 256 procs (local 4096).
+    run_case("1-D, N = 65536, P = 16:", &[65536], &[16], 16, 0.5);
+    run_case("1-D, N = 1048576, P = 256:", &[1 << 20], &[256], 16, 0.5);
+
+    // 2-D: 512^2 on 4x4  ->  2048^2 on 16x16 (local 128x128).
+    run_case("2-D, 512 x 512, P = 4x4:", &[512, 512], &[4, 4], 16, 0.5);
+    run_case("2-D, 2048 x 2048, P = 16x16:", &[2048, 2048], &[16, 16], 16, 0.5);
+
+    println!(
+        "\n(expected: with fixed local size, local computation stays flat while \
+         prefix-reduction-sum and many-to-many communication grow with P)"
+    );
+}

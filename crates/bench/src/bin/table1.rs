@@ -1,0 +1,103 @@
+//! Table I — β₁ values: the smallest block size at which the compact
+//! storage scheme's local computation beats the simple storage scheme's,
+//! per local array size and mask density. `inf` means CSS never catches up
+//! within the sweep (the paper reports `∞` for 10% density on small 2-D
+//! arrays). A companion table reports β₂: where the compact *message*
+//! scheme beats the compact storage scheme on total time (Section 6.4.2's
+//! comparison is communication-inclusive).
+//!
+//! Paper setup: 1-D local sizes 1024–8192 on 16 processors; 2-D local sizes
+//! 16–128 per dimension on 4×4.
+
+use hpf_bench::{block_sizes, paper_masks, time_pack, ExpConfig, Table};
+use hpf_core::{MaskPattern, PackOptions, PackScheme};
+
+fn beta(
+    shape: &[usize],
+    grid: &[usize],
+    pattern: MaskPattern,
+    better: impl Fn(&ExpConfig) -> bool,
+) -> Option<usize> {
+    for w in block_sizes(shape, grid) {
+        let cfg = ExpConfig::new(shape, grid, w, pattern);
+        if better(&cfg) {
+            return Some(w);
+        }
+    }
+    None
+}
+
+fn fmt_beta(b: Option<usize>) -> String {
+    match b {
+        Some(w) => w.to_string(),
+        None => "inf".into(),
+    }
+}
+
+fn beta1(shape: &[usize], grid: &[usize], pattern: MaskPattern) -> Option<usize> {
+    beta(shape, grid, pattern, |cfg| {
+        let sss = time_pack(cfg, &PackOptions::new(PackScheme::Simple));
+        let css = time_pack(cfg, &PackOptions::new(PackScheme::CompactStorage));
+        css.local_ms() <= sss.local_ms()
+    })
+}
+
+fn beta2(shape: &[usize], grid: &[usize], pattern: MaskPattern) -> Option<usize> {
+    beta(shape, grid, pattern, |cfg| {
+        let css = time_pack(cfg, &PackOptions::new(PackScheme::CompactStorage));
+        let cms = time_pack(cfg, &PackOptions::new(PackScheme::CompactMessage));
+        cms.total_ms() <= css.total_ms()
+    })
+}
+
+fn run_panel(
+    title: &str,
+    sizes: &[usize],
+    shape_of: impl Fn(usize) -> Vec<usize>,
+    grid: &[usize],
+    beta_fn: impl Fn(&[usize], &[usize], MaskPattern) -> Option<usize>,
+) {
+    println!("\n{title}");
+    let ndims = shape_of(sizes[0]).len();
+    let masks = paper_masks(ndims, 42);
+    let mut headers = vec!["Local Size".to_string()];
+    headers.extend(masks.iter().map(|m| m.label()));
+    let mut t = Table::new(headers);
+    for &ls in sizes {
+        let shape = shape_of(ls);
+        let mut row = vec![ls.to_string()];
+        for &mask in &masks {
+            row.push(fmt_beta(beta_fn(&shape, grid, mask)));
+        }
+        t.row(row);
+    }
+    t.print();
+}
+
+fn main() {
+    println!("Table I: beta_1 — smallest block size where CSS local computation <= SSS");
+    println!("(paper: 16 procs for 1-D, 4x4 for 2-D; densities 10..90% plus the LT mask)");
+
+    let p1d = 16usize;
+    let sizes_1d = [1024usize, 2048, 4096, 8192];
+    run_panel("1-D arrays (P = 16):", &sizes_1d, |ls| vec![ls * p1d], &[p1d], beta1);
+
+    let sizes_2d = [16usize, 32, 64, 128];
+    run_panel(
+        "2-D arrays (P = 4x4), local size per dimension:",
+        &sizes_2d,
+        |ls| vec![ls * 4, ls * 4],
+        &[4, 4],
+        beta1,
+    );
+
+    println!("\nCompanion: beta_2 — smallest block size where CMS total time <= CSS");
+    run_panel("1-D arrays (P = 16):", &sizes_1d, |ls| vec![ls * p1d], &[p1d], beta2);
+    run_panel(
+        "2-D arrays (P = 4x4), local size per dimension:",
+        &sizes_2d,
+        |ls| vec![ls * 4, ls * 4],
+        &[4, 4],
+        beta2,
+    );
+}

@@ -1,0 +1,307 @@
+//! Shared experiment runners: build a machine, seed distributed data, run
+//! PACK/UNPACK under a scheme, and report the simulated-time breakdown.
+
+use hpf_core::{
+    pack, pack_redistributed, unpack, MaskPattern, PackOptions, PackScheme, RedistScheme,
+    UnpackOptions, UnpackScheme,
+};
+use hpf_distarray::{local_from_fn, ArrayDesc, DimLayout, Dist, GlobalArray};
+use hpf_machine::{Breakdown, Category, CostModel, Machine, ProcGrid};
+
+/// One experiment point: an array shape distributed with a uniform block
+/// size over a grid, masked by a pattern.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Global shape (dimension 0 first).
+    pub shape: Vec<usize>,
+    /// Grid extents (dimension 0 first).
+    pub grid: Vec<usize>,
+    /// Block size, applied to every dimension (the paper fixes the
+    /// dimension-0 and dimension-1 block sizes equal in 2-D sweeps).
+    pub w: usize,
+    /// Mask pattern.
+    pub pattern: MaskPattern,
+    /// Cost model (defaults to CM-5 constants).
+    pub cost: CostModel,
+}
+
+impl ExpConfig {
+    /// Config with CM-5 cost constants.
+    pub fn new(shape: &[usize], grid: &[usize], w: usize, pattern: MaskPattern) -> Self {
+        ExpConfig {
+            shape: shape.to_vec(),
+            grid: grid.to_vec(),
+            w,
+            pattern,
+            cost: CostModel::cm5(),
+        }
+    }
+
+    /// The machine for this config.
+    pub fn machine(&self) -> Machine {
+        Machine::new(ProcGrid::new(&self.grid), self.cost)
+    }
+
+    /// The array descriptor for this config.
+    pub fn desc(&self) -> ArrayDesc {
+        let grid = ProcGrid::new(&self.grid);
+        let dists: Vec<Dist> = self.shape.iter().map(|_| Dist::BlockCyclic(self.w)).collect();
+        ArrayDesc::new(&self.shape, &grid, &dists)
+            .unwrap_or_else(|e| panic!("invalid experiment config {self:?}: {e}"))
+    }
+
+    /// Local extent per processor along each dimension.
+    pub fn local_len(&self) -> usize {
+        self.shape.iter().zip(&self.grid).map(|(n, p)| n / p).product()
+    }
+
+    /// Deterministic element value at a global index.
+    pub fn value_at(gidx: &[usize]) -> i32 {
+        gidx.iter().fold(17i32, |acc, &x| acc.wrapping_mul(31).wrapping_add(x as i32))
+    }
+}
+
+/// Valid uniform block sizes for a config: powers of two from 1 to the
+/// local extent of the *smallest* dimension (so `P·W | N` holds everywhere).
+pub fn block_sizes(shape: &[usize], grid: &[usize]) -> Vec<usize> {
+    let max_w = shape.iter().zip(grid).map(|(n, p)| n / p).min().unwrap();
+    let mut sizes = Vec::new();
+    let mut w = 1;
+    while w <= max_w {
+        sizes.push(w);
+        w *= 2;
+    }
+    sizes
+}
+
+/// Simulated-time measurement of one operation.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Per-category critical-path breakdown.
+    pub breakdown: Breakdown,
+    /// `Size` (packed element count).
+    pub size: usize,
+    /// Total message words sent by all processors.
+    pub words: u64,
+    /// Total message start-ups.
+    pub startups: u64,
+}
+
+impl Measurement {
+    /// Local computation time (what Figure 3 plots): ranking local work plus
+    /// message composition/decomposition.
+    pub fn local_ms(&self) -> f64 {
+        self.breakdown.cat_ms(Category::LocalComp)
+    }
+
+    /// Prefix-reduction-sum time.
+    pub fn prs_ms(&self) -> f64 {
+        self.breakdown.cat_ms(Category::PrefixReductionSum)
+    }
+
+    /// Many-to-many personalized communication time.
+    pub fn m2m_ms(&self) -> f64 {
+        self.breakdown.cat_ms(Category::ManyToMany)
+    }
+
+    /// Preliminary-redistribution time (detection + traffic).
+    pub fn redist_ms(&self) -> f64 {
+        self.breakdown.cat_ms(Category::RedistDetect)
+            + self.breakdown.cat_ms(Category::RedistComm)
+    }
+
+    /// Total execution time (what Figures 4 and 5 plot).
+    pub fn total_ms(&self) -> f64 {
+        self.breakdown.total_ms()
+    }
+}
+
+/// Run PACK under `opts` and measure.
+pub fn time_pack(cfg: &ExpConfig, opts: &PackOptions) -> Measurement {
+    let desc = cfg.desc();
+    let machine = cfg.machine();
+    let (desc_ref, pattern, shape) = (&desc, cfg.pattern, cfg.shape.clone());
+    let out = machine.run(move |proc| {
+        let a = local_from_fn(desc_ref, proc.id(), ExpConfig::value_at);
+        let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
+        proc.clock().reset(); // setup is not part of the timed operation
+        pack(proc, desc_ref, &a, &m, opts).expect("valid experiment config").size
+    });
+    Measurement {
+        breakdown: out.breakdown(),
+        size: out.results[0],
+        words: out.total_words_sent(),
+        startups: out.total_startups(),
+    }
+}
+
+/// Run PACK with a preliminary redistribution (Red.1 / Red.2) and measure.
+pub fn time_pack_redist(
+    cfg: &ExpConfig,
+    scheme: RedistScheme,
+    opts: &PackOptions,
+) -> Measurement {
+    let desc = cfg.desc();
+    let machine = cfg.machine();
+    let (desc_ref, pattern, shape) = (&desc, cfg.pattern, cfg.shape.clone());
+    let out = machine.run(move |proc| {
+        let a = local_from_fn(desc_ref, proc.id(), ExpConfig::value_at);
+        let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
+        proc.clock().reset();
+        pack_redistributed(proc, desc_ref, &a, &m, scheme, opts)
+            .expect("valid experiment config")
+            .size
+    });
+    Measurement {
+        breakdown: out.breakdown(),
+        size: out.results[0],
+        words: out.total_words_sent(),
+        startups: out.total_startups(),
+    }
+}
+
+/// Run UNPACK with the (deliberately infeasible, Section 6.3) preliminary
+/// redistribution and measure — used by the ablation that demonstrates the
+/// paper's "not a feasible option for UNPACK" claim.
+pub fn time_unpack_redist(cfg: &ExpConfig, opts: &UnpackOptions) -> Measurement {
+    time_unpack_impl(cfg, opts, true)
+}
+
+/// Run UNPACK under `opts` and measure. The input vector is sized exactly to
+/// the mask's selected count and block-distributed (the paper's setup).
+pub fn time_unpack(cfg: &ExpConfig, opts: &UnpackOptions) -> Measurement {
+    time_unpack_impl(cfg, opts, false)
+}
+
+fn time_unpack_impl(cfg: &ExpConfig, opts: &UnpackOptions, redist: bool) -> Measurement {
+    let desc = cfg.desc();
+    // Size is a property of the mask alone; compute it harness-side.
+    let size = {
+        let m = cfg.pattern.global(&cfg.shape);
+        m.data().iter().filter(|&&b| b).count()
+    };
+    let nprocs: usize = cfg.grid.iter().product();
+    let n_prime = size.max(1);
+    let v_layout = DimLayout::new_general(n_prime, nprocs, n_prime.div_ceil(nprocs)).unwrap();
+
+    let machine = cfg.machine();
+    let (desc_ref, pattern, shape, vl) = (&desc, cfg.pattern, cfg.shape.clone(), &v_layout);
+    let out = machine.run(move |proc| {
+        let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
+        let f = local_from_fn(desc_ref, proc.id(), |_| -1i32);
+        let v: Vec<i32> =
+            (0..vl.local_len(proc.id())).map(|l| vl.global_of(proc.id(), l) as i32).collect();
+        proc.clock().reset();
+        if redist {
+            hpf_core::unpack_redistributed(proc, desc_ref, &m, &f, &v, vl, opts)
+                .expect("valid experiment config");
+        } else {
+            unpack(proc, desc_ref, &m, &f, &v, vl, opts).expect("valid experiment config");
+        }
+    });
+    Measurement {
+        breakdown: out.breakdown(),
+        size,
+        words: out.total_words_sent(),
+        startups: out.total_startups(),
+    }
+}
+
+/// The masks used throughout Section 7: five random densities plus the
+/// structured mask for the given rank.
+pub fn paper_masks(ndims: usize, seed: u64) -> Vec<MaskPattern> {
+    let mut masks: Vec<MaskPattern> =
+        MaskPattern::DENSITIES.iter().map(|&density| MaskPattern::Random { density, seed }).collect();
+    masks.push(if ndims == 1 { MaskPattern::FirstHalf } else { MaskPattern::LowerTriangular });
+    masks
+}
+
+/// Format milliseconds like the paper's tables.
+pub fn ms(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Correctness backstop used by the binaries: PACK result equals the
+/// sequential oracle for this config (cheap insurance that the numbers
+/// describe a *correct* run).
+pub fn verify_pack(cfg: &ExpConfig, opts: &PackOptions) {
+    let desc = cfg.desc();
+    let a = GlobalArray::from_fn(&cfg.shape, ExpConfig::value_at);
+    let m = cfg.pattern.global(&cfg.shape);
+    let want = hpf_core::seq::pack_seq(&a, &m, None);
+    let a_parts = a.partition(&desc);
+    let m_parts = m.partition(&desc);
+    let machine = cfg.machine();
+    let (desc_ref, a_ref, m_ref) = (&desc, &a_parts, &m_parts);
+    let out = machine.run(move |proc| {
+        pack(proc, desc_ref, &a_ref[proc.id()], &m_ref[proc.id()], opts).unwrap()
+    });
+    let mut got = vec![0i32; want.len()];
+    if let Some(layout) = out.results[0].v_layout {
+        for (p, o) in out.results.iter().enumerate() {
+            for (l, &x) in o.local_v.iter().enumerate() {
+                got[layout.global_of(p, l)] = x;
+            }
+        }
+    }
+    assert_eq!(got, want, "pack verification failed for {cfg:?}");
+}
+
+/// All three pack schemes with default options.
+pub fn pack_scheme_opts() -> Vec<(PackScheme, PackOptions)> {
+    PackScheme::ALL.iter().map(|&s| (s, PackOptions::new(s))).collect()
+}
+
+/// Both unpack schemes with default options.
+pub fn unpack_scheme_opts() -> Vec<(UnpackScheme, UnpackOptions)> {
+    UnpackScheme::ALL.iter().map(|&s| (s, UnpackOptions::new(s))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_sizes_are_powers_of_two_up_to_local() {
+        assert_eq!(block_sizes(&[64], &[4]), vec![1, 2, 4, 8, 16]);
+        assert_eq!(block_sizes(&[16, 64], &[2, 2]), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn time_pack_produces_consistent_measurement() {
+        let cfg = ExpConfig::new(&[256], &[4], 4, MaskPattern::Random { density: 0.5, seed: 1 });
+        let m = time_pack(&cfg, &PackOptions::new(PackScheme::CompactMessage));
+        assert!(m.size > 80 && m.size < 180, "size {}", m.size);
+        assert!(m.local_ms() > 0.0);
+        assert!(m.prs_ms() > 0.0);
+        assert!(m.total_ms() >= m.local_ms());
+    }
+
+    #[test]
+    fn verify_pack_passes_for_all_schemes() {
+        let cfg = ExpConfig::new(
+            &[16, 16],
+            &[2, 2],
+            2,
+            MaskPattern::Random { density: 0.4, seed: 2 },
+        );
+        for (_, opts) in pack_scheme_opts() {
+            verify_pack(&cfg, &opts);
+        }
+    }
+
+    #[test]
+    fn time_unpack_runs() {
+        let cfg = ExpConfig::new(&[128], &[4], 8, MaskPattern::Random { density: 0.3, seed: 3 });
+        let m = time_unpack(&cfg, &UnpackOptions::new(UnpackScheme::CompactStorage));
+        assert!(m.total_ms() > 0.0);
+        assert!(m.m2m_ms() > 0.0);
+    }
+
+    #[test]
+    fn paper_masks_have_six_entries() {
+        assert_eq!(paper_masks(1, 1).len(), 6);
+        assert!(matches!(paper_masks(1, 1)[5], MaskPattern::FirstHalf));
+        assert!(matches!(paper_masks(2, 1)[5], MaskPattern::LowerTriangular));
+    }
+}

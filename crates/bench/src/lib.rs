@@ -1,0 +1,16 @@
+//! # hpf-bench — experiment harness for the PACK/UNPACK paper
+//!
+//! Shared machinery for the binaries that regenerate the paper's tables and
+//! figures (`table1`, `table2`, `fig3`, `fig4`, `fig5`, `prs`, `scaling`,
+//! `ablations`) and for the Criterion wall-time benches.
+//!
+//! All paper-style numbers come from the **simulated clock** (milliseconds
+//! under the CM-5-flavoured cost model), which is what makes the shapes
+//! comparable to the paper's CM-5 measurements; Criterion separately
+//! measures real wall time of the same kernels.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::Table;

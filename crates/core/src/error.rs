@@ -1,0 +1,146 @@
+//! Typed errors for the parallel PACK/UNPACK entry points.
+//!
+//! All validation is performed from processor-local state that is identical
+//! on every processor (the shared descriptor, local lengths derived from it,
+//! and the replicated `Size` from the ranking stage), so when one processor
+//! returns an error, all of them do — no communication structure is left
+//! half-executed.
+
+use std::fmt;
+
+/// Error from [`crate::pack`] and friends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackError {
+    /// The input descriptor violates the paper's divisibility assumption
+    /// `P_i·W_i | N_i` on some dimension.
+    NotDivisible {
+        /// The offending dimension.
+        dim: usize,
+    },
+    /// The local input array length does not match the descriptor.
+    ArrayLenMismatch {
+        /// Expected local length.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// The local mask length does not match the local array length
+    /// (F90: mask must be conformable with the array).
+    MaskLenMismatch {
+        /// Expected local length.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// The `VECTOR` argument is shorter than the number of selected
+    /// elements (F90 requires `SIZE(VECTOR) >= COUNT(MASK)`).
+    VectorTooShort {
+        /// Number of selected elements.
+        size: usize,
+        /// Global `VECTOR` length.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackError::NotDivisible { dim } => write!(
+                f,
+                "dimension {dim} violates P*W | N; redistribute first or use a divisible layout"
+            ),
+            PackError::ArrayLenMismatch { expected, got } => {
+                write!(f, "local array has {got} elements, descriptor implies {expected}")
+            }
+            PackError::MaskLenMismatch { expected, got } => {
+                write!(f, "local mask has {got} elements, expected {expected}")
+            }
+            PackError::VectorTooShort { size, capacity } => write!(
+                f,
+                "mask selects {size} elements but the VECTOR argument holds only {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
+/// Error from [`crate::unpack`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnpackError {
+    /// The mask/field descriptor violates the divisibility assumption.
+    NotDivisible {
+        /// The offending dimension.
+        dim: usize,
+    },
+    /// The local mask length does not match the descriptor.
+    MaskLenMismatch {
+        /// Expected local length.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// The local field length does not match the mask (F90: FIELD must be
+    /// conformable with MASK).
+    FieldLenMismatch {
+        /// Expected local length.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// The local slice of `V` does not match the vector layout.
+    VectorLenMismatch {
+        /// Expected local length.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// The input vector is shorter than the number of selected mask
+    /// elements (`N' < Size`).
+    VectorTooSmall {
+        /// Number of selected elements.
+        size: usize,
+        /// Global vector length `N'`.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for UnpackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnpackError::NotDivisible { dim } => write!(
+                f,
+                "dimension {dim} violates P*W | N; UNPACK requires a divisible layout"
+            ),
+            UnpackError::MaskLenMismatch { expected, got } => {
+                write!(f, "local mask has {got} elements, expected {expected}")
+            }
+            UnpackError::FieldLenMismatch { expected, got } => {
+                write!(f, "local field has {got} elements, expected {expected}")
+            }
+            UnpackError::VectorLenMismatch { expected, got } => {
+                write!(f, "local vector slice has {got} elements, expected {expected}")
+            }
+            UnpackError::VectorTooSmall { size, capacity } => write!(
+                f,
+                "mask selects {size} elements but the input vector holds only {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UnpackError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = PackError::NotDivisible { dim: 1 };
+        assert!(e.to_string().contains("dimension 1"));
+        let e = UnpackError::VectorTooSmall { size: 10, capacity: 8 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("8"));
+    }
+}

@@ -1,0 +1,169 @@
+//! The compact message scheme (CMS) — Sections 6.2 / 6.4.2.
+//!
+//! Storage works exactly as in the compact storage scheme; the message
+//! format changes. Because the global ranks of the `n` selected elements of
+//! a slice are consecutive (`r_0, r_0+1, …, r_0+n-1`), each destination run
+//! needs only its first rank and its length on the wire:
+//!
+//! ```text
+//! message = segment*      segment = (base-rank, count, value, …, value)
+//! ```
+//!
+//! so a message of `E` values in `G` segments costs `E + 2G` words instead
+//! of `2E`. With one segment of minimum length 1, a segment costs 3 words —
+//! hence the paper's observation that CMS cannot pay off at cyclic
+//! distribution (slice size 1) or when slices hold single elements, and
+//! that shrinking the result vector's block size `W'` inflates the segment
+//! count.
+
+use hpf_machine::collectives::alltoallv;
+use hpf_machine::{Category, Payload, Proc, Wire, Words};
+
+use crate::ranking::{rank_from_counts, RankShape};
+use crate::schemes::PackOptions;
+
+use super::{collect_slice_values, dest_runs, result_layout, PackOutput};
+
+/// A compact-message-scheme message: a stream of
+/// `(base rank, values…)` segments. Wire size is `Σ (2 + |values|)` words,
+/// exactly the paper's `E_i + 2·Gs_i` accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmsMessage<T> {
+    /// `(base rank, run of values with consecutive ranks)` segments.
+    pub segments: Vec<(u32, Vec<T>)>,
+}
+
+impl<T> Default for CmsMessage<T> {
+    fn default() -> Self {
+        CmsMessage { segments: Vec::new() }
+    }
+}
+
+impl<T> CmsMessage<T> {
+    /// Total number of values across all segments.
+    pub fn value_count(&self) -> usize {
+        self.segments.iter().map(|(_, v)| v.len()).sum()
+    }
+
+    /// Number of segments (`Gs`/`Gr` in the paper's model).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+impl<T: Wire> Payload for CmsMessage<T> {
+    fn wire_words(&self) -> Words {
+        self.segments.iter().map(|(_, v)| 2 + v.len() * T::WORDS).sum()
+    }
+}
+
+pub(crate) fn pack_cms<T: Wire + Default>(
+    proc: &mut Proc,
+    shape: &RankShape,
+    a_local: &[T],
+    m_local: &[bool],
+    opts: &PackOptions,
+) -> PackOutput<T> {
+    let w0 = shape.w[0];
+
+    // Initial step: identical to the compact storage scheme.
+    let (counts, ps_c) = proc.with_category(Category::LocalComp, |proc| {
+        let counts = crate::ranking::slice_counts(m_local, w0);
+        let ps_c = counts.clone();
+        proc.charge_ops(m_local.len() + ps_c.len());
+        (counts, ps_c)
+    });
+
+    let ranking = rank_from_counts(proc, shape, counts, opts.prs);
+    if ranking.size == 0 {
+        return PackOutput { local_v: Vec::new(), size: 0, v_layout: None };
+    }
+    let layout = result_layout(ranking.size, proc.nprocs(), opts.result_block_size)
+        .expect("size > 0");
+
+    // Final step + segment composition: one segment per destination run.
+    let sends = proc.with_category(Category::LocalComp, |proc| {
+        let nprocs = proc.nprocs();
+        let mut sends: Vec<CmsMessage<T>> = (0..nprocs).map(|_| CmsMessage::default()).collect();
+        let mut ops = ps_c.len();
+        let mut values: Vec<T> = Vec::with_capacity(w0);
+        for (k, &n) in ps_c.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let n = n as usize;
+            let r0 = ranking.ps_f[k] as usize;
+            values.clear();
+            ops += collect_slice_values(
+                &a_local[k * w0..(k + 1) * w0],
+                &m_local[k * w0..(k + 1) * w0],
+                n,
+                opts.scan_method,
+                &mut values,
+            );
+            let mut taken = 0usize;
+            for (start, len) in dest_runs(r0, n, &layout) {
+                let dest = layout.owner(start);
+                sends[dest]
+                    .segments
+                    .push((start as u32, values[taken..taken + len].to_vec()));
+                taken += len;
+                ops += 2 + len; // segment header + value appends
+            }
+        }
+        proc.charge_ops(ops);
+        sends
+    });
+
+    // Redistribution.
+    let recvs = proc.with_category(Category::ManyToMany, |proc| {
+        let world = proc.world();
+        alltoallv(proc, &world, sends, opts.schedule)
+    });
+
+    // Decomposition: 2 ops per segment + 1 per value (E_a + 2·Gr_i).
+    let local_v = proc.with_category(Category::LocalComp, |proc| {
+        let me = proc.id();
+        let mut local_v = vec![T::default(); layout.local_len(me)];
+        let mut ops = 0usize;
+        for msg in recvs {
+            for (base, vals) in msg.segments {
+                ops += 2 + vals.len();
+                for (j, v) in vals.into_iter().enumerate() {
+                    let rank = base as usize + j;
+                    debug_assert_eq!(layout.owner(rank), me, "misrouted segment");
+                    local_v[layout.local_of(rank)] = v;
+                }
+            }
+        }
+        proc.charge_ops(ops);
+        local_v
+    });
+
+    PackOutput { local_v, size: ranking.size, v_layout: Some(layout) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_words_match_paper_formula() {
+        // E values in G segments -> E + 2G words (1-word elements).
+        let msg = CmsMessage::<i32> {
+            segments: vec![(0, vec![1, 2, 3]), (10, vec![4]), (20, vec![5, 6])],
+        };
+        assert_eq!(msg.value_count(), 6);
+        assert_eq!(msg.segment_count(), 3);
+        assert_eq!(msg.wire_words(), 6 + 2 * 3);
+        assert_eq!(CmsMessage::<i32>::default().wire_words(), 0);
+    }
+
+    #[test]
+    fn single_element_segment_costs_three_words() {
+        // The paper: "the size of each segment is at least 3" — why CMS
+        // cannot win at cyclic distribution.
+        let msg = CmsMessage::<i32> { segments: vec![(5, vec![9])] };
+        assert_eq!(msg.wire_words(), 3);
+    }
+}

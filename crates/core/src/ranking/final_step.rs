@@ -1,0 +1,100 @@
+//! Final step — Section 5.4: combine the per-dimension base-rank arrays
+//! into the final base-rank array `PS_f`.
+//!
+//! `PS_i` (shape `[T_i, L_{i+1}, …]`) and `PS_{i+1}` (shape
+//! `[T_{i+1}, L_{i+2}, …]`) are added with the paper's rule
+//!
+//! ```text
+//! ∀ j, k  with  k·W_{i+1} ≤ j < (k+1)·W_{i+1}:
+//!     PS_i(…, j, :) ← PS_i(…, j, :) + PS_{i+1}(…, k)
+//! ```
+//!
+//! i.e. each `PS_{i+1}` cell is broadcast over the `W_{i+1}` rows of its
+//! block and over all `T_i` tiles. Applying this from dimension `d-2` down
+//! to 0 accumulates everything into `PS_0`, which becomes `PS_f` with one
+//! slot per slice: the final rank of a selected element `x` is
+//! `initial-rank(x) + PS_f(…, i_0 div W_0)`.
+
+use hpf_machine::{Category, Proc};
+
+use super::workspace::RankShape;
+
+/// Sum the base-rank arrays down into `PS_f` (one slot per slice).
+///
+/// Consumes the per-dimension `ps` arrays from the intermediate steps.
+/// Charged to [`Category::LocalComp`].
+pub fn combine_base_ranks(proc: &mut Proc, shape: &RankShape, mut ps: Vec<Vec<i32>>) -> Vec<i32> {
+    let d = shape.d();
+    debug_assert_eq!(ps.len(), d);
+    proc.with_category(Category::LocalComp, |proc| {
+        let mut charged = 0usize;
+        for i in (0..d.saturating_sub(1)).rev() {
+            let (lower_slot, upper_slot) = {
+                let (a, b) = ps.split_at_mut(i + 1);
+                (&mut a[i], &b[0])
+            };
+            let t_i = shape.t[i];
+            let l_next = shape.l[i + 1];
+            let w_next = shape.w[i + 1];
+            let t_next = shape.t[i + 1];
+            let uppers = shape.upper_vol(i + 1);
+            // lower layout: [T_i, L_{i+1}, uppers]; upper layout: [T_{i+1}, uppers].
+            for u in 0..uppers {
+                for j in 0..l_next {
+                    let add = upper_slot[u * t_next + j / w_next];
+                    let base = u * t_i * l_next + j * t_i;
+                    for cell in &mut lower_slot[base..base + t_i] {
+                        *cell += add;
+                    }
+                }
+            }
+            charged += t_i * l_next * uppers;
+        }
+        proc.charge_ops(charged);
+        ps.swap_remove(0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_distarray::{ArrayDesc, Dist};
+    use hpf_machine::{CostModel, Machine, ProcGrid};
+
+    /// d = 1: PS_f is PS_0 unchanged.
+    #[test]
+    fn one_d_is_identity() {
+        let grid = ProcGrid::line(2);
+        let desc = ArrayDesc::new(&[8], &grid, &[Dist::BlockCyclic(2)]).unwrap();
+        let machine = Machine::new(grid, CostModel::zero());
+        let desc_ref = &desc;
+        let out = machine.run(move |proc| {
+            let shape = RankShape::from_desc(desc_ref);
+            combine_base_ranks(proc, &shape, vec![vec![3, 1]])
+        });
+        assert_eq!(out.results[0], vec![3, 1]);
+    }
+
+    /// d = 2 hand-computed combination.
+    #[test]
+    fn two_d_broadcast_add() {
+        // L = (L1=4, L0=4), W = (2, 2), so T = (2, 2):
+        // PS_0 layout [T_0=2, L_1=4]; PS_1 layout [T_1=2].
+        let grid = ProcGrid::new(&[2, 2]);
+        let desc =
+            ArrayDesc::new(&[8, 8], &grid, &[Dist::BlockCyclic(2), Dist::BlockCyclic(2)]).unwrap();
+        let machine = Machine::new(grid, CostModel::zero());
+        let desc_ref = &desc;
+        let out = machine.run(move |proc| {
+            let shape = RankShape::from_desc(desc_ref);
+            let ps0: Vec<i32> = (0..8).collect(); // [t0 + 2*j]
+            let ps1 = vec![100, 200]; // per dim-1 tile
+            combine_base_ranks(proc, &shape, vec![ps0, ps1])
+        });
+        // Rows j=0,1 (block 0 of dim 1) get +100; rows j=2,3 get +200.
+        assert_eq!(
+            out.results[0],
+            vec![100, 101, 102, 103, 204, 205, 206, 207]
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Initial step (local scan) — Section 5.2.
+//!
+//! The local mask array is scanned slice by slice (a *slice* is a run of
+//! `W_0` consecutive dimension-0 elements inside one block). The result is
+//! the common initialisation of `PS_0` and `RS_0`: the number of selected
+//! elements per slice.
+//!
+//! The scan itself is *not* charged here: the three storage schemes of
+//! Section 6 do different amounts of bookkeeping during this pass (the
+//! simple scheme records per-element information, the compact schemes do
+//! not), so each scheme charges its own initial-scan cost.
+
+/// Number of selected elements per slice: `counts[k]` is the count of true
+/// entries in `mask[k·w0 .. (k+1)·w0]`. This is the shared initial value of
+/// `PS_0` and `RS_0`.
+///
+/// # Panics
+/// Panics if `w0` does not divide the mask length.
+pub fn slice_counts(mask: &[bool], w0: usize) -> Vec<i32> {
+    assert!(w0 > 0 && mask.len().is_multiple_of(w0), "W_0 must tile the local array");
+    mask.chunks_exact(w0).map(|s| s.iter().filter(|&&b| b).count() as i32).collect()
+}
+
+/// Per-element initial (in-slice) ranks: `Some(r)` iff the element is
+/// selected and `r` selected elements precede it *within its slice*.
+pub fn in_slice_ranks(mask: &[bool], w0: usize) -> Vec<Option<u32>> {
+    assert!(w0 > 0 && mask.len().is_multiple_of(w0), "W_0 must tile the local array");
+    let mut out = Vec::with_capacity(mask.len());
+    for slice in mask.chunks_exact(w0) {
+        let mut r = 0u32;
+        for &b in slice {
+            if b {
+                out.push(Some(r));
+                r += 1;
+            } else {
+                out.push(None);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_per_slice() {
+        let m = [true, false, true, true, false, false, true, true];
+        assert_eq!(slice_counts(&m, 2), vec![1, 2, 0, 2]);
+        assert_eq!(slice_counts(&m, 4), vec![3, 2]);
+        assert_eq!(slice_counts(&m, 8), vec![5]);
+    }
+
+    #[test]
+    fn in_slice_ranks_restart_each_slice() {
+        let m = [true, true, false, true];
+        assert_eq!(
+            in_slice_ranks(&m, 2),
+            vec![Some(0), Some(1), None, Some(0)]
+        );
+        assert_eq!(
+            in_slice_ranks(&m, 4),
+            vec![Some(0), Some(1), None, Some(2)]
+        );
+    }
+
+    #[test]
+    fn empty_mask() {
+        let m: [bool; 0] = [];
+        assert_eq!(slice_counts(&m, 3), Vec::<i32>::new());
+        assert!(in_slice_ranks(&m, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "tile")]
+    fn w0_must_divide() {
+        slice_counts(&[true, false, true], 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Scheme selection and options for the parallel PACK/UNPACK entry points.
+
+use hpf_machine::collectives::{A2aSchedule, PrsAlgorithm};
+
+/// Storage / message-composition scheme for PACK (Section 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PackScheme {
+    /// **SSS** — simple storage scheme: record per-element information
+    /// (index, tile, initial rank, destination) during the initial scan;
+    /// messages are `(global rank, value)` pairs. One local scan, heavy
+    /// per-element memory traffic (`∝ L + C + 6E_i + 2E_a`).
+    Simple,
+    /// **CSS** — compact storage scheme: store nothing per element; keep a
+    /// counter array `PS_c` (copy of `PS_0`) and rebuild everything from
+    /// `PS_c`/`PS_f` in a second scan. Messages still `(rank, value)` pairs
+    /// (`∝ 2L + 2C + 3E_i + 2E_a`).
+    CompactStorage,
+    /// **CMS** — compact message scheme: CSS storage plus run-compressed
+    /// messages `(base rank, count, values…)` exploiting that ranks within
+    /// a slice are consecutive (`∝ 2L + 2C + 2E_i + 2Gs_i + E_a + 2Gr_i`).
+    CompactMessage,
+}
+
+impl PackScheme {
+    /// All schemes, in the paper's presentation order.
+    pub const ALL: [PackScheme; 3] =
+        [PackScheme::Simple, PackScheme::CompactStorage, PackScheme::CompactMessage];
+
+    /// Table label ("SSS" / "CSS" / "CMS").
+    pub fn label(self) -> &'static str {
+        match self {
+            PackScheme::Simple => "SSS",
+            PackScheme::CompactStorage => "CSS",
+            PackScheme::CompactMessage => "CMS",
+        }
+    }
+}
+
+/// Storage scheme for UNPACK (the paper evaluates two; a run-compressed
+/// request format plays the compact-message role on the request side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnpackScheme {
+    /// **SSS** — per-element rank requests.
+    Simple,
+    /// **CSS** — counter-array storage with run-compressed
+    /// `(base rank, count)` requests.
+    CompactStorage,
+}
+
+impl UnpackScheme {
+    /// Both schemes, in presentation order.
+    pub const ALL: [UnpackScheme; 2] = [UnpackScheme::Simple, UnpackScheme::CompactStorage];
+
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            UnpackScheme::Simple => "SSS",
+            UnpackScheme::CompactStorage => "CSS",
+        }
+    }
+}
+
+/// The two slice-scanning methods of Section 6.1's message-composition scan
+/// (the compact schemes' second local scan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScanMethod {
+    /// Method 1 (the paper's choice): scan a slice only until all of its
+    /// packed elements have been collected.
+    #[default]
+    UntilCollected,
+    /// Method 2: scan the whole slice unconditionally.
+    WholeSlice,
+}
+
+/// Options for [`crate::pack`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackOptions {
+    /// Storage / message scheme.
+    pub scheme: PackScheme,
+    /// Prefix-reduction-sum algorithm for the ranking stage.
+    pub prs: PrsAlgorithm,
+    /// Many-to-many schedule for the redistribution stage.
+    pub schedule: A2aSchedule,
+    /// Second-scan method for the compact schemes.
+    pub scan_method: ScanMethod,
+    /// Block size `W'` of the result vector. `None` = block distribution
+    /// (`⌈Size/P⌉`), the paper's fixed experimental choice.
+    pub result_block_size: Option<usize>,
+}
+
+impl PackOptions {
+    /// Default options with the given scheme (Auto PRS, linear permutation,
+    /// method-1 scan, block-distributed result).
+    pub fn new(scheme: PackScheme) -> Self {
+        PackOptions {
+            scheme,
+            prs: PrsAlgorithm::Auto,
+            schedule: A2aSchedule::LinearPermutation,
+            scan_method: ScanMethod::UntilCollected,
+            result_block_size: None,
+        }
+    }
+}
+
+impl Default for PackOptions {
+    fn default() -> Self {
+        Self::new(PackScheme::CompactMessage)
+    }
+}
+
+/// Options for [`crate::unpack`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnpackOptions {
+    /// Storage scheme.
+    pub scheme: UnpackScheme,
+    /// Prefix-reduction-sum algorithm for the ranking stage.
+    pub prs: PrsAlgorithm,
+    /// Many-to-many schedule for both communication stages.
+    pub schedule: A2aSchedule,
+}
+
+impl UnpackOptions {
+    /// Default options with the given scheme.
+    pub fn new(scheme: UnpackScheme) -> Self {
+        UnpackOptions {
+            scheme,
+            prs: PrsAlgorithm::Auto,
+            schedule: A2aSchedule::LinearPermutation,
+        }
+    }
+}
+
+impl Default for UnpackOptions {
+    fn default() -> Self {
+        Self::new(UnpackScheme::CompactStorage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(PackScheme::Simple.label(), "SSS");
+        assert_eq!(PackScheme::CompactStorage.label(), "CSS");
+        assert_eq!(PackScheme::CompactMessage.label(), "CMS");
+        assert_eq!(UnpackScheme::Simple.label(), "SSS");
+        assert_eq!(UnpackScheme::CompactStorage.label(), "CSS");
+    }
+
+    #[test]
+    fn defaults_match_paper_experiment_setup() {
+        let o = PackOptions::default();
+        assert_eq!(o.schedule, A2aSchedule::LinearPermutation);
+        assert_eq!(o.scan_method, ScanMethod::UntilCollected);
+        assert_eq!(o.result_block_size, None);
+    }
+}

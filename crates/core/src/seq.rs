@@ -1,0 +1,187 @@
+//! Sequential Fortran 90 `PACK`/`UNPACK` semantics — the correctness oracle
+//! every parallel scheme is tested against.
+//!
+//! Fortran array element order is column-major; with the paper's convention
+//! that dimension 0 is the fastest-varying, our row-major-with-dim-0-first
+//! storage enumerates elements in exactly the same order, so the rank of a
+//! selected element `A(i_{d-1}, …, i_0)` is the count of true mask entries
+//! at smaller linear indices — matching the paper's rank formula
+//! `Σ i_i · Π_{k<i} N_k`.
+
+use hpf_distarray::GlobalArray;
+
+/// `PACK(A, M [, VECTOR])`: gather the elements of `a` selected by `m` in
+/// array element order. If `vector` is given, the result has `vector.len()`
+/// elements, with unselected trailing positions copied from `vector`
+/// (Fortran's padding semantics).
+///
+/// # Panics
+/// Panics if the mask shape differs from the array shape, or if `vector`
+/// is shorter than the number of selected elements.
+pub fn pack_seq<T: Copy>(
+    a: &GlobalArray<T>,
+    m: &GlobalArray<bool>,
+    vector: Option<&[T]>,
+) -> Vec<T> {
+    assert_eq!(a.shape(), m.shape(), "mask must be conformable with the array");
+    let mut out: Vec<T> = a
+        .data()
+        .iter()
+        .zip(m.data())
+        .filter_map(|(&v, &keep)| keep.then_some(v))
+        .collect();
+    if let Some(pad) = vector {
+        assert!(
+            pad.len() >= out.len(),
+            "VECTOR argument has {} elements but {} were selected",
+            pad.len(),
+            out.len()
+        );
+        out.extend_from_slice(&pad[out.len()..]);
+    }
+    out
+}
+
+/// The number of selected elements (`Size` in the paper).
+pub fn count_seq(m: &GlobalArray<bool>) -> usize {
+    m.data().iter().filter(|&&b| b).count()
+}
+
+/// The rank of each selected element in array element order: `ranks[lin]` is
+/// `Some(r)` iff `m` is true at linear index `lin` and exactly `r` true
+/// entries precede it.
+pub fn ranks_seq(m: &GlobalArray<bool>) -> Vec<Option<usize>> {
+    let mut r = 0usize;
+    m.data()
+        .iter()
+        .map(|&b| {
+            if b {
+                let mine = r;
+                r += 1;
+                Some(mine)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// `UNPACK(V, M, FIELD)`: scatter `v` into the positions of `m` that are
+/// true (in array element order), taking unselected positions from `field`.
+///
+/// # Panics
+/// Panics if shapes are not conformable or `v` has fewer elements than `m`
+/// has true entries.
+pub fn unpack_seq<T: Copy>(
+    v: &[T],
+    m: &GlobalArray<bool>,
+    field: &GlobalArray<T>,
+) -> GlobalArray<T> {
+    assert_eq!(field.shape(), m.shape(), "field must be conformable with the mask");
+    let needed = count_seq(m);
+    assert!(
+        v.len() >= needed,
+        "input vector has {} elements but the mask selects {}",
+        v.len(),
+        needed
+    );
+    let mut next = 0usize;
+    let data: Vec<T> = m
+        .data()
+        .iter()
+        .zip(field.data())
+        .map(|(&keep, &f)| {
+            if keep {
+                let x = v[next];
+                next += 1;
+                x
+            } else {
+                f
+            }
+        })
+        .collect();
+    GlobalArray::from_vec(m.shape(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(shape: &[usize], data: Vec<i32>) -> GlobalArray<i32> {
+        GlobalArray::from_vec(shape, data)
+    }
+
+    fn mask(shape: &[usize], data: Vec<bool>) -> GlobalArray<bool> {
+        GlobalArray::from_vec(shape, data)
+    }
+
+    #[test]
+    fn pack_selects_in_element_order() {
+        let a = arr(&[6], vec![10, 20, 30, 40, 50, 60]);
+        let m = mask(&[6], vec![true, false, true, true, false, true]);
+        assert_eq!(pack_seq(&a, &m, None), vec![10, 30, 40, 60]);
+    }
+
+    #[test]
+    fn pack_2d_uses_dim0_fastest_order() {
+        // shape (N1=2, N0=3): element order (0,0),(1,0),(2,0),(0,1),(1,1),(2,1)
+        // in (i0, i1) terms.
+        let a = arr(&[3, 2], vec![1, 2, 3, 4, 5, 6]);
+        let m = mask(&[3, 2], vec![false, true, false, true, false, true]);
+        assert_eq!(pack_seq(&a, &m, None), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn pack_with_vector_pads_tail() {
+        let a = arr(&[4], vec![1, 2, 3, 4]);
+        let m = mask(&[4], vec![true, false, false, true]);
+        assert_eq!(pack_seq(&a, &m, Some(&[0, 0, 98, 99])), vec![1, 4, 98, 99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "VECTOR argument")]
+    fn pack_vector_too_short_panics() {
+        let a = arr(&[3], vec![1, 2, 3]);
+        let m = mask(&[3], vec![true, true, true]);
+        pack_seq(&a, &m, Some(&[0, 0]));
+    }
+
+    #[test]
+    fn unpack_scatters_and_fields() {
+        let m = mask(&[5], vec![false, true, false, true, true]);
+        let f = arr(&[5], vec![-1, -2, -3, -4, -5]);
+        let got = unpack_seq(&[7, 8, 9, 1000], &m, &f);
+        assert_eq!(got.data(), &[-1, 7, -3, 8, 9]);
+    }
+
+    #[test]
+    fn unpack_inverts_pack_on_selected_positions() {
+        let a = arr(&[3, 3], (0..9).collect());
+        let m = mask(&[3, 3], vec![true, false, true, false, true, false, true, false, true]);
+        let v = pack_seq(&a, &m, None);
+        let f = arr(&[3, 3], vec![0; 9]);
+        let back = unpack_seq(&v, &m, &f);
+        for (i, (&b, &keep)) in back.data().iter().zip(m.data()).enumerate() {
+            if keep {
+                assert_eq!(b, a.data()[i]);
+            } else {
+                assert_eq!(b, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_enumerate_true_entries() {
+        let m = mask(&[5], vec![true, false, true, true, false]);
+        assert_eq!(ranks_seq(&m), vec![Some(0), None, Some(1), Some(2), None]);
+        assert_eq!(count_seq(&m), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "selects")]
+    fn unpack_undersized_vector_panics() {
+        let m = mask(&[2], vec![true, true]);
+        let f = arr(&[2], vec![0, 0]);
+        unpack_seq(&[1], &m, &f);
+    }
+}

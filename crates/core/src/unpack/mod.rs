@@ -1,0 +1,480 @@
+//! Parallel UNPACK — Section 4.2.
+//!
+//! UNPACK scatters a distributed vector `V` into a distributed array `A`
+//! under a mask `M`, with a field array `F` supplying unselected positions
+//! (a purely local copy). Ranking is identical to PACK, but the
+//! redistribution stage is a **READ**: the processor that needs `V[r]`
+//! knows `r`, while `V[r]`'s owner does not know who needs it. Hence the
+//! paper's two-stage communication — each consumer sends rank *requests*,
+//! each owner sends value *replies* — and the observation that UNPACK's
+//! communication time can be twice PACK's.
+
+mod compact_storage;
+mod simple;
+
+use hpf_distarray::{ArrayDesc, DimLayout};
+use hpf_machine::collectives::alltoallv;
+use hpf_machine::{Category, Proc, Wire};
+
+use crate::error::UnpackError;
+use crate::ranking::RankShape;
+use crate::schemes::{UnpackOptions, UnpackScheme};
+
+/// Parallel `UNPACK(V, M, F)`.
+///
+/// * `desc` describes `M`, `F`, and the result array `A` (conformable and
+///   aligned, as the paper assumes);
+/// * `v_local` is this processor's slice of `V` under `v_layout` (a 1-D
+///   block-cyclic layout over all processors, `N' ≥ Size`).
+///
+/// Returns this processor's local portion of `A`.
+pub fn unpack<T: Wire + Default>(
+    proc: &mut Proc,
+    desc: &ArrayDesc,
+    m_local: &[bool],
+    f_local: &[T],
+    v_local: &[T],
+    v_layout: &DimLayout,
+    opts: &UnpackOptions,
+) -> Result<Vec<T>, UnpackError> {
+    let shape = validate(proc, desc, m_local, f_local, v_local, v_layout)?;
+    let w0 = shape.w[0];
+
+    // Initial scan (scheme-specific storage), then the shared ranking.
+    enum Storage {
+        Sss(simple::SssStorage),
+        Css(compact_storage::CssStorage),
+    }
+    let (counts, storage) = match opts.scheme {
+        UnpackScheme::Simple => {
+            let (c, s) = simple::initial_scan(proc, m_local, w0);
+            (c, Storage::Sss(s))
+        }
+        UnpackScheme::CompactStorage => {
+            let (c, s) = compact_storage::initial_scan(proc, m_local, w0);
+            (c, Storage::Css(s))
+        }
+    };
+    let ranking = crate::ranking::rank_from_counts(proc, &shape, counts, opts.prs);
+    let size = ranking.size;
+    if size > v_layout.n() {
+        // `Size` is replicated, so every processor takes this branch — a
+        // collective error with no half-open communication.
+        return Err(UnpackError::VectorTooSmall { size, capacity: v_layout.n() });
+    }
+
+    // Field copy: local computation for every unselected element (the
+    // selected ones are overwritten below).
+    let mut a_local = proc.with_category(Category::LocalComp, |proc| {
+        proc.charge_ops(f_local.len());
+        f_local.to_vec()
+    });
+
+    if size > 0 {
+        // Request composition: per owner of V, the rank request and the
+        // local element slots awaiting the replies (in request order).
+        let (requests, targets) = match storage {
+            Storage::Sss(s) => simple::compose_requests(proc, s, &ranking, v_layout),
+            Storage::Css(s) => compact_storage::compose_requests(
+                proc,
+                s,
+                &ranking,
+                m_local,
+                w0,
+                crate::schemes::ScanMethod::UntilCollected,
+                v_layout,
+            ),
+        };
+        // Stage 1: send rank requests to the owners of V.
+        let incoming = proc.with_category(Category::ManyToMany, |proc| {
+            let world = proc.world();
+            alltoallv(proc, &world, requests, opts.schedule)
+        });
+
+        // Service: look up each requested rank in my slice of V.
+        let replies = proc.with_category(Category::LocalComp, |proc| {
+            let mut replies: Vec<Vec<T>> = Vec::with_capacity(incoming.len());
+            let mut ops = 0usize;
+            for req in &incoming {
+                let mut vals = Vec::with_capacity(req.expanded_len());
+                req.for_each_rank(|r| {
+                    debug_assert_eq!(v_layout.owner(r), proc.id(), "misrouted request");
+                    vals.push(v_local[v_layout.local_of(r)]);
+                });
+                ops += 2 * vals.len();
+                replies.push(vals);
+            }
+            proc.charge_ops(ops);
+            replies
+        });
+
+        // Stage 2: send the values back.
+        let values_back = proc.with_category(Category::ManyToMany, |proc| {
+            let world = proc.world();
+            alltoallv(proc, &world, replies, opts.schedule)
+        });
+
+        // Scatter the replies into A at the recorded element slots.
+        proc.with_category(Category::LocalComp, |proc| {
+            let mut ops = 0usize;
+            for (owner, slots) in targets.iter().enumerate() {
+                debug_assert_eq!(values_back[owner].len(), slots.len(), "reply length mismatch");
+                for (&slot, &v) in slots.iter().zip(&values_back[owner]) {
+                    a_local[slot as usize] = v;
+                }
+                ops += slots.len();
+            }
+            proc.charge_ops(ops);
+        });
+    }
+
+    Ok(a_local)
+}
+
+/// UNPACK with a preliminary cyclic→block redistribution — implemented to
+/// *demonstrate* Section 6.3's observation that this is "not a feasible
+/// option for UNPACK": because UNPACK is a READ whose result array must
+/// come back in the original distribution, it takes two redistributions on
+/// top of the mask/field moves (`M` and `F` forward, the result `A` back),
+/// and the added cost routinely outweighs the ranking savings. The
+/// `ablations` bench quantifies exactly that.
+pub fn unpack_redistributed<T: Wire + Default>(
+    proc: &mut Proc,
+    desc: &ArrayDesc,
+    m_local: &[bool],
+    f_local: &[T],
+    v_local: &[T],
+    v_layout: &DimLayout,
+    opts: &UnpackOptions,
+) -> Result<Vec<T>, UnpackError> {
+    use hpf_distarray::{redistribute, Dist, RedistMode};
+
+    // Validate against the original layout first (collective).
+    validate(proc, desc, m_local, f_local, v_local, v_layout)?;
+
+    let shape = desc.shape();
+    let dists = vec![Dist::Block; desc.ndims()];
+    let block_desc = ArrayDesc::new(&shape, desc.grid(), &dists)
+        .expect("block layout of a divisible descriptor");
+
+    // Forward moves: M and F to the block layout.
+    let m_tmp = redistribute(proc, desc, &block_desc, m_local, RedistMode::Detected, opts.schedule);
+    let f_tmp = redistribute(proc, desc, &block_desc, f_local, RedistMode::Detected, opts.schedule);
+
+    // UNPACK on the block layout (minimal ranking overhead).
+    let a_tmp = unpack(proc, &block_desc, &m_tmp, &f_tmp, v_local, v_layout, opts)?;
+
+    // Backward move: the result array must return in its original
+    // distribution (UNPACK is a READ; the caller keeps computing on `desc`).
+    Ok(redistribute(proc, &block_desc, desc, &a_tmp, RedistMode::Detected, opts.schedule))
+}
+
+/// A per-owner rank request: either explicit ranks (simple scheme) or
+/// `(base, count)` runs (compact storage scheme). Implemented as a payload
+/// so each format charges its own wire size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RankRequest {
+    /// One rank per selected element (`E` words).
+    Explicit(Vec<u32>),
+    /// Run-compressed consecutive ranks (`2·runs` words).
+    Runs(Vec<(u32, u32)>),
+}
+
+impl Default for RankRequest {
+    fn default() -> Self {
+        RankRequest::Explicit(Vec::new())
+    }
+}
+
+impl RankRequest {
+    /// Total number of ranks requested.
+    pub fn expanded_len(&self) -> usize {
+        match self {
+            RankRequest::Explicit(v) => v.len(),
+            RankRequest::Runs(runs) => runs.iter().map(|&(_, n)| n as usize).sum(),
+        }
+    }
+
+    /// Visit every requested rank in request order.
+    pub fn for_each_rank(&self, mut f: impl FnMut(usize)) {
+        match self {
+            RankRequest::Explicit(v) => {
+                for &r in v {
+                    f(r as usize);
+                }
+            }
+            RankRequest::Runs(runs) => {
+                for &(base, n) in runs {
+                    for r in base..base + n {
+                        f(r as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// True iff no ranks are requested.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            RankRequest::Explicit(v) => v.is_empty(),
+            RankRequest::Runs(r) => r.is_empty(),
+        }
+    }
+}
+
+impl hpf_machine::Payload for RankRequest {
+    fn wire_words(&self) -> usize {
+        match self {
+            RankRequest::Explicit(v) => v.len(),
+            RankRequest::Runs(runs) => 2 * runs.len(),
+        }
+    }
+}
+
+fn validate(
+    proc: &Proc,
+    desc: &ArrayDesc,
+    m_local: &[bool],
+    f_local: &[impl Sized],
+    v_local: &[impl Sized],
+    v_layout: &DimLayout,
+) -> Result<RankShape, UnpackError> {
+    for i in 0..desc.ndims() {
+        if !desc.dim(i).divisible() {
+            return Err(UnpackError::NotDivisible { dim: i });
+        }
+    }
+    let expected = desc.local_len(proc.id());
+    if m_local.len() != expected {
+        return Err(UnpackError::MaskLenMismatch { expected, got: m_local.len() });
+    }
+    if f_local.len() != expected {
+        return Err(UnpackError::FieldLenMismatch { expected, got: f_local.len() });
+    }
+    let v_expected = v_layout.local_len(proc.id());
+    if v_local.len() != v_expected {
+        return Err(UnpackError::VectorLenMismatch { expected: v_expected, got: v_local.len() });
+    }
+    Ok(RankShape::from_desc(desc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::MaskPattern;
+    use crate::seq::unpack_seq;
+    use hpf_distarray::{Dist, GlobalArray};
+    use hpf_machine::{CostModel, Machine, ProcGrid};
+
+    fn check_unpack(
+        shape: &[usize],
+        grid_dims: &[usize],
+        dists: &[Dist],
+        pattern: MaskPattern,
+        scheme: UnpackScheme,
+        w_prime: usize,
+        extra_capacity: usize,
+    ) {
+        let grid = ProcGrid::new(grid_dims);
+        let desc = ArrayDesc::new(shape, &grid, dists).unwrap();
+        let m = pattern.global(shape);
+        let f = GlobalArray::from_fn(shape, |idx| -(1 + idx[0] as i32));
+        let size = crate::seq::count_seq(&m);
+        let n_prime = (size + extra_capacity).max(1);
+        let v: Vec<i32> = (0..n_prime as i32).map(|i| 1000 + i).collect();
+        let want = unpack_seq(&v, &m, &f);
+
+        let v_layout = DimLayout::new_general(n_prime, grid.nprocs(), w_prime).unwrap();
+        let v_locals: Vec<Vec<i32>> = (0..grid.nprocs())
+            .map(|p| {
+                (0..v_layout.local_len(p)).map(|l| v[v_layout.global_of(p, l)]).collect()
+            })
+            .collect();
+        let m_parts = m.partition(&desc);
+        let f_parts = f.partition(&desc);
+
+        let machine = Machine::new(grid, CostModel::cm5());
+        let (desc_ref, m_ref, f_ref, v_ref, vl_ref) =
+            (&desc, &m_parts, &f_parts, &v_locals, &v_layout);
+        let opts = UnpackOptions::new(scheme);
+        let out = machine.run(move |proc| {
+            unpack(
+                proc,
+                desc_ref,
+                &m_ref[proc.id()],
+                &f_ref[proc.id()],
+                &v_ref[proc.id()],
+                vl_ref,
+                &opts,
+            )
+            .unwrap()
+        });
+        let got = GlobalArray::assemble(&desc, &out.results);
+        assert_eq!(
+            got, want,
+            "{scheme:?} {shape:?} {dists:?} {pattern:?} W'={w_prime}"
+        );
+    }
+
+    #[test]
+    fn both_schemes_match_oracle_1d() {
+        for scheme in UnpackScheme::ALL {
+            for dist in [Dist::Block, Dist::Cyclic, Dist::BlockCyclic(2)] {
+                for pattern in [
+                    MaskPattern::Random { density: 0.5, seed: 31 },
+                    MaskPattern::FirstHalf,
+                    MaskPattern::Full,
+                    MaskPattern::Empty,
+                ] {
+                    check_unpack(&[32], &[4], &[dist], pattern, scheme, 8, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_schemes_match_oracle_2d() {
+        for scheme in UnpackScheme::ALL {
+            for dists in [
+                [Dist::Block, Dist::Block],
+                [Dist::Cyclic, Dist::Cyclic],
+                [Dist::BlockCyclic(2), Dist::BlockCyclic(2)],
+            ] {
+                for pattern in [
+                    MaskPattern::Random { density: 0.4, seed: 17 },
+                    MaskPattern::LowerTriangular,
+                ] {
+                    check_unpack(&[16, 8], &[2, 2], &dists, pattern, scheme, 10, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_input_vector_is_fine() {
+        // N' > Size: trailing vector elements are simply unused.
+        for scheme in UnpackScheme::ALL {
+            check_unpack(
+                &[16],
+                &[4],
+                &[Dist::BlockCyclic(2)],
+                MaskPattern::Random { density: 0.5, seed: 23 },
+                scheme,
+                4,
+                7,
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_input_vector_distribution() {
+        for scheme in UnpackScheme::ALL {
+            check_unpack(
+                &[16],
+                &[4],
+                &[Dist::Block],
+                MaskPattern::Random { density: 0.6, seed: 29 },
+                scheme,
+                1, // W' = 1: V itself cyclic
+                3,
+            );
+        }
+    }
+
+    /// The infeasible-by-design redistributed UNPACK still computes the
+    /// right answer — the point is that it costs more, not that it breaks.
+    #[test]
+    fn unpack_redistributed_matches_plain_unpack() {
+        let shape = [24usize];
+        let grid = ProcGrid::line(4);
+        let desc = ArrayDesc::new(&shape, &grid, &[Dist::Cyclic]).unwrap();
+        let pattern = MaskPattern::Random { density: 0.5, seed: 19 };
+        let size = pattern.global(&shape).data().iter().filter(|&&b| b).count();
+        let v_layout = DimLayout::new_general(size.max(1), 4, size.div_ceil(4).max(1)).unwrap();
+        let machine = Machine::new(grid, CostModel::cm5());
+        let (d, vl) = (&desc, &v_layout);
+        let out = machine.run(move |proc| {
+            let m = pattern.local(d, proc.id());
+            let f = vec![-3i32; d.local_len(proc.id())];
+            let v: Vec<i32> =
+                (0..vl.local_len(proc.id())).map(|l| vl.global_of(proc.id(), l) as i32).collect();
+            let plain = unpack(proc, d, &m, &f, &v, vl, &UnpackOptions::default()).unwrap();
+            let redist =
+                unpack_redistributed(proc, d, &m, &f, &v, vl, &UnpackOptions::default()).unwrap();
+            (plain, redist)
+        });
+        let mut redist_charged = false;
+        for c in &out.clocks {
+            redist_charged |= c.cat_ms(Category::RedistComm) > 0.0;
+        }
+        assert!(redist_charged, "redistribution must have been charged");
+        for (p, (plain, redist)) in out.results.iter().enumerate() {
+            assert_eq!(plain, redist, "proc {p}");
+        }
+    }
+
+    #[test]
+    fn undersized_vector_is_a_collective_error() {
+        let grid = ProcGrid::line(4);
+        let desc = ArrayDesc::new(&[16], &grid, &[Dist::Block]).unwrap();
+        let v_layout = DimLayout::new_general(4, 4, 1).unwrap(); // capacity 4 < 8 selected
+        let machine = Machine::new(grid, CostModel::zero());
+        let (desc_ref, vl_ref) = (&desc, &v_layout);
+        let out = machine.run(move |proc| {
+            let m = MaskPattern::FirstHalf.local(desc_ref, proc.id());
+            let f = vec![0i32; 4];
+            let v = vec![0i32; vl_ref.local_len(proc.id())];
+            unpack(proc, desc_ref, &m, &f, &v, vl_ref, &UnpackOptions::default()).unwrap_err()
+        });
+        for e in out.results {
+            assert_eq!(e, UnpackError::VectorTooSmall { size: 8, capacity: 4 });
+        }
+    }
+
+    #[test]
+    fn request_wire_sizes_differ_by_scheme() {
+        let explicit = RankRequest::Explicit(vec![1, 2, 3, 4, 5, 6]);
+        let runs = RankRequest::Runs(vec![(1, 6)]);
+        assert_eq!(explicit.expanded_len(), runs.expanded_len());
+        assert_eq!(hpf_machine::Payload::wire_words(&explicit), 6);
+        assert_eq!(hpf_machine::Payload::wire_words(&runs), 2);
+        let mut a = Vec::new();
+        runs.for_each_rank(|r| a.push(r));
+        assert_eq!(a, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    /// The headline claim of Section 4.2: UNPACK's redistribution-stage
+    /// communication is roughly twice PACK's, because of request+reply.
+    #[test]
+    fn unpack_m2m_exceeds_pack_m2m() {
+        use crate::pack::pack;
+        use crate::schemes::{PackOptions, PackScheme};
+        let grid = ProcGrid::line(4);
+        let desc = ArrayDesc::new(&[256], &grid, &[Dist::BlockCyclic(4)]).unwrap();
+        let pattern = MaskPattern::Random { density: 0.5, seed: 41 };
+        let machine = Machine::new(grid.clone(), CostModel::cm5());
+        let desc_ref = &desc;
+        let pack_out = machine.run(move |proc| {
+            let a = hpf_distarray::local_from_fn(desc_ref, proc.id(), |g| g[0] as i32);
+            let m = pattern.local(desc_ref, proc.id());
+            pack(proc, desc_ref, &a, &m, &PackOptions::new(PackScheme::Simple)).unwrap().size
+        });
+        let size = pack_out.results[0];
+        let v_layout = DimLayout::new_general(size, 4, size.div_ceil(4)).unwrap();
+        let machine2 = Machine::new(grid, CostModel::cm5());
+        let vl_ref = &v_layout;
+        let unpack_out = machine2.run(move |proc| {
+            let m = pattern.local(desc_ref, proc.id());
+            let f = vec![0i32; desc_ref.local_len(proc.id())];
+            let v = vec![7i32; vl_ref.local_len(proc.id())];
+            unpack(proc, desc_ref, &m, &f, &v, vl_ref, &UnpackOptions::new(UnpackScheme::Simple))
+                .unwrap();
+        });
+        let pack_m2m = pack_out.max_cat_ms(Category::ManyToMany);
+        let unpack_m2m = unpack_out.max_cat_ms(Category::ManyToMany);
+        assert!(
+            unpack_m2m > pack_m2m,
+            "unpack {unpack_m2m} ms should exceed pack {pack_m2m} ms"
+        );
+    }
+}

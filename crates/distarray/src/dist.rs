@@ -1,0 +1,59 @@
+//! Distribution kinds for one array dimension.
+
+use std::fmt;
+
+/// HPF-style distribution of one array dimension over one grid dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dist {
+    /// `BLOCK`: one contiguous block of `⌈N/P⌉` elements per processor.
+    Block,
+    /// `CYCLIC`: elements dealt round-robin, block size 1.
+    Cyclic,
+    /// `CYCLIC(W)`: block-cyclic with block size `W`. `BlockCyclic(1)` is
+    /// `CYCLIC`; `BlockCyclic(⌈N/P⌉)` is `BLOCK`.
+    BlockCyclic(usize),
+}
+
+impl Dist {
+    /// The block size `W` this distribution induces for extent `n` over `p`
+    /// processors.
+    pub fn block_size(self, n: usize, p: usize) -> usize {
+        match self {
+            Dist::Block => n.div_ceil(p).max(1),
+            Dist::Cyclic => 1,
+            Dist::BlockCyclic(w) => w,
+        }
+    }
+}
+
+impl fmt::Display for Dist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dist::Block => write!(f, "block"),
+            Dist::Cyclic => write!(f, "cyclic"),
+            Dist::BlockCyclic(w) => write!(f, "cyclic({w})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_size_of_each_kind() {
+        assert_eq!(Dist::Block.block_size(16, 4), 4);
+        assert_eq!(Dist::Block.block_size(17, 4), 5);
+        assert_eq!(Dist::Cyclic.block_size(16, 4), 1);
+        assert_eq!(Dist::BlockCyclic(2).block_size(16, 4), 2);
+        // Degenerate: empty extent still gets a positive block size.
+        assert_eq!(Dist::Block.block_size(0, 4), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Dist::Block.to_string(), "block");
+        assert_eq!(Dist::Cyclic.to_string(), "cyclic");
+        assert_eq!(Dist::BlockCyclic(8).to_string(), "cyclic(8)");
+    }
+}

@@ -1,0 +1,63 @@
+//! # hpf-intrinsics — the rest of the F90/HPF transformational family
+//!
+//! The paper places PACK/UNPACK among "the transformational intrinsic
+//! functions in FORTRAN 90, CM FORTRAN that were also incorporated into
+//! HPF" (Section 1). A runtime library shipping parallel PACK/UNPACK ships
+//! their siblings too; this crate provides them on the same simulated
+//! coarse-grained machine and block-cyclic array substrate:
+//!
+//! * [`reduce`] — `SUM`/`MAXVAL`/`MINVAL`/`COUNT`, whole-array and with a
+//!   `DIM` argument (per-line reductions along one dimension);
+//! * [`locate`] — `MAXLOC`/`MINLOC`/`ALL`/`ANY`/`DOT_PRODUCT`;
+//! * [`reshape`] — `TRANSPOSE` and `RESHAPE` (pure data movement);
+//! * [`scan`] — `SUM_PREFIX`/`SUM_SUFFIX` with `DIM` (HPF library
+//!   functions), the same tile/block machinery as the ranking algorithm
+//!   applied element-wise along one dimension;
+//! * [`shift`] — `CSHIFT`/`EOSHIFT` along a dimension;
+//! * [`spread`] — `SPREAD` (replication along a new dimension);
+//! * [`merge`] — `MERGE` (purely local on aligned arrays).
+//!
+//! These are extensions relative to the paper itself (see DESIGN.md) but
+//! exercise exactly the substrate the paper builds on: axis-group
+//! collectives, block-cyclic index arithmetic, and many-to-many exchange.
+//!
+//! ## Example
+//!
+//! ```
+//! use hpf_machine::{Machine, CostModel, ProcGrid};
+//! use hpf_machine::collectives::PrsAlgorithm;
+//! use hpf_distarray::{ArrayDesc, Dist, local_from_fn};
+//! use hpf_intrinsics::{sum_all, sum_prefix_dim, ScanKind};
+//!
+//! let grid = ProcGrid::line(4);
+//! let desc = ArrayDesc::new(&[16], &grid, &[Dist::BlockCyclic(2)]).unwrap();
+//! let machine = Machine::new(grid, CostModel::cm5());
+//! let out = machine.run(|proc| {
+//!     let a = local_from_fn(&desc, proc.id(), |g| g[0] as i64 + 1);
+//!     let total = sum_all(proc, &desc, &a);
+//!     let prefix = sum_prefix_dim(proc, &desc, &a, 0, ScanKind::Exclusive,
+//!                                 PrsAlgorithm::Auto);
+//!     (total, prefix[0])
+//! });
+//! // Sum of 1..=16 replicated everywhere; proc 0's first element (global
+//! // index 0) has exclusive prefix 0.
+//! assert_eq!(out.results[0], (136, 0));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod locate;
+pub mod merge;
+pub mod reduce;
+pub mod reshape;
+pub mod scan;
+pub mod shift;
+pub mod spread;
+
+pub use locate::{all_all, any_all, dot_product_all, maxloc_all, minloc_all};
+pub use merge::merge;
+pub use reduce::{count_all, count_dim, maxval_all, minval_all, reduce_dim, sum_all, sum_dim};
+pub use reshape::{reshape, transpose};
+pub use scan::{sum_prefix_dim, sum_prefix_dim_segmented, sum_suffix_dim, ScanKind};
+pub use shift::{cshift_dim, eoshift_dim};
+pub use spread::spread_dim;

@@ -1,0 +1,200 @@
+//! `MAXLOC` / `MINLOC` / `ALL` / `ANY` / `DOT_PRODUCT` — the remaining
+//! whole-array reduction intrinsics.
+//!
+//! Location reductions fold `(value, global linear index)` pairs, breaking
+//! ties toward the smaller index exactly as Fortran does (the *first*
+//! extremal element in array element order wins).
+
+use hpf_distarray::ArrayDesc;
+use hpf_machine::collectives::{allreduce_with, Num, PrsAlgorithm};
+use hpf_machine::{Category, Proc, Wire};
+
+/// `MAXLOC`: the global multi-index of the first maximal element.
+pub fn maxloc_all<T: Wire + PartialOrd>(
+    proc: &mut Proc,
+    desc: &ArrayDesc,
+    local: &[T],
+) -> Vec<usize> {
+    loc_all(proc, desc, local, |a, b| a > b)
+}
+
+/// `MINLOC`: the global multi-index of the first minimal element.
+pub fn minloc_all<T: Wire + PartialOrd>(
+    proc: &mut Proc,
+    desc: &ArrayDesc,
+    local: &[T],
+) -> Vec<usize> {
+    loc_all(proc, desc, local, |a, b| a < b)
+}
+
+/// `better(a, b)` = strictly prefer value `a` over value `b`.
+fn loc_all<T: Wire + PartialOrd>(
+    proc: &mut Proc,
+    desc: &ArrayDesc,
+    local: &[T],
+    better: impl Fn(T, T) -> bool + Copy,
+) -> Vec<usize> {
+    let me = proc.id();
+    debug_assert_eq!(local.len(), desc.local_len(me));
+    assert!(!local.is_empty(), "location reduction of an empty local array");
+
+    // Local candidate: (value, global linear index), first extremal wins.
+    let candidate = proc.with_category(Category::LocalComp, |proc| {
+        let mut best = (local[0], desc.global_linear(&desc.global_of_local(me, 0)) as u64);
+        for (l, &v) in local.iter().enumerate().skip(1) {
+            let g = desc.global_linear(&desc.global_of_local(me, l)) as u64;
+            if better(v, best.0) || (v == best.0 && g < best.1) {
+                best = (v, g);
+            }
+        }
+        proc.charge_ops(local.len());
+        best
+    });
+
+    let world = proc.world();
+    let combine = move |a: (T, u64), b: (T, u64)| {
+        if better(a.0, b.0) || (a.0 == b.0 && a.1 < b.1) {
+            a
+        } else {
+            b
+        }
+    };
+    let (_, glin) = proc
+        .with_category(Category::Other, |proc| allreduce_with(proc, &world, &[candidate], combine))
+        [0];
+    hpf_distarray::global_index_of_linear(desc, glin as usize)
+}
+
+/// `ALL(mask)`: true iff every element is true, replicated.
+pub fn all_all(proc: &mut Proc, desc: &ArrayDesc, mask: &[bool]) -> bool {
+    logical_all(proc, desc, mask, |a, b| a && b, true)
+}
+
+/// `ANY(mask)`: true iff any element is true, replicated.
+pub fn any_all(proc: &mut Proc, desc: &ArrayDesc, mask: &[bool]) -> bool {
+    logical_all(proc, desc, mask, |a, b| a || b, false)
+}
+
+fn logical_all(
+    proc: &mut Proc,
+    desc: &ArrayDesc,
+    mask: &[bool],
+    op: impl Fn(bool, bool) -> bool + Copy,
+    unit: bool,
+) -> bool {
+    debug_assert_eq!(mask.len(), desc.local_len(proc.id()));
+    let partial = proc.with_category(Category::LocalComp, |proc| {
+        proc.charge_ops(mask.len());
+        mask.iter().fold(unit, |acc, &b| op(acc, b))
+    });
+    let world = proc.world();
+    proc.with_category(Category::Other, |proc| allreduce_with(proc, &world, &[partial], op))[0]
+}
+
+/// `DOT_PRODUCT(a, b)` over aligned distributed vectors (any rank, really:
+/// element-wise multiply then global sum), replicated.
+pub fn dot_product_all<T: Num + std::ops::Mul<Output = T>>(
+    proc: &mut Proc,
+    desc: &ArrayDesc,
+    a: &[T],
+    b: &[T],
+) -> T {
+    assert_eq!(a.len(), b.len(), "DOT_PRODUCT operands must be conformable");
+    debug_assert_eq!(a.len(), desc.local_len(proc.id()));
+    let partial = proc.with_category(Category::LocalComp, |proc| {
+        proc.charge_ops(a.len());
+        a.iter().zip(b).fold(T::default(), |acc, (&x, &y)| acc + x * y)
+    });
+    let world = proc.world();
+    proc.with_category(Category::Other, |proc| {
+        hpf_machine::collectives::allreduce_sum(proc, &world, &[partial], PrsAlgorithm::Direct)
+    })[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_distarray::{local_from_fn, Dist, GlobalArray};
+    use hpf_machine::{CostModel, Machine, ProcGrid};
+
+    fn desc_2d() -> (ProcGrid, ArrayDesc) {
+        let grid = ProcGrid::new(&[2, 2]);
+        let desc =
+            ArrayDesc::new(&[8, 6], &grid, &[Dist::BlockCyclic(2), Dist::Cyclic]).unwrap();
+        (grid, desc)
+    }
+
+    #[test]
+    fn maxloc_minloc_match_oracle_with_first_tie_break() {
+        let (grid, desc) = desc_2d();
+        // Values with deliberate ties: v = (g0 + g1) % 5.
+        let a = GlobalArray::from_fn(&[8, 6], |g| ((g[0] + g[1]) % 5) as i32);
+        // Oracle: first max / min in element order.
+        let data = a.data();
+        let want_max = data.iter().enumerate().fold((data[0], 0usize), |best, (i, &v)| {
+            if v > best.0 {
+                (v, i)
+            } else {
+                best
+            }
+        });
+        let want_min = data.iter().enumerate().fold((data[0], 0usize), |best, (i, &v)| {
+            if v < best.0 {
+                (v, i)
+            } else {
+                best
+            }
+        });
+        let parts = a.partition(&desc);
+        let machine = Machine::new(grid, CostModel::cm5());
+        let (d, pp) = (&desc, &parts);
+        let out = machine.run(move |proc| {
+            let local = &pp[proc.id()];
+            (maxloc_all(proc, d, local), minloc_all(proc, d, local))
+        });
+        for (mx, mn) in out.results {
+            assert_eq!(desc.global_linear(&mx), want_max.1);
+            assert_eq!(desc.global_linear(&mn), want_min.1);
+            assert_eq!(a.get(&mx), want_max.0);
+            assert_eq!(a.get(&mn), want_min.0);
+        }
+    }
+
+    #[test]
+    fn all_any_logical_reductions() {
+        let (grid, desc) = desc_2d();
+        let machine = Machine::new(grid, CostModel::cm5());
+        let d = &desc;
+        let out = machine.run(move |proc| {
+            let all_true = local_from_fn(d, proc.id(), |_| true);
+            let one_false = local_from_fn(d, proc.id(), |g| !(g[0] == 3 && g[1] == 4));
+            let all_false = local_from_fn(d, proc.id(), |_| false);
+            (
+                all_all(proc, d, &all_true),
+                all_all(proc, d, &one_false),
+                any_all(proc, d, &one_false),
+                any_all(proc, d, &all_false),
+            )
+        });
+        for r in out.results {
+            assert_eq!(r, (true, false, true, false));
+        }
+    }
+
+    #[test]
+    fn dot_product_matches_serial() {
+        let grid = ProcGrid::line(4);
+        let desc = ArrayDesc::new(&[32], &grid, &[Dist::BlockCyclic(2)]).unwrap();
+        let want: i64 = (0..32).map(|g| (g as i64 + 1) * (2 * g as i64 - 5)).sum();
+        let machine = Machine::new(grid, CostModel::cm5());
+        let d = &desc;
+        let out = machine.run(move |proc| {
+            let a = local_from_fn(d, proc.id(), |g| g[0] as i64 + 1);
+            let b = local_from_fn(d, proc.id(), |g| 2 * g[0] as i64 - 5);
+            dot_product_all(proc, d, &a, &b)
+        });
+        for r in out.results {
+            assert_eq!(r, want);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! `MERGE(TSOURCE, FSOURCE, MASK)` — element-wise selection.
+//!
+//! With all three arguments conformable and aligned (the standing
+//! assumption of the paper's runtime), MERGE is purely local computation:
+//! no communication, `L` operations.
+
+use hpf_machine::{Category, Proc};
+
+/// Element-wise `if mask { t } else { f }` over aligned local arrays.
+///
+/// # Panics
+/// Panics if the three local arrays differ in length (non-conformable).
+pub fn merge<T: Copy>(proc: &mut Proc, tsource: &[T], fsource: &[T], mask: &[bool]) -> Vec<T> {
+    assert_eq!(tsource.len(), fsource.len(), "TSOURCE and FSOURCE must be conformable");
+    assert_eq!(tsource.len(), mask.len(), "MASK must be conformable with the sources");
+    proc.with_category(Category::LocalComp, |proc| {
+        proc.charge_ops(mask.len());
+        tsource
+            .iter()
+            .zip(fsource)
+            .zip(mask)
+            .map(|((&t, &f), &m)| if m { t } else { f })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_machine::{CostModel, Machine, ProcGrid};
+
+    #[test]
+    fn merge_selects_elementwise_without_communication() {
+        let machine = Machine::new(ProcGrid::line(2), CostModel::cm5());
+        let out = machine.run(|proc| {
+            let t = vec![1i32, 2, 3];
+            let f = vec![-1i32, -2, -3];
+            let m = vec![true, false, true];
+            merge(proc, &t, &f, &m)
+        });
+        for r in &out.results {
+            assert_eq!(r, &vec![1, -2, 3]);
+        }
+        assert_eq!(out.total_words_sent(), 0);
+        assert!(out.max_cat_ms(hpf_machine::Category::LocalComp) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "conformable")]
+    fn non_conformable_rejected() {
+        let machine = Machine::new(ProcGrid::line(1), CostModel::zero());
+        machine.run(|proc| {
+            merge(proc, &[1i32, 2], &[3i32], &[true]);
+        });
+    }
+}

@@ -1,0 +1,259 @@
+//! `SUM` / `MAXVAL` / `MINVAL` / `COUNT` — whole-array and per-dimension
+//! reductions over block-cyclic distributed arrays.
+//!
+//! Whole-array forms return a replicated scalar. `DIM` forms reduce every
+//! line along one dimension: the result conceptually has rank `d-1`; here
+//! each processor returns its local portion (the local shape with the
+//! reduced dimension removed), **replicated across the grid dimension that
+//! was reduced** — the natural form for a caller that keeps computing on
+//! the same grid.
+
+use hpf_distarray::ArrayDesc;
+use hpf_machine::collectives::{allreduce_sum, allreduce_with, Num, PrsAlgorithm};
+use hpf_machine::{Category, Proc, Wire};
+
+/// Iterate a local array (shape innermost-first) as lines along `dim`:
+/// calls `f(line_base_linear, stride)` once per line; element `j` of the
+/// line is at `line_base_linear + j * stride`.
+pub(crate) fn for_each_line(lshape: &[usize], dim: usize, mut f: impl FnMut(usize, usize)) {
+    let stride: usize = lshape[..dim].iter().product();
+    let inner = stride;
+    let outer: usize = lshape[dim + 1..].iter().product();
+    let jump = stride * lshape[dim];
+    for b in 0..outer {
+        for a in 0..inner {
+            f(a + b * jump, stride);
+        }
+    }
+}
+
+/// Index of a line in the reduced (rank `d-1`) local array, matching the
+/// `for_each_line` enumeration order.
+pub(crate) fn reduced_len(lshape: &[usize], dim: usize) -> usize {
+    lshape.iter().enumerate().filter(|&(i, _)| i != dim).map(|(_, &n)| n).product()
+}
+
+/// Whole-array `SUM`: the sum of all elements, replicated on every
+/// processor.
+pub fn sum_all<T: Num>(proc: &mut Proc, desc: &ArrayDesc, local: &[T]) -> T {
+    debug_assert_eq!(local.len(), desc.local_len(proc.id()));
+    let partial = proc.with_category(Category::LocalComp, |proc| {
+        proc.charge_ops(local.len());
+        local.iter().fold(T::default(), |acc, &x| acc + x)
+    });
+    let world = proc.world();
+    proc.with_category(Category::Other, |proc| {
+        allreduce_sum(proc, &world, &[partial], PrsAlgorithm::Direct)[0]
+    })
+}
+
+/// Whole-array `COUNT`: the number of true mask elements, replicated.
+pub fn count_all(proc: &mut Proc, desc: &ArrayDesc, mask: &[bool]) -> usize {
+    debug_assert_eq!(mask.len(), desc.local_len(proc.id()));
+    let partial = proc.with_category(Category::LocalComp, |proc| {
+        proc.charge_ops(mask.len());
+        mask.iter().filter(|&&b| b).count() as i64
+    });
+    let world = proc.world();
+    proc.with_category(Category::Other, |proc| {
+        allreduce_sum(proc, &world, &[partial], PrsAlgorithm::Direct)[0] as usize
+    })
+}
+
+/// Whole-array `MAXVAL`, replicated. `local` must be non-empty on every
+/// processor (true for any divisible layout).
+pub fn maxval_all<T: Wire + PartialOrd>(proc: &mut Proc, desc: &ArrayDesc, local: &[T]) -> T {
+    fold_all(proc, desc, local, |a, b| if a > b { a } else { b })
+}
+
+/// Whole-array `MINVAL`, replicated.
+pub fn minval_all<T: Wire + PartialOrd>(proc: &mut Proc, desc: &ArrayDesc, local: &[T]) -> T {
+    fold_all(proc, desc, local, |a, b| if a < b { a } else { b })
+}
+
+fn fold_all<T: Wire>(
+    proc: &mut Proc,
+    desc: &ArrayDesc,
+    local: &[T],
+    op: impl Fn(T, T) -> T + Copy,
+) -> T {
+    debug_assert_eq!(local.len(), desc.local_len(proc.id()));
+    assert!(!local.is_empty(), "whole-array fold of an empty local array");
+    let partial = proc.with_category(Category::LocalComp, |proc| {
+        proc.charge_ops(local.len());
+        local.iter().copied().reduce(op).expect("non-empty")
+    });
+    let world = proc.world();
+    proc.with_category(Category::Other, |proc| allreduce_with(proc, &world, &[partial], op)[0])
+}
+
+/// `DIM`-form reduction under an arbitrary associative `op`: reduce every
+/// line along dimension `dim`. Returns the local reduced array (the local
+/// shape with `dim` removed, `for_each_line` order), replicated across grid
+/// dimension `dim`.
+pub fn reduce_dim<T: Wire>(
+    proc: &mut Proc,
+    desc: &ArrayDesc,
+    local: &[T],
+    dim: usize,
+    op: impl Fn(T, T) -> T + Copy,
+) -> Vec<T> {
+    assert!(dim < desc.ndims(), "DIM out of range");
+    debug_assert_eq!(local.len(), desc.local_len(proc.id()));
+    let lshape = desc.local_shape(proc.id());
+    assert!(lshape[dim] > 0, "cannot reduce an empty dimension");
+
+    // Local partial per line.
+    let partials = proc.with_category(Category::LocalComp, |proc| {
+        let mut out = Vec::with_capacity(reduced_len(&lshape, dim));
+        for_each_line(&lshape, dim, |base, stride| {
+            let mut acc = local[base];
+            for j in 1..lshape[dim] {
+                acc = op(acc, local[base + j * stride]);
+            }
+            out.push(acc);
+        });
+        proc.charge_ops(local.len());
+        out
+    });
+
+    // Combine across the processors that share the other coordinates.
+    //
+    // Rank order within the axis group equals the grid coordinate along
+    // `dim`, and for block-cyclic layouts the fold order across coordinates
+    // is not the global element order — fine for the commutative reductions
+    // this entry point serves (sum/max/min/count).
+    let group = proc.axis_group(dim);
+    proc.with_category(Category::Other, |proc| allreduce_with(proc, &group, &partials, op))
+}
+
+/// `SUM(array, DIM)`: per-line sums, replicated across grid dimension
+/// `dim`.
+pub fn sum_dim<T: Num>(proc: &mut Proc, desc: &ArrayDesc, local: &[T], dim: usize) -> Vec<T> {
+    reduce_dim(proc, desc, local, dim, |a, b| a + b)
+}
+
+/// `COUNT(mask, DIM)`: per-line true counts, replicated across grid
+/// dimension `dim`.
+pub fn count_dim(proc: &mut Proc, desc: &ArrayDesc, mask: &[bool], dim: usize) -> Vec<i32> {
+    let ints: Vec<i32> = mask.iter().map(|&b| i32::from(b)).collect();
+    proc.charge_ops(ints.len());
+    reduce_dim(proc, desc, &ints, dim, |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_distarray::{Dist, GlobalArray};
+    use hpf_machine::{CostModel, Machine, ProcGrid};
+
+    fn desc_2d() -> (ProcGrid, ArrayDesc) {
+        let grid = ProcGrid::new(&[2, 2]);
+        let desc = ArrayDesc::new(
+            &[8, 12],
+            &grid,
+            &[Dist::BlockCyclic(2), Dist::BlockCyclic(3)],
+        )
+        .unwrap();
+        (grid, desc)
+    }
+
+    #[test]
+    fn sum_and_count_all_match_oracle() {
+        let (grid, desc) = desc_2d();
+        let a = GlobalArray::from_fn(&[8, 12], |g| (g[0] * 5 + g[1]) as i64);
+        let want_sum: i64 = a.data().iter().sum();
+        let parts = a.partition(&desc);
+        let machine = Machine::new(grid, CostModel::cm5());
+        let (d, pp) = (&desc, &parts);
+        let out = machine.run(move |proc| {
+            let local = &pp[proc.id()];
+            let mask: Vec<bool> = local.iter().map(|&x| x % 3 == 0).collect();
+            (sum_all(proc, d, local), count_all(proc, d, &mask))
+        });
+        let want_count = a.data().iter().filter(|&&x| x % 3 == 0).count();
+        for (s, c) in out.results {
+            assert_eq!(s, want_sum);
+            assert_eq!(c, want_count);
+        }
+    }
+
+    #[test]
+    fn maxval_minval_match_oracle() {
+        let (grid, desc) = desc_2d();
+        let a = GlobalArray::from_fn(&[8, 12], |g| (g[0] as i32 * 7 + g[1] as i32 * 13) % 31 - 15);
+        let want_max = *a.data().iter().max().unwrap();
+        let want_min = *a.data().iter().min().unwrap();
+        let parts = a.partition(&desc);
+        let machine = Machine::new(grid, CostModel::cm5());
+        let (d, pp) = (&desc, &parts);
+        let out = machine.run(move |proc| {
+            let local = &pp[proc.id()];
+            (maxval_all(proc, d, local), minval_all(proc, d, local))
+        });
+        for (mx, mn) in out.results {
+            assert_eq!(mx, want_max);
+            assert_eq!(mn, want_min);
+        }
+    }
+
+    #[test]
+    fn sum_dim_matches_oracle_both_dims() {
+        let shape = [8usize, 12];
+        let (grid, desc) = desc_2d();
+        let a = GlobalArray::from_fn(&shape, |g| (g[0] * 100 + g[1]) as i64);
+        let parts = a.partition(&desc);
+        let machine = Machine::new(grid, CostModel::cm5());
+        for dim in 0..2 {
+            let (d, pp) = (&desc, &parts);
+            let out = machine.run(move |proc| sum_dim(proc, d, &pp[proc.id()], dim));
+            // Verify every processor's replicated local result against the
+            // oracle line sums.
+            for p in 0..4 {
+                let lshape = desc.local_shape(p);
+                let got = &out.results[p];
+                assert_eq!(got.len(), reduced_len(&lshape, dim));
+                let mut idx = 0usize;
+                for_each_line(&lshape, dim, |base, _| {
+                    // The line's fixed coordinates, taken from any element
+                    // of the line (j = 0).
+                    let gfix = desc.global_of_local(p, base);
+                    let mut want = 0i64;
+                    for j in 0..shape[dim] {
+                        let mut g = gfix.clone();
+                        g[dim] = j;
+                        want += a.get(&g);
+                    }
+                    assert_eq!(got[idx], want, "proc {p} dim {dim} line {idx}");
+                    idx += 1;
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn count_dim_counts_per_line() {
+        let grid = ProcGrid::new(&[2, 1]);
+        let desc = ArrayDesc::new(&[4, 3], &grid, &[Dist::BlockCyclic(2), Dist::Block]).unwrap();
+        let m = GlobalArray::from_fn(&[4, 3], |g| g[0] <= g[1]);
+        let parts = m.partition(&desc);
+        let machine = Machine::new(grid, CostModel::zero());
+        let (d, pp) = (&desc, &parts);
+        let out = machine.run(move |proc| count_dim(proc, d, &pp[proc.id()], 0));
+        // Line i1 counts g0 <= i1: i1=0 -> 1, i1=1 -> 2, i1=2 -> 3.
+        for r in &out.results {
+            assert_eq!(r, &vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn for_each_line_enumerates_reduced_index_space() {
+        let mut lines = Vec::new();
+        for_each_line(&[3, 4, 2], 1, |base, stride| lines.push((base, stride)));
+        assert_eq!(lines.len(), 6); // 3 * 2
+        assert!(lines.iter().all(|&(_, s)| s == 3));
+        assert_eq!(lines[0], (0, 3));
+        assert_eq!(lines[1], (1, 3));
+        assert_eq!(lines[3], (12, 3)); // next outer block starts at 3*4
+    }
+}

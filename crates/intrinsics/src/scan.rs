@@ -1,0 +1,466 @@
+//! `SUM_PREFIX` / `SUM_SUFFIX` with `DIM` — the HPF library's segmented
+//! scan functions, on block-cyclic distributed arrays.
+//!
+//! This is the ranking algorithm's machinery applied element-wise along one
+//! dimension: per-block local scans, one fused prefix-reduction-sum across
+//! the processors of that dimension (per block-sum), and a local carry
+//! across tiles. The value at local position `(t·W + off)` of a line is
+//!
+//! ```text
+//! carry(t)  +  proc-prefix(t)  +  in-block prefix(off)   [+ own value]
+//! ```
+//!
+//! exactly mirroring how a selected element's rank is assembled from
+//! `PS_f` plus its in-slice rank in the paper's Section 5.
+
+use hpf_distarray::ArrayDesc;
+use hpf_machine::collectives::{prefix_reduction_sum, Num, PrsAlgorithm};
+use hpf_machine::{Category, Proc};
+
+use crate::reduce::{for_each_line, reduced_len};
+
+/// Inclusive (`x_j` contributes to position `j`) or exclusive scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScanKind {
+    /// Each position includes its own value.
+    Inclusive,
+    /// Each position sums strictly earlier values (position 0 gets zero).
+    Exclusive,
+}
+
+/// Global `SUM_PREFIX(array, DIM)` along dimension `dim`: every element is
+/// replaced by the sum of the line elements at globally earlier positions
+/// (plus itself for [`ScanKind::Inclusive`]).
+///
+/// Requires the paper's divisible layout. Returns the local result array.
+pub fn sum_prefix_dim<T: Num>(
+    proc: &mut Proc,
+    desc: &ArrayDesc,
+    local: &[T],
+    dim: usize,
+    kind: ScanKind,
+    prs: PrsAlgorithm,
+) -> Vec<T> {
+    assert!(dim < desc.ndims(), "DIM out of range");
+    assert!(desc.divisible(), "SUM_PREFIX requires the divisible block-cyclic layout");
+    debug_assert_eq!(local.len(), desc.local_len(proc.id()));
+
+    let lshape = desc.local_shape(proc.id());
+    let w = desc.dim(dim).w();
+    let tiles = desc.dim(dim).t();
+    let nlines = reduced_len(&lshape, dim);
+
+    // Per-(line, tile) block sums, laid out [tile fastest, then line].
+    let block_sums = proc.with_category(Category::LocalComp, |proc| {
+        let mut sums = vec![T::default(); nlines * tiles];
+        let mut line = 0usize;
+        for_each_line(&lshape, dim, |base, stride| {
+            for t in 0..tiles {
+                let mut acc = T::default();
+                for off in 0..w {
+                    acc += local[base + (t * w + off) * stride];
+                }
+                sums[line * tiles + t] = acc;
+            }
+            line += 1;
+        });
+        proc.charge_ops(local.len());
+        sums
+    });
+
+    // Fused prefix-reduction-sum across the processors of `dim`:
+    // pp = sums on lower coordinates of the same tile, tt = tile totals.
+    let group = proc.axis_group(dim);
+    let (pp, tt) = proc.with_category(Category::PrefixReductionSum, |proc| {
+        prefix_reduction_sum(proc, &group, &block_sums, prs)
+    });
+
+    // Assemble: carry across tiles + processor prefix + in-block prefix.
+    proc.with_category(Category::LocalComp, |proc| {
+        let mut out = vec![T::default(); local.len()];
+        let mut line = 0usize;
+        for_each_line(&lshape, dim, |base, stride| {
+            let mut carry = T::default();
+            for t in 0..tiles {
+                let block_base = carry + pp[line * tiles + t];
+                let mut acc = T::default();
+                for off in 0..w {
+                    let idx = base + (t * w + off) * stride;
+                    out[idx] = match kind {
+                        ScanKind::Exclusive => block_base + acc,
+                        ScanKind::Inclusive => block_base + acc + local[idx],
+                    };
+                    acc += local[idx];
+                }
+                carry += tt[line * tiles + t];
+            }
+            line += 1;
+        });
+        proc.charge_ops(2 * local.len());
+        out
+    })
+}
+
+/// Global `SUM_SUFFIX(array, DIM)`: the mirror scan, derived from the
+/// prefix and the line totals (`suffix_inclusive = total - prefix_exclusive`).
+pub fn sum_suffix_dim<T: Num>(
+    proc: &mut Proc,
+    desc: &ArrayDesc,
+    local: &[T],
+    dim: usize,
+    kind: ScanKind,
+    prs: PrsAlgorithm,
+) -> Vec<T> {
+    // Compute the *exclusive* prefix plus per-line totals, then flip.
+    let prefix_excl = sum_prefix_dim(proc, desc, local, dim, ScanKind::Exclusive, prs);
+    let lshape = desc.local_shape(proc.id());
+    let w = desc.dim(dim).w();
+    let tiles = desc.dim(dim).t();
+
+    // Line totals, replicated: reuse the reduction path (cheap relative to
+    // the scan and keeps this function simple).
+    let totals = crate::reduce::sum_dim(proc, desc, local, dim);
+
+    proc.with_category(Category::LocalComp, |proc| {
+        let mut out = vec![T::default(); local.len()];
+        let mut line = 0usize;
+        for_each_line(&lshape, dim, |base, stride| {
+            let total = totals[line];
+            for j in 0..tiles * w {
+                let idx = base + j * stride;
+                out[idx] = match kind {
+                    ScanKind::Inclusive => total - prefix_excl[idx],
+                    ScanKind::Exclusive => total - prefix_excl[idx] - local[idx],
+                };
+            }
+            line += 1;
+        });
+        proc.charge_ops(local.len());
+        out
+    })
+}
+
+/// Global *segmented* `SUM_PREFIX` along `dim`: `starts` marks the elements
+/// that begin a new segment (aligned with the array; the first element of
+/// every line is treated as a start regardless). The scan restarts at every
+/// segment start — segments may span block and processor boundaries.
+///
+/// Implemented with the classic segmented-sum monoid
+/// `(seen-start, sum-since-last-start)` folded per block, across processors
+/// ([`prefix_scan_with`]), and across tiles.
+pub fn sum_prefix_dim_segmented<T: Num>(
+    proc: &mut Proc,
+    desc: &ArrayDesc,
+    local: &[T],
+    starts: &[bool],
+    dim: usize,
+    kind: ScanKind,
+) -> Vec<T> {
+    use hpf_machine::collectives::prefix_scan_with;
+
+    assert!(dim < desc.ndims(), "DIM out of range");
+    assert!(desc.divisible(), "segmented SUM_PREFIX requires the divisible layout");
+    assert_eq!(local.len(), starts.len(), "SEGMENT mask must be conformable");
+    debug_assert_eq!(local.len(), desc.local_len(proc.id()));
+
+    let lshape = desc.local_shape(proc.id());
+    let w = desc.dim(dim).w();
+    let tiles = desc.dim(dim).t();
+    let nlines = reduced_len(&lshape, dim);
+
+    type Seg<T> = (bool, T);
+    #[inline]
+    fn combine<T: Num>(a: Seg<T>, b: Seg<T>) -> Seg<T> {
+        (a.0 || b.0, if b.0 { b.1 } else { a.1 + b.1 })
+    }
+
+    // Per-(line, tile) block folds plus per-position exclusive folds.
+    let (block_folds, pos_excl) = proc.with_category(Category::LocalComp, |proc| {
+        let mut folds: Vec<Seg<T>> = vec![(false, T::default()); nlines * tiles];
+        let mut pos: Vec<Seg<T>> = vec![(false, T::default()); local.len()];
+        let mut line = 0usize;
+        for_each_line(&lshape, dim, |base, stride| {
+            for t in 0..tiles {
+                let mut acc: Seg<T> = (false, T::default());
+                for off in 0..w {
+                    let idx = base + (t * w + off) * stride;
+                    pos[idx] = acc;
+                    acc = combine(acc, (starts[idx], local[idx]));
+                }
+                folds[line * tiles + t] = acc;
+            }
+            line += 1;
+        });
+        proc.charge_ops(2 * local.len());
+        (folds, pos)
+    });
+
+    // Across processors of the tile.
+    let group = proc.axis_group(dim);
+    let proc_prefix = proc.with_category(Category::PrefixReductionSum, |proc| {
+        prefix_scan_with(proc, &group, &block_folds, (false, T::default()), combine)
+    });
+    // Tile totals (for the cross-tile carry): fold across procs too.
+    let tile_totals = proc.with_category(Category::PrefixReductionSum, |proc| {
+        hpf_machine::collectives::allreduce_with(proc, &group, &block_folds, combine)
+    });
+
+    proc.with_category(Category::LocalComp, |proc| {
+        let mut out = vec![T::default(); local.len()];
+        let mut line = 0usize;
+        for_each_line(&lshape, dim, |base, stride| {
+            let mut carry: Seg<T> = (false, T::default());
+            for t in 0..tiles {
+                let before_block = combine(carry, proc_prefix[line * tiles + t]);
+                for off in 0..w {
+                    let idx = base + (t * w + off) * stride;
+                    let excl = if starts[idx] {
+                        T::default()
+                    } else {
+                        combine(before_block, pos_excl[idx]).1
+                    };
+                    out[idx] = match kind {
+                        ScanKind::Exclusive => excl,
+                        ScanKind::Inclusive => excl + local[idx],
+                    };
+                }
+                carry = combine(carry, tile_totals[line * tiles + t]);
+            }
+            line += 1;
+        });
+        proc.charge_ops(2 * local.len());
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_distarray::{Dist, GlobalArray};
+    use hpf_machine::{CostModel, Machine, ProcGrid};
+
+    fn oracle_prefix(
+        a: &GlobalArray<i64>,
+        dim: usize,
+        kind: ScanKind,
+    ) -> GlobalArray<i64> {
+        let shape = a.shape().to_vec();
+        GlobalArray::from_fn(&shape, |g| {
+            let upto = match kind {
+                ScanKind::Inclusive => g[dim] + 1,
+                ScanKind::Exclusive => g[dim],
+            };
+            let mut acc = 0i64;
+            let mut idx = g.to_vec();
+            for j in 0..upto {
+                idx[dim] = j;
+                acc += a.get(&idx);
+            }
+            acc
+        })
+    }
+
+    fn check(shape: &[usize], grid_dims: &[usize], dists: &[Dist], dim: usize, kind: ScanKind) {
+        let grid = ProcGrid::new(grid_dims);
+        let desc = ArrayDesc::new(shape, &grid, dists).unwrap();
+        let a = GlobalArray::from_fn(shape, |g| {
+            g.iter().enumerate().map(|(i, &x)| (x as i64 + 1) * (i as i64 * 10 + 1)).product()
+        });
+        let want = oracle_prefix(&a, dim, kind);
+        let parts = a.partition(&desc);
+        let machine = Machine::new(grid, CostModel::cm5());
+        let (d, pp) = (&desc, &parts);
+        let out = machine.run(move |proc| {
+            sum_prefix_dim(proc, d, &pp[proc.id()], dim, kind, PrsAlgorithm::Auto)
+        });
+        assert_eq!(
+            GlobalArray::assemble(&desc, &out.results),
+            want,
+            "{shape:?} {dists:?} dim {dim} {kind:?}"
+        );
+    }
+
+    #[test]
+    fn prefix_1d_all_distributions() {
+        for dist in [Dist::Block, Dist::Cyclic, Dist::BlockCyclic(2)] {
+            for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+                check(&[24], &[4], &[dist], 0, kind);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_2d_both_dims() {
+        for dim in 0..2 {
+            check(
+                &[8, 12],
+                &[2, 2],
+                &[Dist::BlockCyclic(2), Dist::BlockCyclic(3)],
+                dim,
+                ScanKind::Inclusive,
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_3d_middle_dim() {
+        check(
+            &[4, 6, 4],
+            &[2, 3, 1],
+            &[Dist::Cyclic, Dist::Cyclic, Dist::Block],
+            1,
+            ScanKind::Exclusive,
+        );
+    }
+
+    #[test]
+    fn suffix_matches_oracle() {
+        let shape = [12usize, 4];
+        let grid = ProcGrid::new(&[2, 2]);
+        let desc = ArrayDesc::new(&shape, &grid, &[Dist::BlockCyclic(3), Dist::Cyclic]).unwrap();
+        let a = GlobalArray::from_fn(&shape, |g| (g[0] * 2 + g[1] * 7) as i64);
+        let parts = a.partition(&desc);
+        let machine = Machine::new(grid, CostModel::cm5());
+        for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+            let (d, pp) = (&desc, &parts);
+            let out = machine.run(move |proc| {
+                sum_suffix_dim(proc, d, &pp[proc.id()], 0, kind, PrsAlgorithm::Auto)
+            });
+            let got = GlobalArray::assemble(&desc, &out.results);
+            let want = GlobalArray::from_fn(&shape, |g| {
+                let from = match kind {
+                    ScanKind::Inclusive => g[0],
+                    ScanKind::Exclusive => g[0] + 1,
+                };
+                (from..shape[0]).map(|j| a.get(&[j, g[1]])).sum::<i64>()
+            });
+            assert_eq!(got, want, "{kind:?}");
+        }
+    }
+
+    fn oracle_segmented(
+        a: &GlobalArray<i64>,
+        starts: &GlobalArray<bool>,
+        dim: usize,
+        kind: ScanKind,
+    ) -> GlobalArray<i64> {
+        let shape = a.shape().to_vec();
+        GlobalArray::from_fn(&shape, |g| {
+            // Walk back to the segment start (or line start).
+            let mut lo = g[dim];
+            while lo > 0 {
+                let mut idx = g.to_vec();
+                idx[dim] = lo;
+                if starts.get(&idx) {
+                    break;
+                }
+                lo -= 1;
+            }
+            let hi = match kind {
+                ScanKind::Inclusive => g[dim] + 1,
+                ScanKind::Exclusive => g[dim],
+            };
+            let mut acc = 0i64;
+            let mut idx = g.to_vec();
+            for j in lo..hi {
+                idx[dim] = j;
+                acc += a.get(&idx);
+            }
+            acc
+        })
+    }
+
+    #[test]
+    fn segmented_prefix_matches_oracle() {
+        let shape = [24usize, 4];
+        let grid = ProcGrid::new(&[4, 2]);
+        let desc =
+            ArrayDesc::new(&shape, &grid, &[Dist::BlockCyclic(2), Dist::Cyclic]).unwrap();
+        let a = GlobalArray::from_fn(&shape, |g| (g[0] * 3 + g[1] + 1) as i64);
+        // Segments start at multiples of 5 along dim 0 (crossing both block
+        // and processor boundaries), varying per line.
+        let starts = GlobalArray::from_fn(&shape, |g| g[0] % 5 == g[1] % 3);
+        let (ap, sp) = (a.partition(&desc), starts.partition(&desc));
+        let machine = Machine::new(grid, CostModel::cm5());
+        for kind in [ScanKind::Exclusive, ScanKind::Inclusive] {
+            let (d, apr, spr) = (&desc, &ap, &sp);
+            let out = machine.run(move |proc| {
+                sum_prefix_dim_segmented(proc, d, &apr[proc.id()], &spr[proc.id()], 0, kind)
+            });
+            let got = GlobalArray::assemble(&desc, &out.results);
+            let want = oracle_segmented(&a, &starts, 0, kind);
+            assert_eq!(got, want, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn segmented_with_no_starts_equals_plain_prefix() {
+        let shape = [16usize];
+        let grid = ProcGrid::line(4);
+        let desc = ArrayDesc::new(&shape, &grid, &[Dist::BlockCyclic(2)]).unwrap();
+        let a = GlobalArray::from_fn(&shape, |g| g[0] as i64 + 1);
+        let ap = a.partition(&desc);
+        let machine = Machine::new(grid, CostModel::cm5());
+        let (d, apr) = (&desc, &ap);
+        let out = machine.run(move |proc| {
+            let no_starts = vec![false; apr[proc.id()].len()];
+            let seg = sum_prefix_dim_segmented(
+                proc,
+                d,
+                &apr[proc.id()],
+                &no_starts,
+                0,
+                ScanKind::Exclusive,
+            );
+            let plain =
+                sum_prefix_dim(proc, d, &apr[proc.id()], 0, ScanKind::Exclusive, PrsAlgorithm::Auto);
+            (seg, plain)
+        });
+        for (seg, plain) in out.results {
+            assert_eq!(seg, plain);
+        }
+    }
+
+    #[test]
+    fn every_element_a_start_zeroes_the_exclusive_scan() {
+        let shape = [12usize];
+        let grid = ProcGrid::line(3);
+        let desc = ArrayDesc::new(&shape, &grid, &[Dist::Cyclic]).unwrap();
+        let machine = Machine::new(grid, CostModel::cm5());
+        let d = &desc;
+        let out = machine.run(move |proc| {
+            let a = hpf_distarray::local_from_fn(d, proc.id(), |g| g[0] as i64);
+            let starts = vec![true; a.len()];
+            sum_prefix_dim_segmented(proc, d, &a, &starts, 0, ScanKind::Exclusive)
+        });
+        for r in out.results {
+            assert!(r.iter().all(|&x| x == 0));
+        }
+    }
+
+    /// prefix_excl + own + suffix_excl == line total, pointwise.
+    #[test]
+    fn prefix_suffix_identity() {
+        let shape = [16usize];
+        let grid = ProcGrid::line(4);
+        let desc = ArrayDesc::new(&shape, &grid, &[Dist::BlockCyclic(2)]).unwrap();
+        let a = GlobalArray::from_fn(&shape, |g| g[0] as i64 + 1);
+        let total: i64 = a.data().iter().sum();
+        let parts = a.partition(&desc);
+        let machine = Machine::new(grid, CostModel::cm5());
+        let (d, pp) = (&desc, &parts);
+        let out = machine.run(move |proc| {
+            let local = &pp[proc.id()];
+            let pre = sum_prefix_dim(proc, d, local, 0, ScanKind::Exclusive, PrsAlgorithm::Auto);
+            let suf = sum_suffix_dim(proc, d, local, 0, ScanKind::Exclusive, PrsAlgorithm::Auto);
+            pre.iter()
+                .zip(local)
+                .zip(&suf)
+                .map(|((&p, &x), &s)| p + x + s)
+                .collect::<Vec<i64>>()
+        });
+        for r in &out.results {
+            assert!(r.iter().all(|&x| x == total), "{r:?}");
+        }
+    }
+}

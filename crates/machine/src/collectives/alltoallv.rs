@@ -1,0 +1,340 @@
+//! Many-to-many personalized communication.
+//!
+//! The redistribution stage of PACK/UNPACK needs every processor to send a
+//! different message to (potentially) every other processor. The paper uses
+//! the *linear permutation* scheduling algorithm [9] with active messages:
+//! in round `k = 1 .. P-1`, processor `r` sends to `(r + k) mod P` and
+//! receives from `(r - k) mod P`, so every round is a perfect permutation
+//! and no node is hit by two senders at once.
+//!
+//! Alternative schedules are provided for the scheduling-algorithm
+//! comparison the paper defers to its technical report [1]: a naive push,
+//! and the pairwise-exchange (XOR) schedule classically used on hypercubes.
+//! Under the contention-free two-level model of Section 2 the schedules
+//! cost nearly the same — which is itself the model's point; on a real
+//! network the permutation schedules avoid node contention.
+
+use crate::message::Payload;
+use crate::proc::{tags, Group, Proc};
+
+/// Message schedule for [`alltoallv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum A2aSchedule {
+    /// Linear permutation [9]: round `k` pairs `r → (r+k) mod P`.
+    #[default]
+    LinearPermutation,
+    /// Send everything immediately in rank order, then receive in rank order.
+    NaivePush,
+    /// Pairwise exchange: round `k` pairs `r ↔ r XOR k`. A perfect matching
+    /// every round when `P` is a power of two (the classic hypercube
+    /// schedule); for other `P` the rounds that map out of range fall back
+    /// to the linear-permutation pairing.
+    PairwiseExchange,
+}
+
+/// Exchange `sends[j]` (destined for group rank `j`) among all members;
+/// returns the received payloads indexed by source rank. `recv[my_rank]` is
+/// the self-message, moved without charge (the paper's implementation skips
+/// the local copy).
+///
+/// Works for any [`Payload`] (plain element vectors, or structured message
+/// formats like the compact message scheme's segment stream). Empty slots
+/// (zero wire words) transmit for schedule regularity but charge nothing —
+/// a real implementation simply would not send a message.
+///
+/// # Panics
+/// Panics if `sends.len() != group.size()`.
+pub fn alltoallv<P: Payload + Default>(
+    proc: &mut Proc,
+    group: &Group,
+    mut sends: Vec<P>,
+    schedule: A2aSchedule,
+) -> Vec<P> {
+    let n = group.size();
+    assert_eq!(sends.len(), n, "one send buffer per group member required");
+    let me = group.my_rank();
+
+    let mut recvs: Vec<P> = (0..n).map(|_| P::default()).collect();
+    recvs[me] = std::mem::take(&mut sends[me]);
+
+    match schedule {
+        A2aSchedule::LinearPermutation => {
+            for k in 1..n {
+                let dst = (me + k) % n;
+                let src = (me + n - k) % n;
+                proc.send(group.id_of(dst), tags::ALLTOALL, std::mem::take(&mut sends[dst]));
+                recvs[src] = proc.recv(group.id_of(src), tags::ALLTOALL);
+            }
+        }
+        A2aSchedule::NaivePush => {
+            for k in 1..n {
+                let dst = (me + k) % n;
+                proc.send(group.id_of(dst), tags::ALLTOALL, std::mem::take(&mut sends[dst]));
+            }
+            for k in 1..n {
+                let src = (me + n - k) % n;
+                recvs[src] = proc.recv(group.id_of(src), tags::ALLTOALL);
+            }
+        }
+        A2aSchedule::PairwiseExchange => {
+            if n.is_power_of_two() {
+                for k in 1..n {
+                    let partner = me ^ k;
+                    proc.send(
+                        group.id_of(partner),
+                        tags::ALLTOALL,
+                        std::mem::take(&mut sends[partner]),
+                    );
+                    recvs[partner] = proc.recv(group.id_of(partner), tags::ALLTOALL);
+                }
+            } else {
+                // No perfect XOR matching exists; use the linear pairing.
+                return finish_linear(proc, group, sends, recvs);
+            }
+        }
+    }
+    recvs
+}
+
+fn finish_linear<P: Payload + Default>(
+    proc: &mut Proc,
+    group: &Group,
+    mut sends: Vec<P>,
+    mut recvs: Vec<P>,
+) -> Vec<P> {
+    let n = group.size();
+    let me = group.my_rank();
+    for k in 1..n {
+        let dst = (me + k) % n;
+        let src = (me + n - k) % n;
+        proc.send(group.id_of(dst), tags::ALLTOALL, std::mem::take(&mut sends[dst]));
+        recvs[src] = proc.recv(group.id_of(src), tags::ALLTOALL);
+    }
+    recvs
+}
+
+/// A bundle-carrying message for the two-phase schedule: each bundle is
+/// tagged with a peer rank (the final destination in phase 1, the original
+/// source in phase 2). Two header words per bundle on the wire.
+struct Bundled<T> {
+    bundles: Vec<(u32, Vec<T>)>,
+}
+
+impl<T> Default for Bundled<T> {
+    fn default() -> Self {
+        Bundled { bundles: Vec::new() }
+    }
+}
+
+impl<T: Wire> Payload for Bundled<T> {
+    fn wire_words(&self) -> crate::cost::Words {
+        self.bundles.iter().map(|(_, v)| 2 + v.len() * T::WORDS).sum()
+    }
+}
+
+use crate::message::Wire;
+
+/// Two-phase (row–column) schedule for *sparse* many-to-many exchanges.
+///
+/// Ranks are arranged on a `rows × cols` virtual grid (`cols = ⌈√P⌉`).
+/// Phase 1 forwards each message to the row-mate sharing the destination's
+/// column; phase 2 delivers within the column. Each processor pays at most
+/// `≈ 2√P` message start-ups instead of `P-1`, at the price of moving every
+/// element twice plus two header words per (source, destination) pair — the
+/// classic trade for exchanges of many tiny messages ([9]'s all-to-many
+/// family). For dense exchanges prefer [`alltoallv`].
+///
+/// Semantics match [`alltoallv`]: `sends[j]` goes to group rank `j`; the
+/// result is indexed by original source rank.
+pub fn alltoallv_two_phase<T: Wire>(
+    proc: &mut Proc,
+    group: &Group,
+    mut sends: Vec<Vec<T>>,
+    schedule: A2aSchedule,
+) -> Vec<Vec<T>> {
+    let n = group.size();
+    assert_eq!(sends.len(), n, "one send buffer per group member required");
+    let me = group.my_rank();
+    let cols = (n as f64).sqrt().ceil() as usize;
+    if cols <= 1 || n <= 3 {
+        return alltoallv(proc, group, sends, schedule);
+    }
+
+    // Relay for traffic from `src`'s row toward `dst`: the processor in
+    // src's row with dst's column, falling back to row 0 (always full) when
+    // the ragged last row lacks that column.
+    let relay_of = |src: usize, dst: usize| -> usize {
+        let r = (src / cols) * cols + dst % cols;
+        if r < n {
+            r
+        } else {
+            dst % cols
+        }
+    };
+
+    // Phase 1: bundle by relay. The self-slot skips both phases.
+    let mut recvs: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+    recvs[me] = std::mem::take(&mut sends[me]);
+    let mut phase1: Vec<Bundled<T>> = (0..n).map(|_| Bundled::default()).collect();
+    for (dst, payload) in sends.into_iter().enumerate() {
+        if dst == me || payload.is_empty() {
+            continue;
+        }
+        phase1[relay_of(me, dst)].bundles.push((dst as u32, payload));
+    }
+    let relayed = alltoallv(proc, group, phase1, schedule);
+
+    // Phase 2: regroup by final destination, tagging with the original
+    // source. My own deliveries (I was the relay for me->dst? impossible:
+    // dst==me was skipped; but src->me bundles can arrive here directly if
+    // relay_of(src, me) == me).
+    let mut phase2: Vec<Bundled<T>> = (0..n).map(|_| Bundled::default()).collect();
+    for (src, msg) in relayed.into_iter().enumerate() {
+        for (dst, items) in msg.bundles {
+            let dst = dst as usize;
+            if dst == me {
+                recvs[src] = items;
+            } else {
+                phase2[dst].bundles.push((src as u32, items));
+            }
+        }
+    }
+    let delivered = alltoallv(proc, group, phase2, schedule);
+    for msg in delivered {
+        for (src, items) in msg.bundles {
+            recvs[src as usize] = items;
+        }
+    }
+    recvs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::machine::Machine;
+    use crate::topology::ProcGrid;
+
+    fn run_exchange(p: usize, schedule: A2aSchedule) {
+        let machine = Machine::new(ProcGrid::line(p), CostModel::zero());
+        let out = machine.run(move |proc| {
+            let g = proc.world();
+            // Rank r sends [r*100 + j; r+j+1 elements] to rank j.
+            let sends: Vec<Vec<i32>> = (0..p)
+                .map(|j| vec![(proc.id() * 100 + j) as i32; proc.id() + j + 1])
+                .collect();
+            alltoallv(proc, &g, sends, schedule)
+        });
+        for (j, recvs) in out.results.iter().enumerate() {
+            for (r, v) in recvs.iter().enumerate() {
+                assert_eq!(v.len(), r + j + 1, "length from {r} to {j}");
+                assert!(v.iter().all(|&x| x == (r * 100 + j) as i32), "content from {r} to {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_permutation_delivers_everything() {
+        for p in [1, 2, 3, 5, 8] {
+            run_exchange(p, A2aSchedule::LinearPermutation);
+        }
+    }
+
+    #[test]
+    fn naive_push_delivers_everything() {
+        for p in [1, 2, 3, 5, 8] {
+            run_exchange(p, A2aSchedule::NaivePush);
+        }
+    }
+
+    #[test]
+    fn pairwise_exchange_delivers_everything() {
+        // Powers of two use the XOR matching; other sizes fall back.
+        for p in [1, 2, 3, 4, 5, 8] {
+            run_exchange(p, A2aSchedule::PairwiseExchange);
+        }
+    }
+
+    #[test]
+    fn two_phase_delivers_everything() {
+        for p in [1, 2, 3, 4, 5, 7, 9, 16] {
+            let machine = Machine::new(ProcGrid::line(p), CostModel::zero());
+            let out = machine.run(move |proc| {
+                let g = proc.world();
+                let sends: Vec<Vec<i32>> = (0..p)
+                    .map(|j| vec![(proc.id() * 100 + j) as i32; (proc.id() + j) % 3])
+                    .collect();
+                alltoallv_two_phase(proc, &g, sends, A2aSchedule::LinearPermutation)
+            });
+            for (j, recvs) in out.results.iter().enumerate() {
+                for (r, v) in recvs.iter().enumerate() {
+                    assert_eq!(v.len(), (r + j) % 3, "p={p} from {r} to {j}");
+                    assert!(v.iter().all(|&x| x == (r * 100 + j) as i32));
+                }
+            }
+        }
+    }
+
+    /// The point of two-phase: far fewer start-ups for all-pairs tiny
+    /// messages, at ~2x the volume.
+    #[test]
+    fn two_phase_trades_volume_for_startups() {
+        let p = 16usize;
+        let run = |two_phase: bool| {
+            let machine = Machine::new(ProcGrid::line(p), CostModel::cm5());
+            let out = machine.run(move |proc| {
+                let g = proc.world();
+                let sends: Vec<Vec<i32>> = (0..p).map(|j| vec![j as i32]).collect();
+                if two_phase {
+                    alltoallv_two_phase(proc, &g, sends, A2aSchedule::LinearPermutation);
+                } else {
+                    alltoallv(proc, &g, sends, A2aSchedule::LinearPermutation);
+                }
+            });
+            (out.total_startups(), out.total_words_sent(), out.max_time_ms())
+        };
+        let (s1, w1, t1) = run(false);
+        let (s2, w2, t2) = run(true);
+        assert!(s2 < s1 / 2, "two-phase startups {s2} should be well under direct {s1}");
+        assert!(w2 > w1, "two-phase volume {w2} must exceed direct {w1}");
+        assert!(t2 < t1, "with 1-word messages, start-ups dominate: {t2} < {t1}");
+    }
+
+    #[test]
+    fn empty_slots_charge_nothing() {
+        let machine = Machine::new(
+            ProcGrid::line(4),
+            CostModel { delta_ns: 0.0, tau_ns: 100.0, mu_ns: 1.0, ..CostModel::zero() },
+        );
+        let out = machine.run(|proc| {
+            let g = proc.world();
+            // Only proc 0 sends anything, and only to proc 1.
+            let mut sends: Vec<Vec<i32>> = vec![Vec::new(); 4];
+            if proc.id() == 0 {
+                sends[1] = vec![1, 2, 3];
+            }
+            alltoallv(proc, &g, sends, A2aSchedule::LinearPermutation);
+        });
+        // Proc 0 paid for exactly one 3-word message; everyone else nothing.
+        assert_eq!(out.clocks[0].words_sent, 3);
+        assert_eq!(out.clocks[0].startups, 1);
+        for c in &out.clocks[1..] {
+            assert_eq!(c.words_sent, 0);
+            assert_eq!(c.startups, 0);
+        }
+    }
+
+    #[test]
+    fn self_message_moves_without_charge() {
+        let machine = Machine::new(ProcGrid::line(2), CostModel::cm5());
+        let out = machine.run(|proc| {
+            let g = proc.world();
+            let mut sends: Vec<Vec<i32>> = vec![Vec::new(); 2];
+            sends[proc.id()] = vec![42; 10];
+            let recvs = alltoallv(proc, &g, sends, A2aSchedule::LinearPermutation);
+            recvs[proc.id()].clone()
+        });
+        assert_eq!(out.results[0], vec![42; 10]);
+        assert_eq!(out.clocks[0].words_sent, 0);
+    }
+}

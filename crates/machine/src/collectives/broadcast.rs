@@ -1,0 +1,93 @@
+//! Binomial-tree broadcast.
+
+use crate::message::Wire;
+use crate::proc::{tags, Group, Proc};
+
+/// Broadcast `data` (significant only on the member with group rank `root`)
+/// to all group members; every member returns the broadcast vector.
+///
+/// Binomial tree: `⌈log₂ P⌉` rounds, each doubling the set of informed
+/// processors, `Θ((τ + μ·m)·log P)` on the critical path.
+pub fn broadcast<T: Wire>(
+    proc: &mut Proc,
+    group: &Group,
+    root: usize,
+    data: Vec<T>,
+) -> Vec<T> {
+    let n = group.size();
+    assert!(root < n, "root rank out of range");
+    if n == 1 {
+        return data;
+    }
+    // Rotate ranks so the root is virtual rank 0.
+    let me = (group.my_rank() + n - root) % n;
+
+    let mut buf = if me == 0 { data } else { Vec::new() };
+
+    // Highest power of two <= n-1 determines the first round in which a
+    // receiver can exist. Virtual rank v receives from v - 2^k where 2^k is
+    // the highest set bit of v, in round k; it forwards in later rounds.
+    let rounds = usize::BITS - (n - 1).leading_zeros();
+    if me != 0 {
+        let k = usize::BITS - 1 - me.leading_zeros();
+        let src_virtual = me - (1 << k);
+        let src = group.id_of((src_virtual + root) % n);
+        buf = proc.recv(src, tags::BCAST);
+    }
+    let first_send_round = if me == 0 {
+        0
+    } else {
+        (usize::BITS - me.leading_zeros()) as usize
+    };
+    for k in first_send_round..rounds as usize {
+        let dst_virtual = me + (1 << k);
+        if dst_virtual < n {
+            let dst = group.id_of((dst_virtual + root) % n);
+            proc.send(dst, tags::BCAST, buf.clone());
+        }
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::machine::Machine;
+    use crate::topology::ProcGrid;
+
+    #[test]
+    fn broadcast_reaches_everyone_from_any_root() {
+        for p in [1, 2, 3, 5, 8, 13] {
+            for root in [0, p / 2, p - 1] {
+                let machine = Machine::new(ProcGrid::line(p), CostModel::zero());
+                let out = machine.run(move |proc| {
+                    let g = proc.world();
+                    let data = if g.my_rank() == root { vec![9i32, 8, 7] } else { Vec::new() };
+                    broadcast(proc, &g, root, data)
+                });
+                for (r, v) in out.results.iter().enumerate() {
+                    assert_eq!(v, &vec![9, 8, 7], "p={p} root={root} rank={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_critical_path_is_logarithmic() {
+        let model = CostModel { delta_ns: 0.0, tau_ns: 1000.0, mu_ns: 0.0, ..CostModel::zero() };
+        let time = |p: usize| {
+            let machine = Machine::new(ProcGrid::line(p), model);
+            let out = machine.run(|proc| {
+                let g = proc.world();
+                let data = if g.my_rank() == 0 { vec![1i32] } else { Vec::new() };
+                broadcast(proc, &g, 0, data);
+            });
+            out.max_time_ms()
+        };
+        // 8 procs: depth 3 tree; root serializes its 3 sends, so the worst
+        // leaf sees at most ~(3+2+1)τ but far less than the linear 7τ.
+        assert!(time(8) < 7.0 * 1000.0 / 1e6);
+        assert!(time(8) >= 3.0 * 1000.0 / 1e6);
+    }
+}

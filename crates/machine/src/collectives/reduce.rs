@@ -1,0 +1,144 @@
+//! Element-wise all-reduce.
+
+use crate::collectives::broadcast::broadcast;
+use crate::collectives::scan::{prefix_reduction_sum, PrsAlgorithm};
+use crate::collectives::Num;
+use crate::message::Wire;
+use crate::proc::{tags, Group, Proc};
+
+/// Element-wise sum of `v` across the group, replicated on every member.
+///
+/// Implemented as the reduction half of the fused prefix-reduction-sum
+/// primitive (the paper's CM-5 code used a control-network global op here;
+/// footnote 2 notes the two primitives need not be fused when hardware
+/// support exists — our software machine always pays for the exchange).
+pub fn allreduce_sum<T: Num>(
+    proc: &mut Proc,
+    group: &Group,
+    v: &[T],
+    algo: PrsAlgorithm,
+) -> Vec<T> {
+    prefix_reduction_sum(proc, group, v, algo).1
+}
+
+/// Element-wise all-reduce under an arbitrary associative operation
+/// (max, min, logical and, …), for element types without subtraction.
+///
+/// Hillis–Steele inclusive fold (`⌈log₂ P⌉` rounds of the whole vector)
+/// followed by a broadcast of the last rank's full fold:
+/// `Θ((τ + μM) log P)`.
+pub fn allreduce_with<T: Wire>(
+    proc: &mut Proc,
+    group: &Group,
+    v: &[T],
+    op: impl Fn(T, T) -> T,
+) -> Vec<T> {
+    let n = group.size();
+    let me = group.my_rank();
+    let mut acc = v.to_vec();
+    let mut d = 1usize;
+    while d < n {
+        if me + d < n {
+            proc.send(group.id_of(me + d), tags::REDUCE, acc.clone());
+        }
+        if me >= d {
+            let their: Vec<T> = proc.recv(group.id_of(me - d), tags::REDUCE);
+            for (a, b) in acc.iter_mut().zip(&their) {
+                *a = op(*b, *a);
+            }
+            proc.charge_ops(v.len());
+        }
+        d *= 2;
+    }
+    if n == 1 {
+        return acc;
+    }
+    let full = if me == n - 1 { acc } else { Vec::new() };
+    broadcast(proc, group, n - 1, full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::machine::Machine;
+    use crate::topology::ProcGrid;
+
+    #[test]
+    fn allreduce_with_max_and_min() {
+        for p in [1, 2, 3, 7, 8] {
+            let machine = Machine::new(ProcGrid::line(p), CostModel::zero());
+            let out = machine.run(|proc| {
+                let g = proc.world();
+                let v = vec![proc.id() as i32, -(proc.id() as i32)];
+                let mx = allreduce_with(proc, &g, &v, i32::max);
+                let mn = allreduce_with(proc, &g, &v, i32::min);
+                (mx, mn)
+            });
+            for (mx, mn) in out.results {
+                assert_eq!(mx, vec![(p - 1) as i32, 0], "p={p}");
+                assert_eq!(mn, vec![0, -((p - 1) as i32)], "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_with_is_order_correct_for_noncommutative_ops() {
+        // 2x2 matrix product: associative but noncommutative, so the result
+        // is only right if ranks are folded in rank order.
+        fn matmul(a: [i64; 4], b: [i64; 4]) -> [i64; 4] {
+            [
+                a[0] * b[0] + a[1] * b[2],
+                a[0] * b[1] + a[1] * b[3],
+                a[2] * b[0] + a[3] * b[2],
+                a[2] * b[1] + a[3] * b[3],
+            ]
+        }
+        for p in [2usize, 3, 5, 8] {
+            let machine = Machine::new(ProcGrid::line(p), CostModel::zero());
+            let out = machine.run(|proc| {
+                let g = proc.world();
+                let r = proc.id() as i64;
+                let v = vec![[1, r + 1, 0, 1], [0, 1, r + 1, 1]];
+                allreduce_with(proc, &g, &v, matmul)
+            });
+            let mut want = vec![[1i64, 1, 0, 1], [0, 1, 1, 1]];
+            for r in 1..p as i64 {
+                want[0] = matmul(want[0], [1, r + 1, 0, 1]);
+                want[1] = matmul(want[1], [0, 1, r + 1, 1]);
+            }
+            for got in out.results {
+                assert_eq!(got, want, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_across_members() {
+        for p in [1, 2, 5, 8] {
+            let machine = Machine::new(ProcGrid::line(p), CostModel::zero());
+            let out = machine.run(|proc| {
+                let g = proc.world();
+                let v = vec![proc.id() as i32, 1];
+                allreduce_sum(proc, &g, &v, PrsAlgorithm::Direct)
+            });
+            let want = vec![(p * (p - 1) / 2) as i32, p as i32];
+            for r in out.results {
+                assert_eq!(r, want, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_on_axis_groups_is_independent() {
+        // 2x3 grid (dims [3,2]): reduce along dim 0 sums triples of procs.
+        let machine = Machine::new(ProcGrid::new(&[3, 2]), CostModel::zero());
+        let out = machine.run(|proc| {
+            let g = proc.axis_group(0);
+            allreduce_sum(proc, &g, &[1i32], PrsAlgorithm::Direct)
+        });
+        for r in out.results {
+            assert_eq!(r, vec![3]);
+        }
+    }
+}

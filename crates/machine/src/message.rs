@@ -1,0 +1,171 @@
+//! Typed message transport between virtual processors.
+//!
+//! Each processor owns one unbounded MPSC channel; every other processor
+//! holds a sender clone. Messages are matched on `(source, tag)`;
+//! out-of-order arrivals (possible because different sources interleave) are
+//! buffered in a per-processor mailbox. Per-source FIFO order is guaranteed
+//! by the channel, so `(source, tag)` plus deterministic phase structure is
+//! enough to disambiguate every algorithm in this workspace.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use crate::cost::Words;
+
+/// Plain-old-data element that can travel in a message.
+///
+/// `WORDS` is the element's size in 4-byte machine words — the unit the cost
+/// model's `μ` is charged per. The paper's arrays hold 4-byte elements, so
+/// `i32::WORDS == 1`, while an `(index, value)` pair costs 2 words, which is
+/// exactly how Section 6.4.1 counts the simple-scheme message size `2·E_i`.
+pub trait Wire: Copy + Send + std::fmt::Debug + 'static {
+    /// Size of one element in 4-byte words.
+    const WORDS: Words;
+}
+
+macro_rules! impl_wire {
+    ($($t:ty => $w:expr),* $(,)?) => {
+        $(impl Wire for $t { const WORDS: Words = $w; })*
+    };
+}
+
+impl_wire! {
+    u8 => 1,   // sub-word payloads still pay a word on the wire
+    bool => 1,
+    i32 => 1,
+    u32 => 1,
+    f32 => 1,
+    i64 => 2,
+    u64 => 2,
+    f64 => 2,
+    usize => 2,
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    const WORDS: Words = A::WORDS + B::WORDS;
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    const WORDS: Words = A::WORDS + B::WORDS + C::WORDS;
+}
+
+impl<T: Wire, const N: usize> Wire for [T; N] {
+    const WORDS: Words = T::WORDS * N;
+}
+
+/// A payload that knows its own size on the wire.
+///
+/// Blanket-implemented for `Vec<T: Wire>`; message-format structs (e.g. the
+/// compact message scheme's segment stream) implement it directly so that
+/// the charged volume matches the paper's accounting exactly.
+pub trait Payload: Send + 'static {
+    /// Message volume in 4-byte words.
+    fn wire_words(&self) -> Words;
+}
+
+impl<T: Wire> Payload for Vec<T> {
+    fn wire_words(&self) -> Words {
+        self.len() * T::WORDS
+    }
+}
+
+impl Payload for () {
+    fn wire_words(&self) -> Words {
+        0
+    }
+}
+
+/// One in-flight message.
+pub struct Packet {
+    /// Sender's global processor id.
+    pub src: usize,
+    /// Algorithm-chosen tag; disambiguates concurrent conversations.
+    pub tag: u64,
+    /// Simulated time at which the message is fully available at the
+    /// receiver (`sender_time_at_send + τ + μ·words`). Zero-cost for
+    /// self-messages.
+    pub arrival_ns: f64,
+    /// Charged message volume.
+    pub words: Words,
+    /// The payload, to be downcast by the typed receive.
+    pub data: Box<dyn Any + Send>,
+}
+
+/// Per-processor mailbox buffering packets that arrived before the matching
+/// `recv` was posted.
+#[derive(Default)]
+pub struct Mailbox {
+    held: VecDeque<Packet>,
+}
+
+impl Mailbox {
+    /// An empty mailbox.
+    pub fn new() -> Self {
+        Mailbox { held: VecDeque::new() }
+    }
+
+    /// Take the earliest held packet matching `(src, tag)`, if any.
+    pub fn take(&mut self, src: usize, tag: u64) -> Option<Packet> {
+        let pos = self.held.iter().position(|p| p.src == src && p.tag == tag)?;
+        self.held.remove(pos)
+    }
+
+    /// Stash a non-matching packet for a later receive.
+    pub fn hold(&mut self, p: Packet) {
+        self.held.push_back(p);
+    }
+
+    /// Number of held packets (used by the driver to detect leftover traffic).
+    pub fn len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// True iff no packets are held.
+    pub fn is_empty(&self) -> bool {
+        self.held.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_match_paper_accounting() {
+        // A packed element is one word...
+        assert_eq!(<i32 as Wire>::WORDS, 1);
+        // ...and a (rank, value) pair is two words: the simple-scheme message
+        // of E_i elements is 2*E_i words (Section 6.4.1).
+        assert_eq!(<(i32, i32) as Wire>::WORDS, 2);
+        assert_eq!(<(u32, u32, i32) as Wire>::WORDS, 3);
+        assert_eq!(<[i32; 4] as Wire>::WORDS, 4);
+    }
+
+    #[test]
+    fn vec_payload_words() {
+        let v: Vec<(i32, i32)> = vec![(1, 2); 5];
+        assert_eq!(v.wire_words(), 10);
+        let e: Vec<i32> = vec![];
+        assert_eq!(e.wire_words(), 0);
+    }
+
+    fn pkt(src: usize, tag: u64) -> Packet {
+        Packet { src, tag, arrival_ns: 0.0, words: 0, data: Box::new(Vec::<i32>::new()) }
+    }
+
+    #[test]
+    fn mailbox_matches_src_and_tag_fifo() {
+        let mut m = Mailbox::new();
+        m.hold(pkt(1, 7));
+        m.hold(pkt(2, 7));
+        m.hold(pkt(1, 7));
+        assert!(m.take(1, 8).is_none());
+        assert!(m.take(3, 7).is_none());
+        let p = m.take(1, 7).unwrap();
+        assert_eq!((p.src, p.tag), (1, 7));
+        assert_eq!(m.len(), 2);
+        assert!(m.take(2, 7).is_some());
+        assert!(m.take(1, 7).is_some());
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,345 @@
+//! The per-processor handle given to SPMD program closures.
+//!
+//! A [`Proc`] bundles the processor's identity on the logical grid, its
+//! private simulated clock, and its message endpoints. All communication —
+//! point-to-point sends and the collectives built on top of them — flows
+//! through this handle, which is how every byte gets charged to the cost
+//! model.
+
+use std::time::Duration;
+
+use crossbeam_channel::{Receiver, Sender};
+
+use crate::cost::{Category, SimClock};
+use crate::message::{Mailbox, Packet, Payload};
+use crate::topology::ProcGrid;
+
+/// Tag namespaces. Each collective type uses its own tag so that a program
+/// error (processors disagreeing about which collective comes next) fails
+/// loudly as a downcast/hang instead of silently mixing payloads. Within one
+/// tag, per-sender FIFO order plus SPMD program order makes matching exact.
+pub mod tags {
+    /// Prefix-reduction-sum rounds.
+    pub const SCAN: u64 = 1;
+    /// Reduction rounds.
+    pub const REDUCE: u64 = 2;
+    /// Broadcast tree edges.
+    pub const BCAST: u64 = 3;
+    /// Gather/scatter/allgather traffic.
+    pub const GATHER: u64 = 4;
+    /// Many-to-many personalized communication rounds.
+    pub const ALLTOALL: u64 = 5;
+    /// Reserved for explicit barriers.
+    pub const BARRIER: u64 = 6;
+    /// Uncharged clock-synchronisation control traffic.
+    pub const CLOCK_SYNC: u64 = 7;
+    /// First tag available to user programs.
+    pub const USER: u64 = 1 << 16;
+}
+
+/// A subset of processors acting as a communicator, e.g. all processors, or
+/// the processors sharing every grid coordinate except one dimension
+/// (the communicator a dimension-`i` prefix-reduction-sum runs over).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// Global processor ids of the members, in rank order.
+    members: Vec<usize>,
+    /// This processor's rank within `members`.
+    my_rank: usize,
+}
+
+impl Group {
+    /// Build a group from an ordered member list and the caller's position.
+    ///
+    /// # Panics
+    /// Panics if `members[my_rank]` is out of bounds.
+    pub fn new(members: Vec<usize>, my_rank: usize) -> Self {
+        assert!(my_rank < members.len(), "my_rank out of range");
+        Group { members, my_rank }
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// This processor's rank within the group.
+    #[inline]
+    pub fn my_rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// Global id of the member at `rank`.
+    #[inline]
+    pub fn id_of(&self, rank: usize) -> usize {
+        self.members[rank]
+    }
+
+    /// All member ids in rank order.
+    #[inline]
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+}
+
+/// Handle to one virtual processor inside a running SPMD program.
+pub struct Proc<'m> {
+    id: usize,
+    grid: &'m ProcGrid,
+    clock: SimClock,
+    senders: &'m [Sender<Packet>],
+    rx: Receiver<Packet>,
+    mailbox: Mailbox,
+    recv_timeout: Duration,
+    /// Charged words sent to each destination (self and padding excluded).
+    words_to: Vec<u64>,
+}
+
+impl<'m> Proc<'m> {
+    pub(crate) fn new(
+        id: usize,
+        grid: &'m ProcGrid,
+        clock: SimClock,
+        senders: &'m [Sender<Packet>],
+        rx: Receiver<Packet>,
+        recv_timeout: Duration,
+    ) -> Self {
+        let nprocs = grid.nprocs();
+        Proc {
+            id,
+            grid,
+            clock,
+            senders,
+            rx,
+            mailbox: Mailbox::new(),
+            recv_timeout,
+            words_to: vec![0; nprocs],
+        }
+    }
+
+    /// Global processor id, `0 ≤ id < P`.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Total processor count `P`.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.grid.nprocs()
+    }
+
+    /// The logical processor grid.
+    #[inline]
+    pub fn grid(&self) -> &ProcGrid {
+        self.grid
+    }
+
+    /// This processor's grid coordinates (innermost dimension first).
+    pub fn coords(&self) -> Vec<usize> {
+        self.grid.coords(self.id)
+    }
+
+    /// This processor's coordinate along grid dimension `dim`.
+    #[inline]
+    pub fn coord(&self, dim: usize) -> usize {
+        self.grid.coord(self.id, dim)
+    }
+
+    /// Mutable access to the simulated clock (for charging local work).
+    #[inline]
+    pub fn clock(&mut self) -> &mut SimClock {
+        &mut self.clock
+    }
+
+    /// Read-only clock access.
+    #[inline]
+    pub fn clock_ref(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Charge `n` elementary local operations to the ambient category.
+    #[inline]
+    pub fn charge_ops(&mut self, ops: usize) {
+        self.clock.charge_ops(ops);
+    }
+
+    /// Run `f` with the clock's ambient category set to `cat`, restoring the
+    /// previous category afterwards.
+    pub fn with_category<R>(&mut self, cat: Category, f: impl FnOnce(&mut Self) -> R) -> R {
+        let prev = self.clock.set_category(cat);
+        let out = f(self);
+        self.clock.set_category(prev);
+        out
+    }
+
+    /// Run `f` with the clock muted: the data moves, nothing is charged.
+    /// Used to realise operations a modelled hardware unit would carry
+    /// (e.g. CM-5 control-network scans), whose cost the caller then
+    /// charges explicitly.
+    pub fn with_uncharged_comm<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let prev = self.clock.set_muted(true);
+        let out = f(self);
+        self.clock.set_muted(prev);
+        out
+    }
+
+    /// The group of all processors (world communicator).
+    pub fn world(&self) -> Group {
+        Group::new((0..self.nprocs()).collect(), self.id)
+    }
+
+    /// The communicator along grid dimension `dim`: all processors sharing
+    /// this processor's other coordinates. Rank within the group equals the
+    /// coordinate along `dim`.
+    pub fn axis_group(&self, dim: usize) -> Group {
+        Group::new(self.grid.axis_members(self.id, dim), self.coord(dim))
+    }
+
+    /// Send `data` to processor `dst` under `tag`.
+    ///
+    /// Charges the sender the full transfer time `τ + μ·m` and stamps the
+    /// packet with its arrival time. A self-send moves the data but charges
+    /// nothing, matching the paper's CM-5 implementation note that "local
+    /// copy was not performed when a processor needed to send a message to
+    /// itself". Zero-word messages are schedule padding (a real
+    /// implementation would not send them at all) and are also free.
+    pub fn send<P: Payload>(&mut self, dst: usize, tag: u64, data: P) {
+        let words = data.wire_words();
+        let arrival_ns = if dst == self.id || words == 0 {
+            self.clock.now_ns()
+        } else {
+            self.words_to[dst] += words as u64;
+            self.clock.charge_send(words)
+        };
+        let pkt = Packet { src: self.id, tag, arrival_ns, words, data: Box::new(data) };
+        if dst == self.id {
+            self.mailbox.hold(pkt);
+        } else {
+            // The receiver's endpoint lives as long as the run; a send can
+            // only fail if a peer panicked, which the driver surfaces anyway.
+            let _ = self.senders[dst].send(pkt);
+        }
+    }
+
+    /// Receive the earliest message from `src` under `tag`, blocking until it
+    /// arrives. Advances the simulated clock to the packet's arrival time if
+    /// the processor got there first (the wait is charged to the ambient
+    /// category).
+    ///
+    /// # Panics
+    /// Panics if the payload type does not match `P` (processors disagree on
+    /// the program), or if nothing arrives within the machine's receive
+    /// timeout (almost certainly a deadlocked program).
+    pub fn recv<P: Payload>(&mut self, src: usize, tag: u64) -> P {
+        let pkt = self.recv_packet(src, tag);
+        self.clock.observe_arrival(pkt.arrival_ns);
+        match pkt.data.downcast::<P>() {
+            Ok(b) => *b,
+            Err(_) => panic!(
+                "proc {}: payload type mismatch on recv from {} tag {} (expected {})",
+                self.id,
+                src,
+                tag,
+                std::any::type_name::<P>()
+            ),
+        }
+    }
+
+    /// Receive and return the packet's charged word count alongside the data.
+    pub fn recv_with_words<P: Payload>(&mut self, src: usize, tag: u64) -> (P, usize) {
+        let pkt = self.recv_packet(src, tag);
+        self.clock.observe_arrival(pkt.arrival_ns);
+        let words = pkt.words;
+        match pkt.data.downcast::<P>() {
+            Ok(b) => (*b, words),
+            Err(_) => panic!(
+                "proc {}: payload type mismatch on recv from {} tag {}",
+                self.id, src, tag
+            ),
+        }
+    }
+
+    fn recv_packet(&mut self, src: usize, tag: u64) -> Packet {
+        if let Some(p) = self.mailbox.take(src, tag) {
+            return p;
+        }
+        loop {
+            match self.rx.recv_timeout(self.recv_timeout) {
+                Ok(p) => {
+                    if p.src == src && p.tag == tag {
+                        return p;
+                    }
+                    self.mailbox.hold(p);
+                }
+                Err(_) => panic!(
+                    "proc {}: receive from {} tag {} timed out after {:?} — deadlock?",
+                    self.id, src, tag, self.recv_timeout
+                ),
+            }
+        }
+    }
+
+    /// Synchronise the clocks of all group members to the maximum member
+    /// time, *without charging anything*. Used at phase boundaries to model
+    /// globally synchronised algorithm phases (the paper times each stage as
+    /// the slowest processor's time for it).
+    pub fn clock_sync_max(&mut self, group: &Group) {
+        if group.size() == 1 {
+            return;
+        }
+        // Dissemination exchange of plain timestamps. The payload rides
+        // outside the cost model: fast_forward never charges.
+        let n = group.size();
+        let me = group.my_rank();
+        let mut t_max = self.clock.now_ns();
+        let mut shift = 1usize;
+        while shift < n {
+            let to = group.id_of((me + shift) % n);
+            let from = group.id_of((me + n - shift) % n);
+            self.send_uncharged(to, tags::CLOCK_SYNC, vec![t_max]);
+            let other: Vec<f64> = self.recv_uncharged(from, tags::CLOCK_SYNC);
+            t_max = t_max.max(other[0]);
+            shift *= 2;
+        }
+        self.clock.fast_forward(t_max);
+    }
+
+    /// Send without touching the clock (simulator-internal control traffic).
+    fn send_uncharged<P: Payload>(&mut self, dst: usize, tag: u64, data: P) {
+        let words = data.wire_words();
+        let pkt =
+            Packet { src: self.id, tag, arrival_ns: f64::NEG_INFINITY, words, data: Box::new(data) };
+        if dst == self.id {
+            self.mailbox.hold(pkt);
+        } else {
+            let _ = self.senders[dst].send(pkt);
+        }
+    }
+
+    /// Receive without touching the clock.
+    fn recv_uncharged<P: Payload>(&mut self, src: usize, tag: u64) -> P {
+        let pkt = self.recv_packet(src, tag);
+        match pkt.data.downcast::<P>() {
+            Ok(b) => *b,
+            Err(_) => panic!("proc {}: clock-sync payload mismatch", self.id),
+        }
+    }
+
+    /// Number of unconsumed packets left in the mailbox (should be zero when
+    /// a well-formed program finishes).
+    pub(crate) fn leftover_messages(&self) -> usize {
+        self.mailbox.len()
+    }
+
+    pub(crate) fn into_clock_and_comm(self) -> (SimClock, Vec<u64>) {
+        (self.clock, self.words_to)
+    }
+
+    /// Charged words this processor has sent to each destination so far
+    /// (self-messages and zero-word padding excluded).
+    pub fn words_sent_to(&self) -> &[u64] {
+        &self.words_to
+    }
+}

@@ -1,0 +1,177 @@
+//! Aggregation of per-processor clock reports into the quantities the
+//! paper's tables report: maximum (i.e. critical-path) time per category and
+//! in total, in milliseconds.
+
+use crate::cost::{Category, ClockReport};
+
+/// Everything a [`crate::Machine::run`] call produced: per-processor results
+/// and per-processor clock reports, both indexed by processor id.
+#[derive(Debug, Clone)]
+pub struct RunOutput<R> {
+    /// Each processor's return value.
+    pub results: Vec<R>,
+    /// Each processor's final clock snapshot.
+    pub clocks: Vec<ClockReport>,
+    /// Per-processor category spans (empty unless the machine was built
+    /// with tracing enabled).
+    pub traces: Vec<Vec<crate::trace::Span>>,
+    /// Charged words sent from each source (row) to each destination
+    /// (column); self-messages and padding are zero.
+    pub comm_matrix: Vec<Vec<u64>>,
+}
+
+impl<R> RunOutput<R> {
+    pub(crate) fn new(results: Vec<R>, clocks: Vec<ClockReport>) -> Self {
+        RunOutput { results, clocks, traces: Vec::new(), comm_matrix: Vec::new() }
+    }
+
+    /// The heaviest single source→destination flow, as
+    /// `(src, dst, words)` — a quick balance diagnostic.
+    pub fn heaviest_flow(&self) -> Option<(usize, usize, u64)> {
+        self.comm_matrix
+            .iter()
+            .enumerate()
+            .flat_map(|(s, row)| row.iter().enumerate().map(move |(d, &w)| (s, d, w)))
+            .filter(|&(_, _, w)| w > 0)
+            .max_by_key(|&(_, _, w)| w)
+    }
+
+    /// Coefficient of imbalance of per-processor sent volume:
+    /// `max / mean` (1.0 = perfectly balanced; 0.0 if nothing was sent).
+    pub fn send_imbalance(&self) -> f64 {
+        let totals: Vec<u64> = self.comm_matrix.iter().map(|r| r.iter().sum()).collect();
+        let max = totals.iter().copied().max().unwrap_or(0);
+        let sum: u64 = totals.iter().sum();
+        if sum == 0 {
+            return 0.0;
+        }
+        max as f64 * totals.len() as f64 / sum as f64
+    }
+
+    /// Render the traces as a text Gantt chart (see [`crate::trace`]).
+    pub fn gantt(&self, cols: usize) -> String {
+        crate::trace::render_gantt(&self.traces, cols)
+    }
+
+    /// Number of processors.
+    pub fn nprocs(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// The machine's completion time: the slowest processor's clock, ms.
+    pub fn max_time_ms(&self) -> f64 {
+        self.clocks.iter().map(|c| c.now_ms()).fold(0.0, f64::max)
+    }
+
+    /// Maximum over processors of the time spent in `cat`, ms. This is what
+    /// the paper reports per stage (each stage ends with all processors
+    /// synchronised, so the stage costs as much as its slowest processor).
+    pub fn max_cat_ms(&self, cat: Category) -> f64 {
+        self.clocks.iter().map(|c| c.cat_ms(cat)).fold(0.0, f64::max)
+    }
+
+    /// Mean over processors of the time spent in `cat`, ms.
+    pub fn mean_cat_ms(&self, cat: Category) -> f64 {
+        if self.clocks.is_empty() {
+            return 0.0;
+        }
+        self.clocks.iter().map(|c| c.cat_ms(cat)).sum::<f64>() / self.clocks.len() as f64
+    }
+
+    /// Total message words sent across all processors.
+    pub fn total_words_sent(&self) -> u64 {
+        self.clocks.iter().map(|c| c.words_sent).sum()
+    }
+
+    /// Total message start-ups across all processors.
+    pub fn total_startups(&self) -> u64 {
+        self.clocks.iter().map(|c| c.startups).sum()
+    }
+
+    /// Full per-category breakdown (max over processors).
+    pub fn breakdown(&self) -> Breakdown {
+        let mut by_cat = [0.0; Category::ALL.len()];
+        for (i, cat) in Category::ALL.iter().enumerate() {
+            by_cat[i] = self.max_cat_ms(*cat);
+        }
+        Breakdown { by_cat_ms: by_cat, total_ms: self.max_time_ms() }
+    }
+
+    /// Drop the results, keeping only timing (useful when the result type is
+    /// not `Clone`).
+    pub fn timing_only(&self) -> RunOutput<()> {
+        RunOutput {
+            results: vec![(); self.results.len()],
+            clocks: self.clocks.clone(),
+            traces: self.traces.clone(),
+            comm_matrix: self.comm_matrix.clone(),
+        }
+    }
+}
+
+/// Critical-path milliseconds per category plus the overall completion time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Breakdown {
+    by_cat_ms: [f64; Category::ALL.len()],
+    total_ms: f64,
+}
+
+impl Breakdown {
+    /// Max-over-processors time for one category, ms.
+    pub fn cat_ms(&self, cat: Category) -> f64 {
+        self.by_cat_ms[cat.index()]
+    }
+
+    /// Machine completion time, ms.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ms
+    }
+
+    /// A compact single-line rendering, e.g. for experiment logs.
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        for cat in Category::ALL {
+            let v = self.cat_ms(cat);
+            if v > 0.0 {
+                parts.push(format!("{}={:.3}ms", cat.label(), v));
+            }
+        }
+        format!("total={:.3}ms [{}]", self.total_ms, parts.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostModel, SimClock};
+
+    fn report_with(cat: Category, ns: f64, now: f64) -> ClockReport {
+        let mut c = SimClock::new(CostModel { delta_ns: 1.0, tau_ns: 0.0, mu_ns: 0.0, ..CostModel::zero() });
+        c.set_category(cat);
+        c.charge_ops(ns as usize);
+        c.fast_forward(now);
+        c.report()
+    }
+
+    #[test]
+    fn max_and_mean_over_procs() {
+        let out = RunOutput::new(
+            vec![(), ()],
+            vec![
+                report_with(Category::LocalComp, 2e6, 2e6),
+                report_with(Category::LocalComp, 4e6, 4e6),
+            ],
+        );
+        assert_eq!(out.max_cat_ms(Category::LocalComp), 4.0);
+        assert_eq!(out.mean_cat_ms(Category::LocalComp), 3.0);
+        assert_eq!(out.max_time_ms(), 4.0);
+    }
+
+    #[test]
+    fn breakdown_summary_mentions_nonzero_categories_only() {
+        let out = RunOutput::new(vec![()], vec![report_with(Category::ManyToMany, 1e6, 1e6)]);
+        let s = out.breakdown().summary();
+        assert!(s.contains("m2m=1.000ms"), "{s}");
+        assert!(!s.contains("local"), "{s}");
+    }
+}

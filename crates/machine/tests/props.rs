@@ -1,0 +1,165 @@
+//! Property tests for the machine substrate: collectives against serial
+//! oracles over arbitrary group sizes, payload sizes, and algorithms, plus
+//! clock invariants.
+
+use proptest::prelude::*;
+
+use hpf_machine::collectives::{
+    allgather, allreduce_sum, allreduce_with, alltoallv, broadcast, gather_to_root,
+    prefix_reduction_sum, scatter_from_root, A2aSchedule, PrsAlgorithm,
+};
+use hpf_machine::{Category, CostModel, Machine, ProcGrid};
+
+fn any_algo() -> impl Strategy<Value = PrsAlgorithm> {
+    prop::sample::select(vec![
+        PrsAlgorithm::Direct,
+        PrsAlgorithm::Split,
+        PrsAlgorithm::Auto,
+        PrsAlgorithm::Hardware,
+    ])
+}
+
+fn any_schedule() -> impl Strategy<Value = A2aSchedule> {
+    prop::sample::select(vec![
+        A2aSchedule::LinearPermutation,
+        A2aSchedule::NaivePush,
+        A2aSchedule::PairwiseExchange,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn prs_all_algorithms_match_serial(
+        p in 1usize..=10,
+        m in 0usize..32,
+        algo in any_algo(),
+        seed in 0i32..500,
+    ) {
+        let inputs: Vec<Vec<i32>> =
+            (0..p).map(|r| (0..m).map(|j| (seed + (r * 13 + j * 7) as i32) % 89).collect()).collect();
+        let mut acc = vec![0i32; m];
+        let mut prefixes = Vec::new();
+        for v in &inputs {
+            prefixes.push(acc.clone());
+            for (a, b) in acc.iter_mut().zip(v) { *a += *b; }
+        }
+        let machine = Machine::new(ProcGrid::line(p), CostModel::cm5());
+        let inp = &inputs;
+        let out = machine.run(move |proc| {
+            let g = proc.world();
+            prefix_reduction_sum(proc, &g, &inp[proc.id()], algo)
+        });
+        for (r, (prefix, total)) in out.results.iter().enumerate() {
+            prop_assert_eq!(prefix, &prefixes[r]);
+            prop_assert_eq!(total, &acc);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_any_root(p in 1usize..=9, root_sel in 0usize..9, len in 0usize..20) {
+        let root = root_sel % p;
+        let machine = Machine::new(ProcGrid::line(p), CostModel::cm5());
+        let out = machine.run(move |proc| {
+            let g = proc.world();
+            let data = if g.my_rank() == root {
+                (0..len as i32).collect()
+            } else {
+                Vec::new()
+            };
+            broadcast(proc, &g, root, data)
+        });
+        let want: Vec<i32> = (0..len as i32).collect();
+        for r in out.results {
+            prop_assert_eq!(r, want.clone());
+        }
+    }
+
+    #[test]
+    fn gather_scatter_inverse(p in 1usize..=8, root_sel in 0usize..8) {
+        let root = root_sel % p;
+        let machine = Machine::new(ProcGrid::line(p), CostModel::cm5());
+        let out = machine.run(move |proc| {
+            let g = proc.world();
+            let mine: Vec<i32> = vec![proc.id() as i32; proc.id() % 3 + 1];
+            let all = gather_to_root(proc, &g, root, mine.clone());
+            let back = scatter_from_root(proc, &g, root, all);
+            (mine, back)
+        });
+        for (mine, back) in out.results {
+            prop_assert_eq!(mine, back);
+        }
+    }
+
+    #[test]
+    fn allgather_is_replicated_gather(p in 1usize..=8) {
+        let machine = Machine::new(ProcGrid::line(p), CostModel::cm5());
+        let out = machine.run(move |proc| {
+            let g = proc.world();
+            allgather(proc, &g, vec![proc.id() as i32 * 2 + 1])
+        });
+        for all in &out.results {
+            for (r, v) in all.iter().enumerate() {
+                prop_assert_eq!(v, &vec![r as i32 * 2 + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_schedules_agree(
+        p in 1usize..=8,
+        schedule in any_schedule(),
+        base in 0usize..4,
+    ) {
+        let machine = Machine::new(ProcGrid::line(p), CostModel::cm5());
+        let out = machine.run(move |proc| {
+            let g = proc.world();
+            let sends: Vec<Vec<i32>> = (0..p)
+                .map(|j| vec![(proc.id() * 31 + j) as i32; base + (proc.id() + j) % 3])
+                .collect();
+            alltoallv(proc, &g, sends, schedule)
+        });
+        for (j, recvs) in out.results.iter().enumerate() {
+            for (r, v) in recvs.iter().enumerate() {
+                prop_assert_eq!(v.len(), base + (r + j) % 3);
+                prop_assert!(v.iter().all(|&x| x == (r * 31 + j) as i32));
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_equals_with_add(p in 1usize..=8, m in 0usize..16) {
+        let machine = Machine::new(ProcGrid::line(p), CostModel::cm5());
+        let out = machine.run(move |proc| {
+            let g = proc.world();
+            let v: Vec<i64> = (0..m).map(|j| (proc.id() * 7 + j) as i64).collect();
+            let a = allreduce_sum(proc, &g, &v, PrsAlgorithm::Direct);
+            let b = allreduce_with(proc, &g, &v, |x, y| x + y);
+            (a, b)
+        });
+        for (a, b) in out.results {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Clocks never run backwards and category times sum to at most the
+    /// final time (charges are the only way time advances besides waits,
+    /// which are also attributed).
+    #[test]
+    fn category_times_sum_to_total(p in 1usize..=6, m in 1usize..64) {
+        let machine = Machine::new(ProcGrid::line(p), CostModel::cm5());
+        let out = machine.run(move |proc| {
+            proc.clock().set_category(Category::PrefixReductionSum);
+            let g = proc.world();
+            let v = vec![1i32; m];
+            prefix_reduction_sum(proc, &g, &v, PrsAlgorithm::Auto);
+            proc.clock().set_category(Category::LocalComp);
+            proc.charge_ops(m);
+        });
+        for c in &out.clocks {
+            let cat_sum: f64 = Category::ALL.iter().map(|&cat| c.cat_ns(cat)).sum();
+            prop_assert!((cat_sum - c.now_ns).abs() < 1e-6, "sum {} vs now {}", cat_sum, c.now_ns);
+        }
+    }
+}

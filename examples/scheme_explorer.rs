@@ -1,0 +1,73 @@
+//! Interactive-ish explorer: sweep block size and mask density for a given
+//! array size and processor count, printing which PACK scheme wins where —
+//! a compact, runnable summary of the paper's Sections 6–7.
+//!
+//! Usage:
+//! ```sh
+//! cargo run --release --example scheme_explorer -- [N] [P]
+//! # defaults: N = 16384, P = 8
+//! ```
+
+use hpf_packunpack::core::{pack, MaskPattern, PackOptions, PackScheme};
+use hpf_packunpack::distarray::{local_from_fn, ArrayDesc, Dist};
+use hpf_packunpack::machine::{CostModel, Machine, ProcGrid};
+
+fn total_ms(n: usize, p: usize, w: usize, density: f64, scheme: PackScheme) -> f64 {
+    let grid = ProcGrid::line(p);
+    let machine = Machine::new(grid.clone(), CostModel::cm5());
+    let desc = ArrayDesc::new(&[n], &grid, &[Dist::BlockCyclic(w)]).unwrap();
+    let pattern = MaskPattern::Random { density, seed: 42 };
+    let desc_ref = &desc;
+    let out = machine.run(move |proc| {
+        let a = local_from_fn(desc_ref, proc.id(), |g| g[0] as i32);
+        let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &[n]));
+        pack(proc, desc_ref, &a, &m, &PackOptions::new(scheme)).unwrap();
+    });
+    out.max_time_ms()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16384);
+    let p: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    assert!(n.is_multiple_of(p), "P must divide N");
+    let local = n / p;
+
+    println!("PACK scheme explorer: N = {n}, P = {p} (local size {local})");
+    println!("cell = winning scheme (simulated total time, CM-5 cost model)\n");
+
+    let mut blocks = Vec::new();
+    let mut w = 1;
+    while w <= local {
+        blocks.push(w);
+        w *= 4;
+    }
+
+    print!("{:>8}", "W \\ dens");
+    for density in MaskPattern::DENSITIES {
+        print!("  {:>14}", format!("{:.0}%", density * 100.0));
+    }
+    println!();
+    for &w in &blocks {
+        print!("{w:>8}");
+        for density in MaskPattern::DENSITIES {
+            let times: Vec<(PackScheme, f64)> = PackScheme::ALL
+                .iter()
+                .map(|&s| (s, total_ms(n, p, w, density, s)))
+                .collect();
+            let (best, t) = times
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .copied()
+                .unwrap();
+            print!("  {:>14}", format!("{} {:.2}ms", best.label(), t));
+        }
+        println!();
+    }
+
+    println!(
+        "\nreading guide: SSS should win toward the top-left (cyclic layout, sparse \
+         masks); CMS toward the bottom-right (block layout, dense masks) — the \
+         crossover line is the paper's beta_1/beta_2 frontier."
+    );
+}

@@ -1,0 +1,104 @@
+//! Domain example: power iteration on a PACK-compressed sparse matrix.
+//!
+//! The full pipeline the paper's runtime exists for: a dense-stored banded
+//! matrix is compressed (and thereby load-balanced) once with PACK, then an
+//! iterative solver runs on the compact distributed form — each iteration
+//! is an irregular gather (x entries), local multiply, and scatter-add
+//! (partial row sums), capped by global reductions for the norm.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example sparse_power_iteration
+//! ```
+
+use hpf_packunpack::apps::SparseMatrix;
+use hpf_packunpack::core::PackOptions;
+use hpf_packunpack::distarray::{local_from_fn, ArrayDesc, DimLayout, Dist};
+use hpf_packunpack::machine::collectives::{allreduce_sum, A2aSchedule, PrsAlgorithm};
+use hpf_packunpack::machine::{CostModel, Machine, ProcGrid};
+
+const N: usize = 64;
+const ITERS: usize = 40;
+
+/// Tridiagonal Laplacian (2 on the diagonal, -1 off it) with a spiked
+/// corner entry, giving a well-separated dominant eigenvalue so the power
+/// method converges quickly.
+fn entry(col: usize, row: usize) -> f64 {
+    if row == 0 && col == 0 {
+        return 10.0;
+    }
+    match row.abs_diff(col) {
+        0 => 2.0,
+        1 => -1.0,
+        _ => 0.0,
+    }
+}
+
+/// Serial oracle: the same power iteration on the dense matrix.
+fn oracle_lambda() -> f64 {
+    let mut x = vec![1.0f64; N];
+    let mut lambda = 0.0;
+    for _ in 0..ITERS {
+        let y: Vec<f64> = (0..N)
+            .map(|r| (0..N).map(|c| entry(c, r) * x[c]).sum())
+            .collect();
+        let xy: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let yy: f64 = y.iter().map(|v| v * v).sum();
+        lambda = xy;
+        let norm = yy.sqrt();
+        x = y.iter().map(|v| v / norm).collect();
+    }
+    lambda
+}
+
+fn main() {
+    let grid = ProcGrid::new(&[2, 2]);
+    let machine = Machine::new(grid.clone(), CostModel::cm5());
+    let desc =
+        ArrayDesc::new(&[N, N], &grid, &[Dist::BlockCyclic(4), Dist::BlockCyclic(4)]).unwrap();
+    let nprocs = grid.nprocs();
+    let x_layout = DimLayout::new_general(N, nprocs, N.div_ceil(nprocs)).unwrap();
+
+    let (d, xl) = (&desc, &x_layout);
+    let out = machine.run(move |proc| {
+        // Compress once.
+        let dense = local_from_fn(d, proc.id(), |g| entry(g[0], g[1]));
+        let a = SparseMatrix::compress(proc, d, &dense, &PackOptions::default())
+            .expect("divisible layout");
+
+        // Power iteration on a block-distributed x.
+        let mut x: Vec<f64> = vec![1.0; xl.local_len(proc.id())];
+        let mut lambda = 0.0f64;
+        for _ in 0..ITERS {
+            let (y, _) = a.spmv(proc, &x, xl, A2aSchedule::LinearPermutation);
+            // Rayleigh-style estimate and normalisation via global sums.
+            let local: [f64; 2] = [
+                x.iter().zip(&y).map(|(&xi, &yi)| xi * yi).sum(),
+                y.iter().map(|&v| v * v).sum(),
+            ];
+            proc.charge_ops(2 * y.len());
+            let world = proc.world();
+            let sums = allreduce_sum(proc, &world, &local, PrsAlgorithm::Direct);
+            lambda = sums[0].max(1e-30);
+            let norm = sums[1].sqrt().max(1e-30);
+            x = y.iter().map(|&v| v / norm).collect();
+            proc.charge_ops(x.len());
+        }
+        (a.nnz, lambda)
+    });
+
+    let (nnz, lambda) = out.results[0];
+    let want = oracle_lambda();
+    println!("power iteration on a spiked {N}x{N} Laplacian (2x2 processors)");
+    println!("  nonzeros after PACK compression: {nnz} (dense stored {})", N * N);
+    println!("  dominant eigenvalue after {ITERS} iterations: {lambda:.9}");
+    println!("  serial oracle (same iteration, dense):        {want:.9}");
+    println!("  simulated time {:.3} ms", out.max_time_ms());
+    assert!(
+        (lambda - want).abs() < 1e-9,
+        "distributed and serial iterations must agree to rounding"
+    );
+    for r in &out.results {
+        assert_eq!(r.0, nnz);
+    }
+}

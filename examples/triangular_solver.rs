@@ -1,0 +1,89 @@
+//! Domain example: compacting the strict lower triangle of a distributed
+//! matrix — the paper's structured "LT" mask — as a building block for
+//! triangular storage.
+//!
+//! Dense triangular algorithms waste half the memory and half the
+//! communication bandwidth on zeros. `PACK(A, i1 > i0)` compresses the
+//! strict triangle into a dense, perfectly balanced distributed vector
+//! (packed row-major order), after which updates run on `Size = N(N-1)/2`
+//! elements instead of `N²`. This example packs the triangle, scales it
+//! (the inner kernel of a rank-1 triangular update), and unpacks it back,
+//! comparing PACK schemes on the way.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example triangular_solver
+//! ```
+
+use hpf_packunpack::core::{
+    pack, unpack, MaskPattern, PackOptions, PackScheme, UnpackOptions, UnpackScheme,
+};
+use hpf_packunpack::distarray::{local_from_fn, ArrayDesc, Dist, GlobalArray};
+use hpf_packunpack::machine::{CostModel, Machine, ProcGrid};
+
+const N: usize = 128;
+
+fn entry(i0: usize, i1: usize) -> i32 {
+    (i1 * N + i0) as i32 % 97 + 1
+}
+
+fn main() {
+    let grid = ProcGrid::new(&[4, 4]);
+    let machine = Machine::new(grid.clone(), CostModel::cm5());
+    let desc =
+        ArrayDesc::new(&[N, N], &grid, &[Dist::BlockCyclic(4), Dist::BlockCyclic(4)]).unwrap();
+    let lt = MaskPattern::LowerTriangular;
+
+    println!("compacting the strict triangle of a {N}x{N} matrix on 4x4 processors");
+    println!("dense elements: {}, triangle elements: {}", N * N, N * (N - 1) / 2);
+
+    // Compare the three schemes on the triangle pack (simulated ms).
+    for scheme in PackScheme::ALL {
+        let desc_ref = &desc;
+        let out = machine.run(move |proc| {
+            let a = local_from_fn(desc_ref, proc.id(), |g| entry(g[0], g[1]));
+            let m = lt.local(desc_ref, proc.id());
+            pack(proc, desc_ref, &a, &m, &PackOptions::new(scheme)).unwrap().size
+        });
+        println!(
+            "  {}: Size = {}, simulated total {:.3} ms",
+            scheme.label(),
+            out.results[0],
+            out.max_time_ms()
+        );
+    }
+
+    // Full round trip with the best scheme: pack -> scale by 2 -> unpack.
+    let desc_ref = &desc;
+    let out = machine.run(move |proc| {
+        let a = local_from_fn(desc_ref, proc.id(), |g| entry(g[0], g[1]));
+        let m = lt.local(desc_ref, proc.id());
+        let packed =
+            pack(proc, desc_ref, &a, &m, &PackOptions::new(PackScheme::CompactMessage)).unwrap();
+        let scaled: Vec<i32> = packed.local_v.iter().map(|&v| v * 2).collect();
+        proc.charge_ops(scaled.len());
+        unpack(
+            proc,
+            desc_ref,
+            &m,
+            &a,
+            &scaled,
+            &packed.v_layout.expect("triangle is non-empty"),
+            &UnpackOptions::new(UnpackScheme::CompactStorage),
+        )
+        .unwrap()
+    });
+
+    let result = GlobalArray::assemble(&desc, &out.results);
+    for i1 in 0..N {
+        for i0 in 0..N {
+            let want = if i1 > i0 { entry(i0, i1) * 2 } else { entry(i0, i1) };
+            assert_eq!(result.get(&[i0, i1]), want, "mismatch at ({i0},{i1})");
+        }
+    }
+    println!(
+        "round trip verified: triangle doubled, diagonal+upper untouched \
+         (simulated {:.3} ms)",
+        out.max_time_ms()
+    );
+}

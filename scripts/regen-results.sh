@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Regenerate every canonical experiment output in results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+for b in table1 table2 fig3 fig4 fig5 prs scaling ablations balance timeline; do
+  echo "== $b =="
+  cargo run -p hpf-bench --release --bin "$b" > "results/$b.txt"
+done
+echo "done; outputs in results/"

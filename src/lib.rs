@@ -1,0 +1,13 @@
+//! Facade crate re-exporting the PACK/UNPACK reproduction workspace.
+//!
+//! See [`hpf_core`] for the paper's contribution (parallel PACK/UNPACK with
+//! distributed ranking), [`hpf_distarray`] for the block-cyclic distributed
+//! array substrate, [`hpf_machine`] for the simulated coarse-grained
+//! parallel machine, [`hpf_intrinsics`] for the companion F90/HPF
+//! transformational intrinsics, and [`hpf_apps`] for mini-applications
+//! built on the runtime.
+pub use hpf_apps as apps;
+pub use hpf_core as core;
+pub use hpf_distarray as distarray;
+pub use hpf_intrinsics as intrinsics;
+pub use hpf_machine as machine;

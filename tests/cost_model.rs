@@ -1,0 +1,209 @@
+//! Validation of the Section 6.4 local-computation model: with `δ = 1 ns`
+//! and free communication, the simulated clock's per-category nanoseconds
+//! *are* operation counts, so the paper's closed-form formulas can be
+//! checked against the implementation exactly.
+
+use hpf_packunpack::core::{pack, MaskPattern, PackOptions, PackScheme, ScanMethod};
+use hpf_packunpack::distarray::{local_from_fn, ArrayDesc, DimLayout, Dist};
+use hpf_packunpack::machine::{Category, CostModel, Machine, ProcGrid};
+
+/// δ = 1 ns, everything else free: LocalComp nanoseconds == LocalComp ops.
+fn ops_model() -> CostModel {
+    CostModel { delta_ns: 1.0, ..CostModel::zero() }
+}
+
+struct Counts {
+    /// Per-processor LocalComp operation counts.
+    local_ops: Vec<f64>,
+    /// Per-processor selected-element counts `E_i`.
+    e: Vec<usize>,
+    /// Per-processor received-element counts (`≈ E_a` for balanced masks).
+    r: Vec<usize>,
+    /// Per-processor destination-run counts `Gs_i`.
+    gs: Vec<usize>,
+    /// Per-processor non-empty slice counts.
+    nonempty_slices: Vec<usize>,
+}
+
+fn measure(n: usize, p: usize, w: usize, density: f64, opts: PackOptions) -> Counts {
+    let grid = ProcGrid::line(p);
+    let desc = ArrayDesc::new(&[n], &grid, &[Dist::BlockCyclic(w)]).unwrap();
+    let pattern = MaskPattern::Random { density, seed: 77 };
+    let machine = Machine::new(grid, ops_model());
+    let d = &desc;
+    let out = machine.run(move |proc| {
+        let a = local_from_fn(d, proc.id(), |g| g[0] as i32);
+        let m = local_from_fn(d, proc.id(), |g| pattern.value(g, &[n]));
+        let r = pack(proc, d, &a, &m, &opts).unwrap();
+        (m, r.local_v.len(), r.size)
+    });
+
+    // Harness-side oracle quantities.
+    let size = out.results[0].2;
+    let v_layout = DimLayout::new_general(size.max(1), p, size.div_ceil(p).max(1)).unwrap();
+    let mut e = Vec::new();
+    let mut gs = Vec::new();
+    let mut nonempty = Vec::new();
+    // Walk masks in global rank order per processor to count runs: runs are
+    // per-slice rank intervals split at W' boundaries.
+    for (mask, _, _) in &out.results {
+        e.push(mask.iter().filter(|&&b| b).count());
+        nonempty.push(mask.chunks_exact(w).filter(|s| s.iter().any(|&b| b)).count());
+        gs.push(0);
+    }
+    // Re-derive Gs by replaying the ranking order (global array element
+    // order): slice counts per proc in slice order.
+    let mask_global = pattern.global(&[n]);
+    // Per-proc slice counts.
+    let slice_of: Vec<Vec<usize>> = out
+        .results
+        .iter()
+        .map(|(mask, _, _)| {
+            mask.chunks_exact(w).map(|s| s.iter().filter(|&&b| b).count()).collect()
+        })
+        .collect();
+    // Global rank of each slice's first element = count of trues before it.
+    let ranks = {
+        let mut acc = 0usize;
+        let mut r = Vec::with_capacity(n);
+        for &b in mask_global.data() {
+            r.push(acc);
+            if b {
+                acc += 1;
+            }
+        }
+        r
+    };
+    for proc_id in 0..p {
+        for (k, &cnt) in slice_of[proc_id].iter().enumerate() {
+            if cnt == 0 {
+                continue;
+            }
+            // First selected element's rank within this slice:
+            let mut r0 = None;
+            for off in 0..w {
+                let g = desc.global_of_local(proc_id, k * w + off)[0];
+                if mask_global.get(&[g]) {
+                    r0 = Some(ranks[g]);
+                    break;
+                }
+            }
+            let r0 = r0.unwrap();
+            // Runs split at W' boundaries.
+            let wp = v_layout.w();
+            let mut pos = r0;
+            let end = r0 + cnt;
+            while pos < end {
+                gs[proc_id] += 1;
+                pos += (wp - pos % wp).min(end - pos);
+            }
+        }
+    }
+    let r: Vec<usize> = out.results.iter().map(|(_, len, _)| *len).collect();
+    Counts {
+        local_ops: out.clocks.iter().map(|c| c.cat_ns(Category::LocalComp)).collect(),
+        e,
+        r,
+        gs,
+        nonempty_slices: nonempty,
+    }
+}
+
+/// SSS local computation is exactly `L + 2C + 6E_i + 2R_i` for a 1-D array
+/// (initial scan L + 4E, the common intermediate-step 2C, final replay 2E,
+/// message decomposition 2R) — the Section 6.4.1 accounting.
+#[test]
+fn sss_ops_match_closed_form() {
+    let (n, p, w) = (256usize, 4usize, 8usize);
+    let l = n / p;
+    let c = l / w;
+    let counts = measure(n, p, w, 0.5, PackOptions::new(PackScheme::Simple));
+    for proc_id in 0..p {
+        let want = (l + 2 * c + 6 * counts.e[proc_id] + 2 * counts.r[proc_id]) as f64;
+        assert_eq!(
+            counts.local_ops[proc_id], want,
+            "proc {proc_id}: E={} R={}",
+            counts.e[proc_id], counts.r[proc_id]
+        );
+    }
+}
+
+/// CSS (whole-slice scan method) local computation is exactly
+/// `L + 4C + W·K_i + G_i + 2E_i + 2R_i` where `K_i` counts non-empty slices
+/// and `G_i` the destination runs: initial `L + C`, intermediate `2C`,
+/// composition `C + W·K + Σ_runs(1 + 2·len)`, decomposition `2R`.
+#[test]
+fn css_ops_match_closed_form() {
+    let (n, p, w) = (256usize, 4usize, 8usize);
+    let l = n / p;
+    let c = l / w;
+    let mut opts = PackOptions::new(PackScheme::CompactStorage);
+    opts.scan_method = ScanMethod::WholeSlice;
+    let counts = measure(n, p, w, 0.5, opts);
+    for proc_id in 0..p {
+        let want = (l
+            + 4 * c
+            + w * counts.nonempty_slices[proc_id]
+            + counts.gs[proc_id]
+            + 2 * counts.e[proc_id]
+            + 2 * counts.r[proc_id]) as f64;
+        assert_eq!(counts.local_ops[proc_id], want, "proc {proc_id}");
+    }
+}
+
+/// CMS (whole-slice scan method) local computation is exactly
+/// `L + 4C + W·K_i + 2Gs_i + E_i + (R_i + 2Gr_i)`; with a balanced random
+/// mask every processor both sends and receives, and we check the sum over
+/// processors, where `Σ Gr = Σ Gs`.
+#[test]
+fn cms_ops_match_closed_form_in_aggregate() {
+    let (n, p, w) = (256usize, 4usize, 8usize);
+    let l = n / p;
+    let c = l / w;
+    let mut opts = PackOptions::new(PackScheme::CompactMessage);
+    opts.scan_method = ScanMethod::WholeSlice;
+    let counts = measure(n, p, w, 0.5, opts);
+    let total_ops: f64 = counts.local_ops.iter().sum();
+    let e: usize = counts.e.iter().sum();
+    let r: usize = counts.r.iter().sum();
+    let gs: usize = counts.gs.iter().sum();
+    let k: usize = counts.nonempty_slices.iter().sum();
+    let want = (p * (l + 4 * c) + w * k + 2 * gs + e + r + 2 * gs) as f64;
+    assert_eq!(total_ops, want, "E={e} R={r} Gs={gs} K={k}");
+}
+
+/// The method-1 scan ("until collected") never does more work than the
+/// method-2 scan, and strictly less when slices end with unselected
+/// elements (Section 6.1's finding).
+#[test]
+fn until_collected_scan_is_cheaper() {
+    let (n, p, w) = (1024usize, 4usize, 32usize);
+    let mk = |method: ScanMethod| {
+        let mut opts = PackOptions::new(PackScheme::CompactStorage);
+        opts.scan_method = method;
+        measure(n, p, w, 0.3, opts).local_ops.iter().sum::<f64>()
+    };
+    let m1 = mk(ScanMethod::UntilCollected);
+    let m2 = mk(ScanMethod::WholeSlice);
+    assert!(m1 < m2, "method 1 ({m1}) must beat method 2 ({m2}) at 30% density");
+}
+
+/// The β₁ mechanics of Table I, pinned at the ops level: with a dense mask
+/// and large blocks CSS does fewer local ops than SSS; with a cyclic layout
+/// SSS does fewer.
+#[test]
+fn beta1_crossover_in_op_counts() {
+    let total = |w: usize, scheme: PackScheme, density: f64| {
+        measure(256, 4, w, density, PackOptions::new(scheme)).local_ops.iter().sum::<f64>()
+    };
+    // Large blocks, dense mask: CSS wins.
+    assert!(
+        total(64, PackScheme::CompactStorage, 0.9) < total(64, PackScheme::Simple, 0.9),
+        "CSS should win at block distribution and 90% density"
+    );
+    // Cyclic: SSS wins (C = L makes the compact schemes pay twice).
+    assert!(
+        total(1, PackScheme::Simple, 0.9) < total(1, PackScheme::CompactStorage, 0.9),
+        "SSS should win at cyclic distribution"
+    );
+}

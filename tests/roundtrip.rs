@@ -1,0 +1,130 @@
+//! PACK ∘ UNPACK round-trip identities, run entirely on the machine (the
+//! result vector never leaves its distributed form between the two ops).
+
+use hpf_packunpack::core::{
+    pack, unpack, MaskPattern, PackOptions, PackScheme, UnpackOptions, UnpackScheme,
+};
+use hpf_packunpack::distarray::{local_from_fn, ArrayDesc, Dist, GlobalArray};
+use hpf_packunpack::machine::{CostModel, Machine, ProcGrid};
+
+/// UNPACK(PACK(A, M), M, F) restores A at selected positions and F
+/// elsewhere — for every scheme combination.
+#[test]
+fn unpack_of_pack_restores_selected_positions() {
+    let shape = [24usize, 12];
+    let grid = ProcGrid::new(&[2, 3]);
+    let desc =
+        ArrayDesc::new(&shape, &grid, &[Dist::BlockCyclic(3), Dist::BlockCyclic(2)]).unwrap();
+    let pattern = MaskPattern::Random { density: 0.45, seed: 77 };
+    let machine = Machine::new(grid, CostModel::cm5());
+
+    for pack_scheme in PackScheme::ALL {
+        for unpack_scheme in UnpackScheme::ALL {
+            let d = &desc;
+            let out = machine.run(move |proc| {
+                let a = local_from_fn(d, proc.id(), |g| (g[0] * 100 + g[1]) as i32);
+                let m = local_from_fn(d, proc.id(), |g| pattern.value(g, &shape));
+                let packed = pack(proc, d, &a, &m, &PackOptions::new(pack_scheme)).unwrap();
+                let f = local_from_fn(d, proc.id(), |_| -7i32);
+                match packed.v_layout {
+                    Some(layout) => unpack(
+                        proc,
+                        d,
+                        &m,
+                        &f,
+                        &packed.local_v,
+                        &layout,
+                        &UnpackOptions::new(unpack_scheme),
+                    )
+                    .unwrap(),
+                    None => f,
+                }
+            });
+            let got = GlobalArray::assemble(&desc, &out.results);
+            for g1 in 0..shape[1] {
+                for g0 in 0..shape[0] {
+                    let want = if pattern.value(&[g0, g1], &shape) {
+                        (g0 * 100 + g1) as i32
+                    } else {
+                        -7
+                    };
+                    assert_eq!(
+                        got.get(&[g0, g1]),
+                        want,
+                        "({g0},{g1}) {pack_scheme:?}+{unpack_scheme:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// PACK(UNPACK(V, M, F), M) is the identity on V (when |V| = Size).
+#[test]
+fn pack_of_unpack_is_identity_on_the_vector() {
+    let shape = [96usize];
+    let grid = ProcGrid::line(4);
+    let desc = ArrayDesc::new(&shape, &grid, &[Dist::BlockCyclic(8)]).unwrap();
+    let pattern = MaskPattern::Random { density: 0.5, seed: 13 };
+    let size = {
+        let m = pattern.global(&shape);
+        m.data().iter().filter(|&&b| b).count()
+    };
+    let v_layout =
+        hpf_packunpack::distarray::DimLayout::new_general(size, 4, size.div_ceil(4)).unwrap();
+
+    let machine = Machine::new(grid, CostModel::cm5());
+    let (d, vl) = (&desc, &v_layout);
+    let out = machine.run(move |proc| {
+        let m = local_from_fn(d, proc.id(), |g| pattern.value(g, &shape));
+        let f = local_from_fn(d, proc.id(), |_| 0i32);
+        let v: Vec<i32> =
+            (0..vl.local_len(proc.id())).map(|l| 10_000 + vl.global_of(proc.id(), l) as i32).collect();
+        let a = unpack(proc, d, &m, &f, &v, vl, &UnpackOptions::default()).unwrap();
+        let packed = pack(proc, d, &a, &m, &PackOptions::default()).unwrap();
+        (v, packed)
+    });
+    // The re-packed vector must be identical to the original V, including
+    // its distribution (both block over Size elements).
+    for (p, (v_in, packed)) in out.results.iter().enumerate() {
+        assert_eq!(packed.size, size);
+        let layout = packed.v_layout.unwrap();
+        let expected: Vec<i32> = (0..layout.local_len(p))
+            .map(|l| 10_000 + layout.global_of(p, l) as i32)
+            .collect();
+        assert_eq!(&packed.local_v, &expected, "proc {p}");
+        // And when W' matches, the local slices coincide exactly.
+        if layout.w() == vl.w() {
+            assert_eq!(&packed.local_v, v_in, "proc {p} slice identity");
+        }
+    }
+}
+
+/// Repeated round trips are stable (no drift in layouts or sizes).
+#[test]
+fn iterated_roundtrip_is_stable() {
+    let shape = [64usize];
+    let grid = ProcGrid::line(4);
+    let desc = ArrayDesc::new(&shape, &grid, &[Dist::BlockCyclic(4)]).unwrap();
+    let pattern = MaskPattern::Random { density: 0.6, seed: 21 };
+    let machine = Machine::new(grid, CostModel::cm5());
+    let d = &desc;
+    let out = machine.run(move |proc| {
+        let m = local_from_fn(d, proc.id(), |g| pattern.value(g, &shape));
+        let mut a = local_from_fn(d, proc.id(), |g| g[0] as i32);
+        for _ in 0..3 {
+            let packed = pack(proc, d, &a, &m, &PackOptions::default()).unwrap();
+            let layout = packed.v_layout.unwrap();
+            a = unpack(proc, d, &m, &a, &packed.local_v, &layout, &UnpackOptions::default())
+                .unwrap();
+        }
+        a
+    });
+    let got = GlobalArray::assemble(&desc, &out.results);
+    // Selected positions keep their original values; unselected positions
+    // were fielded from the original array each round, so the whole array
+    // is unchanged.
+    for g in 0..shape[0] {
+        assert_eq!(got.get(&[g]), g as i32);
+    }
+}

@@ -1,0 +1,165 @@
+//! End-to-end UNPACK integration tests against the sequential oracle.
+
+use hpf_packunpack::core::seq::{count_seq, unpack_seq};
+use hpf_packunpack::core::{unpack, MaskPattern, UnpackOptions, UnpackScheme};
+use hpf_packunpack::distarray::{ArrayDesc, DimLayout, Dist, GlobalArray};
+use hpf_packunpack::machine::{Category, CostModel, Machine, ProcGrid};
+
+fn run_unpack(
+    shape: &[usize],
+    grid_dims: &[usize],
+    dists: &[Dist],
+    pattern: MaskPattern,
+    scheme: UnpackScheme,
+    w_prime: usize,
+) -> (GlobalArray<i32>, GlobalArray<i32>) {
+    let grid = ProcGrid::new(grid_dims);
+    let desc = ArrayDesc::new(shape, &grid, dists).unwrap();
+    let m = pattern.global(shape);
+    let f = GlobalArray::from_fn(shape, |idx| -(idx.iter().sum::<usize>() as i32) - 1);
+    let size = count_seq(&m).max(1);
+    let v: Vec<i32> = (0..size as i32).map(|i| 5000 + i).collect();
+    let want = unpack_seq(&v, &m, &f);
+
+    let v_layout = DimLayout::new_general(size, grid.nprocs(), w_prime).unwrap();
+    let v_locals: Vec<Vec<i32>> = (0..grid.nprocs())
+        .map(|p| (0..v_layout.local_len(p)).map(|l| v[v_layout.global_of(p, l)]).collect())
+        .collect();
+    let m_parts = m.partition(&desc);
+    let f_parts = f.partition(&desc);
+    let machine = Machine::new(grid, CostModel::cm5());
+    let (d, mp, fp, vp, vl) = (&desc, &m_parts, &f_parts, &v_locals, &v_layout);
+    let opts = UnpackOptions::new(scheme);
+    let out = machine.run(move |proc| {
+        unpack(proc, d, &mp[proc.id()], &fp[proc.id()], &vp[proc.id()], vl, &opts).unwrap()
+    });
+    (GlobalArray::assemble(&desc, &out.results), want)
+}
+
+#[test]
+fn both_schemes_match_oracle_across_layouts() {
+    for scheme in UnpackScheme::ALL {
+        for dists in [
+            vec![Dist::Cyclic, Dist::Cyclic],
+            vec![Dist::Block, Dist::BlockCyclic(4)],
+            vec![Dist::BlockCyclic(2), Dist::Block],
+        ] {
+            let (got, want) = run_unpack(
+                &[32, 16],
+                &[2, 2],
+                &dists,
+                MaskPattern::Random { density: 0.5, seed: 55 },
+                scheme,
+                13, // awkward W' that straddles slices
+            );
+            assert_eq!(got, want, "{scheme:?} {dists:?}");
+        }
+    }
+}
+
+#[test]
+fn schemes_agree_with_each_other() {
+    let (a, want) = run_unpack(
+        &[512],
+        &[8],
+        &[Dist::BlockCyclic(8)],
+        MaskPattern::Random { density: 0.7, seed: 3 },
+        UnpackScheme::Simple,
+        32,
+    );
+    let (b, _) = run_unpack(
+        &[512],
+        &[8],
+        &[Dist::BlockCyclic(8)],
+        MaskPattern::Random { density: 0.7, seed: 3 },
+        UnpackScheme::CompactStorage,
+        32,
+    );
+    assert_eq!(a, want);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn empty_mask_returns_pure_field() {
+    let (got, want) = run_unpack(
+        &[64],
+        &[4],
+        &[Dist::Cyclic],
+        MaskPattern::Empty,
+        UnpackScheme::CompactStorage,
+        4,
+    );
+    assert_eq!(got, want);
+    assert!(got.data().iter().all(|&x| x < 0), "all field values");
+}
+
+#[test]
+fn full_mask_copies_the_whole_vector() {
+    let (got, want) = run_unpack(
+        &[64],
+        &[4],
+        &[Dist::BlockCyclic(4)],
+        MaskPattern::Full,
+        UnpackScheme::Simple,
+        16,
+    );
+    assert_eq!(got, want);
+    assert!(got.data().iter().all(|&x| x >= 5000));
+}
+
+/// Request compression: CSS sends strictly fewer request words than SSS when
+/// slices hold runs of selected elements.
+#[test]
+fn css_requests_are_smaller_on_the_wire() {
+    let words = |scheme: UnpackScheme| {
+        let grid = ProcGrid::line(4);
+        let desc = ArrayDesc::new(&[1024], &grid, &[Dist::BlockCyclic(64)]).unwrap();
+        let size = 512;
+        let v_layout = DimLayout::new_general(size, 4, 128).unwrap();
+        let machine = Machine::new(grid, CostModel::cm5());
+        let (d, vl) = (&desc, &v_layout);
+        let opts = UnpackOptions::new(scheme);
+        machine
+            .run(move |proc| {
+                let m = MaskPattern::FirstHalf.local(d, proc.id());
+                let f = vec![0i32; d.local_len(proc.id())];
+                let v = vec![1i32; vl.local_len(proc.id())];
+                unpack(proc, d, &m, &f, &v, vl, &opts).unwrap();
+            })
+            .total_words_sent()
+    };
+    assert!(
+        words(UnpackScheme::CompactStorage) < words(UnpackScheme::Simple),
+        "run-compressed requests must be smaller"
+    );
+}
+
+/// The two-stage READ costs more communication than PACK's one-stage WRITE
+/// on the same mask (Section 4.2).
+#[test]
+fn unpack_communication_exceeds_pack() {
+    use hpf_packunpack::core::{pack, PackOptions, PackScheme};
+    let grid = ProcGrid::line(8);
+    let desc = ArrayDesc::new(&[2048], &grid, &[Dist::BlockCyclic(16)]).unwrap();
+    let pattern = MaskPattern::Random { density: 0.5, seed: 8 };
+    let machine = Machine::new(grid.clone(), CostModel::cm5());
+    let d = &desc;
+    let pack_out = machine.run(move |proc| {
+        let a = hpf_packunpack::distarray::local_from_fn(d, proc.id(), |g| g[0] as i32);
+        let m = pattern.local(d, proc.id());
+        pack(proc, d, &a, &m, &PackOptions::new(PackScheme::CompactStorage)).unwrap().size
+    });
+    let size = pack_out.results[0];
+    let v_layout = DimLayout::new_general(size, 8, size.div_ceil(8)).unwrap();
+    let vl = &v_layout;
+    let unpack_out = machine.run(move |proc| {
+        let m = pattern.local(d, proc.id());
+        let f = vec![0i32; d.local_len(proc.id())];
+        let v = vec![1i32; vl.local_len(proc.id())];
+        unpack(proc, d, &m, &f, &v, vl, &UnpackOptions::new(UnpackScheme::CompactStorage))
+            .unwrap();
+    });
+    assert!(
+        unpack_out.max_cat_ms(Category::ManyToMany) > pack_out.max_cat_ms(Category::ManyToMany)
+    );
+}
