@@ -44,7 +44,10 @@ pub fn run_compaction(
     opts: &PackOptions,
 ) -> Result<Vec<StepStats>, PackError> {
     let nprocs = proc.nprocs();
-    assert!(n.is_multiple_of(nprocs), "initial population must divide the processor count");
+    assert!(
+        n.is_multiple_of(nprocs),
+        "initial population must divide the processor count"
+    );
     let cap = n / nprocs;
 
     // The fixed-capacity buffer is modelled as a block-distributed array of
@@ -128,8 +131,7 @@ mod tests {
         let n = 256usize;
         let steps = 6usize;
         let advance = |p: i64, _| p.wrapping_mul(31).wrapping_add(17) % 1000;
-        let survive =
-            |p: i64, step: usize| !(p.unsigned_abs() as usize + step).is_multiple_of(4);
+        let survive = |p: i64, step: usize| !(p.unsigned_abs() as usize + step).is_multiple_of(4);
         let want = oracle(n, steps, advance, survive);
 
         let machine = Machine::new(ProcGrid::line(4), CostModel::cm5());
@@ -173,8 +175,15 @@ mod tests {
     fn extinction_terminates_early() {
         let machine = Machine::new(ProcGrid::line(4), CostModel::cm5());
         let out = machine.run(move |proc| {
-            run_compaction(proc, 64, 10, |p, _| p, |_, step| step == 0, &PackOptions::default())
-                .unwrap()
+            run_compaction(
+                proc,
+                64,
+                10,
+                |p, _| p,
+                |_, step| step == 0,
+                &PackOptions::default(),
+            )
+            .unwrap()
         });
         for stats in &out.results {
             // Step 0 keeps everyone, step 1 kills everyone, loop stops.

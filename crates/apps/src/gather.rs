@@ -48,7 +48,11 @@ pub fn gather_global<T: Wire + Default>(
         let mut replies: Vec<Vec<T>> = Vec::with_capacity(nprocs);
         let mut ops = 0usize;
         for req in &incoming {
-            replies.push(req.iter().map(|&g| v_local[v_layout.local_of(g as usize)]).collect());
+            replies.push(
+                req.iter()
+                    .map(|&g| v_local[v_layout.local_of(g as usize)])
+                    .collect(),
+            );
             ops += 2 * req.len();
         }
         proc.charge_ops(ops);

@@ -47,17 +47,23 @@ pub fn sample_sort<T: Wire + Ord + Default>(
     let samples: Vec<T> = if local.is_empty() {
         Vec::new()
     } else {
-        (1..nprocs).map(|k| local[k * local.len() / nprocs]).collect()
+        (1..nprocs)
+            .map(|k| local[k * local.len() / nprocs])
+            .collect()
     };
-    let mut all_samples: Vec<T> =
-        allgather(proc, &world, samples).into_iter().flatten().collect();
+    let mut all_samples: Vec<T> = allgather(proc, &world, samples)
+        .into_iter()
+        .flatten()
+        .collect();
     let splitters: Vec<T> = proc.with_category(Category::LocalComp, |proc| {
         all_samples.sort_unstable();
         proc.charge_ops(all_samples.len() * 4);
         if all_samples.is_empty() {
             Vec::new()
         } else {
-            (1..nprocs).map(|k| all_samples[k * all_samples.len() / nprocs]).collect()
+            (1..nprocs)
+                .map(|k| all_samples[k * all_samples.len() / nprocs])
+                .collect()
         }
     });
 
@@ -99,8 +105,8 @@ pub fn sample_sort<T: Wire + Ord + Default>(
     if n_total == 0 {
         return (Vec::new(), None);
     }
-    let layout = DimLayout::new_general(n_total, nprocs, n_total.div_ceil(nprocs))
-        .expect("positive length");
+    let layout =
+        DimLayout::new_general(n_total, nprocs, n_total.div_ceil(nprocs)).expect("positive length");
 
     let sends = proc.with_category(Category::LocalComp, |proc| {
         let mut sends: Vec<Vec<(u32, T)>> = (0..nprocs).map(|_| Vec::new()).collect();
@@ -136,7 +142,9 @@ mod tests {
     use hpf_machine::{CostModel, Machine, ProcGrid};
 
     fn values(pid: usize, n_local: usize) -> Vec<i64> {
-        (0..n_local).map(|i| ((pid * 9973 + i * 131) % 5000) as i64 - 2500).collect()
+        (0..n_local)
+            .map(|i| ((pid * 9973 + i * 131) % 5000) as i64 - 2500)
+            .collect()
     }
 
     fn run(p: usize, n_local: usize, rebalance: bool) -> Vec<Vec<i64>> {
@@ -153,7 +161,10 @@ mod tests {
         let concat: Vec<i64> = parts.iter().flatten().copied().collect();
         let mut want: Vec<i64> = (0..p).flat_map(|pid| values(pid, n_local)).collect();
         want.sort_unstable();
-        assert_eq!(concat, want, "p={p} n_local={n_local} rebalance={rebalance}");
+        assert_eq!(
+            concat, want,
+            "p={p} n_local={n_local} rebalance={rebalance}"
+        );
     }
 
     #[test]

@@ -169,8 +169,9 @@ mod tests {
             let a = SparseMatrix::compress(proc, d, &dense, &PackOptions::default()).unwrap();
             // nnz of a 16x16 tridiagonal matrix: 16 + 15 + 15.
             assert_eq!(a.nnz, 46);
-            let x_local: Vec<f64> =
-                (0..xl.local_len(proc.id())).map(|l| xr[xl.global_of(proc.id(), l)]).collect();
+            let x_local: Vec<f64> = (0..xl.local_len(proc.id()))
+                .map(|l| xr[xl.global_of(proc.id(), l)])
+                .collect();
             let (y, yl) = a.spmv(proc, &x_local, xl, A2aSchedule::LinearPermutation);
             (y, yl, a.local_nnz())
         });
@@ -199,7 +200,9 @@ mod tests {
         let d = &desc;
         let out = machine.run(move |proc| {
             let dense = vec![0.0f64; d.local_len(proc.id())];
-            SparseMatrix::compress(proc, d, &dense, &PackOptions::default()).unwrap().nnz
+            SparseMatrix::compress(proc, d, &dense, &PackOptions::default())
+                .unwrap()
+                .nnz
         });
         assert!(out.results.iter().all(|&n| n == 0));
     }
@@ -215,13 +218,7 @@ mod tests {
         let machine = Machine::new(grid, CostModel::cm5());
         let d = &desc;
         let out = machine.run(move |proc| {
-            let dense = local_from_fn(d, proc.id(), |g| {
-                if g[1] > g[0] {
-                    1.0
-                } else {
-                    0.0
-                }
-            });
+            let dense = local_from_fn(d, proc.id(), |g| if g[1] > g[0] { 1.0 } else { 0.0 });
             let before = dense.iter().filter(|&&v| v != 0.0).count();
             let a = SparseMatrix::compress(proc, d, &dense, &PackOptions::default()).unwrap();
             (before, a.local_nnz())
@@ -229,7 +226,10 @@ mod tests {
         let before: Vec<usize> = out.results.iter().map(|&(b, _)| b).collect();
         let after: Vec<usize> = out.results.iter().map(|&(_, a)| a).collect();
         let spread = |v: &[usize]| v.iter().max().unwrap() - v.iter().min().unwrap();
-        assert!(spread(&before) > 30, "triangle must be imbalanced before: {before:?}");
+        assert!(
+            spread(&before) > 30,
+            "triangle must be imbalanced before: {before:?}"
+        );
         assert!(spread(&after) <= 1, "pack must balance: {after:?}");
     }
 
@@ -239,8 +239,7 @@ mod tests {
     fn packed_order_is_row_major() {
         let (ncols, nrows) = (8usize, 4);
         let grid = ProcGrid::new(&[2, 2]);
-        let desc =
-            ArrayDesc::new(&[ncols, nrows], &grid, &[Dist::Cyclic, Dist::Cyclic]).unwrap();
+        let desc = ArrayDesc::new(&[ncols, nrows], &grid, &[Dist::Cyclic, Dist::Cyclic]).unwrap();
         let dense = GlobalArray::from_fn(&[ncols, nrows], |g| {
             if (g[0] + g[1]) % 3 == 0 {
                 (g[0] + 10 * g[1]) as f64

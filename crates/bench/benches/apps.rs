@@ -22,8 +22,12 @@ fn bench_apps(c: &mut Criterion) {
 
     let n = 64usize;
     let grid = ProcGrid::new(&[2, 2]);
-    let desc =
-        ArrayDesc::new(&[n, n], &grid, &[Dist::BlockCyclic(4), Dist::BlockCyclic(4)]).unwrap();
+    let desc = ArrayDesc::new(
+        &[n, n],
+        &grid,
+        &[Dist::BlockCyclic(4), Dist::BlockCyclic(4)],
+    )
+    .unwrap();
     let machine = Machine::new(grid.clone(), CostModel::cm5());
     let x_layout = DimLayout::new_general(n, 4, n.div_ceil(4)).unwrap();
 

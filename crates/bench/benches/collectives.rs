@@ -38,8 +38,7 @@ fn bench_alltoall(c: &mut Criterion) {
                 b.iter(|| {
                     machine.run(move |proc| {
                         let world = proc.world();
-                        let sends: Vec<Vec<i32>> =
-                            (0..8).map(|j| vec![j; m / 8]).collect();
+                        let sends: Vec<Vec<i32>> = (0..8).map(|j| vec![j; m / 8]).collect();
                         alltoallv(proc, &world, sends, schedule).len()
                     })
                 });

@@ -17,7 +17,10 @@ fn bench_pack(c: &mut Criterion) {
                     &[16384],
                     &[8],
                     w,
-                    MaskPattern::Random { density: 0.5, seed: 3 },
+                    MaskPattern::Random {
+                        density: 0.5,
+                        seed: 3,
+                    },
                 );
                 let desc = cfg.desc();
                 let machine = cfg.machine();
@@ -28,8 +31,7 @@ fn bench_pack(c: &mut Criterion) {
                     let pattern = cfg.pattern;
                     machine.run(move |proc| {
                         let a = local_from_fn(desc_ref, proc.id(), ExpConfig::value_at);
-                        let m =
-                            local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, shape_ref));
+                        let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, shape_ref));
                         pack(proc, desc_ref, &a, &m, opts_ref).unwrap().size
                     })
                 });

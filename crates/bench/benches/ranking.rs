@@ -17,7 +17,10 @@ fn bench_ranking(c: &mut Criterion) {
             let grid = ProcGrid::line(8);
             let desc = ArrayDesc::new(&[n], &grid, &[Dist::BlockCyclic(w)]).unwrap();
             let machine = Machine::new(grid, CostModel::cm5());
-            let pattern = MaskPattern::Random { density: 0.5, seed: 7 };
+            let pattern = MaskPattern::Random {
+                density: 0.5,
+                seed: 7,
+            };
             b.iter(|| {
                 let desc_ref = &desc;
                 machine.run(move |proc| {

@@ -13,27 +13,31 @@ fn bench_modes(c: &mut Criterion) {
     let mut g = c.benchmark_group("redistribute_cyclic_to_block");
     g.sample_size(10);
     for mode in [RedistMode::Indexed, RedistMode::Detected] {
-        g.bench_with_input(BenchmarkId::new(format!("{mode:?}"), 16384), &16384usize, |b, &n| {
-            let grid = ProcGrid::line(8);
-            let src = ArrayDesc::new(&[n], &grid, &[Dist::Cyclic]).unwrap();
-            let dst = ArrayDesc::new(&[n], &grid, &[Dist::Block]).unwrap();
-            let machine = Machine::new(grid, CostModel::cm5());
-            b.iter(|| {
-                let (src_ref, dst_ref) = (&src, &dst);
-                machine.run(move |proc| {
-                    let local = local_from_fn(src_ref, proc.id(), |g| g[0] as i32);
-                    redistribute(
-                        proc,
-                        src_ref,
-                        dst_ref,
-                        &local,
-                        mode,
-                        A2aSchedule::LinearPermutation,
-                    )
-                    .len()
-                })
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new(format!("{mode:?}"), 16384),
+            &16384usize,
+            |b, &n| {
+                let grid = ProcGrid::line(8);
+                let src = ArrayDesc::new(&[n], &grid, &[Dist::Cyclic]).unwrap();
+                let dst = ArrayDesc::new(&[n], &grid, &[Dist::Block]).unwrap();
+                let machine = Machine::new(grid, CostModel::cm5());
+                b.iter(|| {
+                    let (src_ref, dst_ref) = (&src, &dst);
+                    machine.run(move |proc| {
+                        let local = local_from_fn(src_ref, proc.id(), |g| g[0] as i32);
+                        redistribute(
+                            proc,
+                            src_ref,
+                            dst_ref,
+                            &local,
+                            mode,
+                            A2aSchedule::LinearPermutation,
+                        )
+                        .len()
+                    })
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -42,23 +46,36 @@ fn bench_redist_schemes(c: &mut Criterion) {
     let mut g = c.benchmark_group("pack_redistributed");
     g.sample_size(10);
     for scheme in [RedistScheme::SelectedData, RedistScheme::WholeArrays] {
-        g.bench_with_input(BenchmarkId::new(scheme.label(), 16384), &16384usize, |b, &n| {
-            let cfg =
-                ExpConfig::new(&[n], &[8], 1, MaskPattern::Random { density: 0.3, seed: 9 });
-            let desc = cfg.desc();
-            let machine = cfg.machine();
-            let opts = PackOptions::default();
-            let shape = cfg.shape.clone();
-            b.iter(|| {
-                let (desc_ref, shape_ref, opts_ref) = (&desc, &shape, &opts);
-                let pattern = cfg.pattern;
-                machine.run(move |proc| {
-                    let a = local_from_fn(desc_ref, proc.id(), ExpConfig::value_at);
-                    let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, shape_ref));
-                    pack_redistributed(proc, desc_ref, &a, &m, scheme, opts_ref).unwrap().size
-                })
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new(scheme.label(), 16384),
+            &16384usize,
+            |b, &n| {
+                let cfg = ExpConfig::new(
+                    &[n],
+                    &[8],
+                    1,
+                    MaskPattern::Random {
+                        density: 0.3,
+                        seed: 9,
+                    },
+                );
+                let desc = cfg.desc();
+                let machine = cfg.machine();
+                let opts = PackOptions::default();
+                let shape = cfg.shape.clone();
+                b.iter(|| {
+                    let (desc_ref, shape_ref, opts_ref) = (&desc, &shape, &opts);
+                    let pattern = cfg.pattern;
+                    machine.run(move |proc| {
+                        let a = local_from_fn(desc_ref, proc.id(), ExpConfig::value_at);
+                        let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, shape_ref));
+                        pack_redistributed(proc, desc_ref, &a, &m, scheme, opts_ref)
+                            .unwrap()
+                            .size
+                    })
+                });
+            },
+        );
     }
     g.finish();
 }

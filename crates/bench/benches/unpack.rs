@@ -11,7 +11,10 @@ fn bench_unpack(c: &mut Criterion) {
     g.sample_size(10);
     let n = 16384usize;
     let p = 8usize;
-    let pattern = MaskPattern::Random { density: 0.5, seed: 5 };
+    let pattern = MaskPattern::Random {
+        density: 0.5,
+        seed: 5,
+    };
     let size = pattern.global(&[n]).data().iter().filter(|&&b| b).count();
     for scheme in UnpackScheme::ALL {
         for (dist_label, w) in [("block", n / p), ("cyclic8", 8)] {
@@ -28,7 +31,9 @@ fn bench_unpack(c: &mut Criterion) {
                         let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &[n]));
                         let f = vec![0i32; desc_ref.local_len(proc.id())];
                         let v = vec![1i32; vl.local_len(proc.id())];
-                        unpack(proc, desc_ref, &m, &f, &v, vl, opts_ref).unwrap().len()
+                        unpack(proc, desc_ref, &m, &f, &v, vl, opts_ref)
+                            .unwrap()
+                            .len()
                     })
                 });
             });

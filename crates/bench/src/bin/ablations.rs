@@ -41,10 +41,23 @@ fn main() {
     println!("(expected: method 1 <= method 2, larger gap at low density)");
 
     println!("\nAblation 2: many-to-many schedule (CMS, density 50%, msec / words / startups)");
-    let mut t = Table::new(vec!["W", "linperm ms", "naive ms", "linperm words", "naive words"]);
+    let mut t = Table::new(vec![
+        "W",
+        "linperm ms",
+        "naive ms",
+        "linperm words",
+        "naive words",
+    ]);
     for w in [16usize, 256, 4096] {
-        let cfg =
-            ExpConfig::new(&shape, &grid, w, MaskPattern::Random { density: 0.5, seed: 42 });
+        let cfg = ExpConfig::new(
+            &shape,
+            &grid,
+            w,
+            MaskPattern::Random {
+                density: 0.5,
+                seed: 42,
+            },
+        );
         let mut lin = PackOptions::new(PackScheme::CompactMessage);
         lin.schedule = A2aSchedule::LinearPermutation;
         let mut naive = lin;
@@ -67,7 +80,15 @@ fn main() {
 
     println!("\nAblation 3: result-vector block size W' (CMS vs CSS total, density 90%, W=4096)");
     let mut t = Table::new(vec!["W'", "CMS ms", "CSS ms", "CMS words", "CSS words"]);
-    let cfg = ExpConfig::new(&shape, &grid, 4096, MaskPattern::Random { density: 0.9, seed: 42 });
+    let cfg = ExpConfig::new(
+        &shape,
+        &grid,
+        4096,
+        MaskPattern::Random {
+            density: 0.9,
+            seed: 42,
+        },
+    );
     for w_prime in [1usize, 4, 16, 64, 256, 2048] {
         let mut cms = PackOptions::new(PackScheme::CompactMessage);
         cms.result_block_size = Some(w_prime);
@@ -116,9 +137,7 @@ fn main() {
          outweigh the ranking savings — the paper's reason for ruling this out)"
     );
 
-    println!(
-        "\nAblation 5: sparse all-to-many — direct vs two-phase (row-column) schedule"
-    );
+    println!("\nAblation 5: sparse all-to-many — direct vs two-phase (row-column) schedule");
     println!("(P = 64, every processor sends one m-word message to every other)");
     let mut t = Table::new(vec![
         "msg words",
@@ -146,7 +165,13 @@ fn main() {
         };
         let (td, sd) = run(false);
         let (t2, s2) = run(true);
-        t.row(vec![m.to_string(), ms(td), ms(t2), sd.to_string(), s2.to_string()]);
+        t.row(vec![
+            m.to_string(),
+            ms(td),
+            ms(t2),
+            sd.to_string(),
+            s2.to_string(),
+        ]);
     }
     t.print();
     println!(

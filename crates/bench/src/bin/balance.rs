@@ -20,7 +20,14 @@ fn measure(n: usize, p: usize, w: usize, pattern: MaskPattern) -> (u64, f64, Str
     let out = machine.run(move |proc| {
         let a = local_from_fn(d, proc.id(), |g| g[0] as i32);
         let m = local_from_fn(d, proc.id(), |g| pattern.value(g, &[n]));
-        pack(proc, d, &a, &m, &PackOptions::new(PackScheme::CompactMessage)).unwrap();
+        pack(
+            proc,
+            d,
+            &a,
+            &m,
+            &PackOptions::new(PackScheme::CompactMessage),
+        )
+        .unwrap();
     });
     let words = out.total_words_sent();
     let imbalance = out.send_imbalance();
@@ -36,12 +43,28 @@ fn main() {
     println!("Communication balance of PACK/CMS, N = {n}, P = {p}");
     println!("(remote words only — self-messages are free and excluded)\n");
 
-    for pattern in [MaskPattern::Random { density: 0.5, seed: 42 }, MaskPattern::FirstHalf] {
+    for pattern in [
+        MaskPattern::Random {
+            density: 0.5,
+            seed: 42,
+        },
+        MaskPattern::FirstHalf,
+    ] {
         println!("mask {}:", pattern.label());
-        let mut t = Table::new(vec!["Block Size", "remote words", "imbalance", "heaviest flow"]);
+        let mut t = Table::new(vec![
+            "Block Size",
+            "remote words",
+            "imbalance",
+            "heaviest flow",
+        ]);
         for w in block_sizes(&[n], &[p]) {
             let (words, imb, heavy) = measure(n, p, w, pattern);
-            t.row(vec![w.to_string(), words.to_string(), format!("{imb:.2}"), heavy]);
+            t.row(vec![
+                w.to_string(),
+                words.to_string(),
+                format!("{imb:.2}"),
+                heavy,
+            ]);
         }
         t.print();
         println!();

@@ -1,0 +1,317 @@
+//! Chaos harness: PACK→UNPACK roundtrips under randomized fault schedules.
+//!
+//! Each iteration draws a random array configuration and a random
+//! [`FaultPlan`] (per-link drop / duplicate / delay / reorder, all ≤ 20 %),
+//! runs the full pipeline on a clean machine and on a faulted machine, and
+//! asserts that
+//!
+//! * both runs agree bit-exactly with the sequential Fortran 90 oracle,
+//! * drop/duplicate/reorder faults leave the *simulated* clocks bit-identical
+//!   to the clean run (the reliable transport hides them completely),
+//! * injected delays change simulated time deterministically (two faulted
+//!   runs agree with each other), and
+//! * a scheduled processor crash surfaces as a typed
+//!   [`hpf_machine::MachineError`] naming the crashed processor, never as a
+//!   hang.
+//!
+//! The sweep cycles through all three PACK schemes (SSS / CSS / CMS), both
+//! UNPACK schemes, and both redistribution variants (Red.1 / Red.2), and
+//! reports the transport's retry/latency overhead at the end.
+//!
+//! Usage:
+//! ```sh
+//! cargo run -p hpf-bench --release --bin chaos -- [--seed N] [--iters N]
+//! # defaults: seed 1, 20 iterations
+//! ```
+
+use hpf_core::seq::{count_seq, pack_seq, unpack_seq};
+use hpf_core::{
+    pack, pack_redistributed, unpack, PackOptions, PackScheme, RedistScheme, UnpackOptions,
+    UnpackScheme,
+};
+use hpf_distarray::{ArrayDesc, DimLayout, Dist, GlobalArray};
+use hpf_machine::{CostModel, FaultPlan, Machine, MachineError, ProcGrid, RunOutput};
+
+/// SplitMix64 for reproducible pseudo-random draws.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.0;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+    /// Uniform draw in `[0, hi]`.
+    fn prob(&mut self, hi: f64) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64 * hi
+    }
+}
+
+fn main() {
+    let mut seed: u64 = 1;
+    let mut iters: usize = 20;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed requires an integer");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--iters" => {
+                iters = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--iters requires an integer");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other}; usage: chaos [--seed N] [--iters N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut rng = Rng(seed);
+    let mut stats = Stats::default();
+    for iter in 0..iters {
+        // On any panic the iteration context is printed first, so a failure
+        // is reproducible with `--seed`.
+        println!("iter {iter} (seed {seed}):");
+        run_iteration(&mut rng, seed, iter, &mut stats);
+    }
+    println!(
+        "chaos: {iters} iterations passed (seed {seed}): {} roundtrips, {} crash drills, \
+         {} retransmissions, {} duplicates dropped, mean retry overhead {:.1}%, \
+         mean simulated latency overhead {:.1}%",
+        stats.roundtrips,
+        stats.crash_drills,
+        stats.retransmits,
+        stats.dup_drops,
+        100.0 * stats.retry_overhead_sum / stats.roundtrips.max(1) as f64,
+        100.0 * stats.latency_overhead_sum / stats.roundtrips.max(1) as f64,
+    );
+}
+
+#[derive(Default)]
+struct Stats {
+    roundtrips: usize,
+    crash_drills: usize,
+    retransmits: u64,
+    dup_drops: u64,
+    retry_overhead_sum: f64,
+    latency_overhead_sum: f64,
+}
+
+fn run_iteration(rng: &mut Rng, seed: u64, iter: usize, stats: &mut Stats) {
+    // Random rank-1 or rank-2 configuration; every dimension P·W | N.
+    let rank = 1 + rng.below(2);
+    let mut grid_dims = Vec::new();
+    let mut dists = Vec::new();
+    let mut shape = Vec::new();
+    for _ in 0..rank {
+        let (p, w, t) = (1 + rng.below(3), 1 + rng.below(3), 1 + rng.below(3));
+        grid_dims.push(p);
+        dists.push(Dist::BlockCyclic(w));
+        shape.push(p * w * t);
+    }
+    let n: usize = shape.iter().product();
+    let grid = ProcGrid::new(&grid_dims);
+    let desc = ArrayDesc::new(&shape, &grid, &dists).unwrap();
+    let density = 10 + rng.below(80);
+    let mask_bits: Vec<bool> = (0..n).map(|_| rng.below(100) < density).collect();
+    let values: Vec<i32> = (0..n).map(|_| rng.below(2000) as i32 - 1000).collect();
+    let a = GlobalArray::from_vec(&shape, values);
+    let m = GlobalArray::from_vec(&shape, mask_bits);
+
+    // Sweep the schemes: each iteration exercises one PACK scheme, one
+    // UNPACK scheme, and (on redistribution iterations) one Red variant.
+    let pscheme = PackScheme::ALL[iter % PackScheme::ALL.len()];
+    let uscheme = UnpackScheme::ALL[iter % UnpackScheme::ALL.len()];
+    let redist = match iter % 4 {
+        1 => Some(RedistScheme::SelectedData),
+        3 => Some(RedistScheme::WholeArrays),
+        _ => None,
+    };
+    let opts = PackOptions::new(pscheme);
+    let uopts = UnpackOptions::new(uscheme);
+
+    // A non-crash fault plan: every probability ≤ 20 %.
+    let has_delay = rng.below(2) == 0;
+    let plan = FaultPlan::new(rng.next())
+        .with_drop(rng.prob(0.2))
+        .with_duplicate(rng.prob(0.2))
+        .with_reorder(rng.prob(0.2))
+        .with_delay(if has_delay { rng.prob(0.2) } else { 0.0 }, 200_000.0);
+    let ctx = format!(
+        "seed {seed} iter {iter}: shape {shape:?}, grid {grid_dims:?}, density {density}%, \
+         {pscheme:?}/{uscheme:?}, redist {redist:?}, plan {plan:?}"
+    );
+    println!("  {ctx}");
+
+    let clean = Machine::new(grid.clone(), CostModel::cm5()).with_test_preset();
+    let faulty = clean.clone().with_faults(plan.clone());
+
+    // ---- PACK: oracle, clean, faulted, faulted-again (determinism) ------
+    let want_v = pack_seq(&a, &m, None);
+    let (ap, mp) = (a.partition(&desc), m.partition(&desc));
+    let (d, apr, mpr, o) = (&desc, &ap, &mp, &opts);
+    let pack_prog = move |proc: &mut hpf_machine::Proc<'_>| match redist {
+        None => pack(proc, d, &apr[proc.id()], &mpr[proc.id()], o).unwrap(),
+        Some(r) => pack_redistributed(proc, d, &apr[proc.id()], &mpr[proc.id()], r, o).unwrap(),
+    };
+    let pack_base = clean
+        .try_run(pack_prog)
+        .unwrap_or_else(|e| panic!("clean PACK failed: {e}\n{ctx}"));
+    let got = assemble_packed(&pack_base);
+    assert_eq!(got, want_v, "clean PACK diverged from oracle\n{ctx}");
+    let fa = faulty
+        .try_run(pack_prog)
+        .unwrap_or_else(|e| panic!("faulted PACK failed: {e}\n{ctx}"));
+    let fb = faulty
+        .try_run(pack_prog)
+        .unwrap_or_else(|e| panic!("faulted PACK failed: {e}\n{ctx}"));
+    check_against_clean(&pack_base, &fa, &fb, has_delay, &ctx, stats);
+    assert_eq!(
+        fa.results, pack_base.results,
+        "faults changed PACK results\n{ctx}"
+    );
+
+    // ---- UNPACK the packed vector back under the same mask --------------
+    let size = count_seq(&m);
+    let n_prime = (size + rng.below(4)).max(1);
+    let w_prime = 1 + rng.below(6);
+    let v: Vec<i32> = (0..n_prime as i32).map(|i| 7000 + i).collect();
+    let want_u = unpack_seq(&v, &m, &a);
+    let v_layout = DimLayout::new_general(n_prime, grid.nprocs(), w_prime).unwrap();
+    let v_locals: Vec<Vec<i32>> = (0..grid.nprocs())
+        .map(|p| {
+            (0..v_layout.local_len(p))
+                .map(|l| v[v_layout.global_of(p, l)])
+                .collect()
+        })
+        .collect();
+    let (vpr, vl, uo) = (&v_locals, &v_layout, &uopts);
+    let unpack_prog = move |proc: &mut hpf_machine::Proc<'_>| {
+        unpack(
+            proc,
+            d,
+            &mpr[proc.id()],
+            &apr[proc.id()],
+            &vpr[proc.id()],
+            vl,
+            uo,
+        )
+        .unwrap()
+    };
+    let base = clean
+        .try_run(unpack_prog)
+        .unwrap_or_else(|e| panic!("clean UNPACK failed: {e}\n{ctx}"));
+    assert_eq!(
+        GlobalArray::assemble(&desc, &base.results),
+        want_u,
+        "clean UNPACK diverged from oracle\n{ctx}"
+    );
+    let fa = faulty
+        .try_run(unpack_prog)
+        .unwrap_or_else(|e| panic!("faulted UNPACK failed: {e}\n{ctx}"));
+    let fb = faulty
+        .try_run(unpack_prog)
+        .unwrap_or_else(|e| panic!("faulted UNPACK failed: {e}\n{ctx}"));
+    check_against_clean(&base, &fa, &fb, has_delay, &ctx, stats);
+    assert_eq!(
+        fa.results, base.results,
+        "faults changed UNPACK results\n{ctx}"
+    );
+    stats.roundtrips += 1;
+
+    // ---- crash drill: a scheduled crash must fail fast and typed --------
+    if iter.is_multiple_of(3) {
+        let victim = rng.below(grid.nprocs());
+        let step = 1 + rng.below(3) as u64;
+        let crashing = clean.clone().with_faults(plan.with_crash(victim, step));
+        match crashing.try_run(pack_prog) {
+            // The victim never reached its crash step (few sends): fine,
+            // but the results must still be correct.
+            Ok(out) => assert_eq!(
+                out.results, pack_base.results,
+                "crash-free run must still be correct\n{ctx}"
+            ),
+            Err(e) => match e.root_cause() {
+                MachineError::ProcCrashed { proc, step: s } => {
+                    assert_eq!(
+                        (*proc, *s),
+                        (victim, step),
+                        "wrong crash attribution\n{ctx}"
+                    );
+                    stats.crash_drills += 1;
+                }
+                other => panic!("crash drill produced {other} instead of ProcCrashed\n{ctx}"),
+            },
+        }
+    }
+}
+
+/// Gather a distributed PACK result into the global vector.
+fn assemble_packed(out: &RunOutput<hpf_core::PackOutput<i32>>) -> Vec<i32> {
+    let mut got = vec![0i32; out.results[0].size];
+    if let Some(layout) = out.results[0].v_layout {
+        for (p, r) in out.results.iter().enumerate() {
+            for (l, &x) in r.local_v.iter().enumerate() {
+                got[layout.global_of(p, l)] = x;
+            }
+        }
+    }
+    got
+}
+
+/// Shared assertions for a pair of faulted runs against the clean run:
+/// deterministic clocks, and bit-identical clocks when no delay is injected.
+fn check_against_clean<R: PartialEq + std::fmt::Debug>(
+    base: &RunOutput<R>,
+    fa: &RunOutput<R>,
+    fb: &RunOutput<R>,
+    has_delay: bool,
+    ctx: &str,
+    stats: &mut Stats,
+) {
+    assert_eq!(
+        fa.results, fb.results,
+        "faulted runs disagree with each other\n{ctx}"
+    );
+    for (ca, cb) in fa.clocks.iter().zip(&fb.clocks) {
+        assert_eq!(
+            ca.now_ns, cb.now_ns,
+            "injected delays are not deterministic\n{ctx}"
+        );
+    }
+    if !has_delay {
+        for (cc, cf) in base.clocks.iter().zip(&fa.clocks) {
+            assert_eq!(
+                cc.now_ns, cf.now_ns,
+                "drop/dup/reorder faults must not change simulated time\n{ctx}"
+            );
+        }
+    }
+    stats.retransmits += fa.total_retransmits();
+    stats.dup_drops += fa.total_dup_drops();
+    stats.retry_overhead_sum += fa.retry_overhead();
+    let base_ms = base.max_time_ms();
+    if base_ms > 0.0 {
+        stats.latency_overhead_sum += (fa.max_time_ms() - base_ms) / base_ms;
+    }
+}

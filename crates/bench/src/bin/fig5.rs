@@ -5,16 +5,20 @@
 //! (request + reply), so its many-to-many time runs up to twice PACK's
 //! (Section 4.2). CSS compresses the request stage to (base, count) runs.
 
-use hpf_bench::{
-    block_sizes, ms, paper_masks, time_unpack, unpack_scheme_opts, ExpConfig, Table,
-};
+use hpf_bench::{block_sizes, ms, paper_masks, time_unpack, unpack_scheme_opts, ExpConfig, Table};
 
 fn run_panel(title: &str, shape: &[usize], grid: &[usize], seed: u64) {
     let masks = paper_masks(shape.len(), seed);
     for mask in [masks[0], masks[2], masks[4], masks[5]] {
         println!("\n{title}, mask {}:", mask.label());
-        let mut t =
-            Table::new(vec!["Block Size", "SSS", "CSS", "CSS local", "CSS prs", "CSS m2m"]);
+        let mut t = Table::new(vec![
+            "Block Size",
+            "SSS",
+            "CSS",
+            "CSS local",
+            "CSS prs",
+            "CSS m2m",
+        ]);
         for w in block_sizes(shape, grid) {
             let cfg = ExpConfig::new(shape, grid, w, mask);
             let mut row = vec![w.to_string()];

@@ -4,17 +4,18 @@
 //!
 //! Usage:
 //! ```sh
-//! cargo run -p hpf-bench --release --bin fuzz -- [cases] [seed]
-//! # defaults: 500 cases, seed 1
+//! cargo run -p hpf-bench --release --bin fuzz -- [--cases N] [--seed N]
+//! # defaults: 500 cases, seed 1; bare positionals [cases] [seed] also work
 //! ```
+//!
+//! Every failure message names the seed, so any reported mismatch is
+//! reproducible with `--seed`.
 //!
 //! Complements the proptest suites with a long-running, user-controllable
 //! sweep (proptest shrinks nicely but runs a fixed case budget in CI).
 
 use hpf_core::seq::{count_seq, pack_seq, unpack_seq};
-use hpf_core::{
-    pack, unpack, PackOptions, PackScheme, UnpackOptions, UnpackScheme,
-};
+use hpf_core::{pack, unpack, PackOptions, PackScheme, UnpackOptions, UnpackScheme};
 use hpf_distarray::{ArrayDesc, DimLayout, Dist, GlobalArray};
 use hpf_machine::collectives::A2aSchedule;
 use hpf_machine::{CostModel, Machine, ProcGrid};
@@ -36,14 +37,56 @@ impl Rng {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let cases: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(500);
-    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let mut cases: usize = 500;
+    let mut seed: u64 = 1;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cases" => {
+                cases = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--cases requires an integer");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed requires an integer");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            bare => {
+                // Back-compat positionals: [cases] [seed].
+                match (positional, bare.parse::<u64>()) {
+                    (0, Ok(v)) => cases = v as usize,
+                    (1, Ok(v)) => seed = v,
+                    _ => {
+                        eprintln!("unknown argument {bare}; usage: fuzz [--cases N] [--seed N]");
+                        std::process::exit(2);
+                    }
+                }
+                positional += 1;
+                i += 1;
+            }
+        }
+    }
     let mut rng = Rng(seed);
 
     let schemes = PackScheme::ALL;
-    let schedules =
-        [A2aSchedule::LinearPermutation, A2aSchedule::NaivePush, A2aSchedule::PairwiseExchange];
+    let schedules = [
+        A2aSchedule::LinearPermutation,
+        A2aSchedule::NaivePush,
+        A2aSchedule::PairwiseExchange,
+    ];
 
     let mut pack_cases = 0usize;
     let mut unpack_cases = 0usize;
@@ -91,7 +134,8 @@ fn main() {
         }
         assert_eq!(
             got, want,
-            "PACK mismatch at case {case}: shape {shape:?}, grid {grid_dims:?}, opts {opts:?}"
+            "PACK mismatch at case {case} (reproduce with --seed {seed}): shape {shape:?}, \
+             grid {grid_dims:?}, opts {opts:?}"
         );
         pack_cases += 1;
 
@@ -103,18 +147,32 @@ fn main() {
         let want = unpack_seq(&v, &m, &a);
         let v_layout = DimLayout::new_general(n_prime, grid.nprocs(), w_prime).unwrap();
         let v_locals: Vec<Vec<i32>> = (0..grid.nprocs())
-            .map(|p| (0..v_layout.local_len(p)).map(|l| v[v_layout.global_of(p, l)]).collect())
+            .map(|p| {
+                (0..v_layout.local_len(p))
+                    .map(|l| v[v_layout.global_of(p, l)])
+                    .collect()
+            })
             .collect();
         let uscheme = UnpackScheme::ALL[rng.below(2)];
         let uopts = UnpackOptions::new(uscheme);
         let (vpr, vl, uo) = (&v_locals, &v_layout, &uopts);
         let out = machine.run(move |proc| {
-            unpack(proc, d, &mpr[proc.id()], &apr[proc.id()], &vpr[proc.id()], vl, uo).unwrap()
+            unpack(
+                proc,
+                d,
+                &mpr[proc.id()],
+                &apr[proc.id()],
+                &vpr[proc.id()],
+                vl,
+                uo,
+            )
+            .unwrap()
         });
         assert_eq!(
             GlobalArray::assemble(&desc, &out.results),
             want,
-            "UNPACK mismatch at case {case}: shape {shape:?}, scheme {uscheme:?}, W'={w_prime}"
+            "UNPACK mismatch at case {case} (reproduce with --seed {seed}): shape {shape:?}, \
+             scheme {uscheme:?}, W'={w_prime}"
         );
         unpack_cases += 1;
 

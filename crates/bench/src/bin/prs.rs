@@ -30,8 +30,14 @@ fn main() {
 
     for p in [4usize, 16, 64, 256] {
         println!("\nP = {p}:");
-        let mut t =
-            Table::new(vec!["Vector M", "direct", "split", "hardware", "auto", "auto picks"]);
+        let mut t = Table::new(vec![
+            "Vector M",
+            "direct",
+            "split",
+            "hardware",
+            "auto",
+            "auto picks",
+        ]);
         for m in [1usize, 16, 128, 1024, 8192, 65536] {
             let d = time_prs(p, m, PrsAlgorithm::Direct);
             let s = time_prs(p, m, PrsAlgorithm::Split);
@@ -42,7 +48,14 @@ fn main() {
                 PrsAlgorithm::Split => "split",
                 _ => unreachable!(),
             };
-            t.row(vec![m.to_string(), ms(d), ms(s), ms(h), ms(a), picks.to_string()]);
+            t.row(vec![
+                m.to_string(),
+                ms(d),
+                ms(s),
+                ms(h),
+                ms(a),
+                picks.to_string(),
+            ]);
         }
         t.print();
     }
@@ -52,10 +65,22 @@ fn main() {
     let grid = [16usize];
     let mut t = Table::new(vec!["Block Size", "PRS ms", "m2m ms", "local ms"]);
     for w in block_sizes(&shape, &grid) {
-        let cfg =
-            ExpConfig::new(&shape, &grid, w, MaskPattern::Random { density: 0.5, seed: 42 });
+        let cfg = ExpConfig::new(
+            &shape,
+            &grid,
+            w,
+            MaskPattern::Random {
+                density: 0.5,
+                seed: 42,
+            },
+        );
         let m = time_pack(&cfg, &PackOptions::new(PackScheme::CompactMessage));
-        t.row(vec![w.to_string(), ms(m.prs_ms()), ms(m.m2m_ms()), ms(m.local_ms())]);
+        t.row(vec![
+            w.to_string(),
+            ms(m.prs_ms()),
+            ms(m.m2m_ms()),
+            ms(m.local_ms()),
+        ]);
     }
     t.print();
     println!("\n(expected: PRS exceeds m2m only at the smallest block sizes, per Section 7)");

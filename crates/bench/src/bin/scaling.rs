@@ -34,7 +34,13 @@ fn main() {
 
     // 2-D: 512^2 on 4x4  ->  2048^2 on 16x16 (local 128x128).
     run_case("2-D, 512 x 512, P = 4x4:", &[512, 512], &[4, 4], 16, 0.5);
-    run_case("2-D, 2048 x 2048, P = 16x16:", &[2048, 2048], &[16, 16], 16, 0.5);
+    run_case(
+        "2-D, 2048 x 2048, P = 16x16:",
+        &[2048, 2048],
+        &[16, 16],
+        16,
+        0.5,
+    );
 
     println!(
         "\n(expected: with fixed local size, local computation stays flat while \

@@ -80,7 +80,13 @@ fn main() {
 
     let p1d = 16usize;
     let sizes_1d = [1024usize, 2048, 4096, 8192];
-    run_panel("1-D arrays (P = 16):", &sizes_1d, |ls| vec![ls * p1d], &[p1d], beta1);
+    run_panel(
+        "1-D arrays (P = 16):",
+        &sizes_1d,
+        |ls| vec![ls * p1d],
+        &[p1d],
+        beta1,
+    );
 
     let sizes_2d = [16usize, 32, 64, 128];
     run_panel(
@@ -92,7 +98,13 @@ fn main() {
     );
 
     println!("\nCompanion: beta_2 — smallest block size where CMS total time <= CSS");
-    run_panel("1-D arrays (P = 16):", &sizes_1d, |ls| vec![ls * p1d], &[p1d], beta2);
+    run_panel(
+        "1-D arrays (P = 16):",
+        &sizes_1d,
+        |ls| vec![ls * p1d],
+        &[p1d],
+        beta2,
+    );
     run_panel(
         "2-D arrays (P = 4x4), local size per dimension:",
         &sizes_2d,

@@ -35,16 +35,34 @@ fn run_case(title: &str, shape: &[usize], grid: &[usize], prs: PrsAlgorithm) {
 }
 
 fn main() {
-    println!(
-        "Table II: execution time (msec) for two redistribution schemes in parallel PACK"
-    );
+    println!("Table II: execution time (msec) for two redistribution schemes in parallel PACK");
     println!("(input distributed cyclicly; Red.x = redistribution + CMS pack on block layout)");
 
     println!("\n--- software prefix-reduction-sum (data network only) ---");
-    run_case("1-D, N = 16384, P = 16:", &[16384], &[16], PrsAlgorithm::Auto);
-    run_case("1-D, N = 65536, P = 16:", &[65536], &[16], PrsAlgorithm::Auto);
-    run_case("2-D, 256 x 256, P = 4x4:", &[256, 256], &[4, 4], PrsAlgorithm::Auto);
-    run_case("2-D, 512 x 512, P = 4x4:", &[512, 512], &[4, 4], PrsAlgorithm::Auto);
+    run_case(
+        "1-D, N = 16384, P = 16:",
+        &[16384],
+        &[16],
+        PrsAlgorithm::Auto,
+    );
+    run_case(
+        "1-D, N = 65536, P = 16:",
+        &[65536],
+        &[16],
+        PrsAlgorithm::Auto,
+    );
+    run_case(
+        "2-D, 256 x 256, P = 4x4:",
+        &[256, 256],
+        &[4, 4],
+        PrsAlgorithm::Auto,
+    );
+    run_case(
+        "2-D, 512 x 512, P = 4x4:",
+        &[512, 512],
+        &[4, 4],
+        PrsAlgorithm::Auto,
+    );
 
     println!(
         "\n--- CM-5-style control-network scans (PrsAlgorithm::Hardware) ---\n\
@@ -53,8 +71,28 @@ fn main() {
          redistribution scheme beat plain SSS in 1-D — the shape this panel \n\
          reproduces."
     );
-    run_case("1-D, N = 16384, P = 16:", &[16384], &[16], PrsAlgorithm::Hardware);
-    run_case("1-D, N = 65536, P = 16:", &[65536], &[16], PrsAlgorithm::Hardware);
-    run_case("2-D, 256 x 256, P = 4x4:", &[256, 256], &[4, 4], PrsAlgorithm::Hardware);
-    run_case("2-D, 512 x 512, P = 4x4:", &[512, 512], &[4, 4], PrsAlgorithm::Hardware);
+    run_case(
+        "1-D, N = 16384, P = 16:",
+        &[16384],
+        &[16],
+        PrsAlgorithm::Hardware,
+    );
+    run_case(
+        "1-D, N = 65536, P = 16:",
+        &[65536],
+        &[16],
+        PrsAlgorithm::Hardware,
+    );
+    run_case(
+        "2-D, 256 x 256, P = 4x4:",
+        &[256, 256],
+        &[4, 4],
+        PrsAlgorithm::Hardware,
+    );
+    run_case(
+        "2-D, 512 x 512, P = 4x4:",
+        &[512, 512],
+        &[4, 4],
+        PrsAlgorithm::Hardware,
+    );
 }

@@ -8,9 +8,7 @@
 //! # defaults: N = 16384, P = 8, W = 16, 50%
 //! ```
 
-use hpf_core::{
-    pack, unpack, MaskPattern, PackOptions, PackScheme, UnpackOptions, UnpackScheme,
-};
+use hpf_core::{pack, unpack, MaskPattern, PackOptions, PackScheme, UnpackOptions, UnpackScheme};
 use hpf_distarray::{local_from_fn, ArrayDesc, DimLayout, Dist};
 use hpf_machine::{CostModel, Machine, ProcGrid};
 
@@ -25,14 +23,25 @@ fn main() {
     let grid = ProcGrid::line(p);
     let machine = Machine::new(grid.clone(), CostModel::cm5()).with_tracing(true);
     let desc = ArrayDesc::new(&[n], &grid, &[Dist::BlockCyclic(w)]).unwrap();
-    let pattern = MaskPattern::Random { density: pct / 100.0, seed: 42 };
+    let pattern = MaskPattern::Random {
+        density: pct / 100.0,
+        seed: 42,
+    };
 
     println!("PACK (CMS), N = {n}, P = {p}, block-cyclic({w}), density {pct}%:");
     let d = &desc;
     let out = machine.run(move |proc| {
         let a = local_from_fn(d, proc.id(), |g| g[0] as i32);
         let m = local_from_fn(d, proc.id(), |g| pattern.value(g, &[n]));
-        pack(proc, d, &a, &m, &PackOptions::new(PackScheme::CompactMessage)).unwrap().size
+        pack(
+            proc,
+            d,
+            &a,
+            &m,
+            &PackOptions::new(PackScheme::CompactMessage),
+        )
+        .unwrap()
+        .size
     });
     print!("{}", out.gantt(100));
 
@@ -44,9 +53,17 @@ fn main() {
         let m = local_from_fn(d, proc.id(), |g| pattern.value(g, &[n]));
         let f = vec![0i32; d.local_len(proc.id())];
         let v = vec![1i32; vl.local_len(proc.id())];
-        unpack(proc, d, &m, &f, &v, vl, &UnpackOptions::new(UnpackScheme::CompactStorage))
-            .unwrap()
-            .len()
+        unpack(
+            proc,
+            d,
+            &m,
+            &f,
+            &v,
+            vl,
+            &UnpackOptions::new(UnpackScheme::CompactStorage),
+        )
+        .unwrap()
+        .len()
     });
     print!("{}", out2.gantt(100));
 }

@@ -45,19 +45,28 @@ impl ExpConfig {
     /// The array descriptor for this config.
     pub fn desc(&self) -> ArrayDesc {
         let grid = ProcGrid::new(&self.grid);
-        let dists: Vec<Dist> = self.shape.iter().map(|_| Dist::BlockCyclic(self.w)).collect();
+        let dists: Vec<Dist> = self
+            .shape
+            .iter()
+            .map(|_| Dist::BlockCyclic(self.w))
+            .collect();
         ArrayDesc::new(&self.shape, &grid, &dists)
             .unwrap_or_else(|e| panic!("invalid experiment config {self:?}: {e}"))
     }
 
     /// Local extent per processor along each dimension.
     pub fn local_len(&self) -> usize {
-        self.shape.iter().zip(&self.grid).map(|(n, p)| n / p).product()
+        self.shape
+            .iter()
+            .zip(&self.grid)
+            .map(|(n, p)| n / p)
+            .product()
     }
 
     /// Deterministic element value at a global index.
     pub fn value_at(gidx: &[usize]) -> i32 {
-        gidx.iter().fold(17i32, |acc, &x| acc.wrapping_mul(31).wrapping_add(x as i32))
+        gidx.iter()
+            .fold(17i32, |acc, &x| acc.wrapping_mul(31).wrapping_add(x as i32))
     }
 }
 
@@ -106,8 +115,7 @@ impl Measurement {
 
     /// Preliminary-redistribution time (detection + traffic).
     pub fn redist_ms(&self) -> f64 {
-        self.breakdown.cat_ms(Category::RedistDetect)
-            + self.breakdown.cat_ms(Category::RedistComm)
+        self.breakdown.cat_ms(Category::RedistDetect) + self.breakdown.cat_ms(Category::RedistComm)
     }
 
     /// Total execution time (what Figures 4 and 5 plot).
@@ -125,7 +133,9 @@ pub fn time_pack(cfg: &ExpConfig, opts: &PackOptions) -> Measurement {
         let a = local_from_fn(desc_ref, proc.id(), ExpConfig::value_at);
         let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
         proc.clock().reset(); // setup is not part of the timed operation
-        pack(proc, desc_ref, &a, &m, opts).expect("valid experiment config").size
+        pack(proc, desc_ref, &a, &m, opts)
+            .expect("valid experiment config")
+            .size
     });
     Measurement {
         breakdown: out.breakdown(),
@@ -136,11 +146,7 @@ pub fn time_pack(cfg: &ExpConfig, opts: &PackOptions) -> Measurement {
 }
 
 /// Run PACK with a preliminary redistribution (Red.1 / Red.2) and measure.
-pub fn time_pack_redist(
-    cfg: &ExpConfig,
-    scheme: RedistScheme,
-    opts: &PackOptions,
-) -> Measurement {
+pub fn time_pack_redist(cfg: &ExpConfig, scheme: RedistScheme, opts: &PackOptions) -> Measurement {
     let desc = cfg.desc();
     let machine = cfg.machine();
     let (desc_ref, pattern, shape) = (&desc, cfg.pattern, cfg.shape.clone());
@@ -189,8 +195,9 @@ fn time_unpack_impl(cfg: &ExpConfig, opts: &UnpackOptions, redist: bool) -> Meas
     let out = machine.run(move |proc| {
         let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
         let f = local_from_fn(desc_ref, proc.id(), |_| -1i32);
-        let v: Vec<i32> =
-            (0..vl.local_len(proc.id())).map(|l| vl.global_of(proc.id(), l) as i32).collect();
+        let v: Vec<i32> = (0..vl.local_len(proc.id()))
+            .map(|l| vl.global_of(proc.id(), l) as i32)
+            .collect();
         proc.clock().reset();
         if redist {
             hpf_core::unpack_redistributed(proc, desc_ref, &m, &f, &v, vl, opts)
@@ -210,9 +217,15 @@ fn time_unpack_impl(cfg: &ExpConfig, opts: &UnpackOptions, redist: bool) -> Meas
 /// The masks used throughout Section 7: five random densities plus the
 /// structured mask for the given rank.
 pub fn paper_masks(ndims: usize, seed: u64) -> Vec<MaskPattern> {
-    let mut masks: Vec<MaskPattern> =
-        MaskPattern::DENSITIES.iter().map(|&density| MaskPattern::Random { density, seed }).collect();
-    masks.push(if ndims == 1 { MaskPattern::FirstHalf } else { MaskPattern::LowerTriangular });
+    let mut masks: Vec<MaskPattern> = MaskPattern::DENSITIES
+        .iter()
+        .map(|&density| MaskPattern::Random { density, seed })
+        .collect();
+    masks.push(if ndims == 1 {
+        MaskPattern::FirstHalf
+    } else {
+        MaskPattern::LowerTriangular
+    });
     masks
 }
 
@@ -233,9 +246,8 @@ pub fn verify_pack(cfg: &ExpConfig, opts: &PackOptions) {
     let m_parts = m.partition(&desc);
     let machine = cfg.machine();
     let (desc_ref, a_ref, m_ref) = (&desc, &a_parts, &m_parts);
-    let out = machine.run(move |proc| {
-        pack(proc, desc_ref, &a_ref[proc.id()], &m_ref[proc.id()], opts).unwrap()
-    });
+    let out = machine
+        .run(move |proc| pack(proc, desc_ref, &a_ref[proc.id()], &m_ref[proc.id()], opts).unwrap());
     let mut got = vec![0i32; want.len()];
     if let Some(layout) = out.results[0].v_layout {
         for (p, o) in out.results.iter().enumerate() {
@@ -249,12 +261,18 @@ pub fn verify_pack(cfg: &ExpConfig, opts: &PackOptions) {
 
 /// All three pack schemes with default options.
 pub fn pack_scheme_opts() -> Vec<(PackScheme, PackOptions)> {
-    PackScheme::ALL.iter().map(|&s| (s, PackOptions::new(s))).collect()
+    PackScheme::ALL
+        .iter()
+        .map(|&s| (s, PackOptions::new(s)))
+        .collect()
 }
 
 /// Both unpack schemes with default options.
 pub fn unpack_scheme_opts() -> Vec<(UnpackScheme, UnpackOptions)> {
-    UnpackScheme::ALL.iter().map(|&s| (s, UnpackOptions::new(s))).collect()
+    UnpackScheme::ALL
+        .iter()
+        .map(|&s| (s, UnpackOptions::new(s)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -269,7 +287,15 @@ mod tests {
 
     #[test]
     fn time_pack_produces_consistent_measurement() {
-        let cfg = ExpConfig::new(&[256], &[4], 4, MaskPattern::Random { density: 0.5, seed: 1 });
+        let cfg = ExpConfig::new(
+            &[256],
+            &[4],
+            4,
+            MaskPattern::Random {
+                density: 0.5,
+                seed: 1,
+            },
+        );
         let m = time_pack(&cfg, &PackOptions::new(PackScheme::CompactMessage));
         assert!(m.size > 80 && m.size < 180, "size {}", m.size);
         assert!(m.local_ms() > 0.0);
@@ -283,7 +309,10 @@ mod tests {
             &[16, 16],
             &[2, 2],
             2,
-            MaskPattern::Random { density: 0.4, seed: 2 },
+            MaskPattern::Random {
+                density: 0.4,
+                seed: 2,
+            },
         );
         for (_, opts) in pack_scheme_opts() {
             verify_pack(&cfg, &opts);
@@ -292,7 +321,15 @@ mod tests {
 
     #[test]
     fn time_unpack_runs() {
-        let cfg = ExpConfig::new(&[128], &[4], 8, MaskPattern::Random { density: 0.3, seed: 3 });
+        let cfg = ExpConfig::new(
+            &[128],
+            &[4],
+            8,
+            MaskPattern::Random {
+                density: 0.3,
+                seed: 3,
+            },
+        );
         let m = time_unpack(&cfg, &UnpackOptions::new(UnpackScheme::CompactStorage));
         assert!(m.total_ms() > 0.0);
         assert!(m.m2m_ms() > 0.0);

@@ -5,8 +5,18 @@
 //! and the replicated `Size` from the ranking stage), so when one processor
 //! returns an error, all of them do — no communication structure is left
 //! half-executed.
+//!
+//! Machine-level failures (receive timeouts, fault-injected crashes,
+//! unreachable peers — see [`hpf_machine::MachineError`]) are a different
+//! layer: they come out of [`hpf_machine::Machine::try_run`] rather than
+//! from `pack`/`unpack` themselves, because a machine failure aborts the
+//! whole SPMD run, not one processor's call. [`Error`] unifies both layers
+//! for callers (such as the chaos harness) that drive a full
+//! PACK→UNPACK pipeline and want one error type.
 
 use std::fmt;
+
+use hpf_machine::MachineError;
 
 /// Error from [`crate::pack`] and friends.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,7 +60,10 @@ impl fmt::Display for PackError {
                 "dimension {dim} violates P*W | N; redistribute first or use a divisible layout"
             ),
             PackError::ArrayLenMismatch { expected, got } => {
-                write!(f, "local array has {got} elements, descriptor implies {expected}")
+                write!(
+                    f,
+                    "local array has {got} elements, descriptor implies {expected}"
+                )
             }
             PackError::MaskLenMismatch { expected, got } => {
                 write!(f, "local mask has {got} elements, expected {expected}")
@@ -119,7 +132,10 @@ impl fmt::Display for UnpackError {
                 write!(f, "local field has {got} elements, expected {expected}")
             }
             UnpackError::VectorLenMismatch { expected, got } => {
-                write!(f, "local vector slice has {got} elements, expected {expected}")
+                write!(
+                    f,
+                    "local vector slice has {got} elements, expected {expected}"
+                )
             }
             UnpackError::VectorTooSmall { size, capacity } => write!(
                 f,
@@ -131,6 +147,58 @@ impl fmt::Display for UnpackError {
 
 impl std::error::Error for UnpackError {}
 
+/// Any failure of a PACK/UNPACK pipeline: an argument-validation error from
+/// one of the entry points, or a machine-level failure of the simulated
+/// run itself (timeout, crash, unreachable peer).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Argument validation failed in [`crate::pack`] (and friends).
+    Pack(PackError),
+    /// Argument validation failed in [`crate::unpack`].
+    Unpack(UnpackError),
+    /// The simulated machine itself failed; see
+    /// [`hpf_machine::Machine::try_run`].
+    Machine(MachineError),
+}
+
+impl From<PackError> for Error {
+    fn from(e: PackError) -> Self {
+        Error::Pack(e)
+    }
+}
+
+impl From<UnpackError> for Error {
+    fn from(e: UnpackError) -> Self {
+        Error::Unpack(e)
+    }
+}
+
+impl From<MachineError> for Error {
+    fn from(e: MachineError) -> Self {
+        Error::Machine(e)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Pack(e) => write!(f, "pack: {e}"),
+            Error::Unpack(e) => write!(f, "unpack: {e}"),
+            Error::Machine(e) => write!(f, "machine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Pack(e) => Some(e),
+            Error::Unpack(e) => Some(e),
+            Error::Machine(e) => Some(e),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,8 +207,20 @@ mod tests {
     fn messages_are_informative() {
         let e = PackError::NotDivisible { dim: 1 };
         assert!(e.to_string().contains("dimension 1"));
-        let e = UnpackError::VectorTooSmall { size: 10, capacity: 8 };
+        let e = UnpackError::VectorTooSmall {
+            size: 10,
+            capacity: 8,
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains("8"));
+    }
+
+    #[test]
+    fn unified_error_wraps_all_layers() {
+        let p: Error = PackError::NotDivisible { dim: 0 }.into();
+        assert!(p.to_string().starts_with("pack:"));
+        let m: Error = MachineError::ProcCrashed { proc: 3, step: 7 }.into();
+        assert!(m.to_string().contains("proc 3"));
+        assert!(std::error::Error::source(&m).is_some());
     }
 }

@@ -52,7 +52,7 @@ mod schemes;
 pub mod seq;
 mod unpack;
 
-pub use error::{PackError, UnpackError};
+pub use error::{Error, PackError, UnpackError};
 pub use mask::MaskPattern;
 pub use pack::{pack, pack_redistributed, pack_with_vector, CmsMessage, PackOutput, RedistScheme};
 pub use schemes::{PackOptions, PackScheme, ScanMethod, UnpackOptions, UnpackScheme};

@@ -125,20 +125,29 @@ mod tests {
 
     #[test]
     fn random_is_deterministic_and_seed_sensitive() {
-        let p = MaskPattern::Random { density: 0.5, seed: 1 };
+        let p = MaskPattern::Random {
+            density: 0.5,
+            seed: 1,
+        };
         let a = p.global(&[128]);
         let b = p.global(&[128]);
         assert_eq!(a, b);
-        let c = MaskPattern::Random { density: 0.5, seed: 2 }.global(&[128]);
+        let c = MaskPattern::Random {
+            density: 0.5,
+            seed: 2,
+        }
+        .global(&[128]);
         assert_ne!(a, c);
     }
 
     #[test]
     fn local_matches_global_partition() {
         let grid = ProcGrid::new(&[2, 2]);
-        let desc =
-            ArrayDesc::new(&[8, 8], &grid, &[Dist::BlockCyclic(2), Dist::Cyclic]).unwrap();
-        let p = MaskPattern::Random { density: 0.3, seed: 7 };
+        let desc = ArrayDesc::new(&[8, 8], &grid, &[Dist::BlockCyclic(2), Dist::Cyclic]).unwrap();
+        let p = MaskPattern::Random {
+            density: 0.3,
+            seed: 7,
+        };
         let global = p.global(&[8, 8]);
         let parts = global.partition(&desc);
         for (proc, want) in parts.iter().enumerate() {

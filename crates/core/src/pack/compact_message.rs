@@ -35,7 +35,9 @@ pub struct CmsMessage<T> {
 
 impl<T> Default for CmsMessage<T> {
     fn default() -> Self {
-        CmsMessage { segments: Vec::new() }
+        CmsMessage {
+            segments: Vec::new(),
+        }
     }
 }
 
@@ -53,7 +55,14 @@ impl<T> CmsMessage<T> {
 
 impl<T: Wire> Payload for CmsMessage<T> {
     fn wire_words(&self) -> Words {
-        self.segments.iter().map(|(_, v)| 2 + v.len() * T::WORDS).sum()
+        self.segments
+            .iter()
+            .map(|(_, v)| 2 + v.len() * T::WORDS)
+            .sum()
+    }
+
+    fn clone_payload(&self) -> Box<dyn std::any::Any + Send> {
+        Box::new(self.clone())
     }
 }
 
@@ -76,10 +85,14 @@ pub(crate) fn pack_cms<T: Wire + Default>(
 
     let ranking = rank_from_counts(proc, shape, counts, opts.prs);
     if ranking.size == 0 {
-        return PackOutput { local_v: Vec::new(), size: 0, v_layout: None };
+        return PackOutput {
+            local_v: Vec::new(),
+            size: 0,
+            v_layout: None,
+        };
     }
-    let layout = result_layout(ranking.size, proc.nprocs(), opts.result_block_size)
-        .expect("size > 0");
+    let layout =
+        result_layout(ranking.size, proc.nprocs(), opts.result_block_size).expect("size > 0");
 
     // Final step + segment composition: one segment per destination run.
     let sends = proc.with_category(Category::LocalComp, |proc| {
@@ -140,7 +153,11 @@ pub(crate) fn pack_cms<T: Wire + Default>(
         local_v
     });
 
-    PackOutput { local_v, size: ranking.size, v_layout: Some(layout) }
+    PackOutput {
+        local_v,
+        size: ranking.size,
+        v_layout: Some(layout),
+    }
 }
 
 #[cfg(test)]
@@ -163,7 +180,9 @@ mod tests {
     fn single_element_segment_costs_three_words() {
         // The paper: "the size of each segment is at least 3" — why CMS
         // cannot win at cyclic distribution.
-        let msg = CmsMessage::<i32> { segments: vec![(5, vec![9])] };
+        let msg = CmsMessage::<i32> {
+            segments: vec![(5, vec![9])],
+        };
         assert_eq!(msg.wire_words(), 3);
     }
 }

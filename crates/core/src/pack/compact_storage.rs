@@ -42,10 +42,14 @@ pub(crate) fn pack_css<T: Wire + Default>(
 
     let ranking = rank_from_counts(proc, shape, counts, opts.prs);
     if ranking.size == 0 {
-        return PackOutput { local_v: Vec::new(), size: 0, v_layout: None };
+        return PackOutput {
+            local_v: Vec::new(),
+            size: 0,
+            v_layout: None,
+        };
     }
-    let layout = result_layout(ranking.size, proc.nprocs(), opts.result_block_size)
-        .expect("size > 0");
+    let layout =
+        result_layout(ranking.size, proc.nprocs(), opts.result_block_size).expect("size > 0");
 
     // Final step + message composition: walk the slices; for each non-empty
     // slice, rebuild ranks from PS_c/PS_f, build the sendl runs, and collect
@@ -91,5 +95,9 @@ pub(crate) fn pack_css<T: Wire + Default>(
     });
 
     let local_v = decode_pairs(proc, &layout, recvs);
-    PackOutput { local_v, size: ranking.size, v_layout: Some(layout) }
+    PackOutput {
+        local_v,
+        size: ranking.size,
+        v_layout: Some(layout),
+    }
 }

@@ -76,10 +76,16 @@ pub(crate) fn validate(
     }
     let expected = desc.local_len(proc.id());
     if a_len_of.len() != expected {
-        return Err(PackError::ArrayLenMismatch { expected, got: a_len_of.len() });
+        return Err(PackError::ArrayLenMismatch {
+            expected,
+            got: a_len_of.len(),
+        });
     }
     if m_local.len() != expected {
-        return Err(PackError::MaskLenMismatch { expected, got: m_local.len() });
+        return Err(PackError::MaskLenMismatch {
+            expected,
+            got: m_local.len(),
+        });
     }
     Ok(RankShape::from_desc(desc))
 }
@@ -125,7 +131,11 @@ pub(crate) fn decode_pairs<T: Wire + Default>(
 /// Split the consecutive ranks `r0 .. r0+n` into maximal runs with a single
 /// destination processor under `layout` (runs break at multiples of `W'`).
 /// Yields `(start_rank, len)` pairs.
-pub(crate) fn dest_runs(r0: usize, n: usize, layout: &DimLayout) -> impl Iterator<Item = (usize, usize)> + '_ {
+pub(crate) fn dest_runs(
+    r0: usize,
+    n: usize,
+    layout: &DimLayout,
+) -> impl Iterator<Item = (usize, usize)> + '_ {
     let w = layout.w();
     let mut r = r0;
     let end = r0 + n;
@@ -216,7 +226,10 @@ mod tests {
         let grid = ProcGrid::new(grid_dims);
         let desc = ArrayDesc::new(shape, &grid, dists).unwrap();
         let a = GlobalArray::from_fn(shape, |idx| {
-            idx.iter().enumerate().map(|(i, &x)| (x as i32 + 1) * 10i32.pow(i as u32)).sum::<i32>()
+            idx.iter()
+                .enumerate()
+                .map(|(i, &x)| (x as i32 + 1) * 10i32.pow(i as u32))
+                .sum::<i32>()
         });
         let m = pattern.global(shape);
         let want = pack_seq(&a, &m, None);
@@ -226,7 +239,14 @@ mod tests {
         let machine = Machine::new(grid, CostModel::cm5());
         let (desc_ref, a_ref, m_ref, opts_ref) = (&desc, &a_parts, &m_parts, &opts);
         let out = machine.run(move |proc| {
-            pack(proc, desc_ref, &a_ref[proc.id()], &m_ref[proc.id()], opts_ref).unwrap()
+            pack(
+                proc,
+                desc_ref,
+                &a_ref[proc.id()],
+                &m_ref[proc.id()],
+                opts_ref,
+            )
+            .unwrap()
         });
         let got = assemble_v(&out.results);
         assert_eq!(
@@ -244,7 +264,10 @@ mod tests {
         for scheme in PackScheme::ALL {
             for dist in [Dist::Block, Dist::Cyclic, Dist::BlockCyclic(2)] {
                 for pattern in [
-                    MaskPattern::Random { density: 0.5, seed: 21 },
+                    MaskPattern::Random {
+                        density: 0.5,
+                        seed: 21,
+                    },
                     MaskPattern::FirstHalf,
                     MaskPattern::Full,
                     MaskPattern::Empty,
@@ -264,7 +287,10 @@ mod tests {
                 [Dist::BlockCyclic(2), Dist::BlockCyclic(4)],
             ] {
                 for pattern in [
-                    MaskPattern::Random { density: 0.3, seed: 5 },
+                    MaskPattern::Random {
+                        density: 0.3,
+                        seed: 5,
+                    },
                     MaskPattern::LowerTriangular,
                 ] {
                     check_pack(&[16, 8], &[2, 2], &dists, pattern, PackOptions::new(scheme));
@@ -280,7 +306,10 @@ mod tests {
                 &[8, 4, 4],
                 &[2, 1, 2],
                 &[Dist::BlockCyclic(2), Dist::Block, Dist::Cyclic],
-                MaskPattern::Random { density: 0.5, seed: 77 },
+                MaskPattern::Random {
+                    density: 0.5,
+                    seed: 77,
+                },
                 PackOptions::new(scheme),
             );
         }
@@ -295,7 +324,10 @@ mod tests {
                 &[32],
                 &[4],
                 &[Dist::BlockCyclic(4)],
-                MaskPattern::Random { density: 0.7, seed: 2 },
+                MaskPattern::Random {
+                    density: 0.7,
+                    seed: 2,
+                },
                 opts,
             );
         }
@@ -310,7 +342,10 @@ mod tests {
                 &[32],
                 &[4],
                 &[Dist::BlockCyclic(2)],
-                MaskPattern::Random { density: 0.5, seed: 8 },
+                MaskPattern::Random {
+                    density: 0.5,
+                    seed: 8,
+                },
                 opts,
             );
         }
@@ -324,7 +359,10 @@ mod tests {
             &[16, 8],
             &[2, 2],
             &[Dist::BlockCyclic(2), Dist::Cyclic],
-            MaskPattern::Random { density: 0.5, seed: 3 },
+            MaskPattern::Random {
+                density: 0.5,
+                seed: 3,
+            },
             opts,
         );
     }
@@ -339,7 +377,13 @@ mod tests {
             let a = vec![0i32; 4];
             let m_short = vec![true; 3];
             let err = pack(proc, desc_ref, &a, &m_short, &PackOptions::default()).unwrap_err();
-            matches!(err, PackError::MaskLenMismatch { expected: 4, got: 3 })
+            matches!(
+                err,
+                PackError::MaskLenMismatch {
+                    expected: 4,
+                    got: 3
+                }
+            )
         });
         assert!(out.results.iter().all(|&ok| ok));
     }
@@ -378,7 +422,10 @@ mod tests {
     fn result_layout_block_default() {
         let l = result_layout(10, 4, None).unwrap();
         assert_eq!(l.w(), 3); // ceil(10/4)
-        assert_eq!((0..4).map(|c| l.local_len(c)).collect::<Vec<_>>(), vec![3, 3, 3, 1]);
+        assert_eq!(
+            (0..4).map(|c| l.local_len(c)).collect::<Vec<_>>(),
+            vec![3, 3, 3, 1]
+        );
         assert!(result_layout(0, 4, None).is_none());
     }
 }

@@ -68,7 +68,8 @@ pub fn pack_redistributed<T: Wire + Default>(
     let block_desc = block_desc(desc);
     match scheme {
         RedistScheme::SelectedData => {
-            let (a_tmp, m_tmp) = redistribute_selected(proc, desc, &block_desc, a_local, m_local, opts);
+            let (a_tmp, m_tmp) =
+                redistribute_selected(proc, desc, &block_desc, a_local, m_local, opts);
             pack(proc, &block_desc, &a_tmp, &m_tmp, opts)
         }
         RedistScheme::WholeArrays => {
@@ -200,7 +201,15 @@ mod tests {
 
     #[test]
     fn red1_matches_oracle() {
-        check(&[32], &[4], RedistScheme::SelectedData, MaskPattern::Random { density: 0.3, seed: 4 });
+        check(
+            &[32],
+            &[4],
+            RedistScheme::SelectedData,
+            MaskPattern::Random {
+                density: 0.3,
+                seed: 4,
+            },
+        );
         check(
             &[8, 8],
             &[2, 2],
@@ -211,8 +220,24 @@ mod tests {
 
     #[test]
     fn red2_matches_oracle() {
-        check(&[32], &[4], RedistScheme::WholeArrays, MaskPattern::Random { density: 0.7, seed: 4 });
-        check(&[8, 8], &[2, 2], RedistScheme::WholeArrays, MaskPattern::Random { density: 0.9, seed: 1 });
+        check(
+            &[32],
+            &[4],
+            RedistScheme::WholeArrays,
+            MaskPattern::Random {
+                density: 0.7,
+                seed: 4,
+            },
+        );
+        check(
+            &[8, 8],
+            &[2, 2],
+            RedistScheme::WholeArrays,
+            MaskPattern::Random {
+                density: 0.9,
+                seed: 1,
+            },
+        );
     }
 
     #[test]
@@ -253,6 +278,9 @@ mod tests {
         // densities is much smaller than for the values themselves.
         let lo = words_for(0.1, RedistScheme::WholeArrays);
         let hi = words_for(0.9, RedistScheme::WholeArrays);
-        assert!(hi < lo * 2, "Red.2 volume should be dominated by the fixed whole-array move");
+        assert!(
+            hi < lo * 2,
+            "Red.2 volume should be dominated by the fixed whole-array move"
+        );
     }
 }

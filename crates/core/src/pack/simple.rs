@@ -66,10 +66,14 @@ pub(crate) fn pack_sss<T: Wire + Default>(
     // Ranking: intermediate steps + final base-rank combination.
     let ranking = rank_from_counts(proc, shape, counts, opts.prs);
     if ranking.size == 0 {
-        return PackOutput { local_v: Vec::new(), size: 0, v_layout: None };
+        return PackOutput {
+            local_v: Vec::new(),
+            size: 0,
+            v_layout: None,
+        };
     }
-    let layout = result_layout(ranking.size, proc.nprocs(), opts.result_block_size)
-        .expect("size > 0");
+    let layout =
+        result_layout(ranking.size, proc.nprocs(), opts.result_block_size).expect("size > 0");
 
     // Final step: replay the records to compute global ranks and compose
     // the (rank, value) pair messages — 2 ops per element.
@@ -92,5 +96,9 @@ pub(crate) fn pack_sss<T: Wire + Default>(
     });
 
     let local_v = decode_pairs(proc, &layout, recvs);
-    PackOutput { local_v, size: ranking.size, v_layout: Some(layout) }
+    PackOutput {
+        local_v,
+        size: ranking.size,
+        v_layout: Some(layout),
+    }
 }

@@ -58,7 +58,10 @@ pub fn pack_with_vector<T: Wire + Default>(
     });
     let ranking = rank_from_counts(proc, &shape, counts, opts.prs);
     if ranking.size > n_out {
-        return Err(PackError::VectorTooShort { size: ranking.size, capacity: n_out });
+        return Err(PackError::VectorTooShort {
+            size: ranking.size,
+            capacity: n_out,
+        });
     }
 
     // Result layout covers the whole VECTOR length.
@@ -109,7 +112,11 @@ pub fn pack_with_vector<T: Wire + Default>(
     });
 
     let local_v = decode_pairs(proc, &result, recvs);
-    Ok(PackOutput { local_v, size: ranking.size, v_layout: Some(result) })
+    Ok(PackOutput {
+        local_v,
+        size: ranking.size,
+        v_layout: Some(result),
+    })
 }
 
 #[cfg(test)]
@@ -134,10 +141,19 @@ mod tests {
         let machine = Machine::new(grid, CostModel::cm5());
         let (d, apr, mpr, vl, pr) = (&desc, &ap, &mp, &vec_layout, &pad);
         let out = machine.run(move |proc| {
-            let vec_local: Vec<i32> =
-                (0..vl.local_len(proc.id())).map(|l| pr[vl.global_of(proc.id(), l)]).collect();
-            pack_with_vector(proc, d, &apr[proc.id()], &mpr[proc.id()], &vec_local, vl, &PackOptions::default())
-                .unwrap()
+            let vec_local: Vec<i32> = (0..vl.local_len(proc.id()))
+                .map(|l| pr[vl.global_of(proc.id(), l)])
+                .collect();
+            pack_with_vector(
+                proc,
+                d,
+                &apr[proc.id()],
+                &mpr[proc.id()],
+                &vec_local,
+                vl,
+                &PackOptions::default(),
+            )
+            .unwrap()
         });
         let layout = out.results[0].v_layout.unwrap();
         let mut got = vec![0i32; n_pad];
@@ -174,7 +190,13 @@ mod tests {
             pack_with_vector(proc, d, &a, &m, &v, vl, &PackOptions::default()).unwrap_err()
         });
         for e in out.results {
-            assert_eq!(e, PackError::VectorTooShort { size: 32, capacity: 4 });
+            assert_eq!(
+                e,
+                PackError::VectorTooShort {
+                    size: 32,
+                    capacity: 4
+                }
+            );
         }
     }
 }

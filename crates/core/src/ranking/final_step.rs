@@ -81,8 +81,12 @@ mod tests {
         // L = (L1=4, L0=4), W = (2, 2), so T = (2, 2):
         // PS_0 layout [T_0=2, L_1=4]; PS_1 layout [T_1=2].
         let grid = ProcGrid::new(&[2, 2]);
-        let desc =
-            ArrayDesc::new(&[8, 8], &grid, &[Dist::BlockCyclic(2), Dist::BlockCyclic(2)]).unwrap();
+        let desc = ArrayDesc::new(
+            &[8, 8],
+            &grid,
+            &[Dist::BlockCyclic(2), Dist::BlockCyclic(2)],
+        )
+        .unwrap();
         let machine = Machine::new(grid, CostModel::zero());
         let desc_ref = &desc;
         let out = machine.run(move |proc| {
@@ -92,9 +96,6 @@ mod tests {
             combine_base_ranks(proc, &shape, vec![ps0, ps1])
         });
         // Rows j=0,1 (block 0 of dim 1) get +100; rows j=2,3 get +200.
-        assert_eq!(
-            out.results[0],
-            vec![100, 101, 102, 103, 204, 205, 206, 207]
-        );
+        assert_eq!(out.results[0], vec![100, 101, 102, 103, 204, 205, 206, 207]);
     }
 }

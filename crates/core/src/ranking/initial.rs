@@ -17,14 +17,22 @@
 /// # Panics
 /// Panics if `w0` does not divide the mask length.
 pub fn slice_counts(mask: &[bool], w0: usize) -> Vec<i32> {
-    assert!(w0 > 0 && mask.len().is_multiple_of(w0), "W_0 must tile the local array");
-    mask.chunks_exact(w0).map(|s| s.iter().filter(|&&b| b).count() as i32).collect()
+    assert!(
+        w0 > 0 && mask.len().is_multiple_of(w0),
+        "W_0 must tile the local array"
+    );
+    mask.chunks_exact(w0)
+        .map(|s| s.iter().filter(|&&b| b).count() as i32)
+        .collect()
 }
 
 /// Per-element initial (in-slice) ranks: `Some(r)` iff the element is
 /// selected and `r` selected elements precede it *within its slice*.
 pub fn in_slice_ranks(mask: &[bool], w0: usize) -> Vec<Option<u32>> {
-    assert!(w0 > 0 && mask.len().is_multiple_of(w0), "W_0 must tile the local array");
+    assert!(
+        w0 > 0 && mask.len().is_multiple_of(w0),
+        "W_0 must tile the local array"
+    );
     let mut out = Vec::with_capacity(mask.len());
     for slice in mask.chunks_exact(w0) {
         let mut r = 0u32;
@@ -55,14 +63,8 @@ mod tests {
     #[test]
     fn in_slice_ranks_restart_each_slice() {
         let m = [true, true, false, true];
-        assert_eq!(
-            in_slice_ranks(&m, 2),
-            vec![Some(0), Some(1), None, Some(0)]
-        );
-        assert_eq!(
-            in_slice_ranks(&m, 4),
-            vec![Some(0), Some(1), None, Some(2)]
-        );
+        assert_eq!(in_slice_ranks(&m, 2), vec![Some(0), Some(1), None, Some(0)]);
+        assert_eq!(in_slice_ranks(&m, 4), vec![Some(0), Some(1), None, Some(2)]);
     }
 
     #[test]

@@ -47,7 +47,11 @@ pub fn intermediate_steps(
     prs: PrsAlgorithm,
 ) -> BaseRanks {
     let d = shape.d();
-    debug_assert_eq!(counts.len(), shape.ps_len(0), "counts must have one entry per slice");
+    debug_assert_eq!(
+        counts.len(),
+        shape.ps_len(0),
+        "counts must have one entry per slice"
+    );
 
     let mut ps_out: Vec<Vec<i32>> = Vec::with_capacity(d);
     let mut cur = counts; // PS_i == RS_i on entry to step i
@@ -144,8 +148,12 @@ mod tests {
     #[test]
     fn two_d_size_is_global_true_count() {
         let grid = ProcGrid::new(&[2, 2]);
-        let desc =
-            ArrayDesc::new(&[8, 8], &grid, &[Dist::BlockCyclic(2), Dist::BlockCyclic(2)]).unwrap();
+        let desc = ArrayDesc::new(
+            &[8, 8],
+            &grid,
+            &[Dist::BlockCyclic(2), Dist::BlockCyclic(2)],
+        )
+        .unwrap();
         let mask = GlobalArray::from_fn(&[8, 8], |idx| (idx[0] * 3 + idx[1] * 5) % 7 < 3);
         let want_size = mask.data().iter().filter(|&&b| b).count();
         let parts = mask.partition(&desc);

@@ -16,9 +16,9 @@ mod initial;
 mod intermediate;
 mod workspace;
 
+pub use final_step::combine_base_ranks;
 pub use initial::{in_slice_ranks, slice_counts};
 pub use intermediate::{intermediate_steps, BaseRanks};
-pub use final_step::combine_base_ranks;
 pub use workspace::{segmented_exclusive_prefix, RankShape};
 
 use hpf_machine::collectives::PrsAlgorithm;
@@ -70,7 +70,12 @@ mod tests {
     /// Full oracle check: on every processor, every selected element's rank
     /// (initial in-slice rank + PS_f of its slice) must equal the element's
     /// sequential rank in global array element order.
-    fn check_against_oracle(shape: &[usize], grid_dims: &[usize], dists: &[Dist], pattern: MaskPattern) {
+    fn check_against_oracle(
+        shape: &[usize],
+        grid_dims: &[usize],
+        dists: &[Dist],
+        pattern: MaskPattern,
+    ) {
         let grid = ProcGrid::new(grid_dims);
         let desc = ArrayDesc::new(shape, &grid, dists).unwrap();
         let mask_g = pattern.global(shape);
@@ -106,9 +111,17 @@ mod tests {
 
     #[test]
     fn one_d_all_distributions() {
-        for dist in [Dist::Block, Dist::Cyclic, Dist::BlockCyclic(2), Dist::BlockCyclic(4)] {
+        for dist in [
+            Dist::Block,
+            Dist::Cyclic,
+            Dist::BlockCyclic(2),
+            Dist::BlockCyclic(4),
+        ] {
             for pattern in [
-                MaskPattern::Random { density: 0.5, seed: 3 },
+                MaskPattern::Random {
+                    density: 0.5,
+                    seed: 3,
+                },
                 MaskPattern::FirstHalf,
                 MaskPattern::Full,
                 MaskPattern::Empty,
@@ -129,7 +142,10 @@ mod tests {
         ];
         for dists in dist_cases {
             for pattern in [
-                MaskPattern::Random { density: 0.3, seed: 11 },
+                MaskPattern::Random {
+                    density: 0.3,
+                    seed: 11,
+                },
                 MaskPattern::LowerTriangular,
             ] {
                 check_against_oracle(&[16, 8], &[2, 2], dists, pattern);
@@ -143,7 +159,10 @@ mod tests {
             &[8, 4, 6],
             &[2, 2, 3],
             &[Dist::BlockCyclic(2), Dist::Cyclic, Dist::Block],
-            MaskPattern::Random { density: 0.6, seed: 5 },
+            MaskPattern::Random {
+                density: 0.6,
+                seed: 5,
+            },
         );
     }
 
@@ -153,7 +172,10 @@ mod tests {
             &[8, 8],
             &[1, 1],
             &[Dist::Block, Dist::Block],
-            MaskPattern::Random { density: 0.5, seed: 9 },
+            MaskPattern::Random {
+                density: 0.5,
+                seed: 9,
+            },
         );
     }
 
@@ -163,7 +185,10 @@ mod tests {
             &[12, 8],
             &[3, 2],
             &[Dist::BlockCyclic(2), Dist::BlockCyclic(2)],
-            MaskPattern::Random { density: 0.4, seed: 13 },
+            MaskPattern::Random {
+                density: 0.4,
+                seed: 13,
+            },
         );
     }
 
@@ -174,7 +199,10 @@ mod tests {
             &[16],
             &[4],
             &[Dist::BlockCyclic(2)],
-            MaskPattern::Random { density: 0.625, seed: 1 },
+            MaskPattern::Random {
+                density: 0.625,
+                seed: 1,
+            },
         );
     }
 
@@ -186,7 +214,10 @@ mod tests {
         let time_for = |w: usize| {
             let grid = ProcGrid::line(4);
             let desc = ArrayDesc::new(&[1024], &grid, &[Dist::BlockCyclic(w)]).unwrap();
-            let pattern = MaskPattern::Random { density: 0.5, seed: 2 };
+            let pattern = MaskPattern::Random {
+                density: 0.5,
+                seed: 2,
+            };
             let machine = Machine::new(grid, CostModel::cm5());
             let desc_ref = &desc;
             let out = machine.run(move |proc| {
@@ -203,7 +234,10 @@ mod tests {
         let (prs_cyclic, local_cyclic) = time_for(1);
         let (prs_block, local_block) = time_for(256);
         assert!(prs_cyclic > prs_block, "cyclic should pay more PRS time");
-        assert!(local_cyclic > local_block, "cyclic should pay more local time");
+        assert!(
+            local_cyclic > local_block,
+            "cyclic should pay more local time"
+        );
         assert!(prs_block > 0.0 && local_block > 0.0);
     }
 }

@@ -37,7 +37,10 @@ impl RankShape {
     /// public `pack`/`unpack` entry points validate first and return a typed
     /// error instead.
     pub fn from_desc(desc: &ArrayDesc) -> Self {
-        assert!(desc.divisible(), "ranking requires P_i*W_i | N_i on every dimension");
+        assert!(
+            desc.divisible(),
+            "ranking requires P_i*W_i | N_i on every dimension"
+        );
         let d = desc.ndims();
         let mut shape = RankShape {
             l: Vec::with_capacity(d),
@@ -87,7 +90,10 @@ impl RankShape {
 /// # Panics
 /// Panics (debug) if `seg` does not divide the vector length.
 pub fn segmented_exclusive_prefix(v: &mut [i32], seg: usize) {
-    debug_assert!(seg > 0 && v.len().is_multiple_of(seg), "segment length must tile the vector");
+    debug_assert!(
+        seg > 0 && v.len().is_multiple_of(seg),
+        "segment length must tile the vector"
+    );
     for chunk in v.chunks_exact_mut(seg) {
         let mut acc = 0i32;
         for x in chunk {

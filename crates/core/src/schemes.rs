@@ -23,8 +23,11 @@ pub enum PackScheme {
 
 impl PackScheme {
     /// All schemes, in the paper's presentation order.
-    pub const ALL: [PackScheme; 3] =
-        [PackScheme::Simple, PackScheme::CompactStorage, PackScheme::CompactMessage];
+    pub const ALL: [PackScheme; 3] = [
+        PackScheme::Simple,
+        PackScheme::CompactStorage,
+        PackScheme::CompactMessage,
+    ];
 
     /// Table label ("SSS" / "CSS" / "CMS").
     pub fn label(self) -> &'static str {

@@ -23,7 +23,11 @@ pub fn pack_seq<T: Copy>(
     m: &GlobalArray<bool>,
     vector: Option<&[T]>,
 ) -> Vec<T> {
-    assert_eq!(a.shape(), m.shape(), "mask must be conformable with the array");
+    assert_eq!(
+        a.shape(),
+        m.shape(),
+        "mask must be conformable with the array"
+    );
     let mut out: Vec<T> = a
         .data()
         .iter()
@@ -77,7 +81,11 @@ pub fn unpack_seq<T: Copy>(
     m: &GlobalArray<bool>,
     field: &GlobalArray<T>,
 ) -> GlobalArray<T> {
-    assert_eq!(field.shape(), m.shape(), "field must be conformable with the mask");
+    assert_eq!(
+        field.shape(),
+        m.shape(),
+        "field must be conformable with the mask"
+    );
     let needed = count_seq(m);
     assert!(
         v.len() >= needed,
@@ -157,7 +165,10 @@ mod tests {
     #[test]
     fn unpack_inverts_pack_on_selected_positions() {
         let a = arr(&[3, 3], (0..9).collect());
-        let m = mask(&[3, 3], vec![true, false, true, false, true, false, true, false, true]);
+        let m = mask(
+            &[3, 3],
+            vec![true, false, true, false, true, false, true, false, true],
+        );
         let v = pack_seq(&a, &m, None);
         let f = arr(&[3, 3], vec![0; 9]);
         let back = unpack_seq(&v, &m, &f);

@@ -21,11 +21,7 @@ pub(crate) struct CssStorage {
 }
 
 /// Initial scan: slice counts only, plus the `PS_c` copy (`L + C` ops).
-pub(crate) fn initial_scan(
-    proc: &mut Proc,
-    m_local: &[bool],
-    w0: usize,
-) -> (Vec<i32>, CssStorage) {
+pub(crate) fn initial_scan(proc: &mut Proc, m_local: &[bool], w0: usize) -> (Vec<i32>, CssStorage) {
     proc.with_category(Category::LocalComp, |proc| {
         let counts = crate::ranking::slice_counts(m_local, w0);
         let ps_c = counts.clone();

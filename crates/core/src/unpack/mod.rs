@@ -60,7 +60,10 @@ pub fn unpack<T: Wire + Default>(
     if size > v_layout.n() {
         // `Size` is replicated, so every processor takes this branch — a
         // collective error with no half-open communication.
-        return Err(UnpackError::VectorTooSmall { size, capacity: v_layout.n() });
+        return Err(UnpackError::VectorTooSmall {
+            size,
+            capacity: v_layout.n(),
+        });
     }
 
     // Field copy: local computation for every unselected element (the
@@ -118,7 +121,11 @@ pub fn unpack<T: Wire + Default>(
         proc.with_category(Category::LocalComp, |proc| {
             let mut ops = 0usize;
             for (owner, slots) in targets.iter().enumerate() {
-                debug_assert_eq!(values_back[owner].len(), slots.len(), "reply length mismatch");
+                debug_assert_eq!(
+                    values_back[owner].len(),
+                    slots.len(),
+                    "reply length mismatch"
+                );
                 for (&slot, &v) in slots.iter().zip(&values_back[owner]) {
                     a_local[slot as usize] = v;
                 }
@@ -158,15 +165,36 @@ pub fn unpack_redistributed<T: Wire + Default>(
         .expect("block layout of a divisible descriptor");
 
     // Forward moves: M and F to the block layout.
-    let m_tmp = redistribute(proc, desc, &block_desc, m_local, RedistMode::Detected, opts.schedule);
-    let f_tmp = redistribute(proc, desc, &block_desc, f_local, RedistMode::Detected, opts.schedule);
+    let m_tmp = redistribute(
+        proc,
+        desc,
+        &block_desc,
+        m_local,
+        RedistMode::Detected,
+        opts.schedule,
+    );
+    let f_tmp = redistribute(
+        proc,
+        desc,
+        &block_desc,
+        f_local,
+        RedistMode::Detected,
+        opts.schedule,
+    );
 
     // UNPACK on the block layout (minimal ranking overhead).
     let a_tmp = unpack(proc, &block_desc, &m_tmp, &f_tmp, v_local, v_layout, opts)?;
 
     // Backward move: the result array must return in its original
     // distribution (UNPACK is a READ; the caller keeps computing on `desc`).
-    Ok(redistribute(proc, &block_desc, desc, &a_tmp, RedistMode::Detected, opts.schedule))
+    Ok(redistribute(
+        proc,
+        &block_desc,
+        desc,
+        &a_tmp,
+        RedistMode::Detected,
+        opts.schedule,
+    ))
 }
 
 /// A per-owner rank request: either explicit ranks (simple scheme) or
@@ -229,6 +257,10 @@ impl hpf_machine::Payload for RankRequest {
             RankRequest::Runs(runs) => 2 * runs.len(),
         }
     }
+
+    fn clone_payload(&self) -> Box<dyn std::any::Any + Send> {
+        Box::new(self.clone())
+    }
 }
 
 fn validate(
@@ -246,14 +278,23 @@ fn validate(
     }
     let expected = desc.local_len(proc.id());
     if m_local.len() != expected {
-        return Err(UnpackError::MaskLenMismatch { expected, got: m_local.len() });
+        return Err(UnpackError::MaskLenMismatch {
+            expected,
+            got: m_local.len(),
+        });
     }
     if f_local.len() != expected {
-        return Err(UnpackError::FieldLenMismatch { expected, got: f_local.len() });
+        return Err(UnpackError::FieldLenMismatch {
+            expected,
+            got: f_local.len(),
+        });
     }
     let v_expected = v_layout.local_len(proc.id());
     if v_local.len() != v_expected {
-        return Err(UnpackError::VectorLenMismatch { expected: v_expected, got: v_local.len() });
+        return Err(UnpackError::VectorLenMismatch {
+            expected: v_expected,
+            got: v_local.len(),
+        });
     }
     Ok(RankShape::from_desc(desc))
 }
@@ -287,7 +328,9 @@ mod tests {
         let v_layout = DimLayout::new_general(n_prime, grid.nprocs(), w_prime).unwrap();
         let v_locals: Vec<Vec<i32>> = (0..grid.nprocs())
             .map(|p| {
-                (0..v_layout.local_len(p)).map(|l| v[v_layout.global_of(p, l)]).collect()
+                (0..v_layout.local_len(p))
+                    .map(|l| v[v_layout.global_of(p, l)])
+                    .collect()
             })
             .collect();
         let m_parts = m.partition(&desc);
@@ -321,7 +364,10 @@ mod tests {
         for scheme in UnpackScheme::ALL {
             for dist in [Dist::Block, Dist::Cyclic, Dist::BlockCyclic(2)] {
                 for pattern in [
-                    MaskPattern::Random { density: 0.5, seed: 31 },
+                    MaskPattern::Random {
+                        density: 0.5,
+                        seed: 31,
+                    },
                     MaskPattern::FirstHalf,
                     MaskPattern::Full,
                     MaskPattern::Empty,
@@ -341,7 +387,10 @@ mod tests {
                 [Dist::BlockCyclic(2), Dist::BlockCyclic(2)],
             ] {
                 for pattern in [
-                    MaskPattern::Random { density: 0.4, seed: 17 },
+                    MaskPattern::Random {
+                        density: 0.4,
+                        seed: 17,
+                    },
                     MaskPattern::LowerTriangular,
                 ] {
                     check_unpack(&[16, 8], &[2, 2], &dists, pattern, scheme, 10, 0);
@@ -358,7 +407,10 @@ mod tests {
                 &[16],
                 &[4],
                 &[Dist::BlockCyclic(2)],
-                MaskPattern::Random { density: 0.5, seed: 23 },
+                MaskPattern::Random {
+                    density: 0.5,
+                    seed: 23,
+                },
                 scheme,
                 4,
                 7,
@@ -373,7 +425,10 @@ mod tests {
                 &[16],
                 &[4],
                 &[Dist::Block],
-                MaskPattern::Random { density: 0.6, seed: 29 },
+                MaskPattern::Random {
+                    density: 0.6,
+                    seed: 29,
+                },
                 scheme,
                 1, // W' = 1: V itself cyclic
                 3,
@@ -388,7 +443,10 @@ mod tests {
         let shape = [24usize];
         let grid = ProcGrid::line(4);
         let desc = ArrayDesc::new(&shape, &grid, &[Dist::Cyclic]).unwrap();
-        let pattern = MaskPattern::Random { density: 0.5, seed: 19 };
+        let pattern = MaskPattern::Random {
+            density: 0.5,
+            seed: 19,
+        };
         let size = pattern.global(&shape).data().iter().filter(|&&b| b).count();
         let v_layout = DimLayout::new_general(size.max(1), 4, size.div_ceil(4).max(1)).unwrap();
         let machine = Machine::new(grid, CostModel::cm5());
@@ -396,8 +454,9 @@ mod tests {
         let out = machine.run(move |proc| {
             let m = pattern.local(d, proc.id());
             let f = vec![-3i32; d.local_len(proc.id())];
-            let v: Vec<i32> =
-                (0..vl.local_len(proc.id())).map(|l| vl.global_of(proc.id(), l) as i32).collect();
+            let v: Vec<i32> = (0..vl.local_len(proc.id()))
+                .map(|l| vl.global_of(proc.id(), l) as i32)
+                .collect();
             let plain = unpack(proc, d, &m, &f, &v, vl, &UnpackOptions::default()).unwrap();
             let redist =
                 unpack_redistributed(proc, d, &m, &f, &v, vl, &UnpackOptions::default()).unwrap();
@@ -424,10 +483,25 @@ mod tests {
             let m = MaskPattern::FirstHalf.local(desc_ref, proc.id());
             let f = vec![0i32; 4];
             let v = vec![0i32; vl_ref.local_len(proc.id())];
-            unpack(proc, desc_ref, &m, &f, &v, vl_ref, &UnpackOptions::default()).unwrap_err()
+            unpack(
+                proc,
+                desc_ref,
+                &m,
+                &f,
+                &v,
+                vl_ref,
+                &UnpackOptions::default(),
+            )
+            .unwrap_err()
         });
         for e in out.results {
-            assert_eq!(e, UnpackError::VectorTooSmall { size: 8, capacity: 4 });
+            assert_eq!(
+                e,
+                UnpackError::VectorTooSmall {
+                    size: 8,
+                    capacity: 4
+                }
+            );
         }
     }
 
@@ -451,13 +525,24 @@ mod tests {
         use crate::schemes::{PackOptions, PackScheme};
         let grid = ProcGrid::line(4);
         let desc = ArrayDesc::new(&[256], &grid, &[Dist::BlockCyclic(4)]).unwrap();
-        let pattern = MaskPattern::Random { density: 0.5, seed: 41 };
+        let pattern = MaskPattern::Random {
+            density: 0.5,
+            seed: 41,
+        };
         let machine = Machine::new(grid.clone(), CostModel::cm5());
         let desc_ref = &desc;
         let pack_out = machine.run(move |proc| {
             let a = hpf_distarray::local_from_fn(desc_ref, proc.id(), |g| g[0] as i32);
             let m = pattern.local(desc_ref, proc.id());
-            pack(proc, desc_ref, &a, &m, &PackOptions::new(PackScheme::Simple)).unwrap().size
+            pack(
+                proc,
+                desc_ref,
+                &a,
+                &m,
+                &PackOptions::new(PackScheme::Simple),
+            )
+            .unwrap()
+            .size
         });
         let size = pack_out.results[0];
         let v_layout = DimLayout::new_general(size, 4, size.div_ceil(4)).unwrap();
@@ -467,8 +552,16 @@ mod tests {
             let m = pattern.local(desc_ref, proc.id());
             let f = vec![0i32; desc_ref.local_len(proc.id())];
             let v = vec![7i32; vl_ref.local_len(proc.id())];
-            unpack(proc, desc_ref, &m, &f, &v, vl_ref, &UnpackOptions::new(UnpackScheme::Simple))
-                .unwrap();
+            unpack(
+                proc,
+                desc_ref,
+                &m,
+                &f,
+                &v,
+                vl_ref,
+                &UnpackOptions::new(UnpackScheme::Simple),
+            )
+            .unwrap();
         });
         let pack_m2m = pack_out.max_cat_ms(Category::ManyToMany);
         let unpack_m2m = unpack_out.max_cat_ms(Category::ManyToMany);

@@ -15,11 +15,7 @@ pub(crate) struct SssStorage {
 
 /// Initial scan: slice counts plus per-element records
 /// (`L + 4E` operations, as in PACK's SSS).
-pub(crate) fn initial_scan(
-    proc: &mut Proc,
-    m_local: &[bool],
-    w0: usize,
-) -> (Vec<i32>, SssStorage) {
+pub(crate) fn initial_scan(proc: &mut Proc, m_local: &[bool], w0: usize) -> (Vec<i32>, SssStorage) {
     proc.with_category(Category::LocalComp, |proc| {
         let mut counts = vec![0i32; m_local.len() / w0.max(1)];
         let mut records: Vec<(u32, u32, u32)> = Vec::new();
@@ -54,6 +50,9 @@ pub(crate) fn compose_requests(
             targets[owner].push(local);
         }
         proc.charge_ops(2 * storage.records.len());
-        (ranks.into_iter().map(RankRequest::Explicit).collect(), targets)
+        (
+            ranks.into_iter().map(RankRequest::Explicit).collect(),
+            targets,
+        )
     })
 }

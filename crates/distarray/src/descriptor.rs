@@ -32,7 +32,10 @@ impl fmt::Display for DescError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DescError::RankMismatch { array, grid } => {
-                write!(f, "array rank {array} does not match processor grid rank {grid}")
+                write!(
+                    f,
+                    "array rank {array} does not match processor grid rank {grid}"
+                )
             }
             DescError::Layout { dim, source } => write!(f, "dimension {dim}: {source}"),
         }
@@ -82,7 +85,10 @@ impl ArrayDesc {
         divisible: bool,
     ) -> Result<Self, DescError> {
         if shape.len() != grid.ndims() || dists.len() != grid.ndims() {
-            return Err(DescError::RankMismatch { array: shape.len(), grid: grid.ndims() });
+            return Err(DescError::RankMismatch {
+                array: shape.len(),
+                grid: grid.ndims(),
+            });
         }
         let mut dims = Vec::with_capacity(shape.len());
         for (i, (&n, &dist)) in shape.iter().zip(dists).enumerate() {
@@ -94,7 +100,10 @@ impl ArrayDesc {
             .map_err(|source| DescError::Layout { dim: i, source })?;
             dims.push(layout);
         }
-        Ok(ArrayDesc { dims, grid: grid.clone() })
+        Ok(ArrayDesc {
+            dims,
+            grid: grid.clone(),
+        })
     }
 
     /// Array rank `d`.
@@ -204,8 +213,9 @@ impl ArrayDesc {
         }
         let coords: Vec<usize> = (0..d).map(|i| self.grid.coord(proc_id, i)).collect();
         let mut lidx = vec![0usize; d];
-        let mut gidx: Vec<usize> =
-            (0..d).map(|i| self.dims[i].global_of(coords[i], 0)).collect();
+        let mut gidx: Vec<usize> = (0..d)
+            .map(|i| self.dims[i].global_of(coords[i], 0))
+            .collect();
         for lin in 0..total {
             f(lin, &gidx);
             // Odometer step: bump dimension 0, carrying upward.
@@ -232,9 +242,19 @@ impl fmt::Display for ArrayDesc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Paper order: outermost dimension first, e.g. "512x512 on 4x4 cyclic(8),cyclic(8)".
         let shape: Vec<String> = self.dims.iter().rev().map(|d| d.n().to_string()).collect();
-        let dists: Vec<String> =
-            self.dims.iter().rev().map(|d| format!("cyclic({})", d.w())).collect();
-        write!(f, "{} on {} [{}]", shape.join("x"), self.grid, dists.join(","))
+        let dists: Vec<String> = self
+            .dims
+            .iter()
+            .rev()
+            .map(|d| format!("cyclic({})", d.w()))
+            .collect();
+        write!(
+            f,
+            "{} on {} [{}]",
+            shape.join("x"),
+            self.grid,
+            dists.join(",")
+        )
     }
 }
 

@@ -22,7 +22,10 @@ impl<T: Copy> GlobalArray<T> {
     /// Build from a closure over global multi-indices.
     pub fn from_fn(shape: &[usize], mut f: impl FnMut(&[usize]) -> T) -> Self {
         let data = MultiIndexIter::new(shape).map(|idx| f(&idx)).collect();
-        GlobalArray { shape: shape.to_vec(), data }
+        GlobalArray {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Wrap existing row-major data.
@@ -30,8 +33,15 @@ impl<T: Copy> GlobalArray<T> {
     /// # Panics
     /// Panics if `data.len()` does not match the shape's volume.
     pub fn from_vec(shape: &[usize], data: Vec<T>) -> Self {
-        assert_eq!(data.len(), volume(shape), "data length must match shape volume");
-        GlobalArray { shape: shape.to_vec(), data }
+        assert_eq!(
+            data.len(),
+            volume(shape),
+            "data length must match shape volume"
+        );
+        GlobalArray {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Array shape, dimension 0 first.
@@ -90,11 +100,19 @@ impl<T: Copy> GlobalArray<T> {
     where
         T: Default,
     {
-        assert_eq!(locals.len(), desc.grid().nprocs(), "one local array per processor");
+        assert_eq!(
+            locals.len(),
+            desc.grid().nprocs(),
+            "one local array per processor"
+        );
         let shape = desc.shape();
         let mut data = vec![T::default(); desc.global_len()];
         for (p, local) in locals.iter().enumerate() {
-            assert_eq!(local.len(), desc.local_len(p), "local length mismatch on proc {p}");
+            assert_eq!(
+                local.len(),
+                desc.local_len(p),
+                "local length mismatch on proc {p}"
+            );
             for (l, &v) in local.iter().enumerate() {
                 let g = desc.global_of_local(p, l);
                 data[linearize(&g, &shape)] = v;
@@ -112,13 +130,17 @@ pub fn local_from_fn<T>(
     proc_id: usize,
     mut f: impl FnMut(&[usize]) -> T,
 ) -> Vec<T> {
-    (0..desc.local_len(proc_id)).map(|l| f(&desc.global_of_local(proc_id, l))).collect()
+    (0..desc.local_len(proc_id))
+        .map(|l| f(&desc.global_of_local(proc_id, l)))
+        .collect()
 }
 
 /// Global multi-index corresponding to each local slot, precomputed (used by
 /// kernels that need repeated local→global translation).
 pub fn local_global_indices(desc: &ArrayDesc, proc_id: usize) -> Vec<Vec<usize>> {
-    (0..desc.local_len(proc_id)).map(|l| desc.global_of_local(proc_id, l)).collect()
+    (0..desc.local_len(proc_id))
+        .map(|l| desc.global_of_local(proc_id, l))
+        .collect()
 }
 
 /// Convenience: delinearize a global linear index against a descriptor's
@@ -134,8 +156,12 @@ mod tests {
     use hpf_machine::ProcGrid;
 
     fn desc() -> ArrayDesc {
-        ArrayDesc::new(&[8, 4], &ProcGrid::new(&[2, 2]), &[Dist::BlockCyclic(2), Dist::Cyclic])
-            .unwrap()
+        ArrayDesc::new(
+            &[8, 4],
+            &ProcGrid::new(&[2, 2]),
+            &[Dist::BlockCyclic(2), Dist::Cyclic],
+        )
+        .unwrap()
     }
 
     #[test]

@@ -9,7 +9,13 @@ pub fn linearize(idx: &[usize], shape: &[usize]) -> usize {
     let mut lin = 0;
     let mut stride = 1;
     for (i, &n) in shape.iter().enumerate() {
-        debug_assert!(idx[i] < n, "index {} out of bounds {} on dim {}", idx[i], n, i);
+        debug_assert!(
+            idx[i] < n,
+            "index {} out of bounds {} on dim {}",
+            idx[i],
+            n,
+            i
+        );
         lin += idx[i] * stride;
         stride *= n;
     }
@@ -56,7 +62,11 @@ pub struct MultiIndexIter {
 impl MultiIndexIter {
     /// Iterate the index space of `shape`.
     pub fn new(shape: &[usize]) -> Self {
-        MultiIndexIter { shape: shape.to_vec(), next: 0, total: volume(shape) }
+        MultiIndexIter {
+            shape: shape.to_vec(),
+            next: 0,
+            total: volume(shape),
+        }
     }
 }
 

@@ -77,10 +77,14 @@ impl DimLayout {
             return Err(LayoutError::ZeroParameter { what: "extent N" });
         }
         if p == 0 {
-            return Err(LayoutError::ZeroParameter { what: "processor count P" });
+            return Err(LayoutError::ZeroParameter {
+                what: "processor count P",
+            });
         }
         if w == 0 {
-            return Err(LayoutError::ZeroParameter { what: "block size W" });
+            return Err(LayoutError::ZeroParameter {
+                what: "block size W",
+            });
         }
         Ok(DimLayout { n, p, w })
     }

@@ -22,15 +22,25 @@ impl<T: Copy> LocalArray<T> {
     /// # Panics
     /// Panics if the data length does not match the shape volume.
     pub fn from_vec(shape: &[usize], data: Vec<T>) -> Self {
-        assert_eq!(data.len(), volume(shape), "data length must match local shape volume");
-        LocalArray { shape: shape.to_vec(), data }
+        assert_eq!(
+            data.len(),
+            volume(shape),
+            "data length must match local shape volume"
+        );
+        LocalArray {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Build from a closure over local multi-indices.
     pub fn from_fn(shape: &[usize], mut f: impl FnMut(&[usize]) -> T) -> Self {
         let n = volume(shape);
         let data = (0..n).map(|lin| f(&delinearize(lin, shape))).collect();
-        LocalArray { shape: shape.to_vec(), data }
+        LocalArray {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Local shape, dimension 0 first.

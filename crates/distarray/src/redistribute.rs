@@ -51,7 +51,11 @@ pub fn redistribute<T: Wire + Default>(
     mode: RedistMode,
     schedule: A2aSchedule,
 ) -> Vec<T> {
-    assert_eq!(src.shape(), dst.shape(), "source and target shapes must match");
+    assert_eq!(
+        src.shape(),
+        dst.shape(),
+        "source and target shapes must match"
+    );
     assert_eq!(
         src.grid().nprocs(),
         dst.grid().nprocs(),
@@ -183,7 +187,10 @@ mod tests {
         let src = ArrayDesc::new_general(shape, &grid, src_dists).unwrap();
         let dst = ArrayDesc::new_general(shape, &grid, dst_dists).unwrap();
         let a = GlobalArray::from_fn(shape, |idx| {
-            idx.iter().enumerate().map(|(i, &x)| (x * 7 + i) as i32).sum::<i32>()
+            idx.iter()
+                .enumerate()
+                .map(|(i, &x)| (x * 7 + i) as i32)
+                .sum::<i32>()
         });
         let locals = a.partition(&src);
         let machine = Machine::new(grid, CostModel::cm5());
@@ -191,7 +198,14 @@ mod tests {
         let (src_ref, dst_ref) = (&src, &dst);
         let out = machine.run(move |proc| {
             let local = locals_ref[proc.id()].clone();
-            redistribute(proc, src_ref, dst_ref, &local, mode, A2aSchedule::LinearPermutation)
+            redistribute(
+                proc,
+                src_ref,
+                dst_ref,
+                &local,
+                mode,
+                A2aSchedule::LinearPermutation,
+            )
         });
         let back = GlobalArray::assemble(&dst, &out.results);
         assert_eq!(back, a, "{mode:?} {shape:?} {src_dists:?} -> {dst_dists:?}");
@@ -201,12 +215,24 @@ mod tests {
 
     #[test]
     fn cyclic_to_block_1d_indexed() {
-        roundtrip_case(&[32], &[4], &[Dist::Cyclic], &[Dist::Block], RedistMode::Indexed);
+        roundtrip_case(
+            &[32],
+            &[4],
+            &[Dist::Cyclic],
+            &[Dist::Block],
+            RedistMode::Indexed,
+        );
     }
 
     #[test]
     fn cyclic_to_block_1d_detected() {
-        roundtrip_case(&[32], &[4], &[Dist::Cyclic], &[Dist::Block], RedistMode::Detected);
+        roundtrip_case(
+            &[32],
+            &[4],
+            &[Dist::Cyclic],
+            &[Dist::Block],
+            RedistMode::Detected,
+        );
     }
 
     #[test]
@@ -235,8 +261,20 @@ mod tests {
 
     #[test]
     fn non_divisible_extents_work() {
-        roundtrip_case(&[19], &[4], &[Dist::Cyclic], &[Dist::Block], RedistMode::Indexed);
-        roundtrip_case(&[19], &[4], &[Dist::Cyclic], &[Dist::Block], RedistMode::Detected);
+        roundtrip_case(
+            &[19],
+            &[4],
+            &[Dist::Cyclic],
+            &[Dist::Block],
+            RedistMode::Indexed,
+        );
+        roundtrip_case(
+            &[19],
+            &[4],
+            &[Dist::Cyclic],
+            &[Dist::Block],
+            RedistMode::Detected,
+        );
     }
 
     #[test]
@@ -253,7 +291,14 @@ mod tests {
         let (locals_ref, src_ref, dst_ref) = (&locals, &src, &dst);
         let out = machine.run(move |proc| {
             let local = locals_ref[proc.id()].clone();
-            redistribute(proc, src_ref, dst_ref, &local, RedistMode::Indexed, A2aSchedule::LinearPermutation)
+            redistribute(
+                proc,
+                src_ref,
+                dst_ref,
+                &local,
+                RedistMode::Indexed,
+                A2aSchedule::LinearPermutation,
+            )
         });
         assert_eq!(GlobalArray::assemble(&dst, &out.results), a);
     }
@@ -272,7 +317,14 @@ mod tests {
             machine
                 .run(move |proc| {
                     let local = locals_ref[proc.id()].clone();
-                    redistribute(proc, src_ref, dst_ref, &local, mode, A2aSchedule::LinearPermutation);
+                    redistribute(
+                        proc,
+                        src_ref,
+                        dst_ref,
+                        &local,
+                        mode,
+                        A2aSchedule::LinearPermutation,
+                    );
                 })
                 .total_words_sent()
         };

@@ -36,11 +36,17 @@ fn loc_all<T: Wire + PartialOrd>(
 ) -> Vec<usize> {
     let me = proc.id();
     debug_assert_eq!(local.len(), desc.local_len(me));
-    assert!(!local.is_empty(), "location reduction of an empty local array");
+    assert!(
+        !local.is_empty(),
+        "location reduction of an empty local array"
+    );
 
     // Local candidate: (value, global linear index), first extremal wins.
     let candidate = proc.with_category(Category::LocalComp, |proc| {
-        let mut best = (local[0], desc.global_linear(&desc.global_of_local(me, 0)) as u64);
+        let mut best = (
+            local[0],
+            desc.global_linear(&desc.global_of_local(me, 0)) as u64,
+        );
         for (l, &v) in local.iter().enumerate().skip(1) {
             let g = desc.global_linear(&desc.global_of_local(me, l)) as u64;
             if better(v, best.0) || (v == best.0 && g < best.1) {
@@ -59,9 +65,9 @@ fn loc_all<T: Wire + PartialOrd>(
             b
         }
     };
-    let (_, glin) = proc
-        .with_category(Category::Other, |proc| allreduce_with(proc, &world, &[candidate], combine))
-        [0];
+    let (_, glin) = proc.with_category(Category::Other, |proc| {
+        allreduce_with(proc, &world, &[candidate], combine)
+    })[0];
     hpf_distarray::global_index_of_linear(desc, glin as usize)
 }
 
@@ -88,7 +94,9 @@ fn logical_all(
         mask.iter().fold(unit, |acc, &b| op(acc, b))
     });
     let world = proc.world();
-    proc.with_category(Category::Other, |proc| allreduce_with(proc, &world, &[partial], op))[0]
+    proc.with_category(Category::Other, |proc| {
+        allreduce_with(proc, &world, &[partial], op)
+    })[0]
 }
 
 /// `DOT_PRODUCT(a, b)` over aligned distributed vectors (any rank, really:
@@ -103,7 +111,9 @@ pub fn dot_product_all<T: Num + std::ops::Mul<Output = T>>(
     debug_assert_eq!(a.len(), desc.local_len(proc.id()));
     let partial = proc.with_category(Category::LocalComp, |proc| {
         proc.charge_ops(a.len());
-        a.iter().zip(b).fold(T::default(), |acc, (&x, &y)| acc + x * y)
+        a.iter()
+            .zip(b)
+            .fold(T::default(), |acc, (&x, &y)| acc + x * y)
     });
     let world = proc.world();
     proc.with_category(Category::Other, |proc| {
@@ -119,8 +129,7 @@ mod tests {
 
     fn desc_2d() -> (ProcGrid, ArrayDesc) {
         let grid = ProcGrid::new(&[2, 2]);
-        let desc =
-            ArrayDesc::new(&[8, 6], &grid, &[Dist::BlockCyclic(2), Dist::Cyclic]).unwrap();
+        let desc = ArrayDesc::new(&[8, 6], &grid, &[Dist::BlockCyclic(2), Dist::Cyclic]).unwrap();
         (grid, desc)
     }
 
@@ -131,20 +140,28 @@ mod tests {
         let a = GlobalArray::from_fn(&[8, 6], |g| ((g[0] + g[1]) % 5) as i32);
         // Oracle: first max / min in element order.
         let data = a.data();
-        let want_max = data.iter().enumerate().fold((data[0], 0usize), |best, (i, &v)| {
-            if v > best.0 {
-                (v, i)
-            } else {
-                best
-            }
-        });
-        let want_min = data.iter().enumerate().fold((data[0], 0usize), |best, (i, &v)| {
-            if v < best.0 {
-                (v, i)
-            } else {
-                best
-            }
-        });
+        let want_max =
+            data.iter().enumerate().fold(
+                (data[0], 0usize),
+                |best, (i, &v)| {
+                    if v > best.0 {
+                        (v, i)
+                    } else {
+                        best
+                    }
+                },
+            );
+        let want_min =
+            data.iter().enumerate().fold(
+                (data[0], 0usize),
+                |best, (i, &v)| {
+                    if v < best.0 {
+                        (v, i)
+                    } else {
+                        best
+                    }
+                },
+            );
         let parts = a.partition(&desc);
         let machine = Machine::new(grid, CostModel::cm5());
         let (d, pp) = (&desc, &parts);

@@ -11,8 +11,16 @@ use hpf_machine::{Category, Proc};
 /// # Panics
 /// Panics if the three local arrays differ in length (non-conformable).
 pub fn merge<T: Copy>(proc: &mut Proc, tsource: &[T], fsource: &[T], mask: &[bool]) -> Vec<T> {
-    assert_eq!(tsource.len(), fsource.len(), "TSOURCE and FSOURCE must be conformable");
-    assert_eq!(tsource.len(), mask.len(), "MASK must be conformable with the sources");
+    assert_eq!(
+        tsource.len(),
+        fsource.len(),
+        "TSOURCE and FSOURCE must be conformable"
+    );
+    assert_eq!(
+        tsource.len(),
+        mask.len(),
+        "MASK must be conformable with the sources"
+    );
     proc.with_category(Category::LocalComp, |proc| {
         proc.charge_ops(mask.len());
         tsource

@@ -30,7 +30,12 @@ pub(crate) fn for_each_line(lshape: &[usize], dim: usize, mut f: impl FnMut(usiz
 /// Index of a line in the reduced (rank `d-1`) local array, matching the
 /// `for_each_line` enumeration order.
 pub(crate) fn reduced_len(lshape: &[usize], dim: usize) -> usize {
-    lshape.iter().enumerate().filter(|&(i, _)| i != dim).map(|(_, &n)| n).product()
+    lshape
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != dim)
+        .map(|(_, &n)| n)
+        .product()
 }
 
 /// Whole-array `SUM`: the sum of all elements, replicated on every
@@ -78,13 +83,18 @@ fn fold_all<T: Wire>(
     op: impl Fn(T, T) -> T + Copy,
 ) -> T {
     debug_assert_eq!(local.len(), desc.local_len(proc.id()));
-    assert!(!local.is_empty(), "whole-array fold of an empty local array");
+    assert!(
+        !local.is_empty(),
+        "whole-array fold of an empty local array"
+    );
     let partial = proc.with_category(Category::LocalComp, |proc| {
         proc.charge_ops(local.len());
         local.iter().copied().reduce(op).expect("non-empty")
     });
     let world = proc.world();
-    proc.with_category(Category::Other, |proc| allreduce_with(proc, &world, &[partial], op)[0])
+    proc.with_category(Category::Other, |proc| {
+        allreduce_with(proc, &world, &[partial], op)[0]
+    })
 }
 
 /// `DIM`-form reduction under an arbitrary associative `op`: reduce every
@@ -124,7 +134,9 @@ pub fn reduce_dim<T: Wire>(
     // is not the global element order — fine for the commutative reductions
     // this entry point serves (sum/max/min/count).
     let group = proc.axis_group(dim);
-    proc.with_category(Category::Other, |proc| allreduce_with(proc, &group, &partials, op))
+    proc.with_category(Category::Other, |proc| {
+        allreduce_with(proc, &group, &partials, op)
+    })
 }
 
 /// `SUM(array, DIM)`: per-line sums, replicated across grid dimension

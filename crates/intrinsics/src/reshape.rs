@@ -115,17 +115,14 @@ mod tests {
     #[test]
     fn transpose_matches_oracle() {
         let grid = ProcGrid::new(&[2, 2]);
-        let src =
-            ArrayDesc::new(&[8, 4], &grid, &[Dist::BlockCyclic(2), Dist::Cyclic]).unwrap();
-        let dst =
-            ArrayDesc::new(&[4, 8], &grid, &[Dist::Block, Dist::BlockCyclic(2)]).unwrap();
+        let src = ArrayDesc::new(&[8, 4], &grid, &[Dist::BlockCyclic(2), Dist::Cyclic]).unwrap();
+        let dst = ArrayDesc::new(&[4, 8], &grid, &[Dist::Block, Dist::BlockCyclic(2)]).unwrap();
         let a = GlobalArray::from_fn(&[8, 4], |g| (g[0] * 10 + g[1]) as i32);
         let parts = a.partition(&src);
         let machine = Machine::new(grid, CostModel::cm5());
         let (s, d, pp) = (&src, &dst, &parts);
-        let out = machine.run(move |proc| {
-            transpose(proc, s, d, &pp[proc.id()], A2aSchedule::LinearPermutation)
-        });
+        let out = machine
+            .run(move |proc| transpose(proc, s, d, &pp[proc.id()], A2aSchedule::LinearPermutation));
         let got = GlobalArray::assemble(&dst, &out.results);
         let want = GlobalArray::from_fn(&[4, 8], |g| a.get(&[g[1], g[0]]));
         assert_eq!(got, want);
@@ -134,8 +131,7 @@ mod tests {
     #[test]
     fn double_transpose_is_identity() {
         let grid = ProcGrid::new(&[2, 2]);
-        let src =
-            ArrayDesc::new(&[8, 4], &grid, &[Dist::Cyclic, Dist::BlockCyclic(2)]).unwrap();
+        let src = ArrayDesc::new(&[8, 4], &grid, &[Dist::Cyclic, Dist::BlockCyclic(2)]).unwrap();
         let mid = ArrayDesc::new(&[4, 8], &grid, &[Dist::Cyclic, Dist::Cyclic]).unwrap();
         let a = GlobalArray::from_fn(&[8, 4], |g| (g[0] * 7 + g[1] * 31) as i64);
         let parts = a.partition(&src);

@@ -42,7 +42,10 @@ pub fn sum_prefix_dim<T: Num>(
     prs: PrsAlgorithm,
 ) -> Vec<T> {
     assert!(dim < desc.ndims(), "DIM out of range");
-    assert!(desc.divisible(), "SUM_PREFIX requires the divisible block-cyclic layout");
+    assert!(
+        desc.divisible(),
+        "SUM_PREFIX requires the divisible block-cyclic layout"
+    );
     debug_assert_eq!(local.len(), desc.local_len(proc.id()));
 
     let lshape = desc.local_shape(proc.id());
@@ -159,8 +162,15 @@ pub fn sum_prefix_dim_segmented<T: Num>(
     use hpf_machine::collectives::prefix_scan_with;
 
     assert!(dim < desc.ndims(), "DIM out of range");
-    assert!(desc.divisible(), "segmented SUM_PREFIX requires the divisible layout");
-    assert_eq!(local.len(), starts.len(), "SEGMENT mask must be conformable");
+    assert!(
+        desc.divisible(),
+        "segmented SUM_PREFIX requires the divisible layout"
+    );
+    assert_eq!(
+        local.len(),
+        starts.len(),
+        "SEGMENT mask must be conformable"
+    );
     debug_assert_eq!(local.len(), desc.local_len(proc.id()));
 
     let lshape = desc.local_shape(proc.id());
@@ -239,11 +249,7 @@ mod tests {
     use hpf_distarray::{Dist, GlobalArray};
     use hpf_machine::{CostModel, Machine, ProcGrid};
 
-    fn oracle_prefix(
-        a: &GlobalArray<i64>,
-        dim: usize,
-        kind: ScanKind,
-    ) -> GlobalArray<i64> {
+    fn oracle_prefix(a: &GlobalArray<i64>, dim: usize, kind: ScanKind) -> GlobalArray<i64> {
         let shape = a.shape().to_vec();
         GlobalArray::from_fn(&shape, |g| {
             let upto = match kind {
@@ -264,7 +270,10 @@ mod tests {
         let grid = ProcGrid::new(grid_dims);
         let desc = ArrayDesc::new(shape, &grid, dists).unwrap();
         let a = GlobalArray::from_fn(shape, |g| {
-            g.iter().enumerate().map(|(i, &x)| (x as i64 + 1) * (i as i64 * 10 + 1)).product()
+            g.iter()
+                .enumerate()
+                .map(|(i, &x)| (x as i64 + 1) * (i as i64 * 10 + 1))
+                .product()
         });
         let want = oracle_prefix(&a, dim, kind);
         let parts = a.partition(&desc);
@@ -374,8 +383,7 @@ mod tests {
     fn segmented_prefix_matches_oracle() {
         let shape = [24usize, 4];
         let grid = ProcGrid::new(&[4, 2]);
-        let desc =
-            ArrayDesc::new(&shape, &grid, &[Dist::BlockCyclic(2), Dist::Cyclic]).unwrap();
+        let desc = ArrayDesc::new(&shape, &grid, &[Dist::BlockCyclic(2), Dist::Cyclic]).unwrap();
         let a = GlobalArray::from_fn(&shape, |g| (g[0] * 3 + g[1] + 1) as i64);
         // Segments start at multiples of 5 along dim 0 (crossing both block
         // and processor boundaries), varying per line.
@@ -412,8 +420,14 @@ mod tests {
                 0,
                 ScanKind::Exclusive,
             );
-            let plain =
-                sum_prefix_dim(proc, d, &apr[proc.id()], 0, ScanKind::Exclusive, PrsAlgorithm::Auto);
+            let plain = sum_prefix_dim(
+                proc,
+                d,
+                &apr[proc.id()],
+                0,
+                ScanKind::Exclusive,
+                PrsAlgorithm::Auto,
+            );
             (seg, plain)
         });
         for (seg, plain) in out.results {

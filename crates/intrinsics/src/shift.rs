@@ -116,7 +116,10 @@ mod tests {
         let grid = ProcGrid::new(grid_dims);
         let desc = ArrayDesc::new(shape, &grid, dists).unwrap();
         let a = GlobalArray::from_fn(shape, |g| {
-            g.iter().enumerate().map(|(i, &x)| (x as i32 + 1) * 10i32.pow(i as u32 * 2)).sum()
+            g.iter()
+                .enumerate()
+                .map(|(i, &x)| (x as i32 + 1) * 10i32.pow(i as u32 * 2))
+                .sum()
         });
         let n = shape[dim] as isize;
         let want = GlobalArray::from_fn(shape, |g| {
@@ -142,10 +145,23 @@ mod tests {
         let machine = Machine::new(grid, CostModel::cm5());
         let (d, pp) = (&desc, &parts);
         let out = machine.run(move |proc| match boundary {
-            None => cshift_dim(proc, d, &pp[proc.id()], dim, shift, A2aSchedule::LinearPermutation),
-            Some(b) => {
-                eoshift_dim(proc, d, &pp[proc.id()], dim, shift, b, A2aSchedule::LinearPermutation)
-            }
+            None => cshift_dim(
+                proc,
+                d,
+                &pp[proc.id()],
+                dim,
+                shift,
+                A2aSchedule::LinearPermutation,
+            ),
+            Some(b) => eoshift_dim(
+                proc,
+                d,
+                &pp[proc.id()],
+                dim,
+                shift,
+                b,
+                A2aSchedule::LinearPermutation,
+            ),
         });
         (GlobalArray::assemble(&desc, &out.results), want)
     }

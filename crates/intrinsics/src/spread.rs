@@ -27,7 +27,11 @@ pub fn spread_dim<T: Wire + Default>(
     dim: usize,
     schedule: A2aSchedule,
 ) -> Vec<T> {
-    assert_eq!(dst.ndims(), src.ndims() + 1, "SPREAD adds exactly one dimension");
+    assert_eq!(
+        dst.ndims(),
+        src.ndims() + 1,
+        "SPREAD adds exactly one dimension"
+    );
     assert!(dim < dst.ndims(), "DIM out of range");
     assert_eq!(
         src.grid().nprocs(),
@@ -109,7 +113,14 @@ mod tests {
         let machine = Machine::new(src_grid, CostModel::cm5());
         let (s, d, pp) = (&src, &dst, &parts);
         let out = machine.run(move |proc| {
-            spread_dim(proc, s, d, &pp[proc.id()], dim, A2aSchedule::LinearPermutation)
+            spread_dim(
+                proc,
+                s,
+                d,
+                &pp[proc.id()],
+                dim,
+                A2aSchedule::LinearPermutation,
+            )
         });
         let got = GlobalArray::assemble(&dst, &out.results);
         let want = GlobalArray::from_fn(&dst_shape, |g| {

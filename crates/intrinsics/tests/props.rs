@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use hpf_distarray::{ArrayDesc, Dist, GlobalArray};
 use hpf_intrinsics::{
-    cshift_dim, count_all, eoshift_dim, maxval_all, minval_all, reshape, sum_all, sum_dim,
+    count_all, cshift_dim, eoshift_dim, maxval_all, minval_all, reshape, sum_all, sum_dim,
     sum_prefix_dim, transpose, ScanKind,
 };
 use hpf_machine::collectives::{A2aSchedule, PrsAlgorithm};
@@ -26,7 +26,11 @@ impl Cfg2 {
         ProcGrid::new(&[self.dims[0].0, self.dims[1].0])
     }
     fn desc(&self) -> ArrayDesc {
-        let dists: Vec<Dist> = self.dims.iter().map(|&(_, w, _)| Dist::BlockCyclic(w)).collect();
+        let dists: Vec<Dist> = self
+            .dims
+            .iter()
+            .map(|&(_, w, _)| Dist::BlockCyclic(w))
+            .collect();
         ArrayDesc::new(&self.shape(), &self.grid(), &dists).unwrap()
     }
     fn array(&self) -> GlobalArray<i64> {
@@ -38,8 +42,10 @@ fn cfg2() -> impl Strategy<Value = Cfg2> {
     let dim = (1usize..=3, 1usize..=2, 1usize..=3);
     (dim.clone(), dim).prop_flat_map(|(d0, d1)| {
         let n = d0.0 * d0.1 * d0.2 * d1.0 * d1.1 * d1.2;
-        prop::collection::vec(-50i64..50, n)
-            .prop_map(move |values| Cfg2 { dims: [d0, d1], values })
+        prop::collection::vec(-50i64..50, n).prop_map(move |values| Cfg2 {
+            dims: [d0, d1],
+            values,
+        })
     })
 }
 

@@ -62,14 +62,22 @@ pub fn alltoallv<P: Payload + Default>(
             for k in 1..n {
                 let dst = (me + k) % n;
                 let src = (me + n - k) % n;
-                proc.send(group.id_of(dst), tags::ALLTOALL, std::mem::take(&mut sends[dst]));
+                proc.send(
+                    group.id_of(dst),
+                    tags::ALLTOALL,
+                    std::mem::take(&mut sends[dst]),
+                );
                 recvs[src] = proc.recv(group.id_of(src), tags::ALLTOALL);
             }
         }
         A2aSchedule::NaivePush => {
             for k in 1..n {
                 let dst = (me + k) % n;
-                proc.send(group.id_of(dst), tags::ALLTOALL, std::mem::take(&mut sends[dst]));
+                proc.send(
+                    group.id_of(dst),
+                    tags::ALLTOALL,
+                    std::mem::take(&mut sends[dst]),
+                );
             }
             for k in 1..n {
                 let src = (me + n - k) % n;
@@ -107,7 +115,11 @@ fn finish_linear<P: Payload + Default>(
     for k in 1..n {
         let dst = (me + k) % n;
         let src = (me + n - k) % n;
-        proc.send(group.id_of(dst), tags::ALLTOALL, std::mem::take(&mut sends[dst]));
+        proc.send(
+            group.id_of(dst),
+            tags::ALLTOALL,
+            std::mem::take(&mut sends[dst]),
+        );
         recvs[src] = proc.recv(group.id_of(src), tags::ALLTOALL);
     }
     recvs
@@ -122,13 +134,30 @@ struct Bundled<T> {
 
 impl<T> Default for Bundled<T> {
     fn default() -> Self {
-        Bundled { bundles: Vec::new() }
+        Bundled {
+            bundles: Vec::new(),
+        }
+    }
+}
+
+impl<T: Wire> Clone for Bundled<T> {
+    fn clone(&self) -> Self {
+        Bundled {
+            bundles: self.bundles.clone(),
+        }
     }
 }
 
 impl<T: Wire> Payload for Bundled<T> {
     fn wire_words(&self) -> crate::cost::Words {
-        self.bundles.iter().map(|(_, v)| 2 + v.len() * T::WORDS).sum()
+        self.bundles
+            .iter()
+            .map(|(_, v)| 2 + v.len() * T::WORDS)
+            .sum()
+    }
+
+    fn clone_payload(&self) -> Box<dyn std::any::Any + Send> {
+        Box::new(self.clone())
     }
 }
 
@@ -180,7 +209,9 @@ pub fn alltoallv_two_phase<T: Wire>(
         if dst == me || payload.is_empty() {
             continue;
         }
-        phase1[relay_of(me, dst)].bundles.push((dst as u32, payload));
+        phase1[relay_of(me, dst)]
+            .bundles
+            .push((dst as u32, payload));
     }
     let relayed = alltoallv(proc, group, phase1, schedule);
 
@@ -228,7 +259,10 @@ mod tests {
         for (j, recvs) in out.results.iter().enumerate() {
             for (r, v) in recvs.iter().enumerate() {
                 assert_eq!(v.len(), r + j + 1, "length from {r} to {j}");
-                assert!(v.iter().all(|&x| x == (r * 100 + j) as i32), "content from {r} to {j}");
+                assert!(
+                    v.iter().all(|&x| x == (r * 100 + j) as i32),
+                    "content from {r} to {j}"
+                );
             }
         }
     }
@@ -291,20 +325,35 @@ mod tests {
                     alltoallv(proc, &g, sends, A2aSchedule::LinearPermutation);
                 }
             });
-            (out.total_startups(), out.total_words_sent(), out.max_time_ms())
+            (
+                out.total_startups(),
+                out.total_words_sent(),
+                out.max_time_ms(),
+            )
         };
         let (s1, w1, t1) = run(false);
         let (s2, w2, t2) = run(true);
-        assert!(s2 < s1 / 2, "two-phase startups {s2} should be well under direct {s1}");
+        assert!(
+            s2 < s1 / 2,
+            "two-phase startups {s2} should be well under direct {s1}"
+        );
         assert!(w2 > w1, "two-phase volume {w2} must exceed direct {w1}");
-        assert!(t2 < t1, "with 1-word messages, start-ups dominate: {t2} < {t1}");
+        assert!(
+            t2 < t1,
+            "with 1-word messages, start-ups dominate: {t2} < {t1}"
+        );
     }
 
     #[test]
     fn empty_slots_charge_nothing() {
         let machine = Machine::new(
             ProcGrid::line(4),
-            CostModel { delta_ns: 0.0, tau_ns: 100.0, mu_ns: 1.0, ..CostModel::zero() },
+            CostModel {
+                delta_ns: 0.0,
+                tau_ns: 100.0,
+                mu_ns: 1.0,
+                ..CostModel::zero()
+            },
         );
         let out = machine.run(|proc| {
             let g = proc.world();

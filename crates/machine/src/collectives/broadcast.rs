@@ -8,12 +8,7 @@ use crate::proc::{tags, Group, Proc};
 ///
 /// Binomial tree: `⌈log₂ P⌉` rounds, each doubling the set of informed
 /// processors, `Θ((τ + μ·m)·log P)` on the critical path.
-pub fn broadcast<T: Wire>(
-    proc: &mut Proc,
-    group: &Group,
-    root: usize,
-    data: Vec<T>,
-) -> Vec<T> {
+pub fn broadcast<T: Wire>(proc: &mut Proc, group: &Group, root: usize, data: Vec<T>) -> Vec<T> {
     let n = group.size();
     assert!(root < n, "root rank out of range");
     if n == 1 {
@@ -63,7 +58,11 @@ mod tests {
                 let machine = Machine::new(ProcGrid::line(p), CostModel::zero());
                 let out = machine.run(move |proc| {
                     let g = proc.world();
-                    let data = if g.my_rank() == root { vec![9i32, 8, 7] } else { Vec::new() };
+                    let data = if g.my_rank() == root {
+                        vec![9i32, 8, 7]
+                    } else {
+                        Vec::new()
+                    };
                     broadcast(proc, &g, root, data)
                 });
                 for (r, v) in out.results.iter().enumerate() {
@@ -75,12 +74,21 @@ mod tests {
 
     #[test]
     fn broadcast_critical_path_is_logarithmic() {
-        let model = CostModel { delta_ns: 0.0, tau_ns: 1000.0, mu_ns: 0.0, ..CostModel::zero() };
+        let model = CostModel {
+            delta_ns: 0.0,
+            tau_ns: 1000.0,
+            mu_ns: 0.0,
+            ..CostModel::zero()
+        };
         let time = |p: usize| {
             let machine = Machine::new(ProcGrid::line(p), model);
             let out = machine.run(|proc| {
                 let g = proc.world();
-                let data = if g.my_rank() == 0 { vec![1i32] } else { Vec::new() };
+                let data = if g.my_rank() == 0 {
+                    vec![1i32]
+                } else {
+                    Vec::new()
+                };
                 broadcast(proc, &g, 0, data);
             });
             out.max_time_ms()

@@ -134,7 +134,12 @@ fn direct<T: Num>(proc: &mut Proc, group: &Group, v: &[T]) -> (Vec<T>, Vec<T>) {
     }
 
     let prefix: Vec<T> = up.iter().zip(v).map(|(&u, &x)| u - x).collect();
-    let total: Vec<T> = up.iter().zip(&down).zip(v).map(|((&u, &w), &x)| u + w - x).collect();
+    let total: Vec<T> = up
+        .iter()
+        .zip(&down)
+        .zip(v)
+        .map(|((&u, &w), &x)| u + w - x)
+        .collect();
     proc.charge_ops(2 * v.len());
     (prefix, total)
 }
@@ -282,8 +287,9 @@ mod tests {
 
     fn check(p: usize, m: usize, algo: PrsAlgorithm) {
         let machine = Machine::new(ProcGrid::line(p), CostModel::zero());
-        let inputs: Vec<Vec<i32>> =
-            (0..p).map(|r| (0..m).map(|j| (r * 31 + j * 7 + 1) as i32 % 97).collect()).collect();
+        let inputs: Vec<Vec<i32>> = (0..p)
+            .map(|r| (0..m).map(|j| (r * 31 + j * 7 + 1) as i32 % 97).collect())
+            .collect();
         let (want_prefix, want_total) = serial_prs(&inputs);
         let inputs_ref = &inputs;
         let out = machine.run(move |proc| {
@@ -292,8 +298,14 @@ mod tests {
             prefix_reduction_sum(proc, &g, &v, algo)
         });
         for (r, (prefix, total)) in out.results.iter().enumerate() {
-            assert_eq!(prefix, &want_prefix[r], "prefix mismatch p={p} m={m} rank {r} {algo:?}");
-            assert_eq!(total, &want_total, "total mismatch p={p} m={m} rank {r} {algo:?}");
+            assert_eq!(
+                prefix, &want_prefix[r],
+                "prefix mismatch p={p} m={m} rank {r} {algo:?}"
+            );
+            assert_eq!(
+                total, &want_total,
+                "total mismatch p={p} m={m} rank {r} {algo:?}"
+            );
         }
     }
 
@@ -346,18 +358,27 @@ mod tests {
             assert_eq!(out.total_words_sent(), 0, "p={p}");
             let want_ms = 2.0 * (model.cn_tau_ns + model.cn_mu_ns * m as f64) / 1e6;
             let got = out.max_cat_ms(Category::PrefixReductionSum);
-            assert!((got - want_ms).abs() < 1e-9, "p={p}: got {got}, want {want_ms}");
+            assert!(
+                (got - want_ms).abs() < 1e-9,
+                "p={p}: got {got}, want {want_ms}"
+            );
         }
     }
 
     #[test]
     fn auto_heuristic_matches_paper_rule() {
         // direct if P <= 4 or M < P, split otherwise
-        assert_eq!(PrsAlgorithm::Auto.resolve(4, 1_000_000), PrsAlgorithm::Direct);
+        assert_eq!(
+            PrsAlgorithm::Auto.resolve(4, 1_000_000),
+            PrsAlgorithm::Direct
+        );
         assert_eq!(PrsAlgorithm::Auto.resolve(16, 8), PrsAlgorithm::Direct);
         assert_eq!(PrsAlgorithm::Auto.resolve(16, 16), PrsAlgorithm::Split);
         assert_eq!(PrsAlgorithm::Auto.resolve(256, 1024), PrsAlgorithm::Split);
-        assert_eq!(PrsAlgorithm::Direct.resolve(256, 1024), PrsAlgorithm::Direct);
+        assert_eq!(
+            PrsAlgorithm::Direct.resolve(256, 1024),
+            PrsAlgorithm::Direct
+        );
     }
 
     #[test]
@@ -369,8 +390,9 @@ mod tests {
                 let v = vec![((proc.id() * 7 + 3) % 10) as i32, proc.id() as i32];
                 prefix_scan_with(proc, &g, &v, i32::MIN, i32::max)
             });
-            let inputs: Vec<Vec<i32>> =
-                (0..p).map(|r| vec![((r * 7 + 3) % 10) as i32, r as i32]).collect();
+            let inputs: Vec<Vec<i32>> = (0..p)
+                .map(|r| vec![((r * 7 + 3) % 10) as i32, r as i32])
+                .collect();
             let mut run = vec![i32::MIN; 2];
             for (r, got) in out.results.iter().enumerate() {
                 assert_eq!(got, &run, "p={p} rank {r}");

@@ -60,7 +60,13 @@ impl CostModel {
     /// A model in which all charges are free. Useful for tests that check
     /// data movement only.
     pub fn zero() -> Self {
-        CostModel { delta_ns: 0.0, tau_ns: 0.0, mu_ns: 0.0, cn_tau_ns: 0.0, cn_mu_ns: 0.0 }
+        CostModel {
+            delta_ns: 0.0,
+            tau_ns: 0.0,
+            mu_ns: 0.0,
+            cn_tau_ns: 0.0,
+            cn_mu_ns: 0.0,
+        }
     }
 
     /// Full transfer time `τ + μ·m` for a message of `m` words.
@@ -168,6 +174,11 @@ pub struct SimClock {
     words_sent: u64,
     /// Total message start-ups paid (diagnostics).
     startups: u64,
+    /// Reliable-transport retransmissions (diagnostic only: wall-clock
+    /// dependent, never charged to simulated time).
+    retransmits: u64,
+    /// Duplicate frames discarded by the reliable transport (diagnostic).
+    dup_drops: u64,
     /// When muted, all charges are suppressed (used to move data that a
     /// modelled hardware unit would carry, then charge the model instead).
     muted: bool,
@@ -187,9 +198,18 @@ impl SimClock {
             ops: 0,
             words_sent: 0,
             startups: 0,
+            retransmits: 0,
+            dup_drops: 0,
             muted: false,
             trace: None,
         }
+    }
+
+    /// Fold reliable-transport diagnostics into the clock so they appear in
+    /// the final [`ClockReport`]. These counters never affect `now_ns`.
+    pub fn note_transport(&mut self, retransmits: u64, dup_drops: u64) {
+        self.retransmits += retransmits;
+        self.dup_drops += dup_drops;
     }
 
     /// Start recording category spans (see [`crate::trace`]).
@@ -334,6 +354,8 @@ impl SimClock {
             ops: self.ops,
             words_sent: self.words_sent,
             startups: self.startups,
+            retransmits: self.retransmits,
+            dup_drops: self.dup_drops,
         }
     }
 
@@ -344,6 +366,8 @@ impl SimClock {
         self.ops = 0;
         self.words_sent = 0;
         self.startups = 0;
+        self.retransmits = 0;
+        self.dup_drops = 0;
     }
 }
 
@@ -360,6 +384,12 @@ pub struct ClockReport {
     pub words_sent: u64,
     /// Total message start-ups paid.
     pub startups: u64,
+    /// Reliable-transport retransmissions performed (0 without a fault
+    /// plan). Wall-clock dependent: a diagnostic, not a simulated cost.
+    pub retransmits: u64,
+    /// Duplicate frames the reliable transport discarded (0 without a
+    /// fault plan).
+    pub dup_drops: u64,
 }
 
 impl ClockReport {
@@ -389,6 +419,8 @@ impl ClockReport {
             ops: 0,
             words_sent: 0,
             startups: 0,
+            retransmits: 0,
+            dup_drops: 0,
         }
     }
 }
@@ -399,20 +431,35 @@ mod tests {
 
     #[test]
     fn msg_cost_is_tau_plus_mu_m() {
-        let m = CostModel { delta_ns: 1.0, tau_ns: 100.0, mu_ns: 2.0, ..CostModel::zero() };
+        let m = CostModel {
+            delta_ns: 1.0,
+            tau_ns: 100.0,
+            mu_ns: 2.0,
+            ..CostModel::zero()
+        };
         assert_eq!(m.msg_ns(0), 100.0);
         assert_eq!(m.msg_ns(10), 120.0);
     }
 
     #[test]
     fn ops_cost_is_delta_n() {
-        let m = CostModel { delta_ns: 3.0, tau_ns: 0.0, mu_ns: 0.0, ..CostModel::zero() };
+        let m = CostModel {
+            delta_ns: 3.0,
+            tau_ns: 0.0,
+            mu_ns: 0.0,
+            ..CostModel::zero()
+        };
         assert_eq!(m.ops_ns(7), 21.0);
     }
 
     #[test]
     fn clock_accumulates_by_category() {
-        let mut c = SimClock::new(CostModel { delta_ns: 1.0, tau_ns: 10.0, mu_ns: 1.0, ..CostModel::zero() });
+        let mut c = SimClock::new(CostModel {
+            delta_ns: 1.0,
+            tau_ns: 10.0,
+            mu_ns: 1.0,
+            ..CostModel::zero()
+        });
         c.set_category(Category::LocalComp);
         c.charge_ops(5);
         c.set_category(Category::ManyToMany);

@@ -1,0 +1,200 @@
+//! Typed failures of the simulated machine.
+//!
+//! The paper's two-level model assumes a perfect network and immortal
+//! processors; this module is what the simulator reports when those
+//! assumptions are deliberately broken (fault injection, see
+//! [`crate::fault`]) or when an SPMD program misbehaves. Every failure mode
+//! that used to hang or panic deep inside a processor thread is converted
+//! into a [`MachineError`] naming the processor (and, where it exists, the
+//! peer/tag) at fault, and [`crate::Machine::try_run`] returns it as a
+//! structured `Err` after aborting all peers via a poison broadcast.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A structured machine-level failure, as returned by
+/// [`crate::Machine::try_run`].
+///
+/// The variant always names the processor where the failure originated;
+/// [`MachineError::proc`] extracts it uniformly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineError {
+    /// The SPMD program closure panicked on one processor.
+    ProcPanicked {
+        /// The panicking processor.
+        proc: usize,
+        /// The panic payload rendered as text.
+        msg: String,
+    },
+    /// A fault plan crashed this processor at a scheduled send step
+    /// (see [`crate::fault::FaultPlan::with_crash`]).
+    ProcCrashed {
+        /// The crashed processor.
+        proc: usize,
+        /// The 1-based send count at which the crash fired.
+        step: u64,
+    },
+    /// A receive posted by `proc` saw nothing matching from `src` within the
+    /// machine's receive timeout — almost always a deadlocked or mismatched
+    /// program, or a crashed peer.
+    RecvTimeout {
+        /// The waiting processor.
+        proc: usize,
+        /// The expected source processor.
+        src: usize,
+        /// The expected tag.
+        tag: u64,
+        /// The configured timeout that expired.
+        timeout: Duration,
+    },
+    /// The reliable transport exhausted its retries for one message: the
+    /// destination never acknowledged despite repeated retransmission.
+    Unreachable {
+        /// The sending processor.
+        proc: usize,
+        /// The unresponsive destination.
+        dst: usize,
+        /// The sequence number of the undeliverable message.
+        seq: u64,
+        /// Transmission attempts made (including the original send).
+        attempts: u32,
+    },
+    /// A processor finished with unconsumed messages in its mailbox,
+    /// indicating mismatched send/recv structure.
+    LeftoverMessages {
+        /// The processor with leftover traffic.
+        proc: usize,
+        /// Number of unconsumed messages.
+        count: usize,
+    },
+    /// This processor was aborted because a peer failed first; `cause` is
+    /// the originating failure.
+    Poisoned {
+        /// The aborted (innocent) processor.
+        proc: usize,
+        /// The root failure on the originating processor.
+        cause: Box<MachineError>,
+    },
+}
+
+impl MachineError {
+    /// The processor on which this error was raised.
+    pub fn proc(&self) -> usize {
+        match *self {
+            MachineError::ProcPanicked { proc, .. }
+            | MachineError::ProcCrashed { proc, .. }
+            | MachineError::RecvTimeout { proc, .. }
+            | MachineError::Unreachable { proc, .. }
+            | MachineError::LeftoverMessages { proc, .. }
+            | MachineError::Poisoned { proc, .. } => proc,
+        }
+    }
+
+    /// Follow [`MachineError::Poisoned`] links to the originating failure.
+    pub fn root_cause(&self) -> &MachineError {
+        match self {
+            MachineError::Poisoned { cause, .. } => cause.root_cause(),
+            other => other,
+        }
+    }
+
+    /// True iff this is a secondary (poison) abort rather than the origin.
+    pub fn is_poisoned(&self) -> bool {
+        matches!(self, MachineError::Poisoned { .. })
+    }
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::ProcPanicked { proc, msg } => {
+                write!(f, "proc {proc} panicked: {msg}")
+            }
+            MachineError::ProcCrashed { proc, step } => {
+                write!(
+                    f,
+                    "proc {proc} crashed (fault-injected) at send step {step}"
+                )
+            }
+            MachineError::RecvTimeout {
+                proc,
+                src,
+                tag,
+                timeout,
+            } => write!(
+                f,
+                "proc {proc}: receive from {src} tag {tag} timed out after {timeout:?} — \
+                 deadlock or crashed peer?"
+            ),
+            MachineError::Unreachable {
+                proc,
+                dst,
+                seq,
+                attempts,
+            } => write!(
+                f,
+                "proc {proc}: message seq {seq} to {dst} unacknowledged after {attempts} \
+                 attempts — peer unreachable"
+            ),
+            MachineError::LeftoverMessages { proc, count } => write!(
+                f,
+                "proc {proc} finished with {count} unconsumed message(s) — mismatched send/recv"
+            ),
+            MachineError::Poisoned { proc, cause } => {
+                write!(f, "proc {proc} aborted by peer failure: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_and_root_cause_unwrap_poison_chains() {
+        let origin = MachineError::RecvTimeout {
+            proc: 3,
+            src: 1,
+            tag: 7,
+            timeout: Duration::from_secs(5),
+        };
+        let poisoned = MachineError::Poisoned {
+            proc: 0,
+            cause: Box::new(origin.clone()),
+        };
+        assert_eq!(poisoned.proc(), 0);
+        assert_eq!(poisoned.root_cause(), &origin);
+        assert!(poisoned.is_poisoned());
+        assert!(!origin.is_poisoned());
+        assert_eq!(origin.proc(), 3);
+    }
+
+    #[test]
+    fn displays_name_the_failing_parties() {
+        let e = MachineError::RecvTimeout {
+            proc: 2,
+            src: 5,
+            tag: 9,
+            timeout: Duration::from_millis(50),
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("proc 2") && s.contains("from 5") && s.contains("tag 9"),
+            "{s}"
+        );
+        assert!(s.contains("deadlock"), "{s}");
+        let u = MachineError::Unreachable {
+            proc: 1,
+            dst: 4,
+            seq: 17,
+            attempts: 30,
+        }
+        .to_string();
+        assert!(u.contains("seq 17") && u.contains("unreachable"), "{u}");
+        let l = MachineError::LeftoverMessages { proc: 0, count: 2 }.to_string();
+        assert!(l.contains("unconsumed"), "{l}");
+    }
+}

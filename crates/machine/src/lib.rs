@@ -39,14 +39,19 @@
 
 pub mod collectives;
 mod cost;
+mod error;
+pub mod fault;
 mod machine;
 mod message;
 mod proc;
+mod reliable;
 mod report;
 mod topology;
 pub mod trace;
 
 pub use cost::{Category, ClockReport, CostModel, SimClock, Words};
+pub use error::MachineError;
+pub use fault::{FaultPlan, LinkFaults};
 pub use machine::Machine;
 pub use message::{Mailbox, Packet, Payload, Wire};
 pub use proc::{tags, Group, Proc};

@@ -1,13 +1,27 @@
 //! The SPMD driver: spawns one OS thread per virtual processor and runs the
 //! same program closure on each, wiring up the message channels and
 //! collecting results and clock reports in processor order.
+//!
+//! Failure handling: each processor thread runs the program closure under
+//! `catch_unwind`. When any processor fails — a program panic, a
+//! fault-injected crash, a receive timeout, or an unreachable peer — the
+//! failing thread broadcasts a poison frame so that peers blocked in
+//! receives abort within one poll slice instead of waiting out their own
+//! timeouts, and [`Machine::try_run`] returns the originating failure as a
+//! structured [`MachineError`]. [`Machine::run`] keeps the panicking
+//! interface (propagating program panics verbatim) for callers that treat
+//! any failure as fatal.
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam_channel::unbounded;
-
 use crate::cost::{CostModel, SimClock};
-use crate::message::Packet;
+use crate::error::MachineError;
+use crate::fault::FaultPlan;
+use crate::message::Frame;
 use crate::proc::Proc;
 use crate::report::RunOutput;
 use crate::topology::ProcGrid;
@@ -20,12 +34,24 @@ pub struct Machine {
     cost: CostModel,
     recv_timeout: Duration,
     tracing: bool,
+    faults: Option<Arc<FaultPlan>>,
 }
+
+/// What one processor thread produced besides its result: the original
+/// panic payload is kept so [`Machine::run`] can re-raise program panics
+/// verbatim.
+type Failure = (MachineError, Option<Box<dyn Any + Send>>);
 
 impl Machine {
     /// Build a machine over `grid` with cost constants `cost`.
     pub fn new(grid: ProcGrid, cost: CostModel) -> Self {
-        Machine { grid, cost, recv_timeout: Duration::from_secs(120), tracing: false }
+        Machine {
+            grid,
+            cost,
+            recv_timeout: Duration::from_secs(120),
+            tracing: false,
+            faults: None,
+        }
     }
 
     /// Enable per-processor category-span tracing (see [`crate::trace`]).
@@ -44,6 +70,26 @@ impl Machine {
     pub fn with_recv_timeout(mut self, t: Duration) -> Self {
         self.recv_timeout = t;
         self
+    }
+
+    /// Test-friendly settings: a 5-second receive timeout, so that a
+    /// deadlocked or faulted test run fails in seconds instead of minutes.
+    pub fn with_test_preset(self) -> Self {
+        self.with_recv_timeout(Duration::from_secs(5))
+    }
+
+    /// Attach a fault-injection plan. All charged point-to-point traffic is
+    /// then routed over the reliable transport, which recovers from every
+    /// non-crash fault in the plan (see [`crate::fault`]); a scheduled crash
+    /// surfaces as [`MachineError::ProcCrashed`] from [`Machine::try_run`].
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(plan));
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_deref()
     }
 
     /// The logical processor grid.
@@ -71,26 +117,71 @@ impl Machine {
     /// algorithms in this workspace are deterministic given their inputs).
     ///
     /// # Panics
-    /// Propagates the first panicking processor's panic. Also panics if a
-    /// processor finishes with unconsumed messages in its mailbox, which
-    /// indicates mismatched send/recv structure.
+    /// Propagates the originating processor's panic verbatim if the program
+    /// closure panicked; panics with the [`MachineError`] message for
+    /// machine-level failures (receive timeout, fault-injected crash,
+    /// unreachable peer, unconsumed messages). Use [`Machine::try_run`] for
+    /// a structured error instead.
     pub fn run<R, F>(&self, program: F) -> RunOutput<R>
     where
         R: Send,
         F: Fn(&mut Proc) -> R + Sync,
     {
+        match self.run_inner(program) {
+            Ok(out) => out,
+            Err(failures) => {
+                let idx = pick_primary(&failures);
+                let mut failures = failures;
+                let (err, payload) = failures.swap_remove(idx).1;
+                if let Some(p) = payload {
+                    resume_unwind(p);
+                }
+                panic!("{err}");
+            }
+        }
+    }
+
+    /// Like [`Machine::run`], but every failure — including program panics —
+    /// comes back as a structured [`MachineError`] naming the processor at
+    /// fault. When several processors fail, the originating failure is
+    /// returned (poison-aborted bystanders are never selected over a root
+    /// cause).
+    pub fn try_run<R, F>(&self, program: F) -> Result<RunOutput<R>, MachineError>
+    where
+        R: Send,
+        F: Fn(&mut Proc) -> R + Sync,
+    {
+        self.run_inner(program).map_err(|failures| {
+            let idx = pick_primary(&failures);
+            let mut failures = failures;
+            failures.swap_remove(idx).1 .0
+        })
+    }
+
+    /// Shared driver. On failure returns every failing processor's error
+    /// (with original panic payloads where they exist), in processor order.
+    fn run_inner<R, F>(&self, program: F) -> Result<RunOutput<R>, Vec<(usize, Failure)>>
+    where
+        R: Send,
+        F: Fn(&mut Proc) -> R + Sync,
+    {
+        install_quiet_machine_error_hook();
         let p = self.nprocs();
         let mut txs = Vec::with_capacity(p);
         let mut rxs = Vec::with_capacity(p);
         for _ in 0..p {
-            let (tx, rx) = unbounded::<Packet>();
+            let (tx, rx) = channel::<Frame>();
             txs.push(tx);
             rxs.push(rx);
         }
 
-        type ProcResult<R> =
-            (R, crate::cost::ClockReport, usize, Vec<crate::trace::Span>, Vec<u64>);
-        let mut out: Vec<Option<ProcResult<R>>> = (0..p).map(|_| None).collect();
+        type ProcOk<R> = (
+            R,
+            crate::cost::ClockReport,
+            Vec<crate::trace::Span>,
+            Vec<u64>,
+        );
+        let mut out: Vec<Option<Result<ProcOk<R>, Failure>>> = (0..p).map(|_| None).collect();
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
@@ -101,24 +192,63 @@ impl Machine {
                 let program = &program;
                 let timeout = self.recv_timeout;
                 let tracing = self.tracing;
+                let plan = self.faults.clone();
                 handles.push(scope.spawn(move || {
                     let mut clock = SimClock::new(cost);
                     if tracing {
                         clock.enable_trace();
                     }
-                    let mut proc = Proc::new(id, grid, clock, txs, rx, timeout);
-                    let result = program(&mut proc);
-                    let leftover = proc.leftover_messages();
-                    let (mut clock, comm_row) = proc.into_clock_and_comm();
+                    let mut proc = Proc::new(id, grid, clock, txs, rx, timeout, plan);
+                    let result = catch_unwind(AssertUnwindSafe(|| program(&mut proc)));
+                    let outcome: Result<R, Failure> = match result {
+                        Ok(r) => match proc.finish_transport() {
+                            Ok(()) => {
+                                let leftover = proc.leftover_messages();
+                                if leftover > 0 {
+                                    Err((
+                                        MachineError::LeftoverMessages {
+                                            proc: id,
+                                            count: leftover,
+                                        },
+                                        None,
+                                    ))
+                                } else {
+                                    Ok(r)
+                                }
+                            }
+                            Err(e) => Err((e, None)),
+                        },
+                        Err(payload) => match payload.downcast::<MachineError>() {
+                            Ok(e) => Err((*e, None)),
+                            Err(payload) => {
+                                let msg = panic_message(payload.as_ref());
+                                Err((MachineError::ProcPanicked { proc: id, msg }, Some(payload)))
+                            }
+                        },
+                    };
+                    if let Err((e, _)) = &outcome {
+                        // Poison broadcast: peers blocked in receives abort
+                        // with this error as their cause instead of waiting
+                        // out their own timeouts.
+                        for (pid, tx) in txs.iter().enumerate() {
+                            if pid != id {
+                                let _ = tx.send(Frame::Poison(e.clone()));
+                            }
+                        }
+                    }
+                    let (mut clock, comm_row, rx) = proc.into_parts();
                     let trace = clock.take_trace();
-                    (result, clock.report(), leftover, trace, comm_row)
+                    (outcome.map(|r| (r, clock.report(), trace, comm_row)), rx)
                 }));
             }
+            // Receiver endpoints come back from each joined thread and are
+            // parked here until every thread has joined, so a laggard's
+            // late sends (e.g. retransmissions) never hit a closed channel.
+            let mut parked_rxs = Vec::with_capacity(p);
             for (id, h) in handles.into_iter().enumerate() {
-                match h.join() {
-                    Ok(triple) => out[id] = Some(triple),
-                    Err(e) => std::panic::resume_unwind(e),
-                }
+                let (outcome, rx) = h.join().expect("processor threads never panic themselves");
+                parked_rxs.push(rx);
+                out[id] = Some(outcome);
             }
         });
 
@@ -126,22 +256,75 @@ impl Machine {
         let mut clocks = Vec::with_capacity(p);
         let mut traces = Vec::with_capacity(p);
         let mut comm = Vec::with_capacity(p);
+        let mut failures = Vec::new();
         for (id, slot) in out.into_iter().enumerate() {
-            let (r, c, leftover, trace, comm_row) = slot.expect("every processor joined");
-            assert_eq!(
-                leftover, 0,
-                "proc {id} finished with {leftover} unconsumed message(s) — mismatched send/recv"
-            );
-            results.push(r);
-            clocks.push(c);
-            traces.push(trace);
-            comm.push(comm_row);
+            match slot.expect("every processor joined") {
+                Ok((r, c, trace, comm_row)) => {
+                    results.push(r);
+                    clocks.push(c);
+                    traces.push(trace);
+                    comm.push(comm_row);
+                }
+                Err(failure) => failures.push((id, failure)),
+            }
+        }
+        if !failures.is_empty() {
+            return Err(failures);
         }
         let mut run = RunOutput::new(results, clocks);
         run.traces = traces;
         run.comm_matrix = comm;
-        run
+        Ok(run)
     }
+}
+
+/// Machine-level failures travel as `panic_any(MachineError)` so they can
+/// cross `catch_unwind`, but they are expected control flow (the driver
+/// converts them into `Err`s), so the default "thread panicked" noise is
+/// suppressed for them. Program panics keep the standard hook output.
+fn install_quiet_machine_error_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<MachineError>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Render a panic payload for [`MachineError::ProcPanicked`].
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Index of the failure to report: the most root-cause-like one. Poisoned
+/// bystanders rank last; active failures (panic/crash) rank before passive
+/// ones (unreachable peer, timeout, leftovers); ties break to the lowest
+/// processor id (the vector is already in processor order).
+fn pick_primary(failures: &[(usize, Failure)]) -> usize {
+    fn severity(e: &MachineError) -> u8 {
+        match e {
+            MachineError::ProcPanicked { .. } | MachineError::ProcCrashed { .. } => 0,
+            MachineError::Unreachable { .. } => 1,
+            MachineError::RecvTimeout { .. } => 2,
+            MachineError::LeftoverMessages { .. } => 3,
+            MachineError::Poisoned { .. } => 4,
+        }
+    }
+    failures
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, (_, (e, _)))| severity(e))
+        .map(|(i, _)| i)
+        .expect("pick_primary called with failures")
 }
 
 #[cfg(test)]
@@ -161,7 +344,12 @@ mod tests {
     fn ring_pass_moves_data_and_charges_time() {
         let m = Machine::new(
             ProcGrid::line(4),
-            CostModel { delta_ns: 0.0, tau_ns: 10.0, mu_ns: 1.0, ..CostModel::zero() },
+            CostModel {
+                delta_ns: 0.0,
+                tau_ns: 10.0,
+                mu_ns: 1.0,
+                ..CostModel::zero()
+            },
         );
         let out = m.run(|p| {
             let next = (p.id() + 1) % 4;
@@ -199,7 +387,12 @@ mod tests {
     fn receiver_waits_until_arrival() {
         let m = Machine::new(
             ProcGrid::line(2),
-            CostModel { delta_ns: 1.0, tau_ns: 100.0, mu_ns: 0.0, ..CostModel::zero() },
+            CostModel {
+                delta_ns: 1.0,
+                tau_ns: 100.0,
+                mu_ns: 0.0,
+                ..CostModel::zero()
+            },
         );
         let out = m.run(|p| {
             if p.id() == 0 {
@@ -288,5 +481,187 @@ mod tests {
         // Grid [P0=2, P1=2]: id = p0 + 2*p1.
         assert_eq!(out.results[0], (1, 2));
         assert_eq!(out.results[3], (2, 1));
+    }
+
+    // ---- failure-path and fault-injection coverage ----------------------
+
+    use crate::fault::FaultPlan;
+    use std::time::Duration;
+
+    fn ring_program(p: &mut Proc) -> i32 {
+        let n = p.nprocs();
+        let next = (p.id() + 1) % n;
+        let prev = (p.id() + n - 1) % n;
+        p.send(next, tags::USER, vec![p.id() as i32]);
+        let got: Vec<i32> = p.recv(prev, tags::USER);
+        got[0]
+    }
+
+    #[test]
+    fn try_run_ok_matches_run() {
+        let m = Machine::new(ProcGrid::line(4), CostModel::cm5());
+        let a = m.run(ring_program);
+        let b = m.try_run(ring_program).expect("fault-free run succeeds");
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.clocks, b.clocks);
+    }
+
+    #[test]
+    fn faulty_run_is_bit_identical_to_clean_run() {
+        let clean = Machine::new(ProcGrid::line(4), CostModel::cm5());
+        let faulty = clean.clone().with_test_preset().with_faults(
+            FaultPlan::new(99)
+                .with_drop(0.2)
+                .with_duplicate(0.2)
+                .with_reorder(0.2),
+        );
+        let a = clean.run(ring_program);
+        let b = faulty
+            .try_run(ring_program)
+            .expect("reliable transport recovers");
+        assert_eq!(a.results, b.results);
+        // Drop/dup/reorder never change simulated time, only wall time.
+        for (ca, cb) in a.clocks.iter().zip(&b.clocks) {
+            assert_eq!(ca.now_ns, cb.now_ns);
+            assert_eq!(ca.words_sent, cb.words_sent);
+        }
+    }
+
+    #[test]
+    fn injected_delay_slows_simulated_time_deterministically() {
+        let plan = FaultPlan::new(5).with_delay(1.0, 1e6);
+        let m = Machine::new(
+            ProcGrid::line(4),
+            CostModel {
+                tau_ns: 10.0,
+                mu_ns: 1.0,
+                ..CostModel::zero()
+            },
+        )
+        .with_test_preset()
+        .with_faults(plan);
+        let a = m.try_run(ring_program).unwrap();
+        let b = m.try_run(ring_program).unwrap();
+        assert_eq!(a.results, b.results);
+        for (ca, cb) in a.clocks.iter().zip(&b.clocks) {
+            assert_eq!(ca.now_ns, cb.now_ns, "delays must be deterministic");
+        }
+        // At least one receiver waited for a delayed packet.
+        assert!(a.clocks.iter().any(|c| c.now_ns > 11.0));
+    }
+
+    #[test]
+    fn crash_surfaces_as_typed_error_and_poisons_peers() {
+        let m = Machine::new(ProcGrid::line(4), CostModel::zero())
+            .with_test_preset()
+            .with_faults(FaultPlan::new(0).with_crash(2, 1));
+        let err = m
+            .try_run(ring_program)
+            .expect_err("crash must fail the run");
+        assert_eq!(err, MachineError::ProcCrashed { proc: 2, step: 1 });
+    }
+
+    #[test]
+    fn recv_timeout_is_a_typed_error_naming_the_stuck_proc() {
+        let m = Machine::new(ProcGrid::line(2), CostModel::zero())
+            .with_recv_timeout(Duration::from_millis(50));
+        let err = m
+            .try_run(|p| {
+                if p.id() == 1 {
+                    let _: Vec<i32> = p.recv(0, tags::USER + 9);
+                }
+            })
+            .expect_err("nobody sends; proc 1 must time out");
+        match err {
+            MachineError::RecvTimeout { proc, src, tag, .. } => {
+                assert_eq!((proc, src, tag), (1, 0, tags::USER + 9));
+            }
+            other => panic!("expected RecvTimeout, got {other}"),
+        }
+    }
+
+    #[test]
+    fn program_panic_becomes_proc_panicked() {
+        let m = Machine::new(ProcGrid::line(2), CostModel::zero()).with_test_preset();
+        let err = m
+            .try_run(|p| {
+                if p.id() == 0 {
+                    panic!("boom on zero");
+                }
+                let _: Vec<i32> = p.recv(0, tags::USER);
+            })
+            .expect_err("panic must fail the run");
+        assert_eq!(err.root_cause().proc(), 0);
+        match err.root_cause() {
+            MachineError::ProcPanicked { msg, .. } => assert!(msg.contains("boom"), "{msg}"),
+            other => panic!("expected ProcPanicked, got {other}"),
+        }
+    }
+
+    #[test]
+    fn poison_aborts_blocked_peers_quickly() {
+        // Without poison, proc 1 would wait out its full 60 s timeout.
+        let m = Machine::new(ProcGrid::line(2), CostModel::zero())
+            .with_recv_timeout(Duration::from_secs(60))
+            .with_faults(FaultPlan::new(0).with_crash(0, 1));
+        let t0 = std::time::Instant::now();
+        let err = m
+            .try_run(|p| {
+                if p.id() == 0 {
+                    p.send(1, tags::USER, vec![1i32]);
+                } else {
+                    let _: Vec<i32> = p.recv(0, tags::USER);
+                }
+            })
+            .expect_err("crash must fail the run");
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "poison must beat the timeout"
+        );
+        assert_eq!(
+            *err.root_cause(),
+            MachineError::ProcCrashed { proc: 0, step: 1 }
+        );
+    }
+
+    #[test]
+    fn leftover_messages_become_a_typed_error_in_try_run() {
+        let m = Machine::new(ProcGrid::line(2), CostModel::zero()).with_test_preset();
+        let err = m
+            .try_run(|p| {
+                if p.id() == 0 {
+                    p.send(1, tags::USER, vec![1i32]);
+                    p.send(1, tags::USER + 1, vec![2i32]);
+                } else {
+                    let _: Vec<i32> = p.recv(0, tags::USER + 1);
+                }
+            })
+            .expect_err("leftover traffic must fail the run");
+        assert_eq!(
+            err.root_cause(),
+            &MachineError::LeftoverMessages { proc: 1, count: 1 }
+        );
+    }
+
+    #[test]
+    fn faulty_runs_report_retransmissions() {
+        let m = Machine::new(ProcGrid::line(4), CostModel::zero())
+            .with_test_preset()
+            .with_faults(FaultPlan::new(3).with_drop(0.4));
+        let out = m
+            .try_run(|p| {
+                for round in 0..8u64 {
+                    let n = p.nprocs();
+                    let next = (p.id() + 1) % n;
+                    let prev = (p.id() + n - 1) % n;
+                    p.send(next, tags::USER + round, vec![p.id() as i32]);
+                    let _: Vec<i32> = p.recv(prev, tags::USER + round);
+                }
+            })
+            .expect("transport recovers from drops");
+        assert!(
+            out.total_retransmits() > 0,
+            "a 40% drop rate over 32 messages must force at least one retry"
+        );
     }
 }

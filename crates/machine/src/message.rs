@@ -61,17 +61,30 @@ impl<T: Wire, const N: usize> Wire for [T; N] {
 pub trait Payload: Send + 'static {
     /// Message volume in 4-byte words.
     fn wire_words(&self) -> Words;
+
+    /// A type-erased copy of the payload. The reliable transport keeps the
+    /// payload of every unacknowledged message so it can retransmit after a
+    /// loss; implementations are one `Box::new(self.clone())` line.
+    fn clone_payload(&self) -> Box<dyn Any + Send>;
 }
 
 impl<T: Wire> Payload for Vec<T> {
     fn wire_words(&self) -> Words {
         self.len() * T::WORDS
     }
+
+    fn clone_payload(&self) -> Box<dyn Any + Send> {
+        Box::new(self.clone())
+    }
 }
 
 impl Payload for () {
     fn wire_words(&self) -> Words {
         0
+    }
+
+    fn clone_payload(&self) -> Box<dyn Any + Send> {
+        Box::new(())
     }
 }
 
@@ -91,6 +104,36 @@ pub struct Packet {
     pub data: Box<dyn Any + Send>,
 }
 
+/// What actually travels on a processor's channel: either a data packet
+/// (raw on the fault-free fast path, sequence-numbered under a
+/// [`crate::fault::FaultPlan`]) or control traffic. Control frames model the
+/// CM-5's separate control network: they are never fault-injected, never
+/// charged, and never counted as application traffic.
+pub(crate) enum Frame {
+    /// An unsequenced data packet (fault-free fast path; also carries the
+    /// uncharged clock-synchronisation traffic).
+    Raw(Packet),
+    /// A sequence-numbered data packet on the reliable transport. `seq`
+    /// orders all data from one sender, across tags.
+    Data {
+        /// Per-link sequence number, starting at 0.
+        seq: u64,
+        /// The packet itself.
+        pkt: Packet,
+    },
+    /// Control-network acknowledgement of `Data { seq }` from processor
+    /// `from`.
+    Ack {
+        /// The acknowledging processor (the data packet's destination).
+        from: usize,
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+    /// Abort broadcast: some processor failed with the carried error; all
+    /// receivers must stop promptly instead of waiting out their timeouts.
+    Poison(crate::error::MachineError),
+}
+
 /// Per-processor mailbox buffering packets that arrived before the matching
 /// `recv` was posted.
 #[derive(Default)]
@@ -101,12 +144,17 @@ pub struct Mailbox {
 impl Mailbox {
     /// An empty mailbox.
     pub fn new() -> Self {
-        Mailbox { held: VecDeque::new() }
+        Mailbox {
+            held: VecDeque::new(),
+        }
     }
 
     /// Take the earliest held packet matching `(src, tag)`, if any.
     pub fn take(&mut self, src: usize, tag: u64) -> Option<Packet> {
-        let pos = self.held.iter().position(|p| p.src == src && p.tag == tag)?;
+        let pos = self
+            .held
+            .iter()
+            .position(|p| p.src == src && p.tag == tag)?;
         self.held.remove(pos)
     }
 
@@ -150,7 +198,13 @@ mod tests {
     }
 
     fn pkt(src: usize, tag: u64) -> Packet {
-        Packet { src, tag, arrival_ns: 0.0, words: 0, data: Box::new(Vec::<i32>::new()) }
+        Packet {
+            src,
+            tag,
+            arrival_ns: 0.0,
+            words: 0,
+            data: Box::new(Vec::<i32>::new()),
+        }
     }
 
     #[test]

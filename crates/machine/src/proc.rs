@@ -4,14 +4,20 @@
 //! private simulated clock, and its message endpoints. All communication —
 //! point-to-point sends and the collectives built on top of them — flows
 //! through this handle, which is how every byte gets charged to the cost
-//! model.
+//! model. When the machine carries a [`crate::fault::FaultPlan`], the same
+//! handle transparently routes charged traffic over the reliable transport
+//! (see [`crate::reliable`]).
 
-use std::time::Duration;
-
-use crossbeam_channel::{Receiver, Sender};
+use std::panic::panic_any;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::cost::{Category, SimClock};
-use crate::message::{Mailbox, Packet, Payload};
+use crate::error::MachineError;
+use crate::fault::FaultPlan;
+use crate::message::{Frame, Mailbox, Packet, Payload};
+use crate::reliable::{Transport, POLL_SLICE};
 use crate::topology::ProcGrid;
 
 /// Tag namespaces. Each collective type uses its own tag so that a program
@@ -88,10 +94,13 @@ pub struct Proc<'m> {
     id: usize,
     grid: &'m ProcGrid,
     clock: SimClock,
-    senders: &'m [Sender<Packet>],
-    rx: Receiver<Packet>,
+    senders: &'m [Sender<Frame>],
+    rx: Receiver<Frame>,
     mailbox: Mailbox,
     recv_timeout: Duration,
+    /// Reliable transport state; present iff the machine carries a
+    /// non-benign fault plan.
+    transport: Option<Transport>,
     /// Charged words sent to each destination (self and padding excluded).
     words_to: Vec<u64>,
 }
@@ -101,11 +110,15 @@ impl<'m> Proc<'m> {
         id: usize,
         grid: &'m ProcGrid,
         clock: SimClock,
-        senders: &'m [Sender<Packet>],
-        rx: Receiver<Packet>,
+        senders: &'m [Sender<Frame>],
+        rx: Receiver<Frame>,
         recv_timeout: Duration,
+        plan: Option<Arc<FaultPlan>>,
     ) -> Self {
         let nprocs = grid.nprocs();
+        let transport = plan
+            .filter(|p| !p.is_benign())
+            .map(|p| Transport::new(p, nprocs));
         Proc {
             id,
             grid,
@@ -114,6 +127,7 @@ impl<'m> Proc<'m> {
             rx,
             mailbox: Mailbox::new(),
             recv_timeout,
+            transport,
             words_to: vec![0; nprocs],
         }
     }
@@ -204,22 +218,65 @@ impl<'m> Proc<'m> {
     /// nothing, matching the paper's CM-5 implementation note that "local
     /// copy was not performed when a processor needed to send a message to
     /// itself". Zero-word messages are schedule padding (a real
-    /// implementation would not send them at all) and are also free.
+    /// implementation would not send them at all) and are free of charge,
+    /// though they still travel (and are still delivered reliably under a
+    /// fault plan, since a receive may be posted for them).
+    ///
+    /// # Panics
+    /// Panics with a typed [`MachineError::ProcCrashed`] when the machine's
+    /// fault plan crashes this processor at this send step.
     pub fn send<P: Payload>(&mut self, dst: usize, tag: u64, data: P) {
+        if let Some(t) = self.transport.as_mut() {
+            t.send_steps += 1;
+            if let Some((proc, step)) = t.plan().crash() {
+                if proc == self.id && t.send_steps == step {
+                    panic_any(MachineError::ProcCrashed { proc, step });
+                }
+            }
+        }
         let words = data.wire_words();
-        let arrival_ns = if dst == self.id || words == 0 {
+        if dst == self.id {
+            let arrival_ns = self.clock.now_ns();
+            let pkt = Packet {
+                src: self.id,
+                tag,
+                arrival_ns,
+                words,
+                data: Box::new(data),
+            };
+            self.mailbox.hold(pkt);
+            return;
+        }
+        let arrival_ns = if words == 0 {
             self.clock.now_ns()
         } else {
             self.words_to[dst] += words as u64;
             self.clock.charge_send(words)
         };
-        let pkt = Packet { src: self.id, tag, arrival_ns, words, data: Box::new(data) };
-        if dst == self.id {
-            self.mailbox.hold(pkt);
-        } else {
-            // The receiver's endpoint lives as long as the run; a send can
-            // only fail if a peer panicked, which the driver surfaces anyway.
-            let _ = self.senders[dst].send(pkt);
+        match self.transport.as_mut() {
+            None => {
+                let pkt = Packet {
+                    src: self.id,
+                    tag,
+                    arrival_ns,
+                    words,
+                    data: Box::new(data),
+                };
+                // The receiver's endpoint lives as long as the run (the
+                // driver parks channel endpoints until every thread joins).
+                let _ = self.senders[dst].send(Frame::Raw(pkt));
+            }
+            Some(t) => {
+                t.send(
+                    self.id,
+                    self.senders,
+                    dst,
+                    tag,
+                    arrival_ns,
+                    words,
+                    Box::new(data),
+                );
+            }
         }
     }
 
@@ -230,13 +287,28 @@ impl<'m> Proc<'m> {
     ///
     /// # Panics
     /// Panics if the payload type does not match `P` (processors disagree on
-    /// the program), or if nothing arrives within the machine's receive
-    /// timeout (almost certainly a deadlocked program).
+    /// the program), or with a typed [`MachineError`] if nothing arrives
+    /// within the machine's receive timeout or a peer fails first; under
+    /// [`crate::Machine::run`] that error becomes the run's panic, under
+    /// [`crate::Machine::try_run`] it becomes the returned `Err`. Programs
+    /// that want to handle transport failure locally use
+    /// [`Proc::try_recv`].
     pub fn recv<P: Payload>(&mut self, src: usize, tag: u64) -> P {
-        let pkt = self.recv_packet(src, tag);
+        match self.try_recv(src, tag) {
+            Ok(v) => v,
+            Err(e) => panic_any(e),
+        }
+    }
+
+    /// Fallible receive: like [`Proc::recv`] but surfacing machine failures
+    /// (timeout, poisoned run) as a typed [`MachineError`] instead of
+    /// panicking. Payload type mismatch still panics — that is a program
+    /// bug, not a machine failure.
+    pub fn try_recv<P: Payload>(&mut self, src: usize, tag: u64) -> Result<P, MachineError> {
+        let pkt = self.try_recv_packet(src, tag)?;
         self.clock.observe_arrival(pkt.arrival_ns);
         match pkt.data.downcast::<P>() {
-            Ok(b) => *b,
+            Ok(b) => Ok(*b),
             Err(_) => panic!(
                 "proc {}: payload type mismatch on recv from {} tag {} (expected {})",
                 self.id,
@@ -249,7 +321,10 @@ impl<'m> Proc<'m> {
 
     /// Receive and return the packet's charged word count alongside the data.
     pub fn recv_with_words<P: Payload>(&mut self, src: usize, tag: u64) -> (P, usize) {
-        let pkt = self.recv_packet(src, tag);
+        let pkt = match self.try_recv_packet(src, tag) {
+            Ok(p) => p,
+            Err(e) => panic_any(e),
+        };
         self.clock.observe_arrival(pkt.arrival_ns);
         let words = pkt.words;
         match pkt.data.downcast::<P>() {
@@ -261,24 +336,74 @@ impl<'m> Proc<'m> {
         }
     }
 
-    fn recv_packet(&mut self, src: usize, tag: u64) -> Packet {
+    /// The frame-dispatch receive loop shared by every receive flavour.
+    /// The deadline restarts whenever *any* frame arrives (progress), which
+    /// matches the fault-free semantics where each successfully received
+    /// packet restarted the timeout.
+    fn try_recv_packet(&mut self, src: usize, tag: u64) -> Result<Packet, MachineError> {
         if let Some(p) = self.mailbox.take(src, tag) {
-            return p;
+            return Ok(p);
         }
+        let mut deadline = Instant::now() + self.recv_timeout;
         loop {
-            match self.rx.recv_timeout(self.recv_timeout) {
-                Ok(p) => {
-                    if p.src == src && p.tag == tag {
-                        return p;
+            if let Some(t) = self.transport.as_mut() {
+                t.pump(self.id, self.senders)?;
+            }
+            let slice = if self.transport.is_some() {
+                POLL_SLICE
+            } else {
+                self.recv_timeout
+            };
+            match self.rx.recv_timeout(slice.min(self.recv_timeout)) {
+                Ok(frame) => {
+                    deadline = Instant::now() + self.recv_timeout;
+                    self.dispatch(frame)?;
+                    if let Some(p) = self.mailbox.take(src, tag) {
+                        return Ok(p);
                     }
-                    self.mailbox.hold(p);
                 }
-                Err(_) => panic!(
-                    "proc {}: receive from {} tag {} timed out after {:?} — deadlock?",
-                    self.id, src, tag, self.recv_timeout
-                ),
+                Err(_) => {
+                    if Instant::now() >= deadline {
+                        return Err(MachineError::RecvTimeout {
+                            proc: self.id,
+                            src,
+                            tag,
+                            timeout: self.recv_timeout,
+                        });
+                    }
+                }
             }
         }
+    }
+
+    /// Route one incoming frame: data lands in the mailbox (via the
+    /// transport's ordering/dedup when sequenced), acks retire retransmit
+    /// state, poison aborts this processor with the peer's failure.
+    fn dispatch(&mut self, frame: Frame) -> Result<(), MachineError> {
+        match frame {
+            Frame::Raw(p) => self.mailbox.hold(p),
+            Frame::Data { seq, pkt } => {
+                let t = self
+                    .transport
+                    .as_mut()
+                    .expect("sequenced frame on a machine without a fault plan");
+                for p in t.on_data(self.id, self.senders, seq, pkt) {
+                    self.mailbox.hold(p);
+                }
+            }
+            Frame::Ack { from, seq } => {
+                if let Some(t) = self.transport.as_mut() {
+                    t.on_ack(from, seq);
+                }
+            }
+            Frame::Poison(cause) => {
+                return Err(MachineError::Poisoned {
+                    proc: self.id,
+                    cause: Box::new(cause),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Synchronise the clocks of all group members to the maximum member
@@ -306,24 +431,72 @@ impl<'m> Proc<'m> {
         self.clock.fast_forward(t_max);
     }
 
-    /// Send without touching the clock (simulator-internal control traffic).
+    /// Send without touching the clock (simulator-internal control traffic,
+    /// carried by the modelled control network: never fault-injected).
     fn send_uncharged<P: Payload>(&mut self, dst: usize, tag: u64, data: P) {
         let words = data.wire_words();
-        let pkt =
-            Packet { src: self.id, tag, arrival_ns: f64::NEG_INFINITY, words, data: Box::new(data) };
+        let pkt = Packet {
+            src: self.id,
+            tag,
+            arrival_ns: f64::NEG_INFINITY,
+            words,
+            data: Box::new(data),
+        };
         if dst == self.id {
             self.mailbox.hold(pkt);
         } else {
-            let _ = self.senders[dst].send(pkt);
+            let _ = self.senders[dst].send(Frame::Raw(pkt));
         }
     }
 
     /// Receive without touching the clock.
     fn recv_uncharged<P: Payload>(&mut self, src: usize, tag: u64) -> P {
-        let pkt = self.recv_packet(src, tag);
+        let pkt = match self.try_recv_packet(src, tag) {
+            Ok(p) => p,
+            Err(e) => panic_any(e),
+        };
         match pkt.data.downcast::<P>() {
             Ok(b) => *b,
             Err(_) => panic!("proc {}: clock-sync payload mismatch", self.id),
+        }
+    }
+
+    /// After the program closure returns: keep pumping the transport until
+    /// every one of this processor's sends has been acknowledged. Incoming
+    /// data is still acked (and parked in the mailbox, where the leftover
+    /// check will see it); a poison frame aborts the flush with the peer's
+    /// failure.
+    pub(crate) fn finish_transport(&mut self) -> Result<(), MachineError> {
+        let Some(t) = self.transport.as_mut() else {
+            return Ok(());
+        };
+        if !t.has_unacked() {
+            return Ok(());
+        }
+        let deadline = Instant::now() + self.recv_timeout;
+        loop {
+            if let Some(t) = self.transport.as_mut() {
+                t.pump(self.id, self.senders)?;
+                if !t.has_unacked() {
+                    return Ok(());
+                }
+            }
+            if let Ok(frame) = self.rx.recv_timeout(POLL_SLICE) {
+                self.dispatch(frame)?;
+            }
+            if Instant::now() >= deadline {
+                let (dst, seq, attempts) = self
+                    .transport
+                    .as_ref()
+                    .and_then(|t| t.oldest_unacked())
+                    .expect("flush loop only runs while something is unacked");
+                return Err(MachineError::Unreachable {
+                    proc: self.id,
+                    dst,
+                    seq,
+                    attempts,
+                });
+            }
         }
     }
 
@@ -333,8 +506,14 @@ impl<'m> Proc<'m> {
         self.mailbox.len()
     }
 
-    pub(crate) fn into_clock_and_comm(self) -> (SimClock, Vec<u64>) {
-        (self.clock, self.words_to)
+    /// Tear down: fold transport diagnostics into the clock and hand the
+    /// channel endpoint back so the driver can keep it alive until all
+    /// processors have joined.
+    pub(crate) fn into_parts(mut self) -> (SimClock, Vec<u64>, Receiver<Frame>) {
+        if let Some(t) = self.transport.as_ref() {
+            self.clock.note_transport(t.retransmits, t.dup_drops);
+        }
+        (self.clock, self.words_to, self.rx)
     }
 
     /// Charged words this processor has sent to each destination so far

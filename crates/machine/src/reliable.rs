@@ -1,0 +1,433 @@
+//! Reliable transport over the faulty simulated network.
+//!
+//! When a [`crate::fault::FaultPlan`] is attached to a machine, every
+//! charged point-to-point message travels as a sequence-numbered
+//! [`Frame::Data`] and must be acknowledged by the receiver. The sender
+//! keeps a retransmit buffer of unacknowledged messages and retries on a
+//! per-message timer with exponential backoff; the receiver delivers data
+//! strictly in per-sender sequence order (restoring the per-link FIFO
+//! guarantee the fault-free channel gives for free) and drops duplicates.
+//! Together this makes any non-crash fault schedule invisible to the
+//! program: results and simulated clocks are bit-identical to the
+//! fault-free run.
+//!
+//! Acknowledgements and poison broadcasts are *control frames*: they model
+//! the CM-5's separate, reliable control network, so they are never
+//! fault-injected, never charged to the cost model, and never counted as
+//! application traffic. This keeps the protocol's termination argument
+//! local: once a processor has seen acks for all of its own sends it can
+//! stop, because every ack it owes others has already been posted.
+//!
+//! Simulated time stays deterministic under retries because a message's
+//! arrival timestamp (including any injected delay) is drawn once, at
+//! first transmission, and replayed verbatim by every retransmission; only
+//! the wall-clock retry *counters* depend on OS scheduling, and they are
+//! reported as diagnostics, never charged to the simulated clock.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::cost::Words;
+use crate::error::MachineError;
+use crate::fault::{FaultPlan, Verdict};
+use crate::message::{Frame, Packet, Payload};
+
+/// How long a receive loop sleeps between transport pumps while a fault
+/// plan is active (retry timers are checked at this granularity).
+pub(crate) const POLL_SLICE: Duration = Duration::from_millis(2);
+/// First retransmit timeout.
+const RTO_INITIAL: Duration = Duration::from_millis(8);
+/// Backoff ceiling.
+const RTO_CAP: Duration = Duration::from_millis(160);
+/// Transmission attempts (original + retries) before declaring the peer
+/// unreachable. With the ≤20 % per-attempt drop rates the chaos harness
+/// uses, the probability of 30 consecutive losses is ≈ 10⁻²¹.
+const MAX_ATTEMPTS: u32 = 30;
+
+/// One unacknowledged message, kept for retransmission.
+struct Stored {
+    payload: Box<dyn Payload>,
+    tag: u64,
+    words: Words,
+    /// Simulated arrival time, fixed at first transmission (delay included).
+    arrival_ns: f64,
+    /// Transmissions so far (1 after the original send).
+    attempts: u32,
+    /// Wall-clock deadline for the next retransmission.
+    deadline: Instant,
+    /// Current backoff interval.
+    backoff: Duration,
+}
+
+/// A transmission of `seq` deferred until `release_at` total data
+/// transmissions have happened on its link (fault-injected reordering).
+struct HeldBack {
+    release_at: u64,
+    seq: u64,
+}
+
+/// Per-processor reliable-transport state (sender and receiver sides).
+pub(crate) struct Transport {
+    plan: Arc<FaultPlan>,
+    /// Next sequence number per destination.
+    next_seq: Vec<u64>,
+    /// Next expected sequence number per source.
+    expected: Vec<u64>,
+    /// Out-of-order arrivals per source, keyed by sequence number.
+    reorder: Vec<BTreeMap<u64, Packet>>,
+    /// Unacknowledged sends, keyed by `(dst, seq)`.
+    unacked: BTreeMap<(usize, u64), Stored>,
+    /// Physical data transmissions per destination link (drives holdback).
+    tx_count: Vec<u64>,
+    /// Reorder-injected deferred transmissions per destination.
+    holdback: Vec<Vec<HeldBack>>,
+    /// `Proc::send` calls so far (drives the crash schedule).
+    pub(crate) send_steps: u64,
+    /// Retransmissions performed (diagnostic; wall-clock dependent).
+    pub(crate) retransmits: u64,
+    /// Duplicate frames discarded by the receiver (diagnostic).
+    pub(crate) dup_drops: u64,
+}
+
+impl Transport {
+    pub(crate) fn new(plan: Arc<FaultPlan>, nprocs: usize) -> Self {
+        Transport {
+            plan,
+            next_seq: vec![0; nprocs],
+            expected: vec![0; nprocs],
+            reorder: (0..nprocs).map(|_| BTreeMap::new()).collect(),
+            unacked: BTreeMap::new(),
+            tx_count: vec![0; nprocs],
+            holdback: (0..nprocs).map(|_| Vec::new()).collect(),
+            send_steps: 0,
+            retransmits: 0,
+            dup_drops: 0,
+        }
+    }
+
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Sender side: enqueue a message for reliable delivery and make the
+    /// first transmission attempt. `base_arrival_ns` is the fault-free
+    /// arrival time; the plan's per-message delay is added here, once,
+    /// keyed by sequence number, so retries replay the same timestamp.
+    #[allow(clippy::too_many_arguments)] // mirrors the Packet fields plus routing
+    pub(crate) fn send(
+        &mut self,
+        me: usize,
+        senders: &[Sender<Frame>],
+        dst: usize,
+        tag: u64,
+        base_arrival_ns: f64,
+        words: Words,
+        payload: Box<dyn Payload>,
+    ) {
+        let seq = self.next_seq[dst];
+        self.next_seq[dst] += 1;
+        let arrival_ns = base_arrival_ns + self.plan.delay_ns(me, dst, seq);
+        self.unacked.insert(
+            (dst, seq),
+            Stored {
+                payload,
+                tag,
+                words,
+                arrival_ns,
+                attempts: 1,
+                deadline: Instant::now() + RTO_INITIAL,
+                backoff: RTO_INITIAL,
+            },
+        );
+        self.transmit(me, senders, dst, seq, 0);
+    }
+
+    /// One transmission attempt of `(dst, seq)`, subject to the fault plan.
+    fn transmit(
+        &mut self,
+        me: usize,
+        senders: &[Sender<Frame>],
+        dst: usize,
+        seq: u64,
+        attempt: u32,
+    ) {
+        match self.plan.verdict(me, dst, seq, attempt) {
+            Verdict::Drop => {}
+            Verdict::Deliver => self.phys_send(me, senders, dst, seq),
+            Verdict::Duplicate => {
+                self.phys_send(me, senders, dst, seq);
+                self.phys_send(me, senders, dst, seq);
+            }
+            Verdict::HoldBack(n) => {
+                let release_at = self.tx_count[dst] + n as u64;
+                self.holdback[dst].push(HeldBack { release_at, seq });
+            }
+        }
+    }
+
+    /// Physically put one `Data` frame of `(dst, seq)` on the wire (if it is
+    /// still unacknowledged), then release any held-back transmissions that
+    /// the advancing link counter makes due.
+    fn phys_send(&mut self, me: usize, senders: &[Sender<Frame>], dst: usize, seq: u64) {
+        let mut queue = vec![seq];
+        while let Some(s) = queue.pop() {
+            let Some(st) = self.unacked.get(&(dst, s)) else {
+                // Acked while held back or between duplicate copies: the
+                // message already got through, nothing left to send.
+                continue;
+            };
+            let pkt = Packet {
+                src: me,
+                tag: st.tag,
+                arrival_ns: st.arrival_ns,
+                words: st.words,
+                data: st.payload.clone_payload(),
+            };
+            // The channel outlives all sends (the driver parks receiver
+            // endpoints until every processor has joined).
+            let _ = senders[dst].send(Frame::Data { seq: s, pkt });
+            self.tx_count[dst] += 1;
+            let count = self.tx_count[dst];
+            let held = &mut self.holdback[dst];
+            let mut i = 0;
+            while i < held.len() {
+                if held[i].release_at <= count {
+                    queue.push(held.swap_remove(i).seq);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Receiver side: acknowledge and order one incoming data frame.
+    /// Returns the packets that became deliverable, in sequence order
+    /// (empty for duplicates and out-of-order arrivals).
+    pub(crate) fn on_data(
+        &mut self,
+        me: usize,
+        senders: &[Sender<Frame>],
+        seq: u64,
+        pkt: Packet,
+    ) -> Vec<Packet> {
+        let src = pkt.src;
+        // Always (re-)ack: the earlier ack may still be in flight while the
+        // sender retransmits, and acks are idempotent.
+        let _ = senders[src].send(Frame::Ack { from: me, seq });
+        if seq < self.expected[src] {
+            self.dup_drops += 1;
+            return Vec::new();
+        }
+        if seq > self.expected[src] {
+            match self.reorder[src].entry(seq) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(pkt);
+                }
+                std::collections::btree_map::Entry::Occupied(_) => self.dup_drops += 1,
+            }
+            return Vec::new();
+        }
+        let mut ready = vec![pkt];
+        self.expected[src] += 1;
+        while let Some(p) = self.reorder[src].remove(&self.expected[src]) {
+            ready.push(p);
+            self.expected[src] += 1;
+        }
+        ready
+    }
+
+    /// Sender side: an ack arrived; retire the message.
+    pub(crate) fn on_ack(&mut self, from: usize, seq: u64) {
+        self.unacked.remove(&(from, seq));
+    }
+
+    /// Retransmit every message whose retry timer has expired. Errors with
+    /// [`MachineError::Unreachable`] once a message exhausts its attempts.
+    pub(crate) fn pump(
+        &mut self,
+        me: usize,
+        senders: &[Sender<Frame>],
+    ) -> Result<(), MachineError> {
+        let now = Instant::now();
+        let due: Vec<(usize, u64)> = self
+            .unacked
+            .iter()
+            .filter(|(_, st)| st.deadline <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        for (dst, seq) in due {
+            let attempt;
+            {
+                let st = self
+                    .unacked
+                    .get_mut(&(dst, seq))
+                    .expect("due key still present");
+                if st.attempts >= MAX_ATTEMPTS {
+                    return Err(MachineError::Unreachable {
+                        proc: me,
+                        dst,
+                        seq,
+                        attempts: st.attempts,
+                    });
+                }
+                attempt = st.attempts;
+                st.attempts += 1;
+                st.backoff = (st.backoff * 2).min(RTO_CAP);
+                st.deadline = now + st.backoff;
+            }
+            self.retransmits += 1;
+            self.transmit(me, senders, dst, seq, attempt);
+        }
+        Ok(())
+    }
+
+    /// True while any of this processor's sends is unacknowledged.
+    pub(crate) fn has_unacked(&self) -> bool {
+        !self.unacked.is_empty()
+    }
+
+    /// The oldest unacknowledged send, as `(dst, seq, attempts)` — named in
+    /// the error when a final flush gives up.
+    pub(crate) fn oldest_unacked(&self) -> Option<(usize, u64, u32)> {
+        self.unacked
+            .iter()
+            .next()
+            .map(|(&(dst, seq), st)| (dst, seq, st.attempts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn wires(n: usize) -> (Vec<Sender<Frame>>, Vec<std::sync::mpsc::Receiver<Frame>>) {
+        (0..n).map(|_| channel::<Frame>()).unzip()
+    }
+
+    fn data_frames(rx: &std::sync::mpsc::Receiver<Frame>) -> Vec<(u64, Packet)> {
+        let mut out = Vec::new();
+        while let Ok(f) = rx.try_recv() {
+            if let Frame::Data { seq, pkt } = f {
+                out.push((seq, pkt));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn clean_link_sends_exactly_once_in_order() {
+        let (txs, rxs) = wires(2);
+        let mut t = Transport::new(Arc::new(FaultPlan::new(0)), 2);
+        for i in 0..4i32 {
+            t.send(0, &txs, 1, 7, i as f64, 1, Box::new(vec![i]));
+        }
+        let got = data_frames(&rxs[1]);
+        assert_eq!(
+            got.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert!(t.has_unacked());
+        for s in 0..4 {
+            t.on_ack(1, s);
+        }
+        assert!(!t.has_unacked());
+    }
+
+    #[test]
+    fn dropped_message_is_retransmitted_with_same_arrival() {
+        let (txs, rxs) = wires(2);
+        let mut t = Transport::new(Arc::new(plan_dropping_first()), 2);
+        t.send(0, &txs, 1, 7, 42.0, 1, Box::new(vec![9i32]));
+        assert!(data_frames(&rxs[1]).is_empty(), "attempt 0 must be dropped");
+        // Force the retry timer.
+        for st in t.unacked.values_mut() {
+            st.deadline = Instant::now() - Duration::from_millis(1);
+        }
+        t.pump(0, &txs).unwrap();
+        let got = data_frames(&rxs[1]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 0);
+        assert_eq!(
+            got[0].1.arrival_ns, 42.0,
+            "retry must replay the original arrival time"
+        );
+        assert_eq!(t.retransmits, 1);
+    }
+
+    /// A plan whose link 0→1 drops attempt 0 of seq 0 and delivers attempt 1.
+    fn plan_dropping_first() -> FaultPlan {
+        let mut seed = 0u64;
+        loop {
+            let p = FaultPlan::new(seed).with_drop(0.6);
+            if p.verdict(0, 1, 0, 0) == Verdict::Drop && p.verdict(0, 1, 0, 1) == Verdict::Deliver {
+                return p;
+            }
+            seed += 1;
+        }
+    }
+
+    #[test]
+    fn receiver_orders_and_deduplicates() {
+        let (txs, _rxs) = wires(2);
+        let mut t = Transport::new(Arc::new(FaultPlan::new(0)), 2);
+        let pkt = |v: i32| Packet {
+            src: 1,
+            tag: 7,
+            arrival_ns: 0.0,
+            words: 1,
+            data: Box::new(vec![v]),
+        };
+        // seq 1 arrives early: buffered.
+        assert!(t.on_data(0, &txs, 1, pkt(1)).is_empty());
+        // duplicate of seq 1: dropped.
+        assert!(t.on_data(0, &txs, 1, pkt(1)).is_empty());
+        assert_eq!(t.dup_drops, 1);
+        // seq 0 arrives: both become deliverable, in order.
+        let ready = t.on_data(0, &txs, 0, pkt(0));
+        let vals: Vec<i32> = ready
+            .into_iter()
+            .map(|p| p.data.downcast::<Vec<i32>>().unwrap()[0])
+            .collect();
+        assert_eq!(vals, vec![0, 1]);
+        // stale duplicate of seq 0: dropped.
+        assert!(t.on_data(0, &txs, 0, pkt(0)).is_empty());
+        assert_eq!(t.dup_drops, 2);
+    }
+
+    #[test]
+    fn unreachable_after_max_attempts() {
+        let plan = FaultPlan::new(1).with_link(
+            0,
+            1,
+            crate::fault::LinkFaults {
+                drop_p: 1.0,
+                ..Default::default()
+            },
+        );
+        let (txs, _rxs) = wires(2);
+        let mut t = Transport::new(Arc::new(plan), 2);
+        t.send(0, &txs, 1, 7, 0.0, 1, Box::new(vec![1i32]));
+        let err = loop {
+            for st in t.unacked.values_mut() {
+                st.deadline = Instant::now() - Duration::from_millis(1);
+            }
+            if let Err(e) = t.pump(0, &txs) {
+                break e;
+            }
+        };
+        match err {
+            MachineError::Unreachable {
+                proc: 0,
+                dst: 1,
+                seq: 0,
+                attempts,
+            } => {
+                assert_eq!(attempts, MAX_ATTEMPTS);
+            }
+            other => panic!("expected Unreachable, got {other:?}"),
+        }
+    }
+}

@@ -22,7 +22,12 @@ pub struct RunOutput<R> {
 
 impl<R> RunOutput<R> {
     pub(crate) fn new(results: Vec<R>, clocks: Vec<ClockReport>) -> Self {
-        RunOutput { results, clocks, traces: Vec::new(), comm_matrix: Vec::new() }
+        RunOutput {
+            results,
+            clocks,
+            traces: Vec::new(),
+            comm_matrix: Vec::new(),
+        }
     }
 
     /// The heaviest single source→destination flow, as
@@ -67,7 +72,10 @@ impl<R> RunOutput<R> {
     /// the paper reports per stage (each stage ends with all processors
     /// synchronised, so the stage costs as much as its slowest processor).
     pub fn max_cat_ms(&self, cat: Category) -> f64 {
-        self.clocks.iter().map(|c| c.cat_ms(cat)).fold(0.0, f64::max)
+        self.clocks
+            .iter()
+            .map(|c| c.cat_ms(cat))
+            .fold(0.0, f64::max)
     }
 
     /// Mean over processors of the time spent in `cat`, ms.
@@ -88,13 +96,39 @@ impl<R> RunOutput<R> {
         self.clocks.iter().map(|c| c.startups).sum()
     }
 
+    /// Total reliable-transport retransmissions across all processors
+    /// (0 on a machine without a fault plan). A wall-clock diagnostic of
+    /// how hard the transport had to work; simulated time is unaffected.
+    pub fn total_retransmits(&self) -> u64 {
+        self.clocks.iter().map(|c| c.retransmits).sum()
+    }
+
+    /// Total duplicate frames discarded by receivers across all processors
+    /// (0 on a machine without a fault plan).
+    pub fn total_dup_drops(&self) -> u64 {
+        self.clocks.iter().map(|c| c.dup_drops).sum()
+    }
+
+    /// Retransmissions per charged message start-up — the chaos harness's
+    /// headline retry-overhead figure. Zero when nothing was sent.
+    pub fn retry_overhead(&self) -> f64 {
+        let startups = self.total_startups();
+        if startups == 0 {
+            return 0.0;
+        }
+        self.total_retransmits() as f64 / startups as f64
+    }
+
     /// Full per-category breakdown (max over processors).
     pub fn breakdown(&self) -> Breakdown {
         let mut by_cat = [0.0; Category::ALL.len()];
         for (i, cat) in Category::ALL.iter().enumerate() {
             by_cat[i] = self.max_cat_ms(*cat);
         }
-        Breakdown { by_cat_ms: by_cat, total_ms: self.max_time_ms() }
+        Breakdown {
+            by_cat_ms: by_cat,
+            total_ms: self.max_time_ms(),
+        }
     }
 
     /// Drop the results, keeping only timing (useful when the result type is
@@ -146,7 +180,12 @@ mod tests {
     use crate::cost::{CostModel, SimClock};
 
     fn report_with(cat: Category, ns: f64, now: f64) -> ClockReport {
-        let mut c = SimClock::new(CostModel { delta_ns: 1.0, tau_ns: 0.0, mu_ns: 0.0, ..CostModel::zero() });
+        let mut c = SimClock::new(CostModel {
+            delta_ns: 1.0,
+            tau_ns: 0.0,
+            mu_ns: 0.0,
+            ..CostModel::zero()
+        });
         c.set_category(cat);
         c.charge_ops(ns as usize);
         c.fast_forward(now);

@@ -26,15 +26,25 @@ impl ProcGrid {
     /// # Panics
     /// Panics if `dims` is empty or any extent is zero.
     pub fn new(dims: &[usize]) -> Self {
-        assert!(!dims.is_empty(), "processor grid needs at least one dimension");
-        assert!(dims.iter().all(|&p| p > 0), "all grid extents must be positive");
+        assert!(
+            !dims.is_empty(),
+            "processor grid needs at least one dimension"
+        );
+        assert!(
+            dims.iter().all(|&p| p > 0),
+            "all grid extents must be positive"
+        );
         let mut strides = Vec::with_capacity(dims.len());
         let mut acc = 1usize;
         for &p in dims {
             strides.push(acc);
             acc = acc.checked_mul(p).expect("processor count overflow");
         }
-        ProcGrid { dims: dims.to_vec(), strides, nprocs: acc }
+        ProcGrid {
+            dims: dims.to_vec(),
+            strides,
+            nprocs: acc,
+        }
     }
 
     /// A one-dimensional grid of `p` processors.
@@ -102,7 +112,9 @@ impl ProcGrid {
     pub fn axis_members(&self, id: usize, dim: usize) -> Vec<usize> {
         let my = self.coord(id, dim);
         let base = id - my * self.strides[dim];
-        (0..self.dims[dim]).map(|c| base + c * self.strides[dim]).collect()
+        (0..self.dims[dim])
+            .map(|c| base + c * self.strides[dim])
+            .collect()
     }
 }
 

@@ -73,8 +73,11 @@ pub fn render_gantt(traces: &[Vec<Span>], cols: usize) -> String {
         }
         out.push_str(&format!("p{pid:<3} |"));
         for w in &weights {
-            let (best, &weight) =
-                w.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
+            let (best, &weight) = w
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
             if weight <= 0.0 {
                 out.push('.');
             } else {
@@ -96,7 +99,11 @@ mod tests {
     use super::*;
 
     fn span(cat: Category, a: f64, b: f64) -> Span {
-        Span { category: cat, start_ns: a, end_ns: b }
+        Span {
+            category: cat,
+            start_ns: a,
+            end_ns: b,
+        }
     }
 
     #[test]

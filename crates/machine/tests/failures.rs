@@ -63,7 +63,10 @@ fn tracing_spans_partition_the_timeline() {
     use hpf_machine::Category;
     let m = Machine::new(
         ProcGrid::line(2),
-        CostModel { delta_ns: 1.0, ..CostModel::zero() },
+        CostModel {
+            delta_ns: 1.0,
+            ..CostModel::zero()
+        },
     )
     .with_tracing(true);
     let out = m.run(|p| {

@@ -35,8 +35,12 @@ fn initial(x: usize, y: usize) -> i64 {
 fn main() {
     let grid = ProcGrid::new(&[2, 2]);
     let machine = Machine::new(grid.clone(), CostModel::cm5());
-    let desc =
-        ArrayDesc::new(&[N, N], &grid, &[Dist::BlockCyclic(8), Dist::BlockCyclic(8)]).unwrap();
+    let desc = ArrayDesc::new(
+        &[N, N],
+        &grid,
+        &[Dist::BlockCyclic(8), Dist::BlockCyclic(8)],
+    )
+    .unwrap();
 
     let desc_ref = &desc;
     let out = machine.run(move |proc| {
@@ -63,9 +67,14 @@ fn main() {
 
         // Irregular step: PACK the hot cells into a dense vector.
         let mask: Vec<bool> = u.iter().map(|&v| v > HOT).collect();
-        let packed =
-            pack(proc, desc_ref, &u, &mask, &PackOptions::new(PackScheme::CompactMessage))
-                .expect("divisible layout");
+        let packed = pack(
+            proc,
+            desc_ref,
+            &u,
+            &mask,
+            &PackOptions::new(PackScheme::CompactMessage),
+        )
+        .expect("divisible layout");
         (total0, total, peak, packed.size)
     });
 

@@ -10,9 +10,7 @@
 //! cargo run --release --example image_threshold
 //! ```
 
-use hpf_packunpack::core::{
-    pack, unpack, PackOptions, PackScheme, UnpackOptions, UnpackScheme,
-};
+use hpf_packunpack::core::{pack, unpack, PackOptions, PackScheme, UnpackOptions, UnpackScheme};
 use hpf_packunpack::distarray::{local_from_fn, ArrayDesc, Dist, GlobalArray};
 use hpf_packunpack::machine::{Category, CostModel, Machine, ProcGrid};
 
@@ -32,8 +30,12 @@ fn main() {
     // 2x2 processor grid, both image dimensions block-cyclic(8).
     let grid = ProcGrid::new(&[2, 2]);
     let machine = Machine::new(grid.clone(), CostModel::cm5());
-    let desc =
-        ArrayDesc::new(&[N0, N1], &grid, &[Dist::BlockCyclic(8), Dist::BlockCyclic(8)]).unwrap();
+    let desc = ArrayDesc::new(
+        &[N0, N1],
+        &grid,
+        &[Dist::BlockCyclic(8), Dist::BlockCyclic(8)],
+    )
+    .unwrap();
 
     let desc_ref = &desc;
     let out = machine.run(move |proc| {
@@ -42,8 +44,14 @@ fn main() {
         let hot = local_from_fn(desc_ref, proc.id(), |g| pixel(g[0], g[1]) > THRESHOLD);
 
         // 1. PACK the hot pixels into a dense distributed vector.
-        let packed = pack(proc, desc_ref, &img, &hot, &PackOptions::new(PackScheme::CompactMessage))
-            .expect("divisible layout");
+        let packed = pack(
+            proc,
+            desc_ref,
+            &img,
+            &hot,
+            &PackOptions::new(PackScheme::CompactMessage),
+        )
+        .expect("divisible layout");
 
         // 2. Process the dense vector locally (perfectly balanced: PACK's
         //    result is block-distributed). Here: clamp to the threshold.

@@ -9,9 +9,7 @@
 //! distributed block-cyclic(2) over 4 processors, packed under a mask, then
 //! scattered back with UNPACK.
 
-use hpf_packunpack::core::{
-    pack, unpack, PackOptions, PackScheme, UnpackOptions, UnpackScheme,
-};
+use hpf_packunpack::core::{pack, unpack, PackOptions, PackScheme, UnpackOptions, UnpackScheme};
 use hpf_packunpack::distarray::{local_from_fn, ArrayDesc, Dist, GlobalArray};
 use hpf_packunpack::machine::{Category, CostModel, Machine, ProcGrid};
 
@@ -35,8 +33,14 @@ fn main() {
         // no central array needed.
         let a = local_from_fn(desc_ref, proc.id(), |g| g[0] as i32 * 100);
         let m = local_from_fn(desc_ref, proc.id(), |g| mask(g[0]));
-        pack(proc, desc_ref, &a, &m, &PackOptions::new(PackScheme::CompactMessage))
-            .expect("divisible layout")
+        pack(
+            proc,
+            desc_ref,
+            &a,
+            &m,
+            &PackOptions::new(PackScheme::CompactMessage),
+        )
+        .expect("divisible layout")
     });
 
     let size = out.results[0].size;
@@ -67,8 +71,9 @@ fn main() {
     let out2 = machine.run(move |proc| {
         let m = local_from_fn(desc_ref, proc.id(), |g| mask(g[0]));
         let f = local_from_fn(desc_ref, proc.id(), |_| -1i32);
-        let v_local: Vec<i32> =
-            (0..layout.local_len(proc.id())).map(|l| layout.global_of(proc.id(), l) as i32).collect();
+        let v_local: Vec<i32> = (0..layout.local_len(proc.id()))
+            .map(|l| layout.global_of(proc.id(), l) as i32)
+            .collect();
         unpack(
             proc,
             desc_ref,

@@ -54,8 +54,12 @@ fn oracle_lambda() -> f64 {
 fn main() {
     let grid = ProcGrid::new(&[2, 2]);
     let machine = Machine::new(grid.clone(), CostModel::cm5());
-    let desc =
-        ArrayDesc::new(&[N, N], &grid, &[Dist::BlockCyclic(4), Dist::BlockCyclic(4)]).unwrap();
+    let desc = ArrayDesc::new(
+        &[N, N],
+        &grid,
+        &[Dist::BlockCyclic(4), Dist::BlockCyclic(4)],
+    )
+    .unwrap();
     let nprocs = grid.nprocs();
     let x_layout = DimLayout::new_general(N, nprocs, N.div_ceil(nprocs)).unwrap();
 
@@ -90,7 +94,10 @@ fn main() {
     let (nnz, lambda) = out.results[0];
     let want = oracle_lambda();
     println!("power iteration on a spiked {N}x{N} Laplacian (2x2 processors)");
-    println!("  nonzeros after PACK compression: {nnz} (dense stored {})", N * N);
+    println!(
+        "  nonzeros after PACK compression: {nnz} (dense stored {})",
+        N * N
+    );
     println!("  dominant eigenvalue after {ITERS} iterations: {lambda:.9}");
     println!("  serial oracle (same iteration, dense):        {want:.9}");
     println!("  simulated time {:.3} ms", out.max_time_ms());

@@ -30,12 +30,20 @@ fn entry(i0: usize, i1: usize) -> i32 {
 fn main() {
     let grid = ProcGrid::new(&[4, 4]);
     let machine = Machine::new(grid.clone(), CostModel::cm5());
-    let desc =
-        ArrayDesc::new(&[N, N], &grid, &[Dist::BlockCyclic(4), Dist::BlockCyclic(4)]).unwrap();
+    let desc = ArrayDesc::new(
+        &[N, N],
+        &grid,
+        &[Dist::BlockCyclic(4), Dist::BlockCyclic(4)],
+    )
+    .unwrap();
     let lt = MaskPattern::LowerTriangular;
 
     println!("compacting the strict triangle of a {N}x{N} matrix on 4x4 processors");
-    println!("dense elements: {}, triangle elements: {}", N * N, N * (N - 1) / 2);
+    println!(
+        "dense elements: {}, triangle elements: {}",
+        N * N,
+        N * (N - 1) / 2
+    );
 
     // Compare the three schemes on the triangle pack (simulated ms).
     for scheme in PackScheme::ALL {
@@ -43,7 +51,9 @@ fn main() {
         let out = machine.run(move |proc| {
             let a = local_from_fn(desc_ref, proc.id(), |g| entry(g[0], g[1]));
             let m = lt.local(desc_ref, proc.id());
-            pack(proc, desc_ref, &a, &m, &PackOptions::new(scheme)).unwrap().size
+            pack(proc, desc_ref, &a, &m, &PackOptions::new(scheme))
+                .unwrap()
+                .size
         });
         println!(
             "  {}: Size = {}, simulated total {:.3} ms",
@@ -58,8 +68,14 @@ fn main() {
     let out = machine.run(move |proc| {
         let a = local_from_fn(desc_ref, proc.id(), |g| entry(g[0], g[1]));
         let m = lt.local(desc_ref, proc.id());
-        let packed =
-            pack(proc, desc_ref, &a, &m, &PackOptions::new(PackScheme::CompactMessage)).unwrap();
+        let packed = pack(
+            proc,
+            desc_ref,
+            &a,
+            &m,
+            &PackOptions::new(PackScheme::CompactMessage),
+        )
+        .unwrap();
         let scaled: Vec<i32> = packed.local_v.iter().map(|&v| v * 2).collect();
         proc.charge_ops(scaled.len());
         unpack(
@@ -77,7 +93,11 @@ fn main() {
     let result = GlobalArray::assemble(&desc, &out.results);
     for i1 in 0..N {
         for i0 in 0..N {
-            let want = if i1 > i0 { entry(i0, i1) * 2 } else { entry(i0, i1) };
+            let want = if i1 > i0 {
+                entry(i0, i1) * 2
+            } else {
+                entry(i0, i1)
+            };
             assert_eq!(result.get(&[i0, i1]), want, "mismatch at ({i0},{i1})");
         }
     }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full CI gate: formatting, lints, tests, and a chaos smoke run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "== chaos smoke (fault-injected PACK/UNPACK roundtrips) =="
+cargo run -p hpf-bench --release --bin chaos -- --seed 1 --iters 5
+
+echo "ci: all gates passed"

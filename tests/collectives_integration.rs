@@ -32,11 +32,20 @@ fn pack_time_is_monotone_in_array_size() {
 #[test]
 fn pack_time_grows_as_blocks_shrink() {
     // Fixed N, P, density: smaller blocks = more tiles = more work.
-    let times: Vec<f64> = [64usize, 16, 4, 1].iter().map(|&w| pack_total_ms(4096, 4, w, 0.5)).collect();
+    let times: Vec<f64> = [64usize, 16, 4, 1]
+        .iter()
+        .map(|&w| pack_total_ms(4096, 4, w, 0.5))
+        .collect();
     for pair in times.windows(2) {
-        assert!(pair[0] <= pair[1] * 1.05, "shrinking blocks should not speed PACK up: {times:?}");
+        assert!(
+            pair[0] <= pair[1] * 1.05,
+            "shrinking blocks should not speed PACK up: {times:?}"
+        );
     }
-    assert!(times[3] > times[0], "cyclic must be strictly slower than large blocks");
+    assert!(
+        times[3] > times[0],
+        "cyclic must be strictly slower than large blocks"
+    );
 }
 
 #[test]
@@ -116,7 +125,10 @@ fn scaled_experiment_shifts_time_to_communication() {
         let n = 1024 * p;
         let grid = ProcGrid::line(p);
         let desc = ArrayDesc::new(&[n], &grid, &[Dist::BlockCyclic(16)]).unwrap();
-        let pattern = MaskPattern::Random { density: 0.5, seed: 11 };
+        let pattern = MaskPattern::Random {
+            density: 0.5,
+            seed: 11,
+        };
         let machine = Machine::new(grid, CostModel::cm5());
         let d = &desc;
         let out = machine.run(move |proc| {
@@ -124,8 +136,8 @@ fn scaled_experiment_shifts_time_to_communication() {
             let m = pattern.local(d, proc.id());
             pack(proc, d, &a, &m, &PackOptions::default()).unwrap();
         });
-        let comm = out.max_cat_ms(Category::PrefixReductionSum)
-            + out.max_cat_ms(Category::ManyToMany);
+        let comm =
+            out.max_cat_ms(Category::PrefixReductionSum) + out.max_cat_ms(Category::ManyToMany);
         comm / out.max_time_ms()
     };
     assert!(
@@ -141,7 +153,10 @@ fn scaled_experiment_shifts_time_to_communication() {
 fn tracing_and_comm_matrix_cover_a_pack_run() {
     let grid = ProcGrid::line(4);
     let desc = ArrayDesc::new(&[256], &grid, &[Dist::BlockCyclic(4)]).unwrap();
-    let pattern = MaskPattern::Random { density: 0.5, seed: 77 };
+    let pattern = MaskPattern::Random {
+        density: 0.5,
+        seed: 77,
+    };
     let machine = Machine::new(grid, CostModel::cm5()).with_tracing(true);
     let d = &desc;
     let out = machine.run(move |proc| {
@@ -151,7 +166,10 @@ fn tracing_and_comm_matrix_cover_a_pack_run() {
     });
     for (c, trace) in out.clocks.iter().zip(&out.traces) {
         let span_total: f64 = trace.iter().map(|s| s.len_ns()).sum();
-        assert!((span_total - c.now_ns).abs() < 1e-6, "spans must cover the clock");
+        assert!(
+            (span_total - c.now_ns).abs() < 1e-6,
+            "spans must cover the clock"
+        );
     }
     // The matrix total matches the clock total.
     let matrix_total: u64 = out.comm_matrix.iter().flatten().sum();

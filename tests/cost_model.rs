@@ -9,7 +9,10 @@ use hpf_packunpack::machine::{Category, CostModel, Machine, ProcGrid};
 
 /// δ = 1 ns, everything else free: LocalComp nanoseconds == LocalComp ops.
 fn ops_model() -> CostModel {
-    CostModel { delta_ns: 1.0, ..CostModel::zero() }
+    CostModel {
+        delta_ns: 1.0,
+        ..CostModel::zero()
+    }
 }
 
 struct Counts {
@@ -48,7 +51,11 @@ fn measure(n: usize, p: usize, w: usize, density: f64, opts: PackOptions) -> Cou
     // per-slice rank intervals split at W' boundaries.
     for (mask, _, _) in &out.results {
         e.push(mask.iter().filter(|&&b| b).count());
-        nonempty.push(mask.chunks_exact(w).filter(|s| s.iter().any(|&b| b)).count());
+        nonempty.push(
+            mask.chunks_exact(w)
+                .filter(|s| s.iter().any(|&b| b))
+                .count(),
+        );
         gs.push(0);
     }
     // Re-derive Gs by replaying the ranking order (global array element
@@ -59,7 +66,9 @@ fn measure(n: usize, p: usize, w: usize, density: f64, opts: PackOptions) -> Cou
         .results
         .iter()
         .map(|(mask, _, _)| {
-            mask.chunks_exact(w).map(|s| s.iter().filter(|&&b| b).count()).collect()
+            mask.chunks_exact(w)
+                .map(|s| s.iter().filter(|&&b| b).count())
+                .collect()
         })
         .collect();
     // Global rank of each slice's first element = count of trues before it.
@@ -101,7 +110,11 @@ fn measure(n: usize, p: usize, w: usize, density: f64, opts: PackOptions) -> Cou
     }
     let r: Vec<usize> = out.results.iter().map(|(_, len, _)| *len).collect();
     Counts {
-        local_ops: out.clocks.iter().map(|c| c.cat_ns(Category::LocalComp)).collect(),
+        local_ops: out
+            .clocks
+            .iter()
+            .map(|c| c.cat_ns(Category::LocalComp))
+            .collect(),
         e,
         r,
         gs,
@@ -185,7 +198,10 @@ fn until_collected_scan_is_cheaper() {
     };
     let m1 = mk(ScanMethod::UntilCollected);
     let m2 = mk(ScanMethod::WholeSlice);
-    assert!(m1 < m2, "method 1 ({m1}) must beat method 2 ({m2}) at 30% density");
+    assert!(
+        m1 < m2,
+        "method 1 ({m1}) must beat method 2 ({m2}) at 30% density"
+    );
 }
 
 /// The β₁ mechanics of Table I, pinned at the ops level: with a dense mask
@@ -194,7 +210,10 @@ fn until_collected_scan_is_cheaper() {
 #[test]
 fn beta1_crossover_in_op_counts() {
     let total = |w: usize, scheme: PackScheme, density: f64| {
-        measure(256, 4, w, density, PackOptions::new(scheme)).local_ops.iter().sum::<f64>()
+        measure(256, 4, w, density, PackOptions::new(scheme))
+            .local_ops
+            .iter()
+            .sum::<f64>()
     };
     // Large blocks, dense mask: CSS wins.
     assert!(

@@ -5,7 +5,7 @@ use hpf_packunpack::core::ranking::{element_ranks, rank_from_counts, slice_count
 use hpf_packunpack::core::{pack, MaskPattern, PackOptions};
 use hpf_packunpack::distarray::{local_from_fn, ArrayDesc, Dist, GlobalArray};
 use hpf_packunpack::intrinsics::{
-    cshift_dim, count_all, merge, spread_dim, sum_all, sum_dim, sum_prefix_dim, ScanKind,
+    count_all, cshift_dim, merge, spread_dim, sum_all, sum_dim, sum_prefix_dim, ScanKind,
 };
 use hpf_packunpack::machine::collectives::{A2aSchedule, PrsAlgorithm};
 use hpf_packunpack::machine::{CostModel, Machine, ProcGrid};
@@ -18,7 +18,10 @@ fn ranking_equals_sum_prefix_of_mask() {
     let n = 96usize;
     let grid = ProcGrid::line(4);
     let desc = ArrayDesc::new(&[n], &grid, &[Dist::BlockCyclic(4)]).unwrap();
-    let pattern = MaskPattern::Random { density: 0.55, seed: 8 };
+    let pattern = MaskPattern::Random {
+        density: 0.55,
+        seed: 8,
+    };
     let machine = Machine::new(grid, CostModel::cm5());
     let d = &desc;
     let out = machine.run(move |proc| {
@@ -32,8 +35,14 @@ fn ranking_equals_sum_prefix_of_mask() {
         let ones = vec![1i32; mask.len()];
         let zeros = vec![0i32; mask.len()];
         let indicator = merge(proc, &ones, &zeros, &mask);
-        let scan =
-            sum_prefix_dim(proc, d, &indicator, 0, ScanKind::Exclusive, PrsAlgorithm::Auto);
+        let scan = sum_prefix_dim(
+            proc,
+            d,
+            &indicator,
+            0,
+            ScanKind::Exclusive,
+            PrsAlgorithm::Auto,
+        );
         let via_scan: Vec<Option<u32>> = mask
             .iter()
             .zip(&scan)
@@ -51,7 +60,10 @@ fn ranking_equals_sum_prefix_of_mask() {
 fn count_equals_pack_size() {
     let grid = ProcGrid::new(&[2, 2]);
     let desc = ArrayDesc::new(&[16, 8], &grid, &[Dist::Cyclic, Dist::BlockCyclic(2)]).unwrap();
-    let pattern = MaskPattern::Random { density: 0.35, seed: 12 };
+    let pattern = MaskPattern::Random {
+        density: 0.35,
+        seed: 12,
+    };
     let machine = Machine::new(grid, CostModel::cm5());
     let d = &desc;
     let out = machine.run(move |proc| {
@@ -135,7 +147,11 @@ fn dim_reduction_tower_is_consistent() {
         // each line sum appears once per processor *column*, so divide by
         // the replication factor via summing only on coord 0.
         let lines = sum_dim(proc, d, local, 0);
-        let my_contrib: i64 = if proc.coord(0) == 0 { lines.iter().sum() } else { 0 };
+        let my_contrib: i64 = if proc.coord(0) == 0 {
+            lines.iter().sum()
+        } else {
+            0
+        };
         let total = hpf_packunpack::machine::collectives::allreduce_sum(
             proc,
             &proc.world(),

@@ -17,7 +17,8 @@ fn run_pack(
     let grid = ProcGrid::new(grid_dims);
     let desc = ArrayDesc::new(shape, &grid, dists).unwrap();
     let a = GlobalArray::from_fn(shape, |idx| {
-        idx.iter().fold(7i32, |acc, &x| acc.wrapping_mul(131).wrapping_add(x as i32))
+        idx.iter()
+            .fold(7i32, |acc, &x| acc.wrapping_mul(131).wrapping_add(x as i32))
     });
     let m = pattern.global(shape);
     let want = pack_seq(&a, &m, None);
@@ -41,11 +42,19 @@ fn run_pack(
 
 #[test]
 fn schemes_agree_with_oracle_and_each_other() {
-    let pattern = MaskPattern::Random { density: 0.5, seed: 99 };
+    let pattern = MaskPattern::Random {
+        density: 0.5,
+        seed: 99,
+    };
     let mut results = Vec::new();
     for scheme in PackScheme::ALL {
-        let (got, want) =
-            run_pack(&[64, 16], &[2, 2], &[Dist::BlockCyclic(4), Dist::BlockCyclic(2)], pattern, PackOptions::new(scheme));
+        let (got, want) = run_pack(
+            &[64, 16],
+            &[2, 2],
+            &[Dist::BlockCyclic(4), Dist::BlockCyclic(2)],
+            pattern,
+            PackOptions::new(scheme),
+        );
         assert_eq!(got, want, "{scheme:?} vs oracle");
         results.push(got);
     }
@@ -113,7 +122,10 @@ fn single_element_blocks_and_single_proc() {
         &[64],
         &[1],
         &[Dist::Block],
-        MaskPattern::Random { density: 0.3, seed: 5 },
+        MaskPattern::Random {
+            density: 0.3,
+            seed: 5,
+        },
         PackOptions::default(),
     );
     assert_eq!(got, want);
@@ -127,8 +139,16 @@ fn four_dimensional_pack() {
         let (got, want) = run_pack(
             &[4, 6, 4, 4],
             &[2, 3, 1, 2],
-            &[Dist::BlockCyclic(2), Dist::Cyclic, Dist::Block, Dist::BlockCyclic(2)],
-            MaskPattern::Random { density: 0.45, seed: 91 },
+            &[
+                Dist::BlockCyclic(2),
+                Dist::Cyclic,
+                Dist::Block,
+                Dist::BlockCyclic(2),
+            ],
+            MaskPattern::Random {
+                density: 0.45,
+                seed: 91,
+            },
             PackOptions::new(scheme),
         );
         assert_eq!(got, want, "{scheme:?}");
@@ -141,21 +161,29 @@ fn four_dimensional_pack() {
 fn wide_elements_pack_correctly_and_charge_double_volume() {
     let grid = ProcGrid::line(4);
     let desc = ArrayDesc::new(&[64], &grid, &[Dist::Cyclic]).unwrap();
-    let pattern = MaskPattern::Random { density: 0.5, seed: 14 };
+    let pattern = MaskPattern::Random {
+        density: 0.5,
+        seed: 14,
+    };
     let machine = Machine::new(grid, CostModel::cm5());
     let d = &desc;
 
     let narrow = machine.run(move |proc| {
         let a = hpf_packunpack::distarray::local_from_fn(d, proc.id(), |g| g[0] as i32);
         let m = pattern.local(d, proc.id());
-        pack(proc, d, &a, &m, &PackOptions::new(PackScheme::Simple)).unwrap().size
+        pack(proc, d, &a, &m, &PackOptions::new(PackScheme::Simple))
+            .unwrap()
+            .size
     });
     let wide = machine.run(move |proc| {
         let a = hpf_packunpack::distarray::local_from_fn(d, proc.id(), |g| g[0] as f64 * 0.5);
         let m = pattern.local(d, proc.id());
         let out = pack(proc, d, &a, &m, &PackOptions::new(PackScheme::Simple)).unwrap();
         // Spot-check values survive as floats.
-        assert!(out.local_v.iter().all(|v| v.fract() == 0.0 || v.fract() == 0.5));
+        assert!(out
+            .local_v
+            .iter()
+            .all(|v| v.fract() == 0.0 || v.fract() == 0.5));
         out.size
     });
     assert_eq!(narrow.results[0], wide.results[0]);
@@ -193,8 +221,11 @@ fn sparse_single_selected_element() {
             pack(proc, d, &a, &m, &PackOptions::new(scheme)).unwrap()
         });
         assert_eq!(out.results[0].size, 1);
-        let total: Vec<i32> =
-            out.results.iter().flat_map(|r| r.local_v.iter().copied()).collect();
+        let total: Vec<i32> = out
+            .results
+            .iter()
+            .flat_map(|r| r.local_v.iter().copied())
+            .collect();
         assert_eq!(total, vec![17], "{scheme:?}");
     }
 }

@@ -5,16 +5,14 @@
 use proptest::prelude::*;
 
 use hpf_packunpack::core::seq::{count_seq, pack_seq, ranks_seq, unpack_seq};
-use hpf_packunpack::core::{
-    pack, unpack, PackOptions, PackScheme, UnpackOptions, UnpackScheme,
-};
+use hpf_packunpack::core::{pack, unpack, PackOptions, PackScheme, UnpackOptions, UnpackScheme};
 use hpf_packunpack::distarray::{
     redistribute, ArrayDesc, DimLayout, Dist, GlobalArray, RedistMode,
 };
 use hpf_packunpack::machine::collectives::{
     alltoallv, prefix_reduction_sum, A2aSchedule, PrsAlgorithm,
 };
-use hpf_packunpack::machine::{CostModel, Machine, ProcGrid};
+use hpf_packunpack::machine::{CostModel, FaultPlan, Machine, ProcGrid};
 
 /// One array dimension: (P_i, W_i, T_i) with N_i = P_i * W_i * T_i.
 fn dim_strategy() -> impl Strategy<Value = (usize, usize, usize)> {
@@ -37,7 +35,10 @@ impl Config {
         self.dims.iter().map(|&(p, _, _)| p).collect()
     }
     fn dists(&self) -> Vec<Dist> {
-        self.dims.iter().map(|&(_, w, _)| Dist::BlockCyclic(w)).collect()
+        self.dims
+            .iter()
+            .map(|&(_, w, _)| Dist::BlockCyclic(w))
+            .collect()
     }
 }
 
@@ -49,7 +50,11 @@ fn config_strategy() -> impl Strategy<Value = Config> {
             prop::collection::vec(any::<bool>(), n),
             prop::collection::vec(-1000i32..1000, n),
         )
-            .prop_map(|(dims, mask_bits, values)| Config { dims, mask_bits, values })
+            .prop_map(|(dims, mask_bits, values)| Config {
+                dims,
+                mask_bits,
+                values,
+            })
     })
 }
 
@@ -199,6 +204,60 @@ proptest! {
         for (r, (prefix, total)) in out.results.iter().enumerate() {
             prop_assert_eq!(prefix, &want_prefix[r]);
             prop_assert_eq!(total, &acc);
+        }
+    }
+
+    /// PACK then UNPACK (with the original array as FIELD) is the identity,
+    /// bit-exactly, on a machine whose every link drops, duplicates, and
+    /// delays up to 20% of data frames: the reliable transport must mask
+    /// arbitrary non-crash fault schedules. Covers 1-D and 2-D grids.
+    #[test]
+    fn faulty_pack_unpack_roundtrip_is_identity(
+        dims in prop::collection::vec(dim_strategy(), 1..=2),
+        mask_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        drop_p in 0.0f64..=0.2,
+        dup_p in 0.0f64..=0.2,
+        delay_p in 0.0f64..=0.2,
+        pscheme in scheme_strategy(),
+        uscheme in prop::sample::select(UnpackScheme::ALL.to_vec()),
+    ) {
+        let shape: Vec<usize> = dims.iter().map(|&(p, w, t)| p * w * t).collect();
+        let n: usize = shape.iter().product();
+        let grid = ProcGrid::new(&dims.iter().map(|&(p, _, _)| p).collect::<Vec<_>>());
+        let dists: Vec<Dist> = dims.iter().map(|&(_, w, _)| Dist::BlockCyclic(w)).collect();
+        let desc = ArrayDesc::new(&shape, &grid, &dists).unwrap();
+        let values: Vec<i32> = (0..n as i32).map(|i| i * 7 - 100).collect();
+        let mask_bits: Vec<bool> =
+            (0..n).map(|i| (mask_seed >> (i % 64)) & 1 == 1).collect();
+        let a = GlobalArray::from_vec(&shape, values);
+        let m = GlobalArray::from_vec(&shape, mask_bits);
+        let plan = FaultPlan::new(fault_seed)
+            .with_drop(drop_p)
+            .with_duplicate(dup_p)
+            .with_delay(delay_p, 100_000.0);
+        let (ap, mp) = (a.partition(&desc), m.partition(&desc));
+        let machine = Machine::new(grid.clone(), CostModel::cm5())
+            .with_test_preset()
+            .with_faults(plan);
+        let (d, apr, mpr) = (&desc, &ap, &mp);
+        let popts = PackOptions::new(pscheme);
+        let po = &popts;
+        let packed = machine.run(move |proc| {
+            pack(proc, d, &apr[proc.id()], &mpr[proc.id()], po).unwrap()
+        });
+        prop_assert_eq!(packed.results[0].size, count_seq(&m));
+        if let Some(v_layout) = packed.results[0].v_layout {
+            let v_locals: Vec<Vec<i32>> =
+                packed.results.iter().map(|r| r.local_v.clone()).collect();
+            let uopts = UnpackOptions::new(uscheme);
+            let (vpr, vl, uo) = (&v_locals, &v_layout, &uopts);
+            let out = machine.run(move |proc| {
+                unpack(proc, d, &mpr[proc.id()], &apr[proc.id()], &vpr[proc.id()], vl, uo)
+                    .unwrap()
+            });
+            // FIELD == A, so the roundtrip must restore A exactly.
+            prop_assert_eq!(GlobalArray::assemble(&desc, &out.results), a);
         }
     }
 

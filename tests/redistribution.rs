@@ -2,12 +2,8 @@
 //! preliminary-redistribution PACK schemes.
 
 use hpf_packunpack::core::seq::pack_seq;
-use hpf_packunpack::core::{
-    pack, pack_redistributed, MaskPattern, PackOptions, RedistScheme,
-};
-use hpf_packunpack::distarray::{
-    redistribute, ArrayDesc, Dist, GlobalArray, RedistMode,
-};
+use hpf_packunpack::core::{pack, pack_redistributed, MaskPattern, PackOptions, RedistScheme};
+use hpf_packunpack::distarray::{redistribute, ArrayDesc, Dist, GlobalArray, RedistMode};
 use hpf_packunpack::machine::collectives::A2aSchedule;
 use hpf_packunpack::machine::{Category, CostModel, Machine, ProcGrid};
 
@@ -27,18 +23,44 @@ fn redistribution_composes() {
     let out = machine.run(move |proc| {
         let local = pp[proc.id()].clone();
         let two_hop = {
-            let x = redistribute(proc, c, m, &local, RedistMode::Detected, A2aSchedule::LinearPermutation);
-            redistribute(proc, m, b, &x, RedistMode::Detected, A2aSchedule::LinearPermutation)
+            let x = redistribute(
+                proc,
+                c,
+                m,
+                &local,
+                RedistMode::Detected,
+                A2aSchedule::LinearPermutation,
+            );
+            redistribute(
+                proc,
+                m,
+                b,
+                &x,
+                RedistMode::Detected,
+                A2aSchedule::LinearPermutation,
+            )
         };
-        let one_hop =
-            redistribute(proc, c, b, &local, RedistMode::Indexed, A2aSchedule::LinearPermutation);
+        let one_hop = redistribute(
+            proc,
+            c,
+            b,
+            &local,
+            RedistMode::Indexed,
+            A2aSchedule::LinearPermutation,
+        );
         (two_hop, one_hop)
     });
     for (p, (two, one)) in out.results.iter().enumerate() {
         assert_eq!(two, one, "proc {p}");
     }
     assert_eq!(
-        GlobalArray::assemble(&blk, &out.results.iter().map(|(t, _)| t.clone()).collect::<Vec<_>>()),
+        GlobalArray::assemble(
+            &blk,
+            &out.results
+                .iter()
+                .map(|(t, _)| t.clone())
+                .collect::<Vec<_>>()
+        ),
         a
     );
 }
@@ -49,7 +71,10 @@ fn pack_is_layout_invariant() {
     let shape = [16usize, 16];
     let grid = ProcGrid::new(&[2, 2]);
     let cyc = ArrayDesc::new(&shape, &grid, &[Dist::Cyclic, Dist::Cyclic]).unwrap();
-    let pattern = MaskPattern::Random { density: 0.4, seed: 10 };
+    let pattern = MaskPattern::Random {
+        density: 0.4,
+        seed: 10,
+    };
     let a = GlobalArray::from_fn(&shape, |g| (g[0] * 31 + g[1]) as i32);
     let m = pattern.global(&shape);
     let want = pack_seq(&a, &m, None);
@@ -88,7 +113,10 @@ fn pack_is_layout_invariant() {
 fn redistribution_categories_are_scoped() {
     let grid = ProcGrid::line(4);
     let desc = ArrayDesc::new(&[256], &grid, &[Dist::Cyclic]).unwrap();
-    let pattern = MaskPattern::Random { density: 0.5, seed: 2 };
+    let pattern = MaskPattern::Random {
+        density: 0.5,
+        seed: 2,
+    };
     let machine = Machine::new(grid, CostModel::cm5());
     let d = &desc;
 
@@ -103,8 +131,15 @@ fn redistribution_categories_are_scoped() {
     let red = machine.run(move |proc| {
         let a = hpf_packunpack::distarray::local_from_fn(d, proc.id(), |g| g[0] as i32);
         let m = pattern.local(d, proc.id());
-        pack_redistributed(proc, d, &a, &m, RedistScheme::WholeArrays, &PackOptions::default())
-            .unwrap();
+        pack_redistributed(
+            proc,
+            d,
+            &a,
+            &m,
+            RedistScheme::WholeArrays,
+            &PackOptions::default(),
+        )
+        .unwrap();
     });
     assert!(red.max_cat_ms(Category::RedistDetect) > 0.0);
     assert!(red.max_cat_ms(Category::RedistComm) > 0.0);
@@ -117,7 +152,10 @@ fn red2_is_density_insensitive_red1_is_not() {
     // Zero start-up cost isolates the *volume* term of the redistribution
     // traffic (with CM-5 τ = 86 µs the small messages here are start-up
     // bound and the ratio compresses).
-    let cost = CostModel { tau_ns: 0.0, ..CostModel::cm5() };
+    let cost = CostModel {
+        tau_ns: 0.0,
+        ..CostModel::cm5()
+    };
     let time = |density: f64, scheme: RedistScheme| {
         let grid = ProcGrid::line(4);
         let desc = ArrayDesc::new(&[1024], &grid, &[Dist::Cyclic]).unwrap();
@@ -133,6 +171,12 @@ fn red2_is_density_insensitive_red1_is_not() {
     };
     let red1_spread = time(0.9, RedistScheme::SelectedData) / time(0.1, RedistScheme::SelectedData);
     let red2_spread = time(0.9, RedistScheme::WholeArrays) / time(0.1, RedistScheme::WholeArrays);
-    assert!(red1_spread > 2.0, "Red.1 traffic should scale with density ({red1_spread})");
-    assert!(red2_spread < 1.2, "Red.2 traffic should be flat ({red2_spread})");
+    assert!(
+        red1_spread > 2.0,
+        "Red.1 traffic should scale with density ({red1_spread})"
+    );
+    assert!(
+        red2_spread < 1.2,
+        "Red.2 traffic should be flat ({red2_spread})"
+    );
 }

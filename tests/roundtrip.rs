@@ -15,7 +15,10 @@ fn unpack_of_pack_restores_selected_positions() {
     let grid = ProcGrid::new(&[2, 3]);
     let desc =
         ArrayDesc::new(&shape, &grid, &[Dist::BlockCyclic(3), Dist::BlockCyclic(2)]).unwrap();
-    let pattern = MaskPattern::Random { density: 0.45, seed: 77 };
+    let pattern = MaskPattern::Random {
+        density: 0.45,
+        seed: 77,
+    };
     let machine = Machine::new(grid, CostModel::cm5());
 
     for pack_scheme in PackScheme::ALL {
@@ -65,7 +68,10 @@ fn pack_of_unpack_is_identity_on_the_vector() {
     let shape = [96usize];
     let grid = ProcGrid::line(4);
     let desc = ArrayDesc::new(&shape, &grid, &[Dist::BlockCyclic(8)]).unwrap();
-    let pattern = MaskPattern::Random { density: 0.5, seed: 13 };
+    let pattern = MaskPattern::Random {
+        density: 0.5,
+        seed: 13,
+    };
     let size = {
         let m = pattern.global(&shape);
         m.data().iter().filter(|&&b| b).count()
@@ -78,8 +84,9 @@ fn pack_of_unpack_is_identity_on_the_vector() {
     let out = machine.run(move |proc| {
         let m = local_from_fn(d, proc.id(), |g| pattern.value(g, &shape));
         let f = local_from_fn(d, proc.id(), |_| 0i32);
-        let v: Vec<i32> =
-            (0..vl.local_len(proc.id())).map(|l| 10_000 + vl.global_of(proc.id(), l) as i32).collect();
+        let v: Vec<i32> = (0..vl.local_len(proc.id()))
+            .map(|l| 10_000 + vl.global_of(proc.id(), l) as i32)
+            .collect();
         let a = unpack(proc, d, &m, &f, &v, vl, &UnpackOptions::default()).unwrap();
         let packed = pack(proc, d, &a, &m, &PackOptions::default()).unwrap();
         (v, packed)
@@ -106,7 +113,10 @@ fn iterated_roundtrip_is_stable() {
     let shape = [64usize];
     let grid = ProcGrid::line(4);
     let desc = ArrayDesc::new(&shape, &grid, &[Dist::BlockCyclic(4)]).unwrap();
-    let pattern = MaskPattern::Random { density: 0.6, seed: 21 };
+    let pattern = MaskPattern::Random {
+        density: 0.6,
+        seed: 21,
+    };
     let machine = Machine::new(grid, CostModel::cm5());
     let d = &desc;
     let out = machine.run(move |proc| {
@@ -115,8 +125,16 @@ fn iterated_roundtrip_is_stable() {
         for _ in 0..3 {
             let packed = pack(proc, d, &a, &m, &PackOptions::default()).unwrap();
             let layout = packed.v_layout.unwrap();
-            a = unpack(proc, d, &m, &a, &packed.local_v, &layout, &UnpackOptions::default())
-                .unwrap();
+            a = unpack(
+                proc,
+                d,
+                &m,
+                &a,
+                &packed.local_v,
+                &layout,
+                &UnpackOptions::default(),
+            )
+            .unwrap();
         }
         a
     });

@@ -23,7 +23,11 @@ fn run_unpack(
 
     let v_layout = DimLayout::new_general(size, grid.nprocs(), w_prime).unwrap();
     let v_locals: Vec<Vec<i32>> = (0..grid.nprocs())
-        .map(|p| (0..v_layout.local_len(p)).map(|l| v[v_layout.global_of(p, l)]).collect())
+        .map(|p| {
+            (0..v_layout.local_len(p))
+                .map(|l| v[v_layout.global_of(p, l)])
+                .collect()
+        })
         .collect();
     let m_parts = m.partition(&desc);
     let f_parts = f.partition(&desc);
@@ -31,7 +35,16 @@ fn run_unpack(
     let (d, mp, fp, vp, vl) = (&desc, &m_parts, &f_parts, &v_locals, &v_layout);
     let opts = UnpackOptions::new(scheme);
     let out = machine.run(move |proc| {
-        unpack(proc, d, &mp[proc.id()], &fp[proc.id()], &vp[proc.id()], vl, &opts).unwrap()
+        unpack(
+            proc,
+            d,
+            &mp[proc.id()],
+            &fp[proc.id()],
+            &vp[proc.id()],
+            vl,
+            &opts,
+        )
+        .unwrap()
     });
     (GlobalArray::assemble(&desc, &out.results), want)
 }
@@ -48,7 +61,10 @@ fn both_schemes_match_oracle_across_layouts() {
                 &[32, 16],
                 &[2, 2],
                 &dists,
-                MaskPattern::Random { density: 0.5, seed: 55 },
+                MaskPattern::Random {
+                    density: 0.5,
+                    seed: 55,
+                },
                 scheme,
                 13, // awkward W' that straddles slices
             );
@@ -63,7 +79,10 @@ fn schemes_agree_with_each_other() {
         &[512],
         &[8],
         &[Dist::BlockCyclic(8)],
-        MaskPattern::Random { density: 0.7, seed: 3 },
+        MaskPattern::Random {
+            density: 0.7,
+            seed: 3,
+        },
         UnpackScheme::Simple,
         32,
     );
@@ -71,7 +90,10 @@ fn schemes_agree_with_each_other() {
         &[512],
         &[8],
         &[Dist::BlockCyclic(8)],
-        MaskPattern::Random { density: 0.7, seed: 3 },
+        MaskPattern::Random {
+            density: 0.7,
+            seed: 3,
+        },
         UnpackScheme::CompactStorage,
         32,
     );
@@ -141,13 +163,24 @@ fn unpack_communication_exceeds_pack() {
     use hpf_packunpack::core::{pack, PackOptions, PackScheme};
     let grid = ProcGrid::line(8);
     let desc = ArrayDesc::new(&[2048], &grid, &[Dist::BlockCyclic(16)]).unwrap();
-    let pattern = MaskPattern::Random { density: 0.5, seed: 8 };
+    let pattern = MaskPattern::Random {
+        density: 0.5,
+        seed: 8,
+    };
     let machine = Machine::new(grid.clone(), CostModel::cm5());
     let d = &desc;
     let pack_out = machine.run(move |proc| {
         let a = hpf_packunpack::distarray::local_from_fn(d, proc.id(), |g| g[0] as i32);
         let m = pattern.local(d, proc.id());
-        pack(proc, d, &a, &m, &PackOptions::new(PackScheme::CompactStorage)).unwrap().size
+        pack(
+            proc,
+            d,
+            &a,
+            &m,
+            &PackOptions::new(PackScheme::CompactStorage),
+        )
+        .unwrap()
+        .size
     });
     let size = pack_out.results[0];
     let v_layout = DimLayout::new_general(size, 8, size.div_ceil(8)).unwrap();
@@ -156,8 +189,16 @@ fn unpack_communication_exceeds_pack() {
         let m = pattern.local(d, proc.id());
         let f = vec![0i32; d.local_len(proc.id())];
         let v = vec![1i32; vl.local_len(proc.id())];
-        unpack(proc, d, &m, &f, &v, vl, &UnpackOptions::new(UnpackScheme::CompactStorage))
-            .unwrap();
+        unpack(
+            proc,
+            d,
+            &m,
+            &f,
+            &v,
+            vl,
+            &UnpackOptions::new(UnpackScheme::CompactStorage),
+        )
+        .unwrap();
     });
     assert!(
         unpack_out.max_cat_ms(Category::ManyToMany) > pack_out.max_cat_ms(Category::ManyToMany)

@@ -1,0 +1,183 @@
+//! A small, dependency-free, offline drop-in for the subset of the
+//! [criterion](https://crates.io/crates/criterion) API this workspace uses.
+//!
+//! The container this repository builds in has no crates.io access, so the
+//! real criterion cannot be vendored. This shim keeps the bench sources
+//! unchanged: `criterion_group!`/`criterion_main!` produce a binary that runs
+//! every benchmark a fixed number of iterations and prints mean wall time.
+//! There is no statistical analysis, warm-up tuning, or HTML report — for
+//! real measurements swap the workspace `criterion` dependency back to
+//! crates.io.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Top-level benchmark driver handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            group: name,
+            sample_size: 20,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let mut g = BenchmarkGroup {
+            group: String::new(),
+            sample_size: 20,
+        };
+        g.bench_function(id, f);
+    }
+}
+
+/// A named benchmark within a group, e.g. `BenchmarkId::new("scheme", 1024)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed_ns: 0.0,
+            timed: 0,
+        };
+        f(&mut b);
+        let mean = if b.timed == 0 {
+            0.0
+        } else {
+            b.elapsed_ns / b.timed as f64
+        };
+        let label = if self.group.is_empty() {
+            id.name.clone()
+        } else {
+            format!("{}/{}", self.group, id.name)
+        };
+        println!("  {label}: {:.3} ms/iter ({} iters)", mean / 1e6, b.timed);
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Finish the group (prints nothing extra in this shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; times the closure given to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+    timed: u64,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up execution.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos() as f64;
+        self.timed += self.iters;
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting the benchmark.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_and_counts() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut runs = 0u64;
+        g.bench_with_input(BenchmarkId::new("f", 1), &5u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        g.finish();
+        // 1 warm-up + 3 timed.
+        assert_eq!(runs, 4);
+    }
+}
