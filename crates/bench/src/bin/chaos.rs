@@ -20,8 +20,13 @@
 //!
 //! Usage:
 //! ```sh
-//! cargo run -p hpf-bench --release --bin chaos -- [--seed N] [--iters N]
+//! cargo run -p hpf-bench --release --bin chaos -- [--seed N] [--iters N] \
+//!     [--trace-out FILE]
 //! # defaults: seed 1, 20 iterations
+//! # --trace-out additionally runs one traced fault-injected PACK and writes
+//! # it as Chrome trace_event JSON (open in Perfetto / chrome://tracing);
+//! # the trace carries send/recv, retransmit, dup-drop, and fault-verdict
+//! # annotations.
 //! ```
 
 use hpf_core::seq::{count_seq, pack_seq, unpack_seq};
@@ -55,6 +60,7 @@ impl Rng {
 fn main() {
     let mut seed: u64 = 1;
     let mut iters: usize = 20;
+    let mut trace_out: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -79,8 +85,18 @@ fn main() {
                     });
                 i += 2;
             }
+            "--trace-out" => {
+                trace_out = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--trace-out requires a path");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
             other => {
-                eprintln!("unknown argument {other}; usage: chaos [--seed N] [--iters N]");
+                eprintln!(
+                    "unknown argument {other}; usage: \
+                     chaos [--seed N] [--iters N] [--trace-out FILE]"
+                );
                 std::process::exit(2);
             }
         }
@@ -93,6 +109,9 @@ fn main() {
         // is reproducible with `--seed`.
         println!("iter {iter} (seed {seed}):");
         run_iteration(&mut rng, seed, iter, &mut stats);
+    }
+    if let Some(path) = &trace_out {
+        write_trace(seed, path);
     }
     println!(
         "chaos: {iters} iterations passed (seed {seed}): {} roundtrips, {} crash drills, \
@@ -264,6 +283,47 @@ fn run_iteration(rng: &mut Rng, seed: u64, iter: usize, stats: &mut Stats) {
             },
         }
     }
+}
+
+/// Run one dedicated fault-injected PACK with event tracing and metrics on,
+/// and write it as Chrome trace_event JSON. The plan's drop and duplicate
+/// rates are high enough that retransmit / dup-drop / fault-verdict
+/// annotations are guaranteed to appear alongside the send/recv events.
+fn write_trace(seed: u64, path: &str) {
+    let grid = ProcGrid::line(4);
+    let desc = ArrayDesc::new(&[64], &grid, &[Dist::BlockCyclic(2)]).unwrap();
+    let n = 64usize;
+    let values: Vec<i32> = (0..n as i32).map(|i| i * 3 - 50).collect();
+    let mask_bits: Vec<bool> = (0..n).map(|i| i % 3 != 0).collect();
+    let a = GlobalArray::from_vec(&[n], values);
+    let m = GlobalArray::from_vec(&[n], mask_bits);
+    let plan = FaultPlan::new(seed)
+        .with_drop(0.3)
+        .with_duplicate(0.3)
+        .with_reorder(0.2);
+    let machine = Machine::new(grid, CostModel::cm5())
+        .with_test_preset()
+        .with_tracing(true)
+        .with_metrics(true)
+        .with_faults(plan);
+    let (ap, mp) = (a.partition(&desc), m.partition(&desc));
+    let (d, apr, mpr) = (&desc, &ap, &mp);
+    let opts = PackOptions::new(PackScheme::CompactMessage);
+    let o = &opts;
+    let out = machine.run(move |proc| {
+        pack(proc, d, &apr[proc.id()], &mpr[proc.id()], o)
+            .unwrap()
+            .size
+    });
+    std::fs::write(path, out.chrome_trace_json()).expect("write trace file");
+    let metrics = out.merged_metrics();
+    println!(
+        "trace written to {path} ({} events, {} retransmits, {} dup drops) — \
+         load in Perfetto or chrome://tracing",
+        out.total_events(),
+        metrics.counter("transport.retransmits"),
+        metrics.counter("transport.dup_drops"),
+    );
 }
 
 /// Gather a distributed PACK result into the global vector.

@@ -4,8 +4,11 @@
 //!
 //! Usage:
 //! ```sh
-//! cargo run -p hpf-bench --release --bin fuzz -- [--cases N] [--seed N]
+//! cargo run -p hpf-bench --release --bin fuzz -- [--cases N] [--seed N] \
+//!     [--trace-out FILE]
 //! # defaults: 500 cases, seed 1; bare positionals [cases] [seed] also work
+//! # --trace-out additionally traces one representative PACK and writes it
+//! # as Chrome trace_event JSON (open in Perfetto / chrome://tracing)
 //! ```
 //!
 //! Every failure message names the seed, so any reported mismatch is
@@ -39,6 +42,7 @@ impl Rng {
 fn main() {
     let mut cases: usize = 500;
     let mut seed: u64 = 1;
+    let mut trace_out: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional = 0usize;
     let mut i = 0;
@@ -64,13 +68,23 @@ fn main() {
                     });
                 i += 2;
             }
+            "--trace-out" => {
+                trace_out = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--trace-out requires a path");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
             bare => {
                 // Back-compat positionals: [cases] [seed].
                 match (positional, bare.parse::<u64>()) {
                     (0, Ok(v)) => cases = v as usize,
                     (1, Ok(v)) => seed = v,
                     _ => {
-                        eprintln!("unknown argument {bare}; usage: fuzz [--cases N] [--seed N]");
+                        eprintln!(
+                            "unknown argument {bare}; usage: \
+                             fuzz [--cases N] [--seed N] [--trace-out FILE]"
+                        );
                         std::process::exit(2);
                     }
                 }
@@ -180,8 +194,37 @@ fn main() {
             println!("  {} / {cases} cases passed", case + 1);
         }
     }
+    if let Some(path) = &trace_out {
+        write_trace(path);
+    }
     println!(
         "fuzz: all {pack_cases} PACK and {unpack_cases} UNPACK differential cases passed \
          (seed {seed})"
+    );
+}
+
+/// Trace one representative PACK (CMS, cyclic-ish layout on 4 processors)
+/// and write it as Chrome trace_event JSON.
+fn write_trace(path: &str) {
+    let grid = ProcGrid::new(&[4]);
+    let desc = ArrayDesc::new(&[96], &grid, &[Dist::BlockCyclic(2)]).unwrap();
+    let a = GlobalArray::from_fn(&[96], |g| g[0] as i32);
+    let m = GlobalArray::from_fn(&[96], |g| g[0] % 2 == 0);
+    let machine = Machine::new(grid, CostModel::cm5())
+        .with_tracing(true)
+        .with_metrics(true);
+    let (ap, mp) = (a.partition(&desc), m.partition(&desc));
+    let (d, apr, mpr) = (&desc, &ap, &mp);
+    let opts = PackOptions::new(PackScheme::CompactMessage);
+    let o = &opts;
+    let out = machine.run(move |proc| {
+        pack(proc, d, &apr[proc.id()], &mpr[proc.id()], o)
+            .unwrap()
+            .size
+    });
+    std::fs::write(path, out.chrome_trace_json()).expect("write trace file");
+    println!(
+        "trace written to {path} ({} events) — load in Perfetto or chrome://tracing",
+        out.total_events()
     );
 }

@@ -1,0 +1,433 @@
+//! Machine-readable perf report: the paper's headline workloads (Table I /
+//! Table II / Figure 5 configurations) plus the four application kernels,
+//! measured on the simulated CM-5 cost model and emitted as versioned JSON
+//! for regression tracking across revisions.
+//!
+//! Every entry reports the simulated per-category stage times (the six
+//! [`Category`] labels), total simulated time, traffic volume (words and
+//! start-ups), reliable-transport overhead counters, and the harness
+//! wall-clock time of the run.
+//!
+//! Usage:
+//! ```sh
+//! cargo run -p hpf-bench --release --bin perf -- [--smoke] [--out FILE]
+//! # default output: results/BENCH_<rev>.json (rev = short git hash)
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hpf_apps::{gather_global, run_compaction, sample_sort, SparseMatrix};
+use hpf_bench::{time_pack, time_pack_redist, time_unpack, ExpConfig, Measurement};
+use hpf_core::{MaskPattern, PackOptions, PackScheme, RedistScheme, UnpackOptions, UnpackScheme};
+use hpf_distarray::{local_from_fn, ArrayDesc, DimLayout, Dist};
+use hpf_machine::collectives::A2aSchedule;
+use hpf_machine::{Category, CostModel, Machine, ProcGrid, RunOutput};
+
+/// Schema version of the emitted JSON (bump on breaking field changes;
+/// `scripts/bench-schema.json` must match).
+const SCHEMA_VERSION: u32 = 1;
+
+struct Entry {
+    name: String,
+    group: &'static str,
+    shape: Vec<usize>,
+    grid: Vec<usize>,
+    w: Option<usize>,
+    density: Option<f64>,
+    m: Measurement,
+    wall_ms: f64,
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--out" => {
+                out_path = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other}; usage: perf [--smoke] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rev = git_rev();
+    let out_path = out_path.unwrap_or_else(|| format!("results/BENCH_{rev}.json"));
+
+    // Workload scale: the full sizes mirror the paper's Section 7 setup
+    // (local size 1024 on 16 processors); smoke mode shrinks everything so
+    // CI finishes in seconds.
+    let (n1d, p1d, wide_w) = if smoke { (2048, 8, 8) } else { (16384, 16, 64) };
+    let density = 0.5;
+    let pattern = MaskPattern::Random { density, seed: 42 };
+
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // ---- PACK schemes (Table I / Figures 3-4 workload) ------------------
+    // Cyclic (W = 1, worst ranking overhead) and wide blocks for each of
+    // SSS / CSS / CMS.
+    for w in [1usize, wide_w] {
+        let cfg = ExpConfig::new(&[n1d], &[p1d], w, pattern);
+        for scheme in PackScheme::ALL {
+            let label = match scheme {
+                PackScheme::Simple => "sss",
+                PackScheme::CompactStorage => "css",
+                PackScheme::CompactMessage => "cms",
+            };
+            let opts = PackOptions::new(scheme);
+            let t0 = Instant::now();
+            let m = time_pack(&cfg, &opts);
+            entries.push(Entry {
+                name: format!("pack.{label}.w{w}"),
+                group: "pack",
+                shape: cfg.shape.clone(),
+                grid: cfg.grid.clone(),
+                w: Some(w),
+                density: Some(density),
+                m,
+                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+    }
+
+    // ---- Preliminary redistribution (Table II workload) -----------------
+    // Cyclic input, the case redistribution exists for.
+    let cfg = ExpConfig::new(&[n1d], &[p1d], 1, pattern);
+    for (scheme, label) in [
+        (RedistScheme::SelectedData, "red1"),
+        (RedistScheme::WholeArrays, "red2"),
+    ] {
+        let opts = PackOptions::default();
+        let t0 = Instant::now();
+        let m = time_pack_redist(&cfg, scheme, &opts);
+        entries.push(Entry {
+            name: format!("pack.{label}"),
+            group: "redist",
+            shape: cfg.shape.clone(),
+            grid: cfg.grid.clone(),
+            w: Some(1),
+            density: Some(density),
+            m,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        });
+    }
+
+    // ---- UNPACK schemes (Figure 5 workload) -----------------------------
+    for w in [1usize, wide_w] {
+        let cfg = ExpConfig::new(&[n1d], &[p1d], w, pattern);
+        for scheme in UnpackScheme::ALL {
+            let label = match scheme {
+                UnpackScheme::Simple => "sss",
+                UnpackScheme::CompactStorage => "css",
+            };
+            let opts = UnpackOptions::new(scheme);
+            let t0 = Instant::now();
+            let m = time_unpack(&cfg, &opts);
+            entries.push(Entry {
+                name: format!("unpack.{label}.w{w}"),
+                group: "unpack",
+                shape: cfg.shape.clone(),
+                grid: cfg.grid.clone(),
+                w: Some(w),
+                density: Some(density),
+                m,
+                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+    }
+
+    // ---- Application kernels --------------------------------------------
+    entries.push(app_compaction(smoke));
+    entries.push(app_sort(smoke));
+    entries.push(app_spmv(smoke));
+    entries.push(app_gather(smoke));
+
+    let json = render_json(&rev, smoke, &entries);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write perf report");
+
+    // Human summary on stdout, one line per workload.
+    println!("perf report ({} workloads) -> {out_path}", entries.len());
+    for e in &entries {
+        println!(
+            "  {:<18} total {:>9.3} ms  local {:>9.3}  prs {:>8.3}  m2m {:>8.3}  \
+             words {:>9}  wall {:>7.1} ms",
+            e.name,
+            e.m.total_ms(),
+            e.m.local_ms(),
+            e.m.prs_ms(),
+            e.m.m2m_ms(),
+            e.m.words,
+            e.wall_ms,
+        );
+    }
+}
+
+/// Short git revision, or "unknown" outside a git checkout.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Measurement from a raw run (used by the app workloads, which don't go
+/// through the `ExpConfig` runners).
+fn measure<R>(out: &RunOutput<R>, size: usize) -> Measurement {
+    Measurement {
+        breakdown: out.breakdown(),
+        size,
+        words: out.total_words_sent(),
+        startups: out.total_startups(),
+        retransmits: out.total_retransmits(),
+        dup_drops: out.total_dup_drops(),
+        retry_overhead: out.retry_overhead(),
+    }
+}
+
+fn app_compaction(smoke: bool) -> Entry {
+    let (p, steps) = if smoke { (4, 3) } else { (8, 6) };
+    let n = 512 * p;
+    let machine = Machine::new(ProcGrid::line(p), CostModel::cm5());
+    let t0 = Instant::now();
+    let out = machine.run(move |proc| {
+        let advance = |x: i64, _| x.wrapping_mul(31).wrapping_add(17) % 100_000;
+        let survive = |x: i64, step: usize| !(x.unsigned_abs() as usize + step).is_multiple_of(4);
+        let stats = run_compaction(
+            proc,
+            n,
+            steps,
+            advance,
+            survive,
+            &PackOptions::new(PackScheme::CompactMessage),
+        )
+        .unwrap();
+        stats.last().map(|s| s.alive).unwrap_or(0)
+    });
+    let survivors = out.results[0];
+    Entry {
+        name: "apps.compaction".into(),
+        group: "apps",
+        shape: vec![n],
+        grid: vec![p],
+        w: None,
+        density: None,
+        m: measure(&out, survivors),
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn app_sort(smoke: bool) -> Entry {
+    let p = 8usize;
+    let per_proc = if smoke { 256 } else { 2048 };
+    let machine = Machine::new(ProcGrid::line(p), CostModel::cm5());
+    let t0 = Instant::now();
+    let out = machine.run(move |proc| {
+        // Deterministic pseudo-random keys, distinct per processor.
+        let mut x = 0x9E37_79B9u64.wrapping_mul(proc.id() as u64 + 1);
+        let v: Vec<i64> = (0..per_proc)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) as i64
+            })
+            .collect();
+        let (sorted, _) = sample_sort(proc, &v, true, A2aSchedule::LinearPermutation);
+        sorted.len()
+    });
+    let total: usize = out.results.iter().sum();
+    Entry {
+        name: "apps.sort".into(),
+        group: "apps",
+        shape: vec![p * per_proc],
+        grid: vec![p],
+        w: None,
+        density: None,
+        m: measure(&out, total),
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn app_spmv(smoke: bool) -> Entry {
+    let dim = if smoke { 64 } else { 256 };
+    let (ncols, nrows) = (dim, dim);
+    let grid = ProcGrid::new(&[4, 2]);
+    let desc = ArrayDesc::new(
+        &[ncols, nrows],
+        &grid,
+        &[Dist::BlockCyclic(2), Dist::BlockCyclic(2)],
+    )
+    .unwrap();
+    let nprocs = grid.nprocs();
+    let x_layout = DimLayout::new_general(ncols, nprocs, ncols.div_ceil(nprocs)).unwrap();
+    let machine = Machine::new(grid, CostModel::cm5());
+    let (d, xl) = (&desc, &x_layout);
+    // Banded matrix: nonzero iff |row - col| <= 4 — the uneven-density
+    // pattern the module documentation motivates.
+    let entry = move |col: usize, row: usize| {
+        if row.abs_diff(col) <= 4 {
+            (row * dim + col + 1) as f64
+        } else {
+            0.0
+        }
+    };
+    let t0 = Instant::now();
+    let out = machine.run(move |proc| {
+        let dense = local_from_fn(d, proc.id(), |g| entry(g[0], g[1]));
+        let a = SparseMatrix::compress(proc, d, &dense, &PackOptions::default()).unwrap();
+        let x_local: Vec<f64> = (0..xl.local_len(proc.id()))
+            .map(|l| xl.global_of(proc.id(), l) as f64 * 0.25)
+            .collect();
+        let (y, _) = a.spmv(proc, &x_local, xl, A2aSchedule::LinearPermutation);
+        (a.nnz, y.len())
+    });
+    let nnz = out.results[0].0;
+    Entry {
+        name: "apps.spmv".into(),
+        group: "apps",
+        shape: vec![ncols, nrows],
+        grid: vec![4, 2],
+        w: None,
+        density: None,
+        m: measure(&out, nnz),
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn app_gather(smoke: bool) -> Entry {
+    let p = 8usize;
+    let n = if smoke { 512 } else { 4096 };
+    let per_proc_requests = if smoke { 64 } else { 512 };
+    let layout = DimLayout::new_general(n, p, n.div_ceil(p)).unwrap();
+    let machine = Machine::new(ProcGrid::line(p), CostModel::cm5());
+    let l = &layout;
+    let t0 = Instant::now();
+    let out = machine.run(move |proc| {
+        let v_local: Vec<i64> = (0..l.local_len(proc.id()))
+            .map(|k| l.global_of(proc.id(), k) as i64)
+            .collect();
+        // Scattered request pattern touching every owner.
+        let indices: Vec<usize> = (0..per_proc_requests)
+            .map(|k| (k * 2654435761 + proc.id() * 97) % n)
+            .collect();
+        let got = gather_global(proc, &v_local, l, &indices, A2aSchedule::LinearPermutation);
+        for (k, &g) in indices.iter().enumerate() {
+            assert_eq!(got[k], g as i64, "gather fetched the wrong element");
+        }
+        got.len()
+    });
+    let fetched: usize = out.results.iter().sum();
+    Entry {
+        name: "apps.gather".into(),
+        group: "apps",
+        shape: vec![n],
+        grid: vec![p],
+        w: None,
+        density: None,
+        m: measure(&out, fetched),
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+// ---- JSON rendering (hand-rolled; the repo carries no serde) -------------
+
+fn render_json(rev: &str, smoke: bool, entries: &[Entry]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(s, "  \"rev\": \"{rev}\",");
+    let _ = writeln!(
+        s,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    s.push_str("  \"cost_model\": \"cm5\",\n");
+    s.push_str("  \"workloads\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"name\": \"{}\",", e.name);
+        let _ = writeln!(s, "      \"group\": \"{}\",", e.group);
+        let _ = writeln!(s, "      \"shape\": {},", json_usize_array(&e.shape));
+        let _ = writeln!(s, "      \"grid\": {},", json_usize_array(&e.grid));
+        match e.w {
+            Some(w) => {
+                let _ = writeln!(s, "      \"w\": {w},");
+            }
+            None => s.push_str("      \"w\": null,\n"),
+        }
+        match e.density {
+            Some(d) => {
+                let _ = writeln!(s, "      \"density\": {d},");
+            }
+            None => s.push_str("      \"density\": null,\n"),
+        }
+        s.push_str("      \"stages_ms\": {");
+        for (j, cat) in Category::ALL.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(
+                s,
+                "\"{}\": {}",
+                cat.label(),
+                json_f64(e.m.breakdown.cat_ms(*cat))
+            );
+        }
+        s.push_str("},\n");
+        let _ = writeln!(s, "      \"total_ms\": {},", json_f64(e.m.total_ms()));
+        let _ = writeln!(s, "      \"size\": {},", e.m.size);
+        let _ = writeln!(s, "      \"words\": {},", e.m.words);
+        let _ = writeln!(s, "      \"startups\": {},", e.m.startups);
+        let _ = writeln!(s, "      \"retransmits\": {},", e.m.retransmits);
+        let _ = writeln!(s, "      \"dup_drops\": {},", e.m.dup_drops);
+        let _ = writeln!(
+            s,
+            "      \"retry_overhead\": {},",
+            json_f64(e.m.retry_overhead)
+        );
+        let _ = writeln!(s, "      \"wall_ms\": {}", json_f64(e.wall_ms));
+        s.push_str(if i + 1 < entries.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn json_usize_array(v: &[usize]) -> String {
+    let inner: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+/// Finite float as JSON (JSON has no NaN/Infinity; clamp defensively).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}

@@ -4,8 +4,11 @@
 //!
 //! Usage:
 //! ```sh
-//! cargo run -p hpf-bench --release --bin timeline -- [N] [P] [W] [density%]
+//! cargo run -p hpf-bench --release --bin timeline -- [N] [P] [W] [density%] \
+//!     [--trace-out FILE]
 //! # defaults: N = 16384, P = 8, W = 16, 50%
+//! # --trace-out writes the PACK run as Chrome trace_event JSON
+//! # (open in Perfetto / chrome://tracing)
 //! ```
 
 use hpf_core::{pack, unpack, MaskPattern, PackOptions, PackScheme, UnpackOptions, UnpackScheme};
@@ -13,11 +16,35 @@ use hpf_distarray::{local_from_fn, ArrayDesc, DimLayout, Dist};
 use hpf_machine::{CostModel, Machine, ProcGrid};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16384);
-    let p: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
-    let w: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(16);
-    let pct: f64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(50.0);
+    let mut trace_out: Option<String> = None;
+    let mut positionals: Vec<String> = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--trace-out" {
+            trace_out = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("--trace-out requires a path");
+                std::process::exit(2);
+            }));
+            i += 2;
+        } else {
+            positionals.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let n: usize = positionals
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16384);
+    let p: usize = positionals.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let w: usize = positionals
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let pct: f64 = positionals
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50.0);
     assert!(n.is_multiple_of(p * w), "need P*W | N");
 
     let grid = ProcGrid::line(p);
@@ -44,6 +71,10 @@ fn main() {
         .size
     });
     print!("{}", out.gantt(100));
+    if let Some(path) = &trace_out {
+        std::fs::write(path, out.chrome_trace_json()).expect("write trace file");
+        println!("(PACK trace written to {path} — load in Perfetto or chrome://tracing)");
+    }
 
     let size = out.results[0];
     let v_layout = DimLayout::new_general(size, p, size.div_ceil(p)).unwrap();

@@ -94,6 +94,12 @@ pub struct Measurement {
     pub words: u64,
     /// Total message start-ups.
     pub startups: u64,
+    /// Total reliable-transport retransmissions (0 on a fault-free machine).
+    pub retransmits: u64,
+    /// Total duplicate frames dropped by receivers.
+    pub dup_drops: u64,
+    /// Retransmitted fraction of all data-frame transmissions.
+    pub retry_overhead: f64,
 }
 
 impl Measurement {
@@ -142,6 +148,9 @@ pub fn time_pack(cfg: &ExpConfig, opts: &PackOptions) -> Measurement {
         size: out.results[0],
         words: out.total_words_sent(),
         startups: out.total_startups(),
+        retransmits: out.total_retransmits(),
+        dup_drops: out.total_dup_drops(),
+        retry_overhead: out.retry_overhead(),
     }
 }
 
@@ -163,6 +172,9 @@ pub fn time_pack_redist(cfg: &ExpConfig, scheme: RedistScheme, opts: &PackOption
         size: out.results[0],
         words: out.total_words_sent(),
         startups: out.total_startups(),
+        retransmits: out.total_retransmits(),
+        dup_drops: out.total_dup_drops(),
+        retry_overhead: out.retry_overhead(),
     }
 }
 
@@ -211,6 +223,9 @@ fn time_unpack_impl(cfg: &ExpConfig, opts: &UnpackOptions, redist: bool) -> Meas
         size,
         words: out.total_words_sent(),
         startups: out.total_startups(),
+        retransmits: out.total_retransmits(),
+        dup_drops: out.total_dup_drops(),
+        retry_overhead: out.retry_overhead(),
     }
 }
 

@@ -51,13 +51,15 @@ pub fn pack<T: Wire + Default>(
 ) -> Result<PackOutput<T>, PackError> {
     let shape = validate(proc, desc, a_local, m_local)?;
     Ok(match opts.scheme {
-        PackScheme::Simple => simple::pack_sss(proc, &shape, a_local, m_local, opts),
-        PackScheme::CompactStorage => {
+        PackScheme::Simple => proc.with_stage("pack.sss", |proc| {
+            simple::pack_sss(proc, &shape, a_local, m_local, opts)
+        }),
+        PackScheme::CompactStorage => proc.with_stage("pack.css", |proc| {
             compact_storage::pack_css(proc, &shape, a_local, m_local, opts)
-        }
-        PackScheme::CompactMessage => {
+        }),
+        PackScheme::CompactMessage => proc.with_stage("pack.cms", |proc| {
             compact_message::pack_cms(proc, &shape, a_local, m_local, opts)
-        }
+        }),
     })
 }
 

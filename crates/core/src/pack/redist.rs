@@ -119,44 +119,50 @@ fn redistribute_selected<T: Wire + Default>(
     // Detection + composition: scan the mask; for each selected element,
     // combine its d indices into one global index (the paper's
     // message-minimising combine) and bucket the pair.
-    let sends = proc.with_category(Category::RedistDetect, |proc| {
-        let mut sends: Vec<Vec<(u32, T)>> = (0..nprocs).map(|_| Vec::new()).collect();
-        let mut selected = 0usize;
-        src.for_each_local_global(me, |l, g| {
-            if m_local[l] {
-                let glin = src.global_linear(g);
-                let (target, _) = dst.owner_of(g);
-                sends[target].push((glin as u32, a_local[l]));
-                selected += 1;
-            }
-        });
-        proc.charge_ops(m_local.len() + 2 * selected);
-        sends
+    let sends = proc.with_stage("redist.detect", |proc| {
+        proc.with_category(Category::RedistDetect, |proc| {
+            let mut sends: Vec<Vec<(u32, T)>> = (0..nprocs).map(|_| Vec::new()).collect();
+            let mut selected = 0usize;
+            src.for_each_local_global(me, |l, g| {
+                if m_local[l] {
+                    let glin = src.global_linear(g);
+                    let (target, _) = dst.owner_of(g);
+                    sends[target].push((glin as u32, a_local[l]));
+                    selected += 1;
+                }
+            });
+            proc.charge_ops(m_local.len() + 2 * selected);
+            sends
+        })
     });
 
-    let recvs = proc.with_category(Category::RedistComm, |proc| {
-        let world = proc.world();
-        alltoallv(proc, &world, sends, opts.schedule)
+    let recvs = proc.with_stage("redist.comm", |proc| {
+        proc.with_category(Category::RedistComm, |proc| {
+            let world = proc.world();
+            alltoallv(proc, &world, sends, opts.schedule)
+        })
     });
 
     // Receiver: initialise the temporary mask to all-false (charge L), then
     // decompose each global index and place the element.
-    proc.with_category(Category::RedistDetect, |proc| {
-        let len = dst.local_len(me);
-        let mut a_tmp = vec![T::default(); len];
-        let mut m_tmp = vec![false; len];
-        let mut placed = 0usize;
-        for msg in recvs {
-            for (glin, v) in msg {
-                let (owner, llin) = dst.owner_of_linear(glin as usize);
-                debug_assert_eq!(owner, me, "misrouted element");
-                a_tmp[llin] = v;
-                m_tmp[llin] = true;
-                placed += 1;
+    proc.with_stage("redist.detect", |proc| {
+        proc.with_category(Category::RedistDetect, |proc| {
+            let len = dst.local_len(me);
+            let mut a_tmp = vec![T::default(); len];
+            let mut m_tmp = vec![false; len];
+            let mut placed = 0usize;
+            for msg in recvs {
+                for (glin, v) in msg {
+                    let (owner, llin) = dst.owner_of_linear(glin as usize);
+                    debug_assert_eq!(owner, me, "misrouted element");
+                    a_tmp[llin] = v;
+                    m_tmp[llin] = true;
+                    placed += 1;
+                }
             }
-        }
-        proc.charge_ops(len + 2 * placed);
-        (a_tmp, m_tmp)
+            proc.charge_ops(len + 2 * placed);
+            (a_tmp, m_tmp)
+        })
     })
 }
 

@@ -42,8 +42,10 @@ pub fn rank_from_counts(
     counts: Vec<i32>,
     prs: PrsAlgorithm,
 ) -> Ranking {
-    let BaseRanks { ps, size } = intermediate_steps(proc, shape, counts, prs);
-    let ps_f = combine_base_ranks(proc, shape, ps);
+    let BaseRanks { ps, size } = proc.with_stage("rank.intermediate", |proc| {
+        intermediate_steps(proc, shape, counts, prs)
+    });
+    let ps_f = proc.with_stage("rank.final", |proc| combine_base_ranks(proc, shape, ps));
     Ranking { ps_f, size }
 }
 

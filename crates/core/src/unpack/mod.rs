@@ -39,7 +39,28 @@ pub fn unpack<T: Wire + Default>(
 ) -> Result<Vec<T>, UnpackError> {
     let shape = validate(proc, desc, m_local, f_local, v_local, v_layout)?;
     let w0 = shape.w[0];
+    let stage = match opts.scheme {
+        UnpackScheme::Simple => "unpack.sss",
+        UnpackScheme::CompactStorage => "unpack.css",
+    };
+    proc.with_stage(stage, |proc| {
+        unpack_body(proc, &shape, w0, m_local, f_local, v_local, v_layout, opts)
+    })
+}
 
+/// The UNPACK proper (validation and the scheme stage span live in
+/// [`unpack`]).
+#[allow(clippy::too_many_arguments)]
+fn unpack_body<T: Wire + Default>(
+    proc: &mut Proc,
+    shape: &RankShape,
+    w0: usize,
+    m_local: &[bool],
+    f_local: &[T],
+    v_local: &[T],
+    v_layout: &DimLayout,
+    opts: &UnpackOptions,
+) -> Result<Vec<T>, UnpackError> {
     // Initial scan (scheme-specific storage), then the shared ranking.
     enum Storage {
         Sss(simple::SssStorage),
@@ -55,7 +76,7 @@ pub fn unpack<T: Wire + Default>(
             (c, Storage::Css(s))
         }
     };
-    let ranking = crate::ranking::rank_from_counts(proc, &shape, counts, opts.prs);
+    let ranking = crate::ranking::rank_from_counts(proc, shape, counts, opts.prs);
     let size = ranking.size;
     if size > v_layout.n() {
         // `Size` is replicated, so every processor takes this branch — a
@@ -89,9 +110,11 @@ pub fn unpack<T: Wire + Default>(
             ),
         };
         // Stage 1: send rank requests to the owners of V.
-        let incoming = proc.with_category(Category::ManyToMany, |proc| {
-            let world = proc.world();
-            alltoallv(proc, &world, requests, opts.schedule)
+        let incoming = proc.with_stage("unpack.request", |proc| {
+            proc.with_category(Category::ManyToMany, |proc| {
+                let world = proc.world();
+                alltoallv(proc, &world, requests, opts.schedule)
+            })
         });
 
         // Service: look up each requested rank in my slice of V.
@@ -112,9 +135,11 @@ pub fn unpack<T: Wire + Default>(
         });
 
         // Stage 2: send the values back.
-        let values_back = proc.with_category(Category::ManyToMany, |proc| {
-            let world = proc.world();
-            alltoallv(proc, &world, replies, opts.schedule)
+        let values_back = proc.with_stage("unpack.reply", |proc| {
+            proc.with_category(Category::ManyToMany, |proc| {
+                let world = proc.world();
+                alltoallv(proc, &world, replies, opts.schedule)
+            })
         });
 
         // Scatter the replies into A at the recorded element slots.

@@ -83,36 +83,42 @@ fn indexed<T: Wire + Default>(
     // Sender-side detection + message composition: one pass over the local
     // data, computing each element's target and bucketing an
     // (index, value) pair.
-    let sends = proc.with_category(Category::RedistDetect, |proc| {
-        let mut sends: Vec<Vec<(u32, T)>> = (0..nprocs).map(|_| Vec::new()).collect();
-        src.for_each_local_global(me, |l, g| {
-            let glin = src.global_linear(g);
-            let (target, _) = dst.owner_of(g);
-            sends[target].push((glin as u32, local[l]));
-        });
-        proc.charge_ops(2 * local.len()); // destination computation + pair store
-        sends
+    let sends = proc.with_stage("redist.detect", |proc| {
+        proc.with_category(Category::RedistDetect, |proc| {
+            let mut sends: Vec<Vec<(u32, T)>> = (0..nprocs).map(|_| Vec::new()).collect();
+            src.for_each_local_global(me, |l, g| {
+                let glin = src.global_linear(g);
+                let (target, _) = dst.owner_of(g);
+                sends[target].push((glin as u32, local[l]));
+            });
+            proc.charge_ops(2 * local.len()); // destination computation + pair store
+            sends
+        })
     });
 
-    let recvs = proc.with_category(Category::RedistComm, |proc| {
-        let world = proc.world();
-        alltoallv(proc, &world, sends, schedule)
+    let recvs = proc.with_stage("redist.comm", |proc| {
+        proc.with_category(Category::RedistComm, |proc| {
+            let world = proc.world();
+            alltoallv(proc, &world, sends, schedule)
+        })
     });
 
     // Placement by decoding carried indices.
-    proc.with_category(Category::RedistDetect, |proc| {
-        let mut out = vec![T::default(); dst.local_len(me)];
-        let mut placed = 0usize;
-        for msg in recvs {
-            for (glin, v) in msg {
-                let (owner, llin) = dst.owner_of_linear(glin as usize);
-                debug_assert_eq!(owner, me, "misrouted element");
-                out[llin] = v;
-                placed += 1;
+    proc.with_stage("redist.detect", |proc| {
+        proc.with_category(Category::RedistDetect, |proc| {
+            let mut out = vec![T::default(); dst.local_len(me)];
+            let mut placed = 0usize;
+            for msg in recvs {
+                for (glin, v) in msg {
+                    let (owner, llin) = dst.owner_of_linear(glin as usize);
+                    debug_assert_eq!(owner, me, "misrouted element");
+                    out[llin] = v;
+                    placed += 1;
+                }
             }
-        }
-        proc.charge_ops(2 * placed); // index decode + store
-        out
+            proc.charge_ops(2 * placed); // index decode + store
+            out
+        })
     })
 }
 
@@ -128,44 +134,50 @@ fn detected<T: Wire + Default>(
 
     // Phase 1 detection (send side): enumerate my elements in ascending
     // global linear order and bucket the bare values.
-    let sends = proc.with_category(Category::RedistDetect, |proc| {
-        let mut order: Vec<(usize, usize)> = Vec::with_capacity(local.len());
-        src.for_each_local_global(me, |l, g| order.push((src.global_linear(g), l)));
-        order.sort_unstable();
-        let mut sends: Vec<Vec<T>> = (0..nprocs).map(|_| Vec::new()).collect();
-        for &(glin, l) in &order {
-            let (target, _) = dst.owner_of_linear(glin);
-            sends[target].push(local[l]);
-        }
-        proc.charge_ops(2 * local.len());
-        sends
+    let sends = proc.with_stage("redist.detect", |proc| {
+        proc.with_category(Category::RedistDetect, |proc| {
+            let mut order: Vec<(usize, usize)> = Vec::with_capacity(local.len());
+            src.for_each_local_global(me, |l, g| order.push((src.global_linear(g), l)));
+            order.sort_unstable();
+            let mut sends: Vec<Vec<T>> = (0..nprocs).map(|_| Vec::new()).collect();
+            for &(glin, l) in &order {
+                let (target, _) = dst.owner_of_linear(glin);
+                sends[target].push(local[l]);
+            }
+            proc.charge_ops(2 * local.len());
+            sends
+        })
     });
 
-    let recvs = proc.with_category(Category::RedistComm, |proc| {
-        let world = proc.world();
-        alltoallv(proc, &world, sends, schedule)
+    let recvs = proc.with_stage("redist.comm", |proc| {
+        proc.with_category(Category::RedistComm, |proc| {
+            let world = proc.world();
+            alltoallv(proc, &world, sends, schedule)
+        })
     });
 
     // Phase 2 detection (receive side): enumerate my *target* slots in the
     // same canonical order, computing each slot's source processor, and
     // consume the per-source streams in lockstep.
-    proc.with_category(Category::RedistDetect, |proc| {
-        let my_len = dst.local_len(me);
-        let mut order: Vec<(usize, usize)> = Vec::with_capacity(my_len);
-        dst.for_each_local_global(me, |l, g| order.push((dst.global_linear(g), l)));
-        order.sort_unstable();
-        let mut cursors = vec![0usize; nprocs];
-        let mut out = vec![T::default(); my_len];
-        for &(glin, l) in &order {
-            let (source, _) = src.owner_of_linear(glin);
-            out[l] = recvs[source][cursors[source]];
-            cursors[source] += 1;
-        }
-        for (s, &c) in cursors.iter().enumerate() {
-            debug_assert_eq!(c, recvs[s].len(), "stream from {s} not fully consumed");
-        }
-        proc.charge_ops(2 * my_len);
-        out
+    proc.with_stage("redist.detect", |proc| {
+        proc.with_category(Category::RedistDetect, |proc| {
+            let my_len = dst.local_len(me);
+            let mut order: Vec<(usize, usize)> = Vec::with_capacity(my_len);
+            dst.for_each_local_global(me, |l, g| order.push((dst.global_linear(g), l)));
+            order.sort_unstable();
+            let mut cursors = vec![0usize; nprocs];
+            let mut out = vec![T::default(); my_len];
+            for &(glin, l) in &order {
+                let (source, _) = src.owner_of_linear(glin);
+                out[l] = recvs[source][cursors[source]];
+                cursors[source] += 1;
+            }
+            for (s, &c) in cursors.iter().enumerate() {
+                debug_assert_eq!(c, recvs[s].len(), "stream from {s} not fully consumed");
+            }
+            proc.charge_ops(2 * my_len);
+            out
+        })
     })
 }
 

@@ -58,7 +58,7 @@ pub fn alltoallv<P: Payload + Default>(
     recvs[me] = std::mem::take(&mut sends[me]);
 
     match schedule {
-        A2aSchedule::LinearPermutation => {
+        A2aSchedule::LinearPermutation => proc.with_stage("a2a.linear", |proc| {
             for k in 1..n {
                 let dst = (me + k) % n;
                 let src = (me + n - k) % n;
@@ -69,8 +69,8 @@ pub fn alltoallv<P: Payload + Default>(
                 );
                 recvs[src] = proc.recv(group.id_of(src), tags::ALLTOALL);
             }
-        }
-        A2aSchedule::NaivePush => {
+        }),
+        A2aSchedule::NaivePush => proc.with_stage("a2a.naive", |proc| {
             for k in 1..n {
                 let dst = (me + k) % n;
                 proc.send(
@@ -83,21 +83,25 @@ pub fn alltoallv<P: Payload + Default>(
                 let src = (me + n - k) % n;
                 recvs[src] = proc.recv(group.id_of(src), tags::ALLTOALL);
             }
-        }
+        }),
         A2aSchedule::PairwiseExchange => {
             if n.is_power_of_two() {
-                for k in 1..n {
-                    let partner = me ^ k;
-                    proc.send(
-                        group.id_of(partner),
-                        tags::ALLTOALL,
-                        std::mem::take(&mut sends[partner]),
-                    );
-                    recvs[partner] = proc.recv(group.id_of(partner), tags::ALLTOALL);
-                }
+                proc.with_stage("a2a.pairwise", |proc| {
+                    for k in 1..n {
+                        let partner = me ^ k;
+                        proc.send(
+                            group.id_of(partner),
+                            tags::ALLTOALL,
+                            std::mem::take(&mut sends[partner]),
+                        );
+                        recvs[partner] = proc.recv(group.id_of(partner), tags::ALLTOALL);
+                    }
+                })
             } else {
                 // No perfect XOR matching exists; use the linear pairing.
-                return finish_linear(proc, group, sends, recvs);
+                return proc.with_stage("a2a.linear", |proc| {
+                    finish_linear(proc, group, sends, recvs)
+                });
             }
         }
     }
@@ -213,6 +217,7 @@ pub fn alltoallv_two_phase<T: Wire>(
             .bundles
             .push((dst as u32, payload));
     }
+    proc.marker("a2a.two_phase.relay");
     let relayed = alltoallv(proc, group, phase1, schedule);
 
     // Phase 2: regroup by final destination, tagging with the original
@@ -230,6 +235,7 @@ pub fn alltoallv_two_phase<T: Wire>(
             }
         }
     }
+    proc.marker("a2a.two_phase.deliver");
     let delivered = alltoallv(proc, group, phase2, schedule);
     for msg in delivered {
         for (src, items) in msg.bundles {

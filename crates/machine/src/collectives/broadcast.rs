@@ -17,31 +17,34 @@ pub fn broadcast<T: Wire>(proc: &mut Proc, group: &Group, root: usize, data: Vec
     // Rotate ranks so the root is virtual rank 0.
     let me = (group.my_rank() + n - root) % n;
 
-    let mut buf = if me == 0 { data } else { Vec::new() };
+    proc.with_stage("bcast.binomial", |proc| {
+        let mut buf = if me == 0 { data } else { Vec::new() };
 
-    // Highest power of two <= n-1 determines the first round in which a
-    // receiver can exist. Virtual rank v receives from v - 2^k where 2^k is
-    // the highest set bit of v, in round k; it forwards in later rounds.
-    let rounds = usize::BITS - (n - 1).leading_zeros();
-    if me != 0 {
-        let k = usize::BITS - 1 - me.leading_zeros();
-        let src_virtual = me - (1 << k);
-        let src = group.id_of((src_virtual + root) % n);
-        buf = proc.recv(src, tags::BCAST);
-    }
-    let first_send_round = if me == 0 {
-        0
-    } else {
-        (usize::BITS - me.leading_zeros()) as usize
-    };
-    for k in first_send_round..rounds as usize {
-        let dst_virtual = me + (1 << k);
-        if dst_virtual < n {
-            let dst = group.id_of((dst_virtual + root) % n);
-            proc.send(dst, tags::BCAST, buf.clone());
+        // Highest power of two <= n-1 determines the first round in which a
+        // receiver can exist. Virtual rank v receives from v - 2^k where 2^k
+        // is the highest set bit of v, in round k; it forwards in later
+        // rounds.
+        let rounds = usize::BITS - (n - 1).leading_zeros();
+        if me != 0 {
+            let k = usize::BITS - 1 - me.leading_zeros();
+            let src_virtual = me - (1 << k);
+            let src = group.id_of((src_virtual + root) % n);
+            buf = proc.recv(src, tags::BCAST);
         }
-    }
-    buf
+        let first_send_round = if me == 0 {
+            0
+        } else {
+            (usize::BITS - me.leading_zeros()) as usize
+        };
+        for k in first_send_round..rounds as usize {
+            let dst_virtual = me + (1 << k);
+            if dst_virtual < n {
+                let dst = group.id_of((dst_virtual + root) % n);
+                proc.send(dst, tags::BCAST, buf.clone());
+            }
+        }
+        buf
+    })
 }
 
 #[cfg(test)]

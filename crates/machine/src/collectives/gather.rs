@@ -70,13 +70,15 @@ pub fn allgather<T: Wire>(proc: &mut Proc, group: &Group, data: Vec<T>) -> Vec<V
     let next = group.id_of((me + 1) % n);
     let prev_rank = (me + n - 1) % n;
     let prev = group.id_of(prev_rank);
-    for k in 0..n.saturating_sub(1) {
-        // Forward the slot received k rounds ago (initially my own).
-        let fwd_slot = (me + n - k) % n;
-        proc.send(next, tags::GATHER, all[fwd_slot].clone());
-        let incoming_slot = (prev_rank + n - k) % n;
-        all[incoming_slot] = proc.recv(prev, tags::GATHER);
-    }
+    proc.with_stage("gather.ring", |proc| {
+        for k in 0..n.saturating_sub(1) {
+            // Forward the slot received k rounds ago (initially my own).
+            let fwd_slot = (me + n - k) % n;
+            proc.send(next, tags::GATHER, all[fwd_slot].clone());
+            let incoming_slot = (prev_rank + n - k) % n;
+            all[incoming_slot] = proc.recv(prev, tags::GATHER);
+        }
+    });
     all
 }
 

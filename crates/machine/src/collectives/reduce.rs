@@ -36,20 +36,22 @@ pub fn allreduce_with<T: Wire>(
     let n = group.size();
     let me = group.my_rank();
     let mut acc = v.to_vec();
-    let mut d = 1usize;
-    while d < n {
-        if me + d < n {
-            proc.send(group.id_of(me + d), tags::REDUCE, acc.clone());
-        }
-        if me >= d {
-            let their: Vec<T> = proc.recv(group.id_of(me - d), tags::REDUCE);
-            for (a, b) in acc.iter_mut().zip(&their) {
-                *a = op(*b, *a);
+    proc.with_stage("reduce.fold", |proc| {
+        let mut d = 1usize;
+        while d < n {
+            if me + d < n {
+                proc.send(group.id_of(me + d), tags::REDUCE, acc.clone());
             }
-            proc.charge_ops(v.len());
+            if me >= d {
+                let their: Vec<T> = proc.recv(group.id_of(me - d), tags::REDUCE);
+                for (a, b) in acc.iter_mut().zip(&their) {
+                    *a = op(*b, *a);
+                }
+                proc.charge_ops(v.len());
+            }
+            d *= 2;
         }
-        d *= 2;
-    }
+    });
     if n == 1 {
         return acc;
     }

@@ -82,16 +82,16 @@ pub fn prefix_reduction_sum<T: Num>(
         return (vec![T::default(); v.len()], v.to_vec());
     }
     match algo.resolve(n, v.len()) {
-        PrsAlgorithm::Direct => direct(proc, group, v),
-        PrsAlgorithm::Split => split(proc, group, v),
-        PrsAlgorithm::Hardware => {
+        PrsAlgorithm::Direct => proc.with_stage("prs.direct", |proc| direct(proc, group, v)),
+        PrsAlgorithm::Split => proc.with_stage("prs.split", |proc| split(proc, group, v)),
+        PrsAlgorithm::Hardware => proc.with_stage("prs.hw", |proc| {
             // Move the data with the software algorithm but charge nothing
             // for it; then charge what the control network would cost.
             let out = proc.with_uncharged_comm(|proc| split(proc, group, v));
             proc.clock().charge_hw_scan(v.len());
             proc.clock().charge_hw_scan(v.len());
             out
-        }
+        }),
         PrsAlgorithm::Auto => unreachable!("resolved above"),
     }
 }

@@ -55,6 +55,18 @@ pub(crate) enum Verdict {
     HoldBack(u8),
 }
 
+impl Verdict {
+    /// Short name used in trace annotations (`Deliver` is never annotated).
+    pub(crate) fn label(&self) -> &'static str {
+        match self {
+            Verdict::Deliver => "deliver",
+            Verdict::Drop => "drop",
+            Verdict::Duplicate => "duplicate",
+            Verdict::HoldBack(_) => "hold-back",
+        }
+    }
+}
+
 /// A seeded, deterministic schedule of network faults and processor crashes.
 ///
 /// Attach to a machine with [`crate::Machine::with_faults`]; the machine

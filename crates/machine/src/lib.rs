@@ -43,6 +43,7 @@ mod error;
 pub mod fault;
 mod machine;
 mod message;
+pub mod obs;
 mod proc;
 mod reliable;
 mod report;
@@ -54,6 +55,7 @@ pub use error::MachineError;
 pub use fault::{FaultPlan, LinkFaults};
 pub use machine::Machine;
 pub use message::{Mailbox, Packet, Payload, Wire};
+pub use obs::{Event, EventKind, MetricsSnapshot, ObsConfig};
 pub use proc::{tags, Group, Proc};
 pub use report::{Breakdown, RunOutput};
 pub use topology::ProcGrid;

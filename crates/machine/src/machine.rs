@@ -34,6 +34,7 @@ pub struct Machine {
     cost: CostModel,
     recv_timeout: Duration,
     tracing: bool,
+    metrics: bool,
     faults: Option<Arc<FaultPlan>>,
 }
 
@@ -50,13 +51,25 @@ impl Machine {
             cost,
             recv_timeout: Duration::from_secs(120),
             tracing: false,
+            metrics: false,
             faults: None,
         }
     }
 
-    /// Enable per-processor category-span tracing (see [`crate::trace`]).
+    /// Enable per-processor tracing: the clock's category spans (see
+    /// [`crate::trace`]) *and* the structured event log (see [`crate::obs`]),
+    /// which together export as Chrome `trace_event` JSON via
+    /// [`RunOutput::chrome_trace_json`].
     pub fn with_tracing(mut self, tracing: bool) -> Self {
         self.tracing = tracing;
+        self
+    }
+
+    /// Enable per-processor metric registries (counters, gauges, log₂
+    /// histograms — see [`crate::obs`]), collected into
+    /// [`RunOutput::metrics`].
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -180,6 +193,8 @@ impl Machine {
             crate::cost::ClockReport,
             Vec<crate::trace::Span>,
             Vec<u64>,
+            Vec<crate::obs::Event>,
+            crate::obs::MetricsSnapshot,
         );
         let mut out: Vec<Option<Result<ProcOk<R>, Failure>>> = (0..p).map(|_| None).collect();
 
@@ -192,13 +207,17 @@ impl Machine {
                 let program = &program;
                 let timeout = self.recv_timeout;
                 let tracing = self.tracing;
+                let obs = crate::obs::ObsConfig {
+                    events: self.tracing,
+                    metrics: self.metrics,
+                };
                 let plan = self.faults.clone();
                 handles.push(scope.spawn(move || {
                     let mut clock = SimClock::new(cost);
                     if tracing {
                         clock.enable_trace();
                     }
-                    let mut proc = Proc::new(id, grid, clock, txs, rx, timeout, plan);
+                    let mut proc = Proc::new(id, grid, clock, txs, rx, timeout, plan, obs);
                     let result = catch_unwind(AssertUnwindSafe(|| program(&mut proc)));
                     let outcome: Result<R, Failure> = match result {
                         Ok(r) => match proc.finish_transport() {
@@ -236,9 +255,12 @@ impl Machine {
                             }
                         }
                     }
-                    let (mut clock, comm_row, rx) = proc.into_parts();
+                    let (mut clock, comm_row, rx, events, metrics) = proc.into_parts();
                     let trace = clock.take_trace();
-                    (outcome.map(|r| (r, clock.report(), trace, comm_row)), rx)
+                    (
+                        outcome.map(|r| (r, clock.report(), trace, comm_row, events, metrics)),
+                        rx,
+                    )
                 }));
             }
             // Receiver endpoints come back from each joined thread and are
@@ -256,14 +278,18 @@ impl Machine {
         let mut clocks = Vec::with_capacity(p);
         let mut traces = Vec::with_capacity(p);
         let mut comm = Vec::with_capacity(p);
+        let mut events = Vec::with_capacity(p);
+        let mut metrics = Vec::with_capacity(p);
         let mut failures = Vec::new();
         for (id, slot) in out.into_iter().enumerate() {
             match slot.expect("every processor joined") {
-                Ok((r, c, trace, comm_row)) => {
+                Ok((r, c, trace, comm_row, evs, snap)) => {
                     results.push(r);
                     clocks.push(c);
                     traces.push(trace);
                     comm.push(comm_row);
+                    events.push(evs);
+                    metrics.push(snap);
                 }
                 Err(failure) => failures.push((id, failure)),
             }
@@ -274,6 +300,8 @@ impl Machine {
         let mut run = RunOutput::new(results, clocks);
         run.traces = traces;
         run.comm_matrix = comm;
+        run.events = events;
+        run.metrics = metrics;
         Ok(run)
     }
 }

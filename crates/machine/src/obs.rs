@@ -1,0 +1,911 @@
+//! Observability: structured event tracing and a metrics registry.
+//!
+//! The category spans of [`crate::trace`] answer *where did simulated time
+//! go*; this module answers *what happened*. When a machine is built with
+//! tracing enabled, every processor records a per-processor, simulated-time
+//! ordered log of structured [`Event`]s: stage span begin/end markers (named
+//! after the paper's algorithm stages), message sends and receives with
+//! source/destination/volume/sequence, and the reliable transport's
+//! retransmit / duplicate-drop / fault-verdict annotations. The log exports
+//! as Chrome `trace_event` JSON ([`chrome_trace_json`]), loadable in
+//! Perfetto or `chrome://tracing`, alongside the existing text Gantt.
+//!
+//! Independently, a machine built with metrics enabled gives each processor
+//! a [`Registry`] of named counters, gauges, and log₂-bucketed histograms
+//! (message sizes, retry latencies, mailbox depths, per-stage durations).
+//! Updates are lock-free (relaxed atomics; registration of a new name takes
+//! a short mutex, once). Per-processor snapshots are aggregated into
+//! [`crate::RunOutput`] and rendered as a human summary or JSON.
+//!
+//! Both facilities are disabled by default and cost one branch per send /
+//! receive / stage transition when off.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::trace::Span;
+
+/// Which observability facilities a machine enables. Both default to off;
+/// see [`crate::Machine::with_tracing`] and [`crate::Machine::with_metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Record structured [`Event`]s (alongside the clock's category spans).
+    pub events: bool,
+    /// Maintain per-processor metric registries.
+    pub metrics: bool,
+}
+
+impl ObsConfig {
+    /// True iff nothing is enabled (the zero-overhead fast path).
+    pub fn is_off(&self) -> bool {
+        !self.events && !self.metrics
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// One structured trace event, stamped with the recording processor's
+/// simulated clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Simulated time on the recording processor, nanoseconds.
+    pub ts_ns: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event vocabulary. Message volume is in 4-byte words (the unit the
+/// cost model charges `μ` per); `seq` is the reliable transport's per-link
+/// sequence number and is `None` on a fault-free machine, whose fast path
+/// does not sequence frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A named algorithm stage began (see [`crate::Proc::with_stage`]).
+    SpanBegin {
+        /// Stage name, e.g. `"rank.intermediate"`.
+        name: &'static str,
+    },
+    /// The matching stage ended.
+    SpanEnd {
+        /// Stage name.
+        name: &'static str,
+    },
+    /// A point annotation (e.g. a collective phase marker).
+    Marker {
+        /// Marker name.
+        name: &'static str,
+    },
+    /// A charged point-to-point send completed on this processor.
+    Send {
+        /// Destination processor.
+        dst: usize,
+        /// Message tag.
+        tag: u64,
+        /// Charged volume in words.
+        words: usize,
+        /// Transport sequence number (`None` on the fault-free fast path).
+        seq: Option<u64>,
+        /// Simulated arrival time at the receiver (injected delay included).
+        arrival_ns: f64,
+    },
+    /// A message was delivered to this processor's mailbox.
+    Recv {
+        /// Source processor.
+        src: usize,
+        /// Message tag.
+        tag: u64,
+        /// Charged volume in words.
+        words: usize,
+        /// Transport sequence number (`None` on the fault-free fast path).
+        seq: Option<u64>,
+    },
+    /// The reliable transport retransmitted an unacknowledged message.
+    Retransmit {
+        /// Destination of the retried message.
+        dst: usize,
+        /// Its sequence number.
+        seq: u64,
+        /// Which retry this was (1 = first retransmission).
+        attempt: u32,
+    },
+    /// The receiver discarded a duplicate frame.
+    DupDrop {
+        /// The duplicate's source.
+        src: usize,
+        /// Its sequence number.
+        seq: u64,
+    },
+    /// The fault injector decided the fate of one transmission attempt
+    /// (only non-`Deliver` verdicts are recorded).
+    FaultVerdict {
+        /// Destination of the transmission.
+        dst: usize,
+        /// Its sequence number.
+        seq: u64,
+        /// The verdict: `"drop"`, `"duplicate"`, or `"hold-back"`.
+        verdict: &'static str,
+    },
+}
+
+/// Transport-side observations buffered inside [`crate::reliable`] (which
+/// has no clock access) and drained by the owning processor, which stamps
+/// them with its current simulated time. Retransmit timing is wall-clock
+/// driven, so these annotations carry the only wall-clock-derived quantity
+/// in the event log (`latency_us`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TransportEvent {
+    /// A retry fired: `(dst, seq, attempt, wall-clock µs since first send)`.
+    Retransmit(usize, u64, u32, u64),
+    /// A duplicate frame from `src` with sequence `seq` was discarded.
+    DupDrop(usize, u64),
+    /// The injector returned a non-`Deliver` verdict for `(dst, seq)`.
+    Verdict(usize, u64, &'static str),
+}
+
+// ---------------------------------------------------------------------------
+// Metrics primitives
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter. Increments are single relaxed
+/// atomic adds — lock-free and wait-free.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: remembers the last value set and the maximum ever set.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    last: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    /// Record the instantaneous value `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.last.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// `(last, max)` as currently recorded.
+    pub fn get(&self) -> (u64, u64) {
+        (
+            self.last.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Number of log₂ buckets: bucket 0 holds the value 0; bucket `b ≥ 1` holds
+/// values in `[2^(b-1), 2^b)`; the last bucket additionally absorbs
+/// everything at or above `2^63`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log₂-scaled histogram of `u64` samples (message words, latencies in
+/// µs, queue depths, stage durations). Observation is one relaxed atomic
+/// add into the sample's bucket plus count/sum upkeep — lock-free.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of a sample: 0 for 0, else `1 + floor(log₂ v)`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Freeze into a snapshot.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((i as u8, n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Immutable histogram snapshot: only non-empty buckets are kept.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// `(bucket index, sample count)` for each non-empty bucket, ascending.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merge another snapshot into this one, bucket-wise.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for &(b, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&b, |&(i, _)| i) {
+                Ok(pos) => self.buckets[pos].1 += n,
+                Err(pos) => self.buckets.insert(pos, (b, n)),
+            }
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) from the bucket boundaries:
+    /// returns the upper bound of the bucket containing the `q`-th sample.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(b, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return if b == 0 { 0 } else { 1u64 << b.min(63) };
+            }
+        }
+        self.max
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// A named-metric registry. Looking up (or creating) a metric by name takes
+/// a short mutex; the returned handle updates lock-free, so hot paths hold
+/// handles and never touch the maps. One registry per processor — snapshots
+/// are merged across processors by [`MetricsSnapshot::merge`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("registry poisoned");
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("registry poisoned");
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::default());
+        map.insert(name.to_string(), Arc::clone(&g));
+        g
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("registry poisoned");
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::default());
+        map.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// Freeze every registered metric into a snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(k, v)| {
+                    let (last, max) = v.get();
+                    (k.clone(), GaugeValue { last, max })
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A gauge's frozen state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GaugeValue {
+    /// Last value set.
+    pub last: u64,
+    /// Maximum value ever set.
+    pub max: u64,
+}
+
+/// All of one processor's metrics, frozen at the end of a run (or the merge
+/// of several processors' snapshots).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, GaugeValue>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Merge `other` into `self`: counters add, gauges keep the overall
+    /// maximum (and the maximum of lasts), histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let e = self.gauges.entry(k.clone()).or_default();
+            e.last = e.last.max(v.last);
+            e.max = e.max.max(v.max);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+    }
+
+    /// Value of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Human-readable multi-line summary, stable order.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "{k} = {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "{k} = {} (max {})", v.last, v.max);
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{k}: n={} mean={:.1} p50~{} p99~{} max={}",
+                h.count,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                h.max
+            );
+        }
+        out
+    }
+
+    /// Render as a JSON object (stable key order; no external dependencies).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        push_map(&mut out, &self.counters, |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str("},\"gauges\":{");
+        push_map(&mut out, &self.gauges, |out, v| {
+            let _ = write!(out, "{{\"last\":{},\"max\":{}}}", v.last, v.max);
+        });
+        out.push_str("},\"histograms\":{");
+        push_map(&mut out, &self.histograms, |out, h| {
+            let _ = write!(
+                out,
+                "{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+                h.count, h.sum, h.max
+            );
+            for (i, (b, n)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{b},{n}]");
+            }
+            out.push_str("]}");
+        });
+        out.push_str("}}");
+        out
+    }
+}
+
+fn push_map<V>(out: &mut String, map: &BTreeMap<String, V>, mut val: impl FnMut(&mut String, &V)) {
+    for (i, (k, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(out, k);
+        out.push_str("\":");
+        val(out, v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace_event export
+// ---------------------------------------------------------------------------
+
+/// Escape a string into a JSON string body (quotes not included).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Microseconds (the trace_event unit) from nanoseconds.
+#[inline]
+fn us(ns: f64) -> f64 {
+    ns / 1000.0
+}
+
+/// Flow-event id tying a sequenced send to its receive: unique per
+/// `(src, dst, seq)` for the grids this simulator runs (`P < 2^16`).
+#[inline]
+fn flow_id(src: usize, dst: usize, seq: u64) -> u64 {
+    ((src as u64) << 44) | ((dst as u64) << 28) | (seq & ((1 << 28) - 1))
+}
+
+/// Timestamp tie-break key making the export byte-stable run to run.
+///
+/// Concurrently-arriving messages are logged in whatever order the OS
+/// scheduled the receiving thread, so the raw log order varies even though
+/// every timestamp is simulated. Message events get a content key; span and
+/// marker events all rank equal (and first), so the stable sort preserves
+/// their program order and `B`/`E` pairing survives zero-length stages.
+fn tie_break(kind: &EventKind) -> (u8, u64, u64, u64, &'static str) {
+    match kind {
+        EventKind::SpanBegin { .. } | EventKind::SpanEnd { .. } | EventKind::Marker { .. } => {
+            (0, 0, 0, 0, "")
+        }
+        EventKind::Send {
+            dst,
+            tag,
+            seq,
+            words,
+            ..
+        } => (
+            1,
+            *dst as u64,
+            *tag,
+            seq.map_or(0, |s| s + 1) << 32 | *words as u64,
+            "",
+        ),
+        EventKind::Recv {
+            src,
+            tag,
+            seq,
+            words,
+        } => (
+            2,
+            *src as u64,
+            *tag,
+            seq.map_or(0, |s| s + 1) << 32 | *words as u64,
+            "",
+        ),
+        EventKind::Retransmit { dst, seq, attempt } => (3, *dst as u64, *seq, *attempt as u64, ""),
+        EventKind::DupDrop { src, seq } => (4, *src as u64, *seq, 0, ""),
+        EventKind::FaultVerdict { dst, seq, verdict } => (5, *dst as u64, *seq, 0, verdict),
+    }
+}
+
+/// Export category spans and structured events as Chrome `trace_event`
+/// JSON, loadable in Perfetto or `chrome://tracing`.
+///
+/// Each simulated processor becomes one trace *process* with three threads:
+/// `categories` (the clock-category spans of [`crate::trace`], as complete
+/// `X` slices), `stages` (algorithm-stage `B`/`E` slices and markers), and
+/// `messages` (send / receive / retransmit / duplicate-drop / fault-verdict
+/// instants). Sequenced sends and their receives are additionally linked
+/// with flow events (`s`/`f`), which Perfetto draws as arrows.
+///
+/// Timestamps are *simulated* microseconds; `traces` and `events` are
+/// indexed by processor id (either may be empty).
+pub fn chrome_trace_json(traces: &[Vec<Span>], events: &[Vec<Event>]) -> String {
+    let nprocs = traces.len().max(events.len());
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |out: &mut String, body: &str| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(body);
+    };
+    let mut buf = String::new();
+    for pid in 0..nprocs {
+        buf.clear();
+        let _ = write!(
+            buf,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"proc {pid}\"}}}}"
+        );
+        for (tid, tname) in [(0, "categories"), (1, "stages"), (2, "messages")] {
+            let _ = write!(
+                buf,
+                ",{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{tname}\"}}}}"
+            );
+        }
+        emit(&mut out, &buf);
+    }
+    for (pid, spans) in traces.iter().enumerate() {
+        for s in spans {
+            buf.clear();
+            let _ = write!(
+                buf,
+                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":0,\"ts\":{:.3},\"dur\":{:.3},\
+                 \"name\":\"{}\",\"cat\":\"category\"}}",
+                us(s.start_ns),
+                us(s.end_ns - s.start_ns),
+                s.category.label()
+            );
+            emit(&mut out, &buf);
+        }
+    }
+    for (pid, evs) in events.iter().enumerate() {
+        let mut ordered: Vec<&Event> = evs.iter().collect();
+        ordered.sort_by(|a, b| {
+            a.ts_ns
+                .total_cmp(&b.ts_ns)
+                .then_with(|| tie_break(&a.kind).cmp(&tie_break(&b.kind)))
+        });
+        for e in ordered {
+            buf.clear();
+            let ts = us(e.ts_ns);
+            match &e.kind {
+                EventKind::SpanBegin { name } => {
+                    let _ = write!(
+                        buf,
+                        "{{\"ph\":\"B\",\"pid\":{pid},\"tid\":1,\"ts\":{ts:.3},\
+                         \"name\":\"{name}\",\"cat\":\"stage\"}}"
+                    );
+                }
+                EventKind::SpanEnd { name } => {
+                    let _ = write!(
+                        buf,
+                        "{{\"ph\":\"E\",\"pid\":{pid},\"tid\":1,\"ts\":{ts:.3},\
+                         \"name\":\"{name}\",\"cat\":\"stage\"}}"
+                    );
+                }
+                EventKind::Marker { name } => {
+                    let _ = write!(
+                        buf,
+                        "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":1,\"ts\":{ts:.3},\
+                         \"name\":\"{name}\",\"cat\":\"marker\",\"s\":\"t\"}}"
+                    );
+                }
+                EventKind::Send {
+                    dst,
+                    tag,
+                    words,
+                    seq,
+                    arrival_ns,
+                } => {
+                    let _ = write!(
+                        buf,
+                        "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":2,\"ts\":{ts:.3},\
+                         \"name\":\"send\",\"cat\":\"msg\",\"s\":\"t\",\"args\":{{\
+                         \"dst\":{dst},\"tag\":{tag},\"words\":{words},\
+                         \"arrival_us\":{:.3}{}}}}}",
+                        us(*arrival_ns),
+                        match seq {
+                            Some(s) => format!(",\"seq\":{s}"),
+                            None => String::new(),
+                        }
+                    );
+                    if let Some(s) = seq {
+                        let _ = write!(
+                            buf,
+                            ",{{\"ph\":\"s\",\"pid\":{pid},\"tid\":2,\"ts\":{ts:.3},\
+                             \"name\":\"msg\",\"cat\":\"flow\",\"id\":{}}}",
+                            flow_id(pid, *dst, *s)
+                        );
+                    }
+                }
+                EventKind::Recv {
+                    src,
+                    tag,
+                    words,
+                    seq,
+                } => {
+                    let _ = write!(
+                        buf,
+                        "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":2,\"ts\":{ts:.3},\
+                         \"name\":\"recv\",\"cat\":\"msg\",\"s\":\"t\",\"args\":{{\
+                         \"src\":{src},\"tag\":{tag},\"words\":{words}{}}}}}",
+                        match seq {
+                            Some(s) => format!(",\"seq\":{s}"),
+                            None => String::new(),
+                        }
+                    );
+                    if let Some(s) = seq {
+                        let _ = write!(
+                            buf,
+                            ",{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":{pid},\"tid\":2,\
+                             \"ts\":{ts:.3},\"name\":\"msg\",\"cat\":\"flow\",\"id\":{}}}",
+                            flow_id(*src, pid, *s)
+                        );
+                    }
+                }
+                EventKind::Retransmit { dst, seq, attempt } => {
+                    let _ = write!(
+                        buf,
+                        "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":2,\"ts\":{ts:.3},\
+                         \"name\":\"retransmit\",\"cat\":\"fault\",\"s\":\"t\",\"args\":{{\
+                         \"dst\":{dst},\"seq\":{seq},\"attempt\":{attempt}}}}}"
+                    );
+                }
+                EventKind::DupDrop { src, seq } => {
+                    let _ = write!(
+                        buf,
+                        "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":2,\"ts\":{ts:.3},\
+                         \"name\":\"dup-drop\",\"cat\":\"fault\",\"s\":\"t\",\"args\":{{\
+                         \"src\":{src},\"seq\":{seq}}}}}"
+                    );
+                }
+                EventKind::FaultVerdict { dst, seq, verdict } => {
+                    let _ = write!(
+                        buf,
+                        "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":2,\"ts\":{ts:.3},\
+                         \"name\":\"fault-verdict\",\"cat\":\"fault\",\"s\":\"t\",\"args\":{{\
+                         \"dst\":{dst},\"seq\":{seq},\"verdict\":\"{verdict}\"}}}}"
+                    );
+                }
+            }
+            emit(&mut out, &buf);
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Category;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_snapshot_and_merge() {
+        let h = Histogram::default();
+        for v in [0, 1, 1, 5, 1000] {
+            h.observe(v);
+        }
+        let mut a = h.snapshot();
+        assert_eq!(a.count, 5);
+        assert_eq!(a.sum, 1007);
+        assert_eq!(a.max, 1000);
+        assert_eq!(a.buckets, vec![(0, 1), (1, 2), (3, 1), (10, 1)]);
+
+        let h2 = Histogram::default();
+        h2.observe(6);
+        h2.observe(2000);
+        a.merge(&h2.snapshot());
+        assert_eq!(a.count, 7);
+        assert_eq!(a.max, 2000);
+        assert_eq!(a.buckets, vec![(0, 1), (1, 2), (3, 2), (10, 1), (11, 1)]);
+        // Median of {0,1,1,5,6,1000,2000} is 5 → bucket 3 upper bound 8.
+        assert_eq!(a.quantile(0.5), 8);
+        assert_eq!(a.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn registry_handles_are_shared() {
+        let r = Registry::new();
+        let c1 = r.counter("x");
+        let c2 = r.counter("x");
+        c1.inc();
+        c2.add(2);
+        assert_eq!(r.snapshot().counter("x"), 3);
+        let g = r.gauge("depth");
+        g.set(5);
+        g.set(2);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauges["depth"], GaugeValue { last: 2, max: 5 });
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_maxes_gauges() {
+        let a = Registry::new();
+        a.counter("n").add(2);
+        a.gauge("g").set(7);
+        let b = Registry::new();
+        b.counter("n").add(3);
+        b.counter("only_b").inc();
+        b.gauge("g").set(4);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.counter("n"), 5);
+        assert_eq!(m.counter("only_b"), 1);
+        assert_eq!(m.gauges["g"].max, 7);
+    }
+
+    #[test]
+    fn metrics_json_is_well_formed() {
+        let r = Registry::new();
+        r.counter("msg.sent").add(4);
+        r.histogram("msg.words").observe(16);
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"msg.sent\":4"), "{json}");
+        assert!(json.contains("\"buckets\":[[5,1]]"), "{json}");
+        // Balanced braces/brackets (cheap structural check without a parser).
+        let depth = json.chars().fold(0i32, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn chrome_trace_contains_spans_and_events() {
+        let traces = vec![vec![Span {
+            category: Category::LocalComp,
+            start_ns: 0.0,
+            end_ns: 1000.0,
+        }]];
+        let events = vec![vec![
+            Event {
+                ts_ns: 0.0,
+                kind: EventKind::SpanBegin { name: "rank" },
+            },
+            Event {
+                ts_ns: 500.0,
+                kind: EventKind::Send {
+                    dst: 1,
+                    tag: 7,
+                    words: 3,
+                    seq: Some(0),
+                    arrival_ns: 500.0,
+                },
+            },
+            Event {
+                ts_ns: 900.0,
+                kind: EventKind::SpanEnd { name: "rank" },
+            },
+        ]];
+        let json = chrome_trace_json(&traces, &events);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"name\":\"send\""), "{json}");
+        assert!(json.contains("\"ph\":\"s\""), "flow start missing: {json}");
+        assert!(json.contains("\"proc 0\""), "{json}");
+        let depth = json.chars().fold(0i32, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn flow_ids_are_distinct_per_link_and_seq() {
+        let mut ids = std::collections::HashSet::new();
+        for src in 0..4 {
+            for dst in 0..4 {
+                for seq in 0..8 {
+                    ids.insert(flow_id(src, dst, seq));
+                }
+            }
+        }
+        assert_eq!(ids.len(), 4 * 4 * 8);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "a\\\"b\\\\c\\nd");
+    }
+}

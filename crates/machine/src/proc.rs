@@ -17,6 +17,10 @@ use crate::cost::{Category, SimClock};
 use crate::error::MachineError;
 use crate::fault::FaultPlan;
 use crate::message::{Frame, Mailbox, Packet, Payload};
+use crate::obs::{
+    Counter, Event, EventKind, Gauge, Histogram, MetricsSnapshot, ObsConfig, Registry,
+    TransportEvent,
+};
 use crate::reliable::{Transport, POLL_SLICE};
 use crate::topology::ProcGrid;
 
@@ -89,6 +93,35 @@ impl Group {
     }
 }
 
+/// Hot-path metric handles, resolved once at processor start so that every
+/// update is a single lock-free atomic operation (see [`crate::obs`]).
+struct ProcMetrics {
+    registry: Registry,
+    msg_sent: Arc<Counter>,
+    msg_recvd: Arc<Counter>,
+    msg_words: Arc<Histogram>,
+    mailbox_depth: Arc<Gauge>,
+    retransmits: Arc<Counter>,
+    dup_drops: Arc<Counter>,
+    retry_latency_us: Arc<Histogram>,
+}
+
+impl ProcMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        ProcMetrics {
+            msg_sent: registry.counter("msg.sent"),
+            msg_recvd: registry.counter("msg.recvd"),
+            msg_words: registry.histogram("msg.words"),
+            mailbox_depth: registry.gauge("mailbox.depth"),
+            retransmits: registry.counter("transport.retransmits"),
+            dup_drops: registry.counter("transport.dup_drops"),
+            retry_latency_us: registry.histogram("transport.retry_latency_us"),
+            registry,
+        }
+    }
+}
+
 /// Handle to one virtual processor inside a running SPMD program.
 pub struct Proc<'m> {
     id: usize,
@@ -103,9 +136,14 @@ pub struct Proc<'m> {
     transport: Option<Transport>,
     /// Charged words sent to each destination (self and padding excluded).
     words_to: Vec<u64>,
+    /// Structured event log, present iff the machine traces.
+    events: Option<Vec<Event>>,
+    /// Metric registry + cached hot-path handles, present iff enabled.
+    metrics: Option<ProcMetrics>,
 }
 
 impl<'m> Proc<'m> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         id: usize,
         grid: &'m ProcGrid,
@@ -114,11 +152,15 @@ impl<'m> Proc<'m> {
         rx: Receiver<Frame>,
         recv_timeout: Duration,
         plan: Option<Arc<FaultPlan>>,
+        obs: ObsConfig,
     ) -> Self {
         let nprocs = grid.nprocs();
-        let transport = plan
+        let mut transport = plan
             .filter(|p| !p.is_benign())
             .map(|p| Transport::new(p, nprocs));
+        if let Some(t) = transport.as_mut() {
+            t.record = !obs.is_off();
+        }
         Proc {
             id,
             grid,
@@ -129,6 +171,8 @@ impl<'m> Proc<'m> {
             recv_timeout,
             transport,
             words_to: vec![0; nprocs],
+            events: obs.events.then(Vec::new),
+            metrics: obs.metrics.then(ProcMetrics::new),
         }
     }
 
@@ -199,6 +243,85 @@ impl<'m> Proc<'m> {
         out
     }
 
+    /// Append one structured event (no-op unless the machine traces).
+    #[inline]
+    fn record(&mut self, ts_ns: f64, kind: EventKind) {
+        if let Some(ev) = self.events.as_mut() {
+            ev.push(Event { ts_ns, kind });
+        }
+    }
+
+    /// Run `f` as the named algorithm stage. When tracing is on, the stage
+    /// is bracketed by [`EventKind::SpanBegin`]/[`EventKind::SpanEnd`]
+    /// events; when metrics are on, its simulated duration is observed in
+    /// the `stage.<name>.us` histogram. One branch each when both are off.
+    ///
+    /// Stage names are `"."`-separated and stable — they are the join key
+    /// between traces, metrics, perf reports, and the paper's section
+    /// structure (see DESIGN.md §8).
+    pub fn with_stage<R>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> R) -> R {
+        if self.events.is_none() && self.metrics.is_none() {
+            return f(self);
+        }
+        let t0 = self.clock.now_ns();
+        self.record(t0, EventKind::SpanBegin { name });
+        let out = f(self);
+        let t1 = self.clock.now_ns();
+        self.record(t1, EventKind::SpanEnd { name });
+        if let Some(m) = self.metrics.as_ref() {
+            let us = ((t1 - t0) / 1000.0).max(0.0) as u64;
+            m.registry
+                .histogram(&format!("stage.{name}.us"))
+                .observe(us);
+        }
+        out
+    }
+
+    /// Drop a named point annotation at the current simulated time (e.g. a
+    /// collective phase boundary). No-op unless the machine traces.
+    #[inline]
+    pub fn marker(&mut self, name: &'static str) {
+        if self.events.is_some() {
+            let now = self.clock.now_ns();
+            self.record(now, EventKind::Marker { name });
+        }
+    }
+
+    /// Timestamp and fold the transport's buffered observations into the
+    /// event log and metrics. Retransmit timing is wall-clock driven, so
+    /// these events carry the *current* simulated time — the instant the
+    /// processor noticed, which is the honest simulated-time statement.
+    fn drain_transport_events(&mut self) {
+        let evs = match self.transport.as_mut() {
+            Some(t) if t.record => t.take_events(),
+            _ => return,
+        };
+        if evs.is_empty() {
+            return;
+        }
+        let now = self.clock.now_ns();
+        for ev in evs {
+            match ev {
+                TransportEvent::Retransmit(dst, seq, attempt, waited_us) => {
+                    self.record(now, EventKind::Retransmit { dst, seq, attempt });
+                    if let Some(m) = self.metrics.as_ref() {
+                        m.retransmits.inc();
+                        m.retry_latency_us.observe(waited_us);
+                    }
+                }
+                TransportEvent::DupDrop(src, seq) => {
+                    self.record(now, EventKind::DupDrop { src, seq });
+                    if let Some(m) = self.metrics.as_ref() {
+                        m.dup_drops.inc();
+                    }
+                }
+                TransportEvent::Verdict(dst, seq, verdict) => {
+                    self.record(now, EventKind::FaultVerdict { dst, seq, verdict });
+                }
+            }
+        }
+    }
+
     /// The group of all processors (world communicator).
     pub fn world(&self) -> Group {
         Group::new((0..self.nprocs()).collect(), self.id)
@@ -253,7 +376,7 @@ impl<'m> Proc<'m> {
             self.words_to[dst] += words as u64;
             self.clock.charge_send(words)
         };
-        match self.transport.as_mut() {
+        let seq = match self.transport.as_mut() {
             None => {
                 let pkt = Packet {
                     src: self.id,
@@ -265,18 +388,41 @@ impl<'m> Proc<'m> {
                 // The receiver's endpoint lives as long as the run (the
                 // driver parks channel endpoints until every thread joins).
                 let _ = self.senders[dst].send(Frame::Raw(pkt));
+                None
             }
-            Some(t) => {
-                t.send(
-                    self.id,
-                    self.senders,
-                    dst,
-                    tag,
-                    arrival_ns,
-                    words,
-                    Box::new(data),
+            Some(t) => Some(t.send(
+                self.id,
+                self.senders,
+                dst,
+                tag,
+                arrival_ns,
+                words,
+                Box::new(data),
+            )),
+        };
+        if words > 0 {
+            if self.events.is_some() {
+                let now = self.clock.now_ns();
+                self.record(
+                    now,
+                    EventKind::Send {
+                        dst,
+                        tag,
+                        words,
+                        seq,
+                        arrival_ns,
+                    },
                 );
             }
+            if let Some(m) = self.metrics.as_ref() {
+                m.msg_sent.inc();
+                m.msg_words.observe(words as u64);
+            }
+        }
+        // The first transmission attempt may already have drawn a fault
+        // verdict worth annotating.
+        if seq.is_some() {
+            self.drain_transport_events();
         }
     }
 
@@ -348,6 +494,7 @@ impl<'m> Proc<'m> {
         loop {
             if let Some(t) = self.transport.as_mut() {
                 t.pump(self.id, self.senders)?;
+                self.drain_transport_events();
             }
             let slice = if self.transport.is_some() {
                 POLL_SLICE
@@ -381,15 +528,24 @@ impl<'m> Proc<'m> {
     /// state, poison aborts this processor with the peer's failure.
     fn dispatch(&mut self, frame: Frame) -> Result<(), MachineError> {
         match frame {
-            Frame::Raw(p) => self.mailbox.hold(p),
+            Frame::Raw(p) => {
+                self.note_delivery(&p, None);
+                self.mailbox.hold(p);
+                self.note_mailbox_depth();
+            }
             Frame::Data { seq, pkt } => {
-                let t = self
+                let ready = self
                     .transport
                     .as_mut()
-                    .expect("sequenced frame on a machine without a fault plan");
-                for p in t.on_data(self.id, self.senders, seq, pkt) {
+                    .expect("sequenced frame on a machine without a fault plan")
+                    .on_data(self.id, self.senders, seq, pkt);
+                // Surface any duplicate-drop annotation the frame produced.
+                self.drain_transport_events();
+                for (s, p) in ready {
+                    self.note_delivery(&p, Some(s));
                     self.mailbox.hold(p);
                 }
+                self.note_mailbox_depth();
             }
             Frame::Ack { from, seq } => {
                 if let Some(t) = self.transport.as_mut() {
@@ -404,6 +560,37 @@ impl<'m> Proc<'m> {
             }
         }
         Ok(())
+    }
+
+    /// Record one remote packet reaching the mailbox. Stamped with the
+    /// packet's simulated arrival time; zero-word padding and uncharged
+    /// control traffic (clock sync, `arrival = -∞`) are not observed.
+    fn note_delivery(&mut self, pkt: &Packet, seq: Option<u64>) {
+        if pkt.words == 0 || !pkt.arrival_ns.is_finite() {
+            return;
+        }
+        if self.events.is_some() {
+            self.record(
+                pkt.arrival_ns,
+                EventKind::Recv {
+                    src: pkt.src,
+                    tag: pkt.tag,
+                    words: pkt.words,
+                    seq,
+                },
+            );
+        }
+        if let Some(m) = self.metrics.as_ref() {
+            m.msg_recvd.inc();
+        }
+    }
+
+    /// Sample the mailbox backlog gauge (after a delivery).
+    #[inline]
+    fn note_mailbox_depth(&mut self) {
+        if let Some(m) = self.metrics.as_ref() {
+            m.mailbox_depth.set(self.mailbox.len() as u64);
+        }
     }
 
     /// Synchronise the clocks of all group members to the maximum member
@@ -475,11 +662,14 @@ impl<'m> Proc<'m> {
         }
         let deadline = Instant::now() + self.recv_timeout;
         loop {
+            let mut all_acked = false;
             if let Some(t) = self.transport.as_mut() {
                 t.pump(self.id, self.senders)?;
-                if !t.has_unacked() {
-                    return Ok(());
-                }
+                all_acked = !t.has_unacked();
+            }
+            self.drain_transport_events();
+            if all_acked {
+                return Ok(());
             }
             if let Ok(frame) = self.rx.recv_timeout(POLL_SLICE) {
                 self.dispatch(frame)?;
@@ -506,14 +696,29 @@ impl<'m> Proc<'m> {
         self.mailbox.len()
     }
 
-    /// Tear down: fold transport diagnostics into the clock and hand the
-    /// channel endpoint back so the driver can keep it alive until all
-    /// processors have joined.
-    pub(crate) fn into_parts(mut self) -> (SimClock, Vec<u64>, Receiver<Frame>) {
+    /// Tear down: fold transport diagnostics into the clock, freeze the
+    /// event log and metrics, and hand the channel endpoint back so the
+    /// driver can keep it alive until all processors have joined.
+    pub(crate) fn into_parts(
+        mut self,
+    ) -> (
+        SimClock,
+        Vec<u64>,
+        Receiver<Frame>,
+        Vec<Event>,
+        MetricsSnapshot,
+    ) {
+        self.drain_transport_events();
         if let Some(t) = self.transport.as_ref() {
             self.clock.note_transport(t.retransmits, t.dup_drops);
         }
-        (self.clock, self.words_to, self.rx)
+        let events = self.events.take().unwrap_or_default();
+        let metrics = self
+            .metrics
+            .take()
+            .map(|m| m.registry.snapshot())
+            .unwrap_or_default();
+        (self.clock, self.words_to, self.rx, events, metrics)
     }
 
     /// Charged words this processor has sent to each destination so far

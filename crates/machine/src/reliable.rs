@@ -33,6 +33,7 @@ use crate::cost::Words;
 use crate::error::MachineError;
 use crate::fault::{FaultPlan, Verdict};
 use crate::message::{Frame, Packet, Payload};
+use crate::obs::TransportEvent;
 
 /// How long a receive loop sleeps between transport pumps while a fault
 /// plan is active (retry timers are checked at this granularity).
@@ -55,6 +56,8 @@ struct Stored {
     arrival_ns: f64,
     /// Transmissions so far (1 after the original send).
     attempts: u32,
+    /// Wall-clock instant of the original send (retry-latency diagnostic).
+    first_sent: Instant,
     /// Wall-clock deadline for the next retransmission.
     deadline: Instant,
     /// Current backoff interval.
@@ -89,6 +92,10 @@ pub(crate) struct Transport {
     pub(crate) retransmits: u64,
     /// Duplicate frames discarded by the receiver (diagnostic).
     pub(crate) dup_drops: u64,
+    /// When set, buffer [`TransportEvent`]s for the owning processor to
+    /// drain and timestamp (the transport itself has no clock access).
+    pub(crate) record: bool,
+    events: Vec<TransportEvent>,
 }
 
 impl Transport {
@@ -104,7 +111,14 @@ impl Transport {
             send_steps: 0,
             retransmits: 0,
             dup_drops: 0,
+            record: false,
+            events: Vec::new(),
         }
+    }
+
+    /// Drain the buffered transport observations (empty unless `record`).
+    pub(crate) fn take_events(&mut self) -> Vec<TransportEvent> {
+        std::mem::take(&mut self.events)
     }
 
     pub(crate) fn plan(&self) -> &FaultPlan {
@@ -115,6 +129,7 @@ impl Transport {
     /// first transmission attempt. `base_arrival_ns` is the fault-free
     /// arrival time; the plan's per-message delay is added here, once,
     /// keyed by sequence number, so retries replay the same timestamp.
+    /// Returns the sequence number assigned to the message.
     #[allow(clippy::too_many_arguments)] // mirrors the Packet fields plus routing
     pub(crate) fn send(
         &mut self,
@@ -125,10 +140,11 @@ impl Transport {
         base_arrival_ns: f64,
         words: Words,
         payload: Box<dyn Payload>,
-    ) {
+    ) -> u64 {
         let seq = self.next_seq[dst];
         self.next_seq[dst] += 1;
         let arrival_ns = base_arrival_ns + self.plan.delay_ns(me, dst, seq);
+        let now = Instant::now();
         self.unacked.insert(
             (dst, seq),
             Stored {
@@ -137,11 +153,13 @@ impl Transport {
                 words,
                 arrival_ns,
                 attempts: 1,
-                deadline: Instant::now() + RTO_INITIAL,
+                first_sent: now,
+                deadline: now + RTO_INITIAL,
                 backoff: RTO_INITIAL,
             },
         );
         self.transmit(me, senders, dst, seq, 0);
+        seq
     }
 
     /// One transmission attempt of `(dst, seq)`, subject to the fault plan.
@@ -153,7 +171,12 @@ impl Transport {
         seq: u64,
         attempt: u32,
     ) {
-        match self.plan.verdict(me, dst, seq, attempt) {
+        let verdict = self.plan.verdict(me, dst, seq, attempt);
+        if self.record && verdict != Verdict::Deliver {
+            self.events
+                .push(TransportEvent::Verdict(dst, seq, verdict.label()));
+        }
+        match verdict {
             Verdict::Drop => {}
             Verdict::Deliver => self.phys_send(me, senders, dst, seq),
             Verdict::Duplicate => {
@@ -203,21 +226,24 @@ impl Transport {
     }
 
     /// Receiver side: acknowledge and order one incoming data frame.
-    /// Returns the packets that became deliverable, in sequence order
-    /// (empty for duplicates and out-of-order arrivals).
+    /// Returns the `(seq, packet)` pairs that became deliverable, in
+    /// sequence order (empty for duplicates and out-of-order arrivals).
     pub(crate) fn on_data(
         &mut self,
         me: usize,
         senders: &[Sender<Frame>],
         seq: u64,
         pkt: Packet,
-    ) -> Vec<Packet> {
+    ) -> Vec<(u64, Packet)> {
         let src = pkt.src;
         // Always (re-)ack: the earlier ack may still be in flight while the
         // sender retransmits, and acks are idempotent.
         let _ = senders[src].send(Frame::Ack { from: me, seq });
         if seq < self.expected[src] {
             self.dup_drops += 1;
+            if self.record {
+                self.events.push(TransportEvent::DupDrop(src, seq));
+            }
             return Vec::new();
         }
         if seq > self.expected[src] {
@@ -225,14 +251,19 @@ impl Transport {
                 std::collections::btree_map::Entry::Vacant(e) => {
                     e.insert(pkt);
                 }
-                std::collections::btree_map::Entry::Occupied(_) => self.dup_drops += 1,
+                std::collections::btree_map::Entry::Occupied(_) => {
+                    self.dup_drops += 1;
+                    if self.record {
+                        self.events.push(TransportEvent::DupDrop(src, seq));
+                    }
+                }
             }
             return Vec::new();
         }
-        let mut ready = vec![pkt];
+        let mut ready = vec![(seq, pkt)];
         self.expected[src] += 1;
         while let Some(p) = self.reorder[src].remove(&self.expected[src]) {
-            ready.push(p);
+            ready.push((self.expected[src], p));
             self.expected[src] += 1;
         }
         ready
@@ -259,6 +290,7 @@ impl Transport {
             .collect();
         for (dst, seq) in due {
             let attempt;
+            let waited_us;
             {
                 let st = self
                     .unacked
@@ -273,11 +305,16 @@ impl Transport {
                     });
                 }
                 attempt = st.attempts;
+                waited_us = st.first_sent.elapsed().as_micros() as u64;
                 st.attempts += 1;
                 st.backoff = (st.backoff * 2).min(RTO_CAP);
                 st.deadline = now + st.backoff;
             }
             self.retransmits += 1;
+            if self.record {
+                self.events
+                    .push(TransportEvent::Retransmit(dst, seq, attempt, waited_us));
+            }
             self.transmit(me, senders, dst, seq, attempt);
         }
         Ok(())
@@ -357,6 +394,41 @@ mod tests {
         assert_eq!(t.retransmits, 1);
     }
 
+    #[test]
+    fn recording_buffers_verdict_retransmit_and_dup_events() {
+        let (txs, _rxs) = wires(2);
+        let mut t = Transport::new(Arc::new(plan_dropping_first()), 2);
+        t.record = true;
+        let seq = t.send(0, &txs, 1, 7, 0.0, 1, Box::new(vec![1i32]));
+        assert_eq!(seq, 0);
+        for st in t.unacked.values_mut() {
+            st.deadline = Instant::now() - Duration::from_millis(1);
+        }
+        t.pump(0, &txs).unwrap();
+        // Stale duplicate on the receive side of the same transport.
+        t.expected[1] = 5;
+        let dup = Packet {
+            src: 1,
+            tag: 7,
+            arrival_ns: 0.0,
+            words: 1,
+            data: Box::new(vec![0i32]),
+        };
+        assert!(t.on_data(0, &txs, 2, dup).is_empty());
+        let evs = t.take_events();
+        assert!(
+            matches!(evs[0], TransportEvent::Verdict(1, 0, "drop")),
+            "first event should be the dropped attempt's verdict"
+        );
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, TransportEvent::Retransmit(1, 0, 1, _))));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, TransportEvent::DupDrop(1, 2))));
+        assert!(t.take_events().is_empty(), "drain must consume the buffer");
+    }
+
     /// A plan whose link 0→1 drops attempt 0 of seq 0 and delivers attempt 1.
     fn plan_dropping_first() -> FaultPlan {
         let mut seed = 0u64;
@@ -387,9 +459,14 @@ mod tests {
         assert_eq!(t.dup_drops, 1);
         // seq 0 arrives: both become deliverable, in order.
         let ready = t.on_data(0, &txs, 0, pkt(0));
+        assert_eq!(
+            ready.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![0, 1],
+            "delivered packets must carry their sequence numbers"
+        );
         let vals: Vec<i32> = ready
             .into_iter()
-            .map(|p| p.data.downcast::<Vec<i32>>().unwrap()[0])
+            .map(|(_, p)| p.data.downcast::<Vec<i32>>().unwrap()[0])
             .collect();
         assert_eq!(vals, vec![0, 1]);
         // stale duplicate of seq 0: dropped.

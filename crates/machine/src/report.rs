@@ -3,6 +3,7 @@
 //! in total, in milliseconds.
 
 use crate::cost::{Category, ClockReport};
+use crate::obs::{Event, MetricsSnapshot};
 
 /// Everything a [`crate::Machine::run`] call produced: per-processor results
 /// and per-processor clock reports, both indexed by processor id.
@@ -18,6 +19,12 @@ pub struct RunOutput<R> {
     /// Charged words sent from each source (row) to each destination
     /// (column); self-messages and padding are zero.
     pub comm_matrix: Vec<Vec<u64>>,
+    /// Per-processor structured event logs (empty unless the machine was
+    /// built with tracing enabled — see [`crate::obs`]).
+    pub events: Vec<Vec<Event>>,
+    /// Per-processor metric snapshots (empty unless the machine was built
+    /// with [`crate::Machine::with_metrics`]).
+    pub metrics: Vec<MetricsSnapshot>,
 }
 
 impl<R> RunOutput<R> {
@@ -27,18 +34,50 @@ impl<R> RunOutput<R> {
             clocks,
             traces: Vec::new(),
             comm_matrix: Vec::new(),
+            events: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
     /// The heaviest single source→destination flow, as
     /// `(src, dst, words)` — a quick balance diagnostic.
+    ///
+    /// Ties are broken deterministically: among equally heavy flows, the
+    /// lowest `(src, dst)` in lexicographic order wins, so the figure is
+    /// stable across runs and fit for perf reports.
     pub fn heaviest_flow(&self) -> Option<(usize, usize, u64)> {
         self.comm_matrix
             .iter()
             .enumerate()
             .flat_map(|(s, row)| row.iter().enumerate().map(move |(d, &w)| (s, d, w)))
             .filter(|&(_, _, w)| w > 0)
-            .max_by_key(|&(_, _, w)| w)
+            .fold(None, |best: Option<(usize, usize, u64)>, cand| match best {
+                Some((_, _, bw)) if bw >= cand.2 => best,
+                _ => Some(cand),
+            })
+    }
+
+    /// Export the run's traces and structured events as Chrome
+    /// `trace_event` JSON, loadable in [Perfetto](https://ui.perfetto.dev)
+    /// or `chrome://tracing` (see [`crate::obs::chrome_trace_json`]).
+    pub fn chrome_trace_json(&self) -> String {
+        crate::obs::chrome_trace_json(&self.traces, &self.events)
+    }
+
+    /// All processors' metric snapshots merged into one (counters add,
+    /// gauges keep maxima, histograms merge bucket-wise). Empty when the
+    /// machine ran without metrics.
+    pub fn merged_metrics(&self) -> MetricsSnapshot {
+        let mut merged = MetricsSnapshot::default();
+        for m in &self.metrics {
+            merged.merge(m);
+        }
+        merged
+    }
+
+    /// Total structured events recorded across all processors.
+    pub fn total_events(&self) -> usize {
+        self.events.iter().map(Vec::len).sum()
     }
 
     /// Coefficient of imbalance of per-processor sent volume:
@@ -139,6 +178,8 @@ impl<R> RunOutput<R> {
             clocks: self.clocks.clone(),
             traces: self.traces.clone(),
             comm_matrix: self.comm_matrix.clone(),
+            events: self.events.clone(),
+            metrics: self.metrics.clone(),
         }
     }
 }
@@ -204,6 +245,19 @@ mod tests {
         assert_eq!(out.max_cat_ms(Category::LocalComp), 4.0);
         assert_eq!(out.mean_cat_ms(Category::LocalComp), 3.0);
         assert_eq!(out.max_time_ms(), 4.0);
+    }
+
+    #[test]
+    fn heaviest_flow_ties_break_to_lowest_src_dst() {
+        let mut out = RunOutput::new(vec![(), (), ()], Vec::new());
+        // Three flows share the maximum weight 9: (0,2), (1,0), (2,1).
+        out.comm_matrix = vec![vec![0, 3, 9], vec![9, 0, 1], vec![2, 9, 0]];
+        assert_eq!(out.heaviest_flow(), Some((0, 2, 9)));
+        // And with the (0,2) flow lightened, the next-lowest pair wins.
+        out.comm_matrix[0][2] = 1;
+        assert_eq!(out.heaviest_flow(), Some((1, 0, 9)));
+        out.comm_matrix = vec![vec![0; 3]; 3];
+        assert_eq!(out.heaviest_flow(), None);
     }
 
     #[test]

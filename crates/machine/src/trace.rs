@@ -59,16 +59,26 @@ pub fn render_gantt(traces: &[Vec<Span>], cols: usize) -> String {
     }
     let col_ns = t_max / cols as f64;
     for (pid, spans) in traces.iter().enumerate() {
-        // Dominant category per column.
+        // Dominant category per column. A span ending exactly on a column
+        // boundary must contribute nothing past it, but `end_ns / col_ns`
+        // is inexact in floating point, so a `ceil`-derived last column can
+        // overshoot and a sliver of rounding error would paint an idle
+        // column. Instead walk columns until the span is exhausted and
+        // ignore overlaps below a rounding-noise tolerance.
+        let eps = col_ns * 1e-9;
         let mut weights = vec![[0.0f64; Category::ALL.len()]; cols];
         for s in spans {
             let first = ((s.start_ns / col_ns) as usize).min(cols - 1);
-            let last = ((s.end_ns / col_ns).ceil() as usize).clamp(first + 1, cols);
-            for (c, w) in weights.iter_mut().enumerate().take(last).skip(first) {
+            for (c, w) in weights.iter_mut().enumerate().skip(first) {
                 let lo = (c as f64) * col_ns;
+                if lo + eps >= s.end_ns {
+                    break;
+                }
                 let hi = lo + col_ns;
-                let overlap = (s.end_ns.min(hi) - s.start_ns.max(lo)).max(0.0);
-                w[s.category.index()] += overlap;
+                let overlap = s.end_ns.min(hi) - s.start_ns.max(lo);
+                if overlap > eps {
+                    w[s.category.index()] += overlap;
+                }
             }
         }
         out.push_str(&format!("p{pid:<3} |"));
@@ -126,6 +136,21 @@ mod tests {
         let traces = vec![vec![span(Category::LocalComp, 50.0, 100.0)]];
         let g = render_gantt(&traces, 10);
         assert!(g.lines().next().unwrap().contains(".....LLLLL"), "{g}");
+    }
+
+    #[test]
+    fn span_ending_on_column_boundary_does_not_bleed() {
+        // col_ns = 0.3 / 3 is inexact, so column 2's left edge lands a hair
+        // below 0.2 and the old ceil-based range painted it with a sliver
+        // of the [0, 0.2] span. The span covers exactly columns 0 and 1.
+        let traces = vec![
+            vec![span(Category::LocalComp, 0.0, 0.2)],
+            vec![span(Category::PrefixReductionSum, 0.0, 0.3)],
+        ];
+        let g = render_gantt(&traces, 3);
+        let lines: Vec<&str> = g.lines().collect();
+        assert!(lines[0].contains("LL."), "boundary span bled: {g}");
+        assert!(lines[1].contains("PPP"), "{g}");
     }
 
     #[test]

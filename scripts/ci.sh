@@ -13,6 +13,27 @@ echo "== cargo test =="
 cargo test --workspace -q
 
 echo "== chaos smoke (fault-injected PACK/UNPACK roundtrips) =="
-cargo run -p hpf-bench --release --bin chaos -- --seed 1 --iters 5
+chaos_trace="$(mktemp)"
+cargo run -p hpf-bench --release --bin chaos -- --seed 1 --iters 5 --trace-out "$chaos_trace"
+
+echo "== trace export parses as Chrome trace_event JSON =="
+python3 - "$chaos_trace" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+names = {e.get("name", "") for e in events}
+for want in ("send", "recv", "retransmit", "dup-drop", "fault-verdict"):
+    assert any(want in n for n in names), f"trace is missing {want} events"
+assert any(e.get("ph") == "X" for e in events), "trace has no span events"
+print(f"trace check: {len(events)} events OK")
+EOF
+rm -f "$chaos_trace"
+
+echo "== perf smoke (machine-readable bench report + schema validation) =="
+perf_json="$(mktemp)"
+cargo run -p hpf-bench --release --bin perf -- --smoke --out "$perf_json"
+python3 scripts/validate_bench.py "$perf_json"
+rm -f "$perf_json"
 
 echo "ci: all gates passed"

@@ -2,8 +2,17 @@
 # Regenerate every canonical experiment output in results/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-for b in table1 table2 fig3 fig4 fig5 prs scaling ablations balance timeline; do
+for b in table1 table2 fig3 fig4 fig5 prs scaling ablations balance; do
   echo "== $b =="
   cargo run -p hpf-bench --release --bin "$b" > "results/$b.txt"
 done
+
+echo "== timeline (+ Perfetto trace) =="
+cargo run -p hpf-bench --release --bin timeline -- --trace-out results/timeline-trace.json \
+  > results/timeline.txt
+
+echo "== perf (machine-readable BENCH_<rev>.json) =="
+cargo run -p hpf-bench --release --bin perf
+python3 scripts/validate_bench.py "results/BENCH_$(git rev-parse --short HEAD).json"
+
 echo "done; outputs in results/"

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_<rev>.json perf report against scripts/bench-schema.json.
+
+Stdlib-only: implements the subset of JSON Schema the schema file uses
+(type, required, properties, items, enum, minimum, minItems), then applies
+coverage checks the schema cannot express (every paper scheme must appear).
+
+Usage: validate_bench.py REPORT.json [SCHEMA.json]
+Exit code 0 on success, 1 with a diagnostic per violation otherwise.
+"""
+
+import json
+import os
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def check(instance, schema, path, errors):
+    """Recursively validate `instance` against the schema subset."""
+    if "enum" in schema:
+        if instance not in schema["enum"]:
+            errors.append(f"{path}: {instance!r} not in {schema['enum']}")
+        return
+
+    types = schema.get("type")
+    if types is not None:
+        allowed = types if isinstance(types, list) else [types]
+        ok = False
+        for t in allowed:
+            py = TYPES[t]
+            if isinstance(instance, py) and not (
+                t in ("integer", "number") and isinstance(instance, bool)
+            ):
+                ok = True
+                break
+        if not ok:
+            errors.append(f"{path}: expected {allowed}, got {type(instance).__name__}")
+            return
+
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        if "minimum" in schema and instance < schema["minimum"]:
+            errors.append(f"{path}: {instance} < minimum {schema['minimum']}")
+
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in instance:
+                check(instance[key], sub, f"{path}.{key}", errors)
+
+    if isinstance(instance, list):
+        if "minItems" in schema and len(instance) < schema["minItems"]:
+            errors.append(f"{path}: {len(instance)} items < minItems {schema['minItems']}")
+        item_schema = schema.get("items")
+        if item_schema:
+            for i, item in enumerate(instance):
+                check(item, item_schema, f"{path}[{i}]", errors)
+
+
+def coverage_checks(report, errors):
+    """Paper coverage: all PACK schemes, both redistributions, both UNPACK
+    schemes, and the four application kernels must be present."""
+    names = [w["name"] for w in report.get("workloads", []) if isinstance(w, dict)]
+    required_prefixes = [
+        "pack.sss", "pack.css", "pack.cms",
+        "pack.red1", "pack.red2",
+        "unpack.sss", "unpack.css",
+        "apps.compaction", "apps.sort", "apps.spmv", "apps.gather",
+    ]
+    for prefix in required_prefixes:
+        if not any(n == prefix or n.startswith(prefix + ".") for n in names):
+            errors.append(f"coverage: no workload named {prefix}[.*]")
+    # Each stage time is a per-category max over processors, so it can never
+    # exceed the critical-path total (the max over processors of the sums).
+    for w in report.get("workloads", []):
+        if not isinstance(w, dict) or "stages_ms" not in w:
+            continue
+        total = w.get("total_ms", 0)
+        if not isinstance(total, (int, float)):
+            continue
+        for stage, v in w["stages_ms"].items():
+            if isinstance(v, (int, float)) and v > total * 1.001 + 1e-9:
+                errors.append(
+                    f"workload {w.get('name')}: stage {stage} = {v} exceeds total {total}"
+                )
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    report_path = sys.argv[1]
+    schema_path = (
+        sys.argv[2]
+        if len(sys.argv) == 3
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench-schema.json")
+    )
+    with open(report_path) as f:
+        report = json.load(f)
+    with open(schema_path) as f:
+        schema = json.load(f)
+
+    errors = []
+    check(report, schema, "$", errors)
+    if not errors:  # coverage checks assume a structurally valid report
+        coverage_checks(report, errors)
+
+    if errors:
+        for e in errors:
+            print(f"validate_bench: {e}", file=sys.stderr)
+        return 1
+    print(
+        f"validate_bench: {report_path} OK "
+        f"({len(report['workloads'])} workloads, rev {report['rev']}, {report['mode']} mode)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
