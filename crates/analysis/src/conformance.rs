@@ -1,0 +1,106 @@
+//! Section 6.4 cost-model conformance: measured local-operation counters
+//! versus the paper's closed-form predictions.
+//!
+//! The clock counts elementary operations per [`Category`] independently
+//! of the cost model (counts, not times), and
+//! [`hpf_core::MaskStats`] recomputes the Section 6.4 formulas from the
+//! global mask alone. Whenever the two drift apart, either the
+//! implementation stopped doing what the paper says or the formulas were
+//! transcribed wrong — both worth failing a build over. This module is
+//! the comparison: per-processor relative error against a tolerance.
+//!
+//! [`Category`]: hpf_machine::Category
+
+/// Outcome of checking one workload's measured `LocalComp` operation
+/// counts against a Section 6.4 prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conformance {
+    /// Scheme label, e.g. `"pack.css"`.
+    pub scheme: String,
+    /// Predicted per-processor operation counts.
+    pub predicted: Vec<u64>,
+    /// Measured per-processor operation counts.
+    pub measured: Vec<u64>,
+    /// Worst per-processor relative error, `|m - p| / max(p, 1)`.
+    pub rel_error: f64,
+    /// Tolerance the check ran with.
+    pub tol: f64,
+    /// `rel_error <= tol`.
+    pub pass: bool,
+}
+
+impl Conformance {
+    /// Compare measured against predicted counts. Vectors must have equal
+    /// length (one entry per processor); a length mismatch fails with
+    /// infinite error rather than panicking.
+    pub fn evaluate(scheme: &str, predicted: &[u64], measured: &[u64], tol: f64) -> Conformance {
+        let rel_error = if predicted.len() == measured.len() {
+            predicted
+                .iter()
+                .zip(measured)
+                .map(|(&p, &m)| p.abs_diff(m) as f64 / (p.max(1)) as f64)
+                .fold(0.0f64, f64::max)
+        } else {
+            f64::INFINITY
+        };
+        Conformance {
+            scheme: scheme.to_string(),
+            predicted: predicted.to_vec(),
+            measured: measured.to_vec(),
+            rel_error,
+            tol,
+            pass: rel_error <= tol,
+        }
+    }
+
+    /// Aggregate predicted operations (all processors).
+    pub fn predicted_total(&self) -> u64 {
+        self.predicted.iter().sum()
+    }
+
+    /// Aggregate measured operations (all processors).
+    pub fn measured_total(&self) -> u64 {
+        self.measured.iter().sum()
+    }
+
+    /// One-line summary, e.g. for the perf report's stdout.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: predicted {} measured {} rel_error {:.2e} -> {}",
+            self.scheme,
+            self.predicted_total(),
+            self.measured_total(),
+            self.rel_error,
+            if self.pass { "pass" } else { "FAIL" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_passes_at_zero_tolerance() {
+        let c = Conformance::evaluate("pack.sss", &[10, 20], &[10, 20], 0.0);
+        assert!(c.pass);
+        assert_eq!(c.rel_error, 0.0);
+        assert_eq!(c.predicted_total(), 30);
+    }
+
+    #[test]
+    fn drift_is_measured_per_processor() {
+        // Aggregates agree (30 vs 30) but processors disagree — the check
+        // must not be fooled by compensating errors.
+        let c = Conformance::evaluate("pack.css", &[10, 20], &[12, 18], 0.05);
+        assert!(!c.pass);
+        assert!((c.rel_error - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_mismatch_fails_not_panics() {
+        let c = Conformance::evaluate("x", &[1, 2], &[1], 1e9);
+        assert!(!c.pass);
+        assert!(c.rel_error.is_infinite());
+    }
+}

@@ -1,0 +1,553 @@
+//! Critical-path extraction from structured event logs.
+//!
+//! A simulated run finishes when its slowest processor does, but *why* that
+//! processor finished late is invisible in aggregate timings: its final
+//! local time folds in every wait it absorbed from messages and barrier
+//! syncs. This module recovers the actual dependency chain by walking
+//! backward from the finish:
+//!
+//! * while a processor computed without waiting, time accrues as a **busy
+//!   segment**, attributed to the innermost stage span covering it;
+//! * a [`EventKind::Consume`] whose `waited_ns > 0` means the processor
+//!   was blocked on the wire — the chain hops to the sender through the
+//!   matching [`EventKind::Send`], found by exact `arrival_ns` equality
+//!   (the consume copies the packet's arrival bit-for-bit precisely so
+//!   this join never misses);
+//! * a [`EventKind::Barrier`] means a clock sync jumped this processor
+//!   forward — the chain hops to the recorded owner (the slowest member),
+//!   at the same instant.
+//!
+//! The resulting segments tile `[0, T]` exactly (`T` = completion time):
+//! every nanosecond of the run is on the path, attributed to a stage, a
+//! link, or (under fault-injected delays) blocked time. A defensive step
+//! limit guards against degenerate zero-cost models where hops stop
+//! making progress.
+
+use std::collections::{BTreeMap, HashMap};
+
+use hpf_machine::{ClockReport, Event, EventKind, RunOutput};
+
+/// One piece of the critical path, on one processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Processor the segment runs on.
+    pub proc: usize,
+    /// Segment start, simulated nanoseconds.
+    pub start_ns: f64,
+    /// Segment end, simulated nanoseconds (`>= start_ns`).
+    pub end_ns: f64,
+    /// What the processor was doing.
+    pub kind: SegmentKind,
+}
+
+impl Segment {
+    /// Segment length in nanoseconds.
+    pub fn len_ns(&self) -> f64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// What a critical-path [`Segment`] was spent on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SegmentKind {
+    /// Local computation (or untraced work) on the processor.
+    Busy,
+    /// A message in flight on the `src → dst` link the path crossed;
+    /// `src` is recorded here, `dst` is the segment's processor.
+    Transfer {
+        /// Sending processor.
+        src: usize,
+    },
+    /// Blocked with no matching send event (only under partial traces).
+    Blocked,
+}
+
+/// Per-processor accounting of the whole run (every processor, not just
+/// those on the critical path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcBreakdown {
+    /// Time advancing the local clock by charged work, ns.
+    pub busy_ns: f64,
+    /// Time blocked waiting for message arrivals, ns.
+    pub blocked_ns: f64,
+    /// Time absorbed jumping forward at clock syncs, ns.
+    pub barrier_ns: f64,
+    /// Time between this processor's finish and the machine's, ns.
+    pub idle_ns: f64,
+}
+
+/// The extracted critical path plus whole-run load statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CritPath {
+    /// Machine completion time (slowest processor), ns.
+    pub total_ns: f64,
+    /// Path nanoseconds spent computing.
+    pub busy_ns: f64,
+    /// Path nanoseconds spent on message transfers.
+    pub transfer_ns: f64,
+    /// Path nanoseconds blocked without an identifiable sender.
+    pub blocked_ns: f64,
+    /// Send→consume edges the path crossed.
+    pub hops: usize,
+    /// Barrier edges the path crossed.
+    pub barriers: usize,
+    /// Busy time attributed to each stage span, sorted by name;
+    /// untraced busy time appears under `"(untracked)"`.
+    pub by_stage_ns: Vec<(String, f64)>,
+    /// Transfer time per `(src, dst)` link, sorted.
+    pub by_link_ns: Vec<((usize, usize), f64)>,
+    /// The path itself, in reverse chronological order (finish → start).
+    pub segments: Vec<Segment>,
+    /// Whole-run busy/blocked/barrier/idle per processor.
+    pub procs: Vec<ProcBreakdown>,
+}
+
+/// Name under which busy time outside any stage span is attributed.
+const UNTRACKED: &str = "(untracked)";
+
+/// Dependency points on one processor, sorted by timestamp.
+struct Dep {
+    ts_ns: f64,
+    kind: DepKind,
+}
+
+enum DepKind {
+    Consume {
+        src: usize,
+        arrival_bits: u64,
+        waited_ns: f64,
+    },
+    Barrier {
+        owner: usize,
+    },
+}
+
+impl CritPath {
+    /// Extract the critical path from a finished run. Works on any run;
+    /// without tracing the whole path is one untracked busy segment.
+    pub fn from_run<R>(out: &RunOutput<R>) -> CritPath {
+        CritPath::from_parts(&out.events, &out.clocks)
+    }
+
+    /// Extract from raw event logs and clock reports (both indexed by
+    /// processor id; `events` may be empty or shorter than `clocks`).
+    pub fn from_parts(events: &[Vec<Event>], clocks: &[ClockReport]) -> CritPath {
+        let nprocs = clocks.len();
+        let total_ns = clocks.iter().map(|c| c.now_ns).fold(0.0f64, f64::max);
+        let evs = |p: usize| events.get(p).map(Vec::as_slice).unwrap_or(&[]);
+
+        // --- Whole-run per-processor breakdown --------------------------
+        let procs: Vec<ProcBreakdown> = (0..nprocs)
+            .map(|p| {
+                let mut blocked = 0.0;
+                let mut barrier = 0.0;
+                for e in evs(p) {
+                    match e.kind {
+                        EventKind::Consume { waited_ns, .. } => blocked += waited_ns,
+                        EventKind::Barrier { waited_ns, .. } => barrier += waited_ns,
+                        _ => {}
+                    }
+                }
+                let now = clocks[p].now_ns;
+                ProcBreakdown {
+                    busy_ns: (now - blocked - barrier).max(0.0),
+                    blocked_ns: blocked,
+                    barrier_ns: barrier,
+                    idle_ns: (total_ns - now).max(0.0),
+                }
+            })
+            .collect();
+
+        // --- Indexes for the backward walk ------------------------------
+        // Dependency points per processor: consumes that actually waited,
+        // and barrier jumps. Event logs are time-ordered per processor
+        // (the clock is monotone), so these inherit sorted order.
+        let deps: Vec<Vec<Dep>> = (0..nprocs)
+            .map(|p| {
+                evs(p)
+                    .iter()
+                    .filter_map(|e| match e.kind {
+                        EventKind::Consume {
+                            src,
+                            waited_ns,
+                            arrival_ns,
+                            ..
+                        } if waited_ns > 0.0 => Some(Dep {
+                            ts_ns: e.ts_ns,
+                            kind: DepKind::Consume {
+                                src,
+                                arrival_bits: arrival_ns.to_bits(),
+                                waited_ns,
+                            },
+                        }),
+                        EventKind::Barrier { owner, .. } => Some(Dep {
+                            ts_ns: e.ts_ns,
+                            kind: DepKind::Barrier { owner },
+                        }),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // (src, dst, arrival bits) → send completion time. The consume's
+        // `arrival_ns` is copied bit-for-bit from the packet, so this
+        // lookup is exact; keep the earliest on (theoretical) collisions.
+        let mut sends: HashMap<(usize, usize, u64), f64> = HashMap::new();
+        for (p, pe) in events.iter().enumerate() {
+            for e in pe {
+                if let EventKind::Send {
+                    dst, arrival_ns, ..
+                } = e.kind
+                {
+                    sends
+                        .entry((p, dst, arrival_ns.to_bits()))
+                        .and_modify(|t| *t = t.min(e.ts_ns))
+                        .or_insert(e.ts_ns);
+                }
+            }
+        }
+
+        // Innermost stage spans per processor, as disjoint sorted
+        // intervals (start, end, name).
+        let stages: Vec<Vec<(f64, f64, &'static str)>> =
+            (0..nprocs).map(|p| stage_intervals(evs(p))).collect();
+
+        // --- Backward walk ----------------------------------------------
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut by_stage: BTreeMap<String, f64> = BTreeMap::new();
+        let mut by_link: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+        let (mut busy_ns, mut transfer_ns, mut blocked_ns) = (0.0, 0.0, 0.0);
+        let (mut hops, mut barriers) = (0usize, 0usize);
+
+        // Start on the slowest processor (lowest id on ties, for
+        // determinism).
+        let mut p = (0..nprocs)
+            .max_by(|&a, &b| {
+                clocks[a]
+                    .now_ns
+                    .partial_cmp(&clocks[b].now_ns)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.cmp(&a))
+            })
+            .unwrap_or(0);
+        let mut cur = total_ns;
+        // Fault-free hops strictly decrease `cur`; the limit only matters
+        // for degenerate zero-cost models where ties can cycle.
+        let step_limit = 4 * events.iter().map(Vec::len).sum::<usize>() + nprocs + 16;
+
+        let push_busy = |p: usize,
+                         start: f64,
+                         end: f64,
+                         segments: &mut Vec<Segment>,
+                         by_stage: &mut BTreeMap<String, f64>,
+                         busy_ns: &mut f64| {
+            if end <= start {
+                return;
+            }
+            *busy_ns += end - start;
+            attribute_stages(&stages[p], start, end, by_stage);
+            segments.push(Segment {
+                proc: p,
+                start_ns: start,
+                end_ns: end,
+                kind: SegmentKind::Busy,
+            });
+        };
+
+        for _ in 0..step_limit {
+            if cur <= 0.0 {
+                break;
+            }
+            let pd = &deps[p];
+            let idx = pd.partition_point(|d| d.ts_ns <= cur);
+            let Some(dep) = idx.checked_sub(1).map(|i| &pd[i]) else {
+                // No dependency before `cur`: the processor computed from
+                // time zero.
+                push_busy(p, 0.0, cur, &mut segments, &mut by_stage, &mut busy_ns);
+                cur = 0.0;
+                break;
+            };
+            let d = dep.ts_ns;
+            push_busy(p, d, cur, &mut segments, &mut by_stage, &mut busy_ns);
+            match dep.kind {
+                DepKind::Consume {
+                    src,
+                    arrival_bits,
+                    waited_ns,
+                } => match sends.get(&(src, p, arrival_bits)) {
+                    Some(&send_ts) if send_ts <= d => {
+                        transfer_ns += d - send_ts;
+                        *by_link.entry((src, p)).or_insert(0.0) += d - send_ts;
+                        segments.push(Segment {
+                            proc: p,
+                            start_ns: send_ts,
+                            end_ns: d,
+                            kind: SegmentKind::Transfer { src },
+                        });
+                        hops += 1;
+                        cur = send_ts;
+                        p = src;
+                    }
+                    _ => {
+                        // Partial trace (e.g. the sender was muted): keep
+                        // the chain on this processor through the wait.
+                        let start = (d - waited_ns).max(0.0);
+                        blocked_ns += d - start;
+                        segments.push(Segment {
+                            proc: p,
+                            start_ns: start,
+                            end_ns: d,
+                            kind: SegmentKind::Blocked,
+                        });
+                        cur = start;
+                    }
+                },
+                DepKind::Barrier { owner } => {
+                    if owner == p {
+                        // Cannot happen (the slowest member never jumps);
+                        // bail rather than loop.
+                        cur = 0.0;
+                        break;
+                    }
+                    barriers += 1;
+                    cur = d;
+                    p = owner;
+                }
+            }
+        }
+        // If the step limit tripped mid-walk, close the path so segments
+        // still tile [0, total].
+        if cur > 0.0 {
+            push_busy(p, 0.0, cur, &mut segments, &mut by_stage, &mut busy_ns);
+        }
+
+        CritPath {
+            total_ns,
+            busy_ns,
+            transfer_ns,
+            blocked_ns,
+            hops,
+            barriers,
+            by_stage_ns: by_stage.into_iter().collect(),
+            by_link_ns: by_link.into_iter().collect(),
+            segments,
+            procs,
+        }
+    }
+
+    /// Completion time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns / 1e6
+    }
+
+    /// Path compute time in milliseconds.
+    pub fn busy_ms(&self) -> f64 {
+        self.busy_ns / 1e6
+    }
+
+    /// Path transfer time in milliseconds.
+    pub fn transfer_ms(&self) -> f64 {
+        self.transfer_ns / 1e6
+    }
+
+    /// Load imbalance: max over processors of whole-run busy time divided
+    /// by the mean (1.0 = perfectly balanced, 0.0 = nothing ran).
+    pub fn imbalance(&self) -> f64 {
+        let sum: f64 = self.procs.iter().map(|b| b.busy_ns).sum();
+        if sum <= 0.0 {
+            return 0.0;
+        }
+        let max = self.procs.iter().map(|b| b.busy_ns).fold(0.0f64, f64::max);
+        max * self.procs.len() as f64 / sum
+    }
+
+    /// The stage carrying the most critical-path busy time, with its
+    /// nanoseconds. `None` on an empty path.
+    pub fn top_stage(&self) -> Option<(&str, f64)> {
+        self.by_stage_ns
+            .iter()
+            .fold(None, |best: Option<(&str, f64)>, (name, ns)| match best {
+                Some((_, b)) if b >= *ns => best,
+                _ => Some((name.as_str(), *ns)),
+            })
+    }
+
+    /// Sum of all segment lengths, ns. Equals [`CritPath::total_ns`] up
+    /// to floating-point rounding — the tiling invariant the property
+    /// tests assert.
+    pub fn path_ns(&self) -> f64 {
+        self.segments.iter().map(Segment::len_ns).sum()
+    }
+
+    /// Render a human-readable report (what `results/critpath.txt`
+    /// carries per workload).
+    pub fn render(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{title}: total {:.3} ms = busy {:.3} + transfer {:.3} + blocked {:.3} \
+             ({} hops, {} barriers)",
+            self.total_ms(),
+            self.busy_ms(),
+            self.transfer_ms(),
+            self.blocked_ns / 1e6,
+            self.hops,
+            self.barriers,
+        );
+        let mut stages: Vec<_> = self.by_stage_ns.iter().collect();
+        stages.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        for (name, ns) in stages {
+            let pct = if self.total_ns > 0.0 {
+                100.0 * ns / self.total_ns
+            } else {
+                0.0
+            };
+            let _ = writeln!(s, "  stage {name:<24} {:>10.3} ms  {pct:>5.1}%", ns / 1e6);
+        }
+        let mut links: Vec<_> = self.by_link_ns.iter().collect();
+        links.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        for ((src, dst), ns) in links.into_iter().take(8) {
+            let _ = writeln!(s, "  link  {src} -> {dst:<18} {:>10.3} ms", ns / 1e6);
+        }
+        let _ = writeln!(s, "  imbalance {:.3}", self.imbalance());
+        for (i, b) in self.procs.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  proc {i}: busy {:.3} ms  blocked {:.3} ms  barrier {:.3} ms  idle {:.3} ms",
+                b.busy_ns / 1e6,
+                b.blocked_ns / 1e6,
+                b.barrier_ns / 1e6,
+                b.idle_ns / 1e6,
+            );
+        }
+        s
+    }
+}
+
+/// Flatten span begin/end events into disjoint sorted intervals labelled
+/// with the *innermost* active stage.
+fn stage_intervals(events: &[Event]) -> Vec<(f64, f64, &'static str)> {
+    let mut stack: Vec<(&'static str, f64)> = Vec::new();
+    let mut out = Vec::new();
+    for e in events {
+        match e.kind {
+            EventKind::SpanBegin { name } => {
+                if let Some((inner, since)) = stack.last_mut() {
+                    if e.ts_ns > *since {
+                        out.push((*since, e.ts_ns, *inner));
+                    }
+                    *since = e.ts_ns;
+                }
+                stack.push((name, e.ts_ns));
+            }
+            EventKind::SpanEnd { .. } => {
+                if let Some((name, since)) = stack.pop() {
+                    if e.ts_ns > since {
+                        out.push((since, e.ts_ns, name));
+                    }
+                    if let Some((_, outer_since)) = stack.last_mut() {
+                        *outer_since = e.ts_ns;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Unbalanced traces (crashed runs) leave open spans; close them at
+    // their own start so they contribute nothing rather than panicking.
+    out
+}
+
+/// Split the busy interval `[start, end)` across the stage intervals of
+/// its processor; time outside any span goes to [`UNTRACKED`].
+fn attribute_stages(
+    intervals: &[(f64, f64, &'static str)],
+    start: f64,
+    end: f64,
+    by_stage: &mut BTreeMap<String, f64>,
+) {
+    let mut covered = 0.0;
+    let first = intervals.partition_point(|&(_, e, _)| e <= start);
+    for &(s, e, name) in &intervals[first..] {
+        if s >= end {
+            break;
+        }
+        let len = e.min(end) - s.max(start);
+        if len > 0.0 {
+            covered += len;
+            *by_stage.entry(name.to_string()).or_insert(0.0) += len;
+        }
+    }
+    let rest = (end - start) - covered;
+    if rest > 0.0 {
+        *by_stage.entry(UNTRACKED.to_string()).or_insert(0.0) += rest;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts_ns: f64, kind: EventKind) -> Event {
+        Event { ts_ns, kind }
+    }
+
+    fn clock(now_ns: f64) -> ClockReport {
+        ClockReport {
+            now_ns,
+            ..ClockReport::zero()
+        }
+    }
+
+    #[test]
+    fn stage_intervals_prefer_innermost() {
+        let evs = vec![
+            ev(0.0, EventKind::SpanBegin { name: "outer" }),
+            ev(2.0, EventKind::SpanBegin { name: "inner" }),
+            ev(5.0, EventKind::SpanEnd { name: "inner" }),
+            ev(9.0, EventKind::SpanEnd { name: "outer" }),
+        ];
+        assert_eq!(
+            stage_intervals(&evs),
+            vec![
+                (0.0, 2.0, "outer"),
+                (2.0, 5.0, "inner"),
+                (5.0, 9.0, "outer")
+            ]
+        );
+    }
+
+    #[test]
+    fn untraced_run_is_one_busy_segment() {
+        let cp = CritPath::from_parts(&[], &[clock(5e6), clock(3e6)]);
+        assert_eq!(cp.total_ns, 5e6);
+        assert_eq!(cp.segments.len(), 1);
+        assert_eq!(cp.segments[0].proc, 0);
+        assert_eq!(cp.busy_ns, 5e6);
+        assert_eq!(cp.hops, 0);
+        assert_eq!(cp.by_stage_ns, vec![(UNTRACKED.to_string(), 5e6)]);
+        // Proc 1 finished 2 ms early: idle.
+        assert_eq!(cp.procs[1].idle_ns, 2e6);
+    }
+
+    #[test]
+    fn blocked_fallback_when_send_is_missing() {
+        // Proc 0 consumed at t=10 after waiting 4, but no Send was traced.
+        let events = vec![vec![ev(
+            10.0,
+            EventKind::Consume {
+                src: 1,
+                tag: 0,
+                words: 1,
+                waited_ns: 4.0,
+                arrival_ns: 10.0,
+            },
+        )]];
+        let cp = CritPath::from_parts(&events, &[clock(12.0), clock(6.0)]);
+        assert_eq!(cp.blocked_ns, 4.0);
+        assert_eq!(cp.busy_ns, 8.0); // [0,6] + [10,12]
+        assert!((cp.path_ns() - cp.total_ns).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,34 @@
+//! # hpf-analysis — offline analysis over simulated-machine runs
+//!
+//! Everything in this crate consumes the observability outputs of
+//! [`hpf_machine`] (structured events, clock reports, perf-report JSON)
+//! *after* a run finishes; nothing here touches the simulation itself.
+//! Three questions it answers:
+//!
+//! 1. **Where did the time go?** [`CritPath`] walks the event log backward
+//!    from the slowest processor's finish, hopping send→consume and
+//!    barrier edges, and produces the critical path through the run —
+//!    per-stage and per-link attribution plus a per-processor
+//!    busy/blocked/idle breakdown ([`ProcBreakdown`]).
+//! 2. **Does the implementation still match the paper's model?**
+//!    [`Conformance`] checks measured local-operation counters against
+//!    the closed-form Section 6.4 predictions of
+//!    [`hpf_core::MaskStats`], per processor, and fails past a tolerance.
+//! 3. **Did this revision get slower?** [`diff`] compares two versioned
+//!    perf reports (`results/BENCH_*.json`) on simulated metrics only —
+//!    never wall-clock — and renders a markdown delta table for CI.
+//!
+//! The [`json`] module carries the minimal recursive-descent JSON parser
+//! the diff needs (the repo deliberately has no serde).
+
+#![warn(missing_docs)]
+
+pub mod conformance;
+pub mod critpath;
+pub mod diff;
+pub mod json;
+
+pub use conformance::Conformance;
+pub use critpath::{CritPath, ProcBreakdown, Segment, SegmentKind};
+pub use diff::{DiffReport, DiffRow};
+pub use json::Json;

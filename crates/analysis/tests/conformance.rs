@@ -1,0 +1,125 @@
+//! Section 6.4 conformance, asserted *exactly*: the closed-form predicted
+//! local-operation counts must equal the measured per-processor counters
+//! for every scheme, on the CM-5 cost model itself (operation counters are
+//! cost-model independent, so no special δ=1 run is needed).
+
+use hpf_analysis::Conformance;
+use hpf_core::{
+    pack, unpack, MaskPattern, MaskStats, PackOptions, PackScheme, ScanMethod, UnpackOptions,
+    UnpackScheme,
+};
+use hpf_distarray::{local_from_fn, ArrayDesc, DimLayout, Dist};
+use hpf_machine::{Category, CostModel, Machine, ProcGrid};
+
+/// Measured per-processor `LocalComp` operation counts for one PACK run.
+fn measured_pack(n: usize, p: usize, w: usize, density: f64, opts: PackOptions) -> Vec<u64> {
+    let grid = ProcGrid::line(p);
+    let desc = ArrayDesc::new(&[n], &grid, &[Dist::BlockCyclic(w)]).unwrap();
+    let pattern = MaskPattern::Random { density, seed: 77 };
+    let machine = Machine::new(grid, CostModel::cm5());
+    let d = &desc;
+    let out = machine.run(move |proc| {
+        let a = local_from_fn(d, proc.id(), |g| g[0] as i32);
+        let m = local_from_fn(d, proc.id(), |g| pattern.value(g, &[n]));
+        pack(proc, d, &a, &m, &opts).unwrap().size
+    });
+    out.cat_ops_per_proc(Category::LocalComp)
+}
+
+/// Measured per-processor `LocalComp` operation counts for one UNPACK run
+/// (block-distributed input vector sized to the mask, as in the paper).
+fn measured_unpack(n: usize, p: usize, w: usize, density: f64, opts: UnpackOptions) -> Vec<u64> {
+    let grid = ProcGrid::line(p);
+    let desc = ArrayDesc::new(&[n], &grid, &[Dist::BlockCyclic(w)]).unwrap();
+    let pattern = MaskPattern::Random { density, seed: 77 };
+    let size = pattern.global(&[n]).data().iter().filter(|&&b| b).count();
+    let v_layout = DimLayout::new_general(size.max(1), p, size.div_ceil(p).max(1)).unwrap();
+    let machine = Machine::new(grid, CostModel::cm5());
+    let (d, vl) = (&desc, &v_layout);
+    let out = machine.run(move |proc| {
+        let m = local_from_fn(d, proc.id(), |g| pattern.value(g, &[n]));
+        let f = local_from_fn(d, proc.id(), |_| -1i32);
+        let v: Vec<i32> = (0..vl.local_len(proc.id()))
+            .map(|l| vl.global_of(proc.id(), l) as i32)
+            .collect();
+        unpack(proc, d, &m, &f, &v, vl, &opts).unwrap().len()
+    });
+    out.cat_ops_per_proc(Category::LocalComp)
+}
+
+fn stats(n: usize, p: usize, w: usize, density: f64) -> MaskStats {
+    let mask = MaskPattern::Random { density, seed: 77 }.global(&[n]);
+    MaskStats::from_mask(mask.data(), p, w, None)
+}
+
+/// Every PACK scheme × scan method × layout must conform with *zero*
+/// error: the Table I workload shape (block and cyclic) at 50% density.
+#[test]
+fn pack_conformance_is_exact_for_all_schemes() {
+    for (n, p, w) in [(256usize, 4usize, 8usize), (64, 4, 1)] {
+        let s = stats(n, p, w, 0.5);
+        for scheme in PackScheme::ALL {
+            for method in [ScanMethod::UntilCollected, ScanMethod::WholeSlice] {
+                let mut opts = PackOptions::new(scheme);
+                opts.scan_method = method;
+                let measured = measured_pack(n, p, w, 0.5, opts);
+                let predicted = s.predict_pack_ops(scheme, method);
+                let c = Conformance::evaluate(
+                    &format!("pack.{scheme:?}.{method:?}.w{w}"),
+                    &predicted,
+                    &measured,
+                    0.0,
+                );
+                assert!(c.pass, "{}", c.summary());
+            }
+        }
+    }
+}
+
+/// Both UNPACK schemes conform exactly on the same workloads.
+#[test]
+fn unpack_conformance_is_exact_for_all_schemes() {
+    for (n, p, w) in [(256usize, 4usize, 8usize), (64, 4, 1)] {
+        let s = stats(n, p, w, 0.5);
+        for scheme in UnpackScheme::ALL {
+            let measured = measured_unpack(n, p, w, 0.5, UnpackOptions::new(scheme));
+            let predicted = s.predict_unpack_ops(scheme);
+            let c = Conformance::evaluate(
+                &format!("unpack.{scheme:?}.w{w}"),
+                &predicted,
+                &measured,
+                0.0,
+            );
+            assert!(c.pass, "{}", c.summary());
+        }
+    }
+}
+
+/// Sparse and dense masks stay exact too (the formulas' E/K/G terms all
+/// collapse or saturate at the extremes).
+#[test]
+fn conformance_is_exact_at_density_extremes() {
+    let (n, p, w) = (128usize, 4usize, 4usize);
+    for density in [0.05, 0.95] {
+        let mask = MaskPattern::Random { density, seed: 77 }.global(&[n]);
+        let s = MaskStats::from_mask(mask.data(), p, w, None);
+        let opts = PackOptions::new(PackScheme::CompactMessage);
+        let measured = measured_pack(n, p, w, density, opts);
+        let predicted = s.predict_pack_ops(PackScheme::CompactMessage, ScanMethod::UntilCollected);
+        let c = Conformance::evaluate("pack.cms", &predicted, &measured, 0.0);
+        assert!(c.pass, "density {density}: {}", c.summary());
+    }
+}
+
+/// A deliberately wrong prediction must fail — the gate actually gates.
+#[test]
+fn conformance_detects_drift() {
+    let (n, p, w) = (256usize, 4usize, 8usize);
+    let s = stats(n, p, w, 0.5);
+    let measured = measured_pack(n, p, w, 0.5, PackOptions::new(PackScheme::Simple));
+    let mut wrong = s.predict_pack_ops(PackScheme::Simple, ScanMethod::UntilCollected);
+    wrong[0] += 5;
+    let c = Conformance::evaluate("pack.sss", &wrong, &measured, 1e-3);
+    assert!(!c.pass);
+    assert!(c.rel_error > 1e-3);
+}

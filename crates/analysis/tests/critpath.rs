@@ -1,0 +1,226 @@
+//! Critical-path extraction: an exact hand-built trace with a known
+//! longest chain, invariants on real traced PACK runs, and determinism.
+
+use proptest::prelude::*;
+
+use hpf_analysis::{CritPath, SegmentKind};
+use hpf_core::{pack, MaskPattern, PackOptions, PackScheme};
+use hpf_distarray::{local_from_fn, ArrayDesc, Dist};
+use hpf_machine::{ClockReport, CostModel, Event, EventKind, Machine, ProcGrid, RunOutput};
+
+fn ev(ts_ns: f64, kind: EventKind) -> Event {
+    Event { ts_ns, kind }
+}
+
+fn clock(now_ns: f64) -> ClockReport {
+    ClockReport {
+        now_ns,
+        ..ClockReport::zero()
+    }
+}
+
+/// Two processors, one message, known chain:
+///
+/// ```text
+/// proc 1: [0 ──── busy ──── 1000] send ──╮ (arrives 1500)  ends at 1200
+/// proc 0: [0 busy 500] ...blocked...  [1500 ── busy ── 2000]
+/// ```
+///
+/// The longest chain is busy(1, 0→1000) + transfer(500) + busy(0,
+/// 1500→2000): proc 0's early 500 ns of work is off the path.
+#[test]
+fn hand_built_trace_yields_the_known_chain() {
+    let events = vec![
+        // proc 0: worked 500 ns, then waited 1000 ns for the message.
+        vec![
+            ev(0.0, EventKind::SpanBegin { name: "setup" }),
+            ev(500.0, EventKind::SpanEnd { name: "setup" }),
+            ev(
+                1500.0,
+                EventKind::Consume {
+                    src: 1,
+                    tag: 9,
+                    words: 4,
+                    waited_ns: 1000.0,
+                    arrival_ns: 1500.0,
+                },
+            ),
+            ev(1500.0, EventKind::SpanBegin { name: "finish" }),
+            ev(2000.0, EventKind::SpanEnd { name: "finish" }),
+        ],
+        // proc 1: computed 1000 ns inside a span, sent, idled out at 1200.
+        vec![
+            ev(0.0, EventKind::SpanBegin { name: "compute" }),
+            ev(1000.0, EventKind::SpanEnd { name: "compute" }),
+            ev(
+                1000.0,
+                EventKind::Send {
+                    dst: 0,
+                    tag: 9,
+                    words: 4,
+                    seq: None,
+                    arrival_ns: 1500.0,
+                },
+            ),
+        ],
+    ];
+    let cp = CritPath::from_parts(&events, &[clock(2000.0), clock(1200.0)]);
+
+    assert_eq!(cp.total_ns, 2000.0);
+    assert_eq!(cp.busy_ns, 1500.0, "1000 on proc 1 + 500 on proc 0");
+    assert_eq!(cp.transfer_ns, 500.0, "send at 1000, consumed at 1500");
+    assert_eq!(cp.blocked_ns, 0.0);
+    assert_eq!((cp.hops, cp.barriers), (1, 0));
+    assert_eq!(cp.path_ns(), cp.total_ns, "segments tile [0, T]");
+
+    // Finish → start: busy on 0, transfer on link 1→0, busy on 1.
+    assert_eq!(cp.segments.len(), 3);
+    assert_eq!(
+        (cp.segments[0].proc, cp.segments[0].kind.clone()),
+        (0, SegmentKind::Busy)
+    );
+    assert_eq!(
+        (cp.segments[1].proc, cp.segments[1].kind.clone()),
+        (0, SegmentKind::Transfer { src: 1 })
+    );
+    assert_eq!(
+        (cp.segments[2].proc, cp.segments[2].kind.clone()),
+        (1, SegmentKind::Busy)
+    );
+    assert_eq!(cp.by_link_ns, vec![((1, 0), 500.0)]);
+
+    // Stage attribution covers the path's busy time: proc 1's "compute"
+    // span and proc 0's "finish" span; "setup" is off the path.
+    assert_eq!(
+        cp.by_stage_ns,
+        vec![
+            ("compute".to_string(), 1000.0),
+            ("finish".to_string(), 500.0)
+        ]
+    );
+    assert_eq!(cp.top_stage(), Some(("compute", 1000.0)));
+
+    // Whole-run breakdown: proc 0 blocked 1000, proc 1 idle 800.
+    assert_eq!(cp.procs[0].blocked_ns, 1000.0);
+    assert_eq!(cp.procs[0].busy_ns, 1000.0);
+    assert_eq!(cp.procs[1].idle_ns, 800.0);
+    assert_eq!(cp.procs[1].busy_ns, 1200.0);
+}
+
+/// A barrier event hops the path to the recorded owner at the same time.
+#[test]
+fn barrier_hops_to_the_owner() {
+    let events = vec![
+        vec![ev(
+            900.0,
+            EventKind::Barrier {
+                owner: 1,
+                waited_ns: 600.0,
+            },
+        )],
+        vec![],
+    ];
+    let cp = CritPath::from_parts(&events, &[clock(900.0), clock(900.0)]);
+    assert_eq!(cp.barriers, 1);
+    // The path is proc 1's 900 ns of work; proc 0's 300 ns are hidden.
+    assert_eq!(cp.busy_ns, 900.0);
+    assert_eq!(cp.segments.len(), 1);
+    assert_eq!(cp.segments[0].proc, 1);
+    assert_eq!(cp.procs[0].barrier_ns, 600.0);
+    assert_eq!(cp.procs[0].busy_ns, 300.0);
+}
+
+fn traced_pack(n: usize, p: usize, w: usize, density: f64, scheme: PackScheme) -> RunOutput<usize> {
+    let grid = ProcGrid::line(p);
+    let desc = ArrayDesc::new(&[n], &grid, &[Dist::BlockCyclic(w)]).unwrap();
+    let pattern = MaskPattern::Random { density, seed: 7 };
+    let machine = Machine::new(grid, CostModel::cm5()).with_tracing(true);
+    let d = &desc;
+    machine.run(move |proc| {
+        let a = local_from_fn(d, proc.id(), |g| g[0] as i32);
+        let m = local_from_fn(d, proc.id(), |g| pattern.value(g, &[n]));
+        pack(proc, d, &a, &m, &PackOptions::new(scheme))
+            .unwrap()
+            .size
+    })
+}
+
+fn assert_invariants(cp: &CritPath) {
+    let tol = 1e-6 * cp.total_ns.max(1.0);
+    // The path tiles [0, T] exactly.
+    assert!(
+        (cp.path_ns() - cp.total_ns).abs() <= tol,
+        "path {} != total {}",
+        cp.path_ns(),
+        cp.total_ns
+    );
+    // ... and decomposes into its three kinds.
+    let sum = cp.busy_ns + cp.transfer_ns + cp.blocked_ns;
+    assert!((sum - cp.total_ns).abs() <= tol, "{sum} != {}", cp.total_ns);
+    // Path busy time is attributed to stages without loss.
+    let staged: f64 = cp.by_stage_ns.iter().map(|(_, ns)| ns).sum();
+    assert!((staged - cp.busy_ns).abs() <= tol);
+    // Links account for all transfer time.
+    let linked: f64 = cp.by_link_ns.iter().map(|(_, ns)| ns).sum();
+    assert!((linked - cp.transfer_ns).abs() <= tol);
+    // The completion time bounds every processor's busy time.
+    for b in &cp.procs {
+        assert!(b.busy_ns <= cp.total_ns + tol);
+        assert!(b.idle_ns >= -tol);
+    }
+    // Segments are contiguous finish → start.
+    for pair in cp.segments.windows(2) {
+        assert!((pair[0].start_ns - pair[1].end_ns).abs() <= tol);
+    }
+}
+
+/// Real traced PACK runs satisfy every structural invariant, and repeated
+/// runs produce identical critical paths (the simulation is deterministic,
+/// so the analysis must be too).
+#[test]
+fn real_runs_are_deterministic_and_well_formed() {
+    for scheme in PackScheme::ALL {
+        let a = CritPath::from_run(&traced_pack(256, 4, 8, 0.5, scheme));
+        let b = CritPath::from_run(&traced_pack(256, 4, 8, 0.5, scheme));
+        assert_invariants(&a);
+        assert!(a.total_ns > 0.0 && a.busy_ns > 0.0);
+        assert_eq!(a, b, "{scheme:?}: critical path must be reproducible");
+        // A PACK exercises communication: the path crosses the wire or a
+        // sync (on this workload every scheme sends).
+        assert!(
+            a.hops + a.barriers > 0,
+            "{scheme:?}: path never left one processor"
+        );
+        // Stage attribution names real PACK stages, not just (untracked).
+        assert!(
+            a.by_stage_ns
+                .iter()
+                .any(|(name, _)| name.starts_with("pack.") || name.starts_with("rank.")),
+            "{scheme:?}: stages = {:?}",
+            a.by_stage_ns
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Tiling and bounds hold across machine sizes, block sizes, and mask
+    /// densities.
+    #[test]
+    fn critpath_invariants_hold(
+        p in 1usize..=6,
+        wsel in 0usize..3,
+        density_pct in 0usize..=100,
+    ) {
+        let w = [1, 4, 8][wsel];
+        let n = 16 * p * w; // divisible by P·W with several slices each
+        let out = traced_pack(n, p, w, density_pct as f64 / 100.0, PackScheme::CompactMessage);
+        let cp = CritPath::from_run(&out);
+        assert_invariants(&cp);
+        // The path can never be shorter than any processor's busy time.
+        let max_busy = cp.procs.iter().map(|b| b.busy_ns).fold(0.0f64, f64::max);
+        prop_assert!(cp.total_ns >= max_busy - 1e-6);
+        prop_assert!((cp.total_ns - out.max_time_ms() * 1e6).abs() <= 1e-6 * cp.total_ns.max(1.0));
+    }
+}

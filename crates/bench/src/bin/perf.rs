@@ -5,28 +5,42 @@
 //!
 //! Every entry reports the simulated per-category stage times (the six
 //! [`Category`] labels), total simulated time, traffic volume (words and
-//! start-ups), reliable-transport overhead counters, and the harness
-//! wall-clock time of the run.
+//! start-ups), reliable-transport overhead counters, the harness
+//! wall-clock time of the run, a **critical-path summary** extracted from
+//! the traced run, and (for the plain 1-D PACK/UNPACK workloads) the
+//! **Section 6.4 conformance** verdict of measured local-operation
+//! counters against the paper's closed-form model.
 //!
 //! Usage:
 //! ```sh
-//! cargo run -p hpf-bench --release --bin perf -- [--smoke] [--out FILE]
+//! cargo run -p hpf-bench --release --bin perf -- \
+//!     [--smoke] [--out FILE] [--critpath-out FILE]
 //! # default output: results/BENCH_<rev>.json (rev = short git hash)
 //! ```
+//!
+//! Exits nonzero if any conformance check fails — the implementation
+//! drifted from the paper's cost model.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use hpf_analysis::{Conformance, CritPath};
 use hpf_apps::{gather_global, run_compaction, sample_sort, SparseMatrix};
-use hpf_bench::{time_pack, time_pack_redist, time_unpack, ExpConfig, Measurement};
-use hpf_core::{MaskPattern, PackOptions, PackScheme, RedistScheme, UnpackOptions, UnpackScheme};
+use hpf_bench::{run_pack, run_pack_redist, run_unpack, ExpConfig, Measurement};
+use hpf_core::{
+    MaskPattern, MaskStats, PackOptions, PackScheme, RedistScheme, UnpackOptions, UnpackScheme,
+};
 use hpf_distarray::{local_from_fn, ArrayDesc, DimLayout, Dist};
 use hpf_machine::collectives::A2aSchedule;
 use hpf_machine::{Category, CostModel, Machine, ProcGrid, RunOutput};
 
 /// Schema version of the emitted JSON (bump on breaking field changes;
 /// `scripts/bench-schema.json` must match).
-const SCHEMA_VERSION: u32 = 1;
+const SCHEMA_VERSION: u32 = 2;
+
+/// Conformance tolerance: the Section 6.4 formulas are exact, so any
+/// drift at all is a model violation.
+const CONFORMANCE_TOL: f64 = 0.0;
 
 struct Entry {
     name: String,
@@ -37,11 +51,14 @@ struct Entry {
     density: Option<f64>,
     m: Measurement,
     wall_ms: f64,
+    critpath: Option<CritPath>,
+    conformance: Option<Conformance>,
 }
 
 fn main() {
     let mut smoke = false;
     let mut out_path: Option<String> = None;
+    let mut critpath_out: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -57,8 +74,18 @@ fn main() {
                 }));
                 i += 2;
             }
+            "--critpath-out" => {
+                critpath_out = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--critpath-out requires a path");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
             other => {
-                eprintln!("unknown argument {other}; usage: perf [--smoke] [--out FILE]");
+                eprintln!(
+                    "unknown argument {other}; \
+                     usage: perf [--smoke] [--out FILE] [--critpath-out FILE]"
+                );
                 std::process::exit(2);
             }
         }
@@ -81,6 +108,7 @@ fn main() {
     // SSS / CSS / CMS.
     for w in [1usize, wide_w] {
         let cfg = ExpConfig::new(&[n1d], &[p1d], w, pattern);
+        let stats = MaskStats::from_mask(pattern.global(&[n1d]).data(), p1d, w, None);
         for scheme in PackScheme::ALL {
             let label = match scheme {
                 PackScheme::Simple => "sss",
@@ -89,7 +117,14 @@ fn main() {
             };
             let opts = PackOptions::new(scheme);
             let t0 = Instant::now();
-            let m = time_pack(&cfg, &opts);
+            let (m, out) = run_pack(&cfg, &opts, true);
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let conformance = Conformance::evaluate(
+                &format!("pack.{label}"),
+                &stats.predict_pack_ops(scheme, opts.scan_method),
+                &out.cat_ops_per_proc(Category::LocalComp),
+                CONFORMANCE_TOL,
+            );
             entries.push(Entry {
                 name: format!("pack.{label}.w{w}"),
                 group: "pack",
@@ -98,13 +133,16 @@ fn main() {
                 w: Some(w),
                 density: Some(density),
                 m,
-                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                wall_ms,
+                critpath: Some(CritPath::from_run(&out)),
+                conformance: Some(conformance),
             });
         }
     }
 
     // ---- Preliminary redistribution (Table II workload) -----------------
-    // Cyclic input, the case redistribution exists for.
+    // Cyclic input, the case redistribution exists for. No conformance:
+    // the Section 6.4 formulas do not model the redistribution phase.
     let cfg = ExpConfig::new(&[n1d], &[p1d], 1, pattern);
     for (scheme, label) in [
         (RedistScheme::SelectedData, "red1"),
@@ -112,7 +150,8 @@ fn main() {
     ] {
         let opts = PackOptions::default();
         let t0 = Instant::now();
-        let m = time_pack_redist(&cfg, scheme, &opts);
+        let (m, out) = run_pack_redist(&cfg, scheme, &opts, true);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         entries.push(Entry {
             name: format!("pack.{label}"),
             group: "redist",
@@ -121,13 +160,16 @@ fn main() {
             w: Some(1),
             density: Some(density),
             m,
-            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            wall_ms,
+            critpath: Some(CritPath::from_run(&out)),
+            conformance: None,
         });
     }
 
     // ---- UNPACK schemes (Figure 5 workload) -----------------------------
     for w in [1usize, wide_w] {
         let cfg = ExpConfig::new(&[n1d], &[p1d], w, pattern);
+        let stats = MaskStats::from_mask(pattern.global(&[n1d]).data(), p1d, w, None);
         for scheme in UnpackScheme::ALL {
             let label = match scheme {
                 UnpackScheme::Simple => "sss",
@@ -135,7 +177,14 @@ fn main() {
             };
             let opts = UnpackOptions::new(scheme);
             let t0 = Instant::now();
-            let m = time_unpack(&cfg, &opts);
+            let (m, out) = run_unpack(&cfg, &opts, false, true);
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let conformance = Conformance::evaluate(
+                &format!("unpack.{label}"),
+                &stats.predict_unpack_ops(scheme),
+                &out.cat_ops_per_proc(Category::LocalComp),
+                CONFORMANCE_TOL,
+            );
             entries.push(Entry {
                 name: format!("unpack.{label}.w{w}"),
                 group: "unpack",
@@ -144,7 +193,9 @@ fn main() {
                 w: Some(w),
                 density: Some(density),
                 m,
-                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                wall_ms,
+                critpath: Some(CritPath::from_run(&out)),
+                conformance: Some(conformance),
             });
         }
     }
@@ -163,6 +214,23 @@ fn main() {
     }
     std::fs::write(&out_path, &json).expect("write perf report");
 
+    if let Some(path) = &critpath_out {
+        let mut txt = String::new();
+        for e in &entries {
+            if let Some(cp) = &e.critpath {
+                txt.push_str(&cp.render(&e.name));
+                txt.push('\n');
+            }
+        }
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create critpath output directory");
+            }
+        }
+        std::fs::write(path, &txt).expect("write critical-path report");
+        println!("critical-path report -> {path}");
+    }
+
     // Human summary on stdout, one line per workload.
     println!("perf report ({} workloads) -> {out_path}", entries.len());
     for e in &entries {
@@ -177,6 +245,20 @@ fn main() {
             e.m.words,
             e.wall_ms,
         );
+    }
+
+    // Conformance gate: any drift from the Section 6.4 model fails the run.
+    let mut drifted = false;
+    for e in &entries {
+        if let Some(c) = &e.conformance {
+            if !c.pass {
+                eprintln!("conformance FAIL: {}", c.summary());
+                drifted = true;
+            }
+        }
+    }
+    if drifted {
+        std::process::exit(1);
     }
 }
 
@@ -209,7 +291,7 @@ fn measure<R>(out: &RunOutput<R>, size: usize) -> Measurement {
 fn app_compaction(smoke: bool) -> Entry {
     let (p, steps) = if smoke { (4, 3) } else { (8, 6) };
     let n = 512 * p;
-    let machine = Machine::new(ProcGrid::line(p), CostModel::cm5());
+    let machine = Machine::new(ProcGrid::line(p), CostModel::cm5()).with_tracing(true);
     let t0 = Instant::now();
     let out = machine.run(move |proc| {
         let advance = |x: i64, _| x.wrapping_mul(31).wrapping_add(17) % 100_000;
@@ -235,13 +317,15 @@ fn app_compaction(smoke: bool) -> Entry {
         density: None,
         m: measure(&out, survivors),
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        critpath: Some(CritPath::from_run(&out)),
+        conformance: None,
     }
 }
 
 fn app_sort(smoke: bool) -> Entry {
     let p = 8usize;
     let per_proc = if smoke { 256 } else { 2048 };
-    let machine = Machine::new(ProcGrid::line(p), CostModel::cm5());
+    let machine = Machine::new(ProcGrid::line(p), CostModel::cm5()).with_tracing(true);
     let t0 = Instant::now();
     let out = machine.run(move |proc| {
         // Deterministic pseudo-random keys, distinct per processor.
@@ -267,6 +351,8 @@ fn app_sort(smoke: bool) -> Entry {
         density: None,
         m: measure(&out, total),
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        critpath: Some(CritPath::from_run(&out)),
+        conformance: None,
     }
 }
 
@@ -282,7 +368,7 @@ fn app_spmv(smoke: bool) -> Entry {
     .unwrap();
     let nprocs = grid.nprocs();
     let x_layout = DimLayout::new_general(ncols, nprocs, ncols.div_ceil(nprocs)).unwrap();
-    let machine = Machine::new(grid, CostModel::cm5());
+    let machine = Machine::new(grid, CostModel::cm5()).with_tracing(true);
     let (d, xl) = (&desc, &x_layout);
     // Banded matrix: nonzero iff |row - col| <= 4 — the uneven-density
     // pattern the module documentation motivates.
@@ -313,6 +399,8 @@ fn app_spmv(smoke: bool) -> Entry {
         density: None,
         m: measure(&out, nnz),
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        critpath: Some(CritPath::from_run(&out)),
+        conformance: None,
     }
 }
 
@@ -348,6 +436,8 @@ fn app_gather(smoke: bool) -> Entry {
         density: None,
         m: measure(&out, fetched),
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        critpath: Some(CritPath::from_run(&out)),
+        conformance: None,
     }
 }
 
@@ -407,6 +497,42 @@ fn render_json(rev: &str, smoke: bool, entries: &[Entry]) -> String {
             "      \"retry_overhead\": {},",
             json_f64(e.m.retry_overhead)
         );
+        match &e.critpath {
+            Some(cp) => {
+                let (top, top_ns) = cp.top_stage().unwrap_or(("", 0.0));
+                let _ = writeln!(
+                    s,
+                    "      \"critpath\": {{\"total_ms\": {}, \"busy_ms\": {}, \
+                     \"transfer_ms\": {}, \"hops\": {}, \"barriers\": {}, \
+                     \"imbalance\": {}, \"top_stage\": \"{top}\", \
+                     \"top_stage_ms\": {}}},",
+                    json_f64(cp.total_ms()),
+                    json_f64(cp.busy_ms()),
+                    json_f64(cp.transfer_ms()),
+                    cp.hops,
+                    cp.barriers,
+                    json_f64(cp.imbalance()),
+                    json_f64(top_ns / 1e6),
+                );
+            }
+            None => s.push_str("      \"critpath\": null,\n"),
+        }
+        match &e.conformance {
+            Some(c) => {
+                let _ = writeln!(
+                    s,
+                    "      \"conformance\": {{\"scheme\": \"{}\", \
+                     \"predicted_ops\": {}, \"measured_ops\": {}, \
+                     \"rel_error\": {}, \"pass\": {}}},",
+                    c.scheme,
+                    c.predicted_total(),
+                    c.measured_total(),
+                    json_f64(c.rel_error),
+                    c.pass,
+                );
+            }
+            None => s.push_str("      \"conformance\": null,\n"),
+        }
         let _ = writeln!(s, "      \"wall_ms\": {}", json_f64(e.wall_ms));
         s.push_str(if i + 1 < entries.len() {
             "    },\n"

@@ -1,0 +1,96 @@
+//! Cross-revision perf regression gate.
+//!
+//! Compares two versioned perf reports (as written by the `perf` binary)
+//! on *simulated* metrics only — `total_ms`, per-category `stages_ms`,
+//! `words`, `startups` — and never on wall-clock, so the verdict is
+//! deterministic. Prints a markdown delta table and exits nonzero when
+//! any metric regresses by at least the fail threshold or a workload
+//! disappeared.
+//!
+//! Usage:
+//! ```sh
+//! cargo run -p hpf-bench --bin perfdiff -- OLD.json NEW.json \
+//!     [--warn-above PCT] [--fail-above PCT]
+//! ```
+//!
+//! Exit codes: 0 = clean (or warnings only), 1 = regression at or above
+//! the fail threshold / missing workload, 2 = usage or parse error.
+
+use hpf_analysis::{DiffReport, Json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut warn_above = 2.0f64;
+    let mut fail_above = 10.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--warn-above" => {
+                warn_above = parse_pct(args.get(i + 1), "--warn-above");
+                i += 2;
+            }
+            "--fail-above" => {
+                fail_above = parse_pct(args.get(i + 1), "--fail-above");
+                i += 2;
+            }
+            flag if flag.starts_with("--") => usage(&format!("unknown flag {flag}")),
+            path => {
+                paths.push(path.to_string());
+                i += 1;
+            }
+        }
+    }
+    if paths.len() != 2 {
+        usage("expected exactly two report paths");
+    }
+
+    let old = load(&paths[0]);
+    let new = load(&paths[1]);
+    let diff = DiffReport::from_reports(&old, &new).unwrap_or_else(|e| {
+        eprintln!("perfdiff: {e}");
+        std::process::exit(2);
+    });
+
+    println!("## perfdiff: {} -> {}\n", paths[0], paths[1]);
+    print!("{}", diff.markdown(warn_above, fail_above));
+
+    if diff.failed(fail_above) {
+        eprintln!(
+            "perfdiff: FAIL (worst regression {:+.2}%, threshold {fail_above}%, \
+             {} workloads missing)",
+            diff.max_regression_pct(),
+            diff.missing.len()
+        );
+        std::process::exit(1);
+    }
+    if diff.max_regression_pct() >= warn_above {
+        eprintln!(
+            "perfdiff: warnings only (worst regression {:+.2}% < fail threshold {fail_above}%)",
+            diff.max_regression_pct()
+        );
+    }
+}
+
+fn parse_pct(arg: Option<&String>, flag: &str) -> f64 {
+    arg.and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} requires a numeric percent")))
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perfdiff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("perfdiff: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "perfdiff: {msg}\nusage: perfdiff OLD.json NEW.json [--warn-above PCT] [--fail-above PCT]"
+    );
+    std::process::exit(2);
+}

@@ -6,7 +6,7 @@ use hpf_core::{
     UnpackOptions, UnpackScheme,
 };
 use hpf_distarray::{local_from_fn, ArrayDesc, DimLayout, Dist, GlobalArray};
-use hpf_machine::{Breakdown, Category, CostModel, Machine, ProcGrid};
+use hpf_machine::{Breakdown, Category, CostModel, Machine, ProcGrid, RunOutput};
 
 /// One experiment point: an array shape distributed with a uniform block
 /// size over a grid, masked by a pattern.
@@ -40,6 +40,13 @@ impl ExpConfig {
     /// The machine for this config.
     pub fn machine(&self) -> Machine {
         Machine::new(ProcGrid::new(&self.grid), self.cost)
+    }
+
+    /// The machine for this config, optionally with event tracing enabled
+    /// (for critical-path extraction; tracing never changes simulated
+    /// time, only records it).
+    pub fn machine_traced(&self, traced: bool) -> Machine {
+        self.machine().with_tracing(traced)
     }
 
     /// The array descriptor for this config.
@@ -130,10 +137,35 @@ impl Measurement {
     }
 }
 
+/// Measurement from a finished run (`size` comes from the caller, since
+/// result types differ between runners).
+pub fn measure_run<R>(out: &RunOutput<R>, size: usize) -> Measurement {
+    Measurement {
+        breakdown: out.breakdown(),
+        size,
+        words: out.total_words_sent(),
+        startups: out.total_startups(),
+        retransmits: out.total_retransmits(),
+        dup_drops: out.total_dup_drops(),
+        retry_overhead: out.retry_overhead(),
+    }
+}
+
 /// Run PACK under `opts` and measure.
 pub fn time_pack(cfg: &ExpConfig, opts: &PackOptions) -> Measurement {
+    run_pack(cfg, opts, false).0
+}
+
+/// Run PACK under `opts`, returning the measurement *and* the full run
+/// output (events, clocks, per-category op counters) for offline
+/// analysis. `traced` enables structured event recording.
+pub fn run_pack(
+    cfg: &ExpConfig,
+    opts: &PackOptions,
+    traced: bool,
+) -> (Measurement, RunOutput<usize>) {
     let desc = cfg.desc();
-    let machine = cfg.machine();
+    let machine = cfg.machine_traced(traced);
     let (desc_ref, pattern, shape) = (&desc, cfg.pattern, cfg.shape.clone());
     let out = machine.run(move |proc| {
         let a = local_from_fn(desc_ref, proc.id(), ExpConfig::value_at);
@@ -143,21 +175,24 @@ pub fn time_pack(cfg: &ExpConfig, opts: &PackOptions) -> Measurement {
             .expect("valid experiment config")
             .size
     });
-    Measurement {
-        breakdown: out.breakdown(),
-        size: out.results[0],
-        words: out.total_words_sent(),
-        startups: out.total_startups(),
-        retransmits: out.total_retransmits(),
-        dup_drops: out.total_dup_drops(),
-        retry_overhead: out.retry_overhead(),
-    }
+    let m = measure_run(&out, out.results[0]);
+    (m, out)
 }
 
 /// Run PACK with a preliminary redistribution (Red.1 / Red.2) and measure.
 pub fn time_pack_redist(cfg: &ExpConfig, scheme: RedistScheme, opts: &PackOptions) -> Measurement {
+    run_pack_redist(cfg, scheme, opts, false).0
+}
+
+/// Traced variant of [`time_pack_redist`]; see [`run_pack`].
+pub fn run_pack_redist(
+    cfg: &ExpConfig,
+    scheme: RedistScheme,
+    opts: &PackOptions,
+    traced: bool,
+) -> (Measurement, RunOutput<usize>) {
     let desc = cfg.desc();
-    let machine = cfg.machine();
+    let machine = cfg.machine_traced(traced);
     let (desc_ref, pattern, shape) = (&desc, cfg.pattern, cfg.shape.clone());
     let out = machine.run(move |proc| {
         let a = local_from_fn(desc_ref, proc.id(), ExpConfig::value_at);
@@ -167,31 +202,31 @@ pub fn time_pack_redist(cfg: &ExpConfig, scheme: RedistScheme, opts: &PackOption
             .expect("valid experiment config")
             .size
     });
-    Measurement {
-        breakdown: out.breakdown(),
-        size: out.results[0],
-        words: out.total_words_sent(),
-        startups: out.total_startups(),
-        retransmits: out.total_retransmits(),
-        dup_drops: out.total_dup_drops(),
-        retry_overhead: out.retry_overhead(),
-    }
+    let m = measure_run(&out, out.results[0]);
+    (m, out)
 }
 
 /// Run UNPACK with the (deliberately infeasible, Section 6.3) preliminary
 /// redistribution and measure — used by the ablation that demonstrates the
 /// paper's "not a feasible option for UNPACK" claim.
 pub fn time_unpack_redist(cfg: &ExpConfig, opts: &UnpackOptions) -> Measurement {
-    time_unpack_impl(cfg, opts, true)
+    run_unpack(cfg, opts, true, false).0
 }
 
 /// Run UNPACK under `opts` and measure. The input vector is sized exactly to
 /// the mask's selected count and block-distributed (the paper's setup).
 pub fn time_unpack(cfg: &ExpConfig, opts: &UnpackOptions) -> Measurement {
-    time_unpack_impl(cfg, opts, false)
+    run_unpack(cfg, opts, false, false).0
 }
 
-fn time_unpack_impl(cfg: &ExpConfig, opts: &UnpackOptions, redist: bool) -> Measurement {
+/// Traced variant of [`time_unpack`] / [`time_unpack_redist`]; see
+/// [`run_pack`].
+pub fn run_unpack(
+    cfg: &ExpConfig,
+    opts: &UnpackOptions,
+    redist: bool,
+    traced: bool,
+) -> (Measurement, RunOutput<()>) {
     let desc = cfg.desc();
     // Size is a property of the mask alone; compute it harness-side.
     let size = {
@@ -202,7 +237,7 @@ fn time_unpack_impl(cfg: &ExpConfig, opts: &UnpackOptions, redist: bool) -> Meas
     let n_prime = size.max(1);
     let v_layout = DimLayout::new_general(n_prime, nprocs, n_prime.div_ceil(nprocs)).unwrap();
 
-    let machine = cfg.machine();
+    let machine = cfg.machine_traced(traced);
     let (desc_ref, pattern, shape, vl) = (&desc, cfg.pattern, cfg.shape.clone(), &v_layout);
     let out = machine.run(move |proc| {
         let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
@@ -218,15 +253,8 @@ fn time_unpack_impl(cfg: &ExpConfig, opts: &UnpackOptions, redist: bool) -> Meas
             unpack(proc, desc_ref, &m, &f, &v, vl, opts).expect("valid experiment config");
         }
     });
-    Measurement {
-        breakdown: out.breakdown(),
-        size,
-        words: out.total_words_sent(),
-        startups: out.total_startups(),
-        retransmits: out.total_retransmits(),
-        dup_drops: out.total_dup_drops(),
-        retry_overhead: out.retry_overhead(),
-    }
+    let m = measure_run(&out, size);
+    (m, out)
 }
 
 /// The masks used throughout Section 7: five random densities plus the

@@ -54,6 +54,9 @@ mod unpack;
 
 pub use error::{Error, PackError, UnpackError};
 pub use mask::MaskPattern;
-pub use pack::{pack, pack_redistributed, pack_with_vector, CmsMessage, PackOutput, RedistScheme};
+pub use pack::{
+    pack, pack_redistributed, pack_with_vector, predict, CmsMessage, MaskStats, PackOutput,
+    RedistScheme,
+};
 pub use schemes::{PackOptions, PackScheme, ScanMethod, UnpackOptions, UnpackScheme};
 pub use unpack::{unpack, unpack_redistributed, RankRequest};

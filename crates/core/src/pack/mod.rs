@@ -3,11 +3,13 @@
 
 mod compact_message;
 mod compact_storage;
+pub mod predict;
 mod redist;
 mod simple;
 mod vector_arg;
 
 pub use compact_message::CmsMessage;
+pub use predict::MaskStats;
 pub use redist::{pack_redistributed, RedistScheme};
 pub use vector_arg::pack_with_vector;
 

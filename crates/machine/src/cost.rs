@@ -170,6 +170,10 @@ pub struct SimClock {
     category: Category,
     /// Total charged local operations (diagnostics / model validation).
     ops: u64,
+    /// Charged local operations per [`Category`]. Pure counters — they never
+    /// depend on the cost model, so they measure *work*, not time (the §6.4
+    /// conformance checks compare these against the closed-form formulas).
+    ops_by_cat: [u64; Category::ALL.len()],
     /// Total charged message words sent (diagnostics).
     words_sent: u64,
     /// Total message start-ups paid (diagnostics).
@@ -196,6 +200,7 @@ impl SimClock {
             by_cat: [0.0; Category::ALL.len()],
             category: Category::Other,
             ops: 0,
+            ops_by_cat: [0; Category::ALL.len()],
             words_sent: 0,
             startups: 0,
             retransmits: 0,
@@ -278,6 +283,7 @@ impl SimClock {
         }
         let ns = self.model.ops_ns(ops);
         self.ops += ops as u64;
+        self.ops_by_cat[self.category.index()] += ops as u64;
         self.advance(ns);
     }
 
@@ -297,6 +303,12 @@ impl SimClock {
     /// muted, sends, ops, and arrival waits cost nothing.
     pub fn set_muted(&mut self, muted: bool) -> bool {
         std::mem::replace(&mut self.muted, muted)
+    }
+
+    /// Whether charging is currently suppressed.
+    #[inline]
+    pub fn is_muted(&self) -> bool {
+        self.muted
     }
 
     /// Charge a message send of `words` words: `τ + μ·words`. Returns the
@@ -352,6 +364,7 @@ impl SimClock {
             now_ns: self.now_ns,
             by_cat: self.by_cat,
             ops: self.ops,
+            ops_by_cat: self.ops_by_cat,
             words_sent: self.words_sent,
             startups: self.startups,
             retransmits: self.retransmits,
@@ -364,6 +377,7 @@ impl SimClock {
         self.now_ns = 0.0;
         self.by_cat = [0.0; Category::ALL.len()];
         self.ops = 0;
+        self.ops_by_cat = [0; Category::ALL.len()];
         self.words_sent = 0;
         self.startups = 0;
         self.retransmits = 0;
@@ -380,6 +394,9 @@ pub struct ClockReport {
     pub by_cat: [f64; Category::ALL.len()],
     /// Total elementary operations charged.
     pub ops: u64,
+    /// Elementary operations charged per [`Category`], indexed by
+    /// `Category::index`. Cost-model independent (counts, not times).
+    pub ops_by_cat: [u64; Category::ALL.len()],
     /// Total message words sent (self-messages excluded).
     pub words_sent: u64,
     /// Total message start-ups paid.
@@ -411,12 +428,19 @@ impl ClockReport {
         self.now_ns / 1e6
     }
 
+    /// Elementary operations charged to one category.
+    #[inline]
+    pub fn cat_ops(&self, cat: Category) -> u64 {
+        self.ops_by_cat[cat.index()]
+    }
+
     /// An all-zero report.
     pub fn zero() -> Self {
         ClockReport {
             now_ns: 0.0,
             by_cat: [0.0; Category::ALL.len()],
             ops: 0,
+            ops_by_cat: [0; Category::ALL.len()],
             words_sent: 0,
             startups: 0,
             retransmits: 0,
@@ -510,7 +534,27 @@ mod tests {
         let r = c.report();
         assert_eq!(r.now_ns, 0.0);
         assert_eq!(r.ops, 0);
+        assert_eq!(r.ops_by_cat, [0; Category::ALL.len()]);
         assert_eq!(r.words_sent, 0);
+    }
+
+    #[test]
+    fn ops_are_counted_per_category_independent_of_model() {
+        // Identical op streams under different cost models must produce
+        // identical per-category op counts (counts measure work, not time).
+        for model in [CostModel::cm5(), CostModel::zero()] {
+            let mut c = SimClock::new(model);
+            c.set_category(Category::LocalComp);
+            c.charge_ops(7);
+            c.set_category(Category::PrefixReductionSum);
+            c.charge_ops(3);
+            c.charge_ops(4);
+            let r = c.report();
+            assert_eq!(r.cat_ops(Category::LocalComp), 7);
+            assert_eq!(r.cat_ops(Category::PrefixReductionSum), 7);
+            assert_eq!(r.cat_ops(Category::ManyToMany), 0);
+            assert_eq!(r.ops, 14);
+        }
     }
 
     #[test]

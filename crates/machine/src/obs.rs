@@ -103,6 +103,38 @@ pub enum EventKind {
         /// Transport sequence number (`None` on the fault-free fast path).
         seq: Option<u64>,
     },
+    /// A program-level receive consumed a message from this processor's
+    /// mailbox. `Recv` records *delivery* (stamped with the packet's arrival
+    /// time); `Consume` records the moment the algorithm actually took the
+    /// message, which is what the critical-path analyzer needs to decide
+    /// whether the receiver was blocked on the wire or the message sat
+    /// waiting in the mailbox.
+    Consume {
+        /// Source processor.
+        src: usize,
+        /// Message tag.
+        tag: u64,
+        /// Charged volume in words.
+        words: usize,
+        /// Simulated time this receiver spent blocked waiting for the
+        /// message to arrive (0 when it was already in the mailbox).
+        waited_ns: f64,
+        /// The consumed packet's arrival time. Copied bit-for-bit from the
+        /// packet, so it equals the matching `Send::arrival_ns` exactly —
+        /// the analyzer joins send→consume edges on this value.
+        arrival_ns: f64,
+    },
+    /// An uncharged clock synchronisation at a phase boundary jumped this
+    /// processor's clock forward to the slowest participant's time
+    /// (see `Proc::clock_sync_max`). Recorded only when the clock actually
+    /// moved; the stamped `ts_ns` is the post-jump (barrier) time.
+    Barrier {
+        /// The processor whose clock defined the barrier time (ties broken
+        /// towards the lowest id, deterministically).
+        owner: usize,
+        /// How far this clock jumped, nanoseconds.
+        waited_ns: f64,
+    },
     /// The reliable transport retransmitted an unacknowledged message.
     Retransmit {
         /// Destination of the retried message.
@@ -585,6 +617,10 @@ fn tie_break(kind: &EventKind) -> (u8, u64, u64, u64, &'static str) {
         EventKind::Retransmit { dst, seq, attempt } => (3, *dst as u64, *seq, *attempt as u64, ""),
         EventKind::DupDrop { src, seq } => (4, *src as u64, *seq, 0, ""),
         EventKind::FaultVerdict { dst, seq, verdict } => (5, *dst as u64, *seq, 0, verdict),
+        EventKind::Consume {
+            src, tag, words, ..
+        } => (6, *src as u64, *tag, *words as u64, ""),
+        EventKind::Barrier { owner, .. } => (7, *owner as u64, 0, 0, ""),
     }
 }
 
@@ -726,6 +762,31 @@ pub fn chrome_trace_json(traces: &[Vec<Span>], events: &[Vec<Event>]) -> String 
                         );
                     }
                 }
+                EventKind::Consume {
+                    src,
+                    tag,
+                    words,
+                    waited_ns,
+                    ..
+                } => {
+                    let _ = write!(
+                        buf,
+                        "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":2,\"ts\":{ts:.3},\
+                         \"name\":\"consume\",\"cat\":\"msg\",\"s\":\"t\",\"args\":{{\
+                         \"src\":{src},\"tag\":{tag},\"words\":{words},\
+                         \"waited_us\":{:.3}}}}}",
+                        us(*waited_ns)
+                    );
+                }
+                EventKind::Barrier { owner, waited_ns } => {
+                    let _ = write!(
+                        buf,
+                        "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":1,\"ts\":{ts:.3},\
+                         \"name\":\"barrier\",\"cat\":\"sync\",\"s\":\"t\",\"args\":{{\
+                         \"owner\":{owner},\"waited_us\":{:.3}}}}}",
+                        us(*waited_ns)
+                    );
+                }
                 EventKind::Retransmit { dst, seq, attempt } => {
                     let _ = write!(
                         buf,
@@ -752,6 +813,52 @@ pub fn chrome_trace_json(traces: &[Vec<Span>], events: &[Vec<Event>]) -> String 
                 }
             }
             emit(&mut out, &buf);
+        }
+
+        // Counter tracks ("C" phase events): mailbox depth (deliveries not
+        // yet consumed) and in-flight sends (charged sends whose packet has
+        // not yet arrived — only visibly non-zero under injected delays).
+        // Perfetto renders these as per-process area charts next to the
+        // span threads, which is how queue pressure becomes visible.
+        let mut mailbox: Vec<(f64, u8, i64)> = Vec::new();
+        let mut in_flight: Vec<(f64, u8, i64)> = Vec::new();
+        for e in evs {
+            match &e.kind {
+                EventKind::Recv { .. } => mailbox.push((e.ts_ns, 0, 1)),
+                EventKind::Consume { .. } => mailbox.push((e.ts_ns, 1, -1)),
+                EventKind::Send { arrival_ns, .. } => {
+                    in_flight.push((e.ts_ns, 0, 1));
+                    if arrival_ns.is_finite() {
+                        in_flight.push((*arrival_ns, 1, -1));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (name, field, deltas) in [
+            ("mailbox_depth", "depth", &mut mailbox),
+            ("in_flight_sends", "msgs", &mut in_flight),
+        ] {
+            if deltas.is_empty() {
+                continue;
+            }
+            // Increments sort before decrements at equal timestamps so the
+            // running value never dips spuriously; it is clamped at zero
+            // anyway (a muted consumer may skip its Consume records).
+            deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let mut level = 0i64;
+            for &(ts, _, d) in deltas.iter() {
+                level = (level + d).max(0);
+                buf.clear();
+                let _ = write!(
+                    buf,
+                    "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":2,\"ts\":{:.3},\
+                     \"name\":\"{name}\",\"cat\":\"queue\",\"args\":{{\
+                     \"{field}\":{level}}}}}",
+                    us(ts)
+                );
+                emit(&mut out, &buf);
+            }
         }
     }
     out.push_str("]}");
@@ -881,6 +988,52 @@ mod tests {
         assert!(json.contains("\"name\":\"send\""), "{json}");
         assert!(json.contains("\"ph\":\"s\""), "flow start missing: {json}");
         assert!(json.contains("\"proc 0\""), "{json}");
+        let depth = json.chars().fold(0i32, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn counter_tracks_follow_mailbox_occupancy() {
+        let events = vec![vec![
+            Event {
+                ts_ns: 100.0,
+                kind: EventKind::Recv {
+                    src: 1,
+                    tag: 7,
+                    words: 3,
+                    seq: None,
+                },
+            },
+            Event {
+                ts_ns: 150.0,
+                kind: EventKind::Recv {
+                    src: 1,
+                    tag: 8,
+                    words: 3,
+                    seq: None,
+                },
+            },
+            Event {
+                ts_ns: 200.0,
+                kind: EventKind::Consume {
+                    src: 1,
+                    tag: 7,
+                    words: 3,
+                    waited_ns: 0.0,
+                    arrival_ns: 100.0,
+                },
+            },
+        ]];
+        let json = chrome_trace_json(&[], &events);
+        // Depth rises to 2 after both deliveries, drops to 1 at the consume.
+        assert!(json.contains("\"ph\":\"C\""), "{json}");
+        assert!(json.contains("\"name\":\"mailbox_depth\""), "{json}");
+        assert!(json.contains("\"depth\":2"), "{json}");
+        assert!(json.contains("\"depth\":1"), "{json}");
         let depth = json.chars().fold(0i32, |d, c| match c {
             '{' | '[' => d + 1,
             '}' | ']' => d - 1,

@@ -452,7 +452,7 @@ impl<'m> Proc<'m> {
     /// bug, not a machine failure.
     pub fn try_recv<P: Payload>(&mut self, src: usize, tag: u64) -> Result<P, MachineError> {
         let pkt = self.try_recv_packet(src, tag)?;
-        self.clock.observe_arrival(pkt.arrival_ns);
+        self.observe_consume(&pkt);
         match pkt.data.downcast::<P>() {
             Ok(b) => Ok(*b),
             Err(_) => panic!(
@@ -471,7 +471,7 @@ impl<'m> Proc<'m> {
             Ok(p) => p,
             Err(e) => panic_any(e),
         };
-        self.clock.observe_arrival(pkt.arrival_ns);
+        self.observe_consume(&pkt);
         let words = pkt.words;
         match pkt.data.downcast::<P>() {
             Ok(b) => (*b, words),
@@ -479,6 +479,34 @@ impl<'m> Proc<'m> {
                 "proc {}: payload type mismatch on recv from {} tag {}",
                 self.id, src, tag
             ),
+        }
+    }
+
+    /// Advance the clock to the packet's arrival (the shared receive-side
+    /// charge) and record a [`EventKind::Consume`] event for charged remote
+    /// traffic. Muted receives (hardware-modelled data movement) advance
+    /// nothing and record nothing — their delivery/consume asymmetry is why
+    /// the exporter clamps the mailbox-depth track at zero.
+    fn observe_consume(&mut self, pkt: &Packet) {
+        let before = self.clock.now_ns();
+        self.clock.observe_arrival(pkt.arrival_ns);
+        if self.events.is_some()
+            && !self.clock.is_muted()
+            && pkt.src != self.id
+            && pkt.words > 0
+            && pkt.arrival_ns.is_finite()
+        {
+            let now = self.clock.now_ns();
+            self.record(
+                now,
+                EventKind::Consume {
+                    src: pkt.src,
+                    tag: pkt.tag,
+                    words: pkt.words,
+                    waited_ns: (now - before).max(0.0),
+                    arrival_ns: pkt.arrival_ns,
+                },
+            );
         }
     }
 
@@ -601,21 +629,40 @@ impl<'m> Proc<'m> {
         if group.size() == 1 {
             return;
         }
-        // Dissemination exchange of plain timestamps. The payload rides
-        // outside the cost model: fast_forward never charges.
+        // Dissemination exchange of `(timestamp, owner id)` pairs — the
+        // combining rule (max time, ties to the lowest id) is associative,
+        // commutative, and idempotent, so every member converges on the
+        // same pair. The payload rides outside the cost model:
+        // fast_forward never charges. The owner id lets tracing record
+        // *whose* clock defined the barrier (the critical path hops there).
         let n = group.size();
         let me = group.my_rank();
-        let mut t_max = self.clock.now_ns();
+        let t0 = self.clock.now_ns();
+        let mut t_max = t0;
+        let mut owner = self.id;
         let mut shift = 1usize;
         while shift < n {
             let to = group.id_of((me + shift) % n);
             let from = group.id_of((me + n - shift) % n);
-            self.send_uncharged(to, tags::CLOCK_SYNC, vec![t_max]);
+            self.send_uncharged(to, tags::CLOCK_SYNC, vec![t_max, owner as f64]);
             let other: Vec<f64> = self.recv_uncharged(from, tags::CLOCK_SYNC);
-            t_max = t_max.max(other[0]);
+            let (ot, oo) = (other[0], other[1] as usize);
+            if ot > t_max || (ot == t_max && oo < owner) {
+                t_max = ot;
+                owner = oo;
+            }
             shift *= 2;
         }
         self.clock.fast_forward(t_max);
+        if self.events.is_some() && t_max > t0 {
+            self.record(
+                t_max,
+                EventKind::Barrier {
+                    owner,
+                    waited_ns: t_max - t0,
+                },
+            );
+        }
     }
 
     /// Send without touching the clock (simulator-internal control traffic,

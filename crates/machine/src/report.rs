@@ -130,6 +130,18 @@ impl<R> RunOutput<R> {
         self.clocks.iter().map(|c| c.words_sent).sum()
     }
 
+    /// Total elementary operations charged across all processors.
+    pub fn total_ops(&self) -> u64 {
+        self.clocks.iter().map(|c| c.ops).sum()
+    }
+
+    /// Per-processor elementary operations charged to one category —
+    /// the measured side of the §6.4 conformance check (cost-model
+    /// independent: counts, not times).
+    pub fn cat_ops_per_proc(&self, cat: Category) -> Vec<u64> {
+        self.clocks.iter().map(|c| c.cat_ops(cat)).collect()
+    }
+
     /// Total message start-ups across all processors.
     pub fn total_startups(&self) -> u64 {
         self.clocks.iter().map(|c| c.startups).sum()

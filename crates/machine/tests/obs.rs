@@ -119,6 +119,83 @@ fn send_and_recv_events_are_exactly_once_under_faults() {
     assert_eq!(merged.histograms["msg.words"].buckets, vec![(3, 32)]);
 }
 
+/// Every delivery is eventually consumed, and each consume's `arrival_ns`
+/// equals some matching send's `arrival_ns` bit-for-bit — the join the
+/// critical-path analyzer relies on.
+#[test]
+fn consume_events_pair_with_sends_on_arrival_time() {
+    let out = faulted_machine(42).try_run(ring_rounds).expect("recovers");
+    let mut send_arrivals: Vec<(usize, usize, f64)> = Vec::new(); // (src, dst, arrival)
+    for (pid, evs) in out.events.iter().enumerate() {
+        for e in evs {
+            if let EventKind::Send {
+                dst, arrival_ns, ..
+            } = e.kind
+            {
+                send_arrivals.push((pid, dst, arrival_ns));
+            }
+        }
+    }
+    for (pid, evs) in out.events.iter().enumerate() {
+        let consumes: Vec<_> = evs
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Consume {
+                    src,
+                    arrival_ns,
+                    waited_ns,
+                    ..
+                } => Some((src, arrival_ns, waited_ns, e.ts_ns)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(consumes.len(), 8, "proc {pid} consumed its 8 messages");
+        for (src, arrival, waited, ts) in consumes {
+            assert!(
+                send_arrivals
+                    .iter()
+                    .any(|&(s, d, a)| s == src && d == pid && a == arrival),
+                "proc {pid}: consume from {src} at arrival {arrival} has no matching send"
+            );
+            assert!(waited >= 0.0 && ts >= arrival);
+        }
+    }
+}
+
+/// Uneven work before a clock sync must record Barrier events on the
+/// processors that jumped, owned by the slowest processor.
+#[test]
+fn clock_sync_records_barrier_owned_by_slowest() {
+    let machine = Machine::new(ProcGrid::line(4), CostModel::cm5())
+        .with_test_preset()
+        .with_tracing(true);
+    let out = machine.run(|p| {
+        // Proc 3 does the most local work, so it owns the barrier.
+        p.charge_ops(100 * (p.id() + 1));
+        let world = p.world();
+        p.clock_sync_max(&world);
+    });
+    let t_end = out.max_time_ms();
+    for (pid, evs) in out.events.iter().enumerate() {
+        let barriers: Vec<_> = evs
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Barrier { owner, waited_ns } => Some((owner, waited_ns, e.ts_ns)),
+                _ => None,
+            })
+            .collect();
+        if pid == 3 {
+            assert!(barriers.is_empty(), "the slowest proc never waits");
+        } else {
+            assert_eq!(barriers.len(), 1, "proc {pid} jumped exactly once");
+            let (owner, waited, ts) = barriers[0];
+            assert_eq!(owner, 3, "proc {pid} waited on the slowest proc");
+            assert!(waited > 0.0);
+            assert_eq!(ts / 1e6, t_end, "barrier lands at the synced time");
+        }
+    }
+}
+
 /// Stage spans must nest (begin/end balance) and feed duration histograms.
 #[test]
 fn stage_spans_balance_and_feed_histograms() {

@@ -34,6 +34,17 @@ echo "== perf smoke (machine-readable bench report + schema validation) =="
 perf_json="$(mktemp)"
 cargo run -p hpf-bench --release --bin perf -- --smoke --out "$perf_json"
 python3 scripts/validate_bench.py "$perf_json"
+
+echo "== perfdiff (simulated-cost regression gate vs committed baseline) =="
+if [[ -f results/BENCH_baseline.json ]]; then
+  # Simulated costs are deterministic, so any delta is a real model change:
+  # warn on anything, hard-fail at 25% so intentional model changes can land
+  # (refresh the baseline via scripts/regen-results.sh when they do).
+  cargo run -p hpf-bench --release --bin perfdiff -- \
+    results/BENCH_baseline.json "$perf_json" --warn-above 1 --fail-above 25
+else
+  echo "perfdiff: no results/BENCH_baseline.json; skipping (run scripts/regen-results.sh)"
+fi
 rm -f "$perf_json"
 
 echo "ci: all gates passed"

@@ -15,4 +15,13 @@ echo "== perf (machine-readable BENCH_<rev>.json) =="
 cargo run -p hpf-bench --release --bin perf
 python3 scripts/validate_bench.py "results/BENCH_$(git rev-parse --short HEAD).json"
 
+echo "== perf smoke baseline (perfdiff reference) + critical-path report =="
+# The committed baseline must be a --smoke run: that is what ci.sh compares
+# against, and smoke workloads are small enough to keep CI fast while still
+# covering every scheme. Simulated costs are seed-deterministic, so the
+# baseline only changes when the cost model or algorithms change.
+cargo run -p hpf-bench --release --bin perf -- --smoke \
+  --out results/BENCH_baseline.json --critpath-out results/critpath.txt
+python3 scripts/validate_bench.py results/BENCH_baseline.json
+
 echo "done; outputs in results/"

@@ -4,8 +4,10 @@
 //! distributed ranking), [`hpf_distarray`] for the block-cyclic distributed
 //! array substrate, [`hpf_machine`] for the simulated coarse-grained
 //! parallel machine, [`hpf_intrinsics`] for the companion F90/HPF
-//! transformational intrinsics, and [`hpf_apps`] for mini-applications
-//! built on the runtime.
+//! transformational intrinsics, [`hpf_apps`] for mini-applications
+//! built on the runtime, and [`hpf_analysis`] for offline trace analysis
+//! (critical paths, cost-model conformance, perf regression diffing).
+pub use hpf_analysis as analysis;
 pub use hpf_apps as apps;
 pub use hpf_core as core;
 pub use hpf_distarray as distarray;
