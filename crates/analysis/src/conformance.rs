@@ -11,6 +11,22 @@
 //!
 //! [`Category`]: hpf_machine::Category
 
+/// Per-phase attribution of a conformance check: the same operation
+/// counts, split between the planner (scans, ranking, composition, the
+/// UNPACK request round) and the executor (gathers, decodes, scatters) —
+/// the planner/executor boundary of `hpf_core::plan`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConformancePhases {
+    /// Predicted plan-phase operation counts per processor.
+    pub predicted_plan: Vec<u64>,
+    /// Predicted execute-phase operation counts per processor.
+    pub predicted_execute: Vec<u64>,
+    /// Measured plan-phase operation counts per processor.
+    pub measured_plan: Vec<u64>,
+    /// Measured execute-phase operation counts per processor.
+    pub measured_execute: Vec<u64>,
+}
+
 /// Outcome of checking one workload's measured `LocalComp` operation
 /// counts against a Section 6.4 prediction.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,12 +37,27 @@ pub struct Conformance {
     pub predicted: Vec<u64>,
     /// Measured per-processor operation counts.
     pub measured: Vec<u64>,
-    /// Worst per-processor relative error, `|m - p| / max(p, 1)`.
+    /// Worst per-processor relative error, `|m - p| / max(p, 1)` (over the
+    /// phase vectors too, when present).
     pub rel_error: f64,
     /// Tolerance the check ran with.
     pub tol: f64,
     /// `rel_error <= tol`.
     pub pass: bool,
+    /// Plan/execute attribution, when the check was phase-resolved.
+    pub phases: Option<ConformancePhases>,
+}
+
+fn worst_rel_error(predicted: &[u64], measured: &[u64]) -> f64 {
+    if predicted.len() == measured.len() {
+        predicted
+            .iter()
+            .zip(measured)
+            .map(|(&p, &m)| p.abs_diff(m) as f64 / (p.max(1)) as f64)
+            .fold(0.0f64, f64::max)
+    } else {
+        f64::INFINITY
+    }
 }
 
 impl Conformance {
@@ -34,15 +65,7 @@ impl Conformance {
     /// length (one entry per processor); a length mismatch fails with
     /// infinite error rather than panicking.
     pub fn evaluate(scheme: &str, predicted: &[u64], measured: &[u64], tol: f64) -> Conformance {
-        let rel_error = if predicted.len() == measured.len() {
-            predicted
-                .iter()
-                .zip(measured)
-                .map(|(&p, &m)| p.abs_diff(m) as f64 / (p.max(1)) as f64)
-                .fold(0.0f64, f64::max)
-        } else {
-            f64::INFINITY
-        };
+        let rel_error = worst_rel_error(predicted, measured);
         Conformance {
             scheme: scheme.to_string(),
             predicted: predicted.to_vec(),
@@ -50,6 +73,48 @@ impl Conformance {
             rel_error,
             tol,
             pass: rel_error <= tol,
+            phases: None,
+        }
+    }
+
+    /// Phase-resolved comparison: plan and execute operation counts are
+    /// checked separately (each per processor), so an error that merely
+    /// *moves* work across the plan/execute boundary without changing the
+    /// total still fails. The headline `predicted`/`measured` vectors are
+    /// the per-processor phase sums, and `rel_error` is the worst error
+    /// over both phases and the totals.
+    pub fn evaluate_split(
+        scheme: &str,
+        predicted: (&[u64], &[u64]),
+        measured: (&[u64], &[u64]),
+        tol: f64,
+    ) -> Conformance {
+        let (pp, pe) = predicted;
+        let (mp, me) = measured;
+        let sum = |a: &[u64], b: &[u64]| -> Vec<u64> {
+            if a.len() == b.len() {
+                a.iter().zip(b).map(|(&x, &y)| x + y).collect()
+            } else {
+                Vec::new()
+            }
+        };
+        let (predicted, measured) = (sum(pp, pe), sum(mp, me));
+        let rel_error = worst_rel_error(pp, mp)
+            .max(worst_rel_error(pe, me))
+            .max(worst_rel_error(&predicted, &measured));
+        Conformance {
+            scheme: scheme.to_string(),
+            predicted,
+            measured,
+            rel_error,
+            tol,
+            pass: rel_error <= tol,
+            phases: Some(ConformancePhases {
+                predicted_plan: pp.to_vec(),
+                predicted_execute: pe.to_vec(),
+                measured_plan: mp.to_vec(),
+                measured_execute: me.to_vec(),
+            }),
         }
     }
 
@@ -65,12 +130,23 @@ impl Conformance {
 
     /// One-line summary, e.g. for the perf report's stdout.
     pub fn summary(&self) -> String {
+        let phase = match &self.phases {
+            Some(ph) => format!(
+                " (plan {}/{} execute {}/{})",
+                ph.predicted_plan.iter().sum::<u64>(),
+                ph.measured_plan.iter().sum::<u64>(),
+                ph.predicted_execute.iter().sum::<u64>(),
+                ph.measured_execute.iter().sum::<u64>()
+            ),
+            None => String::new(),
+        };
         format!(
-            "{}: predicted {} measured {} rel_error {:.2e} -> {}",
+            "{}: predicted {} measured {} rel_error {:.2e}{} -> {}",
             self.scheme,
             self.predicted_total(),
             self.measured_total(),
             self.rel_error,
+            phase,
             if self.pass { "pass" } else { "FAIL" }
         )
     }
@@ -102,5 +178,31 @@ mod tests {
         let c = Conformance::evaluate("x", &[1, 2], &[1], 1e9);
         assert!(!c.pass);
         assert!(c.rel_error.is_infinite());
+    }
+
+    #[test]
+    fn split_catches_cross_phase_compensation() {
+        // Totals agree (30, 40) but five operations moved from plan to
+        // execute on processor 0 — the flat check passes, the split fails.
+        let c = Conformance::evaluate("pack.sss", &[30, 40], &[30, 40], 0.0);
+        assert!(c.pass);
+        let c = Conformance::evaluate_split(
+            "pack.sss",
+            (&[20, 25], &[10, 15]),
+            (&[15, 25], &[15, 15]),
+            0.0,
+        );
+        assert!(!c.pass);
+        assert_eq!(c.predicted, vec![30, 40]);
+        assert_eq!(c.measured, vec![30, 40]);
+        assert!(c.phases.is_some());
+        let exact = Conformance::evaluate_split(
+            "pack.sss",
+            (&[20, 25], &[10, 15]),
+            (&[20, 25], &[10, 15]),
+            0.0,
+        );
+        assert!(exact.pass);
+        assert!(exact.summary().contains("plan 45/45 execute 25/25"));
     }
 }

@@ -28,7 +28,7 @@ pub mod critpath;
 pub mod diff;
 pub mod json;
 
-pub use conformance::Conformance;
+pub use conformance::{Conformance, ConformancePhases};
 pub use critpath::{CritPath, ProcBreakdown, Segment, SegmentKind};
 pub use diff::{DiffReport, DiffRow};
 pub use json::Json;

@@ -5,8 +5,8 @@
 
 use hpf_analysis::Conformance;
 use hpf_core::{
-    pack, unpack, MaskPattern, MaskStats, PackOptions, PackScheme, ScanMethod, UnpackOptions,
-    UnpackScheme,
+    pack, plan_pack, plan_unpack, unpack, MaskPattern, MaskStats, PackOptions, PackScheme,
+    ScanMethod, UnpackOptions, UnpackScheme,
 };
 use hpf_distarray::{local_from_fn, ArrayDesc, DimLayout, Dist};
 use hpf_machine::{Category, CostModel, Machine, ProcGrid};
@@ -43,6 +43,43 @@ fn measured_unpack(n: usize, p: usize, w: usize, density: f64, opts: UnpackOptio
             .map(|l| vl.global_of(proc.id(), l) as i32)
             .collect();
         unpack(proc, d, &m, &f, &v, vl, &opts).unwrap().len()
+    });
+    out.cat_ops_per_proc(Category::LocalComp)
+}
+
+/// Measured plan-phase `LocalComp` ops: run the planner alone. The
+/// simulation is deterministic, so execute-phase ops are exactly the
+/// full-run counts minus these.
+fn measured_pack_plan(n: usize, p: usize, w: usize, density: f64, opts: PackOptions) -> Vec<u64> {
+    let grid = ProcGrid::line(p);
+    let desc = ArrayDesc::new(&[n], &grid, &[Dist::BlockCyclic(w)]).unwrap();
+    let pattern = MaskPattern::Random { density, seed: 77 };
+    let machine = Machine::new(grid, CostModel::cm5());
+    let d = &desc;
+    let out = machine.run(move |proc| {
+        let m = local_from_fn(d, proc.id(), |g| pattern.value(g, &[n]));
+        plan_pack(proc, d, &m, &opts).unwrap().size()
+    });
+    out.cat_ops_per_proc(Category::LocalComp)
+}
+
+fn measured_unpack_plan(
+    n: usize,
+    p: usize,
+    w: usize,
+    density: f64,
+    opts: UnpackOptions,
+) -> Vec<u64> {
+    let grid = ProcGrid::line(p);
+    let desc = ArrayDesc::new(&[n], &grid, &[Dist::BlockCyclic(w)]).unwrap();
+    let pattern = MaskPattern::Random { density, seed: 77 };
+    let size = pattern.global(&[n]).data().iter().filter(|&&b| b).count();
+    let v_layout = DimLayout::new_general(size.max(1), p, size.div_ceil(p).max(1)).unwrap();
+    let machine = Machine::new(grid, CostModel::cm5());
+    let (d, vl) = (&desc, &v_layout);
+    let out = machine.run(move |proc| {
+        let m = local_from_fn(d, proc.id(), |g| pattern.value(g, &[n]));
+        plan_unpack(proc, d, &m, vl, &opts).unwrap().size()
     });
     out.cat_ops_per_proc(Category::LocalComp)
 }
@@ -108,6 +145,51 @@ fn conformance_is_exact_at_density_extremes() {
         let predicted = s.predict_pack_ops(PackScheme::CompactMessage, ScanMethod::UntilCollected);
         let c = Conformance::evaluate("pack.cms", &predicted, &measured, 0.0);
         assert!(c.pass, "density {density}: {}", c.summary());
+    }
+}
+
+/// Phase-resolved conformance: the plan/execute attribution of every
+/// scheme's operation count must match the split predictions exactly —
+/// work may not silently migrate across the planner/executor boundary
+/// even when the totals still balance.
+#[test]
+fn conformance_split_is_exact_for_all_schemes() {
+    let sub = |total: &[u64], plan: &[u64]| -> Vec<u64> {
+        total.iter().zip(plan).map(|(&t, &p)| t - p).collect()
+    };
+    for (n, p, w) in [(256usize, 4usize, 8usize), (64, 4, 1)] {
+        let s = stats(n, p, w, 0.5);
+        for scheme in PackScheme::ALL {
+            for method in [ScanMethod::UntilCollected, ScanMethod::WholeSlice] {
+                let mut opts = PackOptions::new(scheme);
+                opts.scan_method = method;
+                let plan_meas = measured_pack_plan(n, p, w, 0.5, opts);
+                let total_meas = measured_pack(n, p, w, 0.5, opts);
+                let exec_meas = sub(&total_meas, &plan_meas);
+                let (pp, pe) = s.predict_pack_ops_split(scheme, method);
+                let c = Conformance::evaluate_split(
+                    &format!("pack.{scheme:?}.{method:?}.w{w}"),
+                    (&pp, &pe),
+                    (&plan_meas, &exec_meas),
+                    0.0,
+                );
+                assert!(c.pass, "{}", c.summary());
+            }
+        }
+        for scheme in UnpackScheme::ALL {
+            let opts = UnpackOptions::new(scheme);
+            let plan_meas = measured_unpack_plan(n, p, w, 0.5, opts);
+            let total_meas = measured_unpack(n, p, w, 0.5, opts);
+            let exec_meas = sub(&total_meas, &plan_meas);
+            let (pp, pe) = s.predict_unpack_ops_split(scheme);
+            let c = Conformance::evaluate_split(
+                &format!("unpack.{scheme:?}.w{w}"),
+                (&pp, &pe),
+                (&plan_meas, &exec_meas),
+                0.0,
+            );
+            assert!(c.pass, "{}", c.summary());
+        }
     }
 }
 

@@ -6,13 +6,16 @@
 //! because its result vector is *block*-distributed, simultaneously
 //! rebalances them perfectly. SpMV then runs on the compact form:
 //!
-//! 1. **compress** (once): flatten the matrix to 1-D, PACK the nonzero
-//!    values and their flat indices side by side;
+//! 1. **compress** (once): flatten the matrix to 1-D, then PACK the
+//!    nonzero values and their flat indices from a *single*
+//!    [`hpf_core::PackPlan`] — the plan is value-independent, so the mask
+//!    is scanned and ranked once and executed twice (once per payload,
+//!    even though one is `f64` and the other `u32`);
 //! 2. **multiply** (per iteration): decode `(row, col)` from each flat
 //!    index, [`gather_global`] the needed `x[col]` entries, multiply, and
 //!    [`scatter_add_global`] the partial products into `y[row]`.
 
-use hpf_core::{pack, PackError, PackOptions};
+use hpf_core::{plan_pack, PackError, PackOptions};
 use hpf_distarray::{ArrayDesc, DimLayout};
 use hpf_machine::collectives::A2aSchedule;
 use hpf_machine::{Category, Proc};
@@ -43,8 +46,8 @@ impl SparseMatrix {
     /// zeros are dropped.
     ///
     /// Internally flattens to 1-D so the packed order is row-major CSR
-    /// order, and PACKs values and flat indices with the compact message
-    /// scheme.
+    /// order, plans one PACK of the nonzero mask, and executes the plan
+    /// twice — values and flat indices ride the same communication plan.
     pub fn compress(
         proc: &mut Proc,
         desc: &ArrayDesc,
@@ -68,8 +71,9 @@ impl SparseMatrix {
             (mask, flat)
         });
 
-        let packed_vals = pack(proc, desc, dense_local, &mask, opts)?;
-        let packed_idx = pack(proc, desc, &flat, &mask, opts)?;
+        let plan = plan_pack(proc, desc, &mask, opts)?;
+        let packed_vals = plan.execute(proc, dense_local)?;
+        let packed_idx = plan.execute(proc, &flat)?;
         debug_assert_eq!(packed_vals.size, packed_idx.size);
 
         Ok(SparseMatrix {

@@ -21,8 +21,11 @@
 //! Usage:
 //! ```sh
 //! cargo run -p hpf-bench --release --bin chaos -- [--seed N] [--iters N] \
-//!     [--trace-out FILE]
+//!     [--reuse-plans] [--trace-out FILE]
 //! # defaults: seed 1, 20 iterations
+//! # --reuse-plans routes plain PACK/UNPACK through the explicit
+//! # plan-then-execute path (the redistribution variants keep their
+//! # one-shot entry points); all invariants must hold unchanged
 //! # --trace-out additionally runs one traced fault-injected PACK and writes
 //! # it as Chrome trace_event JSON (open in Perfetto / chrome://tracing);
 //! # the trace carries send/recv, retransmit, dup-drop, and fault-verdict
@@ -31,8 +34,8 @@
 
 use hpf_core::seq::{count_seq, pack_seq, unpack_seq};
 use hpf_core::{
-    pack, pack_redistributed, unpack, PackOptions, PackScheme, RedistScheme, UnpackOptions,
-    UnpackScheme,
+    pack, pack_redistributed, plan_pack, plan_unpack, unpack, PackOptions, PackScheme,
+    RedistScheme, UnpackOptions, UnpackScheme,
 };
 use hpf_distarray::{ArrayDesc, DimLayout, Dist, GlobalArray};
 use hpf_machine::{CostModel, FaultPlan, Machine, MachineError, ProcGrid, RunOutput};
@@ -60,6 +63,7 @@ impl Rng {
 fn main() {
     let mut seed: u64 = 1;
     let mut iters: usize = 20;
+    let mut reuse_plans = false;
     let mut trace_out: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -85,6 +89,10 @@ fn main() {
                     });
                 i += 2;
             }
+            "--reuse-plans" => {
+                reuse_plans = true;
+                i += 1;
+            }
             "--trace-out" => {
                 trace_out = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
                     eprintln!("--trace-out requires a path");
@@ -95,7 +103,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument {other}; usage: \
-                     chaos [--seed N] [--iters N] [--trace-out FILE]"
+                     chaos [--seed N] [--iters N] [--reuse-plans] [--trace-out FILE]"
                 );
                 std::process::exit(2);
             }
@@ -108,7 +116,7 @@ fn main() {
         // On any panic the iteration context is printed first, so a failure
         // is reproducible with `--seed`.
         println!("iter {iter} (seed {seed}):");
-        run_iteration(&mut rng, seed, iter, &mut stats);
+        run_iteration(&mut rng, seed, iter, reuse_plans, &mut stats);
     }
     if let Some(path) = &trace_out {
         write_trace(seed, path);
@@ -136,7 +144,7 @@ struct Stats {
     latency_overhead_sum: f64,
 }
 
-fn run_iteration(rng: &mut Rng, seed: u64, iter: usize, stats: &mut Stats) {
+fn run_iteration(rng: &mut Rng, seed: u64, iter: usize, reuse_plans: bool, stats: &mut Stats) {
     // Random rank-1 or rank-2 configuration; every dimension P·W | N.
     let rank = 1 + rng.below(2);
     let mut grid_dims = Vec::new();
@@ -190,6 +198,10 @@ fn run_iteration(rng: &mut Rng, seed: u64, iter: usize, stats: &mut Stats) {
     let (ap, mp) = (a.partition(&desc), m.partition(&desc));
     let (d, apr, mpr, o) = (&desc, &ap, &mp, &opts);
     let pack_prog = move |proc: &mut hpf_machine::Proc<'_>| match redist {
+        None if reuse_plans => {
+            let plan = plan_pack(proc, d, &mpr[proc.id()], o).unwrap();
+            plan.execute(proc, &apr[proc.id()]).unwrap()
+        }
         None => pack(proc, d, &apr[proc.id()], &mpr[proc.id()], o).unwrap(),
         Some(r) => pack_redistributed(proc, d, &apr[proc.id()], &mpr[proc.id()], r, o).unwrap(),
     };
@@ -226,16 +238,22 @@ fn run_iteration(rng: &mut Rng, seed: u64, iter: usize, stats: &mut Stats) {
         .collect();
     let (vpr, vl, uo) = (&v_locals, &v_layout, &uopts);
     let unpack_prog = move |proc: &mut hpf_machine::Proc<'_>| {
-        unpack(
-            proc,
-            d,
-            &mpr[proc.id()],
-            &apr[proc.id()],
-            &vpr[proc.id()],
-            vl,
-            uo,
-        )
-        .unwrap()
+        if reuse_plans {
+            let plan = plan_unpack(proc, d, &mpr[proc.id()], vl, uo).unwrap();
+            plan.execute(proc, &apr[proc.id()], &vpr[proc.id()])
+                .unwrap()
+        } else {
+            unpack(
+                proc,
+                d,
+                &mpr[proc.id()],
+                &apr[proc.id()],
+                &vpr[proc.id()],
+                vl,
+                uo,
+            )
+            .unwrap()
+        }
     };
     let base = clean
         .try_run(unpack_prog)

@@ -5,8 +5,11 @@
 //! Usage:
 //! ```sh
 //! cargo run -p hpf-bench --release --bin fuzz -- [--cases N] [--seed N] \
-//!     [--trace-out FILE]
+//!     [--reuse-plans] [--trace-out FILE]
 //! # defaults: 500 cases, seed 1; bare positionals [cases] [seed] also work
+//! # --reuse-plans routes every operation through the explicit
+//! # plan-then-execute path (hpf_core::plan) instead of the one-shot
+//! # wrappers — results must stay bit-identical to the oracle either way
 //! # --trace-out additionally traces one representative PACK and writes it
 //! # as Chrome trace_event JSON (open in Perfetto / chrome://tracing)
 //! ```
@@ -18,7 +21,9 @@
 //! sweep (proptest shrinks nicely but runs a fixed case budget in CI).
 
 use hpf_core::seq::{count_seq, pack_seq, unpack_seq};
-use hpf_core::{pack, unpack, PackOptions, PackScheme, UnpackOptions, UnpackScheme};
+use hpf_core::{
+    pack, plan_pack, plan_unpack, unpack, PackOptions, PackScheme, UnpackOptions, UnpackScheme,
+};
 use hpf_distarray::{ArrayDesc, DimLayout, Dist, GlobalArray};
 use hpf_machine::collectives::A2aSchedule;
 use hpf_machine::{CostModel, Machine, ProcGrid};
@@ -42,6 +47,7 @@ impl Rng {
 fn main() {
     let mut cases: usize = 500;
     let mut seed: u64 = 1;
+    let mut reuse_plans = false;
     let mut trace_out: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional = 0usize;
@@ -68,6 +74,10 @@ fn main() {
                     });
                 i += 2;
             }
+            "--reuse-plans" => {
+                reuse_plans = true;
+                i += 1;
+            }
             "--trace-out" => {
                 trace_out = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
                     eprintln!("--trace-out requires a path");
@@ -83,7 +93,7 @@ fn main() {
                     _ => {
                         eprintln!(
                             "unknown argument {bare}; usage: \
-                             fuzz [--cases N] [--seed N] [--trace-out FILE]"
+                             fuzz [--cases N] [--seed N] [--reuse-plans] [--trace-out FILE]"
                         );
                         std::process::exit(2);
                     }
@@ -136,8 +146,14 @@ fn main() {
         let (ap, mp) = (a.partition(&desc), m.partition(&desc));
         let machine = Machine::new(grid.clone(), CostModel::cm5());
         let (d, apr, mpr, o) = (&desc, &ap, &mp, &opts);
-        let out =
-            machine.run(move |proc| pack(proc, d, &apr[proc.id()], &mpr[proc.id()], o).unwrap());
+        let out = machine.run(move |proc| {
+            if reuse_plans {
+                let plan = plan_pack(proc, d, &mpr[proc.id()], o).unwrap();
+                plan.execute(proc, &apr[proc.id()]).unwrap()
+            } else {
+                pack(proc, d, &apr[proc.id()], &mpr[proc.id()], o).unwrap()
+            }
+        });
         let mut got = vec![0i32; out.results[0].size];
         if let Some(layout) = out.results[0].v_layout {
             for (p, r) in out.results.iter().enumerate() {
@@ -171,16 +187,22 @@ fn main() {
         let uopts = UnpackOptions::new(uscheme);
         let (vpr, vl, uo) = (&v_locals, &v_layout, &uopts);
         let out = machine.run(move |proc| {
-            unpack(
-                proc,
-                d,
-                &mpr[proc.id()],
-                &apr[proc.id()],
-                &vpr[proc.id()],
-                vl,
-                uo,
-            )
-            .unwrap()
+            if reuse_plans {
+                let plan = plan_unpack(proc, d, &mpr[proc.id()], vl, uo).unwrap();
+                plan.execute(proc, &apr[proc.id()], &vpr[proc.id()])
+                    .unwrap()
+            } else {
+                unpack(
+                    proc,
+                    d,
+                    &mpr[proc.id()],
+                    &apr[proc.id()],
+                    &vpr[proc.id()],
+                    vl,
+                    uo,
+                )
+                .unwrap()
+            }
         });
         assert_eq!(
             GlobalArray::assemble(&desc, &out.results),
@@ -199,7 +221,12 @@ fn main() {
     }
     println!(
         "fuzz: all {pack_cases} PACK and {unpack_cases} UNPACK differential cases passed \
-         (seed {seed})"
+         (seed {seed}{})",
+        if reuse_plans {
+            ", plan-then-execute path"
+        } else {
+            ""
+        }
     );
 }
 

@@ -26,7 +26,10 @@ use std::time::Instant;
 
 use hpf_analysis::{Conformance, CritPath};
 use hpf_apps::{gather_global, run_compaction, sample_sort, SparseMatrix};
-use hpf_bench::{run_pack, run_pack_redist, run_unpack, ExpConfig, Measurement};
+use hpf_bench::{
+    pack_plan_ops, run_pack, run_pack_redist, run_unpack, time_pack_reuse, time_unpack_reuse,
+    unpack_plan_ops, ExpConfig, Measurement, ReuseMeasurement,
+};
 use hpf_core::{
     MaskPattern, MaskStats, PackOptions, PackScheme, RedistScheme, UnpackOptions, UnpackScheme,
 };
@@ -36,7 +39,10 @@ use hpf_machine::{Category, CostModel, Machine, ProcGrid, RunOutput};
 
 /// Schema version of the emitted JSON (bump on breaking field changes;
 /// `scripts/bench-schema.json` must match).
-const SCHEMA_VERSION: u32 = 2;
+const SCHEMA_VERSION: u32 = 3;
+
+/// Executes per plan in the `plan_reuse` workloads (plan once, execute N).
+const REUSE_EXECUTES: usize = 16;
 
 /// Conformance tolerance: the Section 6.4 formulas are exact, so any
 /// drift at all is a model violation.
@@ -53,6 +59,7 @@ struct Entry {
     wall_ms: f64,
     critpath: Option<CritPath>,
     conformance: Option<Conformance>,
+    reuse: Option<ReuseMeasurement>,
 }
 
 fn main() {
@@ -119,10 +126,16 @@ fn main() {
             let t0 = Instant::now();
             let (m, out) = run_pack(&cfg, &opts, true);
             let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-            let conformance = Conformance::evaluate(
+            // Phase-resolved conformance: planner ops measured alone, the
+            // executor's are the full run's minus them (deterministic
+            // simulation), each checked against its own split prediction.
+            let plan_ops = pack_plan_ops(&cfg, &opts);
+            let exec_ops = sub_ops(&out.cat_ops_per_proc(Category::LocalComp), &plan_ops);
+            let (pred_plan, pred_exec) = stats.predict_pack_ops_split(scheme, opts.scan_method);
+            let conformance = Conformance::evaluate_split(
                 &format!("pack.{label}"),
-                &stats.predict_pack_ops(scheme, opts.scan_method),
-                &out.cat_ops_per_proc(Category::LocalComp),
+                (&pred_plan, &pred_exec),
+                (&plan_ops, &exec_ops),
                 CONFORMANCE_TOL,
             );
             entries.push(Entry {
@@ -136,6 +149,7 @@ fn main() {
                 wall_ms,
                 critpath: Some(CritPath::from_run(&out)),
                 conformance: Some(conformance),
+                reuse: None,
             });
         }
     }
@@ -163,6 +177,7 @@ fn main() {
             wall_ms,
             critpath: Some(CritPath::from_run(&out)),
             conformance: None,
+            reuse: None,
         });
     }
 
@@ -179,10 +194,13 @@ fn main() {
             let t0 = Instant::now();
             let (m, out) = run_unpack(&cfg, &opts, false, true);
             let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-            let conformance = Conformance::evaluate(
+            let plan_ops = unpack_plan_ops(&cfg, &opts);
+            let exec_ops = sub_ops(&out.cat_ops_per_proc(Category::LocalComp), &plan_ops);
+            let (pred_plan, pred_exec) = stats.predict_unpack_ops_split(scheme);
+            let conformance = Conformance::evaluate_split(
                 &format!("unpack.{label}"),
-                &stats.predict_unpack_ops(scheme),
-                &out.cat_ops_per_proc(Category::LocalComp),
+                (&pred_plan, &pred_exec),
+                (&plan_ops, &exec_ops),
                 CONFORMANCE_TOL,
             );
             entries.push(Entry {
@@ -196,6 +214,56 @@ fn main() {
                 wall_ms,
                 critpath: Some(CritPath::from_run(&out)),
                 conformance: Some(conformance),
+                reuse: None,
+            });
+        }
+    }
+
+    // ---- Plan reuse (plan once, execute N — the planner/executor split's
+    // payoff, amortized) --------------------------------------------------
+    for w in [1usize, wide_w] {
+        let cfg = ExpConfig::new(&[n1d], &[p1d], w, pattern);
+        let mut reuse_runs: Vec<(String, ReuseMeasurement, f64)> = Vec::new();
+        for scheme in PackScheme::ALL {
+            let label = match scheme {
+                PackScheme::Simple => "sss",
+                PackScheme::CompactStorage => "css",
+                PackScheme::CompactMessage => "cms",
+            };
+            let t0 = Instant::now();
+            let r = time_pack_reuse(&cfg, &PackOptions::new(scheme), REUSE_EXECUTES);
+            reuse_runs.push((
+                format!("plan_reuse.pack.{label}.w{w}"),
+                r,
+                t0.elapsed().as_secs_f64() * 1e3,
+            ));
+        }
+        for scheme in UnpackScheme::ALL {
+            let label = match scheme {
+                UnpackScheme::Simple => "sss",
+                UnpackScheme::CompactStorage => "css",
+            };
+            let t0 = Instant::now();
+            let r = time_unpack_reuse(&cfg, &UnpackOptions::new(scheme), REUSE_EXECUTES);
+            reuse_runs.push((
+                format!("plan_reuse.unpack.{label}.w{w}"),
+                r,
+                t0.elapsed().as_secs_f64() * 1e3,
+            ));
+        }
+        for (name, r, wall_ms) in reuse_runs {
+            entries.push(Entry {
+                name,
+                group: "plan_reuse",
+                shape: cfg.shape.clone(),
+                grid: cfg.grid.clone(),
+                w: Some(w),
+                density: Some(density),
+                m: r.cached,
+                wall_ms,
+                critpath: None,
+                conformance: None,
+                reuse: Some(r),
             });
         }
     }
@@ -246,6 +314,20 @@ fn main() {
             e.wall_ms,
         );
     }
+    for e in &entries {
+        if let Some(r) = &e.reuse {
+            println!(
+                "  {:<26} fresh {:>8.3} ms/exec  cached {:>8.3} ms/exec  ratio {:.2}  \
+                 hits {}  misses {}",
+                e.name,
+                r.fresh_per_exec_ms(),
+                r.cached_per_exec_ms(),
+                r.reuse_ratio(),
+                r.cache_hits,
+                r.cache_misses,
+            );
+        }
+    }
 
     // Conformance gate: any drift from the Section 6.4 model fails the run.
     let mut drifted = false;
@@ -260,6 +342,11 @@ fn main() {
     if drifted {
         std::process::exit(1);
     }
+}
+
+/// Elementwise `total - plan` per-processor op counts (execute phase).
+fn sub_ops(total: &[u64], plan: &[u64]) -> Vec<u64> {
+    total.iter().zip(plan).map(|(&t, &p)| t - p).collect()
 }
 
 /// Short git revision, or "unknown" outside a git checkout.
@@ -319,6 +406,7 @@ fn app_compaction(smoke: bool) -> Entry {
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         critpath: Some(CritPath::from_run(&out)),
         conformance: None,
+        reuse: None,
     }
 }
 
@@ -353,6 +441,7 @@ fn app_sort(smoke: bool) -> Entry {
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         critpath: Some(CritPath::from_run(&out)),
         conformance: None,
+        reuse: None,
     }
 }
 
@@ -401,6 +490,7 @@ fn app_spmv(smoke: bool) -> Entry {
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         critpath: Some(CritPath::from_run(&out)),
         conformance: None,
+        reuse: None,
     }
 }
 
@@ -438,6 +528,7 @@ fn app_gather(smoke: bool) -> Entry {
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         critpath: Some(CritPath::from_run(&out)),
         conformance: None,
+        reuse: None,
     }
 }
 
@@ -519,10 +610,24 @@ fn render_json(rev: &str, smoke: bool, entries: &[Entry]) -> String {
         }
         match &e.conformance {
             Some(c) => {
+                // Every conformance the binary emits is phase-resolved;
+                // render zeros defensively if one ever is not.
+                let sum = |v: &[u64]| v.iter().sum::<u64>();
+                let (pp, pe, mp, me) = match &c.phases {
+                    Some(ph) => (
+                        sum(&ph.predicted_plan),
+                        sum(&ph.predicted_execute),
+                        sum(&ph.measured_plan),
+                        sum(&ph.measured_execute),
+                    ),
+                    None => (0, 0, 0, 0),
+                };
                 let _ = writeln!(
                     s,
                     "      \"conformance\": {{\"scheme\": \"{}\", \
                      \"predicted_ops\": {}, \"measured_ops\": {}, \
+                     \"predicted_plan_ops\": {pp}, \"predicted_execute_ops\": {pe}, \
+                     \"measured_plan_ops\": {mp}, \"measured_execute_ops\": {me}, \
                      \"rel_error\": {}, \"pass\": {}}},",
                     c.scheme,
                     c.predicted_total(),
@@ -532,6 +637,26 @@ fn render_json(rev: &str, smoke: bool, entries: &[Entry]) -> String {
                 );
             }
             None => s.push_str("      \"conformance\": null,\n"),
+        }
+        match &e.reuse {
+            Some(r) => {
+                let _ = writeln!(
+                    s,
+                    "      \"reuse\": {{\"executes\": {}, \"fresh_total_ms\": {}, \
+                     \"cached_total_ms\": {}, \"fresh_per_exec_ms\": {}, \
+                     \"cached_per_exec_ms\": {}, \"ratio\": {}, \
+                     \"cache_hits\": {}, \"cache_misses\": {}}},",
+                    r.executes,
+                    json_f64(r.fresh.total_ms()),
+                    json_f64(r.cached.total_ms()),
+                    json_f64(r.fresh_per_exec_ms()),
+                    json_f64(r.cached_per_exec_ms()),
+                    json_f64(r.reuse_ratio()),
+                    r.cache_hits,
+                    r.cache_misses,
+                );
+            }
+            None => s.push_str("      \"reuse\": null,\n"),
         }
         let _ = writeln!(s, "      \"wall_ms\": {}", json_f64(e.wall_ms));
         s.push_str(if i + 1 < entries.len() {

@@ -2,8 +2,8 @@
 //! PACK/UNPACK under a scheme, and report the simulated-time breakdown.
 
 use hpf_core::{
-    pack, pack_redistributed, unpack, MaskPattern, PackOptions, PackScheme, RedistScheme,
-    UnpackOptions, UnpackScheme,
+    pack, pack_redistributed, plan_pack, plan_unpack, unpack, MaskPattern, PackOptions, PackScheme,
+    PlanCache, RedistScheme, UnpackOptions, UnpackScheme,
 };
 use hpf_distarray::{local_from_fn, ArrayDesc, DimLayout, Dist, GlobalArray};
 use hpf_machine::{Breakdown, Category, CostModel, Machine, ProcGrid, RunOutput};
@@ -149,6 +149,185 @@ pub fn measure_run<R>(out: &RunOutput<R>, size: usize) -> Measurement {
         dup_drops: out.total_dup_drops(),
         retry_overhead: out.retry_overhead(),
     }
+}
+
+/// Amortized plan-reuse measurement: one cached plan executed `executes`
+/// times (fresh data every iteration) versus `executes` independent full
+/// calls — the mask, and therefore the plan, is fixed across iterations.
+#[derive(Debug, Clone, Copy)]
+pub struct ReuseMeasurement {
+    /// Number of operations in each arm.
+    pub executes: usize,
+    /// `executes` independent full calls (plan + execute every time).
+    pub fresh: Measurement,
+    /// One planning pass + `executes` cached executes.
+    pub cached: Measurement,
+    /// `plan.cache.hit` summed over all processors after the cached arm.
+    pub cache_hits: u64,
+    /// `plan.cache.miss` summed over all processors after the cached arm.
+    pub cache_misses: u64,
+}
+
+impl ReuseMeasurement {
+    /// Amortized simulated cost per call of the fresh arm.
+    pub fn fresh_per_exec_ms(&self) -> f64 {
+        self.fresh.total_ms() / self.executes as f64
+    }
+
+    /// Amortized simulated cost per call of the cached arm (the single
+    /// planning pass is spread over all executes).
+    pub fn cached_per_exec_ms(&self) -> f64 {
+        self.cached.total_ms() / self.executes as f64
+    }
+
+    /// Cached over fresh amortized cost; below 1 means reuse pays.
+    pub fn reuse_ratio(&self) -> f64 {
+        self.cached_per_exec_ms() / self.fresh_per_exec_ms().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Measure PACK plan reuse under `opts`: `executes` fresh `pack` calls
+/// versus one [`PlanCache`]d plan executed `executes` times, each
+/// iteration on different element values. The cached arm runs with
+/// metrics so the `plan.cache.{hit,miss}` counters are observable.
+pub fn time_pack_reuse(cfg: &ExpConfig, opts: &PackOptions, executes: usize) -> ReuseMeasurement {
+    let desc = cfg.desc();
+    let (desc_ref, pattern) = (&desc, cfg.pattern);
+    let data_at = move |it: usize, g: &[usize]| ExpConfig::value_at(g).wrapping_add(it as i32);
+
+    let shape = cfg.shape.clone();
+    let out = cfg.machine().run(move |proc| {
+        let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
+        let data: Vec<Vec<i32>> = (0..executes)
+            .map(|it| local_from_fn(desc_ref, proc.id(), |g| data_at(it, g)))
+            .collect();
+        proc.clock().reset();
+        let mut size = 0;
+        for a in &data {
+            size = pack(proc, desc_ref, a, &m, opts).unwrap().size;
+        }
+        size
+    });
+    let fresh = measure_run(&out, out.results[0]);
+
+    let shape = cfg.shape.clone();
+    let out = cfg.machine().with_metrics(true).run(move |proc| {
+        let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
+        let data: Vec<Vec<i32>> = (0..executes)
+            .map(|it| local_from_fn(desc_ref, proc.id(), |g| data_at(it, g)))
+            .collect();
+        let mut plans = PlanCache::new();
+        proc.clock().reset();
+        let mut size = 0;
+        for a in &data {
+            let plan = plans
+                .pack_plan(proc, desc_ref, &m, pattern.fingerprint(), opts)
+                .unwrap();
+            size = plan.execute(proc, a).unwrap().size;
+        }
+        size
+    });
+    let cached = measure_run(&out, out.results[0]);
+    let metrics = out.merged_metrics();
+    ReuseMeasurement {
+        executes,
+        fresh,
+        cached,
+        cache_hits: metrics.counter("plan.cache.hit"),
+        cache_misses: metrics.counter("plan.cache.miss"),
+    }
+}
+
+/// Measure UNPACK plan reuse under `opts`; see [`time_pack_reuse`]. Each
+/// iteration unpacks a different input vector through the same mask.
+pub fn time_unpack_reuse(
+    cfg: &ExpConfig,
+    opts: &UnpackOptions,
+    executes: usize,
+) -> ReuseMeasurement {
+    let desc = cfg.desc();
+    let size = {
+        let m = cfg.pattern.global(&cfg.shape);
+        m.data().iter().filter(|&&b| b).count()
+    };
+    let nprocs: usize = cfg.grid.iter().product();
+    let n_prime = size.max(1);
+    let v_layout = DimLayout::new_general(n_prime, nprocs, n_prime.div_ceil(nprocs)).unwrap();
+    let (desc_ref, pattern, vl) = (&desc, cfg.pattern, &v_layout);
+    let vdata = move |me: usize, it: usize, vl: &DimLayout| -> Vec<i32> {
+        (0..vl.local_len(me))
+            .map(|l| (vl.global_of(me, l) as i32).wrapping_add(1000 * it as i32))
+            .collect()
+    };
+
+    let shape = cfg.shape.clone();
+    let out = cfg.machine().run(move |proc| {
+        let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
+        let f = local_from_fn(desc_ref, proc.id(), |_| -1i32);
+        let vs: Vec<Vec<i32>> = (0..executes).map(|it| vdata(proc.id(), it, vl)).collect();
+        proc.clock().reset();
+        for v in &vs {
+            unpack(proc, desc_ref, &m, &f, v, vl, opts).unwrap();
+        }
+    });
+    let fresh = measure_run(&out, size);
+
+    let shape = cfg.shape.clone();
+    let out = cfg.machine().with_metrics(true).run(move |proc| {
+        let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
+        let f = local_from_fn(desc_ref, proc.id(), |_| -1i32);
+        let vs: Vec<Vec<i32>> = (0..executes).map(|it| vdata(proc.id(), it, vl)).collect();
+        let mut plans = PlanCache::new();
+        proc.clock().reset();
+        for v in &vs {
+            let plan = plans
+                .unpack_plan(proc, desc_ref, &m, pattern.fingerprint(), vl, opts)
+                .unwrap();
+            plan.execute(proc, &f, v).unwrap();
+        }
+    });
+    let cached = measure_run(&out, size);
+    let metrics = out.merged_metrics();
+    ReuseMeasurement {
+        executes,
+        fresh,
+        cached,
+        cache_hits: metrics.counter("plan.cache.hit"),
+        cache_misses: metrics.counter("plan.cache.miss"),
+    }
+}
+
+/// Per-processor `LocalComp` operation counts of the PACK planning phase
+/// alone. The simulation is deterministic, so a full run's counts minus
+/// these are exactly the execute phase's — used for phase-resolved
+/// Section 6.4 conformance.
+pub fn pack_plan_ops(cfg: &ExpConfig, opts: &PackOptions) -> Vec<u64> {
+    let desc = cfg.desc();
+    let (desc_ref, pattern, shape) = (&desc, cfg.pattern, cfg.shape.clone());
+    let out = cfg.machine().run(move |proc| {
+        let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
+        plan_pack(proc, desc_ref, &m, opts).unwrap().size()
+    });
+    out.cat_ops_per_proc(Category::LocalComp)
+}
+
+/// Per-processor `LocalComp` operation counts of the UNPACK planning
+/// phase alone; see [`pack_plan_ops`].
+pub fn unpack_plan_ops(cfg: &ExpConfig, opts: &UnpackOptions) -> Vec<u64> {
+    let desc = cfg.desc();
+    let size = {
+        let m = cfg.pattern.global(&cfg.shape);
+        m.data().iter().filter(|&&b| b).count()
+    };
+    let nprocs: usize = cfg.grid.iter().product();
+    let n_prime = size.max(1);
+    let v_layout = DimLayout::new_general(n_prime, nprocs, n_prime.div_ceil(nprocs)).unwrap();
+    let (desc_ref, pattern, shape, vl) = (&desc, cfg.pattern, cfg.shape.clone(), &v_layout);
+    let out = cfg.machine().run(move |proc| {
+        let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
+        plan_unpack(proc, desc_ref, &m, vl, opts).unwrap().size()
+    });
+    out.cat_ops_per_proc(Category::LocalComp)
 }
 
 /// Run PACK under `opts` and measure.
@@ -376,6 +555,56 @@ mod tests {
         let m = time_unpack(&cfg, &UnpackOptions::new(UnpackScheme::CompactStorage));
         assert!(m.total_ms() > 0.0);
         assert!(m.m2m_ms() > 0.0);
+    }
+
+    #[test]
+    fn plan_reuse_amortizes_and_counts_hits() {
+        let cfg = ExpConfig::new(
+            &[256],
+            &[4],
+            1,
+            MaskPattern::Random {
+                density: 0.5,
+                seed: 5,
+            },
+        );
+        let r = time_pack_reuse(&cfg, &PackOptions::default(), 8);
+        assert_eq!(r.cache_misses, 4, "one planning miss per processor");
+        assert_eq!(r.cache_hits, 7 * 4, "executes-1 hits per processor");
+        assert!(r.reuse_ratio() < 1.0, "ratio {}", r.reuse_ratio());
+        let r = time_unpack_reuse(&cfg, &UnpackOptions::new(UnpackScheme::CompactStorage), 8);
+        assert_eq!(r.cache_misses, 4);
+        assert_eq!(r.cache_hits, 7 * 4);
+        assert!(r.reuse_ratio() < 1.0, "ratio {}", r.reuse_ratio());
+    }
+
+    #[test]
+    fn plan_ops_are_a_lower_slice_of_full_run_ops() {
+        let cfg = ExpConfig::new(
+            &[128],
+            &[4],
+            4,
+            MaskPattern::Random {
+                density: 0.5,
+                seed: 6,
+            },
+        );
+        for (_, opts) in pack_scheme_opts() {
+            let plan = pack_plan_ops(&cfg, &opts);
+            let (_, out) = run_pack(&cfg, &opts, false);
+            let total = out.cat_ops_per_proc(Category::LocalComp);
+            for (p, (&pl, &t)) in plan.iter().zip(&total).enumerate() {
+                assert!(pl > 0 && pl < t, "proc {p}: plan {pl} vs total {t}");
+            }
+        }
+        for (_, opts) in unpack_scheme_opts() {
+            let plan = unpack_plan_ops(&cfg, &opts);
+            let (_, out) = run_unpack(&cfg, &opts, false, false);
+            let total = out.cat_ops_per_proc(Category::LocalComp);
+            for (p, (&pl, &t)) in plan.iter().zip(&total).enumerate() {
+                assert!(pl > 0 && pl < t, "proc {p}: plan {pl} vs total {t}");
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //! and cyclically distributed inputs can be redistributed to block first
 //! ([`pack_redistributed`], Red.1 / Red.2) to minimise ranking overhead.
 //!
+//! Both operations are split into a value-independent **planner**
+//! ([`plan_pack`] / [`plan_unpack`]) and a value-only **executor**
+//! ([`PackPlan::execute`] / [`UnpackPlan::execute`]); [`pack`] and
+//! [`unpack`] are thin plan-then-execute wrappers, and a [`PlanCache`]
+//! amortises planning across repeated calls under an unchanged mask — see
+//! the [`plan`] module.
+//!
 //! Everything runs on the simulated coarse-grained machine of
 //! [`hpf_machine`] and charges its two-level cost model, which is how the
 //! benches regenerate the paper's tables and figures.
@@ -47,6 +54,7 @@
 mod error;
 pub mod mask;
 mod pack;
+pub mod plan;
 pub mod ranking;
 mod schemes;
 pub mod seq;
@@ -58,5 +66,6 @@ pub use pack::{
     pack, pack_redistributed, pack_with_vector, predict, CmsMessage, MaskStats, PackOutput,
     RedistScheme,
 };
+pub use plan::{plan_pack, plan_unpack, PackPlan, PlanCache, UnpackPlan};
 pub use schemes::{PackOptions, PackScheme, ScanMethod, UnpackOptions, UnpackScheme};
 pub use unpack::{unpack, unpack_redistributed, RankRequest};

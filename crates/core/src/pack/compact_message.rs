@@ -15,14 +15,16 @@
 //! distribution (slice size 1) or when slices hold single elements, and
 //! that shrinking the result vector's block size `W'` inflates the segment
 //! count.
+//!
+//! Under the plan/execute split, the scans and the run composition
+//! (`2/run` segment headers) are plan-time; the value gather (`1/value`)
+//! and the segment decode (`2/segment + 1/value`) are execute-time.
 
-use hpf_machine::collectives::alltoallv;
+use hpf_distarray::DimLayout;
 use hpf_machine::{Category, Payload, Proc, Wire, Words};
 
-use crate::ranking::{rank_from_counts, RankShape};
-use crate::schemes::PackOptions;
-
-use super::{collect_slice_values, dest_runs, result_layout, PackOutput};
+use crate::plan::composer::{CompactComposer, ComposeCost, Composer, RankEmit};
+use crate::schemes::ScanMethod;
 
 /// A compact-message-scheme message: a stream of
 /// `(base rank, values…)` segments. Wire size is `Σ (2 + |values|)` words,
@@ -66,76 +68,29 @@ impl<T: Wire> Payload for CmsMessage<T> {
     }
 }
 
-pub(crate) fn pack_cms<T: Wire + Default>(
+/// The CMS plan-time composer: counter-array storage, run-compressed
+/// ranks, two operations per destination run (the segment header); the
+/// per-value work is all execute-time.
+pub(crate) fn composer(scan_method: ScanMethod) -> Box<dyn Composer> {
+    Box::new(CompactComposer::new(
+        RankEmit::Runs,
+        ComposeCost {
+            per_run: 2,
+            per_elem: 0,
+        },
+        scan_method,
+    ))
+}
+
+/// Decode received segment messages into the local portion of `V`
+/// (Section 6.4.2: decomposition costs `E_a + 2·Gr_i` — two operations per
+/// segment plus one per value).
+pub(crate) fn decode_segments<T: Wire + Default>(
     proc: &mut Proc,
-    shape: &RankShape,
-    a_local: &[T],
-    m_local: &[bool],
-    opts: &PackOptions,
-) -> PackOutput<T> {
-    let w0 = shape.w[0];
-
-    // Initial step: identical to the compact storage scheme.
-    let (counts, ps_c) = proc.with_category(Category::LocalComp, |proc| {
-        let counts = crate::ranking::slice_counts(m_local, w0);
-        let ps_c = counts.clone();
-        proc.charge_ops(m_local.len() + ps_c.len());
-        (counts, ps_c)
-    });
-
-    let ranking = rank_from_counts(proc, shape, counts, opts.prs);
-    if ranking.size == 0 {
-        return PackOutput {
-            local_v: Vec::new(),
-            size: 0,
-            v_layout: None,
-        };
-    }
-    let layout =
-        result_layout(ranking.size, proc.nprocs(), opts.result_block_size).expect("size > 0");
-
-    // Final step + segment composition: one segment per destination run.
-    let sends = proc.with_category(Category::LocalComp, |proc| {
-        let nprocs = proc.nprocs();
-        let mut sends: Vec<CmsMessage<T>> = (0..nprocs).map(|_| CmsMessage::default()).collect();
-        let mut ops = ps_c.len();
-        let mut values: Vec<T> = Vec::with_capacity(w0);
-        for (k, &n) in ps_c.iter().enumerate() {
-            if n == 0 {
-                continue;
-            }
-            let n = n as usize;
-            let r0 = ranking.ps_f[k] as usize;
-            values.clear();
-            ops += collect_slice_values(
-                &a_local[k * w0..(k + 1) * w0],
-                &m_local[k * w0..(k + 1) * w0],
-                n,
-                opts.scan_method,
-                &mut values,
-            );
-            let mut taken = 0usize;
-            for (start, len) in dest_runs(r0, n, &layout) {
-                let dest = layout.owner(start);
-                sends[dest]
-                    .segments
-                    .push((start as u32, values[taken..taken + len].to_vec()));
-                taken += len;
-                ops += 2 + len; // segment header + value appends
-            }
-        }
-        proc.charge_ops(ops);
-        sends
-    });
-
-    // Redistribution.
-    let recvs = proc.with_category(Category::ManyToMany, |proc| {
-        let world = proc.world();
-        alltoallv(proc, &world, sends, opts.schedule)
-    });
-
-    // Decomposition: 2 ops per segment + 1 per value (E_a + 2·Gr_i).
-    let local_v = proc.with_category(Category::LocalComp, |proc| {
+    layout: &DimLayout,
+    recvs: Vec<CmsMessage<T>>,
+) -> Vec<T> {
+    proc.with_category(Category::LocalComp, |proc| {
         let me = proc.id();
         let mut local_v = vec![T::default(); layout.local_len(me)];
         let mut ops = 0usize;
@@ -151,13 +106,7 @@ pub(crate) fn pack_cms<T: Wire + Default>(
         }
         proc.charge_ops(ops);
         local_v
-    });
-
-    PackOutput {
-        local_v,
-        size: ranking.size,
-        v_layout: Some(layout),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -6,98 +6,31 @@
 //! holds) with `PS_f[k]` (the global rank of the first of them) rebuilds,
 //! per slice, the consecutive global ranks `r_0, r_0+1, …, r_0+n-1`, the
 //! destination processors (the `sendl` vector), and — via a second scan of
-//! only the non-empty slices — the values themselves.
+//! only the non-empty slices — the element slots themselves.
 //!
 //! Messages remain `(rank, value)` pairs as in the simple scheme. Local
 //! computation ∝ `2L + 2C + 3E_i + 2E_a`: an extra scan and an extra pass
 //! over the slices buy the removal of the 4-per-element record traffic, so
 //! CSS wins once blocks are large (few slices) and density is high (records
 //! dominate).
+//!
+//! Under the plan/execute split, the two scans, the slice walk, and the
+//! rank expansion (`1/run + 1/element`) are plan-time; the value gather
+//! (`1/element`) and pair decode (`2/element`) are execute-time.
 
-use hpf_machine::collectives::alltoallv;
-use hpf_machine::{Category, Proc, Wire};
+use crate::plan::composer::{CompactComposer, ComposeCost, Composer, RankEmit};
+use crate::schemes::ScanMethod;
 
-use crate::ranking::{rank_from_counts, RankShape};
-use crate::schemes::PackOptions;
-
-use super::{collect_slice_values, decode_pairs, dest_runs, result_layout, PackOutput};
-
-pub(crate) fn pack_css<T: Wire + Default>(
-    proc: &mut Proc,
-    shape: &RankShape,
-    a_local: &[T],
-    m_local: &[bool],
-    opts: &PackOptions,
-) -> PackOutput<T> {
-    let w0 = shape.w[0];
-
-    // Initial step: slice counts only (charge L), plus the PS_c copy
-    // (charge C).
-    let (counts, ps_c) = proc.with_category(Category::LocalComp, |proc| {
-        let counts = crate::ranking::slice_counts(m_local, w0);
-        let ps_c = counts.clone();
-        proc.charge_ops(m_local.len() + ps_c.len());
-        (counts, ps_c)
-    });
-
-    let ranking = rank_from_counts(proc, shape, counts, opts.prs);
-    if ranking.size == 0 {
-        return PackOutput {
-            local_v: Vec::new(),
-            size: 0,
-            v_layout: None,
-        };
-    }
-    let layout =
-        result_layout(ranking.size, proc.nprocs(), opts.result_block_size).expect("size > 0");
-
-    // Final step + message composition: walk the slices; for each non-empty
-    // slice, rebuild ranks from PS_c/PS_f, build the sendl runs, and collect
-    // the values with the second scan.
-    let sends = proc.with_category(Category::LocalComp, |proc| {
-        let nprocs = proc.nprocs();
-        let mut sends: Vec<Vec<(u32, T)>> = (0..nprocs).map(|_| Vec::new()).collect();
-        let mut ops = ps_c.len(); // one check per slice
-        let mut values: Vec<T> = Vec::with_capacity(w0);
-        for (k, &n) in ps_c.iter().enumerate() {
-            if n == 0 {
-                continue;
-            }
-            let n = n as usize;
-            let r0 = ranking.ps_f[k] as usize;
-            values.clear();
-            ops += collect_slice_values(
-                &a_local[k * w0..(k + 1) * w0],
-                &m_local[k * w0..(k + 1) * w0],
-                n,
-                opts.scan_method,
-                &mut values,
-            );
-            // Pair composition (2 ops/element) plus one sendl access per
-            // destination run.
-            let mut taken = 0usize;
-            for (start, len) in dest_runs(r0, n, &layout) {
-                let dest = layout.owner(start);
-                for (j, &v) in values[taken..taken + len].iter().enumerate() {
-                    sends[dest].push(((start + j) as u32, v));
-                }
-                taken += len;
-                ops += 1 + 2 * len;
-            }
-        }
-        proc.charge_ops(ops);
-        sends
-    });
-
-    let recvs = proc.with_category(Category::ManyToMany, |proc| {
-        let world = proc.world();
-        alltoallv(proc, &world, sends, opts.schedule)
-    });
-
-    let local_v = decode_pairs(proc, &layout, recvs);
-    PackOutput {
-        local_v,
-        size: ranking.size,
-        v_layout: Some(layout),
-    }
+/// The CSS plan-time composer: counter-array storage, ranks expanded to
+/// explicit per-element form (the wire format stays pair-based), one
+/// `sendl` operation per destination run plus one per element.
+pub(crate) fn composer(scan_method: ScanMethod) -> Box<dyn Composer> {
+    Box::new(CompactComposer::new(
+        RankEmit::Explicit,
+        ComposeCost {
+            per_run: 1,
+            per_elem: 1,
+        },
+        scan_method,
+    ))
 }

@@ -1,11 +1,16 @@
 //! Parallel PACK — Section 4.1: ranking stage + redistribution stage, with
 //! the three storage/message schemes of Section 6.
+//!
+//! Since the planner/executor split, [`pack`] is a thin wrapper over
+//! [`crate::plan::plan_pack`] + [`crate::plan::PackPlan::execute`]; the
+//! per-scheme modules configure the plan-time composer and own their wire
+//! formats.
 
-mod compact_message;
-mod compact_storage;
+pub(crate) mod compact_message;
+pub(crate) mod compact_storage;
 pub mod predict;
 mod redist;
-mod simple;
+pub(crate) mod simple;
 mod vector_arg;
 
 pub use compact_message::CmsMessage;
@@ -18,7 +23,7 @@ use hpf_machine::{Category, Proc, Wire};
 
 use crate::error::PackError;
 use crate::ranking::RankShape;
-use crate::schemes::{PackOptions, PackScheme, ScanMethod};
+use crate::schemes::PackOptions;
 
 /// Result of a parallel PACK on one processor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,11 +44,17 @@ pub struct PackOutput<T> {
 /// Every processor calls this with its local portions; each receives its
 /// local slice of `V` plus the replicated `Size` and the vector layout.
 ///
+/// Exactly equivalent to [`crate::plan_pack`] followed by one
+/// [`crate::PackPlan::execute`] — callers that pack repeatedly under an
+/// unchanged mask should hold the plan (or a [`crate::PlanCache`]) and
+/// execute it directly.
+///
 /// Work is charged to the calling processor's clock:
 /// [`Category::LocalComp`] for scanning, rank computation, and message
 /// composition/decomposition; [`Category::PrefixReductionSum`] for the
 /// ranking collectives; [`Category::ManyToMany`] for the redistribution
-/// exchange.
+/// exchange (plus a one-round plan-time flag exchange under
+/// [`Category::Other`]).
 pub fn pack<T: Wire + Default>(
     proc: &mut Proc,
     desc: &ArrayDesc,
@@ -51,18 +62,9 @@ pub fn pack<T: Wire + Default>(
     m_local: &[bool],
     opts: &PackOptions,
 ) -> Result<PackOutput<T>, PackError> {
-    let shape = validate(proc, desc, a_local, m_local)?;
-    Ok(match opts.scheme {
-        PackScheme::Simple => proc.with_stage("pack.sss", |proc| {
-            simple::pack_sss(proc, &shape, a_local, m_local, opts)
-        }),
-        PackScheme::CompactStorage => proc.with_stage("pack.css", |proc| {
-            compact_storage::pack_css(proc, &shape, a_local, m_local, opts)
-        }),
-        PackScheme::CompactMessage => proc.with_stage("pack.cms", |proc| {
-            compact_message::pack_cms(proc, &shape, a_local, m_local, opts)
-        }),
-    })
+    validate(proc, desc, a_local, m_local)?;
+    let plan = crate::plan::plan_pack(proc, desc, m_local, opts)?;
+    plan.execute(proc, a_local)
 }
 
 /// Validate inputs and extract the ranking shape. All checks use state that
@@ -85,6 +87,28 @@ pub(crate) fn validate(
             got: a_len_of.len(),
         });
     }
+    if m_local.len() != expected {
+        return Err(PackError::MaskLenMismatch {
+            expected,
+            got: m_local.len(),
+        });
+    }
+    Ok(RankShape::from_desc(desc))
+}
+
+/// Mask-only validation for the planner (no array values exist at plan
+/// time; the plan's `execute` checks the array length instead).
+pub(crate) fn validate_mask(
+    proc: &Proc,
+    desc: &ArrayDesc,
+    m_local: &[bool],
+) -> Result<RankShape, PackError> {
+    for i in 0..desc.ndims() {
+        if !desc.dim(i).divisible() {
+            return Err(PackError::NotDivisible { dim: i });
+        }
+    }
+    let expected = desc.local_len(proc.id());
     if m_local.len() != expected {
         return Err(PackError::MaskLenMismatch {
             expected,
@@ -154,48 +178,11 @@ pub(crate) fn dest_runs(
     })
 }
 
-/// Collect the values of the `n` selected elements of one slice, using the
-/// requested second-scan method (Section 6.1). Returns the values in slice
-/// order and the number of elementary operations the scan performed.
-pub(crate) fn collect_slice_values<T: Copy>(
-    a_slice: &[T],
-    m_slice: &[bool],
-    n: usize,
-    method: ScanMethod,
-    out: &mut Vec<T>,
-) -> usize {
-    match method {
-        ScanMethod::UntilCollected => {
-            let mut found = 0usize;
-            let mut scanned = 0usize;
-            for (i, (&v, &b)) in a_slice.iter().zip(m_slice).enumerate() {
-                if b {
-                    out.push(v);
-                    found += 1;
-                    if found == n {
-                        scanned = i + 1;
-                        break;
-                    }
-                }
-            }
-            debug_assert_eq!(found, n, "slice count disagrees with mask");
-            scanned
-        }
-        ScanMethod::WholeSlice => {
-            for (&v, &b) in a_slice.iter().zip(m_slice) {
-                if b {
-                    out.push(v);
-                }
-            }
-            a_slice.len()
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::mask::MaskPattern;
+    use crate::schemes::{PackScheme, ScanMethod};
     use crate::seq::pack_seq;
     use hpf_distarray::{Dist, GlobalArray};
     use hpf_machine::collectives::A2aSchedule;
@@ -406,20 +393,6 @@ mod tests {
             }
         }
         assert_eq!(dest_runs(0, 0, &layout).count(), 0);
-    }
-
-    #[test]
-    fn collect_values_methods_agree() {
-        let a = [1, 2, 3, 4, 5, 6];
-        let m = [false, true, false, true, false, false];
-        let mut v1 = Vec::new();
-        let ops1 = collect_slice_values(&a, &m, 2, ScanMethod::UntilCollected, &mut v1);
-        let mut v2 = Vec::new();
-        let ops2 = collect_slice_values(&a, &m, 2, ScanMethod::WholeSlice, &mut v2);
-        assert_eq!(v1, vec![2, 4]);
-        assert_eq!(v1, v2);
-        assert_eq!(ops1, 4); // stopped after the last selected element
-        assert_eq!(ops2, 6); // scanned the whole slice
     }
 
     #[test]

@@ -162,27 +162,43 @@ impl MaskStats {
     /// Only meaningful for `size > 0` (an all-false mask short-circuits the
     /// composition and redistribution steps the formulas account for).
     pub fn predict_pack_ops(&self, scheme: PackScheme, method: ScanMethod) -> Vec<u64> {
+        let (plan, exec) = self.predict_pack_ops_split(scheme, method);
+        plan.iter().zip(&exec).map(|(&p, &x)| p + x).collect()
+    }
+
+    /// The PACK prediction attributed to the planner/executor split:
+    /// `(plan ops, execute ops)` per processor, summing exactly to
+    /// [`MaskStats::predict_pack_ops`]. Scans, ranking, and composition are
+    /// plan-time; the value gather and message decode are execute-time.
+    pub fn predict_pack_ops_split(
+        &self,
+        scheme: PackScheme,
+        method: ScanMethod,
+    ) -> (Vec<u64>, Vec<u64>) {
         let (l, c) = (self.l, self.c);
         (0..self.e.len())
             .map(|i| {
                 let (e, r, gs, gr) = (self.e[i], self.r[i], self.gs[i], self.gr[i]);
-                let ops = match scheme {
-                    // 6.4.1: initial L+4E, ranking 2C, replay 2E, decode 2R.
-                    PackScheme::Simple => l + 2 * c + 6 * e + 2 * r,
+                let (plan, exec) = match scheme {
+                    // 6.4.1: initial L+4E and replay E at plan; gather E
+                    // and pair decode 2R at execute (ranking 2C at plan).
+                    PackScheme::Simple => (l + 2 * c + 5 * e, e + 2 * r),
                     // 6.4.1: initial L+C, ranking 2C, composition
-                    // C + S + Σ(1+2·len), decode 2R.
+                    // C + S + Σ(1+len) at plan; gather E, decode 2R.
                     PackScheme::CompactStorage => {
-                        l + 4 * c + self.scan_cost(i, method) + gs + 2 * e + 2 * r
+                        (l + 4 * c + self.scan_cost(i, method) + gs + e, e + 2 * r)
                     }
-                    // 6.4.2: composition charges 2 per segment header plus
-                    // the values; decomposition 2 per received segment.
-                    PackScheme::CompactMessage => {
-                        l + 4 * c + self.scan_cost(i, method) + 2 * gs + e + r + 2 * gr
-                    }
+                    // 6.4.2: composition charges 2 per segment header at
+                    // plan; values gather at execute, decomposition 2 per
+                    // received segment plus one per value.
+                    PackScheme::CompactMessage => (
+                        l + 4 * c + self.scan_cost(i, method) + 2 * gs,
+                        e + r + 2 * gr,
+                    ),
                 };
-                ops as u64
+                (plan as u64, exec as u64)
             })
-            .collect()
+            .unzip()
     }
 
     /// Predicted per-processor `LocalComp` operation counts for a parallel
@@ -191,24 +207,30 @@ impl MaskStats {
     /// UNPACK's compact-storage composition always uses the method-1
     /// (until-collected) second scan.
     pub fn predict_unpack_ops(&self, scheme: UnpackScheme) -> Vec<u64> {
+        let (plan, exec) = self.predict_unpack_ops_split(scheme);
+        plan.iter().zip(&exec).map(|(&p, &x)| p + x).collect()
+    }
+
+    /// The UNPACK prediction attributed to the planner/executor split:
+    /// `(plan ops, execute ops)` per processor, summing exactly to
+    /// [`MaskStats::predict_unpack_ops`]. Scans, ranking, composition, the
+    /// request round, and the owners' request decode (`R_i` lookups) are
+    /// plan-time; the field copy, the value replies (`R_i`), and the
+    /// scatter (`E_i`) are execute-time.
+    pub fn predict_unpack_ops_split(&self, scheme: UnpackScheme) -> (Vec<u64>, Vec<u64>) {
         let (l, c) = (self.l, self.c);
         (0..self.e.len())
             .map(|i| {
                 let (e, r, gs) = (self.e[i], self.r[i], self.gs[i]);
-                let ops = match scheme {
-                    UnpackScheme::Simple => 2 * l + 2 * c + 7 * e + 2 * r,
+                let plan = match scheme {
+                    UnpackScheme::Simple => l + 2 * c + 6 * e + r,
                     UnpackScheme::CompactStorage => {
-                        2 * l
-                            + 4 * c
-                            + self.scan_cost(i, ScanMethod::UntilCollected)
-                            + 2 * gs
-                            + 2 * e
-                            + 2 * r
+                        l + 4 * c + self.scan_cost(i, ScanMethod::UntilCollected) + 2 * gs + e + r
                     }
                 };
-                ops as u64
+                ((plan) as u64, (l + r + e) as u64)
             })
-            .collect()
+            .unzip()
     }
 }
 

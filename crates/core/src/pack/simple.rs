@@ -4,101 +4,24 @@
 //! the paper lists `d + 3` items (a local index per dimension, the tile
 //! number, the in-slice rank, and later the destination processor), costing
 //! at least four memory read/write operations per selected element. The
-//! final step replays the saved records against `PS_f` to produce the
-//! global rank and destination of each element, and the message is a stream
-//! of `(global rank, value)` pairs — `2·E_i` words.
+//! composition step replays the saved records against `PS_f` to produce
+//! the global rank and destination of each element, and the message is a
+//! stream of `(global rank, value)` pairs — `2·E_i` words.
 //!
 //! Local computation ∝ `L + C + 6E_i + 2E_a`: the cheapest scheme per
 //! *slice* (single scan), the most expensive per *element* — which is why
 //! it wins at cyclic distribution (many slices, `C = L`) and low mask
 //! density, and loses as blocks grow and density rises.
+//!
+//! Under the plan/execute split, the scan (`L + 4E`), the record replay
+//! (`1/element`), and the ranking are plan-time; the value gather
+//! (`1/element`) and the pair decode (`2/element`) are execute-time.
 
-use hpf_machine::collectives::alltoallv;
-use hpf_machine::{Category, Proc, Wire};
+use crate::plan::composer::{Composer, SimpleComposer};
 
-use crate::ranking::{rank_from_counts, RankShape};
-use crate::schemes::PackOptions;
-
-use super::{decode_pairs, result_layout, PackOutput};
-
-/// Bookkeeping saved per selected element during the initial scan.
-#[derive(Debug, Clone, Copy)]
-struct ElemRecord {
-    /// Local linear index (stands in for the paper's per-dimension indices).
-    local: u32,
-    /// Slice number (determines the `PS_f` slot; on dimension 0 this is the
-    /// tile number the paper stores).
-    slice: u32,
-    /// In-slice initial rank.
-    init_rank: u32,
-}
-
-pub(crate) fn pack_sss<T: Wire + Default>(
-    proc: &mut Proc,
-    shape: &RankShape,
-    a_local: &[T],
-    m_local: &[bool],
-    opts: &PackOptions,
-) -> PackOutput<T> {
-    let w0 = shape.w[0];
-
-    // Initial step: one scan producing both the slice counts (PS_0/RS_0)
-    // and the per-element records. Charged L for the scan plus 4 memory
-    // operations per selected element for record maintenance (Section 6.4.1).
-    let (counts, records) = proc.with_category(Category::LocalComp, |proc| {
-        let mut counts = vec![0i32; m_local.len() / w0.max(1)];
-        let mut records: Vec<ElemRecord> = Vec::new();
-        for (l, &selected) in m_local.iter().enumerate() {
-            if selected {
-                let k = l / w0;
-                records.push(ElemRecord {
-                    local: l as u32,
-                    slice: k as u32,
-                    init_rank: counts[k] as u32,
-                });
-                counts[k] += 1;
-            }
-        }
-        proc.charge_ops(m_local.len() + 4 * records.len());
-        (counts, records)
-    });
-
-    // Ranking: intermediate steps + final base-rank combination.
-    let ranking = rank_from_counts(proc, shape, counts, opts.prs);
-    if ranking.size == 0 {
-        return PackOutput {
-            local_v: Vec::new(),
-            size: 0,
-            v_layout: None,
-        };
-    }
-    let layout =
-        result_layout(ranking.size, proc.nprocs(), opts.result_block_size).expect("size > 0");
-
-    // Final step: replay the records to compute global ranks and compose
-    // the (rank, value) pair messages — 2 ops per element.
-    let sends = proc.with_category(Category::LocalComp, |proc| {
-        let nprocs = proc.nprocs();
-        let mut sends: Vec<Vec<(u32, T)>> = (0..nprocs).map(|_| Vec::new()).collect();
-        for rec in &records {
-            let rank = rec.init_rank as usize + ranking.ps_f[rec.slice as usize] as usize;
-            let dest = layout.owner(rank);
-            sends[dest].push((rank as u32, a_local[rec.local as usize]));
-        }
-        proc.charge_ops(2 * records.len());
-        sends
-    });
-
-    // Redistribution: many-to-many personalized communication.
-    let recvs = proc.with_category(Category::ManyToMany, |proc| {
-        let world = proc.world();
-        alltoallv(proc, &world, sends, opts.schedule)
-    });
-
-    let local_v = decode_pairs(proc, &layout, recvs);
-    PackOutput {
-        local_v,
-        size: ranking.size,
-        v_layout: Some(layout),
-    }
+/// The SSS plan-time composer: per-element records, explicit ranks, one
+/// replay operation per element (the gather costs another at execute,
+/// matching the one-shot scheme's `2E` final step).
+pub(crate) fn composer() -> Box<dyn Composer> {
+    Box::new(SimpleComposer::new(1))
 }

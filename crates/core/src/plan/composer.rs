@@ -1,0 +1,307 @@
+//! The composition layer of the plan IR: one `Composer` abstraction that
+//! turns a mask + ranking into value-independent *routes*, covering all
+//! three PACK schemes and both UNPACK schemes.
+//!
+//! A route answers, per destination processor, two questions that the
+//! Section 6 schemes answer in scheme-specific ways:
+//!
+//! * which **global ranks** of the result vector the destination covers
+//!   (explicit per-element, or run-compressed `(base, len)` — the compact
+//!   message idea), and
+//! * which **local element slots** correspond to those ranks, in rank
+//!   order (PACK gathers values *from* the slots; UNPACK scatters replies
+//!   *into* them).
+//!
+//! Neither depends on array values, so routes are computed once at plan
+//! time and replayed against fresh data on every execute. The two
+//! composer implementations mirror the paper's storage trade-off:
+//! [`SimpleComposer`] keeps per-element records from a single scan
+//! (SSS), [`CompactComposer`] keeps only the counter array `PS_c` and
+//! rebuilds everything with a second scan (CSS/CMS). Per-scheme operation
+//! charges are parameterized by [`ComposeCost`] so the plan+execute split
+//! still sums to the exact Section 6.4 formulas.
+
+use hpf_distarray::DimLayout;
+use hpf_machine::{Category, Proc};
+
+use crate::pack::dest_runs;
+use crate::ranking::Ranking;
+use crate::schemes::ScanMethod;
+
+/// Rank structure of one destination's route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum RankList {
+    /// One global rank per element (SSS-style pair messages / requests).
+    Explicit(Vec<u32>),
+    /// Run-compressed consecutive ranks (CMS segments / CSS requests).
+    Runs(Vec<(u32, u32)>),
+}
+
+impl RankList {
+    fn new(emit: RankEmit) -> RankList {
+        match emit {
+            RankEmit::Explicit => RankList::Explicit(Vec::new()),
+            RankEmit::Runs => RankList::Runs(Vec::new()),
+        }
+    }
+}
+
+/// One destination's share of a communication plan: the global ranks it
+/// covers plus the aligned local element slots (one per rank, rank order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Route {
+    /// Global ranks covered, explicit or run-compressed.
+    pub ranks: RankList,
+    /// Local element indices aligned with `ranks`.
+    pub slots: Vec<u32>,
+}
+
+/// Which rank structure a compact composition emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RankEmit {
+    /// Expand runs to per-element ranks (pack CSS keeps pair messages).
+    Explicit,
+    /// Keep `(base, len)` runs (pack CMS segments, unpack CSS requests).
+    Runs,
+}
+
+/// Per-route composition charges, scheme-specific (Section 6.4): each
+/// destination run costs `per_run` operations plus `per_elem` per element
+/// it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ComposeCost {
+    /// Operations per destination run (`Gs` multiplier).
+    pub per_run: usize,
+    /// Operations per routed element (`E` multiplier).
+    pub per_elem: usize,
+}
+
+/// A storage scheme's plan-time half: the initial scan (producing the
+/// slice counts the ranking stage consumes) and the composition of
+/// value-independent routes against the final ranking.
+pub(crate) trait Composer {
+    /// Initial scan of the local mask: slice counts, with the scheme's
+    /// storage retained in `self`.
+    fn scan(&mut self, proc: &mut Proc, m_local: &[bool], w0: usize) -> Vec<i32>;
+
+    /// Compose the per-destination routes from the retained storage and
+    /// the final base ranks. `layout` is the result-vector layout whose
+    /// owners the routes target.
+    fn compose(
+        &mut self,
+        proc: &mut Proc,
+        ranking: &Ranking,
+        m_local: &[bool],
+        w0: usize,
+        layout: &DimLayout,
+    ) -> Vec<Route>;
+}
+
+/// Simple storage: per-element `(local, slice, initial rank)` records from
+/// a single scan (`L + 4E` operations), replayed at `per_elem` operations
+/// each during composition. Always emits explicit ranks.
+pub(crate) struct SimpleComposer {
+    per_elem: usize,
+    records: Vec<(u32, u32, u32)>,
+}
+
+impl SimpleComposer {
+    pub(crate) fn new(per_elem: usize) -> SimpleComposer {
+        SimpleComposer {
+            per_elem,
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Composer for SimpleComposer {
+    fn scan(&mut self, proc: &mut Proc, m_local: &[bool], w0: usize) -> Vec<i32> {
+        proc.with_category(Category::LocalComp, |proc| {
+            let mut counts = vec![0i32; m_local.len() / w0.max(1)];
+            for (l, &selected) in m_local.iter().enumerate() {
+                if selected {
+                    let k = l / w0;
+                    self.records.push((l as u32, k as u32, counts[k] as u32));
+                    counts[k] += 1;
+                }
+            }
+            proc.charge_ops(m_local.len() + 4 * self.records.len());
+            counts
+        })
+    }
+
+    fn compose(
+        &mut self,
+        proc: &mut Proc,
+        ranking: &Ranking,
+        _m_local: &[bool],
+        _w0: usize,
+        layout: &DimLayout,
+    ) -> Vec<Route> {
+        let nprocs = proc.nprocs();
+        proc.with_category(Category::LocalComp, |proc| {
+            let mut routes: Vec<Route> = (0..nprocs)
+                .map(|_| Route {
+                    ranks: RankList::new(RankEmit::Explicit),
+                    slots: Vec::new(),
+                })
+                .collect();
+            for &(local, slice, init) in &self.records {
+                let rank = init as usize + ranking.ps_f[slice as usize] as usize;
+                let owner = layout.owner(rank);
+                let route = &mut routes[owner];
+                match &mut route.ranks {
+                    RankList::Explicit(v) => v.push(rank as u32),
+                    RankList::Runs(_) => unreachable!("simple composition is explicit"),
+                }
+                route.slots.push(local);
+            }
+            proc.charge_ops(self.per_elem * self.records.len());
+            routes
+        })
+    }
+}
+
+/// Compact storage: only the counter array `PS_c` survives the initial
+/// scan (`L + C` operations); composition walks the slices (`C` checks),
+/// rebuilds the consecutive rank runs from `PS_c`/`PS_f`, and recovers the
+/// element slots with a second scan (`S` operations under the configured
+/// [`ScanMethod`]).
+pub(crate) struct CompactComposer {
+    emit: RankEmit,
+    cost: ComposeCost,
+    scan_method: ScanMethod,
+    ps_c: Vec<i32>,
+}
+
+impl CompactComposer {
+    pub(crate) fn new(emit: RankEmit, cost: ComposeCost, scan_method: ScanMethod) -> Self {
+        CompactComposer {
+            emit,
+            cost,
+            scan_method,
+            ps_c: Vec::new(),
+        }
+    }
+}
+
+impl Composer for CompactComposer {
+    fn scan(&mut self, proc: &mut Proc, m_local: &[bool], w0: usize) -> Vec<i32> {
+        proc.with_category(Category::LocalComp, |proc| {
+            let counts = crate::ranking::slice_counts(m_local, w0);
+            self.ps_c = counts.clone();
+            proc.charge_ops(m_local.len() + self.ps_c.len());
+            counts
+        })
+    }
+
+    fn compose(
+        &mut self,
+        proc: &mut Proc,
+        ranking: &Ranking,
+        m_local: &[bool],
+        w0: usize,
+        layout: &DimLayout,
+    ) -> Vec<Route> {
+        let nprocs = proc.nprocs();
+        proc.with_category(Category::LocalComp, |proc| {
+            let mut routes: Vec<Route> = (0..nprocs)
+                .map(|_| Route {
+                    ranks: RankList::new(self.emit),
+                    slots: Vec::new(),
+                })
+                .collect();
+            let mut ops = self.ps_c.len(); // one check per slice
+            let mut slots: Vec<u32> = Vec::with_capacity(w0);
+            for (k, &n) in self.ps_c.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                let n = n as usize;
+                let r0 = ranking.ps_f[k] as usize;
+                slots.clear();
+                ops += collect_slice_slots(
+                    &m_local[k * w0..(k + 1) * w0],
+                    k * w0,
+                    n,
+                    self.scan_method,
+                    &mut slots,
+                );
+                let mut taken = 0usize;
+                for (start, len) in dest_runs(r0, n, layout) {
+                    let owner = layout.owner(start);
+                    let route = &mut routes[owner];
+                    match &mut route.ranks {
+                        RankList::Explicit(v) => {
+                            for j in 0..len {
+                                v.push((start + j) as u32);
+                            }
+                        }
+                        RankList::Runs(v) => v.push((start as u32, len as u32)),
+                    }
+                    route.slots.extend_from_slice(&slots[taken..taken + len]);
+                    taken += len;
+                    ops += self.cost.per_run + self.cost.per_elem * len;
+                }
+            }
+            proc.charge_ops(ops);
+            routes
+        })
+    }
+}
+
+/// Collect the local indices of the `n` selected elements of one slice
+/// (which starts at local index `base`), using the requested second-scan
+/// method (Section 6.1). Returns the number of elementary operations the
+/// scan performed: until-collected stops after the last selected element,
+/// whole-slice always costs the slice width.
+fn collect_slice_slots(
+    m_slice: &[bool],
+    base: usize,
+    n: usize,
+    method: ScanMethod,
+    out: &mut Vec<u32>,
+) -> usize {
+    match method {
+        ScanMethod::UntilCollected => {
+            let mut scanned = 0usize;
+            for (i, &b) in m_slice.iter().enumerate() {
+                if b {
+                    out.push((base + i) as u32);
+                    if out.len() == n {
+                        scanned = i + 1;
+                        break;
+                    }
+                }
+            }
+            debug_assert_eq!(out.len(), n, "slice count disagrees with mask");
+            scanned
+        }
+        ScanMethod::WholeSlice => {
+            for (i, &b) in m_slice.iter().enumerate() {
+                if b {
+                    out.push((base + i) as u32);
+                }
+            }
+            m_slice.len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_scan_methods_agree_on_slots_but_not_cost() {
+        let m = [false, true, false, true, false, false];
+        let mut s1 = Vec::new();
+        let ops1 = collect_slice_slots(&m, 12, 2, ScanMethod::UntilCollected, &mut s1);
+        let mut s2 = Vec::new();
+        let ops2 = collect_slice_slots(&m, 12, 2, ScanMethod::WholeSlice, &mut s2);
+        assert_eq!(s1, vec![13, 15]);
+        assert_eq!(s1, s2);
+        assert_eq!(ops1, 4); // stops after the last selected element
+        assert_eq!(ops2, 6); // scans the whole slice
+    }
+}

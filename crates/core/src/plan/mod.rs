@@ -1,0 +1,481 @@
+//! Planner/executor split for PACK and UNPACK.
+//!
+//! Everything the Section 4–6 algorithms compute from the *mask* alone —
+//! slice counts, the ranking collectives, the destination routes, and the
+//! communication structure of the redistribution exchange — is
+//! value-independent: it answers "who sends which result-vector ranks to
+//! whom", never "what values". This module reifies that half into a plan
+//! ([`PackPlan`] / [`UnpackPlan`]) built once by [`plan_pack`] /
+//! [`plan_unpack`], so that executing the plan against fresh array values
+//! performs **zero ranking collectives and zero index recomputation**:
+//!
+//! ```text
+//! plan  = scan + ranking (PRS collectives) + composition (+ request round)
+//! execute = gather/scatter values along the precomputed routes + exchange
+//! ```
+//!
+//! The split is exact with respect to the Section 6.4 operation model: the
+//! plan-phase and execute-phase `LocalComp` charges sum to precisely the
+//! per-scheme formulas (see [`crate::predict`]), and
+//! `plan().execute(data)` is bit-identical to the one-shot entry points
+//! (which are now thin wrappers doing exactly `plan` + `execute`).
+//!
+//! Plans are generic over the element type at execute time: one
+//! [`PackPlan`] built for a mask/layout packs `f64` values and `u32`
+//! indices alike, which is how the SpMV app compresses two aligned arrays
+//! with a single ranking pass.
+//!
+//! [`PlanCache`] memoizes plans across calls keyed by stable fingerprints,
+//! turning repeated pack/unpack under an unchanged mask into pure
+//! executes.
+
+mod cache;
+pub(crate) mod composer;
+
+pub use cache::PlanCache;
+
+use hpf_distarray::{ArrayDesc, DimLayout};
+use hpf_machine::collectives::{alltoallv, alltoallv_planned, A2aPlan, A2aSchedule};
+use hpf_machine::{Category, Proc, Wire};
+
+use crate::error::{PackError, UnpackError};
+use crate::pack::{compact_message, decode_pairs, result_layout, CmsMessage, PackOutput};
+use crate::ranking::rank_from_counts;
+use crate::schemes::{PackOptions, PackScheme, UnpackOptions, UnpackScheme};
+use crate::unpack::RankRequest;
+
+use composer::{Composer, RankList, Route};
+
+/// A reusable, value-independent PACK plan for one `(descriptor, mask,
+/// options)` triple on one processor. Built by [`plan_pack`]; executed any
+/// number of times with [`PackPlan::execute`].
+#[derive(Debug, Clone)]
+pub struct PackPlan {
+    scheme: PackScheme,
+    schedule: A2aSchedule,
+    size: usize,
+    v_layout: Option<DimLayout>,
+    local_len: usize,
+    routes: Vec<Route>,
+    a2a: A2aPlan,
+}
+
+/// Build a [`PackPlan`]: initial scan, ranking collectives, route
+/// composition, and a one-round exchange of send flags so every processor
+/// also knows which peers will message it at execute time.
+///
+/// All work is wrapped in the `pack.plan` stage span. Scanning, ranking
+/// arithmetic, and composition charge [`Category::LocalComp`] (plus the
+/// ranking collectives under [`Category::PrefixReductionSum`]); the flag
+/// exchange charges [`Category::Other`] — it is plan-time metadata, not
+/// part of the paper's data redistribution, and is paid once however many
+/// times the plan is executed.
+///
+/// This is a collective call: every processor must invoke it with its
+/// aligned local mask portion.
+pub fn plan_pack(
+    proc: &mut Proc,
+    desc: &ArrayDesc,
+    m_local: &[bool],
+    opts: &PackOptions,
+) -> Result<PackPlan, PackError> {
+    let shape = crate::pack::validate_mask(proc, desc, m_local)?;
+    let local_len = m_local.len();
+    Ok(proc.with_stage("pack.plan", |proc| {
+        let w0 = shape.w[0];
+        let mut composer = pack_composer(opts);
+        let counts = composer.scan(proc, m_local, w0);
+        let ranking = rank_from_counts(proc, &shape, counts, opts.prs);
+        if ranking.size == 0 {
+            let n = proc.nprocs();
+            return PackPlan {
+                scheme: opts.scheme,
+                schedule: opts.schedule,
+                size: 0,
+                v_layout: None,
+                local_len,
+                routes: Vec::new(),
+                a2a: A2aPlan::from_flags(vec![false; n], vec![false; n]),
+            };
+        }
+        let layout =
+            result_layout(ranking.size, proc.nprocs(), opts.result_block_size).expect("size > 0");
+        let routes = composer.compose(proc, &ranking, m_local, w0, &layout);
+        let to: Vec<bool> = routes.iter().map(|r| !r.slots.is_empty()).collect();
+        let a2a = proc.with_category(Category::Other, |proc| {
+            let world = proc.world();
+            A2aPlan::exchange(proc, &world, to, opts.schedule)
+        });
+        PackPlan {
+            scheme: opts.scheme,
+            schedule: opts.schedule,
+            size: ranking.size,
+            v_layout: Some(layout),
+            local_len,
+            routes,
+            a2a,
+        }
+    }))
+}
+
+impl PackPlan {
+    /// The scheme the plan was composed for.
+    pub fn scheme(&self) -> PackScheme {
+        self.scheme
+    }
+
+    /// Global number of packed elements (`Size`), replicated everywhere.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Layout of the result vector (`None` iff `size == 0`).
+    pub fn v_layout(&self) -> Option<DimLayout> {
+        self.v_layout
+    }
+
+    /// Execute the plan against local array values: gather along the
+    /// precomputed routes, run the planned many-to-many exchange, decode.
+    /// No ranking collectives and no index recomputation — the only local
+    /// work is value movement.
+    ///
+    /// Collective; wrapped in the `pack.execute` stage span. Works for any
+    /// element type `T` (the plan is value-independent).
+    ///
+    /// # Errors
+    /// [`PackError::ArrayLenMismatch`] if `a_local` does not match the
+    /// planned descriptor's local length (collective, like the one-shot
+    /// entry points).
+    pub fn execute<T: Wire + Default>(
+        &self,
+        proc: &mut Proc,
+        a_local: &[T],
+    ) -> Result<PackOutput<T>, PackError> {
+        if a_local.len() != self.local_len {
+            return Err(PackError::ArrayLenMismatch {
+                expected: self.local_len,
+                got: a_local.len(),
+            });
+        }
+        if self.size == 0 {
+            return Ok(PackOutput {
+                local_v: Vec::new(),
+                size: 0,
+                v_layout: None,
+            });
+        }
+        let layout = self.v_layout.expect("size > 0");
+        Ok(proc.with_stage("pack.execute", |proc| {
+            let local_v = match self.scheme {
+                PackScheme::Simple | PackScheme::CompactStorage => {
+                    let sends = self.gather_pairs(proc, a_local);
+                    let recvs = proc.with_category(Category::ManyToMany, |proc| {
+                        let world = proc.world();
+                        alltoallv_planned(proc, &world, sends, &self.a2a, self.schedule)
+                    });
+                    decode_pairs(proc, &layout, recvs)
+                }
+                PackScheme::CompactMessage => {
+                    let sends = self.gather_segments(proc, a_local);
+                    let recvs = proc.with_category(Category::ManyToMany, |proc| {
+                        let world = proc.world();
+                        alltoallv_planned(proc, &world, sends, &self.a2a, self.schedule)
+                    });
+                    compact_message::decode_segments(proc, &layout, recvs)
+                }
+            };
+            PackOutput {
+                local_v,
+                size: self.size,
+                v_layout: Some(layout),
+            }
+        }))
+    }
+
+    /// Gather `(rank, value)` pair messages along explicit-rank routes
+    /// (one operation per moved element).
+    fn gather_pairs<T: Wire + Default>(
+        &self,
+        proc: &mut Proc,
+        a_local: &[T],
+    ) -> Vec<Vec<(u32, T)>> {
+        proc.with_category(Category::LocalComp, |proc| {
+            let mut moved = 0usize;
+            let sends = self
+                .routes
+                .iter()
+                .map(|route| {
+                    let RankList::Explicit(ranks) = &route.ranks else {
+                        unreachable!("pair schemes compose explicit ranks")
+                    };
+                    moved += ranks.len();
+                    ranks
+                        .iter()
+                        .zip(&route.slots)
+                        .map(|(&r, &s)| (r, a_local[s as usize]))
+                        .collect()
+                })
+                .collect();
+            proc.charge_ops(moved);
+            sends
+        })
+    }
+
+    /// Gather compact-message segments along run-compressed routes (one
+    /// operation per moved value; the 2-per-segment header charge was paid
+    /// at plan time).
+    fn gather_segments<T: Wire + Default>(
+        &self,
+        proc: &mut Proc,
+        a_local: &[T],
+    ) -> Vec<CmsMessage<T>> {
+        proc.with_category(Category::LocalComp, |proc| {
+            let mut moved = 0usize;
+            let sends = self
+                .routes
+                .iter()
+                .map(|route| {
+                    let RankList::Runs(runs) = &route.ranks else {
+                        unreachable!("compact message composes runs")
+                    };
+                    let mut taken = 0usize;
+                    let segments = runs
+                        .iter()
+                        .map(|&(base, len)| {
+                            let vals: Vec<T> = route.slots[taken..taken + len as usize]
+                                .iter()
+                                .map(|&s| a_local[s as usize])
+                                .collect();
+                            taken += len as usize;
+                            (base, vals)
+                        })
+                        .collect();
+                    moved += taken;
+                    CmsMessage { segments }
+                })
+                .collect();
+            proc.charge_ops(moved);
+            sends
+        })
+    }
+}
+
+/// A reusable, value-independent UNPACK plan. The rank *requests* of the
+/// READ direction are exchanged once at plan time; each execute only moves
+/// values (the reply round plus local copies).
+#[derive(Debug, Clone)]
+pub struct UnpackPlan {
+    schedule: A2aSchedule,
+    size: usize,
+    local_len: usize,
+    v_local_len: usize,
+    /// Per reply-sender: local element slots awaiting its values.
+    targets: Vec<Vec<u32>>,
+    /// Per requester: the local indices into my `V` slice to serve, in
+    /// request order.
+    serve_idx: Vec<Vec<u32>>,
+    reply_a2a: A2aPlan,
+}
+
+/// Build an [`UnpackPlan`]: initial scan, ranking collectives, request
+/// composition, the request exchange itself, and the owner-side
+/// precomputation of which local `V` indices each requester needs.
+///
+/// Wrapped in the `unpack.plan` stage span; the request round keeps its
+/// `unpack.request` span and [`Category::ManyToMany`] charge exactly as in
+/// the one-shot path. The reply exchange needs no flag round: both
+/// directions are locally known once the requests have arrived.
+///
+/// Collective. Returns [`UnpackError::VectorTooSmall`] (collectively) if
+/// the mask selects more elements than `v_layout` can hold.
+pub fn plan_unpack(
+    proc: &mut Proc,
+    desc: &ArrayDesc,
+    m_local: &[bool],
+    v_layout: &DimLayout,
+    opts: &UnpackOptions,
+) -> Result<UnpackPlan, UnpackError> {
+    let shape = crate::unpack::validate_mask(proc, desc, m_local)?;
+    let local_len = m_local.len();
+    let v_local_len = v_layout.local_len(proc.id());
+    proc.with_stage("unpack.plan", |proc| {
+        let w0 = shape.w[0];
+        let mut composer = unpack_composer(opts);
+        let counts = composer.scan(proc, m_local, w0);
+        let ranking = rank_from_counts(proc, &shape, counts, opts.prs);
+        let size = ranking.size;
+        if size > v_layout.n() {
+            // `Size` is replicated, so every processor takes this branch —
+            // a collective error with no half-open communication.
+            return Err(UnpackError::VectorTooSmall {
+                size,
+                capacity: v_layout.n(),
+            });
+        }
+        let n = proc.nprocs();
+        if size == 0 {
+            return Ok(UnpackPlan {
+                schedule: opts.schedule,
+                size: 0,
+                local_len,
+                v_local_len,
+                targets: vec![Vec::new(); n],
+                serve_idx: vec![Vec::new(); n],
+                reply_a2a: A2aPlan::from_flags(vec![false; n], vec![false; n]),
+            });
+        }
+        let routes = composer.compose(proc, &ranking, m_local, w0, v_layout);
+        let mut requests: Vec<RankRequest> = Vec::with_capacity(n);
+        let mut targets: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for route in routes {
+            requests.push(match route.ranks {
+                RankList::Explicit(v) => RankRequest::Explicit(v),
+                RankList::Runs(v) => RankRequest::Runs(v),
+            });
+            targets.push(route.slots);
+        }
+        // The request round: identical wire traffic to the one-shot path,
+        // paid once per plan instead of once per call.
+        let incoming = proc.with_stage("unpack.request", |proc| {
+            proc.with_category(Category::ManyToMany, |proc| {
+                let world = proc.world();
+                alltoallv(proc, &world, requests, opts.schedule)
+            })
+        });
+        // Owner-side precompute: resolve each requested rank to a local
+        // index into my slice of V (one operation per served rank; the
+        // value fetch itself is charged at execute time).
+        let serve_idx = proc.with_category(Category::LocalComp, |proc| {
+            let mut serve: Vec<Vec<u32>> = Vec::with_capacity(incoming.len());
+            let mut ops = 0usize;
+            for req in &incoming {
+                let mut idx = Vec::with_capacity(req.expanded_len());
+                req.for_each_rank(|r| {
+                    debug_assert_eq!(v_layout.owner(r), proc.id(), "misrouted request");
+                    idx.push(v_layout.local_of(r) as u32);
+                });
+                ops += idx.len();
+                serve.push(idx);
+            }
+            proc.charge_ops(ops);
+            serve
+        });
+        // Reply directions are locally known: I reply to whoever asked,
+        // and I await replies from whoever I asked.
+        let to: Vec<bool> = serve_idx.iter().map(|s| !s.is_empty()).collect();
+        let from: Vec<bool> = targets.iter().map(|t| !t.is_empty()).collect();
+        Ok(UnpackPlan {
+            schedule: opts.schedule,
+            size,
+            local_len,
+            v_local_len,
+            targets,
+            serve_idx,
+            reply_a2a: A2aPlan::from_flags(to, from),
+        })
+    })
+}
+
+impl UnpackPlan {
+    /// Global number of selected mask elements (`Size`).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Execute the plan against fresh field and vector values: copy the
+    /// field, serve the precomputed value requests, run the planned reply
+    /// exchange, and scatter into the recorded slots. Returns this
+    /// processor's local portion of the result array `A`.
+    ///
+    /// Collective; wrapped in the `unpack.execute` stage span (the reply
+    /// round keeps its `unpack.reply` span).
+    ///
+    /// # Errors
+    /// [`UnpackError::FieldLenMismatch`] / [`UnpackError::VectorLenMismatch`]
+    /// if the arguments do not match the planned layouts (collective).
+    pub fn execute<T: Wire + Default>(
+        &self,
+        proc: &mut Proc,
+        f_local: &[T],
+        v_local: &[T],
+    ) -> Result<Vec<T>, UnpackError> {
+        if f_local.len() != self.local_len {
+            return Err(UnpackError::FieldLenMismatch {
+                expected: self.local_len,
+                got: f_local.len(),
+            });
+        }
+        if v_local.len() != self.v_local_len {
+            return Err(UnpackError::VectorLenMismatch {
+                expected: self.v_local_len,
+                got: v_local.len(),
+            });
+        }
+        Ok(proc.with_stage("unpack.execute", |proc| {
+            // Field copy: local computation for every unselected element
+            // (the selected ones are overwritten below).
+            let mut a_local = proc.with_category(Category::LocalComp, |proc| {
+                proc.charge_ops(f_local.len());
+                f_local.to_vec()
+            });
+            if self.size == 0 {
+                return a_local;
+            }
+            // Serve: fetch each precomputed local index (one operation per
+            // value — the index arithmetic was paid at plan time).
+            let replies = proc.with_category(Category::LocalComp, |proc| {
+                let mut ops = 0usize;
+                let replies: Vec<Vec<T>> = self
+                    .serve_idx
+                    .iter()
+                    .map(|idx| {
+                        ops += idx.len();
+                        idx.iter().map(|&i| v_local[i as usize]).collect()
+                    })
+                    .collect();
+                proc.charge_ops(ops);
+                replies
+            });
+            let values_back = proc.with_stage("unpack.reply", |proc| {
+                proc.with_category(Category::ManyToMany, |proc| {
+                    let world = proc.world();
+                    alltoallv_planned(proc, &world, replies, &self.reply_a2a, self.schedule)
+                })
+            });
+            // Scatter the replies into A at the recorded element slots.
+            proc.with_category(Category::LocalComp, |proc| {
+                let mut ops = 0usize;
+                for (owner, slots) in self.targets.iter().enumerate() {
+                    debug_assert_eq!(
+                        values_back[owner].len(),
+                        slots.len(),
+                        "reply length mismatch"
+                    );
+                    for (&slot, &v) in slots.iter().zip(&values_back[owner]) {
+                        a_local[slot as usize] = v;
+                    }
+                    ops += slots.len();
+                }
+                proc.charge_ops(ops);
+            });
+            a_local
+        }))
+    }
+}
+
+/// The scheme's plan-time composer for PACK (Section 6 storage schemes).
+fn pack_composer(opts: &PackOptions) -> Box<dyn Composer> {
+    match opts.scheme {
+        PackScheme::Simple => crate::pack::simple::composer(),
+        PackScheme::CompactStorage => crate::pack::compact_storage::composer(opts.scan_method),
+        PackScheme::CompactMessage => crate::pack::compact_message::composer(opts.scan_method),
+    }
+}
+
+/// The scheme's plan-time composer for UNPACK.
+fn unpack_composer(opts: &UnpackOptions) -> Box<dyn Composer> {
+    match opts.scheme {
+        UnpackScheme::Simple => crate::unpack::simple::composer(),
+        UnpackScheme::CompactStorage => crate::unpack::compact_storage::composer(),
+    }
+}

@@ -1,95 +1,30 @@
-//! UNPACK compact storage scheme: counter-array storage (as in PACK's CSS)
-//! and run-compressed `(base rank, count)` requests.
+//! UNPACK's compact storage scheme (CSS) — Section 6.4.3.
 //!
-//! Because the ranks of a slice's selected elements are consecutive, the
-//! request to each owner of `V` compresses to destination runs — the
-//! compact message idea applied to the READ direction, where it shrinks the
-//! *request* stage (the reply is always value-only).
+//! Counter-array storage as in PACK's CSS, but the request wire format is
+//! run-compressed: consecutive ranks within a slice collapse to one
+//! `(base, count)` run (`2·Gs` words instead of `E`) — the compact message
+//! idea applied to the READ direction, where it shrinks the *request*
+//! stage (the reply is always value-only). Composition walks the
+//! non-empty slices re-scanning the mask (method 1 — the paper's choice
+//! for UNPACK, where the second scan is always needed to recover element
+//! slots), charging two operations per run plus one per element.
+//!
+//! Under the plan/execute split, both scans, the run composition, the
+//! request round, and the owners' request decode are plan-time; only the
+//! field copy, the value replies, and the scatter are execute-time.
 
-use hpf_distarray::DimLayout;
-use hpf_machine::{Category, Proc};
-
-use crate::pack::dest_runs;
-use crate::ranking::Ranking;
+use crate::plan::composer::{CompactComposer, ComposeCost, Composer, RankEmit};
 use crate::schemes::ScanMethod;
 
-use super::RankRequest;
-
-/// Counter-array storage: `PS_c` (a copy of the initial slice counts).
-pub(crate) struct CssStorage {
-    ps_c: Vec<i32>,
-}
-
-/// Initial scan: slice counts only, plus the `PS_c` copy (`L + C` ops).
-pub(crate) fn initial_scan(proc: &mut Proc, m_local: &[bool], w0: usize) -> (Vec<i32>, CssStorage) {
-    proc.with_category(Category::LocalComp, |proc| {
-        let counts = crate::ranking::slice_counts(m_local, w0);
-        let ps_c = counts.clone();
-        proc.charge_ops(m_local.len() + ps_c.len());
-        (counts, CssStorage { ps_c })
-    })
-}
-
-/// Request composition: walk the slices, rebuild the consecutive rank runs
-/// from `PS_c`/`PS_f`, and record the target element slots with a second
-/// scan of the non-empty slices.
-pub(crate) fn compose_requests(
-    proc: &mut Proc,
-    storage: CssStorage,
-    ranking: &Ranking,
-    m_local: &[bool],
-    w0: usize,
-    scan_method: ScanMethod,
-    v_layout: &DimLayout,
-) -> (Vec<RankRequest>, Vec<Vec<u32>>) {
-    let nprocs = proc.nprocs();
-    proc.with_category(Category::LocalComp, |proc| {
-        let mut runs: Vec<Vec<(u32, u32)>> = (0..nprocs).map(|_| Vec::new()).collect();
-        let mut targets: Vec<Vec<u32>> = (0..nprocs).map(|_| Vec::new()).collect();
-        let mut ops = storage.ps_c.len();
-        let mut slots: Vec<u32> = Vec::with_capacity(w0);
-        for (k, &n) in storage.ps_c.iter().enumerate() {
-            if n == 0 {
-                continue;
-            }
-            let n = n as usize;
-            let r0 = ranking.ps_f[k] as usize;
-            // Second scan: collect the local slots of the slice's selected
-            // elements (method 1 stops once all n are found).
-            slots.clear();
-            let slice = &m_local[k * w0..(k + 1) * w0];
-            match scan_method {
-                ScanMethod::UntilCollected => {
-                    for (i, &b) in slice.iter().enumerate() {
-                        if b {
-                            slots.push((k * w0 + i) as u32);
-                            if slots.len() == n {
-                                ops += i + 1;
-                                break;
-                            }
-                        }
-                    }
-                }
-                ScanMethod::WholeSlice => {
-                    for (i, &b) in slice.iter().enumerate() {
-                        if b {
-                            slots.push((k * w0 + i) as u32);
-                        }
-                    }
-                    ops += w0;
-                }
-            }
-            debug_assert_eq!(slots.len(), n, "slice count disagrees with mask");
-            let mut taken = 0usize;
-            for (start, len) in dest_runs(r0, n, v_layout) {
-                let owner = v_layout.owner(start);
-                runs[owner].push((start as u32, len as u32));
-                targets[owner].extend_from_slice(&slots[taken..taken + len]);
-                taken += len;
-                ops += 2 + len; // run header + target bookkeeping
-            }
-        }
-        proc.charge_ops(ops);
-        (runs.into_iter().map(RankRequest::Runs).collect(), targets)
-    })
+/// The UNPACK CSS plan-time composer: counter-array storage, runs on the
+/// wire, method-1 slot recovery (scan until the last selected element).
+pub(crate) fn composer() -> Box<dyn Composer> {
+    Box::new(CompactComposer::new(
+        RankEmit::Runs,
+        ComposeCost {
+            per_run: 2,
+            per_elem: 1,
+        },
+        ScanMethod::UntilCollected,
+    ))
 }

@@ -8,17 +8,26 @@
 //! paper's two-stage communication — each consumer sends rank *requests*,
 //! each owner sends value *replies* — and the observation that UNPACK's
 //! communication time can be twice PACK's.
+//!
+//! Since the planner/executor split, [`unpack`] is a thin wrapper over
+//! [`crate::plan::plan_unpack`] + [`crate::plan::UnpackPlan::execute`];
+//! the request round is plan-time (it depends only on the mask), the
+//! reply round is execute-time (it moves values).
 
-mod compact_storage;
-mod simple;
+pub(crate) mod compact_storage;
+mod redist;
+mod request;
+pub(crate) mod simple;
+
+pub use redist::unpack_redistributed;
+pub use request::RankRequest;
 
 use hpf_distarray::{ArrayDesc, DimLayout};
-use hpf_machine::collectives::alltoallv;
-use hpf_machine::{Category, Proc, Wire};
+use hpf_machine::{Proc, Wire};
 
 use crate::error::UnpackError;
 use crate::ranking::RankShape;
-use crate::schemes::{UnpackOptions, UnpackScheme};
+use crate::schemes::UnpackOptions;
 
 /// Parallel `UNPACK(V, M, F)`.
 ///
@@ -28,6 +37,12 @@ use crate::schemes::{UnpackOptions, UnpackScheme};
 ///   block-cyclic layout over all processors, `N' ≥ Size`).
 ///
 /// Returns this processor's local portion of `A`.
+///
+/// Exactly equivalent to [`crate::plan_unpack`] followed by one
+/// [`crate::UnpackPlan::execute`] — callers that unpack repeatedly under
+/// an unchanged mask should hold the plan (or a [`crate::PlanCache`]) and
+/// execute it directly, which skips the ranking collectives *and* the
+/// rank-request round.
 pub fn unpack<T: Wire + Default>(
     proc: &mut Proc,
     desc: &ArrayDesc,
@@ -37,255 +52,9 @@ pub fn unpack<T: Wire + Default>(
     v_layout: &DimLayout,
     opts: &UnpackOptions,
 ) -> Result<Vec<T>, UnpackError> {
-    let shape = validate(proc, desc, m_local, f_local, v_local, v_layout)?;
-    let w0 = shape.w[0];
-    let stage = match opts.scheme {
-        UnpackScheme::Simple => "unpack.sss",
-        UnpackScheme::CompactStorage => "unpack.css",
-    };
-    proc.with_stage(stage, |proc| {
-        unpack_body(proc, &shape, w0, m_local, f_local, v_local, v_layout, opts)
-    })
-}
-
-/// The UNPACK proper (validation and the scheme stage span live in
-/// [`unpack`]).
-#[allow(clippy::too_many_arguments)]
-fn unpack_body<T: Wire + Default>(
-    proc: &mut Proc,
-    shape: &RankShape,
-    w0: usize,
-    m_local: &[bool],
-    f_local: &[T],
-    v_local: &[T],
-    v_layout: &DimLayout,
-    opts: &UnpackOptions,
-) -> Result<Vec<T>, UnpackError> {
-    // Initial scan (scheme-specific storage), then the shared ranking.
-    enum Storage {
-        Sss(simple::SssStorage),
-        Css(compact_storage::CssStorage),
-    }
-    let (counts, storage) = match opts.scheme {
-        UnpackScheme::Simple => {
-            let (c, s) = simple::initial_scan(proc, m_local, w0);
-            (c, Storage::Sss(s))
-        }
-        UnpackScheme::CompactStorage => {
-            let (c, s) = compact_storage::initial_scan(proc, m_local, w0);
-            (c, Storage::Css(s))
-        }
-    };
-    let ranking = crate::ranking::rank_from_counts(proc, shape, counts, opts.prs);
-    let size = ranking.size;
-    if size > v_layout.n() {
-        // `Size` is replicated, so every processor takes this branch — a
-        // collective error with no half-open communication.
-        return Err(UnpackError::VectorTooSmall {
-            size,
-            capacity: v_layout.n(),
-        });
-    }
-
-    // Field copy: local computation for every unselected element (the
-    // selected ones are overwritten below).
-    let mut a_local = proc.with_category(Category::LocalComp, |proc| {
-        proc.charge_ops(f_local.len());
-        f_local.to_vec()
-    });
-
-    if size > 0 {
-        // Request composition: per owner of V, the rank request and the
-        // local element slots awaiting the replies (in request order).
-        let (requests, targets) = match storage {
-            Storage::Sss(s) => simple::compose_requests(proc, s, &ranking, v_layout),
-            Storage::Css(s) => compact_storage::compose_requests(
-                proc,
-                s,
-                &ranking,
-                m_local,
-                w0,
-                crate::schemes::ScanMethod::UntilCollected,
-                v_layout,
-            ),
-        };
-        // Stage 1: send rank requests to the owners of V.
-        let incoming = proc.with_stage("unpack.request", |proc| {
-            proc.with_category(Category::ManyToMany, |proc| {
-                let world = proc.world();
-                alltoallv(proc, &world, requests, opts.schedule)
-            })
-        });
-
-        // Service: look up each requested rank in my slice of V.
-        let replies = proc.with_category(Category::LocalComp, |proc| {
-            let mut replies: Vec<Vec<T>> = Vec::with_capacity(incoming.len());
-            let mut ops = 0usize;
-            for req in &incoming {
-                let mut vals = Vec::with_capacity(req.expanded_len());
-                req.for_each_rank(|r| {
-                    debug_assert_eq!(v_layout.owner(r), proc.id(), "misrouted request");
-                    vals.push(v_local[v_layout.local_of(r)]);
-                });
-                ops += 2 * vals.len();
-                replies.push(vals);
-            }
-            proc.charge_ops(ops);
-            replies
-        });
-
-        // Stage 2: send the values back.
-        let values_back = proc.with_stage("unpack.reply", |proc| {
-            proc.with_category(Category::ManyToMany, |proc| {
-                let world = proc.world();
-                alltoallv(proc, &world, replies, opts.schedule)
-            })
-        });
-
-        // Scatter the replies into A at the recorded element slots.
-        proc.with_category(Category::LocalComp, |proc| {
-            let mut ops = 0usize;
-            for (owner, slots) in targets.iter().enumerate() {
-                debug_assert_eq!(
-                    values_back[owner].len(),
-                    slots.len(),
-                    "reply length mismatch"
-                );
-                for (&slot, &v) in slots.iter().zip(&values_back[owner]) {
-                    a_local[slot as usize] = v;
-                }
-                ops += slots.len();
-            }
-            proc.charge_ops(ops);
-        });
-    }
-
-    Ok(a_local)
-}
-
-/// UNPACK with a preliminary cyclic→block redistribution — implemented to
-/// *demonstrate* Section 6.3's observation that this is "not a feasible
-/// option for UNPACK": because UNPACK is a READ whose result array must
-/// come back in the original distribution, it takes two redistributions on
-/// top of the mask/field moves (`M` and `F` forward, the result `A` back),
-/// and the added cost routinely outweighs the ranking savings. The
-/// `ablations` bench quantifies exactly that.
-pub fn unpack_redistributed<T: Wire + Default>(
-    proc: &mut Proc,
-    desc: &ArrayDesc,
-    m_local: &[bool],
-    f_local: &[T],
-    v_local: &[T],
-    v_layout: &DimLayout,
-    opts: &UnpackOptions,
-) -> Result<Vec<T>, UnpackError> {
-    use hpf_distarray::{redistribute, Dist, RedistMode};
-
-    // Validate against the original layout first (collective).
     validate(proc, desc, m_local, f_local, v_local, v_layout)?;
-
-    let shape = desc.shape();
-    let dists = vec![Dist::Block; desc.ndims()];
-    let block_desc = ArrayDesc::new(&shape, desc.grid(), &dists)
-        .expect("block layout of a divisible descriptor");
-
-    // Forward moves: M and F to the block layout.
-    let m_tmp = redistribute(
-        proc,
-        desc,
-        &block_desc,
-        m_local,
-        RedistMode::Detected,
-        opts.schedule,
-    );
-    let f_tmp = redistribute(
-        proc,
-        desc,
-        &block_desc,
-        f_local,
-        RedistMode::Detected,
-        opts.schedule,
-    );
-
-    // UNPACK on the block layout (minimal ranking overhead).
-    let a_tmp = unpack(proc, &block_desc, &m_tmp, &f_tmp, v_local, v_layout, opts)?;
-
-    // Backward move: the result array must return in its original
-    // distribution (UNPACK is a READ; the caller keeps computing on `desc`).
-    Ok(redistribute(
-        proc,
-        &block_desc,
-        desc,
-        &a_tmp,
-        RedistMode::Detected,
-        opts.schedule,
-    ))
-}
-
-/// A per-owner rank request: either explicit ranks (simple scheme) or
-/// `(base, count)` runs (compact storage scheme). Implemented as a payload
-/// so each format charges its own wire size.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RankRequest {
-    /// One rank per selected element (`E` words).
-    Explicit(Vec<u32>),
-    /// Run-compressed consecutive ranks (`2·runs` words).
-    Runs(Vec<(u32, u32)>),
-}
-
-impl Default for RankRequest {
-    fn default() -> Self {
-        RankRequest::Explicit(Vec::new())
-    }
-}
-
-impl RankRequest {
-    /// Total number of ranks requested.
-    pub fn expanded_len(&self) -> usize {
-        match self {
-            RankRequest::Explicit(v) => v.len(),
-            RankRequest::Runs(runs) => runs.iter().map(|&(_, n)| n as usize).sum(),
-        }
-    }
-
-    /// Visit every requested rank in request order.
-    pub fn for_each_rank(&self, mut f: impl FnMut(usize)) {
-        match self {
-            RankRequest::Explicit(v) => {
-                for &r in v {
-                    f(r as usize);
-                }
-            }
-            RankRequest::Runs(runs) => {
-                for &(base, n) in runs {
-                    for r in base..base + n {
-                        f(r as usize);
-                    }
-                }
-            }
-        }
-    }
-
-    /// True iff no ranks are requested.
-    pub fn is_empty(&self) -> bool {
-        match self {
-            RankRequest::Explicit(v) => v.is_empty(),
-            RankRequest::Runs(r) => r.is_empty(),
-        }
-    }
-}
-
-impl hpf_machine::Payload for RankRequest {
-    fn wire_words(&self) -> usize {
-        match self {
-            RankRequest::Explicit(v) => v.len(),
-            RankRequest::Runs(runs) => 2 * runs.len(),
-        }
-    }
-
-    fn clone_payload(&self) -> Box<dyn std::any::Any + Send> {
-        Box::new(self.clone())
-    }
+    let plan = crate::plan::plan_unpack(proc, desc, m_local, v_layout, opts)?;
+    plan.execute(proc, f_local, v_local)
 }
 
 fn validate(
@@ -296,18 +65,8 @@ fn validate(
     v_local: &[impl Sized],
     v_layout: &DimLayout,
 ) -> Result<RankShape, UnpackError> {
-    for i in 0..desc.ndims() {
-        if !desc.dim(i).divisible() {
-            return Err(UnpackError::NotDivisible { dim: i });
-        }
-    }
+    let shape = validate_mask(proc, desc, m_local)?;
     let expected = desc.local_len(proc.id());
-    if m_local.len() != expected {
-        return Err(UnpackError::MaskLenMismatch {
-            expected,
-            got: m_local.len(),
-        });
-    }
     if f_local.len() != expected {
         return Err(UnpackError::FieldLenMismatch {
             expected,
@@ -321,6 +80,28 @@ fn validate(
             got: v_local.len(),
         });
     }
+    Ok(shape)
+}
+
+/// Mask-only validation for the planner (field and vector values exist
+/// only at execute time; the plan's `execute` checks their lengths).
+pub(crate) fn validate_mask(
+    proc: &Proc,
+    desc: &ArrayDesc,
+    m_local: &[bool],
+) -> Result<RankShape, UnpackError> {
+    for i in 0..desc.ndims() {
+        if !desc.dim(i).divisible() {
+            return Err(UnpackError::NotDivisible { dim: i });
+        }
+    }
+    let expected = desc.local_len(proc.id());
+    if m_local.len() != expected {
+        return Err(UnpackError::MaskLenMismatch {
+            expected,
+            got: m_local.len(),
+        });
+    }
     Ok(RankShape::from_desc(desc))
 }
 
@@ -328,9 +109,10 @@ fn validate(
 mod tests {
     use super::*;
     use crate::mask::MaskPattern;
+    use crate::schemes::UnpackScheme;
     use crate::seq::unpack_seq;
     use hpf_distarray::{Dist, GlobalArray};
-    use hpf_machine::{CostModel, Machine, ProcGrid};
+    use hpf_machine::{Category, CostModel, Machine, ProcGrid};
 
     fn check_unpack(
         shape: &[usize],
@@ -461,42 +243,6 @@ mod tests {
         }
     }
 
-    /// The infeasible-by-design redistributed UNPACK still computes the
-    /// right answer — the point is that it costs more, not that it breaks.
-    #[test]
-    fn unpack_redistributed_matches_plain_unpack() {
-        let shape = [24usize];
-        let grid = ProcGrid::line(4);
-        let desc = ArrayDesc::new(&shape, &grid, &[Dist::Cyclic]).unwrap();
-        let pattern = MaskPattern::Random {
-            density: 0.5,
-            seed: 19,
-        };
-        let size = pattern.global(&shape).data().iter().filter(|&&b| b).count();
-        let v_layout = DimLayout::new_general(size.max(1), 4, size.div_ceil(4).max(1)).unwrap();
-        let machine = Machine::new(grid, CostModel::cm5());
-        let (d, vl) = (&desc, &v_layout);
-        let out = machine.run(move |proc| {
-            let m = pattern.local(d, proc.id());
-            let f = vec![-3i32; d.local_len(proc.id())];
-            let v: Vec<i32> = (0..vl.local_len(proc.id()))
-                .map(|l| vl.global_of(proc.id(), l) as i32)
-                .collect();
-            let plain = unpack(proc, d, &m, &f, &v, vl, &UnpackOptions::default()).unwrap();
-            let redist =
-                unpack_redistributed(proc, d, &m, &f, &v, vl, &UnpackOptions::default()).unwrap();
-            (plain, redist)
-        });
-        let mut redist_charged = false;
-        for c in &out.clocks {
-            redist_charged |= c.cat_ms(Category::RedistComm) > 0.0;
-        }
-        assert!(redist_charged, "redistribution must have been charged");
-        for (p, (plain, redist)) in out.results.iter().enumerate() {
-            assert_eq!(plain, redist, "proc {p}");
-        }
-    }
-
     #[test]
     fn undersized_vector_is_a_collective_error() {
         let grid = ProcGrid::line(4);
@@ -528,18 +274,6 @@ mod tests {
                 }
             );
         }
-    }
-
-    #[test]
-    fn request_wire_sizes_differ_by_scheme() {
-        let explicit = RankRequest::Explicit(vec![1, 2, 3, 4, 5, 6]);
-        let runs = RankRequest::Runs(vec![(1, 6)]);
-        assert_eq!(explicit.expanded_len(), runs.expanded_len());
-        assert_eq!(hpf_machine::Payload::wire_words(&explicit), 6);
-        assert_eq!(hpf_machine::Payload::wire_words(&runs), 2);
-        let mut a = Vec::new();
-        runs.for_each_rank(|r| a.push(r));
-        assert_eq!(a, vec![1, 2, 3, 4, 5, 6]);
     }
 
     /// The headline claim of Section 4.2: UNPACK's redistribution-stage

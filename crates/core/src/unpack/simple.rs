@@ -1,58 +1,20 @@
-//! UNPACK simple storage scheme: per-element records during the initial
-//! scan (as in PACK's SSS), explicit per-element rank requests on the wire.
+//! UNPACK's simple storage scheme (SSS) — Section 6.4.3.
+//!
+//! As in PACK's SSS, the initial scan records per-element bookkeeping
+//! (`L + 4E` operations) and the composition replays the records against
+//! `PS_f`. UNPACK composes *two* aligned lists per element — the global
+//! rank to request and the local element slot awaiting the reply — so the
+//! replay costs `2E` instead of PACK's `E`. Requests go out as explicit
+//! rank lists (`E` words on the wire).
+//!
+//! Under the plan/execute split, the scan, the replay, the request round,
+//! and the owners' request decode are all plan-time; only the field copy,
+//! the value replies, and the scatter are execute-time.
 
-use hpf_distarray::DimLayout;
-use hpf_machine::{Category, Proc};
+use crate::plan::composer::{Composer, SimpleComposer};
 
-use crate::ranking::Ranking;
-
-use super::RankRequest;
-
-/// Per-element records: `(local slot, slice, in-slice rank)`.
-pub(crate) struct SssStorage {
-    records: Vec<(u32, u32, u32)>,
-}
-
-/// Initial scan: slice counts plus per-element records
-/// (`L + 4E` operations, as in PACK's SSS).
-pub(crate) fn initial_scan(proc: &mut Proc, m_local: &[bool], w0: usize) -> (Vec<i32>, SssStorage) {
-    proc.with_category(Category::LocalComp, |proc| {
-        let mut counts = vec![0i32; m_local.len() / w0.max(1)];
-        let mut records: Vec<(u32, u32, u32)> = Vec::new();
-        for (l, &selected) in m_local.iter().enumerate() {
-            if selected {
-                let k = l / w0;
-                records.push((l as u32, k as u32, counts[k] as u32));
-                counts[k] += 1;
-            }
-        }
-        proc.charge_ops(m_local.len() + 4 * records.len());
-        (counts, SssStorage { records })
-    })
-}
-
-/// Request composition: replay the records against `PS_f`; one explicit
-/// rank per element (2 ops each).
-pub(crate) fn compose_requests(
-    proc: &mut Proc,
-    storage: SssStorage,
-    ranking: &Ranking,
-    v_layout: &DimLayout,
-) -> (Vec<RankRequest>, Vec<Vec<u32>>) {
-    let nprocs = proc.nprocs();
-    proc.with_category(Category::LocalComp, |proc| {
-        let mut ranks: Vec<Vec<u32>> = (0..nprocs).map(|_| Vec::new()).collect();
-        let mut targets: Vec<Vec<u32>> = (0..nprocs).map(|_| Vec::new()).collect();
-        for &(local, slice, init) in &storage.records {
-            let rank = init as usize + ranking.ps_f[slice as usize] as usize;
-            let owner = v_layout.owner(rank);
-            ranks[owner].push(rank as u32);
-            targets[owner].push(local);
-        }
-        proc.charge_ops(2 * storage.records.len());
-        (
-            ranks.into_iter().map(RankRequest::Explicit).collect(),
-            targets,
-        )
-    })
+/// The UNPACK SSS plan-time composer: per-element records, explicit ranks,
+/// two replay operations per element (rank + slot lists).
+pub(crate) fn composer() -> Box<dyn Composer> {
+    Box::new(SimpleComposer::new(2))
 }

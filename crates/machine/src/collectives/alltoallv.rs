@@ -108,6 +108,169 @@ pub fn alltoallv<P: Payload + Default>(
     recvs
 }
 
+/// Which peers actually exchange data in a planned many-to-many: `to[j]`
+/// means this processor sends a (possibly empty) message to group rank `j`,
+/// `from[j]` means rank `j` sends one to us. Captured once at plan time so
+/// that [`alltoallv_planned`] can skip the send/recv rounds of silent pairs
+/// entirely — the count-exchange a fresh `alltoallv` would implicitly redo
+/// every call.
+///
+/// The flags must be *pairwise consistent* across the group: `from[j]` here
+/// must equal `to[my_rank]` on rank `j`, or a planned exchange deadlocks
+/// waiting for a message that is never sent. [`A2aPlan::exchange`]
+/// establishes that consistency collectively; [`A2aPlan::from_flags`] trusts
+/// the caller (for protocols where both directions are locally known, e.g. a
+/// request/reply pattern replying only to actual requesters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct A2aPlan {
+    /// `to[j]`: this rank sends to group rank `j`.
+    pub to: Vec<bool>,
+    /// `from[j]`: group rank `j` sends to this rank.
+    pub from: Vec<bool>,
+}
+
+impl A2aPlan {
+    /// Build from flags the caller already knows in both directions.
+    pub fn from_flags(to: Vec<bool>, from: Vec<bool>) -> A2aPlan {
+        assert_eq!(to.len(), from.len(), "direction flags must cover the group");
+        A2aPlan { to, from }
+    }
+
+    /// Collective: derive the receive flags by a one-round exchange of the
+    /// locally known send flags. The flags are single bits riding zero-word
+    /// messages, so the round is free under the word-granular cost model —
+    /// deliberately so: a fresh [`alltoallv`] gets the same pair-population
+    /// knowledge for free through its padding messages, and the planned
+    /// path must not cost more for learning once what the unplanned path
+    /// re-learns implicitly on every call.
+    pub fn exchange(proc: &mut Proc, group: &Group, to: Vec<bool>, schedule: A2aSchedule) -> Self {
+        let n = group.size();
+        assert_eq!(to.len(), n, "one send flag per group member required");
+        let sends: Vec<FlagMsg> = to.iter().map(|&t| FlagMsg(t)).collect();
+        let recvs = proc.with_stage("a2a.flags", |proc| alltoallv(proc, group, sends, schedule));
+        let from = recvs.iter().map(|r| r.0).collect();
+        A2aPlan { to, from }
+    }
+
+    /// True iff neither direction of the `(me → dst, src → me)` round pairing
+    /// moves data, i.e. the whole round can be skipped.
+    #[inline]
+    fn round_is_silent(&self, dst: usize, src: usize) -> bool {
+        !self.to[dst] && !self.from[src]
+    }
+}
+
+/// A single send/no-send bit for [`A2aPlan::exchange`]: zero words on the
+/// wire (sub-word control information, like the empty padding slots of a
+/// plain [`alltoallv`]), but still distinguishable content on arrival.
+#[derive(Debug, Clone, Copy, Default)]
+struct FlagMsg(bool);
+
+impl Payload for FlagMsg {
+    fn wire_words(&self) -> crate::cost::Words {
+        0
+    }
+
+    fn clone_payload(&self) -> Box<dyn std::any::Any + Send> {
+        Box::new(*self)
+    }
+}
+
+/// [`alltoallv`] with the pair population known in advance: rounds where
+/// neither direction moves data are skipped outright instead of exchanging
+/// empty padding messages. Delivery semantics are identical to
+/// [`alltoallv`]; slots whose flag is off come back as `P::default()`.
+///
+/// Under the cost model the padding messages were already free, so the
+/// simulated time matches the unplanned exchange — the savings are real
+/// messages, real synchronization, and the implicit per-call count knowledge
+/// that callers with a reusable plan (PACK/UNPACK execution) get for free.
+///
+/// # Panics
+/// Panics if `sends.len()`, `plan.to.len()`, or `plan.from.len()` disagree
+/// with the group size, or (in debug builds) if a send slot whose `to` flag
+/// is off carries wire words.
+pub fn alltoallv_planned<P: Payload + Default>(
+    proc: &mut Proc,
+    group: &Group,
+    mut sends: Vec<P>,
+    plan: &A2aPlan,
+    schedule: A2aSchedule,
+) -> Vec<P> {
+    let n = group.size();
+    assert_eq!(sends.len(), n, "one send buffer per group member required");
+    assert_eq!(plan.to.len(), n, "plan must cover the group");
+    assert_eq!(plan.from.len(), n, "plan must cover the group");
+    debug_assert!(
+        sends
+            .iter()
+            .enumerate()
+            .all(|(j, s)| plan.to[j] || s.wire_words() == 0),
+        "send slot flagged silent carries data"
+    );
+    let me = group.my_rank();
+
+    let mut recvs: Vec<P> = (0..n).map(|_| P::default()).collect();
+    recvs[me] = std::mem::take(&mut sends[me]);
+
+    proc.with_stage("a2a.planned", |proc| match schedule {
+        A2aSchedule::NaivePush => {
+            for k in 1..n {
+                let dst = (me + k) % n;
+                if plan.to[dst] {
+                    proc.send(
+                        group.id_of(dst),
+                        tags::ALLTOALL,
+                        std::mem::take(&mut sends[dst]),
+                    );
+                }
+            }
+            for k in 1..n {
+                let src = (me + n - k) % n;
+                if plan.from[src] {
+                    recvs[src] = proc.recv(group.id_of(src), tags::ALLTOALL);
+                }
+            }
+        }
+        A2aSchedule::PairwiseExchange if n.is_power_of_two() => {
+            for k in 1..n {
+                let partner = me ^ k;
+                if plan.to[partner] {
+                    proc.send(
+                        group.id_of(partner),
+                        tags::ALLTOALL,
+                        std::mem::take(&mut sends[partner]),
+                    );
+                }
+                if plan.from[partner] {
+                    recvs[partner] = proc.recv(group.id_of(partner), tags::ALLTOALL);
+                }
+            }
+        }
+        // Linear permutation, and the non-power-of-two pairwise fallback.
+        _ => {
+            for k in 1..n {
+                let dst = (me + k) % n;
+                let src = (me + n - k) % n;
+                if plan.round_is_silent(dst, src) {
+                    continue;
+                }
+                if plan.to[dst] {
+                    proc.send(
+                        group.id_of(dst),
+                        tags::ALLTOALL,
+                        std::mem::take(&mut sends[dst]),
+                    );
+                }
+                if plan.from[src] {
+                    recvs[src] = proc.recv(group.id_of(src), tags::ALLTOALL);
+                }
+            }
+        }
+    });
+    recvs
+}
+
 fn finish_linear<P: Payload + Default>(
     proc: &mut Proc,
     group: &Group,
@@ -348,6 +511,96 @@ mod tests {
             t2 < t1,
             "with 1-word messages, start-ups dominate: {t2} < {t1}"
         );
+    }
+
+    /// Planned exchanges deliver the same payloads as plain `alltoallv`
+    /// over a sparse pattern (only ranks at even distance talk), for every
+    /// schedule and an awkward mix of group sizes.
+    #[test]
+    fn planned_matches_unplanned_on_sparse_patterns() {
+        for p in [1usize, 2, 3, 5, 8, 16] {
+            for schedule in [
+                A2aSchedule::LinearPermutation,
+                A2aSchedule::NaivePush,
+                A2aSchedule::PairwiseExchange,
+            ] {
+                let machine = Machine::new(ProcGrid::line(p), CostModel::cm5());
+                let out = machine.run(move |proc| {
+                    let g = proc.world();
+                    let build = |me: usize| -> Vec<Vec<i32>> {
+                        (0..p)
+                            .map(|j| {
+                                if (me + j).is_multiple_of(2) && me != j {
+                                    vec![(me * 100 + j) as i32; me + 1]
+                                } else {
+                                    Vec::new()
+                                }
+                            })
+                            .collect()
+                    };
+                    let to: Vec<bool> = build(proc.id()).iter().map(|s| !s.is_empty()).collect();
+                    let plan = A2aPlan::exchange(proc, &g, to, schedule);
+                    let planned = alltoallv_planned(proc, &g, build(proc.id()), &plan, schedule);
+                    let plain = alltoallv(proc, &g, build(proc.id()), schedule);
+                    (planned, plain)
+                });
+                for (me, (planned, plain)) in out.results.iter().enumerate() {
+                    assert_eq!(planned, plain, "p={p} {schedule:?} rank {me}");
+                }
+            }
+        }
+    }
+
+    /// The flag exchange is free on the wire and the planned rounds then
+    /// move no padding at all — words and time drop to the populated pairs.
+    #[test]
+    fn planned_exchange_skips_silent_pairs() {
+        let p = 6usize;
+        let machine = Machine::new(ProcGrid::line(p), CostModel::cm5()).with_metrics(true);
+        let out = machine.run(move |proc| {
+            let g = proc.world();
+            // Only 0 -> 1 carries data.
+            let mut sends: Vec<Vec<i32>> = vec![Vec::new(); p];
+            let to: Vec<bool> = (0..p).map(|j| proc.id() == 0 && j == 1).collect();
+            if proc.id() == 0 {
+                sends[1] = vec![7, 8, 9];
+            }
+            let plan = A2aPlan::exchange(proc, &g, to.clone(), A2aSchedule::LinearPermutation);
+            assert_eq!(plan.from.iter().filter(|&&f| f).count() > 0, proc.id() == 1);
+            alltoallv_planned(proc, &g, sends, &plan, A2aSchedule::LinearPermutation)
+        });
+        assert_eq!(out.results[1][0], vec![7, 8, 9]);
+        // Flag exchange: zero-word flags charge nothing. Planned rounds:
+        // one 3-word message. Every other pair stays silent.
+        assert_eq!(out.total_words_sent(), 3);
+    }
+
+    #[test]
+    fn from_flags_reply_pattern_needs_no_exchange() {
+        // Request/reply: every rank requests from rank 0 only, so both
+        // directions are locally known and no flag exchange is needed.
+        let p = 4usize;
+        let machine = Machine::new(ProcGrid::line(p), CostModel::cm5());
+        let out = machine.run(move |proc| {
+            let g = proc.world();
+            let me = proc.id();
+            let to: Vec<bool> = (0..p).map(|j| me == 0 && j != 0).collect();
+            let from: Vec<bool> = (0..p).map(|j| me != 0 && j == 0).collect();
+            let plan = A2aPlan::from_flags(to, from);
+            let sends: Vec<Vec<i32>> = (0..p)
+                .map(|j| {
+                    if me == 0 && j != 0 {
+                        vec![j as i32 * 11]
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+            alltoallv_planned(proc, &g, sends, &plan, A2aSchedule::LinearPermutation)
+        });
+        for (me, recvs) in out.results.iter().enumerate().skip(1) {
+            assert_eq!(recvs[0], vec![me as i32 * 11]);
+        }
     }
 
     #[test]

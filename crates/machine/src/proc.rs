@@ -287,6 +287,16 @@ impl<'m> Proc<'m> {
         }
     }
 
+    /// Increment the named counter in the metrics registry by `n` (no-op
+    /// unless the machine was built with metrics). Library layers use this
+    /// for algorithm-level counters (e.g. `plan.cache.hit`) that surface in
+    /// [`crate::RunOutput::merged_metrics`] next to the transport counters.
+    pub fn inc_counter(&mut self, name: &str, n: u64) {
+        if let Some(m) = self.metrics.as_ref() {
+            m.registry.counter(name).add(n);
+        }
+    }
+
     /// Timestamp and fold the transport's buffered observations into the
     /// event log and metrics. Retransmit timing is wall-clock driven, so
     /// these events carry the *current* simulated time — the instant the

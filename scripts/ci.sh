@@ -12,9 +12,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== fuzz smoke via the plan-then-execute path =="
+cargo run -p hpf-bench --release --bin fuzz -- --cases 40 --seed 1 --reuse-plans
+
 echo "== chaos smoke (fault-injected PACK/UNPACK roundtrips) =="
 chaos_trace="$(mktemp)"
 cargo run -p hpf-bench --release --bin chaos -- --seed 1 --iters 5 --trace-out "$chaos_trace"
+
+echo "== chaos smoke with cached-plan execution =="
+cargo run -p hpf-bench --release --bin chaos -- --seed 2 --iters 3 --reuse-plans
 
 echo "== trace export parses as Chrome trace_event JSON =="
 python3 - "$chaos_trace" <<'EOF'

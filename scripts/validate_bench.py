@@ -77,6 +77,8 @@ def coverage_checks(report, errors):
         "pack.sss", "pack.css", "pack.cms",
         "pack.red1", "pack.red2",
         "unpack.sss", "unpack.css",
+        "plan_reuse.pack.sss", "plan_reuse.pack.css", "plan_reuse.pack.cms",
+        "plan_reuse.unpack.sss", "plan_reuse.unpack.css",
         "apps.compaction", "apps.sort", "apps.spmv", "apps.gather",
     ]
     for prefix in required_prefixes:
@@ -112,11 +114,54 @@ def coverage_checks(report, errors):
                 f"[{total:.6f}, {total * slack:.6f}] (total_ms x {slack})"
             )
         conf = w.get("conformance")
-        if isinstance(conf, dict) and conf.get("pass") is not True:
-            errors.append(
-                f"workload {w.get('name')}: conformance failed "
-                f"(scheme {conf.get('scheme')}, rel_error {conf.get('rel_error')})"
-            )
+        if isinstance(conf, dict):
+            if conf.get("pass") is not True:
+                errors.append(
+                    f"workload {w.get('name')}: conformance failed "
+                    f"(scheme {conf.get('scheme')}, rel_error {conf.get('rel_error')})"
+                )
+            # Phase attribution must tile the totals exactly.
+            for side in ("predicted", "measured"):
+                plan = conf.get(f"{side}_plan_ops")
+                execute = conf.get(f"{side}_execute_ops")
+                total = conf.get(f"{side}_ops")
+                if (
+                    isinstance(plan, int)
+                    and isinstance(execute, int)
+                    and plan + execute != total
+                ):
+                    errors.append(
+                        f"workload {w.get('name')}: {side} plan {plan} + "
+                        f"execute {execute} != total {total}"
+                    )
+        reuse = w.get("reuse")
+        if isinstance(reuse, dict):
+            name = w.get("name")
+            # The planner/executor split's payoff: a cached plan re-executed
+            # must cost well under a full (plan + execute) call, amortized.
+            ratio = reuse.get("ratio", 1.0)
+            if not isinstance(ratio, (int, float)) or ratio > 0.6:
+                errors.append(
+                    f"workload {name}: reuse ratio {ratio} exceeds 0.6 — "
+                    "cached execution is not amortizing the planning cost"
+                )
+            if not reuse.get("cache_hits", 0) > 0:
+                errors.append(f"workload {name}: plan reuse recorded no cache hits")
+            executes = reuse.get("executes", 0)
+            for arm in ("fresh", "cached"):
+                per = reuse.get(f"{arm}_per_exec_ms")
+                total = reuse.get(f"{arm}_total_ms")
+                if (
+                    isinstance(per, (int, float))
+                    and isinstance(total, (int, float))
+                    and isinstance(executes, int)
+                    and executes > 0
+                    and abs(per * executes - total) > max(1e-6, total * 1e-9)
+                ):
+                    errors.append(
+                        f"workload {name}: {arm}_per_exec_ms x executes != "
+                        f"{arm}_total_ms ({per} x {executes} vs {total})"
+                    )
 
 
 def main():
