@@ -24,8 +24,11 @@
 //!     [--reuse-plans] [--trace-out FILE]
 //! # defaults: seed 1, 20 iterations
 //! # --reuse-plans routes plain PACK/UNPACK through the explicit
-//! # plan-then-execute path (the redistribution variants keep their
-//! # one-shot entry points); all invariants must hold unchanged
+//! # plan-then-execute path, executing each plan three times through the
+//! # pooled zero-copy buffers (the redistribution variants keep their
+//! # one-shot entry points); every execute must produce bit-identical
+//! # results even when the fault schedule forces retransmission of
+//! # Arc-shared pooled payloads
 //! # --trace-out additionally runs one traced fault-injected PACK and writes
 //! # it as Chrome trace_event JSON (open in Perfetto / chrome://tracing);
 //! # the trace carries send/recv, retransmit, dup-drop, and fault-verdict
@@ -200,7 +203,21 @@ fn run_iteration(rng: &mut Rng, seed: u64, iter: usize, reuse_plans: bool, stats
     let pack_prog = move |proc: &mut hpf_machine::Proc<'_>| match redist {
         None if reuse_plans => {
             let plan = plan_pack(proc, d, &mpr[proc.id()], o).unwrap();
-            plan.execute(proc, &apr[proc.id()]).unwrap()
+            let mut out = hpf_core::PackOutput {
+                local_v: Vec::new(),
+                size: 0,
+                v_layout: None,
+            };
+            plan.execute_into(proc, &apr[proc.id()], &mut out).unwrap();
+            let first = out.local_v.clone();
+            // Two more executes rotate through both pool slots, so the fault
+            // schedule gets to retransmit an Arc-shared pooled payload while
+            // its slot is being reused.
+            for _ in 0..2 {
+                plan.execute_into(proc, &apr[proc.id()], &mut out).unwrap();
+                assert_eq!(out.local_v, first, "re-execute diverged under faults");
+            }
+            out
         }
         None => pack(proc, d, &apr[proc.id()], &mpr[proc.id()], o).unwrap(),
         Some(r) => pack_redistributed(proc, d, &apr[proc.id()], &mpr[proc.id()], r, o).unwrap(),
@@ -240,8 +257,16 @@ fn run_iteration(rng: &mut Rng, seed: u64, iter: usize, reuse_plans: bool, stats
     let unpack_prog = move |proc: &mut hpf_machine::Proc<'_>| {
         if reuse_plans {
             let plan = plan_unpack(proc, d, &mpr[proc.id()], vl, uo).unwrap();
-            plan.execute(proc, &apr[proc.id()], &vpr[proc.id()])
-                .unwrap()
+            let mut out = Vec::new();
+            plan.execute_into(proc, &apr[proc.id()], &vpr[proc.id()], &mut out)
+                .unwrap();
+            let first = out.clone();
+            for _ in 0..2 {
+                plan.execute_into(proc, &apr[proc.id()], &vpr[proc.id()], &mut out)
+                    .unwrap();
+                assert_eq!(out, first, "re-execute diverged under faults");
+            }
+            out
         } else {
             unpack(
                 proc,

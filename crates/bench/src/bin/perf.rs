@@ -14,9 +14,15 @@
 //! Usage:
 //! ```sh
 //! cargo run -p hpf-bench --release --bin perf -- \
-//!     [--smoke] [--out FILE] [--critpath-out FILE]
+//!     [--smoke] [--filter GROUP] [--out FILE] [--critpath-out FILE]
 //! # default output: results/BENCH_<rev>.json (rev = short git hash)
+//! # --filter runs only the named workload group (pack, redist, unpack,
+//! #   plan_reuse, exec_hot, apps) and records the filter in the report
 //! ```
+//!
+//! The binary installs the counting global allocator, so the `exec_hot`
+//! workloads report *real* per-thread heap allocation counts for the
+//! steady-state execute loop — `validate_bench.py` gates them at zero.
 //!
 //! Exits nonzero if any conformance check fails — the implementation
 //! drifted from the paper's cost model.
@@ -27,22 +33,33 @@ use std::time::Instant;
 use hpf_analysis::{Conformance, CritPath};
 use hpf_apps::{gather_global, run_compaction, sample_sort, SparseMatrix};
 use hpf_bench::{
-    pack_plan_ops, run_pack, run_pack_redist, run_unpack, time_pack_reuse, time_unpack_reuse,
-    unpack_plan_ops, ExpConfig, Measurement, ReuseMeasurement,
+    pack_plan_ops, run_pack, run_pack_redist, run_unpack, time_pack_hot, time_pack_reuse,
+    time_unpack_hot, time_unpack_reuse, unpack_plan_ops, ExpConfig, HotMeasurement, Measurement,
+    ReuseMeasurement,
 };
 use hpf_core::{
     MaskPattern, MaskStats, PackOptions, PackScheme, RedistScheme, UnpackOptions, UnpackScheme,
 };
 use hpf_distarray::{local_from_fn, ArrayDesc, DimLayout, Dist};
+use hpf_machine::alloc_counter::CountingAllocator;
 use hpf_machine::collectives::A2aSchedule;
 use hpf_machine::{Category, CostModel, Machine, ProcGrid, RunOutput};
 
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
 /// Schema version of the emitted JSON (bump on breaking field changes;
 /// `scripts/bench-schema.json` must match).
-const SCHEMA_VERSION: u32 = 3;
+const SCHEMA_VERSION: u32 = 4;
 
 /// Executes per plan in the `plan_reuse` workloads (plan once, execute N).
 const REUSE_EXECUTES: usize = 16;
+
+/// Timed steady-state executes per `exec_hot` workload (after warm-up).
+const HOT_EXECUTES: usize = 16;
+
+/// The workload groups `--filter` accepts, in report order.
+const GROUPS: [&str; 6] = ["pack", "redist", "unpack", "plan_reuse", "exec_hot", "apps"];
 
 /// Conformance tolerance: the Section 6.4 formulas are exact, so any
 /// drift at all is a model violation.
@@ -60,10 +77,12 @@ struct Entry {
     critpath: Option<CritPath>,
     conformance: Option<Conformance>,
     reuse: Option<ReuseMeasurement>,
+    hot: Option<HotMeasurement>,
 }
 
 fn main() {
     let mut smoke = false;
+    let mut filter: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut critpath_out: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,6 +92,18 @@ fn main() {
             "--smoke" => {
                 smoke = true;
                 i += 1;
+            }
+            "--filter" => {
+                let g = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--filter requires a group name ({})", GROUPS.join(", "));
+                    std::process::exit(2);
+                });
+                if !GROUPS.contains(&g.as_str()) {
+                    eprintln!("unknown group {g}; expected one of: {}", GROUPS.join(", "));
+                    std::process::exit(2);
+                }
+                filter = Some(g);
+                i += 2;
             }
             "--out" => {
                 out_path = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
@@ -91,12 +122,13 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument {other}; \
-                     usage: perf [--smoke] [--out FILE] [--critpath-out FILE]"
+                     usage: perf [--smoke] [--filter GROUP] [--out FILE] [--critpath-out FILE]"
                 );
                 std::process::exit(2);
             }
         }
     }
+    let want = |g: &str| filter.as_deref().is_none_or(|f| f == g);
 
     let rev = git_rev();
     let out_path = out_path.unwrap_or_else(|| format!("results/BENCH_{rev}.json"));
@@ -113,168 +145,238 @@ fn main() {
     // ---- PACK schemes (Table I / Figures 3-4 workload) ------------------
     // Cyclic (W = 1, worst ranking overhead) and wide blocks for each of
     // SSS / CSS / CMS.
-    for w in [1usize, wide_w] {
-        let cfg = ExpConfig::new(&[n1d], &[p1d], w, pattern);
-        let stats = MaskStats::from_mask(pattern.global(&[n1d]).data(), p1d, w, None);
-        for scheme in PackScheme::ALL {
-            let label = match scheme {
-                PackScheme::Simple => "sss",
-                PackScheme::CompactStorage => "css",
-                PackScheme::CompactMessage => "cms",
-            };
-            let opts = PackOptions::new(scheme);
-            let t0 = Instant::now();
-            let (m, out) = run_pack(&cfg, &opts, true);
-            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-            // Phase-resolved conformance: planner ops measured alone, the
-            // executor's are the full run's minus them (deterministic
-            // simulation), each checked against its own split prediction.
-            let plan_ops = pack_plan_ops(&cfg, &opts);
-            let exec_ops = sub_ops(&out.cat_ops_per_proc(Category::LocalComp), &plan_ops);
-            let (pred_plan, pred_exec) = stats.predict_pack_ops_split(scheme, opts.scan_method);
-            let conformance = Conformance::evaluate_split(
-                &format!("pack.{label}"),
-                (&pred_plan, &pred_exec),
-                (&plan_ops, &exec_ops),
-                CONFORMANCE_TOL,
-            );
-            entries.push(Entry {
-                name: format!("pack.{label}.w{w}"),
-                group: "pack",
-                shape: cfg.shape.clone(),
-                grid: cfg.grid.clone(),
-                w: Some(w),
-                density: Some(density),
-                m,
-                wall_ms,
-                critpath: Some(CritPath::from_run(&out)),
-                conformance: Some(conformance),
-                reuse: None,
-            });
+    if want("pack") {
+        for w in [1usize, wide_w] {
+            let cfg = ExpConfig::new(&[n1d], &[p1d], w, pattern);
+            let stats = MaskStats::from_mask(pattern.global(&[n1d]).data(), p1d, w, None);
+            for scheme in PackScheme::ALL {
+                let label = match scheme {
+                    PackScheme::Simple => "sss",
+                    PackScheme::CompactStorage => "css",
+                    PackScheme::CompactMessage => "cms",
+                };
+                let opts = PackOptions::new(scheme);
+                let t0 = Instant::now();
+                let (m, out) = run_pack(&cfg, &opts, true);
+                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                // Phase-resolved conformance: planner ops measured alone, the
+                // executor's are the full run's minus them (deterministic
+                // simulation), each checked against its own split prediction.
+                let plan_ops = pack_plan_ops(&cfg, &opts);
+                let exec_ops = sub_ops(&out.cat_ops_per_proc(Category::LocalComp), &plan_ops);
+                let (pred_plan, pred_exec) = stats.predict_pack_ops_split(scheme, opts.scan_method);
+                let conformance = Conformance::evaluate_split(
+                    &format!("pack.{label}"),
+                    (&pred_plan, &pred_exec),
+                    (&plan_ops, &exec_ops),
+                    CONFORMANCE_TOL,
+                );
+                entries.push(Entry {
+                    name: format!("pack.{label}.w{w}"),
+                    group: "pack",
+                    shape: cfg.shape.clone(),
+                    grid: cfg.grid.clone(),
+                    w: Some(w),
+                    density: Some(density),
+                    m,
+                    wall_ms,
+                    critpath: Some(CritPath::from_run(&out)),
+                    conformance: Some(conformance),
+                    reuse: None,
+                    hot: None,
+                });
+            }
         }
     }
 
     // ---- Preliminary redistribution (Table II workload) -----------------
     // Cyclic input, the case redistribution exists for. No conformance:
     // the Section 6.4 formulas do not model the redistribution phase.
-    let cfg = ExpConfig::new(&[n1d], &[p1d], 1, pattern);
-    for (scheme, label) in [
-        (RedistScheme::SelectedData, "red1"),
-        (RedistScheme::WholeArrays, "red2"),
-    ] {
-        let opts = PackOptions::default();
-        let t0 = Instant::now();
-        let (m, out) = run_pack_redist(&cfg, scheme, &opts, true);
-        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-        entries.push(Entry {
-            name: format!("pack.{label}"),
-            group: "redist",
-            shape: cfg.shape.clone(),
-            grid: cfg.grid.clone(),
-            w: Some(1),
-            density: Some(density),
-            m,
-            wall_ms,
-            critpath: Some(CritPath::from_run(&out)),
-            conformance: None,
-            reuse: None,
-        });
-    }
-
-    // ---- UNPACK schemes (Figure 5 workload) -----------------------------
-    for w in [1usize, wide_w] {
-        let cfg = ExpConfig::new(&[n1d], &[p1d], w, pattern);
-        let stats = MaskStats::from_mask(pattern.global(&[n1d]).data(), p1d, w, None);
-        for scheme in UnpackScheme::ALL {
-            let label = match scheme {
-                UnpackScheme::Simple => "sss",
-                UnpackScheme::CompactStorage => "css",
-            };
-            let opts = UnpackOptions::new(scheme);
+    if want("redist") {
+        let cfg = ExpConfig::new(&[n1d], &[p1d], 1, pattern);
+        for (scheme, label) in [
+            (RedistScheme::SelectedData, "red1"),
+            (RedistScheme::WholeArrays, "red2"),
+        ] {
+            let opts = PackOptions::default();
             let t0 = Instant::now();
-            let (m, out) = run_unpack(&cfg, &opts, false, true);
+            let (m, out) = run_pack_redist(&cfg, scheme, &opts, true);
             let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-            let plan_ops = unpack_plan_ops(&cfg, &opts);
-            let exec_ops = sub_ops(&out.cat_ops_per_proc(Category::LocalComp), &plan_ops);
-            let (pred_plan, pred_exec) = stats.predict_unpack_ops_split(scheme);
-            let conformance = Conformance::evaluate_split(
-                &format!("unpack.{label}"),
-                (&pred_plan, &pred_exec),
-                (&plan_ops, &exec_ops),
-                CONFORMANCE_TOL,
-            );
             entries.push(Entry {
-                name: format!("unpack.{label}.w{w}"),
-                group: "unpack",
+                name: format!("pack.{label}"),
+                group: "redist",
                 shape: cfg.shape.clone(),
                 grid: cfg.grid.clone(),
-                w: Some(w),
+                w: Some(1),
                 density: Some(density),
                 m,
                 wall_ms,
                 critpath: Some(CritPath::from_run(&out)),
-                conformance: Some(conformance),
+                conformance: None,
                 reuse: None,
+                hot: None,
             });
+        }
+    }
+
+    // ---- UNPACK schemes (Figure 5 workload) -----------------------------
+    if want("unpack") {
+        for w in [1usize, wide_w] {
+            let cfg = ExpConfig::new(&[n1d], &[p1d], w, pattern);
+            let stats = MaskStats::from_mask(pattern.global(&[n1d]).data(), p1d, w, None);
+            for scheme in UnpackScheme::ALL {
+                let label = match scheme {
+                    UnpackScheme::Simple => "sss",
+                    UnpackScheme::CompactStorage => "css",
+                };
+                let opts = UnpackOptions::new(scheme);
+                let t0 = Instant::now();
+                let (m, out) = run_unpack(&cfg, &opts, false, true);
+                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let plan_ops = unpack_plan_ops(&cfg, &opts);
+                let exec_ops = sub_ops(&out.cat_ops_per_proc(Category::LocalComp), &plan_ops);
+                let (pred_plan, pred_exec) = stats.predict_unpack_ops_split(scheme);
+                let conformance = Conformance::evaluate_split(
+                    &format!("unpack.{label}"),
+                    (&pred_plan, &pred_exec),
+                    (&plan_ops, &exec_ops),
+                    CONFORMANCE_TOL,
+                );
+                entries.push(Entry {
+                    name: format!("unpack.{label}.w{w}"),
+                    group: "unpack",
+                    shape: cfg.shape.clone(),
+                    grid: cfg.grid.clone(),
+                    w: Some(w),
+                    density: Some(density),
+                    m,
+                    wall_ms,
+                    critpath: Some(CritPath::from_run(&out)),
+                    conformance: Some(conformance),
+                    reuse: None,
+                    hot: None,
+                });
+            }
         }
     }
 
     // ---- Plan reuse (plan once, execute N — the planner/executor split's
     // payoff, amortized) --------------------------------------------------
-    for w in [1usize, wide_w] {
-        let cfg = ExpConfig::new(&[n1d], &[p1d], w, pattern);
-        let mut reuse_runs: Vec<(String, ReuseMeasurement, f64)> = Vec::new();
-        for scheme in PackScheme::ALL {
-            let label = match scheme {
-                PackScheme::Simple => "sss",
-                PackScheme::CompactStorage => "css",
-                PackScheme::CompactMessage => "cms",
-            };
-            let t0 = Instant::now();
-            let r = time_pack_reuse(&cfg, &PackOptions::new(scheme), REUSE_EXECUTES);
-            reuse_runs.push((
-                format!("plan_reuse.pack.{label}.w{w}"),
-                r,
-                t0.elapsed().as_secs_f64() * 1e3,
-            ));
+    if want("plan_reuse") {
+        for w in [1usize, wide_w] {
+            let cfg = ExpConfig::new(&[n1d], &[p1d], w, pattern);
+            let mut reuse_runs: Vec<(String, ReuseMeasurement, f64)> = Vec::new();
+            for scheme in PackScheme::ALL {
+                let label = match scheme {
+                    PackScheme::Simple => "sss",
+                    PackScheme::CompactStorage => "css",
+                    PackScheme::CompactMessage => "cms",
+                };
+                let t0 = Instant::now();
+                let r = time_pack_reuse(&cfg, &PackOptions::new(scheme), REUSE_EXECUTES);
+                reuse_runs.push((
+                    format!("plan_reuse.pack.{label}.w{w}"),
+                    r,
+                    t0.elapsed().as_secs_f64() * 1e3,
+                ));
+            }
+            for scheme in UnpackScheme::ALL {
+                let label = match scheme {
+                    UnpackScheme::Simple => "sss",
+                    UnpackScheme::CompactStorage => "css",
+                };
+                let t0 = Instant::now();
+                let r = time_unpack_reuse(&cfg, &UnpackOptions::new(scheme), REUSE_EXECUTES);
+                reuse_runs.push((
+                    format!("plan_reuse.unpack.{label}.w{w}"),
+                    r,
+                    t0.elapsed().as_secs_f64() * 1e3,
+                ));
+            }
+            for (name, r, wall_ms) in reuse_runs {
+                entries.push(Entry {
+                    name,
+                    group: "plan_reuse",
+                    shape: cfg.shape.clone(),
+                    grid: cfg.grid.clone(),
+                    w: Some(w),
+                    density: Some(density),
+                    m: r.cached,
+                    wall_ms,
+                    critpath: None,
+                    conformance: None,
+                    reuse: Some(r),
+                    hot: None,
+                });
+            }
         }
-        for scheme in UnpackScheme::ALL {
-            let label = match scheme {
-                UnpackScheme::Simple => "sss",
-                UnpackScheme::CompactStorage => "css",
-            };
-            let t0 = Instant::now();
-            let r = time_unpack_reuse(&cfg, &UnpackOptions::new(scheme), REUSE_EXECUTES);
-            reuse_runs.push((
-                format!("plan_reuse.unpack.{label}.w{w}"),
-                r,
-                t0.elapsed().as_secs_f64() * 1e3,
-            ));
-        }
-        for (name, r, wall_ms) in reuse_runs {
-            entries.push(Entry {
-                name,
-                group: "plan_reuse",
-                shape: cfg.shape.clone(),
-                grid: cfg.grid.clone(),
-                w: Some(w),
-                density: Some(density),
-                m: r.cached,
-                wall_ms,
-                critpath: None,
-                conformance: None,
-                reuse: Some(r),
-            });
+    }
+
+    // ---- Steady-state execute hot path (real time + real allocations) ---
+    // Plan once, execute N: wall-clock time per element and heap
+    // allocations per execute, measured under the counting global
+    // allocator. Steady-state allocations must be zero — the pooled
+    // buffers absorb the whole gather → exchange → decode loop.
+    if want("exec_hot") {
+        for w in [1usize, wide_w] {
+            let cfg = ExpConfig::new(&[n1d], &[p1d], w, pattern);
+            for scheme in PackScheme::ALL {
+                let label = match scheme {
+                    PackScheme::Simple => "sss",
+                    PackScheme::CompactStorage => "css",
+                    PackScheme::CompactMessage => "cms",
+                };
+                let t0 = Instant::now();
+                let (hot, m) = time_pack_hot(&cfg, &PackOptions::new(scheme), HOT_EXECUTES);
+                entries.push(Entry {
+                    name: format!("exec_hot.pack.{label}.w{w}"),
+                    group: "exec_hot",
+                    shape: cfg.shape.clone(),
+                    grid: cfg.grid.clone(),
+                    w: Some(w),
+                    density: Some(density),
+                    m,
+                    wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    critpath: None,
+                    conformance: None,
+                    reuse: None,
+                    hot: Some(hot),
+                });
+            }
+            for scheme in UnpackScheme::ALL {
+                let label = match scheme {
+                    UnpackScheme::Simple => "sss",
+                    UnpackScheme::CompactStorage => "css",
+                };
+                let t0 = Instant::now();
+                let (hot, m) = time_unpack_hot(&cfg, &UnpackOptions::new(scheme), HOT_EXECUTES);
+                entries.push(Entry {
+                    name: format!("exec_hot.unpack.{label}.w{w}"),
+                    group: "exec_hot",
+                    shape: cfg.shape.clone(),
+                    grid: cfg.grid.clone(),
+                    w: Some(w),
+                    density: Some(density),
+                    m,
+                    wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    critpath: None,
+                    conformance: None,
+                    reuse: None,
+                    hot: Some(hot),
+                });
+            }
         }
     }
 
     // ---- Application kernels --------------------------------------------
-    entries.push(app_compaction(smoke));
-    entries.push(app_sort(smoke));
-    entries.push(app_spmv(smoke));
-    entries.push(app_gather(smoke));
+    if want("apps") {
+        entries.push(app_compaction(smoke));
+        entries.push(app_sort(smoke));
+        entries.push(app_spmv(smoke));
+        entries.push(app_gather(smoke));
+    }
 
-    let json = render_json(&rev, smoke, &entries);
+    let json = render_json(&rev, smoke, filter.as_deref(), &entries);
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir).expect("create output directory");
@@ -313,6 +415,20 @@ fn main() {
             e.m.words,
             e.wall_ms,
         );
+    }
+    for e in &entries {
+        if let Some(h) = &e.hot {
+            println!(
+                "  {:<26} {:>10.0} ns/exec  {:>7.2} ns/elem  allocs/exec {:>5.1}  \
+                 bytes/exec {:>7.0}  clone_words {}",
+                e.name,
+                h.wall_ns_per_exec,
+                h.ns_per_element(),
+                h.allocs_per_execute,
+                h.alloc_bytes_per_execute,
+                h.clone_words,
+            );
+        }
     }
     for e in &entries {
         if let Some(r) = &e.reuse {
@@ -407,6 +523,7 @@ fn app_compaction(smoke: bool) -> Entry {
         critpath: Some(CritPath::from_run(&out)),
         conformance: None,
         reuse: None,
+        hot: None,
     }
 }
 
@@ -442,6 +559,7 @@ fn app_sort(smoke: bool) -> Entry {
         critpath: Some(CritPath::from_run(&out)),
         conformance: None,
         reuse: None,
+        hot: None,
     }
 }
 
@@ -491,6 +609,7 @@ fn app_spmv(smoke: bool) -> Entry {
         critpath: Some(CritPath::from_run(&out)),
         conformance: None,
         reuse: None,
+        hot: None,
     }
 }
 
@@ -529,12 +648,13 @@ fn app_gather(smoke: bool) -> Entry {
         critpath: Some(CritPath::from_run(&out)),
         conformance: None,
         reuse: None,
+        hot: None,
     }
 }
 
 // ---- JSON rendering (hand-rolled; the repo carries no serde) -------------
 
-fn render_json(rev: &str, smoke: bool, entries: &[Entry]) -> String {
+fn render_json(rev: &str, smoke: bool, filter: Option<&str>, entries: &[Entry]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"schema_version\": {SCHEMA_VERSION},");
@@ -544,6 +664,12 @@ fn render_json(rev: &str, smoke: bool, entries: &[Entry]) -> String {
         "  \"mode\": \"{}\",",
         if smoke { "smoke" } else { "full" }
     );
+    match filter {
+        Some(f) => {
+            let _ = writeln!(s, "  \"filter\": \"{f}\",");
+        }
+        None => s.push_str("  \"filter\": null,\n"),
+    }
     s.push_str("  \"cost_model\": \"cm5\",\n");
     s.push_str("  \"workloads\": [\n");
     for (i, e) in entries.iter().enumerate() {
@@ -657,6 +783,25 @@ fn render_json(rev: &str, smoke: bool, entries: &[Entry]) -> String {
                 );
             }
             None => s.push_str("      \"reuse\": null,\n"),
+        }
+        match &e.hot {
+            Some(h) => {
+                let _ = writeln!(
+                    s,
+                    "      \"hot\": {{\"executes\": {}, \"elements\": {}, \
+                     \"wall_ns_per_exec\": {}, \"ns_per_element\": {}, \
+                     \"allocs_per_execute\": {}, \"alloc_bytes_per_execute\": {}, \
+                     \"clone_words\": {}}},",
+                    h.executes,
+                    h.elements,
+                    json_f64(h.wall_ns_per_exec),
+                    json_f64(h.ns_per_element()),
+                    json_f64(h.allocs_per_execute),
+                    json_f64(h.alloc_bytes_per_execute),
+                    h.clone_words,
+                );
+            }
+            None => s.push_str("      \"hot\": null,\n"),
         }
         let _ = writeln!(s, "      \"wall_ms\": {}", json_f64(e.wall_ms));
         s.push_str(if i + 1 < entries.len() {

@@ -297,6 +297,185 @@ pub fn time_unpack_reuse(
     }
 }
 
+/// Warm-up executes before the hot window: the two pool slots per
+/// destination alternate, so both are grown after exactly two iterations
+/// and every later execute is allocation-free.
+pub const HOT_WARMUP: usize = 2;
+
+/// Real (wall-clock) measurement of the steady-state execute path: one plan,
+/// `executes` timed iterations after warm-up, with heap allocations counted
+/// per worker thread. Allocation counts are only non-zero when the harness
+/// binary installs [`hpf_machine::alloc_counter::CountingAllocator`] as its
+/// global allocator (the `perf` binary does).
+#[derive(Debug, Clone, Copy)]
+pub struct HotMeasurement {
+    /// Timed executes (after [`HOT_WARMUP`] untimed ones).
+    pub executes: usize,
+    /// Packed element count moved per execute.
+    pub elements: usize,
+    /// Wall-clock nanoseconds per execute: the slowest processor thread's
+    /// timed window divided by `executes`.
+    pub wall_ns_per_exec: f64,
+    /// Heap allocations per execute, summed over all processor threads.
+    /// Zero in steady state — gated by `validate_bench.py`.
+    pub allocs_per_execute: f64,
+    /// Heap bytes allocated per execute, summed over all processor threads.
+    pub alloc_bytes_per_execute: f64,
+    /// `payload.clone_words` from a separate metrics-enabled run of the
+    /// same workload: deep-copied payload words, zero on fault-free runs.
+    pub clone_words: u64,
+}
+
+impl HotMeasurement {
+    /// Wall-clock nanoseconds per packed element per execute.
+    pub fn ns_per_element(&self) -> f64 {
+        self.wall_ns_per_exec / self.elements.max(1) as f64
+    }
+}
+
+/// Measure the PACK hot path: plan once, execute `executes` times after
+/// warm-up, timing the steady-state window and counting its allocations.
+/// Returns the real-time measurement plus the simulated [`Measurement`] of
+/// the whole plan + execute loop (deterministic, so usable as a perf-diff
+/// baseline). The timed run keeps metrics and tracing off — stage timers
+/// allocate their metric keys when metrics are on — and a second, small
+/// metrics-enabled run supplies the `payload.clone_words` counter.
+pub fn time_pack_hot(
+    cfg: &ExpConfig,
+    opts: &PackOptions,
+    executes: usize,
+) -> (HotMeasurement, Measurement) {
+    use hpf_core::PackOutput;
+    use hpf_machine::alloc_counter::thread_totals;
+
+    let desc = cfg.desc();
+    let (desc_ref, pattern, shape) = (&desc, cfg.pattern, cfg.shape.clone());
+    let out = cfg.machine().run(move |proc| {
+        let a = local_from_fn(desc_ref, proc.id(), ExpConfig::value_at);
+        let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
+        proc.clock().reset();
+        let plan = plan_pack(proc, desc_ref, &m, opts).unwrap();
+        let mut out = PackOutput {
+            local_v: Vec::new(),
+            size: 0,
+            v_layout: None,
+        };
+        for _ in 0..HOT_WARMUP {
+            plan.execute_into(proc, &a, &mut out).unwrap();
+        }
+        let (c0, b0) = thread_totals();
+        let t0 = std::time::Instant::now();
+        for _ in 0..executes {
+            plan.execute_into(proc, &a, &mut out).unwrap();
+        }
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let (c1, b1) = thread_totals();
+        (out.size, wall_ns, c1 - c0, b1 - b0)
+    });
+    let size = out.results[0].0;
+    let sim = measure_run(&out, size);
+    let hot = hot_from_runs(&out.results, size, executes, {
+        let shape = cfg.shape.clone();
+        let machine = cfg.machine().with_metrics(true);
+        let out = machine.run(move |proc| {
+            let a = local_from_fn(desc_ref, proc.id(), ExpConfig::value_at);
+            let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
+            let plan = plan_pack(proc, desc_ref, &m, opts).unwrap();
+            let mut out = PackOutput {
+                local_v: Vec::new(),
+                size: 0,
+                v_layout: None,
+            };
+            for _ in 0..HOT_WARMUP {
+                plan.execute_into(proc, &a, &mut out).unwrap();
+            }
+        });
+        out.merged_metrics().counter("payload.clone_words")
+    });
+    (hot, sim)
+}
+
+/// Measure the UNPACK hot path; see [`time_pack_hot`].
+pub fn time_unpack_hot(
+    cfg: &ExpConfig,
+    opts: &UnpackOptions,
+    executes: usize,
+) -> (HotMeasurement, Measurement) {
+    use hpf_machine::alloc_counter::thread_totals;
+
+    let desc = cfg.desc();
+    let size = {
+        let m = cfg.pattern.global(&cfg.shape);
+        m.data().iter().filter(|&&b| b).count()
+    };
+    let nprocs: usize = cfg.grid.iter().product();
+    let n_prime = size.max(1);
+    let v_layout = DimLayout::new_general(n_prime, nprocs, n_prime.div_ceil(nprocs)).unwrap();
+    let (desc_ref, pattern, shape, vl) = (&desc, cfg.pattern, cfg.shape.clone(), &v_layout);
+    let out = cfg.machine().run(move |proc| {
+        let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
+        let f = local_from_fn(desc_ref, proc.id(), |_| -1i32);
+        let v: Vec<i32> = (0..vl.local_len(proc.id()))
+            .map(|l| vl.global_of(proc.id(), l) as i32)
+            .collect();
+        proc.clock().reset();
+        let plan = plan_unpack(proc, desc_ref, &m, vl, opts).unwrap();
+        let mut out = Vec::new();
+        for _ in 0..HOT_WARMUP {
+            plan.execute_into(proc, &f, &v, &mut out).unwrap();
+        }
+        let (c0, b0) = thread_totals();
+        let t0 = std::time::Instant::now();
+        for _ in 0..executes {
+            plan.execute_into(proc, &f, &v, &mut out).unwrap();
+        }
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let (c1, b1) = thread_totals();
+        (out.len(), wall_ns, c1 - c0, b1 - b0)
+    });
+    let sim = measure_run(&out, size);
+    let hot = hot_from_runs(&out.results, size, executes, {
+        let shape = cfg.shape.clone();
+        let machine = cfg.machine().with_metrics(true);
+        let out = machine.run(move |proc| {
+            let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
+            let f = local_from_fn(desc_ref, proc.id(), |_| -1i32);
+            let v: Vec<i32> = (0..vl.local_len(proc.id()))
+                .map(|l| vl.global_of(proc.id(), l) as i32)
+                .collect();
+            let plan = plan_unpack(proc, desc_ref, &m, vl, opts).unwrap();
+            let mut out = Vec::new();
+            for _ in 0..HOT_WARMUP {
+                plan.execute_into(proc, &f, &v, &mut out).unwrap();
+            }
+        });
+        out.merged_metrics().counter("payload.clone_words")
+    });
+    (hot, sim)
+}
+
+/// Fold per-processor `(len, wall_ns, allocs, bytes)` tuples into a
+/// [`HotMeasurement`]: slowest thread bounds the wall clock, allocations
+/// are summed across threads.
+fn hot_from_runs(
+    results: &[(usize, u64, u64, u64)],
+    elements: usize,
+    executes: usize,
+    clone_words: u64,
+) -> HotMeasurement {
+    let wall = results.iter().map(|r| r.1).max().unwrap_or(0);
+    let allocs: u64 = results.iter().map(|r| r.2).sum();
+    let bytes: u64 = results.iter().map(|r| r.3).sum();
+    HotMeasurement {
+        executes,
+        elements,
+        wall_ns_per_exec: wall as f64 / executes.max(1) as f64,
+        allocs_per_execute: allocs as f64 / executes.max(1) as f64,
+        alloc_bytes_per_execute: bytes as f64 / executes.max(1) as f64,
+        clone_words,
+    }
+}
+
 /// Per-processor `LocalComp` operation counts of the PACK planning phase
 /// alone. The simulation is deterministic, so a full run's counts minus
 /// these are exactly the execute phase's — used for phase-resolved
@@ -576,6 +755,34 @@ mod tests {
         assert_eq!(r.cache_misses, 4);
         assert_eq!(r.cache_hits, 7 * 4);
         assert!(r.reuse_ratio() < 1.0, "ratio {}", r.reuse_ratio());
+    }
+
+    #[test]
+    fn hot_measurements_report_clean_steady_state() {
+        let cfg = ExpConfig::new(
+            &[256],
+            &[4],
+            4,
+            MaskPattern::Random {
+                density: 0.5,
+                seed: 4,
+            },
+        );
+        let (hot, sim) = time_pack_hot(&cfg, &PackOptions::default(), 4);
+        assert_eq!(hot.executes, 4);
+        assert!(hot.elements > 80 && hot.elements < 180, "{}", hot.elements);
+        assert!(hot.wall_ns_per_exec > 0.0);
+        assert!(hot.ns_per_element() > 0.0);
+        assert_eq!(hot.clone_words, 0, "fault-free run deep-copied a payload");
+        assert!(sim.total_ms() > 0.0);
+        // This test binary does not install the counting allocator, so the
+        // counters must read as trivially clean (the real gate runs in the
+        // `perf` binary, which does install it).
+        assert_eq!(hot.allocs_per_execute, 0.0);
+        let (hot, sim) = time_unpack_hot(&cfg, &UnpackOptions::default(), 4);
+        assert!(hot.wall_ns_per_exec > 0.0);
+        assert_eq!(hot.clone_words, 0);
+        assert!(sim.total_ms() > 0.0);
     }
 
     #[test]

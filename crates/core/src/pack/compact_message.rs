@@ -21,7 +21,7 @@
 //! and the segment decode (`2/segment + 1/value`) are execute-time.
 
 use hpf_distarray::DimLayout;
-use hpf_machine::{Category, Payload, Proc, Wire, Words};
+use hpf_machine::{Payload, Reusable, Wire, Words};
 
 use crate::plan::composer::{CompactComposer, ComposeCost, Composer, RankEmit};
 use crate::schemes::ScanMethod;
@@ -68,6 +68,47 @@ impl<T: Wire> Payload for CmsMessage<T> {
     }
 }
 
+impl<T: Wire> Reusable for CmsMessage<T> {
+    /// Clear each segment's values but keep the segment skeleton and every
+    /// inner allocation: a plan's routes are fixed, so the next
+    /// [`fill_segments`] refill for the same destination reuses both.
+    fn reset(&mut self) {
+        for (_, vals) in &mut self.segments {
+            vals.clear();
+        }
+    }
+}
+
+/// Fill a pooled message from a route's run list (`(base rank, len)` pairs)
+/// and gather slots. If the skeleton already matches the run count — always
+/// true from the second execute of a plan — the refill is in place and
+/// allocation-free.
+pub(crate) fn fill_segments<T: Wire>(
+    msg: &mut CmsMessage<T>,
+    runs: &[(u32, u32)],
+    slots: &[u32],
+    a_local: &[T],
+) {
+    if msg.segments.len() != runs.len() {
+        msg.segments.clear();
+        msg.segments.extend(
+            runs.iter()
+                .map(|&(base, len)| (base, Vec::with_capacity(len as usize))),
+        );
+    }
+    let mut taken = 0usize;
+    for (seg, &(base, len)) in msg.segments.iter_mut().zip(runs) {
+        seg.0 = base;
+        seg.1.clear();
+        seg.1.extend(
+            slots[taken..taken + len as usize]
+                .iter()
+                .map(|&s| a_local[s as usize]),
+        );
+        taken += len as usize;
+    }
+}
+
 /// The CMS plan-time composer: counter-array storage, run-compressed
 /// ranks, two operations per destination run (the segment header); the
 /// per-value work is all execute-time.
@@ -82,31 +123,26 @@ pub(crate) fn composer(scan_method: ScanMethod) -> Box<dyn Composer> {
     ))
 }
 
-/// Decode received segment messages into the local portion of `V`
+/// Place one received segment message into the local portion of `V`
 /// (Section 6.4.2: decomposition costs `E_a + 2·Gr_i` — two operations per
-/// segment plus one per value).
-pub(crate) fn decode_segments<T: Wire + Default>(
-    proc: &mut Proc,
+/// segment plus one per value). Returns the operation count for the caller
+/// to charge once per decode pass.
+pub(crate) fn place_segments<T: Wire + Default>(
     layout: &DimLayout,
-    recvs: Vec<CmsMessage<T>>,
-) -> Vec<T> {
-    proc.with_category(Category::LocalComp, |proc| {
-        let me = proc.id();
-        let mut local_v = vec![T::default(); layout.local_len(me)];
-        let mut ops = 0usize;
-        for msg in recvs {
-            for (base, vals) in msg.segments {
-                ops += 2 + vals.len();
-                for (j, v) in vals.into_iter().enumerate() {
-                    let rank = base as usize + j;
-                    debug_assert_eq!(layout.owner(rank), me, "misrouted segment");
-                    local_v[layout.local_of(rank)] = v;
-                }
-            }
+    me: usize,
+    msg: &CmsMessage<T>,
+    out: &mut [T],
+) -> usize {
+    let mut ops = 0usize;
+    for (base, vals) in &msg.segments {
+        ops += 2 + vals.len();
+        for (j, &v) in vals.iter().enumerate() {
+            let rank = *base as usize + j;
+            debug_assert_eq!(layout.owner(rank), me, "misrouted segment");
+            out[layout.local_of(rank)] = v;
         }
-        proc.charge_ops(ops);
-        local_v
-    })
+    }
+    ops
 }
 
 #[cfg(test)]

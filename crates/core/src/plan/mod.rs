@@ -35,11 +35,11 @@ pub(crate) mod composer;
 pub use cache::PlanCache;
 
 use hpf_distarray::{ArrayDesc, DimLayout};
-use hpf_machine::collectives::{alltoallv, alltoallv_planned, A2aPlan, A2aSchedule};
-use hpf_machine::{Category, Proc, Wire};
+use hpf_machine::collectives::{alltoallv, alltoallv_pooled, A2aPlan, A2aSchedule};
+use hpf_machine::{fresh_pool_key, Category, Packet, PoolSlot, Proc, Wire};
 
 use crate::error::{PackError, UnpackError};
-use crate::pack::{compact_message, decode_pairs, result_layout, CmsMessage, PackOutput};
+use crate::pack::{compact_message, result_layout, CmsMessage, PackOutput};
 use crate::ranking::rank_from_counts;
 use crate::schemes::{PackOptions, PackScheme, UnpackOptions, UnpackScheme};
 use crate::unpack::RankRequest;
@@ -58,6 +58,9 @@ pub struct PackPlan {
     local_len: usize,
     routes: Vec<Route>,
     a2a: A2aPlan,
+    /// Buffer-pool key: each plan owns a distinct family of reusable send
+    /// buffers in every processor's pool (see DESIGN.md §11).
+    pool_key: u64,
 }
 
 /// Build a [`PackPlan`]: initial scan, ranking collectives, route
@@ -96,6 +99,7 @@ pub fn plan_pack(
                 local_len,
                 routes: Vec::new(),
                 a2a: A2aPlan::from_flags(vec![false; n], vec![false; n]),
+                pool_key: fresh_pool_key(),
             };
         }
         let layout =
@@ -114,6 +118,7 @@ pub fn plan_pack(
             local_len,
             routes,
             a2a,
+            pool_key: fresh_pool_key(),
         }
     }))
 }
@@ -151,6 +156,31 @@ impl PackPlan {
         proc: &mut Proc,
         a_local: &[T],
     ) -> Result<PackOutput<T>, PackError> {
+        let mut out = PackOutput {
+            local_v: Vec::new(),
+            size: 0,
+            v_layout: None,
+        };
+        self.execute_into(proc, a_local, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`PackPlan::execute`] writing into a caller-owned output. `out` is
+    /// cleared and refilled; from the second call with the same `out`
+    /// onward the whole gather → exchange → decode loop performs **zero
+    /// heap allocations**: send buffers come from the per-processor pool
+    /// (checked out here, returned by the receiving processor's decode) and
+    /// the result vector reuses its capacity.
+    ///
+    /// Simulated accounting — charges, events, stage spans — is
+    /// bit-identical to `execute`, which is now this method plus a fresh
+    /// output.
+    pub fn execute_into<T: Wire + Default>(
+        &self,
+        proc: &mut Proc,
+        a_local: &[T],
+        out: &mut PackOutput<T>,
+    ) -> Result<(), PackError> {
         if a_local.len() != self.local_len {
             return Err(PackError::ArrayLenMismatch {
                 expected: self.local_len,
@@ -158,106 +188,183 @@ impl PackPlan {
             });
         }
         if self.size == 0 {
-            return Ok(PackOutput {
-                local_v: Vec::new(),
-                size: 0,
-                v_layout: None,
-            });
+            out.local_v.clear();
+            out.size = 0;
+            out.v_layout = None;
+            return Ok(());
         }
         let layout = self.v_layout.expect("size > 0");
-        Ok(proc.with_stage("pack.execute", |proc| {
-            let local_v = match self.scheme {
+        proc.with_stage("pack.execute", |proc| {
+            match self.scheme {
                 PackScheme::Simple | PackScheme::CompactStorage => {
-                    let sends = self.gather_pairs(proc, a_local);
-                    let recvs = proc.with_category(Category::ManyToMany, |proc| {
-                        let world = proc.world();
-                        alltoallv_planned(proc, &world, sends, &self.a2a, self.schedule)
+                    self.gather_pairs(proc, a_local);
+                    let mut recvs = proc.take_pkt_scratch();
+                    proc.with_category(Category::ManyToMany, |proc| {
+                        alltoallv_pooled::<Vec<(u32, T)>>(
+                            proc,
+                            &self.a2a,
+                            self.schedule,
+                            self.pool_key,
+                            &mut recvs,
+                        );
                     });
-                    decode_pairs(proc, &layout, recvs)
+                    self.decode_pairs(proc, &layout, &mut recvs, &mut out.local_v);
+                    proc.restore_pkt_scratch(recvs);
                 }
                 PackScheme::CompactMessage => {
-                    let sends = self.gather_segments(proc, a_local);
-                    let recvs = proc.with_category(Category::ManyToMany, |proc| {
-                        let world = proc.world();
-                        alltoallv_planned(proc, &world, sends, &self.a2a, self.schedule)
+                    self.gather_segments(proc, a_local);
+                    let mut recvs = proc.take_pkt_scratch();
+                    proc.with_category(Category::ManyToMany, |proc| {
+                        alltoallv_pooled::<CmsMessage<T>>(
+                            proc,
+                            &self.a2a,
+                            self.schedule,
+                            self.pool_key,
+                            &mut recvs,
+                        );
                     });
-                    compact_message::decode_segments(proc, &layout, recvs)
+                    self.decode_segments(proc, &layout, &mut recvs, &mut out.local_v);
+                    proc.restore_pkt_scratch(recvs);
                 }
-            };
-            PackOutput {
-                local_v,
-                size: self.size,
-                v_layout: Some(layout),
             }
-        }))
+            out.size = self.size;
+            out.v_layout = Some(layout);
+        });
+        Ok(())
     }
 
-    /// Gather `(rank, value)` pair messages along explicit-rank routes
-    /// (one operation per moved element).
-    fn gather_pairs<T: Wire + Default>(
-        &self,
-        proc: &mut Proc,
-        a_local: &[T],
-    ) -> Vec<Vec<(u32, T)>> {
+    /// Gather `(rank, value)` pair messages along explicit-rank routes into
+    /// pooled per-destination buffers (one operation per moved element).
+    /// The buffer for each destination — this processor's own rank included
+    /// — is left staged in its slot for the exchange.
+    fn gather_pairs<T: Wire + Default>(&self, proc: &mut Proc, a_local: &[T]) {
         proc.with_category(Category::LocalComp, |proc| {
             let mut moved = 0usize;
-            let sends = self
-                .routes
-                .iter()
-                .map(|route| {
-                    let RankList::Explicit(ranks) = &route.ranks else {
-                        unreachable!("pair schemes compose explicit ranks")
-                    };
-                    moved += ranks.len();
+            for (dst, route) in self.routes.iter().enumerate() {
+                if route.slots.is_empty() {
+                    continue;
+                }
+                let RankList::Explicit(ranks) = &route.ranks else {
+                    unreachable!("pair schemes compose explicit ranks")
+                };
+                let (slot, mut buf) = proc.pool_checkout::<Vec<(u32, T)>>(self.pool_key, dst);
+                buf.extend(
                     ranks
                         .iter()
                         .zip(&route.slots)
-                        .map(|(&r, &s)| (r, a_local[s as usize]))
-                        .collect()
-                })
-                .collect();
+                        .map(|(&r, &s)| (r, a_local[s as usize])),
+                );
+                moved += ranks.len();
+                slot.stash(buf);
+            }
             proc.charge_ops(moved);
-            sends
         })
     }
 
-    /// Gather compact-message segments along run-compressed routes (one
-    /// operation per moved value; the 2-per-segment header charge was paid
-    /// at plan time).
-    fn gather_segments<T: Wire + Default>(
-        &self,
-        proc: &mut Proc,
-        a_local: &[T],
-    ) -> Vec<CmsMessage<T>> {
+    /// Gather compact-message segments along run-compressed routes into
+    /// pooled buffers (one operation per moved value; the 2-per-segment
+    /// header charge was paid at plan time). The route structure is fixed
+    /// per plan, so refills reuse the message's segment skeleton in place.
+    fn gather_segments<T: Wire + Default>(&self, proc: &mut Proc, a_local: &[T]) {
         proc.with_category(Category::LocalComp, |proc| {
             let mut moved = 0usize;
-            let sends = self
-                .routes
-                .iter()
-                .map(|route| {
-                    let RankList::Runs(runs) = &route.ranks else {
-                        unreachable!("compact message composes runs")
-                    };
-                    let mut taken = 0usize;
-                    let segments = runs
-                        .iter()
-                        .map(|&(base, len)| {
-                            let vals: Vec<T> = route.slots[taken..taken + len as usize]
-                                .iter()
-                                .map(|&s| a_local[s as usize])
-                                .collect();
-                            taken += len as usize;
-                            (base, vals)
-                        })
-                        .collect();
-                    moved += taken;
-                    CmsMessage { segments }
-                })
-                .collect();
+            for (dst, route) in self.routes.iter().enumerate() {
+                if route.slots.is_empty() {
+                    continue;
+                }
+                let RankList::Runs(runs) = &route.ranks else {
+                    unreachable!("compact message composes runs")
+                };
+                let (slot, mut msg) = proc.pool_checkout::<CmsMessage<T>>(self.pool_key, dst);
+                compact_message::fill_segments(&mut msg, runs, &route.slots, a_local);
+                moved += route.slots.len();
+                slot.stash(msg);
+            }
             proc.charge_ops(moved);
-            sends
         })
     }
+
+    /// Decode pooled pair messages into `out` (Section 6.4.1: `2·E_a`),
+    /// returning each buffer to its sender's slot. The self-destined slot
+    /// is decoded in place; it never crossed the wire.
+    fn decode_pairs<T: Wire + Default>(
+        &self,
+        proc: &mut Proc,
+        layout: &DimLayout,
+        recvs: &mut Vec<Packet>,
+        out: &mut Vec<T>,
+    ) {
+        proc.with_category(Category::LocalComp, |proc| {
+            let me = proc.id();
+            out.clear();
+            out.resize(layout.local_len(me), T::default());
+            let mut placed = 0usize;
+            if self.a2a.to[me] {
+                let slot = proc.pool_current::<Vec<(u32, T)>>(self.pool_key, me);
+                let buf = slot.take_staged();
+                placed += place_pairs(layout, me, &buf, out);
+                slot.put_back(buf);
+            }
+            for pkt in recvs.drain(..) {
+                let slot = pkt
+                    .data
+                    .downcast::<PoolSlot<Vec<(u32, T)>>>()
+                    .expect("pooled exchange delivers pool slots");
+                let buf = slot.take_staged();
+                placed += place_pairs(layout, me, &buf, out);
+                slot.put_back(buf);
+            }
+            proc.charge_ops(2 * placed);
+        })
+    }
+
+    /// Decode pooled segment messages into `out` (Section 6.4.2:
+    /// `E_a + 2·Gr_i`), returning each buffer to its sender's slot.
+    fn decode_segments<T: Wire + Default>(
+        &self,
+        proc: &mut Proc,
+        layout: &DimLayout,
+        recvs: &mut Vec<Packet>,
+        out: &mut Vec<T>,
+    ) {
+        proc.with_category(Category::LocalComp, |proc| {
+            let me = proc.id();
+            out.clear();
+            out.resize(layout.local_len(me), T::default());
+            let mut ops = 0usize;
+            if self.a2a.to[me] {
+                let slot = proc.pool_current::<CmsMessage<T>>(self.pool_key, me);
+                let msg = slot.take_staged();
+                ops += compact_message::place_segments(layout, me, &msg, out);
+                slot.put_back(msg);
+            }
+            for pkt in recvs.drain(..) {
+                let slot = pkt
+                    .data
+                    .downcast::<PoolSlot<CmsMessage<T>>>()
+                    .expect("pooled exchange delivers pool slots");
+                let msg = slot.take_staged();
+                ops += compact_message::place_segments(layout, me, &msg, out);
+                slot.put_back(msg);
+            }
+            proc.charge_ops(ops);
+        })
+    }
+}
+
+/// Place one pair message's `(global rank, value)` entries into the local
+/// slice of `V`; returns the number of values placed.
+fn place_pairs<T: Wire + Default>(
+    layout: &DimLayout,
+    me: usize,
+    pairs: &[(u32, T)],
+    out: &mut [T],
+) -> usize {
+    for &(rank, value) in pairs {
+        debug_assert_eq!(layout.owner(rank as usize), me, "misrouted element");
+        out[layout.local_of(rank as usize)] = value;
+    }
+    pairs.len()
 }
 
 /// A reusable, value-independent UNPACK plan. The rank *requests* of the
@@ -275,6 +382,8 @@ pub struct UnpackPlan {
     /// request order.
     serve_idx: Vec<Vec<u32>>,
     reply_a2a: A2aPlan,
+    /// Buffer-pool key for the reply-round send buffers (DESIGN.md §11).
+    pool_key: u64,
 }
 
 /// Build an [`UnpackPlan`]: initial scan, ranking collectives, request
@@ -322,6 +431,7 @@ pub fn plan_unpack(
                 targets: vec![Vec::new(); n],
                 serve_idx: vec![Vec::new(); n],
                 reply_a2a: A2aPlan::from_flags(vec![false; n], vec![false; n]),
+                pool_key: fresh_pool_key(),
             });
         }
         let routes = composer.compose(proc, &ranking, m_local, w0, v_layout);
@@ -372,6 +482,7 @@ pub fn plan_unpack(
             targets,
             serve_idx,
             reply_a2a: A2aPlan::from_flags(to, from),
+            pool_key: fresh_pool_key(),
         })
     })
 }
@@ -399,6 +510,24 @@ impl UnpackPlan {
         f_local: &[T],
         v_local: &[T],
     ) -> Result<Vec<T>, UnpackError> {
+        let mut out = Vec::new();
+        self.execute_into(proc, f_local, v_local, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`UnpackPlan::execute`] writing into a caller-owned output vector.
+    /// `out` is cleared and refilled; from the second call with the same
+    /// `out` onward the copy → serve → reply → scatter loop performs zero
+    /// heap allocations — reply buffers come from the per-processor pool
+    /// and the output reuses its capacity. Simulated accounting is
+    /// bit-identical to `execute`.
+    pub fn execute_into<T: Wire + Default>(
+        &self,
+        proc: &mut Proc,
+        f_local: &[T],
+        v_local: &[T],
+        out: &mut Vec<T>,
+    ) -> Result<(), UnpackError> {
         if f_local.len() != self.local_len {
             return Err(UnpackError::FieldLenMismatch {
                 expected: self.local_len,
@@ -411,56 +540,84 @@ impl UnpackPlan {
                 got: v_local.len(),
             });
         }
-        Ok(proc.with_stage("unpack.execute", |proc| {
+        proc.with_stage("unpack.execute", |proc| {
             // Field copy: local computation for every unselected element
             // (the selected ones are overwritten below).
-            let mut a_local = proc.with_category(Category::LocalComp, |proc| {
+            proc.with_category(Category::LocalComp, |proc| {
                 proc.charge_ops(f_local.len());
-                f_local.to_vec()
+                out.clear();
+                out.extend_from_slice(f_local);
             });
             if self.size == 0 {
-                return a_local;
+                return;
             }
-            // Serve: fetch each precomputed local index (one operation per
-            // value — the index arithmetic was paid at plan time).
-            let replies = proc.with_category(Category::LocalComp, |proc| {
-                let mut ops = 0usize;
-                let replies: Vec<Vec<T>> = self
-                    .serve_idx
-                    .iter()
-                    .map(|idx| {
-                        ops += idx.len();
-                        idx.iter().map(|&i| v_local[i as usize]).collect()
-                    })
-                    .collect();
-                proc.charge_ops(ops);
-                replies
-            });
-            let values_back = proc.with_stage("unpack.reply", |proc| {
-                proc.with_category(Category::ManyToMany, |proc| {
-                    let world = proc.world();
-                    alltoallv_planned(proc, &world, replies, &self.reply_a2a, self.schedule)
-                })
-            });
-            // Scatter the replies into A at the recorded element slots.
+            // Serve: fetch each precomputed local index into a pooled reply
+            // buffer (one operation per value — the index arithmetic was
+            // paid at plan time). Requesters with nothing to serve get no
+            // buffer, matching the reply plan's silent rounds.
             proc.with_category(Category::LocalComp, |proc| {
                 let mut ops = 0usize;
-                for (owner, slots) in self.targets.iter().enumerate() {
-                    debug_assert_eq!(
-                        values_back[owner].len(),
-                        slots.len(),
-                        "reply length mismatch"
-                    );
-                    for (&slot, &v) in slots.iter().zip(&values_back[owner]) {
-                        a_local[slot as usize] = v;
+                for (requester, idx) in self.serve_idx.iter().enumerate() {
+                    if idx.is_empty() {
+                        continue;
                     }
-                    ops += slots.len();
+                    let (slot, mut buf) = proc.pool_checkout::<Vec<T>>(self.pool_key, requester);
+                    buf.extend(idx.iter().map(|&i| v_local[i as usize]));
+                    ops += idx.len();
+                    slot.stash(buf);
                 }
                 proc.charge_ops(ops);
             });
-            a_local
-        }))
+            let mut recvs = proc.take_pkt_scratch();
+            proc.with_stage("unpack.reply", |proc| {
+                proc.with_category(Category::ManyToMany, |proc| {
+                    alltoallv_pooled::<Vec<T>>(
+                        proc,
+                        &self.reply_a2a,
+                        self.schedule,
+                        self.pool_key,
+                        &mut recvs,
+                    );
+                })
+            });
+            // Scatter the replies into A at the recorded element slots,
+            // returning each buffer to its sender's slot. The self-reply
+            // never crossed the wire; its slot is drained in place.
+            proc.with_category(Category::LocalComp, |proc| {
+                let me = proc.id();
+                let mut ops = 0usize;
+                if self.reply_a2a.to[me] {
+                    let slot = proc.pool_current::<Vec<T>>(self.pool_key, me);
+                    let buf = slot.take_staged();
+                    ops += scatter_reply(&self.targets[me], &buf, out);
+                    slot.put_back(buf);
+                }
+                for pkt in recvs.drain(..) {
+                    let owner = pkt.src;
+                    let slot = pkt
+                        .data
+                        .downcast::<PoolSlot<Vec<T>>>()
+                        .expect("pooled exchange delivers pool slots");
+                    let buf = slot.take_staged();
+                    ops += scatter_reply(&self.targets[owner], &buf, out);
+                    slot.put_back(buf);
+                }
+                proc.charge_ops(ops);
+            });
+            proc.restore_pkt_scratch(recvs);
+        });
+        Ok(())
     }
+}
+
+/// Scatter one owner's reply values into the recorded element slots;
+/// returns the number of values scattered.
+fn scatter_reply<T: Wire>(slots: &[u32], values: &[T], out: &mut [T]) -> usize {
+    debug_assert_eq!(values.len(), slots.len(), "reply length mismatch");
+    for (&slot, &v) in slots.iter().zip(values) {
+        out[slot as usize] = v;
+    }
+    slots.len()
 }
 
 /// The scheme's plan-time composer for PACK (Section 6 storage schemes).

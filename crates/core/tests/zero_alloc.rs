@@ -1,0 +1,160 @@
+//! Steady-state allocation gate: from the third execution of a cached plan
+//! onward (the two pool slots per destination are warmed alternately, so
+//! warm-up is exactly two iterations), `execute_into` must perform **zero
+//! heap allocations** on every worker thread — the whole gather → exchange
+//! → decode loop runs out of pooled buffers and reused capacity.
+//!
+//! The gate is exact and deterministic: the test installs the counting
+//! global allocator and asserts the per-thread allocation delta across the
+//! steady-state iterations is literally zero, for every PACK scheme and
+//! every UNPACK scheme, at both cyclic and wide block sizes.
+
+use hpf_core::{
+    plan_pack, plan_unpack, MaskPattern, PackOptions, PackOutput, PackScheme, UnpackOptions,
+    UnpackScheme,
+};
+use hpf_distarray::{local_from_fn, ArrayDesc, DimLayout, Dist};
+use hpf_machine::alloc_counter::{thread_totals, CountingAllocator};
+use hpf_machine::{CostModel, Machine, ProcGrid};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Two warm-up executes fill both slots of every pool entry; the measured
+/// window starts at the third.
+const WARMUP: usize = 2;
+/// Measured steady-state executes.
+const STEADY: usize = 4;
+
+const N: usize = 256;
+const P: usize = 4;
+
+fn desc(w: usize) -> ArrayDesc {
+    ArrayDesc::new(&[N], &ProcGrid::line(P), &[Dist::BlockCyclic(w)]).unwrap()
+}
+
+fn mask() -> MaskPattern {
+    MaskPattern::Random {
+        density: 0.5,
+        seed: 7,
+    }
+}
+
+#[test]
+fn pack_execute_is_allocation_free_in_steady_state() {
+    for w in [1usize, 4] {
+        for scheme in PackScheme::ALL {
+            let d = desc(w);
+            let opts = PackOptions::new(scheme);
+            let (dr, o, pattern) = (&d, &opts, mask());
+            let machine = Machine::new(ProcGrid::line(P), CostModel::cm5());
+            let out = machine.run(move |proc| {
+                let m = local_from_fn(dr, proc.id(), |g| pattern.value(g, &[N]));
+                let a = local_from_fn(dr, proc.id(), |g| g[0] as i32);
+                let plan = plan_pack(proc, dr, &m, o).unwrap();
+                let mut out = PackOutput {
+                    local_v: Vec::new(),
+                    size: 0,
+                    v_layout: None,
+                };
+                for _ in 0..WARMUP {
+                    plan.execute_into(proc, &a, &mut out).unwrap();
+                }
+                let baseline = out.local_v.clone();
+                let (c0, b0) = thread_totals();
+                for _ in 0..STEADY {
+                    plan.execute_into(proc, &a, &mut out).unwrap();
+                }
+                let (c1, b1) = thread_totals();
+                assert_eq!(out.local_v, baseline, "steady-state result drifted");
+                (c1 - c0, b1 - b0)
+            });
+            for (p, &(allocs, bytes)) in out.results.iter().enumerate() {
+                assert_eq!(
+                    (allocs, bytes),
+                    (0, 0),
+                    "{scheme:?} w={w}: proc {p} allocated {allocs} times \
+                     ({bytes} bytes) in {STEADY} steady-state executes"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn unpack_execute_is_allocation_free_in_steady_state() {
+    for w in [1usize, 4] {
+        for scheme in UnpackScheme::ALL {
+            let d = desc(w);
+            let opts = UnpackOptions::new(scheme);
+            let pattern = mask();
+            let size = {
+                let m = pattern.global(&[N]);
+                m.data().iter().filter(|&&b| b).count()
+            };
+            let vl = DimLayout::new_general(size, P, size.div_ceil(P)).unwrap();
+            let (dr, o, vlr) = (&d, &opts, &vl);
+            let machine = Machine::new(ProcGrid::line(P), CostModel::cm5());
+            let out = machine.run(move |proc| {
+                let m = local_from_fn(dr, proc.id(), |g| pattern.value(g, &[N]));
+                let f = local_from_fn(dr, proc.id(), |_| -1i32);
+                let v: Vec<i32> = (0..vlr.local_len(proc.id()))
+                    .map(|l| vlr.global_of(proc.id(), l) as i32)
+                    .collect();
+                let plan = plan_unpack(proc, dr, &m, vlr, o).unwrap();
+                let mut out = Vec::new();
+                for _ in 0..WARMUP {
+                    plan.execute_into(proc, &f, &v, &mut out).unwrap();
+                }
+                let baseline = out.clone();
+                let (c0, b0) = thread_totals();
+                for _ in 0..STEADY {
+                    plan.execute_into(proc, &f, &v, &mut out).unwrap();
+                }
+                let (c1, b1) = thread_totals();
+                assert_eq!(out, baseline, "steady-state result drifted");
+                (c1 - c0, b1 - b0)
+            });
+            for (p, &(allocs, bytes)) in out.results.iter().enumerate() {
+                assert_eq!(
+                    (allocs, bytes),
+                    (0, 0),
+                    "{scheme:?} w={w}: proc {p} allocated {allocs} times \
+                     ({bytes} bytes) in {STEADY} steady-state executes"
+                );
+            }
+        }
+    }
+}
+
+/// Fault-free pooled execution never deep-copies a payload: the
+/// `payload.clone_words` counter stays zero even with metrics on (metrics
+/// runs allocate for bookkeeping, so this is a separate, counter-only
+/// assertion).
+#[test]
+fn fault_free_execution_never_clones_payloads() {
+    let d = desc(4);
+    let opts = PackOptions::new(PackScheme::CompactStorage);
+    let (dr, o, pattern) = (&d, &opts, mask());
+    let machine = Machine::new(ProcGrid::line(P), CostModel::cm5()).with_metrics(true);
+    let out = machine.run(move |proc| {
+        let m = local_from_fn(dr, proc.id(), |g| pattern.value(g, &[N]));
+        let a = local_from_fn(dr, proc.id(), |g| g[0] as i32);
+        let plan = plan_pack(proc, dr, &m, o).unwrap();
+        let mut out = PackOutput {
+            local_v: Vec::new(),
+            size: 0,
+            v_layout: None,
+        };
+        for _ in 0..4 {
+            plan.execute_into(proc, &a, &mut out).unwrap();
+        }
+        out.size
+    });
+    assert!(out.results[0] > 0);
+    assert_eq!(
+        out.merged_metrics().counter("payload.clone_words"),
+        0,
+        "fault-free run deep-copied a payload"
+    );
+}

@@ -1,0 +1,150 @@
+//! Allocation-free frame channel between virtual processors.
+//!
+//! `std::sync::mpsc` allocates a fresh node per send, which would show up
+//! in the steady-state allocation gate even when every payload buffer is
+//! pooled. This channel is a `Mutex<VecDeque<Frame>>` + `Condvar` pair with
+//! a deterministically pre-reserved ring, so enqueue/dequeue is
+//! allocation-free as long as the queue depth stays under the initial
+//! capacity (the buffer-pool back-pressure in [`crate::proc::Proc`] bounds
+//! depth to a few frames per sender; see DESIGN.md §11).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::message::Frame;
+
+/// Initial queue capacity. Deep enough that no workload in this repo grows
+/// it; growth past this point allocates (correctly counted) but stays
+/// deterministic because queue depth is a function of program order only.
+const INITIAL_CAPACITY: usize = 1024;
+
+struct Shared {
+    queue: Mutex<VecDeque<Frame>>,
+    ready: Condvar,
+}
+
+/// Sending half; cheaply cloneable, one clone per peer processor.
+pub(crate) struct FrameSender {
+    shared: Arc<Shared>,
+}
+
+impl Clone for FrameSender {
+    fn clone(&self) -> Self {
+        FrameSender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// Receiving half; owned by exactly one processor.
+pub(crate) struct FrameReceiver {
+    shared: Arc<Shared>,
+}
+
+/// Why a receive returned without a frame.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum RecvError {
+    /// No frame arrived within the timeout.
+    Timeout,
+    /// The queue is currently empty (non-blocking probe).
+    Empty,
+}
+
+/// A connected channel with `INITIAL_CAPACITY` slots pre-reserved.
+pub(crate) fn frame_channel() -> (FrameSender, FrameReceiver) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::with_capacity(INITIAL_CAPACITY)),
+        ready: Condvar::new(),
+    });
+    (
+        FrameSender {
+            shared: Arc::clone(&shared),
+        },
+        FrameReceiver { shared },
+    )
+}
+
+impl FrameSender {
+    /// Enqueue a frame. Never blocks; receivers may already be gone during
+    /// teardown, in which case the frame is silently parked in the queue.
+    pub(crate) fn send(&self, frame: Frame) {
+        let mut q = self.shared.queue.lock().unwrap();
+        q.push_back(frame);
+        drop(q);
+        self.shared.ready.notify_one();
+    }
+}
+
+impl FrameReceiver {
+    /// Dequeue the next frame, waiting up to `timeout`.
+    pub(crate) fn recv_timeout(&self, timeout: Duration) -> Result<Frame, RecvError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.shared.queue.lock().unwrap();
+        loop {
+            if let Some(frame) = q.pop_front() {
+                return Ok(frame);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvError::Timeout);
+            }
+            let (guard, _res) = self.shared.ready.wait_timeout(q, deadline - now).unwrap();
+            q = guard;
+        }
+    }
+
+    /// Dequeue the next frame if one is already queued.
+    pub(crate) fn try_recv(&self) -> Result<Frame, RecvError> {
+        let mut q = self.shared.queue.lock().unwrap();
+        q.pop_front().ok_or(RecvError::Empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::MachineError;
+
+    fn poison() -> Frame {
+        Frame::Poison(MachineError::ProcPanicked {
+            proc: 0,
+            msg: String::new(),
+        })
+    }
+
+    #[test]
+    fn frames_arrive_in_order() {
+        let (tx, rx) = frame_channel();
+        tx.send(Frame::Ack { from: 1, seq: 10 });
+        tx.send(Frame::Ack { from: 2, seq: 20 });
+        for expect in [(1, 10), (2, 20)] {
+            match rx.recv_timeout(Duration::from_secs(1)).unwrap() {
+                Frame::Ack { from, seq } => assert_eq!((from, seq), expect),
+                _ => panic!("wrong frame"),
+            }
+        }
+        assert!(matches!(rx.try_recv(), Err(RecvError::Empty)));
+    }
+
+    #[test]
+    fn recv_times_out_when_empty() {
+        let (_tx, rx) = frame_channel();
+        match rx.recv_timeout(Duration::from_millis(10)) {
+            Err(e) => assert_eq!(e, RecvError::Timeout),
+            Ok(_) => panic!("empty channel must time out"),
+        }
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let (tx, rx) = frame_channel();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(poison());
+        });
+        let frame = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(frame, Frame::Poison(_)));
+        t.join().unwrap();
+    }
+}

@@ -14,7 +14,8 @@
 //! cost nearly the same — which is itself the model's point; on a real
 //! network the permutation schedules avoid node contention.
 
-use crate::message::Payload;
+use crate::message::{Packet, Payload};
+use crate::pool::Reusable;
 use crate::proc::{tags, Group, Proc};
 
 /// Message schedule for [`alltoallv`].
@@ -269,6 +270,82 @@ pub fn alltoallv_planned<P: Payload + Default>(
         }
     });
     recvs
+}
+
+/// [`alltoallv_planned`] over pooled buffers: the allocation-free steady
+/// state of a cached plan's execute loop.
+///
+/// The caller has already checked out, filled, and stashed the pool slot
+/// for every destination `dst` with `plan.to[dst]` — including its own rank,
+/// whose slot is never sent and is decoded in place (the uncharged
+/// self-move of the boxed variants). Received messages land in `out` as raw
+/// [`Packet`]s whose payload is the *sender's* `Arc<PoolSlot<B>>`; the
+/// decoder downcasts, takes the staged buffer, and returns it with
+/// [`crate::PoolSlot::put_back`] — which is what un-blocks the sender's next
+/// checkout.
+///
+/// Always runs over the world communicator (group rank = processor id),
+/// and mirrors [`alltoallv_planned`]'s send/recv order, stage span, and
+/// charges exactly: the simulated accounting of a pooled execute is
+/// bit-identical to the boxed path (see DESIGN.md §11).
+pub fn alltoallv_pooled<B: Reusable>(
+    proc: &mut Proc,
+    plan: &A2aPlan,
+    schedule: A2aSchedule,
+    key: u64,
+    out: &mut Vec<Packet>,
+) {
+    let n = proc.nprocs();
+    assert_eq!(plan.to.len(), n, "plan must cover the world");
+    assert_eq!(plan.from.len(), n, "plan must cover the world");
+    let me = proc.id();
+
+    proc.with_stage("a2a.planned", |proc| match schedule {
+        A2aSchedule::NaivePush => {
+            for k in 1..n {
+                let dst = (me + k) % n;
+                if plan.to[dst] {
+                    let slot = proc.pool_current::<B>(key, dst);
+                    proc.send_pooled(dst, tags::ALLTOALL, &slot);
+                }
+            }
+            for k in 1..n {
+                let src = (me + n - k) % n;
+                if plan.from[src] {
+                    out.push(proc.recv_packet(src, tags::ALLTOALL));
+                }
+            }
+        }
+        A2aSchedule::PairwiseExchange if n.is_power_of_two() => {
+            for k in 1..n {
+                let partner = me ^ k;
+                if plan.to[partner] {
+                    let slot = proc.pool_current::<B>(key, partner);
+                    proc.send_pooled(partner, tags::ALLTOALL, &slot);
+                }
+                if plan.from[partner] {
+                    out.push(proc.recv_packet(partner, tags::ALLTOALL));
+                }
+            }
+        }
+        // Linear permutation, and the non-power-of-two pairwise fallback.
+        _ => {
+            for k in 1..n {
+                let dst = (me + k) % n;
+                let src = (me + n - k) % n;
+                if plan.round_is_silent(dst, src) {
+                    continue;
+                }
+                if plan.to[dst] {
+                    let slot = proc.pool_current::<B>(key, dst);
+                    proc.send_pooled(dst, tags::ALLTOALL, &slot);
+                }
+                if plan.from[src] {
+                    out.push(proc.recv_packet(src, tags::ALLTOALL));
+                }
+            }
+        }
+    });
 }
 
 fn finish_linear<P: Payload + Default>(
@@ -600,6 +677,108 @@ mod tests {
         });
         for (me, recvs) in out.results.iter().enumerate().skip(1) {
             assert_eq!(recvs[0], vec![me as i32 * 11]);
+        }
+    }
+
+    /// Zero-word skip edge case: an all-empty two-phase exchange moves
+    /// nothing in either phase and charges nothing at all.
+    #[test]
+    fn two_phase_with_all_empty_sends() {
+        for p in [4usize, 7, 16] {
+            let machine = Machine::new(ProcGrid::line(p), CostModel::cm5());
+            let out = machine.run(move |proc| {
+                let g = proc.world();
+                let sends: Vec<Vec<i32>> = vec![Vec::new(); p];
+                alltoallv_two_phase(proc, &g, sends, A2aSchedule::LinearPermutation)
+            });
+            assert_eq!(out.total_words_sent(), 0, "p={p}");
+            assert_eq!(out.total_startups(), 0, "p={p}");
+            for recvs in &out.results {
+                assert!(recvs.iter().all(Vec::is_empty));
+            }
+        }
+    }
+
+    /// Zero-word skip edge case: exactly one populated pair routes through
+    /// one relay, so the two-phase words are exactly twice the bundle size
+    /// (payload + 2 header words, moved twice) and everything else stays
+    /// silent.
+    #[test]
+    fn two_phase_with_single_nonsilent_pair() {
+        // p = 9 puts ranks on a 3×3 grid; for 2 → 4 the relay is rank 1
+        // (row of 2, column of 4) — distinct from both endpoints.
+        let p = 9usize;
+        let machine = Machine::new(ProcGrid::line(p), CostModel::cm5());
+        let out = machine.run(move |proc| {
+            let g = proc.world();
+            let mut sends: Vec<Vec<i32>> = vec![Vec::new(); p];
+            if proc.id() == 2 {
+                sends[4] = vec![70, 71, 72];
+            }
+            alltoallv_two_phase(proc, &g, sends, A2aSchedule::LinearPermutation)
+        });
+        for (me, recvs) in out.results.iter().enumerate() {
+            for (src, v) in recvs.iter().enumerate() {
+                if (me, src) == (4, 2) {
+                    assert_eq!(v, &vec![70, 71, 72]);
+                } else {
+                    assert!(v.is_empty(), "unexpected data {src} -> {me}");
+                }
+            }
+        }
+        // 3 payload words + 2 header words, relayed twice.
+        assert_eq!(out.total_words_sent(), 10);
+        assert_eq!(out.total_startups(), 2);
+    }
+
+    /// Flag-exchange edge case: with nothing to say anywhere, the derived
+    /// plan is all-silent on every rank and the exchange itself is free.
+    #[test]
+    fn plan_exchange_with_all_empty_sends() {
+        for schedule in [
+            A2aSchedule::LinearPermutation,
+            A2aSchedule::NaivePush,
+            A2aSchedule::PairwiseExchange,
+        ] {
+            let p = 5usize;
+            let machine = Machine::new(ProcGrid::line(p), CostModel::cm5());
+            let out = machine.run(move |proc| {
+                let g = proc.world();
+                let plan = A2aPlan::exchange(proc, &g, vec![false; p], schedule);
+                let recvs =
+                    alltoallv_planned(proc, &g, vec![Vec::<i32>::new(); p], &plan, schedule);
+                (plan.from, recvs)
+            });
+            assert_eq!(out.total_words_sent(), 0, "{schedule:?}");
+            for (from, recvs) in &out.results {
+                assert!(from.iter().all(|&f| !f), "{schedule:?}");
+                assert!(recvs.iter().all(Vec::is_empty));
+            }
+        }
+    }
+
+    /// Flag-exchange edge case: exactly one non-silent pair yields exactly
+    /// one raised flag per direction, on exactly the right ranks, under
+    /// every schedule.
+    #[test]
+    fn plan_exchange_with_single_pair_sets_one_flag() {
+        for schedule in [
+            A2aSchedule::LinearPermutation,
+            A2aSchedule::NaivePush,
+            A2aSchedule::PairwiseExchange,
+        ] {
+            let p = 8usize;
+            let machine = Machine::new(ProcGrid::line(p), CostModel::cm5());
+            let out = machine.run(move |proc| {
+                let g = proc.world();
+                let to: Vec<bool> = (0..p).map(|j| proc.id() == 3 && j == 6).collect();
+                A2aPlan::exchange(proc, &g, to, schedule).from
+            });
+            for (me, from) in out.results.iter().enumerate() {
+                let expect: Vec<bool> = (0..p).map(|j| me == 6 && j == 3).collect();
+                assert_eq!(from, &expect, "{schedule:?} rank {me}");
+            }
+            assert_eq!(out.total_words_sent(), 0, "flags ride zero-word frames");
         }
     }
 

@@ -1,5 +1,7 @@
 //! Binomial-tree broadcast.
 
+use std::sync::Arc;
+
 use crate::message::Wire;
 use crate::proc::{tags, Group, Proc};
 
@@ -8,6 +10,11 @@ use crate::proc::{tags, Group, Proc};
 ///
 /// Binomial tree: `⌈log₂ P⌉` rounds, each doubling the set of informed
 /// processors, `Θ((τ + μ·m)·log P)` on the critical path.
+///
+/// Internally the payload travels as `Arc<Vec<T>>`: an interior node's
+/// fan-out to all of its children shares the one buffer it received instead
+/// of deep-copying it per edge. Charges are per-edge and unchanged — only
+/// the real-machine copies disappear.
 pub fn broadcast<T: Wire>(proc: &mut Proc, group: &Group, root: usize, data: Vec<T>) -> Vec<T> {
     let n = group.size();
     assert!(root < n, "root rank out of range");
@@ -17,8 +24,8 @@ pub fn broadcast<T: Wire>(proc: &mut Proc, group: &Group, root: usize, data: Vec
     // Rotate ranks so the root is virtual rank 0.
     let me = (group.my_rank() + n - root) % n;
 
-    proc.with_stage("bcast.binomial", |proc| {
-        let mut buf = if me == 0 { data } else { Vec::new() };
+    let buf = proc.with_stage("bcast.binomial", |proc| {
+        let mut buf = Arc::new(if me == 0 { data } else { Vec::new() });
 
         // Highest power of two <= n-1 determines the first round in which a
         // receiver can exist. Virtual rank v receives from v - 2^k where 2^k
@@ -40,11 +47,15 @@ pub fn broadcast<T: Wire>(proc: &mut Proc, group: &Group, root: usize, data: Vec
             let dst_virtual = me + (1 << k);
             if dst_virtual < n {
                 let dst = group.id_of((dst_virtual + root) % n);
-                proc.send(dst, tags::BCAST, buf.clone());
+                // The payload is the shared inner Arc; each send still wraps
+                // it in its own (unique) outer Arc, so the receiver's
+                // in-place unwrap stays on the zero-copy path.
+                proc.send(dst, tags::BCAST, Arc::clone(&buf));
             }
         }
         buf
-    })
+    });
+    Arc::try_unwrap(buf).unwrap_or_else(|shared| (*shared).clone())
 }
 
 #[cfg(test)]

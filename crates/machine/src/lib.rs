@@ -37,6 +37,8 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_counter;
+mod chan;
 pub mod collectives;
 mod cost;
 mod error;
@@ -44,6 +46,7 @@ pub mod fault;
 mod machine;
 mod message;
 pub mod obs;
+pub mod pool;
 mod proc;
 mod reliable;
 mod report;
@@ -56,6 +59,7 @@ pub use fault::{FaultPlan, LinkFaults};
 pub use machine::Machine;
 pub use message::{Mailbox, Packet, Payload, Wire};
 pub use obs::{Event, EventKind, MetricsSnapshot, ObsConfig};
+pub use pool::{fresh_pool_key, BufferPool, PoolSlot, Reusable};
 pub use proc::{tags, Group, Proc};
 pub use report::{Breakdown, RunOutput};
 pub use topology::ProcGrid;

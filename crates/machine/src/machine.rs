@@ -14,9 +14,10 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Duration;
+
+use crate::chan::frame_channel;
 
 use crate::cost::{CostModel, SimClock};
 use crate::error::MachineError;
@@ -183,7 +184,7 @@ impl Machine {
         let mut txs = Vec::with_capacity(p);
         let mut rxs = Vec::with_capacity(p);
         for _ in 0..p {
-            let (tx, rx) = channel::<Frame>();
+            let (tx, rx) = frame_channel();
             txs.push(tx);
             rxs.push(rx);
         }
@@ -218,7 +219,10 @@ impl Machine {
                         clock.enable_trace();
                     }
                     let mut proc = Proc::new(id, grid, clock, txs, rx, timeout, plan, obs);
+                    let (ac0, ab0) = crate::alloc_counter::thread_totals();
                     let result = catch_unwind(AssertUnwindSafe(|| program(&mut proc)));
+                    let (ac1, ab1) = crate::alloc_counter::thread_totals();
+                    proc.note_alloc_totals(ac1 - ac0, ab1 - ab0);
                     let outcome: Result<R, Failure> = match result {
                         Ok(r) => match proc.finish_transport() {
                             Ok(()) => {
@@ -251,7 +255,7 @@ impl Machine {
                         // out their own timeouts.
                         for (pid, tx) in txs.iter().enumerate() {
                             if pid != id {
-                                let _ = tx.send(Frame::Poison(e.clone()));
+                                tx.send(Frame::Poison(e.clone()));
                             }
                         }
                     }

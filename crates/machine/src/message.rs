@@ -6,9 +6,19 @@
 //! buffered in a per-processor mailbox. Per-source FIFO order is guaranteed
 //! by the channel, so `(source, tag)` plus deterministic phase structure is
 //! enough to disambiguate every algorithm in this workspace.
+//!
+//! Payloads travel as `Arc<dyn Any>`: the sender wraps the value once, and
+//! every party that needs to keep it — the reliable transport's retransmit
+//! buffer, a broadcast fan-out, a pooled send slot — holds a refcount
+//! instead of a deep copy. The typed receive unwraps the `Arc` when it is
+//! the last holder (the fault-free common case) and only falls back to
+//! [`Payload::clone_payload`] when the transport still holds the buffer for
+//! a possible retransmission; those rare copies are surfaced through the
+//! `payload.clone_words` metric.
 
 use std::any::Any;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use crate::cost::Words;
 
@@ -18,7 +28,7 @@ use crate::cost::Words;
 /// model's `μ` is charged per. The paper's arrays hold 4-byte elements, so
 /// `i32::WORDS == 1`, while an `(index, value)` pair costs 2 words, which is
 /// exactly how Section 6.4.1 counts the simple-scheme message size `2·E_i`.
-pub trait Wire: Copy + Send + std::fmt::Debug + 'static {
+pub trait Wire: Copy + Send + Sync + std::fmt::Debug + 'static {
     /// Size of one element in 4-byte words.
     const WORDS: Words;
 }
@@ -58,13 +68,14 @@ impl<T: Wire, const N: usize> Wire for [T; N] {
 /// Blanket-implemented for `Vec<T: Wire>`; message-format structs (e.g. the
 /// compact message scheme's segment stream) implement it directly so that
 /// the charged volume matches the paper's accounting exactly.
-pub trait Payload: Send + 'static {
+pub trait Payload: Send + Sync + 'static {
     /// Message volume in 4-byte words.
     fn wire_words(&self) -> Words;
 
-    /// A type-erased copy of the payload. The reliable transport keeps the
-    /// payload of every unacknowledged message so it can retransmit after a
-    /// loss; implementations are one `Box::new(self.clone())` line.
+    /// A type-erased copy of the payload. Only used when a typed receive
+    /// finds the `Arc` still shared (the transport is holding the buffer
+    /// for a possible retransmission); implementations are one
+    /// `Box::new(self.clone())` line.
     fn clone_payload(&self) -> Box<dyn Any + Send>;
 }
 
@@ -88,6 +99,19 @@ impl Payload for () {
     }
 }
 
+/// `Arc<P>` is itself a payload: cloning is a refcount bump, so fan-out
+/// paths (broadcast) wrap their buffer once and share it across all child
+/// sends while each packet still carries a unique outer value.
+impl<P: Payload> Payload for Arc<P> {
+    fn wire_words(&self) -> Words {
+        (**self).wire_words()
+    }
+
+    fn clone_payload(&self) -> Box<dyn Any + Send> {
+        Box::new(Arc::clone(self))
+    }
+}
+
 /// One in-flight message.
 pub struct Packet {
     /// Sender's global processor id.
@@ -100,8 +124,9 @@ pub struct Packet {
     pub arrival_ns: f64,
     /// Charged message volume.
     pub words: Words,
-    /// The payload, to be downcast by the typed receive.
-    pub data: Box<dyn Any + Send>,
+    /// The payload, shared by refcount with any party that must keep it
+    /// (retransmit buffer, pooled slot); downcast by the typed receive.
+    pub data: Arc<dyn Any + Send + Sync>,
 }
 
 /// What actually travels on a processor's channel: either a data packet
@@ -134,43 +159,50 @@ pub(crate) enum Frame {
     Poison(crate::error::MachineError),
 }
 
+/// Per-key FIFO queues are kept (empty) after draining so steady-state
+/// traffic over a fixed set of `(src, tag)` pairs never re-allocates.
+const LANE_CAPACITY: usize = 16;
+
 /// Per-processor mailbox buffering packets that arrived before the matching
-/// `recv` was posted.
+/// `recv` was posted. Held packets are indexed by `(src, tag)` so matching
+/// is O(1) regardless of how many unrelated packets are queued; each lane
+/// is FIFO, preserving per-source channel order.
 #[derive(Default)]
 pub struct Mailbox {
-    held: VecDeque<Packet>,
+    lanes: HashMap<(usize, u64), VecDeque<Packet>>,
+    held: usize,
 }
 
 impl Mailbox {
     /// An empty mailbox.
     pub fn new() -> Self {
-        Mailbox {
-            held: VecDeque::new(),
-        }
+        Mailbox::default()
     }
 
     /// Take the earliest held packet matching `(src, tag)`, if any.
     pub fn take(&mut self, src: usize, tag: u64) -> Option<Packet> {
-        let pos = self
-            .held
-            .iter()
-            .position(|p| p.src == src && p.tag == tag)?;
-        self.held.remove(pos)
+        let p = self.lanes.get_mut(&(src, tag))?.pop_front()?;
+        self.held -= 1;
+        Some(p)
     }
 
     /// Stash a non-matching packet for a later receive.
     pub fn hold(&mut self, p: Packet) {
-        self.held.push_back(p);
+        self.held += 1;
+        self.lanes
+            .entry((p.src, p.tag))
+            .or_insert_with(|| VecDeque::with_capacity(LANE_CAPACITY))
+            .push_back(p);
     }
 
     /// Number of held packets (used by the driver to detect leftover traffic).
     pub fn len(&self) -> usize {
-        self.held.len()
+        self.held
     }
 
     /// True iff no packets are held.
     pub fn is_empty(&self) -> bool {
-        self.held.is_empty()
+        self.held == 0
     }
 }
 
@@ -195,24 +227,26 @@ mod tests {
         assert_eq!(v.wire_words(), 10);
         let e: Vec<i32> = vec![];
         assert_eq!(e.wire_words(), 0);
+        // An Arc-wrapped payload charges the inner buffer's volume.
+        assert_eq!(Arc::new(v).wire_words(), 10);
     }
 
-    fn pkt(src: usize, tag: u64) -> Packet {
+    fn pkt(src: usize, tag: u64, order: f64) -> Packet {
         Packet {
             src,
             tag,
-            arrival_ns: 0.0,
+            arrival_ns: order,
             words: 0,
-            data: Box::new(Vec::<i32>::new()),
+            data: Arc::new(Vec::<i32>::new()),
         }
     }
 
     #[test]
     fn mailbox_matches_src_and_tag_fifo() {
         let mut m = Mailbox::new();
-        m.hold(pkt(1, 7));
-        m.hold(pkt(2, 7));
-        m.hold(pkt(1, 7));
+        m.hold(pkt(1, 7, 0.0));
+        m.hold(pkt(2, 7, 0.0));
+        m.hold(pkt(1, 7, 1.0));
         assert!(m.take(1, 8).is_none());
         assert!(m.take(3, 7).is_none());
         let p = m.take(1, 7).unwrap();
@@ -221,5 +255,39 @@ mod tests {
         assert!(m.take(2, 7).is_some());
         assert!(m.take(1, 7).is_some());
         assert!(m.is_empty());
+    }
+
+    /// Regression test for the O(n) linear-scan `take`: with ~10k
+    /// mismatched packets queued ahead, matching must stay keyed (this test
+    /// runs in milliseconds on the indexed mailbox, seconds on the scan)
+    /// and per-lane FIFO order must be preserved.
+    #[test]
+    fn deep_mailbox_preserves_per_lane_fifo_order() {
+        let mut m = Mailbox::new();
+        // 10_000 mismatched packets spread over many (src, tag) lanes.
+        for i in 0..10_000usize {
+            m.hold(pkt(100 + (i % 97), 1000 + (i % 53) as u64, i as f64));
+        }
+        // Interleave three lanes we care about, four deep each.
+        for round in 0..4 {
+            for src in [3usize, 5, 8] {
+                m.hold(pkt(src, 42, round as f64));
+            }
+        }
+        assert_eq!(m.len(), 10_012);
+        // Each lane drains in hold order despite the noise.
+        for src in [3usize, 5, 8] {
+            for round in 0..4 {
+                let p = m.take(src, 42).expect("lane packet present");
+                assert_eq!((p.src, p.tag), (src, 42));
+                assert_eq!(p.arrival_ns, round as f64);
+            }
+            assert!(m.take(src, 42).is_none());
+        }
+        // The noise lanes also drain FIFO.
+        let p1 = m.take(100, 1000).unwrap();
+        let p2 = m.take(100, 1000).unwrap();
+        assert!(p1.arrival_ns < p2.arrival_ns);
+        assert_eq!(m.len(), 9_998);
     }
 }

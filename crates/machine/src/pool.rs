@@ -1,0 +1,226 @@
+//! Typed, per-processor buffer pool for allocation-free plan execution.
+//!
+//! Re-executing a cached communication plan sends the same message shapes
+//! to the same destinations every iteration. Instead of allocating fresh
+//! per-destination buffers each time, the executor checks buffers out of a
+//! pool keyed by `(plan key, destination, payload type)`, fills them in
+//! place, and ships them as [`Arc`]-shared packets; the *receiver* returns
+//! each buffer to the sender's slot after decoding. From the second
+//! execution onward the whole compose+redistribute loop touches no
+//! allocator (verified by the counting allocator in the bench harness).
+//!
+//! Ownership protocol (see DESIGN.md §11): every slot is a tiny state
+//! machine —
+//!
+//! ```text
+//!   Free ──checkout (sender)──▶ Empty ──stash (sender)──▶ Staged
+//!     ▲                                                      │
+//!     └───────── put_back (receiver, after decode) ◀─────────┘
+//! ```
+//!
+//! The sender may only check out a `Free` slot; a slot stays `Staged` until
+//! the receiver has decoded it, so a sender re-executing faster than its
+//! receiver consumes blocks (wall-clock only — simulated time is untouched)
+//! instead of clobbering in-flight data. Each `(key, dst, type)` entry holds
+//! two slots used alternately, so a sender can compose iteration `n+1`
+//! while the receiver still holds iteration `n`.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::message::Payload;
+
+/// A pool-managed payload: resettable to an empty-but-capacitated state so
+/// the next fill reuses the allocation.
+pub trait Reusable: Payload + Default {
+    /// Clear contents, keeping capacity.
+    fn reset(&mut self);
+}
+
+impl<T: crate::message::Wire> Reusable for Vec<T> {
+    fn reset(&mut self) {
+        self.clear();
+    }
+}
+
+/// Where a slot's buffer currently lives.
+enum SlotState<B> {
+    /// Parked in the pool, ready for checkout.
+    Free(B),
+    /// Filled by the sender, awaiting (or in) transit; the receiver will
+    /// take it.
+    Staged(B),
+    /// Checked out: the sender is filling it, or the receiver is decoding
+    /// a taken buffer.
+    Empty,
+}
+
+/// One shareable buffer slot. The `Arc<PoolSlot<B>>` itself is the packet
+/// payload: the receiver downcasts it and returns the buffer straight into
+/// the sender's slot.
+pub struct PoolSlot<B> {
+    state: Mutex<SlotState<B>>,
+}
+
+impl<B: Reusable> PoolSlot<B> {
+    fn new() -> PoolSlot<B> {
+        PoolSlot {
+            state: Mutex::new(SlotState::Free(B::default())),
+        }
+    }
+
+    /// Take the buffer if the slot is `Free`; `None` while the previous
+    /// send through this slot is still unconsumed.
+    pub fn try_checkout(&self) -> Option<B> {
+        let mut st = self.state.lock().unwrap();
+        match std::mem::replace(&mut *st, SlotState::Empty) {
+            SlotState::Free(b) => Some(b),
+            other => {
+                *st = other;
+                None
+            }
+        }
+    }
+
+    /// Park a filled buffer for the receiver (sender side, after filling).
+    pub fn stash(&self, buf: B) {
+        let mut st = self.state.lock().unwrap();
+        debug_assert!(matches!(*st, SlotState::Empty), "stash into non-empty slot");
+        *st = SlotState::Staged(buf);
+    }
+
+    /// Take the staged buffer for decoding (receiver side). Panics if the
+    /// slot is not staged — FIFO delivery guarantees the sender stashed
+    /// before the packet became visible.
+    pub fn take_staged(&self) -> B {
+        let mut st = self.state.lock().unwrap();
+        match std::mem::replace(&mut *st, SlotState::Empty) {
+            SlotState::Staged(b) => b,
+            _ => panic!("pool slot taken before it was staged"),
+        }
+    }
+
+    /// Words the staged buffer will occupy on the wire (sender side,
+    /// between `stash` and the actual send).
+    pub fn staged_words(&self) -> crate::cost::Words {
+        let st = self.state.lock().unwrap();
+        match &*st {
+            SlotState::Staged(b) => b.wire_words(),
+            _ => panic!("staged_words on a slot that is not staged"),
+        }
+    }
+
+    /// Return a decoded buffer to the pool (receiver side).
+    pub fn put_back(&self, mut buf: B) {
+        buf.reset();
+        let mut st = self.state.lock().unwrap();
+        debug_assert!(
+            matches!(*st, SlotState::Empty),
+            "put_back into occupied slot"
+        );
+        *st = SlotState::Free(buf);
+    }
+}
+
+/// Two slots per `(key, dst, type)`, used alternately.
+struct Entry {
+    slots: [Arc<dyn Any + Send + Sync>; 2],
+    flip: usize,
+}
+
+/// A per-processor pool of reusable send buffers.
+#[derive(Default)]
+pub struct BufferPool {
+    entries: HashMap<(u64, usize, TypeId), Entry>,
+}
+
+impl BufferPool {
+    /// The slot to use for the next send of a `B` to `dst` under plan
+    /// `key`, advancing the two-slot rotation. Creates (and allocates) the
+    /// entry on first use; steady-state calls only flip an index.
+    pub fn next_slot<B: Reusable>(&mut self, key: u64, dst: usize) -> Arc<PoolSlot<B>> {
+        let entry = self
+            .entries
+            .entry((key, dst, TypeId::of::<B>()))
+            .or_insert_with(|| Entry {
+                slots: [
+                    Arc::new(PoolSlot::<B>::new()),
+                    Arc::new(PoolSlot::<B>::new()),
+                ],
+                flip: 0,
+            });
+        let slot = Arc::clone(&entry.slots[entry.flip]);
+        entry.flip ^= 1;
+        slot.downcast::<PoolSlot<B>>()
+            .expect("pool entry type mismatch")
+    }
+
+    /// The slot handed out by the most recent [`BufferPool::next_slot`] for
+    /// this `(key, dst, type)` — the one currently in flight. Used by the
+    /// self-message path, where sender and receiver are the same processor.
+    pub fn current_slot<B: Reusable>(&self, key: u64, dst: usize) -> Arc<PoolSlot<B>> {
+        let entry = self
+            .entries
+            .get(&(key, dst, TypeId::of::<B>()))
+            .expect("current_slot before any next_slot");
+        let slot = Arc::clone(&entry.slots[entry.flip ^ 1]);
+        slot.downcast::<PoolSlot<B>>()
+            .expect("pool entry type mismatch")
+    }
+}
+
+static NEXT_POOL_KEY: AtomicU64 = AtomicU64::new(1);
+
+/// A process-unique pool key. Each plan takes one at planning time; pools
+/// are per-processor, so keys only need to be unique locally — but a global
+/// counter is the simplest way to also keep them unique across plans.
+pub fn fresh_pool_key() -> u64 {
+    NEXT_POOL_KEY.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_state_machine_roundtrip() {
+        let slot = PoolSlot::<Vec<i32>>::new();
+        let mut b = slot.try_checkout().expect("fresh slot is free");
+        assert!(slot.try_checkout().is_none(), "empty slot is not free");
+        b.push(7);
+        slot.stash(b);
+        assert_eq!(slot.staged_words(), 1);
+        assert!(slot.try_checkout().is_none(), "staged slot is not free");
+        let got = slot.take_staged();
+        assert_eq!(got, vec![7]);
+        slot.put_back(got);
+        let again = slot.try_checkout().expect("returned slot is free again");
+        assert!(again.is_empty(), "put_back resets contents");
+        assert!(again.capacity() >= 1, "put_back keeps capacity");
+    }
+
+    #[test]
+    fn pool_alternates_two_slots_per_destination() {
+        let mut pool = BufferPool::default();
+        let a = pool.next_slot::<Vec<i32>>(1, 0);
+        let cur_a = pool.current_slot::<Vec<i32>>(1, 0);
+        assert!(Arc::ptr_eq(&a, &cur_a));
+        let b = pool.next_slot::<Vec<i32>>(1, 0);
+        assert!(!Arc::ptr_eq(&a, &b));
+        let c = pool.next_slot::<Vec<i32>>(1, 0);
+        assert!(Arc::ptr_eq(&a, &c), "third checkout reuses the first slot");
+        // Different keys, destinations, and types get distinct entries.
+        let other = pool.next_slot::<Vec<i32>>(2, 0);
+        assert!(!Arc::ptr_eq(&a, &other));
+        let _typed = pool.next_slot::<Vec<(u32, i32)>>(1, 0);
+    }
+
+    #[test]
+    fn fresh_keys_are_unique() {
+        let a = fresh_pool_key();
+        let b = fresh_pool_key();
+        assert_ne!(a, b);
+    }
+}

@@ -8,11 +8,12 @@
 //! handle transparently routes charged traffic over the reliable transport
 //! (see [`crate::reliable`]).
 
+use std::any::Any;
 use std::panic::panic_any;
-use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::chan::{FrameReceiver, FrameSender};
 use crate::cost::{Category, SimClock};
 use crate::error::MachineError;
 use crate::fault::FaultPlan;
@@ -21,6 +22,7 @@ use crate::obs::{
     Counter, Event, EventKind, Gauge, Histogram, MetricsSnapshot, ObsConfig, Registry,
     TransportEvent,
 };
+use crate::pool::{BufferPool, PoolSlot, Reusable};
 use crate::reliable::{Transport, POLL_SLICE};
 use crate::topology::ProcGrid;
 
@@ -104,6 +106,7 @@ struct ProcMetrics {
     retransmits: Arc<Counter>,
     dup_drops: Arc<Counter>,
     retry_latency_us: Arc<Histogram>,
+    clone_words: Arc<Counter>,
 }
 
 impl ProcMetrics {
@@ -117,6 +120,7 @@ impl ProcMetrics {
             retransmits: registry.counter("transport.retransmits"),
             dup_drops: registry.counter("transport.dup_drops"),
             retry_latency_us: registry.histogram("transport.retry_latency_us"),
+            clone_words: registry.counter("payload.clone_words"),
             registry,
         }
     }
@@ -127,8 +131,8 @@ pub struct Proc<'m> {
     id: usize,
     grid: &'m ProcGrid,
     clock: SimClock,
-    senders: &'m [Sender<Frame>],
-    rx: Receiver<Frame>,
+    senders: &'m [FrameSender],
+    rx: FrameReceiver,
     mailbox: Mailbox,
     recv_timeout: Duration,
     /// Reliable transport state; present iff the machine carries a
@@ -140,6 +144,11 @@ pub struct Proc<'m> {
     events: Option<Vec<Event>>,
     /// Metric registry + cached hot-path handles, present iff enabled.
     metrics: Option<ProcMetrics>,
+    /// Reusable send buffers for planned executes (see [`crate::pool`]).
+    pool: BufferPool,
+    /// Scratch space for pooled exchanges' received packets, pre-reserved
+    /// so the steady-state execute loop never grows it.
+    pkt_scratch: Vec<Packet>,
 }
 
 impl<'m> Proc<'m> {
@@ -148,8 +157,8 @@ impl<'m> Proc<'m> {
         id: usize,
         grid: &'m ProcGrid,
         clock: SimClock,
-        senders: &'m [Sender<Frame>],
-        rx: Receiver<Frame>,
+        senders: &'m [FrameSender],
+        rx: FrameReceiver,
         recv_timeout: Duration,
         plan: Option<Arc<FaultPlan>>,
         obs: ObsConfig,
@@ -173,6 +182,8 @@ impl<'m> Proc<'m> {
             words_to: vec![0; nprocs],
             events: obs.events.then(Vec::new),
             metrics: obs.metrics.then(ProcMetrics::new),
+            pool: BufferPool::default(),
+            pkt_scratch: Vec::with_capacity(nprocs),
         }
     }
 
@@ -368,6 +379,7 @@ impl<'m> Proc<'m> {
             }
         }
         let words = data.wire_words();
+        let data: Arc<dyn Any + Send + Sync> = Arc::new(data);
         if dst == self.id {
             let arrival_ns = self.clock.now_ns();
             let pkt = Packet {
@@ -375,7 +387,7 @@ impl<'m> Proc<'m> {
                 tag,
                 arrival_ns,
                 words,
-                data: Box::new(data),
+                data,
             };
             self.mailbox.hold(pkt);
             return;
@@ -393,22 +405,14 @@ impl<'m> Proc<'m> {
                     tag,
                     arrival_ns,
                     words,
-                    data: Box::new(data),
+                    data,
                 };
                 // The receiver's endpoint lives as long as the run (the
                 // driver parks channel endpoints until every thread joins).
-                let _ = self.senders[dst].send(Frame::Raw(pkt));
+                self.senders[dst].send(Frame::Raw(pkt));
                 None
             }
-            Some(t) => Some(t.send(
-                self.id,
-                self.senders,
-                dst,
-                tag,
-                arrival_ns,
-                words,
-                Box::new(data),
-            )),
+            Some(t) => Some(t.send(self.id, self.senders, dst, tag, arrival_ns, words, data)),
         };
         if words > 0 {
             if self.events.is_some() {
@@ -463,8 +467,29 @@ impl<'m> Proc<'m> {
     pub fn try_recv<P: Payload>(&mut self, src: usize, tag: u64) -> Result<P, MachineError> {
         let pkt = self.try_recv_packet(src, tag)?;
         self.observe_consume(&pkt);
+        Ok(self.extract::<P>(pkt, src, tag))
+    }
+
+    /// Unwrap a packet's payload as a `P`. The `Arc` is unwrapped in place
+    /// when this receive is the last holder (the fault-free common case);
+    /// when the reliable transport still shares the buffer for a possible
+    /// retransmission, the payload is deep-copied and the copied volume is
+    /// surfaced through the `payload.clone_words` counter.
+    fn extract<P: Payload>(&mut self, pkt: Packet, src: usize, tag: u64) -> P {
+        let words = pkt.words;
         match pkt.data.downcast::<P>() {
-            Ok(b) => Ok(*b),
+            Ok(arc) => match Arc::try_unwrap(arc) {
+                Ok(v) => v,
+                Err(shared) => {
+                    if let Some(m) = self.metrics.as_ref() {
+                        m.clone_words.add(words as u64);
+                    }
+                    *(*shared)
+                        .clone_payload()
+                        .downcast::<P>()
+                        .expect("clone_payload must preserve the payload type")
+                }
+            },
             Err(_) => panic!(
                 "proc {}: payload type mismatch on recv from {} tag {} (expected {})",
                 self.id,
@@ -483,13 +508,7 @@ impl<'m> Proc<'m> {
         };
         self.observe_consume(&pkt);
         let words = pkt.words;
-        match pkt.data.downcast::<P>() {
-            Ok(b) => (*b, words),
-            Err(_) => panic!(
-                "proc {}: payload type mismatch on recv from {} tag {}",
-                self.id, src, tag
-            ),
-        }
+        (self.extract::<P>(pkt, src, tag), words)
     }
 
     /// Advance the clock to the packet's arrival (the shared receive-side
@@ -684,12 +703,12 @@ impl<'m> Proc<'m> {
             tag,
             arrival_ns: f64::NEG_INFINITY,
             words,
-            data: Box::new(data),
+            data: Arc::new(data),
         };
         if dst == self.id {
             self.mailbox.hold(pkt);
         } else {
-            let _ = self.senders[dst].send(Frame::Raw(pkt));
+            self.senders[dst].send(Frame::Raw(pkt));
         }
     }
 
@@ -699,10 +718,7 @@ impl<'m> Proc<'m> {
             Ok(p) => p,
             Err(e) => panic_any(e),
         };
-        match pkt.data.downcast::<P>() {
-            Ok(b) => *b,
-            Err(_) => panic!("proc {}: clock-sync payload mismatch", self.id),
-        }
+        self.extract::<P>(pkt, src, tag)
     }
 
     /// After the program closure returns: keep pumping the transport until
@@ -761,7 +777,7 @@ impl<'m> Proc<'m> {
     ) -> (
         SimClock,
         Vec<u64>,
-        Receiver<Frame>,
+        FrameReceiver,
         Vec<Event>,
         MetricsSnapshot,
     ) {
@@ -782,5 +798,157 @@ impl<'m> Proc<'m> {
     /// (self-messages and zero-word padding excluded).
     pub fn words_sent_to(&self) -> &[u64] {
         &self.words_to
+    }
+
+    /// Receive the raw packet from `src` under `tag`, leaving the payload
+    /// type-erased. Clock semantics match [`Proc::recv`]; pooled exchange
+    /// paths use this to defer the downcast until decode time.
+    ///
+    /// # Panics
+    /// As [`Proc::recv`].
+    pub fn recv_packet(&mut self, src: usize, tag: u64) -> Packet {
+        let pkt = match self.try_recv_packet(src, tag) {
+            Ok(p) => p,
+            Err(e) => panic_any(e),
+        };
+        self.observe_consume(&pkt);
+        pkt
+    }
+
+    /// Check a reusable send buffer out of this processor's pool for plan
+    /// `key`, destination `dst`. Advances the entry's two-slot rotation.
+    ///
+    /// If the slot is still staged or checked out — the receiver has not
+    /// finished with the *previous* execute's send through it — this blocks
+    /// (wall-clock only; the simulated clock is untouched) until the
+    /// receiver returns the buffer, pumping the reliable transport and
+    /// draining incoming frames meanwhile so progress is never stalled by
+    /// the wait itself.
+    pub fn pool_checkout<B: Reusable>(&mut self, key: u64, dst: usize) -> (Arc<PoolSlot<B>>, B) {
+        let slot = self.pool.next_slot::<B>(key, dst);
+        if let Some(buf) = slot.try_checkout() {
+            return (slot, buf);
+        }
+        let deadline = Instant::now() + self.recv_timeout;
+        loop {
+            if let Some(t) = self.transport.as_mut() {
+                if let Err(e) = t.pump(self.id, self.senders) {
+                    panic_any(e);
+                }
+                self.drain_transport_events();
+            }
+            match self.rx.try_recv() {
+                Ok(frame) => {
+                    if let Err(e) = self.dispatch(frame) {
+                        panic_any(e);
+                    }
+                }
+                Err(_) => std::thread::yield_now(),
+            }
+            if let Some(buf) = slot.try_checkout() {
+                return (slot, buf);
+            }
+            if Instant::now() >= deadline {
+                panic!(
+                    "proc {}: pool slot (key {key}, dst {dst}) was never returned \
+                     within {:?} — receiver stalled or plan executed unevenly",
+                    self.id, self.recv_timeout
+                );
+            }
+        }
+    }
+
+    /// The slot most recently checked out for `(key, dst)` — the one whose
+    /// buffer is currently staged/in flight. The self-message path uses
+    /// this at decode time (sender and receiver are the same processor).
+    pub fn pool_current<B: Reusable>(&self, key: u64, dst: usize) -> Arc<PoolSlot<B>> {
+        self.pool.current_slot::<B>(key, dst)
+    }
+
+    /// Send the staged contents of a pooled slot to `dst` under `tag`.
+    ///
+    /// Identical to [`Proc::send`] in every charged and observed respect —
+    /// crash-step accounting, `τ + μ·m` charge, events, metrics — but the
+    /// packet payload is the `Arc`-shared slot itself: no buffer changes
+    /// hands, and the receiver returns it via [`PoolSlot::put_back`].
+    pub fn send_pooled<B: Reusable>(&mut self, dst: usize, tag: u64, slot: &Arc<PoolSlot<B>>) {
+        debug_assert_ne!(dst, self.id, "self slots are decoded in place, never sent");
+        if let Some(t) = self.transport.as_mut() {
+            t.send_steps += 1;
+            if let Some((proc, step)) = t.plan().crash() {
+                if proc == self.id && t.send_steps == step {
+                    panic_any(MachineError::ProcCrashed { proc, step });
+                }
+            }
+        }
+        let words = slot.staged_words();
+        let data: Arc<dyn Any + Send + Sync> = Arc::clone(slot) as _;
+        let arrival_ns = if words == 0 {
+            self.clock.now_ns()
+        } else {
+            self.words_to[dst] += words as u64;
+            self.clock.charge_send(words)
+        };
+        let seq = match self.transport.as_mut() {
+            None => {
+                let pkt = Packet {
+                    src: self.id,
+                    tag,
+                    arrival_ns,
+                    words,
+                    data,
+                };
+                self.senders[dst].send(Frame::Raw(pkt));
+                None
+            }
+            Some(t) => Some(t.send(self.id, self.senders, dst, tag, arrival_ns, words, data)),
+        };
+        if words > 0 {
+            if self.events.is_some() {
+                let now = self.clock.now_ns();
+                self.record(
+                    now,
+                    EventKind::Send {
+                        dst,
+                        tag,
+                        words,
+                        seq,
+                        arrival_ns,
+                    },
+                );
+            }
+            if let Some(m) = self.metrics.as_ref() {
+                m.msg_sent.inc();
+                m.msg_words.observe(words as u64);
+            }
+        }
+        if seq.is_some() {
+            self.drain_transport_events();
+        }
+    }
+
+    /// Borrow the processor's pre-reserved packet scratch vector (empty,
+    /// capacity ≥ P). Callers must hand it back with
+    /// [`Proc::restore_pkt_scratch`] once drained.
+    pub fn take_pkt_scratch(&mut self) -> Vec<Packet> {
+        debug_assert!(self.pkt_scratch.is_empty());
+        std::mem::take(&mut self.pkt_scratch)
+    }
+
+    /// Return the packet scratch vector, keeping its capacity for the next
+    /// pooled exchange.
+    pub fn restore_pkt_scratch(&mut self, mut scratch: Vec<Packet>) {
+        scratch.clear();
+        self.pkt_scratch = scratch;
+    }
+
+    /// Record the worker thread's allocation totals for this run in the
+    /// `alloc.count` / `alloc.bytes` counters (no-op without metrics; zeros
+    /// unless the binary installs [`crate::alloc_counter::CountingAllocator`]).
+    pub(crate) fn note_alloc_totals(&mut self, count: u64, bytes: u64) {
+        if let Some(m) = self.metrics.as_ref() {
+            m.registry.counter("alloc.count").add(count);
+            m.registry.counter("alloc.bytes").add(bytes);
+        }
     }
 }

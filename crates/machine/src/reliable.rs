@@ -24,15 +24,16 @@
 //! the wall-clock retry *counters* depend on OS scheduling, and they are
 //! reported as diagnostics, never charged to the simulated clock.
 
+use std::any::Any;
 use std::collections::BTreeMap;
-use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::chan::FrameSender;
 use crate::cost::Words;
 use crate::error::MachineError;
 use crate::fault::{FaultPlan, Verdict};
-use crate::message::{Frame, Packet, Payload};
+use crate::message::{Frame, Packet};
 use crate::obs::TransportEvent;
 
 /// How long a receive loop sleeps between transport pumps while a fault
@@ -47,9 +48,11 @@ const RTO_CAP: Duration = Duration::from_millis(160);
 /// uses, the probability of 30 consecutive losses is ≈ 10⁻²¹.
 const MAX_ATTEMPTS: u32 = 30;
 
-/// One unacknowledged message, kept for retransmission.
+/// One unacknowledged message, kept for retransmission. The payload is an
+/// `Arc` shared with the in-flight packet(s): keeping it for a possible
+/// retransmit is a refcount bump, not a deep copy.
 struct Stored {
-    payload: Box<dyn Payload>,
+    data: Arc<dyn Any + Send + Sync>,
     tag: u64,
     words: Words,
     /// Simulated arrival time, fixed at first transmission (delay included).
@@ -134,12 +137,12 @@ impl Transport {
     pub(crate) fn send(
         &mut self,
         me: usize,
-        senders: &[Sender<Frame>],
+        senders: &[FrameSender],
         dst: usize,
         tag: u64,
         base_arrival_ns: f64,
         words: Words,
-        payload: Box<dyn Payload>,
+        data: Arc<dyn Any + Send + Sync>,
     ) -> u64 {
         let seq = self.next_seq[dst];
         self.next_seq[dst] += 1;
@@ -148,7 +151,7 @@ impl Transport {
         self.unacked.insert(
             (dst, seq),
             Stored {
-                payload,
+                data,
                 tag,
                 words,
                 arrival_ns,
@@ -163,14 +166,7 @@ impl Transport {
     }
 
     /// One transmission attempt of `(dst, seq)`, subject to the fault plan.
-    fn transmit(
-        &mut self,
-        me: usize,
-        senders: &[Sender<Frame>],
-        dst: usize,
-        seq: u64,
-        attempt: u32,
-    ) {
+    fn transmit(&mut self, me: usize, senders: &[FrameSender], dst: usize, seq: u64, attempt: u32) {
         let verdict = self.plan.verdict(me, dst, seq, attempt);
         if self.record && verdict != Verdict::Deliver {
             self.events
@@ -193,7 +189,7 @@ impl Transport {
     /// Physically put one `Data` frame of `(dst, seq)` on the wire (if it is
     /// still unacknowledged), then release any held-back transmissions that
     /// the advancing link counter makes due.
-    fn phys_send(&mut self, me: usize, senders: &[Sender<Frame>], dst: usize, seq: u64) {
+    fn phys_send(&mut self, me: usize, senders: &[FrameSender], dst: usize, seq: u64) {
         let mut queue = vec![seq];
         while let Some(s) = queue.pop() {
             let Some(st) = self.unacked.get(&(dst, s)) else {
@@ -206,11 +202,11 @@ impl Transport {
                 tag: st.tag,
                 arrival_ns: st.arrival_ns,
                 words: st.words,
-                data: st.payload.clone_payload(),
+                data: Arc::clone(&st.data),
             };
             // The channel outlives all sends (the driver parks receiver
             // endpoints until every processor has joined).
-            let _ = senders[dst].send(Frame::Data { seq: s, pkt });
+            senders[dst].send(Frame::Data { seq: s, pkt });
             self.tx_count[dst] += 1;
             let count = self.tx_count[dst];
             let held = &mut self.holdback[dst];
@@ -231,14 +227,14 @@ impl Transport {
     pub(crate) fn on_data(
         &mut self,
         me: usize,
-        senders: &[Sender<Frame>],
+        senders: &[FrameSender],
         seq: u64,
         pkt: Packet,
     ) -> Vec<(u64, Packet)> {
         let src = pkt.src;
         // Always (re-)ack: the earlier ack may still be in flight while the
         // sender retransmits, and acks are idempotent.
-        let _ = senders[src].send(Frame::Ack { from: me, seq });
+        senders[src].send(Frame::Ack { from: me, seq });
         if seq < self.expected[src] {
             self.dup_drops += 1;
             if self.record {
@@ -276,11 +272,7 @@ impl Transport {
 
     /// Retransmit every message whose retry timer has expired. Errors with
     /// [`MachineError::Unreachable`] once a message exhausts its attempts.
-    pub(crate) fn pump(
-        &mut self,
-        me: usize,
-        senders: &[Sender<Frame>],
-    ) -> Result<(), MachineError> {
+    pub(crate) fn pump(&mut self, me: usize, senders: &[FrameSender]) -> Result<(), MachineError> {
         let now = Instant::now();
         let due: Vec<(usize, u64)> = self
             .unacked
@@ -338,13 +330,13 @@ impl Transport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::mpsc::channel;
+    use crate::chan::{frame_channel, FrameReceiver};
 
-    fn wires(n: usize) -> (Vec<Sender<Frame>>, Vec<std::sync::mpsc::Receiver<Frame>>) {
-        (0..n).map(|_| channel::<Frame>()).unzip()
+    fn wires(n: usize) -> (Vec<FrameSender>, Vec<FrameReceiver>) {
+        (0..n).map(|_| frame_channel()).unzip()
     }
 
-    fn data_frames(rx: &std::sync::mpsc::Receiver<Frame>) -> Vec<(u64, Packet)> {
+    fn data_frames(rx: &FrameReceiver) -> Vec<(u64, Packet)> {
         let mut out = Vec::new();
         while let Ok(f) = rx.try_recv() {
             if let Frame::Data { seq, pkt } = f {
@@ -359,7 +351,7 @@ mod tests {
         let (txs, rxs) = wires(2);
         let mut t = Transport::new(Arc::new(FaultPlan::new(0)), 2);
         for i in 0..4i32 {
-            t.send(0, &txs, 1, 7, i as f64, 1, Box::new(vec![i]));
+            t.send(0, &txs, 1, 7, i as f64, 1, Arc::new(vec![i]));
         }
         let got = data_frames(&rxs[1]);
         assert_eq!(
@@ -377,7 +369,7 @@ mod tests {
     fn dropped_message_is_retransmitted_with_same_arrival() {
         let (txs, rxs) = wires(2);
         let mut t = Transport::new(Arc::new(plan_dropping_first()), 2);
-        t.send(0, &txs, 1, 7, 42.0, 1, Box::new(vec![9i32]));
+        t.send(0, &txs, 1, 7, 42.0, 1, Arc::new(vec![9i32]));
         assert!(data_frames(&rxs[1]).is_empty(), "attempt 0 must be dropped");
         // Force the retry timer.
         for st in t.unacked.values_mut() {
@@ -395,11 +387,31 @@ mod tests {
     }
 
     #[test]
+    fn retransmit_shares_the_original_buffer() {
+        let (txs, rxs) = wires(2);
+        let mut t = Transport::new(Arc::new(FaultPlan::new(0)), 2);
+        let buf: Arc<dyn Any + Send + Sync> = Arc::new(vec![5i32, 6]);
+        t.send(0, &txs, 1, 7, 1.0, 2, Arc::clone(&buf));
+        for st in t.unacked.values_mut() {
+            st.deadline = Instant::now() - Duration::from_millis(1);
+        }
+        t.pump(0, &txs).unwrap();
+        let got = data_frames(&rxs[1]);
+        assert_eq!(got.len(), 2, "original plus one retransmission");
+        for (_, p) in &got {
+            assert!(
+                Arc::ptr_eq(&p.data, &buf),
+                "every copy on the wire must share the one buffer"
+            );
+        }
+    }
+
+    #[test]
     fn recording_buffers_verdict_retransmit_and_dup_events() {
         let (txs, _rxs) = wires(2);
         let mut t = Transport::new(Arc::new(plan_dropping_first()), 2);
         t.record = true;
-        let seq = t.send(0, &txs, 1, 7, 0.0, 1, Box::new(vec![1i32]));
+        let seq = t.send(0, &txs, 1, 7, 0.0, 1, Arc::new(vec![1i32]));
         assert_eq!(seq, 0);
         for st in t.unacked.values_mut() {
             st.deadline = Instant::now() - Duration::from_millis(1);
@@ -412,7 +424,7 @@ mod tests {
             tag: 7,
             arrival_ns: 0.0,
             words: 1,
-            data: Box::new(vec![0i32]),
+            data: Arc::new(vec![0i32]),
         };
         assert!(t.on_data(0, &txs, 2, dup).is_empty());
         let evs = t.take_events();
@@ -450,7 +462,7 @@ mod tests {
             tag: 7,
             arrival_ns: 0.0,
             words: 1,
-            data: Box::new(vec![v]),
+            data: Arc::new(vec![v]),
         };
         // seq 1 arrives early: buffered.
         assert!(t.on_data(0, &txs, 1, pkt(1)).is_empty());
@@ -486,7 +498,7 @@ mod tests {
         );
         let (txs, _rxs) = wires(2);
         let mut t = Transport::new(Arc::new(plan), 2);
-        t.send(0, &txs, 1, 7, 0.0, 1, Box::new(vec![1i32]));
+        t.send(0, &txs, 1, 7, 0.0, 1, Arc::new(vec![1i32]));
         let err = loop {
             for st in t.unacked.values_mut() {
                 st.deadline = Instant::now() - Duration::from_millis(1);

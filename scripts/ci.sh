@@ -41,13 +41,24 @@ perf_json="$(mktemp)"
 cargo run -p hpf-bench --release --bin perf -- --smoke --out "$perf_json"
 python3 scripts/validate_bench.py "$perf_json"
 
+echo "== perf --filter exec_hot (steady-state zero-allocation gate) =="
+# The perf binary runs under the counting global allocator; the validator
+# fails the build if any steady-state execute allocates, or if a fault-free
+# run deep-copies a payload (hot.allocs_per_execute / hot.clone_words != 0).
+hot_json="$(mktemp)"
+cargo run -p hpf-bench --release --bin perf -- --smoke --filter exec_hot --out "$hot_json"
+python3 scripts/validate_bench.py "$hot_json"
+rm -f "$hot_json"
+
 echo "== perfdiff (simulated-cost regression gate vs committed baseline) =="
 if [[ -f results/BENCH_baseline.json ]]; then
-  # Simulated costs are deterministic, so any delta is a real model change:
-  # warn on anything, hard-fail at 25% so intentional model changes can land
-  # (refresh the baseline via scripts/regen-results.sh when they do).
+  # Simulated costs are deterministic and the zero-copy execute path must
+  # reproduce the boxed path's accounting bit-exactly, so the gate is
+  # effectively zero drift (0.001% absorbs only float formatting). An
+  # intentional cost-model change must refresh the baseline via
+  # scripts/regen-results.sh in the same commit.
   cargo run -p hpf-bench --release --bin perfdiff -- \
-    results/BENCH_baseline.json "$perf_json" --warn-above 1 --fail-above 25
+    results/BENCH_baseline.json "$perf_json" --warn-above 0.0001 --fail-above 0.001
 else
   echo "perfdiff: no results/BENCH_baseline.json; skipping (run scripts/regen-results.sh)"
 fi

@@ -4,8 +4,11 @@
 Stdlib-only: implements the subset of JSON Schema the schema file uses
 (type, required, properties, items, enum, minimum, minItems), then applies
 cross-field checks the schema cannot express: every paper scheme must
-appear, per-stage times must sum to (approximately) the total, and every
-recorded cost-model conformance verdict must pass.
+appear (restricted to the filtered group when the report carries a
+`--filter`), per-stage times must sum to (approximately) the total, every
+recorded cost-model conformance verdict must pass, and every `exec_hot`
+workload must report **zero** steady-state allocations per execute and
+zero deep-copied payload words.
 
 Usage: validate_bench.py REPORT.json [SCHEMA.json]
 Exit code 0 on success, 1 with a diagnostic per violation otherwise.
@@ -71,19 +74,39 @@ def check(instance, schema, path, errors):
 
 def coverage_checks(report, errors):
     """Paper coverage: all PACK schemes, both redistributions, both UNPACK
-    schemes, and the four application kernels must be present."""
+    schemes, the hot-path sweep, and the four application kernels must be
+    present. A report produced with `--filter GROUP` only owes the
+    workloads of that group."""
     names = [w["name"] for w in report.get("workloads", []) if isinstance(w, dict)]
     required_prefixes = [
-        "pack.sss", "pack.css", "pack.cms",
-        "pack.red1", "pack.red2",
-        "unpack.sss", "unpack.css",
-        "plan_reuse.pack.sss", "plan_reuse.pack.css", "plan_reuse.pack.cms",
-        "plan_reuse.unpack.sss", "plan_reuse.unpack.css",
-        "apps.compaction", "apps.sort", "apps.spmv", "apps.gather",
+        ("pack", "pack.sss"), ("pack", "pack.css"), ("pack", "pack.cms"),
+        ("redist", "pack.red1"), ("redist", "pack.red2"),
+        ("unpack", "unpack.sss"), ("unpack", "unpack.css"),
+        ("plan_reuse", "plan_reuse.pack.sss"),
+        ("plan_reuse", "plan_reuse.pack.css"),
+        ("plan_reuse", "plan_reuse.pack.cms"),
+        ("plan_reuse", "plan_reuse.unpack.sss"),
+        ("plan_reuse", "plan_reuse.unpack.css"),
+        ("exec_hot", "exec_hot.pack.sss"),
+        ("exec_hot", "exec_hot.pack.css"),
+        ("exec_hot", "exec_hot.pack.cms"),
+        ("exec_hot", "exec_hot.unpack.sss"),
+        ("exec_hot", "exec_hot.unpack.css"),
+        ("apps", "apps.compaction"), ("apps", "apps.sort"),
+        ("apps", "apps.spmv"), ("apps", "apps.gather"),
     ]
-    for prefix in required_prefixes:
+    fil = report.get("filter")
+    for group, prefix in required_prefixes:
+        if fil is not None and group != fil:
+            continue
         if not any(n == prefix or n.startswith(prefix + ".") for n in names):
             errors.append(f"coverage: no workload named {prefix}[.*]")
+    for w in report.get("workloads", []):
+        if isinstance(w, dict) and fil is not None and w.get("group") != fil:
+            errors.append(
+                f"workload {w.get('name')}: group {w.get('group')} leaked "
+                f"into a report filtered to {fil}"
+            )
     # Each stage time is a per-category max over processors, so it can never
     # exceed the critical-path total (the max over processors of the sums).
     # Their sum must bracket the total: at least the total (maxima dominate
@@ -134,6 +157,31 @@ def coverage_checks(report, errors):
                         f"workload {w.get('name')}: {side} plan {plan} + "
                         f"execute {execute} != total {total}"
                     )
+        hot = w.get("hot")
+        if isinstance(hot, dict):
+            name = w.get("name")
+            # The zero-copy execute gate: from the third execution of a plan
+            # onward the pooled buffers absorb the whole loop, so the
+            # counting allocator must see literally nothing, and a
+            # fault-free run must never deep-copy a payload.
+            if hot.get("allocs_per_execute") != 0:
+                errors.append(
+                    f"workload {name}: {hot.get('allocs_per_execute')} heap "
+                    "allocations per steady-state execute (must be 0)"
+                )
+            if hot.get("alloc_bytes_per_execute") != 0:
+                errors.append(
+                    f"workload {name}: {hot.get('alloc_bytes_per_execute')} heap "
+                    "bytes per steady-state execute (must be 0)"
+                )
+            if hot.get("clone_words") != 0:
+                errors.append(
+                    f"workload {name}: fault-free run deep-copied "
+                    f"{hot.get('clone_words')} payload words (must be 0)"
+                )
+            wall = hot.get("wall_ns_per_exec")
+            if not isinstance(wall, (int, float)) or wall <= 0:
+                errors.append(f"workload {name}: wall_ns_per_exec {wall} not positive")
         reuse = w.get("reuse")
         if isinstance(reuse, dict):
             name = w.get("name")
