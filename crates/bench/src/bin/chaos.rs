@@ -12,7 +12,9 @@
 //!   runs agree with each other), and
 //! * a scheduled processor crash surfaces as a typed
 //!   [`hpf_machine::MachineError`] naming the crashed processor, never as a
-//!   hang.
+//!   hang — or, under `--recover`, is absorbed by
+//!   [`hpf_machine::Machine::run_recoverable`] with results bit-identical to
+//!   the clean run and clocks bit-identical between recovered runs.
 //!
 //! The sweep cycles through all three PACK schemes (SSS / CSS / CMS), both
 //! UNPACK schemes, and both redistribution variants (Red.1 / Red.2), and
@@ -21,8 +23,13 @@
 //! Usage:
 //! ```sh
 //! cargo run -p hpf-bench --release --bin chaos -- [--seed N] [--iters N] \
-//!     [--reuse-plans] [--trace-out FILE]
+//!     [--reuse-plans] [--recover] [--trace-out FILE]
 //! # defaults: seed 1, 20 iterations
+//! # --recover replaces the fail-fast crash drill with a recovery drill on
+//! # every iteration: a crash is scheduled (send-side on even iterations,
+//! # receive-side on odd), the run goes through run_recoverable, and the
+//! # recovered results must match the clean run bit-exactly while two
+//! # recovered runs must also agree on their simulated clocks
 //! # --reuse-plans routes plain PACK/UNPACK through the explicit
 //! # plan-then-execute path, executing each plan three times through the
 //! # pooled zero-copy buffers (the redistribution variants keep their
@@ -67,6 +74,7 @@ fn main() {
     let mut seed: u64 = 1;
     let mut iters: usize = 20;
     let mut reuse_plans = false;
+    let mut recover = false;
     let mut trace_out: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -96,6 +104,10 @@ fn main() {
                 reuse_plans = true;
                 i += 1;
             }
+            "--recover" => {
+                recover = true;
+                i += 1;
+            }
             "--trace-out" => {
                 trace_out = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
                     eprintln!("--trace-out requires a path");
@@ -106,7 +118,8 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument {other}; usage: \
-                     chaos [--seed N] [--iters N] [--reuse-plans] [--trace-out FILE]"
+                     chaos [--seed N] [--iters N] [--reuse-plans] [--recover] \
+                     [--trace-out FILE]"
                 );
                 std::process::exit(2);
             }
@@ -119,17 +132,19 @@ fn main() {
         // On any panic the iteration context is printed first, so a failure
         // is reproducible with `--seed`.
         println!("iter {iter} (seed {seed}):");
-        run_iteration(&mut rng, seed, iter, reuse_plans, &mut stats);
+        run_iteration(&mut rng, seed, iter, reuse_plans, recover, &mut stats);
     }
     if let Some(path) = &trace_out {
         write_trace(seed, path);
     }
     println!(
         "chaos: {iters} iterations passed (seed {seed}): {} roundtrips, {} crash drills, \
-         {} retransmissions, {} duplicates dropped, mean retry overhead {:.1}%, \
-         mean simulated latency overhead {:.1}%",
+         {} recoveries ({} frames replayed), {} retransmissions, {} duplicates dropped, \
+         mean retry overhead {:.1}%, mean simulated latency overhead {:.1}%",
         stats.roundtrips,
         stats.crash_drills,
+        stats.recoveries,
+        stats.replayed_frames,
         stats.retransmits,
         stats.dup_drops,
         100.0 * stats.retry_overhead_sum / stats.roundtrips.max(1) as f64,
@@ -141,13 +156,22 @@ fn main() {
 struct Stats {
     roundtrips: usize,
     crash_drills: usize,
+    recoveries: usize,
+    replayed_frames: u64,
     retransmits: u64,
     dup_drops: u64,
     retry_overhead_sum: f64,
     latency_overhead_sum: f64,
 }
 
-fn run_iteration(rng: &mut Rng, seed: u64, iter: usize, reuse_plans: bool, stats: &mut Stats) {
+fn run_iteration(
+    rng: &mut Rng,
+    seed: u64,
+    iter: usize,
+    reuse_plans: bool,
+    recover: bool,
+    stats: &mut Stats,
+) {
     // Random rank-1 or rank-2 configuration; every dimension P·W | N.
     let rank = 1 + rng.below(2);
     let mut grid_dims = Vec::new();
@@ -301,7 +325,50 @@ fn run_iteration(rng: &mut Rng, seed: u64, iter: usize, reuse_plans: bool, stats
     );
     stats.roundtrips += 1;
 
-    // ---- crash drill: a scheduled crash must fail fast and typed --------
+    // ---- crash drill ----------------------------------------------------
+    if recover {
+        // Recovery drill, every iteration: a scheduled crash (send-side on
+        // even iterations, receive-side on odd) goes through the
+        // recoverable runner. Recovered results must match the clean run
+        // bit-exactly; two recovered runs must also agree on their
+        // simulated clocks (clocks are not compared against the
+        // non-recoverable run because recovery routes sync frames through
+        // the sequenced transport, shifting the per-sequence delay draws).
+        let victim = rng.below(grid.nprocs());
+        let step = 1 + rng.below(3) as u64;
+        let crash_plan = if iter.is_multiple_of(2) {
+            plan.with_crash(victim, step)
+        } else {
+            plan.with_crash_at_recv(victim, step)
+        };
+        let crashing = clean.clone().with_faults(crash_plan);
+        let ra = crashing
+            .run_recoverable(pack_prog)
+            .unwrap_or_else(|e| panic!("recovery drill failed: {e}\n{ctx}"));
+        let rb = crashing
+            .run_recoverable(pack_prog)
+            .unwrap_or_else(|e| panic!("recovery drill failed: {e}\n{ctx}"));
+        assert_eq!(
+            ra.results, pack_base.results,
+            "recovered PACK diverged from the clean run\n{ctx}"
+        );
+        assert_eq!(ra.results, rb.results, "recovered runs disagree\n{ctx}");
+        for (ca, cb) in ra.clocks.iter().zip(&rb.clocks) {
+            assert_eq!(
+                ca.now_ns, cb.now_ns,
+                "recovered runs' simulated clocks diverged\n{ctx}"
+            );
+        }
+        let rec = ra.recovery.as_ref().expect("recoverable run reports stats");
+        if rec.replays > 0 {
+            stats.recoveries += 1;
+            stats.replayed_frames += rec.replayed_frames;
+        }
+        return;
+    }
+
+    // Fail-fast drill: a scheduled crash must surface as a typed error,
+    // never as a hang.
     if iter.is_multiple_of(3) {
         let victim = rng.below(grid.nprocs());
         let step = 1 + rng.below(3) as u64;

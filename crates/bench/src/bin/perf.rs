@@ -17,7 +17,8 @@
 //!     [--smoke] [--filter GROUP] [--out FILE] [--critpath-out FILE]
 //! # default output: results/BENCH_<rev>.json (rev = short git hash)
 //! # --filter runs only the named workload group (pack, redist, unpack,
-//! #   plan_reuse, exec_hot, apps) and records the filter in the report
+//! #   plan_reuse, exec_hot, recovery, apps) and records the filter in the
+//! #   report
 //! ```
 //!
 //! The binary installs the counting global allocator, so the `exec_hot`
@@ -38,19 +39,22 @@ use hpf_bench::{
     ReuseMeasurement,
 };
 use hpf_core::{
-    MaskPattern, MaskStats, PackOptions, PackScheme, RedistScheme, UnpackOptions, UnpackScheme,
+    plan_pack, plan_unpack, MaskPattern, MaskStats, PackOptions, PackScheme, RedistScheme,
+    UnpackOptions, UnpackScheme,
 };
 use hpf_distarray::{local_from_fn, ArrayDesc, DimLayout, Dist};
 use hpf_machine::alloc_counter::CountingAllocator;
 use hpf_machine::collectives::A2aSchedule;
-use hpf_machine::{Category, CostModel, Machine, ProcGrid, RunOutput};
+use hpf_machine::{
+    tags, Category, CostModel, FaultPlan, Machine, ProcGrid, RecoveryStats, RunOutput,
+};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
 
 /// Schema version of the emitted JSON (bump on breaking field changes;
 /// `scripts/bench-schema.json` must match).
-const SCHEMA_VERSION: u32 = 4;
+const SCHEMA_VERSION: u32 = 5;
 
 /// Executes per plan in the `plan_reuse` workloads (plan once, execute N).
 const REUSE_EXECUTES: usize = 16;
@@ -59,7 +63,15 @@ const REUSE_EXECUTES: usize = 16;
 const HOT_EXECUTES: usize = 16;
 
 /// The workload groups `--filter` accepts, in report order.
-const GROUPS: [&str; 6] = ["pack", "redist", "unpack", "plan_reuse", "exec_hot", "apps"];
+const GROUPS: [&str; 7] = [
+    "pack",
+    "redist",
+    "unpack",
+    "plan_reuse",
+    "exec_hot",
+    "recovery",
+    "apps",
+];
 
 /// Conformance tolerance: the Section 6.4 formulas are exact, so any
 /// drift at all is a model violation.
@@ -78,6 +90,16 @@ struct Entry {
     conformance: Option<Conformance>,
     reuse: Option<ReuseMeasurement>,
     hot: Option<HotMeasurement>,
+    recovery: Option<RecoveryReport>,
+}
+
+/// Crash-recovery accounting for a `recovery` workload: the recovered run's
+/// replay statistics plus its wall-clock cost relative to the fault-free
+/// recoverable run of the same program.
+struct RecoveryReport {
+    stats: RecoveryStats,
+    overhead_wall_ms: f64,
+    clean_wall_ms: f64,
 }
 
 fn main() {
@@ -184,6 +206,7 @@ fn main() {
                     conformance: Some(conformance),
                     reuse: None,
                     hot: None,
+                    recovery: None,
                 });
             }
         }
@@ -215,6 +238,7 @@ fn main() {
                 conformance: None,
                 reuse: None,
                 hot: None,
+                recovery: None,
             });
         }
     }
@@ -255,6 +279,7 @@ fn main() {
                     conformance: Some(conformance),
                     reuse: None,
                     hot: None,
+                    recovery: None,
                 });
             }
         }
@@ -307,6 +332,7 @@ fn main() {
                     conformance: None,
                     reuse: Some(r),
                     hot: None,
+                    recovery: None,
                 });
             }
         }
@@ -341,6 +367,7 @@ fn main() {
                     conformance: None,
                     reuse: None,
                     hot: Some(hot),
+                    recovery: None,
                 });
             }
             for scheme in UnpackScheme::ALL {
@@ -363,8 +390,29 @@ fn main() {
                     conformance: None,
                     reuse: None,
                     hot: Some(hot),
+                    recovery: None,
                 });
             }
+        }
+    }
+
+    // ---- Crash recovery (epoch checkpointing + deterministic replay) ----
+    // Each workload runs an epoch-structured program through the
+    // recoverable runner twice: fault-free, and with a crash scheduled
+    // inside the second epoch so the respawn restores the epoch-0
+    // checkpoint and replays the peers' logged frames. Results and
+    // simulated clocks must match bit-exactly; the report carries the
+    // replay accounting and the wall-clock price of recovering.
+    if want("recovery") {
+        for (name, kind) in [
+            ("recovery.pack.sss", RecKind::Pack(PackScheme::Simple)),
+            (
+                "recovery.pack.cms",
+                RecKind::Pack(PackScheme::CompactMessage),
+            ),
+            ("recovery.unpack.sss", RecKind::Unpack(UnpackScheme::Simple)),
+        ] {
+            entries.push(recovery_workload(name, n1d, p1d, pattern, kind));
         }
     }
 
@@ -445,6 +493,23 @@ fn main() {
         }
     }
 
+    for e in &entries {
+        if let Some(r) = &e.recovery {
+            println!(
+                "  {:<26} epochs {:>3}  replays {}  frames {:>3}  \
+                 log-high-water {:>6} words  replay {:>6.2} ms  \
+                 wall overhead {:>6.1} ms",
+                e.name,
+                r.stats.epochs,
+                r.stats.replays,
+                r.stats.replayed_frames,
+                r.stats.log_high_water_words,
+                r.stats.replay_ms,
+                r.overhead_wall_ms,
+            );
+        }
+    }
+
     // Conformance gate: any drift from the Section 6.4 model fails the run.
     let mut drifted = false;
     for e in &entries {
@@ -457,6 +522,116 @@ fn main() {
     }
     if drifted {
         std::process::exit(1);
+    }
+}
+
+/// Which collective a `recovery` workload crashes and recovers.
+enum RecKind {
+    Pack(PackScheme),
+    Unpack(UnpackScheme),
+}
+
+/// One crash-recovery workload: a two-epoch program (a one-message ring
+/// warm-up establishing the checkpoint, then the measured collective) run
+/// fault-free and with processor 1 crashing at its fourth program-level
+/// send — the first send is the warm-up message, so the crash always lands
+/// inside the measured epoch, deep enough that peers have logged frames to
+/// replay, and the respawn exercises snapshot restore plus frame replay.
+/// The entry's simulated measurement comes from the crashed run;
+/// bit-identity with the fault-free run is asserted here, so a recovery
+/// bug fails the perf run itself.
+fn recovery_workload(name: &str, n: usize, p: usize, pattern: MaskPattern, kind: RecKind) -> Entry {
+    let w = 4usize;
+    let grid = ProcGrid::line(p);
+    let desc = ArrayDesc::new(&[n], &grid, &[Dist::BlockCyclic(w)]).unwrap();
+    let size = pattern.global(&[n]).data().iter().filter(|&&b| b).count();
+    let v_layout = DimLayout::new_general(size.max(1), p, size.max(1).div_ceil(p)).unwrap();
+    let (d, vl, pat, kind) = (&desc, &v_layout, &pattern, &kind);
+    let program = move |proc: &mut hpf_machine::Proc<'_>| {
+        // The checkpointed state threads through every epoch (the epoch-0
+        // snapshot is restored into the resume epoch's state argument, so
+        // all epochs must share one state value).
+        let mut st: (i32, Vec<i32>) = (0, Vec::new());
+        // Epoch 0: a one-send ring exchange, so a checkpoint exists before
+        // the measured collective.
+        proc.epoch(&mut st, |p, st| {
+            let np = p.nprocs();
+            p.send((p.id() + 1) % np, tags::USER, vec![p.id() as i32]);
+            let got: Vec<i32> = p.recv((p.id() + np - 1) % np, tags::USER);
+            st.0 = got[0];
+        });
+        // Epoch 1: the measured PACK or UNPACK — the crash fires in here.
+        proc.epoch(&mut st, |proc, st| {
+            let m = pat.local(d, proc.id());
+            match kind {
+                RecKind::Pack(scheme) => {
+                    let a = local_from_fn(d, proc.id(), |g| g[0] as i32 * 3 - 50);
+                    let plan = plan_pack(proc, d, &m, &PackOptions::new(*scheme)).unwrap();
+                    st.1 = plan.execute(proc, &a).unwrap().local_v;
+                }
+                RecKind::Unpack(scheme) => {
+                    let f = local_from_fn(d, proc.id(), |g| -(g[0] as i32));
+                    let v_local: Vec<i32> = (0..vl.local_len(proc.id()))
+                        .map(|l| vl.global_of(proc.id(), l) as i32 + 7000)
+                        .collect();
+                    let plan = plan_unpack(proc, d, &m, vl, &UnpackOptions::new(*scheme)).unwrap();
+                    st.1 = plan.execute(proc, &f, &v_local).unwrap();
+                }
+            }
+        });
+        st.1
+    };
+    let machine = Machine::new(grid, CostModel::cm5());
+    let t0 = Instant::now();
+    let clean = machine
+        .clone()
+        .with_faults(FaultPlan::new(5))
+        .run_recoverable(program)
+        .expect("fault-free recoverable run");
+    let clean_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let crashed = machine
+        .with_faults(FaultPlan::new(5).with_crash(1, 4))
+        .run_recoverable(program)
+        .expect("scheduled crash must recover");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        crashed.results, clean.results,
+        "{name}: recovered results diverged from the fault-free run"
+    );
+    for (cc, cr) in clean.clocks.iter().zip(&crashed.clocks) {
+        assert_eq!(
+            cc.now_ns, cr.now_ns,
+            "{name}: recovered simulated clocks diverged"
+        );
+    }
+    let stats = crashed
+        .recovery
+        .clone()
+        .expect("recoverable run reports stats");
+    assert!(
+        stats.replays >= 1,
+        "{name}: the scheduled crash never fired"
+    );
+    let elems = crashed.results.iter().map(|v| v.len()).sum();
+    Entry {
+        name: name.into(),
+        group: "recovery",
+        shape: vec![n],
+        grid: vec![p],
+        w: Some(w),
+        density: Some(0.5),
+        m: measure(&crashed, elems),
+        wall_ms,
+        critpath: None,
+        conformance: None,
+        reuse: None,
+        hot: None,
+        recovery: Some(RecoveryReport {
+            stats,
+            overhead_wall_ms: (wall_ms - clean_wall_ms).max(0.0),
+            clean_wall_ms,
+        }),
     }
 }
 
@@ -524,6 +699,7 @@ fn app_compaction(smoke: bool) -> Entry {
         conformance: None,
         reuse: None,
         hot: None,
+        recovery: None,
     }
 }
 
@@ -560,6 +736,7 @@ fn app_sort(smoke: bool) -> Entry {
         conformance: None,
         reuse: None,
         hot: None,
+        recovery: None,
     }
 }
 
@@ -610,6 +787,7 @@ fn app_spmv(smoke: bool) -> Entry {
         conformance: None,
         reuse: None,
         hot: None,
+        recovery: None,
     }
 }
 
@@ -649,6 +827,7 @@ fn app_gather(smoke: bool) -> Entry {
         conformance: None,
         reuse: None,
         hot: None,
+        recovery: None,
     }
 }
 
@@ -802,6 +981,25 @@ fn render_json(rev: &str, smoke: bool, filter: Option<&str>, entries: &[Entry]) 
                 );
             }
             None => s.push_str("      \"hot\": null,\n"),
+        }
+        match &e.recovery {
+            Some(r) => {
+                let _ = writeln!(
+                    s,
+                    "      \"recovery\": {{\"recovered\": true, \"epochs\": {}, \
+                     \"replays\": {}, \"replayed_frames\": {}, \
+                     \"replay_log_high_water_words\": {}, \"replay_ms\": {}, \
+                     \"overhead_wall_ms\": {}, \"clean_wall_ms\": {}}},",
+                    r.stats.epochs,
+                    r.stats.replays,
+                    r.stats.replayed_frames,
+                    r.stats.log_high_water_words,
+                    json_f64(r.stats.replay_ms),
+                    json_f64(r.overhead_wall_ms),
+                    json_f64(r.clean_wall_ms),
+                );
+            }
+            None => s.push_str("      \"recovery\": null,\n"),
         }
         let _ = writeln!(s, "      \"wall_ms\": {}", json_f64(e.wall_ms));
         s.push_str(if i + 1 < entries.len() {

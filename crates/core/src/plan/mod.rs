@@ -35,7 +35,9 @@ pub(crate) mod composer;
 pub use cache::PlanCache;
 
 use hpf_distarray::{ArrayDesc, DimLayout};
-use hpf_machine::collectives::{alltoallv, alltoallv_pooled, A2aPlan, A2aSchedule};
+use hpf_machine::collectives::{
+    alltoallv, alltoallv_planned, alltoallv_pooled, A2aPlan, A2aSchedule,
+};
 use hpf_machine::{fresh_pool_key, Category, Packet, PoolSlot, Proc, Wire};
 
 use crate::error::{PackError, UnpackError};
@@ -194,8 +196,22 @@ impl PackPlan {
             return Ok(());
         }
         let layout = self.v_layout.expect("size > 0");
+        // Under crash recovery, pooled (in-place reused) send buffers are
+        // off limits: a replayed packet must keep sharing its original
+        // payload. The owned-buffer path below makes identical charges in
+        // identical spans, so the simulated accounting does not change —
+        // only the wall-clock allocation behaviour does.
+        let recovery = proc.recovery_enabled();
         proc.with_stage("pack.execute", |proc| {
             match self.scheme {
+                PackScheme::Simple | PackScheme::CompactStorage if recovery => {
+                    let sends = self.gather_pairs_owned(proc, a_local);
+                    let recvs = proc.with_category(Category::ManyToMany, |proc| {
+                        let world = proc.world();
+                        alltoallv_planned(proc, &world, sends, &self.a2a, self.schedule)
+                    });
+                    self.decode_pairs_owned(proc, &layout, &recvs, &mut out.local_v);
+                }
                 PackScheme::Simple | PackScheme::CompactStorage => {
                     self.gather_pairs(proc, a_local);
                     let mut recvs = proc.take_pkt_scratch();
@@ -210,6 +226,14 @@ impl PackPlan {
                     });
                     self.decode_pairs(proc, &layout, &mut recvs, &mut out.local_v);
                     proc.restore_pkt_scratch(recvs);
+                }
+                PackScheme::CompactMessage if recovery => {
+                    let sends = self.gather_segments_owned(proc, a_local);
+                    let recvs = proc.with_category(Category::ManyToMany, |proc| {
+                        let world = proc.world();
+                        alltoallv_planned(proc, &world, sends, &self.a2a, self.schedule)
+                    });
+                    self.decode_segments_owned(proc, &layout, &recvs, &mut out.local_v);
                 }
                 PackScheme::CompactMessage => {
                     self.gather_segments(proc, a_local);
@@ -281,6 +305,108 @@ impl PackPlan {
                 slot.stash(msg);
             }
             proc.charge_ops(moved);
+        })
+    }
+
+    /// [`PackPlan::gather_pairs`] into owned per-destination buffers — the
+    /// crash-recovery path (same operations, same charge, fresh
+    /// allocations instead of pool slots).
+    fn gather_pairs_owned<T: Wire + Default>(
+        &self,
+        proc: &mut Proc,
+        a_local: &[T],
+    ) -> Vec<Vec<(u32, T)>> {
+        proc.with_category(Category::LocalComp, |proc| {
+            let mut moved = 0usize;
+            let mut sends: Vec<Vec<(u32, T)>> = vec![Vec::new(); proc.nprocs()];
+            for (dst, route) in self.routes.iter().enumerate() {
+                if route.slots.is_empty() {
+                    continue;
+                }
+                let RankList::Explicit(ranks) = &route.ranks else {
+                    unreachable!("pair schemes compose explicit ranks")
+                };
+                sends[dst] = ranks
+                    .iter()
+                    .zip(&route.slots)
+                    .map(|(&r, &s)| (r, a_local[s as usize]))
+                    .collect();
+                moved += ranks.len();
+            }
+            proc.charge_ops(moved);
+            sends
+        })
+    }
+
+    /// [`PackPlan::gather_segments`] into owned buffers — the crash-recovery
+    /// path.
+    fn gather_segments_owned<T: Wire + Default>(
+        &self,
+        proc: &mut Proc,
+        a_local: &[T],
+    ) -> Vec<CmsMessage<T>> {
+        proc.with_category(Category::LocalComp, |proc| {
+            let mut moved = 0usize;
+            let mut sends: Vec<CmsMessage<T>> =
+                (0..proc.nprocs()).map(|_| CmsMessage::default()).collect();
+            for (dst, route) in self.routes.iter().enumerate() {
+                if route.slots.is_empty() {
+                    continue;
+                }
+                let RankList::Runs(runs) = &route.ranks else {
+                    unreachable!("compact message composes runs")
+                };
+                compact_message::fill_segments(&mut sends[dst], runs, &route.slots, a_local);
+                moved += route.slots.len();
+            }
+            proc.charge_ops(moved);
+            sends
+        })
+    }
+
+    /// [`PackPlan::decode_pairs`] over owned receive buffers — the
+    /// crash-recovery path (identical `2·E_a` charge).
+    fn decode_pairs_owned<T: Wire + Default>(
+        &self,
+        proc: &mut Proc,
+        layout: &DimLayout,
+        recvs: &[Vec<(u32, T)>],
+        out: &mut Vec<T>,
+    ) {
+        proc.with_category(Category::LocalComp, |proc| {
+            let me = proc.id();
+            out.clear();
+            out.resize(layout.local_len(me), T::default());
+            let mut placed = 0usize;
+            for (src, buf) in recvs.iter().enumerate() {
+                if src == me || self.a2a.from[src] {
+                    placed += place_pairs(layout, me, buf, out);
+                }
+            }
+            proc.charge_ops(2 * placed);
+        })
+    }
+
+    /// [`PackPlan::decode_segments`] over owned receive buffers — the
+    /// crash-recovery path (identical `E_a + 2·Gr_i` charge).
+    fn decode_segments_owned<T: Wire + Default>(
+        &self,
+        proc: &mut Proc,
+        layout: &DimLayout,
+        recvs: &[CmsMessage<T>],
+        out: &mut Vec<T>,
+    ) {
+        proc.with_category(Category::LocalComp, |proc| {
+            let me = proc.id();
+            out.clear();
+            out.resize(layout.local_len(me), T::default());
+            let mut ops = 0usize;
+            for (src, msg) in recvs.iter().enumerate() {
+                if src == me || self.a2a.from[src] {
+                    ops += compact_message::place_segments(layout, me, msg, out);
+                }
+            }
+            proc.charge_ops(ops);
         })
     }
 
@@ -540,6 +666,10 @@ impl UnpackPlan {
                 got: v_local.len(),
             });
         }
+        // Pooled buffers are unavailable under crash recovery (replayed
+        // packets must keep sharing their original payloads); the owned
+        // path charges identically. See `PackPlan::execute_into`.
+        let recovery = proc.recovery_enabled();
         proc.with_stage("unpack.execute", |proc| {
             // Field copy: local computation for every unselected element
             // (the selected ones are overwritten below).
@@ -549,6 +679,10 @@ impl UnpackPlan {
                 out.extend_from_slice(f_local);
             });
             if self.size == 0 {
+                return;
+            }
+            if recovery {
+                self.exchange_owned(proc, v_local, out);
                 return;
             }
             // Serve: fetch each precomputed local index into a pooled reply
@@ -607,6 +741,41 @@ impl UnpackPlan {
             proc.restore_pkt_scratch(recvs);
         });
         Ok(())
+    }
+
+    /// The serve → reply → scatter loop over owned buffers — the
+    /// crash-recovery path of [`UnpackPlan::execute_into`]. Charges, spans,
+    /// and wire words match the pooled loop exactly.
+    fn exchange_owned<T: Wire + Default>(&self, proc: &mut Proc, v_local: &[T], out: &mut [T]) {
+        let sends = proc.with_category(Category::LocalComp, |proc| {
+            let mut ops = 0usize;
+            let mut sends: Vec<Vec<T>> = vec![Vec::new(); proc.nprocs()];
+            for (requester, idx) in self.serve_idx.iter().enumerate() {
+                if idx.is_empty() {
+                    continue;
+                }
+                sends[requester] = idx.iter().map(|&i| v_local[i as usize]).collect();
+                ops += idx.len();
+            }
+            proc.charge_ops(ops);
+            sends
+        });
+        let recvs = proc.with_stage("unpack.reply", |proc| {
+            proc.with_category(Category::ManyToMany, |proc| {
+                let world = proc.world();
+                alltoallv_planned(proc, &world, sends, &self.reply_a2a, self.schedule)
+            })
+        });
+        proc.with_category(Category::LocalComp, |proc| {
+            let me = proc.id();
+            let mut ops = 0usize;
+            for (owner, buf) in recvs.iter().enumerate() {
+                if owner == me || self.reply_a2a.from[owner] {
+                    ops += scatter_reply(&self.targets[owner], buf, out);
+                }
+            }
+            proc.charge_ops(ops);
+        });
     }
 }
 

@@ -36,6 +36,19 @@ pub struct CostModel {
     pub cn_tau_ns: f64,
     /// Control-network per-element scan time, in nanoseconds.
     pub cn_mu_ns: f64,
+    /// Crash recovery: fixed cost of restoring a checkpoint on a respawned
+    /// processor, in nanoseconds. These three `recovery_*` terms price the
+    /// recovery protocol (see [`crate::recovery`]) for the
+    /// `recovery.replay_ms` metric and [`crate::RunOutput::recovery`] — they
+    /// are *never* added to the simulated clock, so a recovered run stays
+    /// bit-identical to the fault-free one.
+    pub recovery_restore_ns: f64,
+    /// Crash recovery: per-replayed-frame re-injection cost (a τ-like
+    /// start-up term), in nanoseconds.
+    pub recovery_replay_tau_ns: f64,
+    /// Crash recovery: per-replayed-word re-injection cost (a μ-like
+    /// transfer term), in nanoseconds per 4-byte word.
+    pub recovery_replay_mu_ns: f64,
 }
 
 impl CostModel {
@@ -54,6 +67,12 @@ impl CostModel {
             mu_ns: 500.0,
             cn_tau_ns: 4_000.0,
             cn_mu_ns: 1_000.0,
+            // Recovery terms: a checkpoint restore costs about one τ-scale
+            // round trip of bookkeeping; replaying a logged frame is a local
+            // re-injection (no wire), priced like a control-network op.
+            recovery_restore_ns: 500_000.0,
+            recovery_replay_tau_ns: 4_000.0,
+            recovery_replay_mu_ns: 1_000.0,
         }
     }
 
@@ -66,6 +85,9 @@ impl CostModel {
             mu_ns: 0.0,
             cn_tau_ns: 0.0,
             cn_mu_ns: 0.0,
+            recovery_restore_ns: 0.0,
+            recovery_replay_tau_ns: 0.0,
+            recovery_replay_mu_ns: 0.0,
         }
     }
 

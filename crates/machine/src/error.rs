@@ -26,12 +26,13 @@ pub enum MachineError {
         /// The panic payload rendered as text.
         msg: String,
     },
-    /// A fault plan crashed this processor at a scheduled send step
-    /// (see [`crate::fault::FaultPlan::with_crash`]).
+    /// A fault plan crashed this processor at a scheduled send or receive
+    /// step (see [`crate::fault::FaultPlan::with_crash`] and
+    /// [`crate::fault::FaultPlan::with_crash_at_recv`]).
     ProcCrashed {
         /// The crashed processor.
         proc: usize,
-        /// The 1-based send count at which the crash fired.
+        /// The 1-based send or receive count at which the crash fired.
         step: u64,
     },
     /// A receive posted by `proc` saw nothing matching from `src` within the
@@ -111,10 +112,7 @@ impl fmt::Display for MachineError {
                 write!(f, "proc {proc} panicked: {msg}")
             }
             MachineError::ProcCrashed { proc, step } => {
-                write!(
-                    f,
-                    "proc {proc} crashed (fault-injected) at send step {step}"
-                )
+                write!(f, "proc {proc} crashed (fault-injected) at step {step}")
             }
             MachineError::RecvTimeout {
                 proc,

@@ -87,6 +87,8 @@ pub struct FaultPlan {
     overrides: Vec<((usize, usize), LinkFaults)>,
     /// Crash `proc` when its (1-based) send counter reaches `step`.
     crash: Option<(usize, u64)>,
+    /// Crash `proc` when its (1-based) receive counter reaches `step`.
+    crash_at_recv: Option<(usize, u64)>,
 }
 
 impl FaultPlan {
@@ -98,6 +100,7 @@ impl FaultPlan {
             everywhere: LinkFaults::default(),
             overrides: Vec::new(),
             crash: None,
+            crash_at_recv: None,
         }
     }
 
@@ -146,9 +149,23 @@ impl FaultPlan {
         self
     }
 
+    /// Crash processor `proc` when its receive counter reaches `step`
+    /// (1-based: `step = 1` crashes on the first posted receive). Covers
+    /// processors that only consume — a send-step crash can never fire on
+    /// them.
+    pub fn with_crash_at_recv(mut self, proc: usize, step: u64) -> Self {
+        self.crash_at_recv = Some((proc, step));
+        self
+    }
+
     /// The configured crash, if any, as `(proc, send_step)`.
     pub fn crash(&self) -> Option<(usize, u64)> {
         self.crash
+    }
+
+    /// The configured receive-side crash, if any, as `(proc, recv_step)`.
+    pub fn crash_at_recv(&self) -> Option<(usize, u64)> {
+        self.crash_at_recv
     }
 
     /// Faults configured for the link `src → dst`.
@@ -163,6 +180,7 @@ impl FaultPlan {
     /// True iff no link can ever inject a fault and no crash is scheduled.
     pub fn is_benign(&self) -> bool {
         self.crash.is_none()
+            && self.crash_at_recv.is_none()
             && self.everywhere.is_benign()
             && self.overrides.iter().all(|(_, f)| f.is_benign())
     }
@@ -289,5 +307,10 @@ mod tests {
         assert!(!plan.is_benign());
         assert!(FaultPlan::new(0).is_benign());
         assert!(!FaultPlan::new(0).with_crash(1, 10).is_benign());
+        assert!(!FaultPlan::new(0).with_crash_at_recv(1, 3).is_benign());
+        assert_eq!(
+            FaultPlan::new(0).with_crash_at_recv(1, 3).crash_at_recv(),
+            Some((1, 3))
+        );
     }
 }

@@ -48,6 +48,7 @@ mod message;
 pub mod obs;
 pub mod pool;
 mod proc;
+pub mod recovery;
 mod reliable;
 mod report;
 mod topology;
@@ -61,5 +62,6 @@ pub use message::{Mailbox, Packet, Payload, Wire};
 pub use obs::{Event, EventKind, MetricsSnapshot, ObsConfig};
 pub use pool::{fresh_pool_key, BufferPool, PoolSlot, Reusable};
 pub use proc::{tags, Group, Proc};
+pub use recovery::{Checkpoint, RecoveryStats};
 pub use report::{Breakdown, RunOutput};
 pub use topology::ProcGrid;

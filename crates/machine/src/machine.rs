@@ -17,15 +17,22 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::chan::frame_channel;
+use crate::chan::{frame_channel, FrameReceiver};
 
 use crate::cost::{CostModel, SimClock};
 use crate::error::MachineError;
 use crate::fault::FaultPlan;
 use crate::message::Frame;
 use crate::proc::Proc;
+use crate::recovery::{RecoveryState, ResumeCtx};
 use crate::report::RunOutput;
 use crate::topology::ProcGrid;
+
+/// Respawns of one processor before the recovery driver gives up. The crash
+/// schedule is disarmed on a respawned processor, so a second respawn of the
+/// same processor indicates a recovery bug rather than a second fault; the
+/// limit is a backstop against looping, not a tunable.
+const MAX_RESPAWNS: u32 = 4;
 
 /// A simulated coarse-grained distributed memory parallel machine: a logical
 /// processor grid plus the two-level cost model its clocks charge against.
@@ -170,6 +177,203 @@ impl Machine {
             let mut failures = failures;
             failures.swap_remove(idx).1 .0
         })
+    }
+
+    /// Like [`Machine::try_run`], but fault-injected processor crashes are
+    /// *survived*: the run is divided into epochs by the program's
+    /// [`Proc::epoch`] calls, every epoch boundary checkpoints each
+    /// processor's recoverable state, and peers keep an `Arc`-backed replay
+    /// log of the frames they sent since the receiver's last boundary (see
+    /// [`crate::recovery`]). When a processor crashes, the driver respawns
+    /// its thread from the last checkpoint, replays the logged frames, and
+    /// resumes — the recovered run's results *and* simulated clocks are
+    /// bit-identical to a fault-free run of the same program.
+    ///
+    /// Requirements on `program`: all communication must happen inside
+    /// [`Proc::epoch`] bodies (or the program must call `epoch` not at all,
+    /// in which case recovery restarts the crashed processor from scratch
+    /// and replays everything), and epoch structure must be identical across
+    /// processors — each `epoch` ends in a machine-wide barrier.
+    ///
+    /// Failures other than a scheduled crash (timeouts, panics, unreachable
+    /// peers) are not recoverable and come back as `Err`, as in
+    /// [`Machine::try_run`]. [`RunOutput::recovery`] carries the recovery
+    /// accounting ([`crate::RecoveryStats`]); the modelled recovery cost is
+    /// reported there and in the `recovery.*` metrics, never added to the
+    /// simulated clocks.
+    pub fn run_recoverable<R, F>(&self, program: F) -> Result<RunOutput<R>, MachineError>
+    where
+        R: Send,
+        F: Fn(&mut Proc) -> R + Sync,
+    {
+        install_quiet_machine_error_hook();
+        let p = self.nprocs();
+        let rec = Arc::new(RecoveryState::new(p));
+        let mut txs = Vec::with_capacity(p);
+        let mut rxs = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = frame_channel();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+
+        type ProcOk<R> = (
+            R,
+            crate::cost::ClockReport,
+            Vec<crate::trace::Span>,
+            Vec<u64>,
+            Vec<crate::obs::Event>,
+            crate::obs::MetricsSnapshot,
+        );
+        let mut out: Vec<Option<Result<ProcOk<R>, Failure>>> = (0..p).map(|_| None).collect();
+        let mut failures: Vec<(usize, Failure)> = Vec::new();
+
+        std::thread::scope(|scope| {
+            // Unlike `run_inner`, workers report through a channel instead
+            // of in-order joins (the driver must react to a crash while the
+            // other workers are still parked in receives), and they never
+            // poison peers themselves — whether a failure is fatal is the
+            // driver's call.
+            let (done_tx, done_rx) =
+                std::sync::mpsc::channel::<(usize, Result<ProcOk<R>, Failure>, FrameReceiver)>();
+            let spawn_worker = |id: usize, rx: FrameReceiver, resume: Option<ResumeCtx>| {
+                let txs = &txs;
+                let grid = &self.grid;
+                let cost = self.cost;
+                let program = &program;
+                let timeout = self.recv_timeout;
+                let tracing = self.tracing;
+                let obs = crate::obs::ObsConfig {
+                    events: self.tracing,
+                    metrics: self.metrics,
+                };
+                let plan = self.faults.clone();
+                let rec = Arc::clone(&rec);
+                let done = done_tx.clone();
+                scope.spawn(move || {
+                    let mut clock = SimClock::new(cost);
+                    if tracing {
+                        clock.enable_trace();
+                    }
+                    let mut proc = Proc::new(id, grid, clock, txs, rx, timeout, plan, obs);
+                    proc.attach_recovery(rec, resume);
+                    let (ac0, ab0) = crate::alloc_counter::thread_totals();
+                    let result = catch_unwind(AssertUnwindSafe(|| program(&mut proc)));
+                    let (ac1, ab1) = crate::alloc_counter::thread_totals();
+                    proc.note_alloc_totals(ac1 - ac0, ab1 - ab0);
+                    let outcome: Result<R, Failure> = match result {
+                        Ok(r) => match proc.finish_transport() {
+                            Ok(()) => {
+                                let leftover = proc.leftover_messages();
+                                if leftover > 0 {
+                                    Err((
+                                        MachineError::LeftoverMessages {
+                                            proc: id,
+                                            count: leftover,
+                                        },
+                                        None,
+                                    ))
+                                } else {
+                                    Ok(r)
+                                }
+                            }
+                            Err(e) => Err((e, None)),
+                        },
+                        Err(payload) => match payload.downcast::<MachineError>() {
+                            Ok(e) => Err((*e, None)),
+                            Err(payload) => {
+                                let msg = panic_message(payload.as_ref());
+                                Err((MachineError::ProcPanicked { proc: id, msg }, Some(payload)))
+                            }
+                        },
+                    };
+                    let (mut clock, comm_row, rx, events, metrics) = proc.into_parts();
+                    let trace = clock.take_trace();
+                    let _ = done.send((
+                        id,
+                        outcome.map(|r| (r, clock.report(), trace, comm_row, events, metrics)),
+                        rx,
+                    ));
+                });
+            };
+            for (id, rx) in rxs.into_iter().enumerate() {
+                spawn_worker(id, rx, None);
+            }
+
+            let mut respawns = vec![0u32; p];
+            let mut poisoned = false;
+            let mut parked_rxs = Vec::with_capacity(p);
+            let mut pending = p;
+            while pending > 0 {
+                let (id, outcome, rx) = done_rx.recv().expect("workers outlive the driver loop");
+                match outcome {
+                    Err((MachineError::ProcCrashed { proc, step }, _))
+                        if !poisoned && respawns[proc] < MAX_RESPAWNS =>
+                    {
+                        respawns[proc] += 1;
+                        let resume = ResumeCtx {
+                            snapshot: rec.take_snapshot(proc),
+                            replay: rec.clone_log(proc),
+                        };
+                        debug_assert_eq!(proc, id, "a crash fails the crashing processor");
+                        let _ = step;
+                        // The victim's channel endpoint survives the crash:
+                        // frames peers sent meanwhile are still queued in it.
+                        spawn_worker(id, rx, Some(resume));
+                    }
+                    Err(failure) => {
+                        if !poisoned {
+                            // First fatal failure: abort the survivors.
+                            poisoned = true;
+                            for (pid, tx) in txs.iter().enumerate() {
+                                if pid != id {
+                                    tx.send(Frame::Poison(failure.0.clone()));
+                                }
+                            }
+                        }
+                        failures.push((id, failure));
+                        parked_rxs.push(rx);
+                        pending -= 1;
+                    }
+                    Ok(ok) => {
+                        out[id] = Some(Ok(ok));
+                        parked_rxs.push(rx);
+                        pending -= 1;
+                    }
+                }
+            }
+        });
+
+        if !failures.is_empty() {
+            let idx = pick_primary(&failures);
+            return Err(failures.swap_remove(idx).1 .0);
+        }
+        let mut results = Vec::with_capacity(p);
+        let mut clocks = Vec::with_capacity(p);
+        let mut traces = Vec::with_capacity(p);
+        let mut comm = Vec::with_capacity(p);
+        let mut events = Vec::with_capacity(p);
+        let mut metrics = Vec::with_capacity(p);
+        for slot in out {
+            match slot.expect("every processor completed") {
+                Ok((r, c, trace, comm_row, evs, snap)) => {
+                    results.push(r);
+                    clocks.push(c);
+                    traces.push(trace);
+                    comm.push(comm_row);
+                    events.push(evs);
+                    metrics.push(snap);
+                }
+                Err(_) => unreachable!("failures were returned above"),
+            }
+        }
+        let mut run = RunOutput::new(results, clocks);
+        run.traces = traces;
+        run.comm_matrix = comm;
+        run.events = events;
+        run.metrics = metrics;
+        run.recovery = Some(rec.stats());
+        Ok(run)
     }
 
     /// Shared driver. On failure returns every failing processor's error

@@ -129,6 +129,21 @@ pub struct Packet {
     pub data: Arc<dyn Any + Send + Sync>,
 }
 
+/// Cloning a packet bumps the payload refcount — the property the crash
+/// recovery replay log (see [`crate::recovery`]) relies on to retain frames
+/// for one epoch at a refcount bump per frame.
+impl Clone for Packet {
+    fn clone(&self) -> Self {
+        Packet {
+            src: self.src,
+            tag: self.tag,
+            arrival_ns: self.arrival_ns,
+            words: self.words,
+            data: Arc::clone(&self.data),
+        }
+    }
+}
+
 /// What actually travels on a processor's channel: either a data packet
 /// (raw on the fault-free fast path, sequence-numbered under a
 /// [`crate::fault::FaultPlan`]) or control traffic. Control frames model the
@@ -166,8 +181,9 @@ const LANE_CAPACITY: usize = 16;
 /// Per-processor mailbox buffering packets that arrived before the matching
 /// `recv` was posted. Held packets are indexed by `(src, tag)` so matching
 /// is O(1) regardless of how many unrelated packets are queued; each lane
-/// is FIFO, preserving per-source channel order.
-#[derive(Default)]
+/// is FIFO, preserving per-source channel order. Cloning (epoch
+/// checkpointing) copies the index but shares every payload by refcount.
+#[derive(Default, Clone)]
 pub struct Mailbox {
     lanes: HashMap<(usize, u64), VecDeque<Packet>>,
     held: usize,
@@ -289,5 +305,49 @@ mod tests {
         let p2 = m.take(100, 1000).unwrap();
         assert!(p1.arrival_ns < p2.arrival_ns);
         assert_eq!(m.len(), 9_998);
+    }
+
+    proptest::proptest! {
+        /// Epoch checkpointing snapshots the mailbox by `Clone`: over an
+        /// arbitrary hold/take history, the clone must drain exactly like
+        /// the original — same packets, same per-lane FIFO order — while
+        /// sharing every payload by refcount.
+        #[test]
+        fn mailbox_clone_drains_identically(
+            ops in proptest::collection::vec(
+                (0usize..4, 0u64..3, proptest::arbitrary::any::<bool>()), 0..60),
+        ) {
+            let mut m = Mailbox::new();
+            let mut n = 0u32;
+            for (i, &(src, tag, take)) in ops.iter().enumerate() {
+                if take {
+                    m.take(src, tag);
+                } else {
+                    n += 1;
+                    m.hold(pkt(src, tag, i as f64));
+                }
+            }
+            let mut snap = m.clone();
+            proptest::prop_assert_eq!(snap.len(), m.len());
+            // Drain both in an identical order and compare every packet.
+            for &(src, tag, _) in &ops {
+                for _ in 0..n {
+                    match (m.take(src, tag), snap.take(src, tag)) {
+                        (None, None) => break,
+                        (Some(a), Some(b)) => {
+                            proptest::prop_assert_eq!(a.src, b.src);
+                            proptest::prop_assert_eq!(a.tag, b.tag);
+                            proptest::prop_assert_eq!(a.arrival_ns, b.arrival_ns);
+                            proptest::prop_assert!(Arc::ptr_eq(&a.data, &b.data),
+                                "clone must share payloads, not copy them");
+                        }
+                        (a, b) => proptest::prop_assert!(
+                            false, "drains diverged: {:?} vs {:?}",
+                            a.map(|p| (p.src, p.tag)), b.map(|p| (p.src, p.tag))),
+                    }
+                }
+            }
+            proptest::prop_assert!(m.is_empty() == snap.is_empty());
+        }
     }
 }

@@ -204,6 +204,13 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Overwrite the value — only for checkpoint restore, where the
+    /// counter must return to exactly its boundary value even if the
+    /// respawned processor already re-incremented it.
+    pub(crate) fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
 }
 
 /// A gauge: remembers the last value set and the maximum ever set.
@@ -227,6 +234,13 @@ impl Gauge {
             self.last.load(Ordering::Relaxed),
             self.max.load(Ordering::Relaxed),
         )
+    }
+
+    /// Overwrite both fields — only for checkpoint restore (a `set` could
+    /// not lower `max` back to its boundary value).
+    pub(crate) fn restore(&self, last: u64, max: u64) {
+        self.last.store(last, Ordering::Relaxed);
+        self.max.store(max, Ordering::Relaxed);
     }
 }
 
@@ -275,6 +289,23 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Reload a snapshot into this histogram — the inverse of
+    /// [`Histogram::snapshot`], used when a crashed processor's registry is
+    /// rebuilt from its epoch checkpoint. A true overwrite: buckets absent
+    /// from the snapshot are zeroed, so samples observed by a respawned
+    /// processor's pre-restore re-execution don't survive.
+    pub(crate) fn restore(&self, s: &HistSnapshot) {
+        self.count.store(s.count, Ordering::Relaxed);
+        self.sum.store(s.sum, Ordering::Relaxed);
+        self.max.store(s.max, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        for &(b, n) in &s.buckets {
+            self.buckets[b as usize].store(n, Ordering::Relaxed);
+        }
     }
 
     /// Freeze into a snapshot.
@@ -402,6 +433,33 @@ impl Registry {
         let h = Arc::new(Histogram::default());
         map.insert(name.to_string(), Arc::clone(&h));
         h
+    }
+
+    /// Reload a snapshot into this registry — the inverse of
+    /// [`Registry::snapshot`], used when a crashed processor is respawned
+    /// from its epoch checkpoint so its metrics resume from the boundary
+    /// values instead of zero. A true overwrite: every already-registered
+    /// metric is zeroed first, because a respawned processor re-executes
+    /// (and re-counts) work preceding its restore point.
+    pub(crate) fn restore(&self, s: &MetricsSnapshot) {
+        for c in self.counters.lock().expect("registry poisoned").values() {
+            c.set(0);
+        }
+        for g in self.gauges.lock().expect("registry poisoned").values() {
+            g.restore(0, 0);
+        }
+        for h in self.histograms.lock().expect("registry poisoned").values() {
+            h.restore(&HistSnapshot::default());
+        }
+        for (k, v) in &s.counters {
+            self.counter(k).set(*v);
+        }
+        for (k, v) in &s.gauges {
+            self.gauge(k).restore(v.last, v.max);
+        }
+        for (k, h) in &s.histograms {
+            self.histogram(k).restore(h);
+        }
     }
 
     /// Freeze every registered metric into a snapshot.

@@ -23,6 +23,7 @@ use crate::obs::{
     TransportEvent,
 };
 use crate::pool::{BufferPool, PoolSlot, Reusable};
+use crate::recovery::{Checkpoint, EpochSnapshot, RecoveryState, ResumeCtx};
 use crate::reliable::{Transport, POLL_SLICE};
 use crate::topology::ProcGrid;
 
@@ -149,6 +150,17 @@ pub struct Proc<'m> {
     /// Scratch space for pooled exchanges' received packets, pre-reserved
     /// so the steady-state execute loop never grows it.
     pkt_scratch: Vec<Packet>,
+    /// Shared crash-recovery state; present iff the machine is running
+    /// under [`crate::Machine::run_recoverable`].
+    recovery: Option<Arc<RecoveryState>>,
+    /// Pending resume context on a respawned processor; consumed by the
+    /// first [`Proc::epoch`] call at the resume epoch.
+    resume: Option<ResumeCtx>,
+    /// Index of the next epoch this processor will enter.
+    epoch_idx: usize,
+    /// False on a respawned processor: the crash schedule already fired once
+    /// and must not fire again during re-execution.
+    crash_armed: bool,
 }
 
 impl<'m> Proc<'m> {
@@ -184,7 +196,39 @@ impl<'m> Proc<'m> {
             metrics: obs.metrics.then(ProcMetrics::new),
             pool: BufferPool::default(),
             pkt_scratch: Vec::with_capacity(nprocs),
+            recovery: None,
+            resume: None,
+            epoch_idx: 0,
+            crash_armed: true,
         }
+    }
+
+    /// Attach shared crash-recovery state (and, on a respawned processor,
+    /// the resume context). Called by the driver before the program closure
+    /// runs. A respawned processor disarms the crash schedule — it already
+    /// fired — and, when no epoch had completed before the crash, performs
+    /// its replay immediately: the program restarts from scratch, peers
+    /// dedup its re-sent frames by sequence number, and the (never
+    /// truncated) replay log re-supplies everything peers had sent it.
+    pub(crate) fn attach_recovery(&mut self, state: Arc<RecoveryState>, resume: Option<ResumeCtx>) {
+        self.recovery = Some(state);
+        if let Some(r) = resume {
+            self.crash_armed = false;
+            if r.snapshot.is_none() {
+                let rec = Arc::clone(self.recovery.as_ref().expect("just attached"));
+                self.inject_replay(r.replay, &rec);
+            } else {
+                self.resume = Some(r);
+            }
+        }
+    }
+
+    /// True iff this processor runs under [`crate::Machine::run_recoverable`].
+    /// Planned executes use this to fall back from pooled (in-place mutated)
+    /// send buffers to owned ones that a replayed packet can safely share.
+    #[inline]
+    pub fn recovery_enabled(&self) -> bool {
+        self.recovery.is_some()
     }
 
     /// Global processor id, `0 ≤ id < P`.
@@ -372,9 +416,11 @@ impl<'m> Proc<'m> {
     pub fn send<P: Payload>(&mut self, dst: usize, tag: u64, data: P) {
         if let Some(t) = self.transport.as_mut() {
             t.send_steps += 1;
-            if let Some((proc, step)) = t.plan().crash() {
-                if proc == self.id && t.send_steps == step {
-                    panic_any(MachineError::ProcCrashed { proc, step });
+            if self.crash_armed {
+                if let Some((proc, step)) = t.plan().crash() {
+                    if proc == self.id && t.send_steps == step {
+                        panic_any(MachineError::ProcCrashed { proc, step });
+                    }
                 }
             }
         }
@@ -412,7 +458,33 @@ impl<'m> Proc<'m> {
                 self.senders[dst].send(Frame::Raw(pkt));
                 None
             }
-            Some(t) => Some(t.send(self.id, self.senders, dst, tag, arrival_ns, words, data)),
+            Some(t) => {
+                // Log *before* transmitting, under the sequence number the
+                // send will assign: once the frame is on the wire the
+                // receiver may consume it and crash at any moment, and the
+                // recovery driver's log clone must already hold everything
+                // the victim consumed. The logged arrival is the *delayed*
+                // one — the replayed packet must be bit-identical to the one
+                // the transport puts on the wire (the delay is keyed by
+                // sequence number alone).
+                if let Some(rec) = self.recovery.as_ref() {
+                    let s = t.next_seq_for(dst);
+                    let arrival = arrival_ns + t.plan().delay_ns(self.id, dst, s);
+                    rec.log_frame(
+                        dst,
+                        s,
+                        Packet {
+                            src: self.id,
+                            tag,
+                            arrival_ns: arrival,
+                            words,
+                            data: Arc::clone(&data),
+                        },
+                    );
+                }
+                let s = t.send(self.id, self.senders, dst, tag, arrival_ns, words, data);
+                Some(s)
+            }
         };
         if words > 0 {
             if self.events.is_some() {
@@ -465,6 +537,7 @@ impl<'m> Proc<'m> {
     /// panicking. Payload type mismatch still panics — that is a program
     /// bug, not a machine failure.
     pub fn try_recv<P: Payload>(&mut self, src: usize, tag: u64) -> Result<P, MachineError> {
+        self.note_recv_step();
         let pkt = self.try_recv_packet(src, tag)?;
         self.observe_consume(&pkt);
         Ok(self.extract::<P>(pkt, src, tag))
@@ -500,8 +573,26 @@ impl<'m> Proc<'m> {
         }
     }
 
+    /// Count one program-level receive and fire the fault plan's recv-side
+    /// crash schedule when armed. Uncharged control receives (clock sync)
+    /// and the transport's internal pumping never reach this counter, so
+    /// epoch boundaries are crash-free by construction.
+    fn note_recv_step(&mut self) {
+        if let Some(t) = self.transport.as_mut() {
+            t.recv_steps += 1;
+            if self.crash_armed {
+                if let Some((proc, step)) = t.plan().crash_at_recv() {
+                    if proc == self.id && t.recv_steps == step {
+                        panic_any(MachineError::ProcCrashed { proc, step });
+                    }
+                }
+            }
+        }
+    }
+
     /// Receive and return the packet's charged word count alongside the data.
     pub fn recv_with_words<P: Payload>(&mut self, src: usize, tag: u64) -> (P, usize) {
+        self.note_recv_step();
         let pkt = match self.try_recv_packet(src, tag) {
             Ok(p) => p,
             Err(e) => panic_any(e),
@@ -696,7 +787,34 @@ impl<'m> Proc<'m> {
 
     /// Send without touching the clock (simulator-internal control traffic,
     /// carried by the modelled control network: never fault-injected).
+    ///
+    /// Under crash recovery, remote control frames are sequenced through
+    /// the reliable transport like everything else — an unsequenced frame
+    /// consumed just before a crash could not be deduplicated against its
+    /// replayed copy. Zero charged words and a `-∞` arrival keep them
+    /// invisible to the cost model, events, and metrics either way.
     fn send_uncharged<P: Payload>(&mut self, dst: usize, tag: u64, data: P) {
+        if dst != self.id {
+            if let (Some(rec), Some(t)) = (self.recovery.as_ref(), self.transport.as_mut()) {
+                let data: Arc<dyn Any + Send + Sync> = Arc::new(data);
+                // Log before transmitting (see `Proc::send`): the receiver
+                // may consume the frame and crash before a post-send log
+                // append would land, and the replay clone must not miss it.
+                rec.log_frame(
+                    dst,
+                    t.next_seq_for(dst),
+                    Packet {
+                        src: self.id,
+                        tag,
+                        arrival_ns: f64::NEG_INFINITY,
+                        words: 0,
+                        data: Arc::clone(&data),
+                    },
+                );
+                t.send(self.id, self.senders, dst, tag, f64::NEG_INFINITY, 0, data);
+                return;
+            }
+        }
         let words = data.wire_words();
         let pkt = Packet {
             src: self.id,
@@ -719,6 +837,162 @@ impl<'m> Proc<'m> {
             Err(e) => panic_any(e),
         };
         self.extract::<P>(pkt, src, tag)
+    }
+
+    /// Run `body` as one **epoch** — the unit of crash recovery (see
+    /// [`crate::recovery`]). The epoch ends with a machine-wide barrier
+    /// (transport flush + uncharged clock sync, identical whether or not
+    /// recovery is attached), after which the processor's recoverable state
+    /// — clock, mailbox, transport counters, pool rotation, metrics, and
+    /// `state` via [`Checkpoint`] — is snapshotted under
+    /// [`crate::Machine::run_recoverable`].
+    ///
+    /// On a respawned processor, epochs that completed before the crash are
+    /// skipped (their effects live in the restored snapshot), the resume
+    /// epoch first restores that snapshot and replays logged peer frames,
+    /// and re-execution continues bit-identically.
+    ///
+    /// Under `run_recoverable`, *all* communication must happen inside
+    /// epoch bodies: traffic between epochs is covered by neither the
+    /// snapshot nor the replay log, and a respawned processor would hang
+    /// waiting for it.
+    pub fn epoch<S: Checkpoint>(&mut self, state: &mut S, body: impl FnOnce(&mut Self, &mut S)) {
+        let idx = self.epoch_idx;
+        self.epoch_idx += 1;
+        if let Some(r) = self.resume.as_ref() {
+            let at = r.resume_epoch();
+            if idx < at {
+                // Completed before the crash; its effects are in the
+                // snapshot restored at the resume epoch.
+                return;
+            }
+            let ctx = self.resume.take().expect("resume context present");
+            self.prepare_resume(ctx, state);
+        }
+        body(self, state);
+        self.epoch_boundary(idx, state);
+    }
+
+    /// The barrier + snapshot protocol ending every epoch. The flush before
+    /// the sync guarantees every peer has acked this processor's sends; the
+    /// barrier then implies *all* processors have flushed, so the transport's
+    /// `expected` counters are final for the epoch and the replay log can be
+    /// truncated to frames at or above them. The second flush covers the
+    /// sync frames themselves, which travel sequenced under recovery.
+    fn epoch_boundary<S: Checkpoint>(&mut self, idx: usize, state: &S) {
+        if let Err(e) = self.finish_transport() {
+            panic_any(e);
+        }
+        let world = self.world();
+        self.clock_sync_max(&world);
+        if let Err(e) = self.finish_transport() {
+            panic_any(e);
+        }
+        let Some(rec) = self.recovery.clone() else {
+            return;
+        };
+        let expected = self.transport.as_ref().map(|t| t.expected_all().to_vec());
+        rec.truncate_log(self.id, expected.as_deref());
+        rec.publish(
+            self.id,
+            EpochSnapshot {
+                completed: idx,
+                clock: self.clock.clone(),
+                mailbox: self.mailbox.clone(),
+                transport: self.transport.as_ref().map(|t| t.snapshot()),
+                words_to: self.words_to.clone(),
+                events: self.events.clone().unwrap_or_default(),
+                metrics: self.metrics.as_ref().map(|m| m.registry.snapshot()),
+                pool: self.pool.snapshot(),
+                user: state.snapshot(),
+            },
+        );
+        if let Some(m) = self.metrics.as_ref() {
+            m.registry.counter("recovery.epochs").inc();
+        }
+    }
+
+    /// Respawn restoration: load the boundary snapshot into this processor,
+    /// then replay the logged peer frames. Runs at the top of the resume
+    /// epoch, after any (re-executed, about-to-be-overwritten) earlier work.
+    fn prepare_resume<S: Checkpoint>(&mut self, ctx: ResumeCtx, state: &mut S) {
+        let rec = Arc::clone(self.recovery.as_ref().expect("resume without recovery"));
+        let snap = ctx
+            .snapshot
+            .expect("snapshot-less resume handled at attach");
+        self.clock = snap.clock;
+        self.mailbox = snap.mailbox;
+        if let (Some(t), Some(ts)) = (self.transport.as_mut(), snap.transport.as_ref()) {
+            t.restore(ts);
+        }
+        self.words_to = snap.words_to;
+        if let Some(ev) = self.events.as_mut() {
+            *ev = snap.events;
+        }
+        if let (Some(m), Some(ms)) = (self.metrics.as_ref(), snap.metrics.as_ref()) {
+            m.registry.restore(ms);
+        }
+        self.pool.restore(&snap.pool);
+        state.restore(snap.user);
+        self.inject_replay(ctx.replay, &rec);
+    }
+
+    /// Re-inject logged peer frames through the normal sequenced dispatch
+    /// path: stale entries (already covered by the restored snapshot) are
+    /// skipped, ordering and deduplication apply as if the frames had just
+    /// arrived, and the acks posted by dispatch un-block peers parked in
+    /// their boundary flush. The modelled recovery cost (`recovery_*` terms
+    /// of the cost model) is recorded in metrics and stats only — never
+    /// added to the simulated clock, which must stay bit-identical to the
+    /// fault-free run.
+    fn inject_replay(&mut self, replay: Vec<(u64, Packet)>, rec: &Arc<RecoveryState>) {
+        let now = self.clock.now_ns();
+        self.record(
+            now,
+            EventKind::Marker {
+                name: "recovery.resume",
+            },
+        );
+        self.record(
+            now,
+            EventKind::SpanBegin {
+                name: "recovery.replay",
+            },
+        );
+        let mut frames = 0u64;
+        let mut words = 0u64;
+        for (seq, pkt) in replay {
+            let live = match self.transport.as_ref() {
+                Some(t) => seq >= t.expected_from(pkt.src),
+                None => true,
+            };
+            if !live {
+                continue;
+            }
+            frames += 1;
+            words += pkt.words as u64;
+            if let Err(e) = self.dispatch(Frame::Data { seq, pkt }) {
+                panic_any(e);
+            }
+        }
+        let m = self.clock.model();
+        let modelled_ns = m.recovery_restore_ns
+            + frames as f64 * m.recovery_replay_tau_ns
+            + words as f64 * m.recovery_replay_mu_ns;
+        rec.note_replay(frames, words, modelled_ns);
+        self.record(
+            now,
+            EventKind::SpanEnd {
+                name: "recovery.replay",
+            },
+        );
+        if let Some(mtr) = self.metrics.as_ref() {
+            mtr.registry.counter("recovery.replays").inc();
+            mtr.registry.counter("recovery.replayed_frames").add(frames);
+            mtr.registry
+                .counter("recovery.replay_ms")
+                .add((modelled_ns / 1e6).round() as u64);
+        }
     }
 
     /// After the program closure returns: keep pumping the transport until
@@ -807,6 +1081,7 @@ impl<'m> Proc<'m> {
     /// # Panics
     /// As [`Proc::recv`].
     pub fn recv_packet(&mut self, src: usize, tag: u64) -> Packet {
+        self.note_recv_step();
         let pkt = match self.try_recv_packet(src, tag) {
             Ok(p) => p,
             Err(e) => panic_any(e),
@@ -873,11 +1148,20 @@ impl<'m> Proc<'m> {
     /// hands, and the receiver returns it via [`PoolSlot::put_back`].
     pub fn send_pooled<B: Reusable>(&mut self, dst: usize, tag: u64, slot: &Arc<PoolSlot<B>>) {
         debug_assert_ne!(dst, self.id, "self slots are decoded in place, never sent");
+        assert!(
+            self.recovery.is_none(),
+            "pooled sends are unavailable under crash recovery: a replayed \
+             packet must keep sharing its original payload, which an in-place \
+             reused pool buffer would have overwritten (planned executes fall \
+             back to the owned-buffer path; see Proc::recovery_enabled)"
+        );
         if let Some(t) = self.transport.as_mut() {
             t.send_steps += 1;
-            if let Some((proc, step)) = t.plan().crash() {
-                if proc == self.id && t.send_steps == step {
-                    panic_any(MachineError::ProcCrashed { proc, step });
+            if self.crash_armed {
+                if let Some((proc, step)) = t.plan().crash() {
+                    if proc == self.id && t.send_steps == step {
+                        panic_any(MachineError::ProcCrashed { proc, step });
+                    }
                 }
             }
         }

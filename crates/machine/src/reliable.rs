@@ -91,6 +91,9 @@ pub(crate) struct Transport {
     holdback: Vec<Vec<HeldBack>>,
     /// `Proc::send` calls so far (drives the crash schedule).
     pub(crate) send_steps: u64,
+    /// `Proc::recv` family calls so far (drives the recv-side crash
+    /// schedule; uncharged control receives are excluded).
+    pub(crate) recv_steps: u64,
     /// Retransmissions performed (diagnostic; wall-clock dependent).
     pub(crate) retransmits: u64,
     /// Duplicate frames discarded by the receiver (diagnostic).
@@ -112,6 +115,7 @@ impl Transport {
             tx_count: vec![0; nprocs],
             holdback: (0..nprocs).map(|_| Vec::new()).collect(),
             send_steps: 0,
+            recv_steps: 0,
             retransmits: 0,
             dup_drops: 0,
             record: false,
@@ -325,6 +329,70 @@ impl Transport {
             .next()
             .map(|(&(dst, seq), st)| (dst, seq, st.attempts))
     }
+
+    /// Sequence number the next [`ReliableTransport::send`] to `dst` will
+    /// assign. Replay logging must append the frame under this number
+    /// *before* the send puts it on the wire: the receiver may consume the
+    /// frame and crash at any point after transmission, and the recovery
+    /// driver's log clone must already contain everything consumed.
+    pub(crate) fn next_seq_for(&self, dst: usize) -> u64 {
+        self.next_seq[dst]
+    }
+
+    /// Next expected sequence number from `src` (replay-log filtering).
+    pub(crate) fn expected_from(&self, src: usize) -> u64 {
+        self.expected[src]
+    }
+
+    /// Next expected sequence number per source (replay-log truncation).
+    pub(crate) fn expected_all(&self) -> &[u64] {
+        &self.expected
+    }
+
+    /// Capture the sequence-numbering state for an epoch checkpoint. Taken
+    /// after a boundary flush, so no unacked/reordered/held-back state needs
+    /// capturing: every own send is acked and every delivery consumed into
+    /// the mailbox (which is checkpointed separately).
+    pub(crate) fn snapshot(&self) -> TransportSnapshot {
+        TransportSnapshot {
+            next_seq: self.next_seq.clone(),
+            expected: self.expected.clone(),
+            tx_count: self.tx_count.clone(),
+            send_steps: self.send_steps,
+            recv_steps: self.recv_steps,
+        }
+    }
+
+    /// Reset to a checkpointed state on a respawned processor. In-flight
+    /// sender state is cleared: the re-execution re-sends (with the same
+    /// sequence numbers, so receivers dedup), and the replay log re-injects
+    /// whatever peers had sent.
+    pub(crate) fn restore(&mut self, s: &TransportSnapshot) {
+        self.next_seq = s.next_seq.clone();
+        self.expected = s.expected.clone();
+        self.tx_count = s.tx_count.clone();
+        self.send_steps = s.send_steps;
+        self.recv_steps = s.recv_steps;
+        self.unacked.clear();
+        for r in &mut self.reorder {
+            r.clear();
+        }
+        for h in &mut self.holdback {
+            h.clear();
+        }
+    }
+}
+
+/// The reliable transport's checkpointable state: sequence counters only —
+/// see [`Transport::snapshot`] for why the retransmit machinery needs no
+/// capture at an epoch boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TransportSnapshot {
+    next_seq: Vec<u64>,
+    expected: Vec<u64>,
+    tx_count: Vec<u64>,
+    send_steps: u64,
+    recv_steps: u64,
 }
 
 #[cfg(test)]
@@ -517,6 +585,57 @@ mod tests {
                 assert_eq!(attempts, MAX_ATTEMPTS);
             }
             other => panic!("expected Unreachable, got {other:?}"),
+        }
+    }
+
+    proptest::proptest! {
+        /// Epoch checkpointing captures exactly the transport's sequence
+        /// counters: over an arbitrary send/receive history, a fresh
+        /// transport restored from the snapshot must re-snapshot
+        /// identically and carry no in-flight state (the boundary flush
+        /// guarantees the original had none either), and restoring *over*
+        /// in-flight state must clear it.
+        #[test]
+        fn transport_snapshot_restore_roundtrip(
+            sends in proptest::collection::vec((0usize..3, 1usize..5), 0..30),
+            recvs in proptest::collection::vec((0usize..3, 1u64..4), 0..20),
+            steps in (0u64..50, 0u64..50),
+        ) {
+            let (txs, _rxs) = wires(3);
+            let mut t = Transport::new(Arc::new(FaultPlan::new(0)), 3);
+            for &(dst, words) in &sends {
+                t.send(0, &txs, dst, 7, 1e6, words, Arc::new(vec![1i32; words]));
+            }
+            for &(src, n) in &recvs {
+                for _ in 0..n {
+                    let seq = t.expected[src];
+                    let pkt = Packet {
+                        src,
+                        tag: 7,
+                        arrival_ns: 0.0,
+                        words: 1,
+                        data: Arc::new(Vec::<i32>::new()),
+                    };
+                    t.on_data(1, &txs, seq, pkt);
+                }
+            }
+            t.send_steps = steps.0;
+            t.recv_steps = steps.1;
+            let snap = t.snapshot();
+
+            let mut fresh = Transport::new(Arc::new(FaultPlan::new(0)), 3);
+            fresh.restore(&snap);
+            proptest::prop_assert_eq!(&fresh.snapshot(), &snap);
+            proptest::prop_assert!(fresh.unacked.is_empty());
+            proptest::prop_assert!(fresh.reorder.iter().all(|r| r.is_empty()));
+            proptest::prop_assert!(fresh.holdback.iter().all(|h| h.is_empty()));
+
+            // Restoring over live in-flight state clears it too: the
+            // respawned re-execution re-sends under the same sequence
+            // numbers and the replay log re-supplies incoming frames.
+            t.restore(&snap);
+            proptest::prop_assert!(t.unacked.is_empty());
+            proptest::prop_assert_eq!(&t.snapshot(), &snap);
         }
     }
 }

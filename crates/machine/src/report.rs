@@ -4,6 +4,7 @@
 
 use crate::cost::{Category, ClockReport};
 use crate::obs::{Event, MetricsSnapshot};
+use crate::recovery::RecoveryStats;
 
 /// Everything a [`crate::Machine::run`] call produced: per-processor results
 /// and per-processor clock reports, both indexed by processor id.
@@ -25,6 +26,10 @@ pub struct RunOutput<R> {
     /// Per-processor metric snapshots (empty unless the machine was built
     /// with [`crate::Machine::with_metrics`]).
     pub metrics: Vec<MetricsSnapshot>,
+    /// Crash-recovery accounting (`Some` iff the run came from
+    /// [`crate::Machine::run_recoverable`]; `replays == 0` when no crash
+    /// fired).
+    pub recovery: Option<RecoveryStats>,
 }
 
 impl<R> RunOutput<R> {
@@ -36,6 +41,7 @@ impl<R> RunOutput<R> {
             comm_matrix: Vec::new(),
             events: Vec::new(),
             metrics: Vec::new(),
+            recovery: None,
         }
     }
 
@@ -192,6 +198,7 @@ impl<R> RunOutput<R> {
             comm_matrix: self.comm_matrix.clone(),
             events: self.events.clone(),
             metrics: self.metrics.clone(),
+            recovery: self.recovery.clone(),
         }
     }
 }

@@ -266,3 +266,111 @@ fn disabled_observability_records_nothing() {
     );
     assert_eq!(a.total_words_sent(), b.total_words_sent());
 }
+
+/// A two-epoch ring program: checkpointable under `run_recoverable`, and a
+/// plain program (the boundary degrades to a barrier) under `run`.
+fn two_epoch_ring(p: &mut Proc) -> i32 {
+    let n = p.nprocs();
+    let next = (p.id() + 1) % n;
+    let prev = (p.id() + n - 1) % n;
+    let mut st = p.id() as i32;
+    for round in 0..2u64 {
+        p.epoch(&mut st, |p, st| {
+            p.send(next, tags::USER + round, vec![*st]);
+            let got: Vec<i32> = p.recv(prev, tags::USER + round);
+            *st = st.wrapping_add(got[0]);
+        });
+    }
+    st
+}
+
+/// Recovery telemetry is strictly opt-in: plain runs and fault-free
+/// recoverable runs must leave no replay counters, spans, or markers behind;
+/// only an actual crash-and-recover emits them.
+#[test]
+fn recovery_telemetry_appears_only_when_recovery_happens() {
+    let observed = || {
+        Machine::new(ProcGrid::line(4), CostModel::cm5())
+            .with_test_preset()
+            .with_tracing(true)
+            .with_metrics(true)
+    };
+    let assert_no_replay_residue = |out: &hpf_machine::RunOutput<i32>, what: &str| {
+        let merged = out.merged_metrics();
+        for c in [
+            "recovery.replays",
+            "recovery.replayed_frames",
+            "recovery.replay_ms",
+        ] {
+            assert_eq!(merged.counter(c), 0, "{what}: spurious {c}");
+        }
+        let json = out.chrome_trace_json();
+        assert!(
+            !json.contains("recovery.replay"),
+            "{what}: replay span in trace"
+        );
+        assert!(
+            !json.contains("recovery.resume"),
+            "{what}: resume marker in trace"
+        );
+    };
+
+    // Plain run of the same epoch-structured program: no recovery residue,
+    // not even epoch counters.
+    let plain = observed().run(two_epoch_ring);
+    assert!(
+        plain.recovery.is_none(),
+        "plain run must not report recovery stats"
+    );
+    assert_eq!(plain.merged_metrics().counter("recovery.epochs"), 0);
+    assert_no_replay_residue(&plain, "plain run");
+
+    // Fault-free recoverable run: epoch checkpoints are counted, but there
+    // are no replays and no replay spans.
+    let fault_free = observed()
+        .with_faults(FaultPlan::new(7))
+        .run_recoverable(two_epoch_ring)
+        .expect("fault-free recoverable run");
+    let rec = fault_free
+        .recovery
+        .as_ref()
+        .expect("recoverable run reports stats");
+    assert_eq!(rec.replays, 0, "fault-free run must not replay");
+    assert_eq!(
+        fault_free.merged_metrics().counter("recovery.epochs"),
+        2 * 4
+    );
+    assert_no_replay_residue(&fault_free, "fault-free recoverable run");
+
+    // A crashed run emits the replay counters, the replay span, and the
+    // resume marker — while results stay bit-identical to the clean run.
+    let crashed = observed()
+        .with_faults(FaultPlan::new(7).with_crash(1, 1))
+        .run_recoverable(two_epoch_ring)
+        .expect("crash must recover");
+    let rec = crashed
+        .recovery
+        .as_ref()
+        .expect("recoverable run reports stats");
+    assert_eq!(rec.replays, 1);
+    let merged = crashed.merged_metrics();
+    assert_eq!(merged.counter("recovery.replays"), 1);
+    // How many frames the replay re-injects is wall-clock dependent (it
+    // can be zero when the respawn wins the race against the peers'
+    // sends), so only the counter's consistency is asserted here.
+    assert_eq!(
+        merged.counter("recovery.replayed_frames"),
+        rec.replayed_frames
+    );
+    assert!(merged.counter("recovery.replay_ms") >= 1);
+    let json = crashed.chrome_trace_json();
+    assert!(
+        json.contains("recovery.replay"),
+        "crashed trace lacks replay span"
+    );
+    assert!(
+        json.contains("recovery.resume"),
+        "crashed trace lacks resume marker"
+    );
+    assert_eq!(crashed.results, fault_free.results);
+}

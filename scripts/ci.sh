@@ -22,6 +22,12 @@ cargo run -p hpf-bench --release --bin chaos -- --seed 1 --iters 5 --trace-out "
 echo "== chaos smoke with cached-plan execution =="
 cargo run -p hpf-bench --release --bin chaos -- --seed 2 --iters 3 --reuse-plans
 
+echo "== chaos smoke with crash-recovery drills =="
+cargo run -p hpf-bench --release --bin chaos -- --seed 3 --iters 6 --recover
+
+echo "== chaos smoke with crash recovery over cached plans =="
+cargo run -p hpf-bench --release --bin chaos -- --seed 4 --iters 4 --recover --reuse-plans
+
 echo "== trace export parses as Chrome trace_event JSON =="
 python3 - "$chaos_trace" <<'EOF'
 import json, sys

@@ -6,9 +6,11 @@ Stdlib-only: implements the subset of JSON Schema the schema file uses
 cross-field checks the schema cannot express: every paper scheme must
 appear (restricted to the filtered group when the report carries a
 `--filter`), per-stage times must sum to (approximately) the total, every
-recorded cost-model conformance verdict must pass, and every `exec_hot`
+recorded cost-model conformance verdict must pass, every `exec_hot`
 workload must report **zero** steady-state allocations per execute and
-zero deep-copied payload words.
+zero deep-copied payload words, and every `recovery` workload must have
+actually recovered its scheduled crash (replays >= 1, a live replay log,
+non-negative wall-clock overhead).
 
 Usage: validate_bench.py REPORT.json [SCHEMA.json]
 Exit code 0 on success, 1 with a diagnostic per violation otherwise.
@@ -92,6 +94,9 @@ def coverage_checks(report, errors):
         ("exec_hot", "exec_hot.pack.cms"),
         ("exec_hot", "exec_hot.unpack.sss"),
         ("exec_hot", "exec_hot.unpack.css"),
+        ("recovery", "recovery.pack.sss"),
+        ("recovery", "recovery.pack.cms"),
+        ("recovery", "recovery.unpack.sss"),
         ("apps", "apps.compaction"), ("apps", "apps.sort"),
         ("apps", "apps.spmv"), ("apps", "apps.gather"),
     ]
@@ -182,6 +187,36 @@ def coverage_checks(report, errors):
             wall = hot.get("wall_ns_per_exec")
             if not isinstance(wall, (int, float)) or wall <= 0:
                 errors.append(f"workload {name}: wall_ns_per_exec {wall} not positive")
+        rec = w.get("recovery")
+        if isinstance(rec, dict):
+            name = w.get("name")
+            # The crash-recovery gate: every recovery workload schedules a
+            # crash, so the run must actually have recovered (at least one
+            # replay), the peers must have been retaining frames for the
+            # victim (a live replay log), and the wall-clock overhead of
+            # recovering must be non-negative by construction.
+            if rec.get("recovered") is not True:
+                errors.append(f"workload {name}: crash was not recovered")
+            if not rec.get("replays", 0) >= 1:
+                errors.append(
+                    f"workload {name}: {rec.get('replays')} replays "
+                    "(the scheduled crash never fired)"
+                )
+            if not rec.get("replay_log_high_water_words", 0) > 0:
+                errors.append(
+                    f"workload {name}: replay log high-water is 0 — "
+                    "peers retained no frames for recovery"
+                )
+            overhead = rec.get("overhead_wall_ms")
+            if not isinstance(overhead, (int, float)) or overhead < 0:
+                errors.append(
+                    f"workload {name}: overhead_wall_ms {overhead} negative"
+                )
+        elif w.get("group") == "recovery":
+            errors.append(
+                f"workload {w.get('name')}: recovery group entry carries "
+                "no recovery report"
+            )
         reuse = w.get("reuse")
         if isinstance(reuse, dict):
             name = w.get("name")
