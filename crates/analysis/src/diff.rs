@@ -2,7 +2,8 @@
 //! reports workload-by-workload and flag simulated-metric regressions.
 //!
 //! Only *simulated* quantities are compared — `total_ms`, the per-category
-//! `stages_ms`, `words`, and `startups`. These are exactly reproducible
+//! `stages_ms`, `words`, `startups`, and the `memory` group's measured and
+//! predicted peak bytes. These are exactly reproducible
 //! run-to-run, so any delta is a real behavioural change in the code, not
 //! machine noise. `wall_ms` (harness wall-clock) is deliberately ignored:
 //! it varies with load and would make the gate flaky.
@@ -80,6 +81,15 @@ impl DiffReport {
                     if let (Some(o), Some(n)) = (ov.as_f64(), ns.get(stage).and_then(Json::as_f64))
                     {
                         rows.push(row(name, &format!("stages_ms.{stage}"), o, n));
+                    }
+                }
+            }
+            // Peak-memory accounting (schema v6+) is simulated bookkeeping,
+            // so its byte counts diff like any other deterministic metric.
+            if let (Some(om), Some(nmem)) = (ow.get("memory"), nw.get("memory")) {
+                for metric in ["measured_peak_bytes", "predicted_peak_bytes"] {
+                    if let (Some(o), Some(n)) = (num(om, metric), num(nmem, metric)) {
+                        rows.push(row(name, &format!("memory.{metric}"), o, n));
                     }
                 }
             }
@@ -271,6 +281,29 @@ mod tests {
         assert_eq!(d.missing, vec!["b".to_string()]);
         assert!(d.failed(f64::INFINITY));
         assert!(d.markdown(1.0, 5.0).contains("missing from new report"));
+    }
+
+    #[test]
+    fn memory_peaks_are_compared() {
+        let mk = |measured: u64| {
+            Json::parse(&format!(
+                r#"{{"schema_version":6,"mode":"smoke","workloads":[
+                    {{"name":"memory.pack.cms.w8","total_ms":1.0,"words":1,"startups":1,
+                     "stages_ms":{{"local":1.0}},
+                     "memory":{{"measured_peak_bytes":{measured},
+                                "predicted_peak_bytes":3000,"ratio":1.1,"pass":true}},
+                     "wall_ms":1.0}}]}}"#
+            ))
+            .unwrap()
+        };
+        let d = DiffReport::from_reports(&mk(2000), &mk(2400)).unwrap();
+        let peak = d
+            .rows
+            .iter()
+            .find(|r| r.metric == "memory.measured_peak_bytes")
+            .expect("memory peak row");
+        assert!((peak.delta_pct - 20.0).abs() < 1e-9);
+        assert!(d.markdown(5.0, 25.0).contains("memory.measured_peak_bytes"));
     }
 
     #[test]

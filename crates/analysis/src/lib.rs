@@ -17,6 +17,10 @@
 //! 3. **Did this revision get slower?** [`diff`] compares two versioned
 //!    perf reports (`results/BENCH_*.json`) on simulated metrics only —
 //!    never wall-clock — and renders a markdown delta table for CI.
+//! 4. **Does the working set fit?** [`memory`] folds `MemSample` events
+//!    into per-processor high-water marks and checks them against a
+//!    closed-form predicted peak-memory model — the memory analogue of
+//!    the conformance check, and the gate Red.2 feasibility hangs on.
 //!
 //! The [`json`] module carries the minimal recursive-descent JSON parser
 //! the diff needs (the repo deliberately has no serde).
@@ -27,8 +31,13 @@ pub mod conformance;
 pub mod critpath;
 pub mod diff;
 pub mod json;
+pub mod memory;
 
 pub use conformance::{Conformance, ConformancePhases};
 pub use critpath::{CritPath, ProcBreakdown, Segment, SegmentKind};
 pub use diff::{DiffReport, DiffRow};
 pub use json::Json;
+pub use memory::{
+    measured_peak, predict_pack_peak, predict_pack_redist_peak, predict_unpack_peak, MeasuredPeak,
+    PeakMemory, MEM_RATIO_GATE,
+};

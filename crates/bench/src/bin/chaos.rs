@@ -341,7 +341,10 @@ fn run_iteration(
         } else {
             plan.with_crash_at_recv(victim, step)
         };
-        let crashing = clean.clone().with_faults(crash_plan);
+        // Metrics ride along so the drill can check the replay-log memory
+        // floor below; they are bookkeeping only and must not perturb the
+        // simulated clocks or results.
+        let crashing = clean.clone().with_faults(crash_plan).with_metrics(true);
         let ra = crashing
             .run_recoverable(pack_prog)
             .unwrap_or_else(|e| panic!("recovery drill failed: {e}\n{ctx}"));
@@ -357,6 +360,21 @@ fn run_iteration(
             assert_eq!(
                 ca.now_ns, cb.now_ns,
                 "recovered runs' simulated clocks diverged\n{ctx}"
+            );
+        }
+        // Post-recovery memory floor: every epoch boundary truncates the
+        // replay log down to the frames its fresh checkpoint does not yet
+        // cover, so once the run completes — crash or no crash — each
+        // processor's `mem.replay_log.cur` gauge must sit at zero. A
+        // nonzero residue means a replay re-charged frames it never
+        // released (double-counting) or a boundary skipped truncation.
+        for (pid, snap) in ra.metrics.iter().enumerate() {
+            let g = &snap.gauges["mem.replay_log.cur"];
+            assert_eq!(
+                g.last, 0,
+                "proc {pid}: replay log retains {} bytes past its \
+                 truncation floor after recovery\n{ctx}",
+                g.last
             );
         }
         let rec = ra.recovery.as_ref().expect("recoverable run reports stats");

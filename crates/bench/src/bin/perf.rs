@@ -17,8 +17,8 @@
 //!     [--smoke] [--filter GROUP] [--out FILE] [--critpath-out FILE]
 //! # default output: results/BENCH_<rev>.json (rev = short git hash)
 //! # --filter runs only the named workload group (pack, redist, unpack,
-//! #   plan_reuse, exec_hot, recovery, apps) and records the filter in the
-//! #   report
+//! #   plan_reuse, exec_hot, recovery, apps, memory) and records the
+//! #   filter in the report
 //! ```
 //!
 //! The binary installs the counting global allocator, so the `exec_hot`
@@ -26,17 +26,21 @@
 //! steady-state execute loop — `validate_bench.py` gates them at zero.
 //!
 //! Exits nonzero if any conformance check fails — the implementation
-//! drifted from the paper's cost model.
+//! drifted from the paper's cost model — or if a `memory` workload's
+//! measured peak escapes its predicted bound (DESIGN.md §13).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use hpf_analysis::{Conformance, CritPath};
+use hpf_analysis::{
+    predict_pack_peak, predict_pack_redist_peak, predict_unpack_peak, Conformance, CritPath,
+    PeakMemory,
+};
 use hpf_apps::{gather_global, run_compaction, sample_sort, SparseMatrix};
 use hpf_bench::{
-    pack_plan_ops, run_pack, run_pack_redist, run_unpack, time_pack_hot, time_pack_reuse,
-    time_unpack_hot, time_unpack_reuse, unpack_plan_ops, ExpConfig, HotMeasurement, Measurement,
-    ReuseMeasurement,
+    pack_plan_ops, run_pack, run_pack_mem, run_pack_redist, run_pack_redist_mem, run_unpack,
+    run_unpack_mem, time_pack_hot, time_pack_reuse, time_unpack_hot, time_unpack_reuse,
+    unpack_plan_ops, ExpConfig, HotMeasurement, Measurement, ReuseMeasurement,
 };
 use hpf_core::{
     plan_pack, plan_unpack, MaskPattern, MaskStats, PackOptions, PackScheme, RedistScheme,
@@ -54,7 +58,7 @@ static ALLOC: CountingAllocator = CountingAllocator;
 
 /// Schema version of the emitted JSON (bump on breaking field changes;
 /// `scripts/bench-schema.json` must match).
-const SCHEMA_VERSION: u32 = 5;
+const SCHEMA_VERSION: u32 = 6;
 
 /// Executes per plan in the `plan_reuse` workloads (plan once, execute N).
 const REUSE_EXECUTES: usize = 16;
@@ -63,7 +67,7 @@ const REUSE_EXECUTES: usize = 16;
 const HOT_EXECUTES: usize = 16;
 
 /// The workload groups `--filter` accepts, in report order.
-const GROUPS: [&str; 7] = [
+const GROUPS: [&str; 8] = [
     "pack",
     "redist",
     "unpack",
@@ -71,6 +75,7 @@ const GROUPS: [&str; 7] = [
     "exec_hot",
     "recovery",
     "apps",
+    "memory",
 ];
 
 /// Conformance tolerance: the Section 6.4 formulas are exact, so any
@@ -91,6 +96,7 @@ struct Entry {
     reuse: Option<ReuseMeasurement>,
     hot: Option<HotMeasurement>,
     recovery: Option<RecoveryReport>,
+    memory: Option<PeakMemory>,
 }
 
 /// Crash-recovery accounting for a `recovery` workload: the recovered run's
@@ -207,6 +213,7 @@ fn main() {
                     reuse: None,
                     hot: None,
                     recovery: None,
+                    memory: None,
                 });
             }
         }
@@ -239,6 +246,7 @@ fn main() {
                 reuse: None,
                 hot: None,
                 recovery: None,
+                memory: None,
             });
         }
     }
@@ -280,6 +288,7 @@ fn main() {
                     reuse: None,
                     hot: None,
                     recovery: None,
+                    memory: None,
                 });
             }
         }
@@ -333,6 +342,7 @@ fn main() {
                     reuse: Some(r),
                     hot: None,
                     recovery: None,
+                    memory: None,
                 });
             }
         }
@@ -368,6 +378,7 @@ fn main() {
                     reuse: None,
                     hot: Some(hot),
                     recovery: None,
+                    memory: None,
                 });
             }
             for scheme in UnpackScheme::ALL {
@@ -391,6 +402,7 @@ fn main() {
                     reuse: None,
                     hot: Some(hot),
                     recovery: None,
+                    memory: None,
                 });
             }
         }
@@ -422,6 +434,102 @@ fn main() {
         entries.push(app_sort(smoke));
         entries.push(app_spmv(smoke));
         entries.push(app_gather(smoke));
+    }
+
+    // ---- Peak memory (DESIGN.md §13) ------------------------------------
+    // Traced runs with the workload arrays registered against the `user`
+    // account; the measured machine-wide high-water mark is gated against
+    // the closed-form predicted peak (upper bound, over-estimation
+    // bounded by MEM_RATIO_GATE). Simulated times match the untracked
+    // runs bit-exactly — memory accounting is never clock-charged.
+    if want("memory") {
+        let mask = pattern.global(&[n1d]);
+        let cfg = ExpConfig::new(&[n1d], &[p1d], wide_w, pattern);
+        let stats = MaskStats::from_mask(mask.data(), p1d, wide_w, None);
+        for scheme in PackScheme::ALL {
+            let label = match scheme {
+                PackScheme::Simple => "sss",
+                PackScheme::CompactStorage => "css",
+                PackScheme::CompactMessage => "cms",
+            };
+            let t0 = Instant::now();
+            let (m, out) = run_pack_mem(&cfg, &PackOptions::new(scheme));
+            let predicted = predict_pack_peak(&stats, scheme);
+            let peak = PeakMemory::evaluate(&format!("pack.{label}"), &predicted, &out.events);
+            entries.push(Entry {
+                name: format!("memory.pack.{label}.w{wide_w}"),
+                group: "memory",
+                shape: cfg.shape.clone(),
+                grid: cfg.grid.clone(),
+                w: Some(wide_w),
+                density: Some(density),
+                m,
+                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                critpath: None,
+                conformance: None,
+                reuse: None,
+                hot: None,
+                recovery: None,
+                memory: Some(peak),
+            });
+        }
+        for scheme in UnpackScheme::ALL {
+            let label = match scheme {
+                UnpackScheme::Simple => "sss",
+                UnpackScheme::CompactStorage => "css",
+            };
+            let t0 = Instant::now();
+            let (m, out) = run_unpack_mem(&cfg, &UnpackOptions::new(scheme));
+            let predicted = predict_unpack_peak(&stats, scheme);
+            let peak = PeakMemory::evaluate(&format!("unpack.{label}"), &predicted, &out.events);
+            entries.push(Entry {
+                name: format!("memory.unpack.{label}.w{wide_w}"),
+                group: "memory",
+                shape: cfg.shape.clone(),
+                grid: cfg.grid.clone(),
+                w: Some(wide_w),
+                density: Some(density),
+                m,
+                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                critpath: None,
+                conformance: None,
+                reuse: None,
+                hot: None,
+                recovery: None,
+                memory: Some(peak),
+            });
+        }
+        // Preliminary redistribution on cyclic input — Red.2's peak
+        // footprint is the whole point of tracking this group.
+        let cfg_cyc = ExpConfig::new(&[n1d], &[p1d], 1, pattern);
+        let src = MaskStats::from_mask(mask.data(), p1d, 1, None);
+        let blk = MaskStats::from_mask(mask.data(), p1d, n1d / p1d, None);
+        for (scheme, label) in [
+            (RedistScheme::SelectedData, "red1"),
+            (RedistScheme::WholeArrays, "red2"),
+        ] {
+            let opts = PackOptions::default();
+            let t0 = Instant::now();
+            let (m, out) = run_pack_redist_mem(&cfg_cyc, scheme, &opts);
+            let predicted = predict_pack_redist_peak(&src, &blk, opts.scheme, scheme);
+            let peak = PeakMemory::evaluate(&format!("pack.{label}"), &predicted, &out.events);
+            entries.push(Entry {
+                name: format!("memory.pack.{label}"),
+                group: "memory",
+                shape: cfg_cyc.shape.clone(),
+                grid: cfg_cyc.grid.clone(),
+                w: Some(1),
+                density: Some(density),
+                m,
+                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                critpath: None,
+                conformance: None,
+                reuse: None,
+                hot: None,
+                recovery: None,
+                memory: Some(peak),
+            });
+        }
     }
 
     let json = render_json(&rev, smoke, filter.as_deref(), &entries);
@@ -510,12 +618,26 @@ fn main() {
         }
     }
 
+    for e in &entries {
+        if let Some(p) = &e.memory {
+            println!("  {}", p.summary());
+        }
+    }
+
     // Conformance gate: any drift from the Section 6.4 model fails the run.
+    // The memory gate is its twin: the predicted peak must bound the
+    // measured one without over-estimating past MEM_RATIO_GATE.
     let mut drifted = false;
     for e in &entries {
         if let Some(c) = &e.conformance {
             if !c.pass {
                 eprintln!("conformance FAIL: {}", c.summary());
+                drifted = true;
+            }
+        }
+        if let Some(p) = &e.memory {
+            if !p.pass {
+                eprintln!("memory FAIL: {}", p.summary());
                 drifted = true;
             }
         }
@@ -632,6 +754,7 @@ fn recovery_workload(name: &str, n: usize, p: usize, pattern: MaskPattern, kind:
             overhead_wall_ms: (wall_ms - clean_wall_ms).max(0.0),
             clean_wall_ms,
         }),
+        memory: None,
     }
 }
 
@@ -700,6 +823,7 @@ fn app_compaction(smoke: bool) -> Entry {
         reuse: None,
         hot: None,
         recovery: None,
+        memory: None,
     }
 }
 
@@ -737,6 +861,7 @@ fn app_sort(smoke: bool) -> Entry {
         reuse: None,
         hot: None,
         recovery: None,
+        memory: None,
     }
 }
 
@@ -788,6 +913,7 @@ fn app_spmv(smoke: bool) -> Entry {
         reuse: None,
         hot: None,
         recovery: None,
+        memory: None,
     }
 }
 
@@ -828,6 +954,7 @@ fn app_gather(smoke: bool) -> Entry {
         reuse: None,
         hot: None,
         recovery: None,
+        memory: None,
     }
 }
 
@@ -1000,6 +1127,27 @@ fn render_json(rev: &str, smoke: bool, filter: Option<&str>, entries: &[Entry]) 
                 );
             }
             None => s.push_str("      \"recovery\": null,\n"),
+        }
+        match &e.memory {
+            Some(p) => {
+                let _ = writeln!(
+                    s,
+                    "      \"memory\": {{\"scheme\": \"{}\", \
+                     \"measured_peak_bytes\": {}, \"predicted_peak_bytes\": {}, \
+                     \"ratio\": {}, \"peak_proc\": {}, \
+                     \"peak_account\": \"{}\", \"peak_stage\": \"{}\", \
+                     \"pass\": {}}},",
+                    p.scheme,
+                    p.measured_bytes,
+                    p.predicted_bytes,
+                    json_f64(p.ratio),
+                    p.peak_proc,
+                    p.peak_account,
+                    p.peak_stage,
+                    p.pass,
+                );
+            }
+            None => s.push_str("      \"memory\": null,\n"),
         }
         let _ = writeln!(s, "      \"wall_ms\": {}", json_f64(e.wall_ms));
         s.push_str(if i + 1 < entries.len() {

@@ -5,7 +5,7 @@ use hpf_core::{
     pack, pack_redistributed, plan_pack, plan_unpack, unpack, MaskPattern, PackOptions, PackScheme,
     PlanCache, RedistScheme, UnpackOptions, UnpackScheme,
 };
-use hpf_distarray::{local_from_fn, ArrayDesc, DimLayout, Dist, GlobalArray};
+use hpf_distarray::{local_from_fn, ArrayDesc, DimLayout, Dist, GlobalArray, TrackArray};
 use hpf_machine::{Breakdown, Category, CostModel, Machine, ProcGrid, RunOutput};
 
 /// One experiment point: an array shape distributed with a uniform block
@@ -534,6 +534,83 @@ pub fn run_pack(
             .size
     });
     let m = measure_run(&out, out.results[0]);
+    (m, out)
+}
+
+/// Memory-accounting run of PACK: tracing and metrics on, with the
+/// workload's arrays registered against the `user` memory account
+/// ([`TrackArray`]) at simulated time zero, so the traced `MemSample`
+/// stream covers the full working set — user arrays, plan buffers, pooled
+/// sends, mailbox backlog. Simulated time and traffic are bit-identical
+/// to [`run_pack`]; memory accounting is never clock-charged.
+pub fn run_pack_mem(cfg: &ExpConfig, opts: &PackOptions) -> (Measurement, RunOutput<usize>) {
+    let desc = cfg.desc();
+    let machine = cfg.machine_traced(true).with_metrics(true);
+    let (desc_ref, pattern, shape) = (&desc, cfg.pattern, cfg.shape.clone());
+    let out = machine.run(move |proc| {
+        let a = local_from_fn(desc_ref, proc.id(), ExpConfig::value_at);
+        let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
+        proc.clock().reset();
+        a.track(proc);
+        m.track(proc);
+        pack(proc, desc_ref, &a, &m, opts)
+            .expect("valid experiment config")
+            .size
+    });
+    let m = measure_run(&out, out.results[0]);
+    (m, out)
+}
+
+/// Memory-accounting run of PACK with a preliminary redistribution; see
+/// [`run_pack_mem`].
+pub fn run_pack_redist_mem(
+    cfg: &ExpConfig,
+    scheme: RedistScheme,
+    opts: &PackOptions,
+) -> (Measurement, RunOutput<usize>) {
+    let desc = cfg.desc();
+    let machine = cfg.machine_traced(true).with_metrics(true);
+    let (desc_ref, pattern, shape) = (&desc, cfg.pattern, cfg.shape.clone());
+    let out = machine.run(move |proc| {
+        let a = local_from_fn(desc_ref, proc.id(), ExpConfig::value_at);
+        let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
+        proc.clock().reset();
+        a.track(proc);
+        m.track(proc);
+        pack_redistributed(proc, desc_ref, &a, &m, scheme, opts)
+            .expect("valid experiment config")
+            .size
+    });
+    let m = measure_run(&out, out.results[0]);
+    (m, out)
+}
+
+/// Memory-accounting run of UNPACK: field, mask, and the local vector
+/// slice are registered against the `user` account; see [`run_pack_mem`].
+pub fn run_unpack_mem(cfg: &ExpConfig, opts: &UnpackOptions) -> (Measurement, RunOutput<()>) {
+    let desc = cfg.desc();
+    let size = {
+        let m = cfg.pattern.global(&cfg.shape);
+        m.data().iter().filter(|&&b| b).count()
+    };
+    let nprocs: usize = cfg.grid.iter().product();
+    let n_prime = size.max(1);
+    let v_layout = DimLayout::new_general(n_prime, nprocs, n_prime.div_ceil(nprocs)).unwrap();
+    let machine = cfg.machine_traced(true).with_metrics(true);
+    let (desc_ref, pattern, shape, vl) = (&desc, cfg.pattern, cfg.shape.clone(), &v_layout);
+    let out = machine.run(move |proc| {
+        let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
+        let f = local_from_fn(desc_ref, proc.id(), |_| -1i32);
+        let v: Vec<i32> = (0..vl.local_len(proc.id()))
+            .map(|l| vl.global_of(proc.id(), l) as i32)
+            .collect();
+        proc.clock().reset();
+        f.track(proc);
+        m.track(proc);
+        v.track(proc);
+        unpack(proc, desc_ref, &m, &f, &v, vl, opts).expect("valid experiment config");
+    });
+    let m = measure_run(&out, size);
     (m, out)
 }
 

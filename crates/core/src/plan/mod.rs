@@ -38,7 +38,7 @@ use hpf_distarray::{ArrayDesc, DimLayout};
 use hpf_machine::collectives::{
     alltoallv, alltoallv_planned, alltoallv_pooled, A2aPlan, A2aSchedule,
 };
-use hpf_machine::{fresh_pool_key, Category, Packet, PoolSlot, Proc, Wire};
+use hpf_machine::{fresh_pool_key, Category, MemAccount, Packet, PoolSlot, Proc, Wire};
 
 use crate::error::{PackError, UnpackError};
 use crate::pack::{compact_message, result_layout, CmsMessage, PackOutput};
@@ -93,7 +93,7 @@ pub fn plan_pack(
         let ranking = rank_from_counts(proc, &shape, counts, opts.prs);
         if ranking.size == 0 {
             let n = proc.nprocs();
-            return PackPlan {
+            let plan = PackPlan {
                 scheme: opts.scheme,
                 schedule: opts.schedule,
                 size: 0,
@@ -103,6 +103,8 @@ pub fn plan_pack(
                 a2a: A2aPlan::from_flags(vec![false; n], vec![false; n]),
                 pool_key: fresh_pool_key(),
             };
+            proc.mem_charge(MemAccount::Plan, plan.mem_bytes());
+            return plan;
         }
         let layout =
             result_layout(ranking.size, proc.nprocs(), opts.result_block_size).expect("size > 0");
@@ -112,7 +114,7 @@ pub fn plan_pack(
             let world = proc.world();
             A2aPlan::exchange(proc, &world, to, opts.schedule)
         });
-        PackPlan {
+        let plan = PackPlan {
             scheme: opts.scheme,
             schedule: opts.schedule,
             size: ranking.size,
@@ -121,7 +123,9 @@ pub fn plan_pack(
             routes,
             a2a,
             pool_key: fresh_pool_key(),
-        }
+        };
+        proc.mem_charge(MemAccount::Plan, plan.mem_bytes());
+        plan
     }))
 }
 
@@ -129,6 +133,14 @@ impl PackPlan {
     /// The scheme the plan was composed for.
     pub fn scheme(&self) -> PackScheme {
         self.scheme
+    }
+
+    /// Bytes retained by the plan's index structures (routes and exchange
+    /// flags), charged to the `plan` memory account at build time and never
+    /// released — plans live for the run, typically cached across calls.
+    fn mem_bytes(&self) -> u64 {
+        let routes: u64 = self.routes.iter().map(route_bytes).sum();
+        routes + 2 * self.a2a.to.len() as u64
     }
 
     /// Global number of packed elements (`Size`), replicated everywhere.
@@ -478,6 +490,16 @@ impl PackPlan {
     }
 }
 
+/// Retained bytes of one route's index buffers: 4 bytes per slot, plus 4
+/// per explicit rank or 8 per `(base, len)` run.
+fn route_bytes(route: &Route) -> u64 {
+    let ranks = match &route.ranks {
+        RankList::Explicit(v) => v.len() as u64 * 4,
+        RankList::Runs(v) => v.len() as u64 * 8,
+    };
+    ranks + route.slots.len() as u64 * 4
+}
+
 /// Place one pair message's `(global rank, value)` entries into the local
 /// slice of `V`; returns the number of values placed.
 fn place_pairs<T: Wire + Default>(
@@ -549,7 +571,7 @@ pub fn plan_unpack(
         }
         let n = proc.nprocs();
         if size == 0 {
-            return Ok(UnpackPlan {
+            let plan = UnpackPlan {
                 schedule: opts.schedule,
                 size: 0,
                 local_len,
@@ -558,7 +580,9 @@ pub fn plan_unpack(
                 serve_idx: vec![Vec::new(); n],
                 reply_a2a: A2aPlan::from_flags(vec![false; n], vec![false; n]),
                 pool_key: fresh_pool_key(),
-            });
+            };
+            proc.mem_charge(MemAccount::Plan, plan.mem_bytes());
+            return Ok(plan);
         }
         let routes = composer.compose(proc, &ranking, m_local, w0, v_layout);
         let mut requests: Vec<RankRequest> = Vec::with_capacity(n);
@@ -600,7 +624,7 @@ pub fn plan_unpack(
         // and I await replies from whoever I asked.
         let to: Vec<bool> = serve_idx.iter().map(|s| !s.is_empty()).collect();
         let from: Vec<bool> = targets.iter().map(|t| !t.is_empty()).collect();
-        Ok(UnpackPlan {
+        let plan = UnpackPlan {
             schedule: opts.schedule,
             size,
             local_len,
@@ -609,7 +633,9 @@ pub fn plan_unpack(
             serve_idx,
             reply_a2a: A2aPlan::from_flags(to, from),
             pool_key: fresh_pool_key(),
-        })
+        };
+        proc.mem_charge(MemAccount::Plan, plan.mem_bytes());
+        Ok(plan)
     })
 }
 
@@ -617,6 +643,14 @@ impl UnpackPlan {
     /// Global number of selected mask elements (`Size`).
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Bytes retained by the plan's index structures (targets, serve
+    /// indices, reply flags); see [`PackPlan::mem_bytes`].
+    fn mem_bytes(&self) -> u64 {
+        let targets: u64 = self.targets.iter().map(|v| v.len() as u64 * 4).sum();
+        let serve: u64 = self.serve_idx.iter().map(|v| v.len() as u64 * 4).sum();
+        targets + serve + 2 * self.reply_a2a.to.len() as u64
     }
 
     /// Execute the plan against fresh field and vector values: copy the

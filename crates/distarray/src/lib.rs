@@ -37,6 +37,7 @@ pub mod index;
 mod layout;
 mod local;
 mod redistribute;
+mod track;
 
 pub use descriptor::{ArrayDesc, DescError};
 pub use dist::Dist;
@@ -44,3 +45,4 @@ pub use global::{global_index_of_linear, local_from_fn, local_global_indices, Gl
 pub use layout::{DimLayout, LayoutError};
 pub use local::LocalArray;
 pub use redistribute::{redistribute, RedistMode};
+pub use track::TrackArray;

@@ -48,16 +48,6 @@ impl<T: Copy> LocalArray<T> {
         &self.shape
     }
 
-    /// Local element count.
-    pub fn len(&self) -> usize {
-        self.data.len()
-    }
-
-    /// True iff there are no local elements.
-    pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
-    }
-
     /// Element at a local multi-index.
     pub fn get(&self, idx: &[usize]) -> T {
         self.data[linearize(idx, &self.shape)]
@@ -96,6 +86,18 @@ impl<T: Copy> LocalArray<T> {
             "W_0 must divide the local dimension-0 extent"
         );
         self.data.chunks_exact(w0)
+    }
+}
+
+impl<T> LocalArray<T> {
+    /// Local element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True iff there are no local elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
     }
 }
 

@@ -21,6 +21,32 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use crate::cost::Words;
+use crate::obs::Gauge;
+
+/// A sender-side memory charge riding with a packet: the payload's bytes
+/// are added to the owning sender's `mem.payload.cur` gauge on creation
+/// and released when the *last* holder of the charge drops — wire copies,
+/// the retransmit buffer, the crash-recovery replay log, and mailbox
+/// checkpoints all share it by refcount, so the payload is charged exactly
+/// once, at the owning sender, for exactly as long as any copy is alive.
+pub(crate) struct PayloadCharge {
+    gauge: Arc<Gauge>,
+    bytes: u64,
+}
+
+impl PayloadCharge {
+    /// Charge `bytes` against `gauge`, releasing on drop.
+    pub(crate) fn new(gauge: Arc<Gauge>, bytes: u64) -> Self {
+        gauge.add(bytes);
+        PayloadCharge { gauge, bytes }
+    }
+}
+
+impl Drop for PayloadCharge {
+    fn drop(&mut self) {
+        self.gauge.sub(self.bytes);
+    }
+}
 
 /// Plain-old-data element that can travel in a message.
 ///
@@ -127,6 +153,11 @@ pub struct Packet {
     /// The payload, shared by refcount with any party that must keep it
     /// (retransmit buffer, pooled slot); downcast by the typed receive.
     pub data: Arc<dyn Any + Send + Sync>,
+    /// Memory-accounting charge against the sender's payload gauge, shared
+    /// by every copy of the packet and released when the last drops. `None`
+    /// when the sending machine has no metrics (or the send is free:
+    /// self-sends, zero-word padding, pooled slots charged to `pool`).
+    pub(crate) charge: Option<Arc<PayloadCharge>>,
 }
 
 /// Cloning a packet bumps the payload refcount — the property the crash
@@ -140,6 +171,7 @@ impl Clone for Packet {
             arrival_ns: self.arrival_ns,
             words: self.words,
             data: Arc::clone(&self.data),
+            charge: self.charge.clone(),
         }
     }
 }
@@ -254,6 +286,7 @@ mod tests {
             arrival_ns: order,
             words: 0,
             data: Arc::new(Vec::<i32>::new()),
+            charge: None,
         }
     }
 

@@ -58,6 +58,65 @@ pub struct Event {
     pub kind: EventKind,
 }
 
+/// Named memory accounts every word-carrying structure is charged to (see
+/// DESIGN.md §13). Accounts are few and fixed so hot-path charging indexes
+/// an array instead of hashing a string; the string names only appear at
+/// export time (gauge names, Perfetto track names, perf reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MemAccount {
+    /// Packets delivered to a mailbox and not yet consumed (receiver-owned).
+    Mailbox = 0,
+    /// In-flight `Arc` payloads, charged once at the owning sender from
+    /// send until arrival (events) / until the last refcount drops (gauge).
+    Payload = 1,
+    /// Reusable pooled send buffers; each slot charges its high-water
+    /// capacity once and is never released (the buffer is reused forever).
+    Pool = 2,
+    /// Crash-recovery replay-log frames retained on behalf of a
+    /// destination, charged by the sender to the *destination's* account.
+    ReplayLog = 3,
+    /// Plan-time index/segment buffers (charged by `hpf-core`).
+    Plan = 4,
+    /// User arrays registered through the `distarray` `TrackArray` hook.
+    User = 5,
+}
+
+impl MemAccount {
+    /// Every account, in gauge/track emission order.
+    pub const ALL: [MemAccount; 6] = [
+        MemAccount::Mailbox,
+        MemAccount::Payload,
+        MemAccount::Pool,
+        MemAccount::ReplayLog,
+        MemAccount::Plan,
+        MemAccount::User,
+    ];
+
+    /// Short account name, used in gauge and counter-track names.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemAccount::Mailbox => "mailbox",
+            MemAccount::Payload => "payload",
+            MemAccount::Pool => "pool",
+            MemAccount::ReplayLog => "replay_log",
+            MemAccount::Plan => "plan",
+            MemAccount::User => "user",
+        }
+    }
+
+    /// Registry gauge name: `last` is the current bytes, `max` the peak.
+    pub fn gauge_name(self) -> &'static str {
+        match self {
+            MemAccount::Mailbox => "mem.mailbox.cur",
+            MemAccount::Payload => "mem.payload.cur",
+            MemAccount::Pool => "mem.pool.cur",
+            MemAccount::ReplayLog => "mem.replay_log.cur",
+            MemAccount::Plan => "mem.plan.cur",
+            MemAccount::User => "mem.user.cur",
+        }
+    }
+}
+
 /// The event vocabulary. Message volume is in 4-byte words (the unit the
 /// cost model charges `μ` per); `seq` is the reliable transport's per-link
 /// sequence number and is `None` on a fault-free machine, whose fast path
@@ -161,6 +220,21 @@ pub enum EventKind {
         /// The verdict: `"drop"`, `"duplicate"`, or `"hold-back"`.
         verdict: &'static str,
     },
+    /// A memory-accounting charge (`delta_bytes > 0`) or release (`< 0`)
+    /// against one account, stamped with the recording processor's
+    /// simulated clock. `owner` is the processor whose memory changed —
+    /// almost always the recorder, except for the replay log, which the
+    /// *sender* charges to the destination's account. Never rendered as an
+    /// instant; the exporter folds these into per-processor counter tracks,
+    /// and the analysis layer reconstructs per-processor peaks from them.
+    MemSample {
+        /// Which account the bytes belong to.
+        account: MemAccount,
+        /// Processor whose memory changed.
+        owner: usize,
+        /// Signed size change in bytes.
+        delta_bytes: i64,
+    },
 }
 
 /// Transport-side observations buffered inside [`crate::reliable`] (which
@@ -234,6 +308,25 @@ impl Gauge {
             self.last.load(Ordering::Relaxed),
             self.max.load(Ordering::Relaxed),
         )
+    }
+
+    /// Add `n` to the current value (memory-account charging). One relaxed
+    /// fetch-add plus a max update — lock-free like `set`.
+    #[inline]
+    pub(crate) fn add(&self, n: u64) {
+        let now = self.last.fetch_add(n, Ordering::Relaxed) + n;
+        self.max.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Subtract `n` from the current value, saturating at zero (a release
+    /// may race a checkpoint restore that already zeroed the gauge).
+    #[inline]
+    pub(crate) fn sub(&self, n: u64) {
+        let _ = self
+            .last
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
     }
 
     /// Overwrite both fields — only for checkpoint restore (a `set` could
@@ -679,6 +772,58 @@ fn tie_break(kind: &EventKind) -> (u8, u64, u64, u64, &'static str) {
             src, tag, words, ..
         } => (6, *src as u64, *tag, *words as u64, ""),
         EventKind::Barrier { owner, .. } => (7, *owner as u64, 0, 0, ""),
+        EventKind::MemSample {
+            account,
+            owner,
+            delta_bytes,
+        } => (8, *owner as u64, *account as u64, *delta_bytes as u64, ""),
+    }
+}
+
+/// Append one trace-event JSON object, comma-separating after the first.
+#[inline]
+fn emit(out: &mut String, first: &mut bool, body: &str) {
+    if !std::mem::take(first) {
+        out.push(',');
+    }
+    out.push_str(body);
+}
+
+/// `(timestamp, rank, delta)` samples feeding one counter track.
+type CounterDeltas = Vec<(f64, u8, i64)>;
+
+/// Emit one counter track (`"C"` phase events) for processor `pid`: sort
+/// the `(timestamp, rank, delta)` samples — increments rank before
+/// decrements at equal timestamps so the running value never dips
+/// spuriously — integrate, clamp at zero, and write one sample per delta.
+/// The single formatting site shared by the queue tracks (mailbox depth,
+/// in-flight sends) and the per-account memory tracks.
+fn counter_track(
+    out: &mut String,
+    first: &mut bool,
+    pid: usize,
+    name: &str,
+    field: &str,
+    cat: &str,
+    deltas: &mut [(f64, u8, i64)],
+) {
+    if deltas.is_empty() {
+        return;
+    }
+    deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut level = 0i64;
+    let mut buf = String::new();
+    for &(ts, _, d) in deltas.iter() {
+        level = (level + d).max(0);
+        buf.clear();
+        let _ = write!(
+            buf,
+            "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":2,\"ts\":{:.3},\
+             \"name\":\"{name}\",\"cat\":\"{cat}\",\"args\":{{\
+             \"{field}\":{level}}}}}",
+            us(ts)
+        );
+        emit(out, first, &buf);
     }
 }
 
@@ -690,7 +835,10 @@ fn tie_break(kind: &EventKind) -> (u8, u64, u64, u64, &'static str) {
 /// `X` slices), `stages` (algorithm-stage `B`/`E` slices and markers), and
 /// `messages` (send / receive / retransmit / duplicate-drop / fault-verdict
 /// instants). Sequenced sends and their receives are additionally linked
-/// with flow events (`s`/`f`), which Perfetto draws as arrows.
+/// with flow events (`s`/`f`), which Perfetto draws as arrows. Memory
+/// samples become per-processor `mem.<account>` counter tracks, emitted
+/// after all per-processor sections in deterministic (processor, account)
+/// order.
 ///
 /// Timestamps are *simulated* microseconds; `traces` and `events` are
 /// indexed by processor id (either may be empty).
@@ -698,12 +846,6 @@ pub fn chrome_trace_json(traces: &[Vec<Span>], events: &[Vec<Event>]) -> String 
     let nprocs = traces.len().max(events.len());
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
     let mut first = true;
-    let mut emit = |out: &mut String, body: &str| {
-        if !std::mem::take(&mut first) {
-            out.push(',');
-        }
-        out.push_str(body);
-    };
     let mut buf = String::new();
     for pid in 0..nprocs {
         buf.clear();
@@ -719,7 +861,7 @@ pub fn chrome_trace_json(traces: &[Vec<Span>], events: &[Vec<Event>]) -> String 
                  \"args\":{{\"name\":\"{tname}\"}}}}"
             );
         }
-        emit(&mut out, &buf);
+        emit(&mut out, &mut first, &buf);
     }
     for (pid, spans) in traces.iter().enumerate() {
         for s in spans {
@@ -732,7 +874,7 @@ pub fn chrome_trace_json(traces: &[Vec<Span>], events: &[Vec<Event>]) -> String 
                 us(s.end_ns - s.start_ns),
                 s.category.label()
             );
-            emit(&mut out, &buf);
+            emit(&mut out, &mut first, &buf);
         }
     }
     for (pid, evs) in events.iter().enumerate() {
@@ -746,6 +888,9 @@ pub fn chrome_trace_json(traces: &[Vec<Span>], events: &[Vec<Event>]) -> String 
             buf.clear();
             let ts = us(e.ts_ns);
             match &e.kind {
+                // Memory samples are not instants: they surface only as the
+                // per-account counter tracks emitted after this loop.
+                EventKind::MemSample { .. } => continue,
                 EventKind::SpanBegin { name } => {
                     let _ = write!(
                         buf,
@@ -870,14 +1015,16 @@ pub fn chrome_trace_json(traces: &[Vec<Span>], events: &[Vec<Event>]) -> String 
                     );
                 }
             }
-            emit(&mut out, &buf);
+            emit(&mut out, &mut first, &buf);
         }
 
         // Counter tracks ("C" phase events): mailbox depth (deliveries not
         // yet consumed) and in-flight sends (charged sends whose packet has
         // not yet arrived — only visibly non-zero under injected delays).
         // Perfetto renders these as per-process area charts next to the
-        // span threads, which is how queue pressure becomes visible.
+        // span threads, which is how queue pressure becomes visible. The
+        // running value is clamped at zero (a muted consumer may skip its
+        // Consume records).
         let mut mailbox: Vec<(f64, u8, i64)> = Vec::new();
         let mut in_flight: Vec<(f64, u8, i64)> = Vec::new();
         for e in evs {
@@ -893,31 +1040,51 @@ pub fn chrome_trace_json(traces: &[Vec<Span>], events: &[Vec<Event>]) -> String 
                 _ => {}
             }
         }
-        for (name, field, deltas) in [
-            ("mailbox_depth", "depth", &mut mailbox),
-            ("in_flight_sends", "msgs", &mut in_flight),
-        ] {
-            if deltas.is_empty() {
-                continue;
-            }
-            // Increments sort before decrements at equal timestamps so the
-            // running value never dips spuriously; it is clamped at zero
-            // anyway (a muted consumer may skip its Consume records).
-            deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-            let mut level = 0i64;
-            for &(ts, _, d) in deltas.iter() {
-                level = (level + d).max(0);
-                buf.clear();
-                let _ = write!(
-                    buf,
-                    "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":2,\"ts\":{:.3},\
-                     \"name\":\"{name}\",\"cat\":\"queue\",\"args\":{{\
-                     \"{field}\":{level}}}}}",
-                    us(ts)
-                );
-                emit(&mut out, &buf);
+        counter_track(
+            &mut out,
+            &mut first,
+            pid,
+            "mailbox_depth",
+            "depth",
+            "queue",
+            &mut mailbox,
+        );
+        counter_track(
+            &mut out,
+            &mut first,
+            pid,
+            "in_flight_sends",
+            "msgs",
+            "queue",
+            &mut in_flight,
+        );
+    }
+
+    // Memory counter tracks. A sample may be recorded by a processor other
+    // than its owner (a sender charges the destination's replay-log
+    // account), so samples are aggregated across every processor's log and
+    // emitted per (owner, account) after all per-processor sections — the
+    // BTreeMap makes the order deterministic, so the JSON is byte-stable.
+    let mut mem: BTreeMap<(usize, MemAccount), CounterDeltas> = BTreeMap::new();
+    for evs in events {
+        for e in evs {
+            if let EventKind::MemSample {
+                account,
+                owner,
+                delta_bytes,
+            } = &e.kind
+            {
+                mem.entry((*owner, *account)).or_default().push((
+                    e.ts_ns,
+                    u8::from(*delta_bytes < 0),
+                    *delta_bytes,
+                ));
             }
         }
+    }
+    for ((pid, account), deltas) in &mut mem {
+        let name = format!("mem.{}", account.name());
+        counter_track(&mut out, &mut first, *pid, &name, "bytes", "mem", deltas);
     }
     out.push_str("]}");
     out

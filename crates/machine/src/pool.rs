@@ -62,13 +62,26 @@ enum SlotState<B> {
 /// the sender's slot.
 pub struct PoolSlot<B> {
     state: Mutex<SlotState<B>>,
+    /// High-water of charged bytes ever staged in this slot. Memory
+    /// accounting charges a slot's *growth* once (the buffer is reused, so
+    /// its footprint is its largest staging, never the sum).
+    charged: AtomicU64,
 }
 
 impl<B: Reusable> PoolSlot<B> {
     fn new() -> PoolSlot<B> {
         PoolSlot {
             state: Mutex::new(SlotState::Free(B::default())),
+            charged: AtomicU64::new(0),
         }
+    }
+
+    /// Raise the slot's charged high-water to `bytes`, returning the growth
+    /// over the previous high-water (0 when the slot was already this big —
+    /// steady-state sends through a warm slot charge nothing).
+    pub(crate) fn note_charged(&self, bytes: u64) -> u64 {
+        let prev = self.charged.fetch_max(bytes, Ordering::Relaxed);
+        bytes.saturating_sub(prev)
     }
 
     /// Take the buffer if the slot is `Free`; `None` while the previous

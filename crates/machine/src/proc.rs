@@ -17,9 +17,9 @@ use crate::chan::{FrameReceiver, FrameSender};
 use crate::cost::{Category, SimClock};
 use crate::error::MachineError;
 use crate::fault::FaultPlan;
-use crate::message::{Frame, Mailbox, Packet, Payload};
+use crate::message::{Frame, Mailbox, Packet, Payload, PayloadCharge};
 use crate::obs::{
-    Counter, Event, EventKind, Gauge, Histogram, MetricsSnapshot, ObsConfig, Registry,
+    Counter, Event, EventKind, Gauge, Histogram, MemAccount, MetricsSnapshot, ObsConfig, Registry,
     TransportEvent,
 };
 use crate::pool::{BufferPool, PoolSlot, Reusable};
@@ -108,6 +108,9 @@ struct ProcMetrics {
     dup_drops: Arc<Counter>,
     retry_latency_us: Arc<Histogram>,
     clone_words: Arc<Counter>,
+    /// Per-account memory gauges, indexed by `MemAccount as usize`
+    /// (`last` = current bytes, `max` = peak; see DESIGN.md §13).
+    mem: [Arc<Gauge>; 6],
 }
 
 impl ProcMetrics {
@@ -122,6 +125,7 @@ impl ProcMetrics {
             dup_drops: registry.counter("transport.dup_drops"),
             retry_latency_us: registry.histogram("transport.retry_latency_us"),
             clone_words: registry.counter("payload.clone_words"),
+            mem: MemAccount::ALL.map(|a| registry.gauge(a.gauge_name())),
             registry,
         }
     }
@@ -306,6 +310,56 @@ impl<'m> Proc<'m> {
         }
     }
 
+    /// Record one memory-accounting sample: a [`EventKind::MemSample`]
+    /// event when tracing, and — when `owner` is this processor — a
+    /// `mem.<account>.cur` gauge update when metrics are on. A sender
+    /// charging a destination's replay-log account records only the event;
+    /// the destination maintains its own gauge at epoch boundaries, where
+    /// the interval peak becomes known (see [`Proc::epoch_boundary`]).
+    fn mem_sample(&mut self, account: MemAccount, owner: usize, ts_ns: f64, delta_bytes: i64) {
+        self.record(
+            ts_ns,
+            EventKind::MemSample {
+                account,
+                owner,
+                delta_bytes,
+            },
+        );
+        if owner == self.id {
+            if let Some(m) = self.metrics.as_ref() {
+                let g = &m.mem[account as usize];
+                if delta_bytes >= 0 {
+                    g.add(delta_bytes as u64);
+                } else {
+                    g.sub(delta_bytes.unsigned_abs());
+                }
+            }
+        }
+    }
+
+    /// Charge `bytes` to this processor's memory `account` at the current
+    /// simulated time. No-op (one branch) when neither tracing nor metrics
+    /// are enabled, and never clock-charged — accounting is bookkeeping.
+    /// Library layers use this for word-carrying structures the machine
+    /// cannot see: plan-time index/segment buffers (`hpf-core`) and user
+    /// arrays registered through `distarray`'s `TrackArray` hook.
+    pub fn mem_charge(&mut self, account: MemAccount, bytes: u64) {
+        if self.events.is_none() && self.metrics.is_none() {
+            return;
+        }
+        let now = self.clock.now_ns();
+        self.mem_sample(account, self.id, now, bytes as i64);
+    }
+
+    /// Release bytes previously charged with [`Proc::mem_charge`].
+    pub fn mem_release(&mut self, account: MemAccount, bytes: u64) {
+        if self.events.is_none() && self.metrics.is_none() {
+            return;
+        }
+        let now = self.clock.now_ns();
+        self.mem_sample(account, self.id, now, -(bytes as i64));
+    }
+
     /// Run `f` as the named algorithm stage. When tracing is on, the stage
     /// is bracketed by [`EventKind::SpanBegin`]/[`EventKind::SpanEnd`]
     /// events; when metrics are on, its simulated duration is observed in
@@ -434,6 +488,7 @@ impl<'m> Proc<'m> {
                 arrival_ns,
                 words,
                 data,
+                charge: None,
             };
             self.mailbox.hold(pkt);
             return;
@@ -444,6 +499,19 @@ impl<'m> Proc<'m> {
             self.words_to[dst] += words as u64;
             self.clock.charge_send(words)
         };
+        // The payload-account gauge is charged by a guard riding inside the
+        // packet: every copy of the packet (wire frame, retransmit buffer,
+        // replay log) shares one `Arc<PayloadCharge>`, so the sender stays
+        // charged until the last copy drops — refcount-truthful, like the
+        // memory it models.
+        let charge = match self.metrics.as_ref() {
+            Some(m) if words > 0 => Some(Arc::new(PayloadCharge::new(
+                Arc::clone(&m.mem[MemAccount::Payload as usize]),
+                words as u64 * 4,
+            ))),
+            _ => None,
+        };
+        let mut logged_replay = false;
         let seq = match self.transport.as_mut() {
             None => {
                 let pkt = Packet {
@@ -452,6 +520,7 @@ impl<'m> Proc<'m> {
                     arrival_ns,
                     words,
                     data,
+                    charge,
                 };
                 // The receiver's endpoint lives as long as the run (the
                 // driver parks channel endpoints until every thread joins).
@@ -479,14 +548,29 @@ impl<'m> Proc<'m> {
                             arrival_ns: arrival,
                             words,
                             data: Arc::clone(&data),
+                            charge: charge.clone(),
                         },
                     );
+                    logged_replay = true;
                 }
-                let s = t.send(self.id, self.senders, dst, tag, arrival_ns, words, data);
+                let s = t.send(
+                    self.id,
+                    self.senders,
+                    dst,
+                    Packet {
+                        src: self.id,
+                        tag,
+                        arrival_ns,
+                        words,
+                        data,
+                        charge,
+                    },
+                );
                 Some(s)
             }
         };
         if words > 0 {
+            let bytes = words as i64 * 4;
             if self.events.is_some() {
                 let now = self.clock.now_ns();
                 self.record(
@@ -499,6 +583,35 @@ impl<'m> Proc<'m> {
                         arrival_ns,
                     },
                 );
+                // In simulated time the in-flight payload occupies the
+                // sender from the send until the (pre-delay) arrival; the
+                // event pair brackets exactly that interval. Recorded
+                // directly — the gauge side is the guard's, not ours.
+                self.record(
+                    now,
+                    EventKind::MemSample {
+                        account: MemAccount::Payload,
+                        owner: self.id,
+                        delta_bytes: bytes,
+                    },
+                );
+                self.record(
+                    arrival_ns,
+                    EventKind::MemSample {
+                        account: MemAccount::Payload,
+                        owner: self.id,
+                        delta_bytes: -bytes,
+                    },
+                );
+            }
+            if logged_replay {
+                // The replay log retains a copy of this frame on the
+                // destination's behalf until *its* next epoch boundary:
+                // charged to the destination's account (owner ≠ recorder —
+                // event only; the destination squares its own gauge with
+                // the truncation at the boundary).
+                let now = self.clock.now_ns();
+                self.mem_sample(MemAccount::ReplayLog, dst, now, bytes);
             }
             if let Some(m) = self.metrics.as_ref() {
                 m.msg_sent.inc();
@@ -610,12 +723,10 @@ impl<'m> Proc<'m> {
     fn observe_consume(&mut self, pkt: &Packet) {
         let before = self.clock.now_ns();
         self.clock.observe_arrival(pkt.arrival_ns);
-        if self.events.is_some()
-            && !self.clock.is_muted()
-            && pkt.src != self.id
-            && pkt.words > 0
-            && pkt.arrival_ns.is_finite()
-        {
+        if pkt.src == self.id || pkt.words == 0 || !pkt.arrival_ns.is_finite() {
+            return;
+        }
+        if self.events.is_some() && !self.clock.is_muted() {
             let now = self.clock.now_ns();
             self.record(
                 now,
@@ -628,6 +739,13 @@ impl<'m> Proc<'m> {
                 },
             );
         }
+        // The mailbox account was charged at delivery whether or not this
+        // consume is muted, so it is released unconditionally. A muted
+        // consume does not advance the clock, which may still trail the
+        // packet's arrival — clamping the stamp to the arrival keeps the
+        // release at or after its matching charge.
+        let ts = self.clock.now_ns().max(pkt.arrival_ns);
+        self.mem_sample(MemAccount::Mailbox, self.id, ts, -(pkt.words as i64 * 4));
     }
 
     /// The frame-dispatch receive loop shared by every receive flavour.
@@ -731,6 +849,15 @@ impl<'m> Proc<'m> {
         if let Some(m) = self.metrics.as_ref() {
             m.msg_recvd.inc();
         }
+        // Packet bytes now sit in the mailbox until a program-level receive
+        // consumes them (released in `observe_consume`), charged at the
+        // packet's simulated arrival time.
+        self.mem_sample(
+            MemAccount::Mailbox,
+            self.id,
+            pkt.arrival_ns,
+            pkt.words as i64 * 4,
+        );
     }
 
     /// Sample the mailbox backlog gauge (after a delivery).
@@ -809,9 +936,22 @@ impl<'m> Proc<'m> {
                         arrival_ns: f64::NEG_INFINITY,
                         words: 0,
                         data: Arc::clone(&data),
+                        charge: None,
                     },
                 );
-                t.send(self.id, self.senders, dst, tag, f64::NEG_INFINITY, 0, data);
+                t.send(
+                    self.id,
+                    self.senders,
+                    dst,
+                    Packet {
+                        src: self.id,
+                        tag,
+                        arrival_ns: f64::NEG_INFINITY,
+                        words: 0,
+                        data,
+                        charge: None,
+                    },
+                );
                 return;
             }
         }
@@ -822,6 +962,7 @@ impl<'m> Proc<'m> {
             arrival_ns: f64::NEG_INFINITY,
             words,
             data: Arc::new(data),
+            charge: None,
         };
         if dst == self.id {
             self.mailbox.hold(pkt);
@@ -892,7 +1033,30 @@ impl<'m> Proc<'m> {
             return;
         };
         let expected = self.transport.as_ref().map(|t| t.expected_all().to_vec());
-        rec.truncate_log(self.id, expected.as_deref());
+        let (log_before, log_after) = rec.truncate_log(self.id, expected.as_deref());
+        // Square this processor's replay-log account with the truncation.
+        // Senders charged the account event-side only (owner ≠ recorder),
+        // so the gauge learns the interval peak here — an absolute `set` to
+        // the pre-truncation words raises `max`, a second to the floor sets
+        // `cur`. The event-side release is recorded before `publish` so the
+        // boundary snapshot already contains it and a crash replay cannot
+        // re-free the same bytes twice.
+        if log_before != log_after {
+            let now = self.clock.now_ns();
+            self.record(
+                now,
+                EventKind::MemSample {
+                    account: MemAccount::ReplayLog,
+                    owner: self.id,
+                    delta_bytes: -((log_before - log_after) as i64 * 4),
+                },
+            );
+        }
+        if let Some(m) = self.metrics.as_ref() {
+            let g = &m.mem[MemAccount::ReplayLog as usize];
+            g.set(log_before * 4);
+            g.set(log_after * 4);
+        }
         rec.publish(
             self.id,
             EpochSnapshot {
@@ -1167,6 +1331,19 @@ impl<'m> Proc<'m> {
         }
         let words = slot.staged_words();
         let data: Arc<dyn Any + Send + Sync> = Arc::clone(slot) as _;
+        // A pooled buffer's footprint is its high-water capacity, charged
+        // once to the pool account as it grows and never released (the
+        // buffer is reused for the plan's lifetime). Steady-state sends
+        // through a warm slot charge nothing, preserving the executor's
+        // allocation-free hot path — no `PayloadCharge` guard either, for
+        // the same reason: the slot, not the wire, owns these bytes.
+        if !(self.events.is_none() && self.metrics.is_none()) {
+            let growth = slot.note_charged(words as u64 * 4);
+            if growth > 0 {
+                let now = self.clock.now_ns();
+                self.mem_sample(MemAccount::Pool, self.id, now, growth as i64);
+            }
+        }
         let arrival_ns = if words == 0 {
             self.clock.now_ns()
         } else {
@@ -1181,11 +1358,24 @@ impl<'m> Proc<'m> {
                     arrival_ns,
                     words,
                     data,
+                    charge: None,
                 };
                 self.senders[dst].send(Frame::Raw(pkt));
                 None
             }
-            Some(t) => Some(t.send(self.id, self.senders, dst, tag, arrival_ns, words, data)),
+            Some(t) => Some(t.send(
+                self.id,
+                self.senders,
+                dst,
+                Packet {
+                    src: self.id,
+                    tag,
+                    arrival_ns,
+                    words,
+                    data,
+                    charge: None,
+                },
+            )),
         };
         if words > 0 {
             if self.events.is_some() {

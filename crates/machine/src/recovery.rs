@@ -157,8 +157,10 @@ impl RecoveryState {
     /// boundary flush complete, anything below the receiver's next expected
     /// sequence per sender is covered by the snapshot taken at this
     /// boundary. `expected[src]` comes from `dst`'s own transport; `None`
-    /// (no transport, hence no sequenced traffic) clears the log.
-    pub(crate) fn truncate_log(&self, dst: usize, expected: Option<&[u64]>) {
+    /// (no transport, hence no sequenced traffic) clears the log. Returns
+    /// the log's charged words `(before, after)` truncation — the interval
+    /// peak and the truncation floor the caller's memory accounting records.
+    pub(crate) fn truncate_log(&self, dst: usize, expected: Option<&[u64]>) -> (u64, u64) {
         let mut log = self.logs[dst].lock().unwrap();
         let before = log.words;
         match expected {
@@ -166,9 +168,11 @@ impl RecoveryState {
             Some(exp) => log.frames.retain(|(seq, pkt)| *seq >= exp[pkt.src]),
         }
         log.words = log.frames.iter().map(|(_, p)| p.words as u64).sum();
-        let freed = before - log.words;
+        let after = log.words;
+        let freed = before - after;
         drop(log);
         self.log_words.fetch_sub(freed, Relaxed);
+        (before, after)
     }
 
     /// Clone `dst`'s current replay log (packets share payloads by refcount).

@@ -24,13 +24,11 @@
 //! the wall-clock retry *counters* depend on OS scheduling, and they are
 //! reported as diagnostics, never charged to the simulated clock.
 
-use std::any::Any;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::chan::FrameSender;
-use crate::cost::Words;
 use crate::error::MachineError;
 use crate::fault::{FaultPlan, Verdict};
 use crate::message::{Frame, Packet};
@@ -48,15 +46,13 @@ const RTO_CAP: Duration = Duration::from_millis(160);
 /// uses, the probability of 30 consecutive losses is ≈ 10⁻²¹.
 const MAX_ATTEMPTS: u32 = 30;
 
-/// One unacknowledged message, kept for retransmission. The payload is an
-/// `Arc` shared with the in-flight packet(s): keeping it for a possible
-/// retransmit is a refcount bump, not a deep copy.
+/// One unacknowledged message, kept for retransmission. The stored packet
+/// shares its payload (and its memory charge) with the in-flight copy(s)
+/// by refcount: keeping it for a possible retransmit is a refcount bump,
+/// not a deep copy. Its `arrival_ns` is fixed at first transmission (delay
+/// included), so retries replay the same timestamp.
 struct Stored {
-    data: Arc<dyn Any + Send + Sync>,
-    tag: u64,
-    words: Words,
-    /// Simulated arrival time, fixed at first transmission (delay included).
-    arrival_ns: f64,
+    pkt: Packet,
     /// Transmissions so far (1 after the original send).
     attempts: u32,
     /// Wall-clock instant of the original send (retry-latency diagnostic).
@@ -132,33 +128,27 @@ impl Transport {
         &self.plan
     }
 
-    /// Sender side: enqueue a message for reliable delivery and make the
-    /// first transmission attempt. `base_arrival_ns` is the fault-free
+    /// Sender side: enqueue a packet for reliable delivery and make the
+    /// first transmission attempt. The packet carries the fault-free
     /// arrival time; the plan's per-message delay is added here, once,
     /// keyed by sequence number, so retries replay the same timestamp.
     /// Returns the sequence number assigned to the message.
-    #[allow(clippy::too_many_arguments)] // mirrors the Packet fields plus routing
     pub(crate) fn send(
         &mut self,
         me: usize,
         senders: &[FrameSender],
         dst: usize,
-        tag: u64,
-        base_arrival_ns: f64,
-        words: Words,
-        data: Arc<dyn Any + Send + Sync>,
+        mut pkt: Packet,
     ) -> u64 {
+        debug_assert_eq!(pkt.src, me, "a processor only sends its own packets");
         let seq = self.next_seq[dst];
         self.next_seq[dst] += 1;
-        let arrival_ns = base_arrival_ns + self.plan.delay_ns(me, dst, seq);
+        pkt.arrival_ns += self.plan.delay_ns(me, dst, seq);
         let now = Instant::now();
         self.unacked.insert(
             (dst, seq),
             Stored {
-                data,
-                tag,
-                words,
-                arrival_ns,
+                pkt,
                 attempts: 1,
                 first_sent: now,
                 deadline: now + RTO_INITIAL,
@@ -178,10 +168,10 @@ impl Transport {
         }
         match verdict {
             Verdict::Drop => {}
-            Verdict::Deliver => self.phys_send(me, senders, dst, seq),
+            Verdict::Deliver => self.phys_send(senders, dst, seq),
             Verdict::Duplicate => {
-                self.phys_send(me, senders, dst, seq);
-                self.phys_send(me, senders, dst, seq);
+                self.phys_send(senders, dst, seq);
+                self.phys_send(senders, dst, seq);
             }
             Verdict::HoldBack(n) => {
                 let release_at = self.tx_count[dst] + n as u64;
@@ -193,7 +183,7 @@ impl Transport {
     /// Physically put one `Data` frame of `(dst, seq)` on the wire (if it is
     /// still unacknowledged), then release any held-back transmissions that
     /// the advancing link counter makes due.
-    fn phys_send(&mut self, me: usize, senders: &[FrameSender], dst: usize, seq: u64) {
+    fn phys_send(&mut self, senders: &[FrameSender], dst: usize, seq: u64) {
         let mut queue = vec![seq];
         while let Some(s) = queue.pop() {
             let Some(st) = self.unacked.get(&(dst, s)) else {
@@ -201,13 +191,7 @@ impl Transport {
                 // message already got through, nothing left to send.
                 continue;
             };
-            let pkt = Packet {
-                src: me,
-                tag: st.tag,
-                arrival_ns: st.arrival_ns,
-                words: st.words,
-                data: Arc::clone(&st.data),
-            };
+            let pkt = st.pkt.clone();
             // The channel outlives all sends (the driver parks receiver
             // endpoints until every processor has joined).
             senders[dst].send(Frame::Data { seq: s, pkt });
@@ -399,9 +383,28 @@ pub(crate) struct TransportSnapshot {
 mod tests {
     use super::*;
     use crate::chan::{frame_channel, FrameReceiver};
+    use crate::cost::Words;
+    use std::any::Any;
 
     fn wires(n: usize) -> (Vec<FrameSender>, Vec<FrameReceiver>) {
         (0..n).map(|_| frame_channel()).unzip()
+    }
+
+    fn out_pkt(
+        src: usize,
+        tag: u64,
+        arrival_ns: f64,
+        words: Words,
+        data: Arc<dyn Any + Send + Sync>,
+    ) -> Packet {
+        Packet {
+            src,
+            tag,
+            arrival_ns,
+            words,
+            data,
+            charge: None,
+        }
     }
 
     fn data_frames(rx: &FrameReceiver) -> Vec<(u64, Packet)> {
@@ -419,7 +422,7 @@ mod tests {
         let (txs, rxs) = wires(2);
         let mut t = Transport::new(Arc::new(FaultPlan::new(0)), 2);
         for i in 0..4i32 {
-            t.send(0, &txs, 1, 7, i as f64, 1, Arc::new(vec![i]));
+            t.send(0, &txs, 1, out_pkt(0, 7, i as f64, 1, Arc::new(vec![i])));
         }
         let got = data_frames(&rxs[1]);
         assert_eq!(
@@ -437,7 +440,7 @@ mod tests {
     fn dropped_message_is_retransmitted_with_same_arrival() {
         let (txs, rxs) = wires(2);
         let mut t = Transport::new(Arc::new(plan_dropping_first()), 2);
-        t.send(0, &txs, 1, 7, 42.0, 1, Arc::new(vec![9i32]));
+        t.send(0, &txs, 1, out_pkt(0, 7, 42.0, 1, Arc::new(vec![9i32])));
         assert!(data_frames(&rxs[1]).is_empty(), "attempt 0 must be dropped");
         // Force the retry timer.
         for st in t.unacked.values_mut() {
@@ -459,7 +462,7 @@ mod tests {
         let (txs, rxs) = wires(2);
         let mut t = Transport::new(Arc::new(FaultPlan::new(0)), 2);
         let buf: Arc<dyn Any + Send + Sync> = Arc::new(vec![5i32, 6]);
-        t.send(0, &txs, 1, 7, 1.0, 2, Arc::clone(&buf));
+        t.send(0, &txs, 1, out_pkt(0, 7, 1.0, 2, Arc::clone(&buf)));
         for st in t.unacked.values_mut() {
             st.deadline = Instant::now() - Duration::from_millis(1);
         }
@@ -479,7 +482,7 @@ mod tests {
         let (txs, _rxs) = wires(2);
         let mut t = Transport::new(Arc::new(plan_dropping_first()), 2);
         t.record = true;
-        let seq = t.send(0, &txs, 1, 7, 0.0, 1, Arc::new(vec![1i32]));
+        let seq = t.send(0, &txs, 1, out_pkt(0, 7, 0.0, 1, Arc::new(vec![1i32])));
         assert_eq!(seq, 0);
         for st in t.unacked.values_mut() {
             st.deadline = Instant::now() - Duration::from_millis(1);
@@ -487,13 +490,7 @@ mod tests {
         t.pump(0, &txs).unwrap();
         // Stale duplicate on the receive side of the same transport.
         t.expected[1] = 5;
-        let dup = Packet {
-            src: 1,
-            tag: 7,
-            arrival_ns: 0.0,
-            words: 1,
-            data: Arc::new(vec![0i32]),
-        };
+        let dup = out_pkt(1, 7, 0.0, 1, Arc::new(vec![0i32]));
         assert!(t.on_data(0, &txs, 2, dup).is_empty());
         let evs = t.take_events();
         assert!(
@@ -525,13 +522,7 @@ mod tests {
     fn receiver_orders_and_deduplicates() {
         let (txs, _rxs) = wires(2);
         let mut t = Transport::new(Arc::new(FaultPlan::new(0)), 2);
-        let pkt = |v: i32| Packet {
-            src: 1,
-            tag: 7,
-            arrival_ns: 0.0,
-            words: 1,
-            data: Arc::new(vec![v]),
-        };
+        let pkt = |v: i32| out_pkt(1, 7, 0.0, 1, Arc::new(vec![v]));
         // seq 1 arrives early: buffered.
         assert!(t.on_data(0, &txs, 1, pkt(1)).is_empty());
         // duplicate of seq 1: dropped.
@@ -566,7 +557,7 @@ mod tests {
         );
         let (txs, _rxs) = wires(2);
         let mut t = Transport::new(Arc::new(plan), 2);
-        t.send(0, &txs, 1, 7, 0.0, 1, Arc::new(vec![1i32]));
+        t.send(0, &txs, 1, out_pkt(0, 7, 0.0, 1, Arc::new(vec![1i32])));
         let err = loop {
             for st in t.unacked.values_mut() {
                 st.deadline = Instant::now() - Duration::from_millis(1);
@@ -604,18 +595,12 @@ mod tests {
             let (txs, _rxs) = wires(3);
             let mut t = Transport::new(Arc::new(FaultPlan::new(0)), 3);
             for &(dst, words) in &sends {
-                t.send(0, &txs, dst, 7, 1e6, words, Arc::new(vec![1i32; words]));
+                t.send(0, &txs, dst, out_pkt(0, 7, 1e6, words, Arc::new(vec![1i32; words])));
             }
             for &(src, n) in &recvs {
                 for _ in 0..n {
                     let seq = t.expected[src];
-                    let pkt = Packet {
-                        src,
-                        tag: 7,
-                        arrival_ns: 0.0,
-                        words: 1,
-                        data: Arc::new(Vec::<i32>::new()),
-                    };
+                    let pkt = out_pkt(src, 7, 0.0, 1, Arc::new(Vec::<i32>::new()));
                     t.on_data(1, &txs, seq, pkt);
                 }
             }

@@ -373,4 +373,117 @@ fn recovery_telemetry_appears_only_when_recovery_happens() {
         "crashed trace lacks resume marker"
     );
     assert_eq!(crashed.results, fault_free.results);
+
+    // Post-recovery the replay-log memory gauge must sit at its truncation
+    // floor: the final epoch boundary's checkpoint covers every logged
+    // frame, so nothing is retained.
+    let replay_log = &merged.gauges["mem.replay_log.cur"];
+    assert!(
+        replay_log.max > 0,
+        "epoch frames were logged, so the replay-log gauge saw a peak"
+    );
+    assert_eq!(
+        replay_log.last, 0,
+        "final boundary must truncate the replay log back to zero"
+    );
+}
+
+/// Like [`two_epoch_ring`] but with a deliberately fat epoch-0 payload: the
+/// 64-word message sets a 256-byte mailbox/replay-log high-water mark that
+/// the tiny epoch-1 traffic can never reproduce, so peak survival across
+/// the epoch-boundary snapshot restore is observable.
+fn lopsided_epoch_ring(p: &mut Proc) -> i32 {
+    let n = p.nprocs();
+    let next = (p.id() + 1) % n;
+    let prev = (p.id() + n - 1) % n;
+    let mut st = p.id() as i32;
+    for round in 0..2u64 {
+        p.epoch(&mut st, |p, st| {
+            let words = if round == 0 { 64 } else { 1 };
+            p.send(next, tags::USER + round, vec![*st; words]);
+            let got: Vec<i32> = p.recv(prev, tags::USER + round);
+            *st = st.wrapping_add(got[0]);
+        });
+    }
+    st
+}
+
+/// Memory-gauge semantics across epochs: the all-run high-water (`max`)
+/// must survive both the epoch-boundary snapshot/restore cycle and a
+/// crash-recovery replay, while the current value (`last`) must drain back
+/// to zero — a replay that re-charged without releasing (double-counting)
+/// would leave a residue, and a restore that merged instead of overwrote
+/// would inflate the peak.
+#[test]
+fn mem_gauge_peaks_survive_restore_without_double_counting() {
+    let observed = || {
+        Machine::new(ProcGrid::line(4), CostModel::cm5())
+            .with_test_preset()
+            .with_tracing(true)
+            .with_metrics(true)
+    };
+    let check = |out: &hpf_machine::RunOutput<i32>, what: &str| {
+        let merged = out.merged_metrics();
+        let mailbox = &merged.gauges["mem.mailbox.cur"];
+        assert!(
+            mailbox.max >= 256,
+            "{what}: epoch-0's 64-word message must set a >=256-byte \
+             mailbox peak (got {})",
+            mailbox.max
+        );
+        assert_eq!(
+            mailbox.last, 0,
+            "{what}: every delivery was consumed, so the mailbox gauge \
+             must drain back to zero"
+        );
+        let replay = &merged.gauges["mem.replay_log.cur"];
+        assert!(
+            replay.max >= 256,
+            "{what}: the epoch-0 frame stays logged until its boundary, \
+             so the replay-log peak covers it (got {})",
+            replay.max
+        ); // requires sequenced transport — see the fault plans below
+        assert_eq!(
+            replay.last, 0,
+            "{what}: each boundary truncates the frames its checkpoint \
+             covers, so the log ends at its zero floor"
+        );
+    };
+
+    // The crash-free baseline still needs a non-benign plan: a benign one
+    // skips the sequenced transport entirely, and with it the replay log.
+    // A crash step the program never reaches arms the transport without
+    // ever firing.
+    let clean = observed()
+        .with_faults(FaultPlan::new(5).with_crash(1, 99))
+        .run_recoverable(lopsided_epoch_ring)
+        .expect("crash-free recoverable run");
+    assert_eq!(clean.recovery.as_ref().expect("stats").replays, 0);
+    check(&clean, "crash-free run");
+
+    // Crash proc 1 on its second send — inside epoch 1, after the epoch-0
+    // checkpoint. The respawn restores epoch-0's metrics snapshot (which
+    // already contains the 256-byte peaks) and replays epoch-1 frames.
+    let crashed = observed()
+        .with_faults(FaultPlan::new(5).with_crash(1, 2))
+        .run_recoverable(lopsided_epoch_ring)
+        .expect("crash must recover");
+    assert_eq!(
+        crashed.recovery.as_ref().expect("stats").replays,
+        1,
+        "the send-step crash must fire exactly once"
+    );
+    check(&crashed, "crashed run");
+    assert_eq!(crashed.results, clean.results);
+
+    // The recovered peak matches the fault-free run's bit-for-bit: restore
+    // overwrites rather than merges (a respawned processor's pre-restore
+    // re-execution must not stack on top of the snapshot), and the
+    // replay's re-charges release symmetrically.
+    assert_eq!(
+        crashed.merged_metrics().gauges["mem.mailbox.cur"].max,
+        clean.merged_metrics().gauges["mem.mailbox.cur"].max,
+        "crash recovery must neither inflate (double-count) nor lose the \
+         mailbox high-water mark"
+    );
 }

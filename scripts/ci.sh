@@ -56,6 +56,16 @@ cargo run -p hpf-bench --release --bin perf -- --smoke --filter exec_hot --out "
 python3 scripts/validate_bench.py "$hot_json"
 rm -f "$hot_json"
 
+echo "== perf --filter memory (predicted vs measured peak-memory gate) =="
+# Traced runs with per-account memory tracking: the perf binary exits
+# nonzero if any workload's closed-form predicted peak (DESIGN.md section
+# 13) fails to bound the measured high-water mark, or over-estimates past
+# the 1.25 ratio; the validator re-checks the emitted report.
+mem_json="$(mktemp)"
+cargo run -p hpf-bench --release --bin perf -- --smoke --filter memory --out "$mem_json"
+python3 scripts/validate_bench.py "$mem_json"
+rm -f "$mem_json"
+
 echo "== perfdiff (simulated-cost regression gate vs committed baseline) =="
 if [[ -f results/BENCH_baseline.json ]]; then
   # Simulated costs are deterministic and the zero-copy execute path must

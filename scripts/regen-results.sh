@@ -12,8 +12,17 @@ cargo run -p hpf-bench --release --bin timeline -- --trace-out results/timeline-
   > results/timeline.txt
 
 echo "== perf (machine-readable BENCH_<rev>.json) =="
+# Prune per-revision reports from older revisions: only the committed
+# baseline plus the current revision's report belong in results/.
+rev="$(git rev-parse --short HEAD)"
+for f in results/BENCH_*.json; do
+  case "$f" in
+    results/BENCH_baseline.json | "results/BENCH_$rev.json") ;;
+    *) echo "pruning stale $f"; rm -f "$f" ;;
+  esac
+done
 cargo run -p hpf-bench --release --bin perf
-python3 scripts/validate_bench.py "results/BENCH_$(git rev-parse --short HEAD).json"
+python3 scripts/validate_bench.py "results/BENCH_$rev.json"
 
 echo "== perf smoke baseline (perfdiff reference) + critical-path report =="
 # The committed baseline must be a --smoke run: that is what ci.sh compares

@@ -8,9 +8,11 @@ appear (restricted to the filtered group when the report carries a
 `--filter`), per-stage times must sum to (approximately) the total, every
 recorded cost-model conformance verdict must pass, every `exec_hot`
 workload must report **zero** steady-state allocations per execute and
-zero deep-copied payload words, and every `recovery` workload must have
+zero deep-copied payload words, every `recovery` workload must have
 actually recovered its scheduled crash (replays >= 1, a live replay log,
-non-negative wall-clock overhead).
+non-negative wall-clock overhead), and every `memory` workload's predicted
+peak must bound the measured one without over-estimating past the 1.25
+ratio gate.
 
 Usage: validate_bench.py REPORT.json [SCHEMA.json]
 Exit code 0 on success, 1 with a diagnostic per violation otherwise.
@@ -19,6 +21,9 @@ Exit code 0 on success, 1 with a diagnostic per violation otherwise.
 import json
 import os
 import sys
+
+# Mirrors hpf_analysis::memory::MEM_RATIO_GATE.
+MEM_RATIO_GATE = 1.25
 
 TYPES = {
     "object": dict,
@@ -99,6 +104,13 @@ def coverage_checks(report, errors):
         ("recovery", "recovery.unpack.sss"),
         ("apps", "apps.compaction"), ("apps", "apps.sort"),
         ("apps", "apps.spmv"), ("apps", "apps.gather"),
+        ("memory", "memory.pack.sss"),
+        ("memory", "memory.pack.css"),
+        ("memory", "memory.pack.cms"),
+        ("memory", "memory.unpack.sss"),
+        ("memory", "memory.unpack.css"),
+        ("memory", "memory.pack.red1"),
+        ("memory", "memory.pack.red2"),
     ]
     fil = report.get("filter")
     for group, prefix in required_prefixes:
@@ -245,6 +257,38 @@ def coverage_checks(report, errors):
                         f"workload {name}: {arm}_per_exec_ms x executes != "
                         f"{arm}_total_ms ({per} x {executes} vs {total})"
                     )
+        mem = w.get("memory")
+        if isinstance(mem, dict):
+            name = w.get("name")
+            # The peak-memory gate: the closed-form model must be an upper
+            # bound on the measured simulated-time high-water mark, and a
+            # useful one — over-estimation past MEM_RATIO_GATE means the
+            # model (DESIGN.md section 13) has drifted from the executor.
+            measured = mem.get("measured_peak_bytes")
+            predicted = mem.get("predicted_peak_bytes")
+            if not (isinstance(measured, int) and measured > 0):
+                errors.append(
+                    f"workload {name}: measured peak {measured!r} not positive — "
+                    "memory tracking recorded no charges"
+                )
+            elif not (isinstance(predicted, int) and predicted >= measured):
+                errors.append(
+                    f"workload {name}: predicted peak {predicted} under-estimates "
+                    f"measured {measured}"
+                )
+            ratio = mem.get("ratio")
+            if not isinstance(ratio, (int, float)) or ratio > MEM_RATIO_GATE:
+                errors.append(
+                    f"workload {name}: predicted/measured ratio {ratio} exceeds "
+                    f"{MEM_RATIO_GATE}"
+                )
+            if mem.get("pass") is not True:
+                errors.append(f"workload {name}: memory gate failed")
+        elif w.get("group") == "memory":
+            errors.append(
+                f"workload {w.get('name')}: memory group entry carries "
+                "no memory report"
+            )
 
 
 def main():
