@@ -21,6 +21,12 @@
 //!    into per-processor high-water marks and checks them against a
 //!    closed-form predicted peak-memory model — the memory analogue of
 //!    the conformance check, and the gate Red.2 feasibility hangs on.
+//! 5. **Where does the *real* time go?** [`wallprof`] aggregates the
+//!    wall-clock span profiles of a profiled run into a ranked hotspot
+//!    report (exclusive time, bytes moved, bandwidth vs the memcpy roof)
+//!    and gates wall-time medians across revisions with a noise band
+//!    derived from repeated measurement — the only place wall-clock is
+//!    ever gated, and never against simulated metrics.
 //!
 //! The [`json`] module carries the minimal recursive-descent JSON parser
 //! the diff needs (the repo deliberately has no serde).
@@ -32,6 +38,7 @@ pub mod critpath;
 pub mod diff;
 pub mod json;
 pub mod memory;
+pub mod wallprof;
 
 pub use conformance::{Conformance, ConformancePhases};
 pub use critpath::{CritPath, ProcBreakdown, Segment, SegmentKind};
@@ -40,4 +47,8 @@ pub use json::Json;
 pub use memory::{
     measured_peak, predict_pack_peak, predict_pack_redist_peak, predict_unpack_peak, MeasuredPeak,
     PeakMemory, MEM_RATIO_GATE,
+};
+pub use wallprof::{
+    mad, median, memcpy_roof_gbps, Hotspot, HotspotReport, WallDiffReport, WallDiffRow,
+    WallVerdict, WALL_NOISE_MADS,
 };

@@ -7,22 +7,33 @@
 //! any metric regresses by at least the fail threshold or a workload
 //! disappeared.
 //!
+//! With `--wall`, a second, *noise-aware* gate also compares the
+//! per-workload `wall` objects (median/MAD/cv from `--reps` repetition):
+//! a workload fails only when its wall median regressed beyond
+//! max(noise band, `--wall-fixed-pct`). Workloads whose `cv` is null
+//! (single rep, noise unmeasured) are skipped, never failed. The two
+//! gates are independent by design — simulated drift is a behavioural
+//! change, wall drift is a real-machine performance change.
+//!
 //! Usage:
 //! ```sh
 //! cargo run -p hpf-bench --bin perfdiff -- OLD.json NEW.json \
-//!     [--warn-above PCT] [--fail-above PCT]
+//!     [--warn-above PCT] [--fail-above PCT] [--wall] [--wall-fixed-pct PCT]
 //! ```
 //!
 //! Exit codes: 0 = clean (or warnings only), 1 = regression at or above
-//! the fail threshold / missing workload, 2 = usage or parse error.
+//! the fail threshold / missing workload (either gate), 2 = usage or
+//! parse error.
 
-use hpf_analysis::{DiffReport, Json};
+use hpf_analysis::{DiffReport, Json, WallDiffReport};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<String> = Vec::new();
     let mut warn_above = 2.0f64;
     let mut fail_above = 10.0f64;
+    let mut wall = false;
+    let mut wall_fixed_pct = 10.0f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -32,6 +43,14 @@ fn main() {
             }
             "--fail-above" => {
                 fail_above = parse_pct(args.get(i + 1), "--fail-above");
+                i += 2;
+            }
+            "--wall" => {
+                wall = true;
+                i += 1;
+            }
+            "--wall-fixed-pct" => {
+                wall_fixed_pct = parse_pct(args.get(i + 1), "--wall-fixed-pct");
                 i += 2;
             }
             flag if flag.starts_with("--") => usage(&format!("unknown flag {flag}")),
@@ -55,6 +74,7 @@ fn main() {
     println!("## perfdiff: {} -> {}\n", paths[0], paths[1]);
     print!("{}", diff.markdown(warn_above, fail_above));
 
+    let mut failed = false;
     if diff.failed(fail_above) {
         eprintln!(
             "perfdiff: FAIL (worst regression {:+.2}%, threshold {fail_above}%, \
@@ -62,13 +82,34 @@ fn main() {
             diff.max_regression_pct(),
             diff.missing.len()
         );
-        std::process::exit(1);
-    }
-    if diff.max_regression_pct() >= warn_above {
+        failed = true;
+    } else if diff.max_regression_pct() >= warn_above {
         eprintln!(
             "perfdiff: warnings only (worst regression {:+.2}% < fail threshold {fail_above}%)",
             diff.max_regression_pct()
         );
+    }
+
+    if wall {
+        let wd = WallDiffReport::compare(&old, &new, wall_fixed_pct).unwrap_or_else(|e| {
+            eprintln!("perfdiff: {e}");
+            std::process::exit(2);
+        });
+        println!("\n## wall-clock (noise-aware, floor {wall_fixed_pct}%)\n");
+        print!("{}", wd.markdown());
+        if wd.failed() {
+            eprintln!(
+                "perfdiff: wall FAIL (worst gated regression {:+.2}%, \
+                 {} workloads missing)",
+                wd.max_regression_pct(),
+                wd.missing.len()
+            );
+            failed = true;
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
     }
 }
 
@@ -90,7 +131,8 @@ fn load(path: &str) -> Json {
 
 fn usage(msg: &str) -> ! {
     eprintln!(
-        "perfdiff: {msg}\nusage: perfdiff OLD.json NEW.json [--warn-above PCT] [--fail-above PCT]"
+        "perfdiff: {msg}\nusage: perfdiff OLD.json NEW.json [--warn-above PCT] \
+         [--fail-above PCT] [--wall] [--wall-fixed-pct PCT]"
     );
     std::process::exit(2);
 }

@@ -6,7 +6,7 @@ use hpf_core::{
     PlanCache, RedistScheme, UnpackOptions, UnpackScheme,
 };
 use hpf_distarray::{local_from_fn, ArrayDesc, DimLayout, Dist, GlobalArray, TrackArray};
-use hpf_machine::{Breakdown, Category, CostModel, Machine, ProcGrid, RunOutput};
+use hpf_machine::{Breakdown, Category, CostModel, Machine, ProcGrid, RunOutput, WallProfile};
 
 /// One experiment point: an array shape distributed with a uniform block
 /// size over a grid, masked by a pattern.
@@ -476,6 +476,64 @@ fn hot_from_runs(
     }
 }
 
+/// Per-processor wall-clock span profiles of the steady-state PACK
+/// execute loop: the same plan-once / execute-N program as
+/// [`time_pack_hot`], re-run on a wall-profiling machine. Profiling is
+/// deliberately kept *out* of the timed, allocation-counted pass — the
+/// counting-allocator measurement stays pristine — so hotspot attribution
+/// always comes from this separate run.
+pub fn profile_pack_hot(cfg: &ExpConfig, opts: &PackOptions, executes: usize) -> Vec<WallProfile> {
+    use hpf_core::PackOutput;
+
+    let desc = cfg.desc();
+    let (desc_ref, pattern, shape) = (&desc, cfg.pattern, cfg.shape.clone());
+    let out = cfg.machine().with_wall_profiling(true).run(move |proc| {
+        let a = local_from_fn(desc_ref, proc.id(), ExpConfig::value_at);
+        let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
+        let plan = plan_pack(proc, desc_ref, &m, opts).unwrap();
+        let mut out = PackOutput {
+            local_v: Vec::new(),
+            size: 0,
+            v_layout: None,
+        };
+        for _ in 0..HOT_WARMUP + executes {
+            plan.execute_into(proc, &a, &mut out).unwrap();
+        }
+    });
+    out.wall_profiles
+}
+
+/// Per-processor wall-clock span profiles of the steady-state UNPACK
+/// execute loop; see [`profile_pack_hot`].
+pub fn profile_unpack_hot(
+    cfg: &ExpConfig,
+    opts: &UnpackOptions,
+    executes: usize,
+) -> Vec<WallProfile> {
+    let desc = cfg.desc();
+    let size = {
+        let m = cfg.pattern.global(&cfg.shape);
+        m.data().iter().filter(|&&b| b).count()
+    };
+    let nprocs: usize = cfg.grid.iter().product();
+    let n_prime = size.max(1);
+    let v_layout = DimLayout::new_general(n_prime, nprocs, n_prime.div_ceil(nprocs)).unwrap();
+    let (desc_ref, pattern, shape, vl) = (&desc, cfg.pattern, cfg.shape.clone(), &v_layout);
+    let out = cfg.machine().with_wall_profiling(true).run(move |proc| {
+        let m = local_from_fn(desc_ref, proc.id(), |g| pattern.value(g, &shape));
+        let f = local_from_fn(desc_ref, proc.id(), |_| -1i32);
+        let v: Vec<i32> = (0..vl.local_len(proc.id()))
+            .map(|l| vl.global_of(proc.id(), l) as i32)
+            .collect();
+        let plan = plan_unpack(proc, desc_ref, &m, vl, opts).unwrap();
+        let mut out = Vec::new();
+        for _ in 0..HOT_WARMUP + executes {
+            plan.execute_into(proc, &f, &v, &mut out).unwrap();
+        }
+    });
+    out.wall_profiles
+}
+
 /// Per-processor `LocalComp` operation counts of the PACK planning phase
 /// alone. The simulation is deterministic, so a full run's counts minus
 /// these are exactly the execute phase's — used for phase-resolved
@@ -860,6 +918,44 @@ mod tests {
         assert!(hot.wall_ns_per_exec > 0.0);
         assert_eq!(hot.clone_words, 0);
         assert!(sim.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn wall_profiling_is_opt_in_and_well_formed() {
+        let cfg = ExpConfig::new(
+            &[256],
+            &[4],
+            4,
+            MaskPattern::Random {
+                density: 0.5,
+                seed: 4,
+            },
+        );
+        // Off by default: no wall profiles may leak into a normal run's
+        // output, so the timed / allocation-counted passes stay pristine.
+        let (_, out) = run_pack(&cfg, &PackOptions::default(), false);
+        assert!(
+            out.wall_profiles.is_empty(),
+            "wall profiles leaked into an unprofiled run"
+        );
+        // The dedicated profiled pass: one profile per processor, spans
+        // recorded and properly nested, with execute frames in the folded
+        // export.
+        let profiles = profile_pack_hot(&cfg, &PackOptions::default(), 3);
+        assert_eq!(profiles.len(), 4);
+        for (pid, p) in profiles.iter().enumerate() {
+            assert!(p.total_ns() > 0, "proc {pid} recorded no wall time");
+            p.well_formed().expect("pack wall spans nest");
+        }
+        let folded = hpf_machine::folded_stacks(&profiles);
+        assert!(
+            folded.lines().any(|l| l.contains("pack.execute")),
+            "folded export missing execute frames:\n{folded}"
+        );
+        let profiles = profile_unpack_hot(&cfg, &UnpackOptions::default(), 3);
+        for p in &profiles {
+            p.well_formed().expect("unpack wall spans nest");
+        }
     }
 
     #[test]

@@ -116,17 +116,19 @@ impl SimpleComposer {
 
 impl Composer for SimpleComposer {
     fn scan(&mut self, proc: &mut Proc, m_local: &[bool], w0: usize) -> Vec<i32> {
-        proc.with_category(Category::LocalComp, |proc| {
-            let mut counts = vec![0i32; m_local.len() / w0.max(1)];
-            for (l, &selected) in m_local.iter().enumerate() {
-                if selected {
-                    let k = l / w0;
-                    self.records.push((l as u32, k as u32, counts[k] as u32));
-                    counts[k] += 1;
+        proc.wall_span("scan.simple", |proc| {
+            proc.with_category(Category::LocalComp, |proc| {
+                let mut counts = vec![0i32; m_local.len() / w0.max(1)];
+                for (l, &selected) in m_local.iter().enumerate() {
+                    if selected {
+                        let k = l / w0;
+                        self.records.push((l as u32, k as u32, counts[k] as u32));
+                        counts[k] += 1;
+                    }
                 }
-            }
-            proc.charge_ops(m_local.len() + 4 * self.records.len());
-            counts
+                proc.charge_ops(m_local.len() + 4 * self.records.len());
+                counts
+            })
         })
     }
 
@@ -139,25 +141,28 @@ impl Composer for SimpleComposer {
         layout: &DimLayout,
     ) -> Vec<Route> {
         let nprocs = proc.nprocs();
-        proc.with_category(Category::LocalComp, |proc| {
-            let mut routes: Vec<Route> = (0..nprocs)
-                .map(|_| Route {
-                    ranks: RankList::new(RankEmit::Explicit),
-                    slots: Vec::new(),
-                })
-                .collect();
-            for &(local, slice, init) in &self.records {
-                let rank = init as usize + ranking.ps_f[slice as usize] as usize;
-                let owner = layout.owner(rank);
-                let route = &mut routes[owner];
-                match &mut route.ranks {
-                    RankList::Explicit(v) => v.push(rank as u32),
-                    RankList::Runs(_) => unreachable!("simple composition is explicit"),
+        proc.wall_span("compose.simple", |proc| {
+            proc.with_category(Category::LocalComp, |proc| {
+                let mut routes: Vec<Route> = (0..nprocs)
+                    .map(|_| Route {
+                        ranks: RankList::new(RankEmit::Explicit),
+                        slots: Vec::new(),
+                    })
+                    .collect();
+                for &(local, slice, init) in &self.records {
+                    let rank = init as usize + ranking.ps_f[slice as usize] as usize;
+                    let owner = layout.owner(rank);
+                    let route = &mut routes[owner];
+                    match &mut route.ranks {
+                        RankList::Explicit(v) => v.push(rank as u32),
+                        RankList::Runs(_) => unreachable!("simple composition is explicit"),
+                    }
+                    route.slots.push(local);
                 }
-                route.slots.push(local);
-            }
-            proc.charge_ops(self.per_elem * self.records.len());
-            routes
+                proc.charge_ops(self.per_elem * self.records.len());
+                proc.wall_bytes(self.records.len() as u64 * 8);
+                routes
+            })
         })
     }
 }
@@ -187,11 +192,13 @@ impl CompactComposer {
 
 impl Composer for CompactComposer {
     fn scan(&mut self, proc: &mut Proc, m_local: &[bool], w0: usize) -> Vec<i32> {
-        proc.with_category(Category::LocalComp, |proc| {
-            let counts = crate::ranking::slice_counts(m_local, w0);
-            self.ps_c = counts.clone();
-            proc.charge_ops(m_local.len() + self.ps_c.len());
-            counts
+        proc.wall_span("scan.compact", |proc| {
+            proc.with_category(Category::LocalComp, |proc| {
+                let counts = crate::ranking::slice_counts(m_local, w0);
+                self.ps_c = counts.clone();
+                proc.charge_ops(m_local.len() + self.ps_c.len());
+                counts
+            })
         })
     }
 
@@ -204,48 +211,51 @@ impl Composer for CompactComposer {
         layout: &DimLayout,
     ) -> Vec<Route> {
         let nprocs = proc.nprocs();
-        proc.with_category(Category::LocalComp, |proc| {
-            let mut routes: Vec<Route> = (0..nprocs)
-                .map(|_| Route {
-                    ranks: RankList::new(self.emit),
-                    slots: Vec::new(),
-                })
-                .collect();
-            let mut ops = self.ps_c.len(); // one check per slice
-            let mut slots: Vec<u32> = Vec::with_capacity(w0);
-            for (k, &n) in self.ps_c.iter().enumerate() {
-                if n == 0 {
-                    continue;
-                }
-                let n = n as usize;
-                let r0 = ranking.ps_f[k] as usize;
-                slots.clear();
-                ops += collect_slice_slots(
-                    &m_local[k * w0..(k + 1) * w0],
-                    k * w0,
-                    n,
-                    self.scan_method,
-                    &mut slots,
-                );
-                let mut taken = 0usize;
-                for (start, len) in dest_runs(r0, n, layout) {
-                    let owner = layout.owner(start);
-                    let route = &mut routes[owner];
-                    match &mut route.ranks {
-                        RankList::Explicit(v) => {
-                            for j in 0..len {
-                                v.push((start + j) as u32);
-                            }
-                        }
-                        RankList::Runs(v) => v.push((start as u32, len as u32)),
+        proc.wall_span("compose.compact", |proc| {
+            proc.with_category(Category::LocalComp, |proc| {
+                let mut routes: Vec<Route> = (0..nprocs)
+                    .map(|_| Route {
+                        ranks: RankList::new(self.emit),
+                        slots: Vec::new(),
+                    })
+                    .collect();
+                let mut ops = self.ps_c.len(); // one check per slice
+                let mut slots: Vec<u32> = Vec::with_capacity(w0);
+                for (k, &n) in self.ps_c.iter().enumerate() {
+                    if n == 0 {
+                        continue;
                     }
-                    route.slots.extend_from_slice(&slots[taken..taken + len]);
-                    taken += len;
-                    ops += self.cost.per_run + self.cost.per_elem * len;
+                    let n = n as usize;
+                    let r0 = ranking.ps_f[k] as usize;
+                    slots.clear();
+                    ops += collect_slice_slots(
+                        &m_local[k * w0..(k + 1) * w0],
+                        k * w0,
+                        n,
+                        self.scan_method,
+                        &mut slots,
+                    );
+                    let mut taken = 0usize;
+                    for (start, len) in dest_runs(r0, n, layout) {
+                        let owner = layout.owner(start);
+                        let route = &mut routes[owner];
+                        match &mut route.ranks {
+                            RankList::Explicit(v) => {
+                                for j in 0..len {
+                                    v.push((start + j) as u32);
+                                }
+                            }
+                            RankList::Runs(v) => v.push((start as u32, len as u32)),
+                        }
+                        route.slots.extend_from_slice(&slots[taken..taken + len]);
+                        taken += len;
+                        ops += self.cost.per_run + self.cost.per_elem * len;
+                    }
                 }
-            }
-            proc.charge_ops(ops);
-            routes
+                proc.charge_ops(ops);
+                proc.wall_bytes(ops as u64 * 4);
+                routes
+            })
         })
     }
 }

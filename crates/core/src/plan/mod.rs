@@ -274,26 +274,29 @@ impl PackPlan {
     /// The buffer for each destination — this processor's own rank included
     /// — is left staged in its slot for the exchange.
     fn gather_pairs<T: Wire + Default>(&self, proc: &mut Proc, a_local: &[T]) {
-        proc.with_category(Category::LocalComp, |proc| {
-            let mut moved = 0usize;
-            for (dst, route) in self.routes.iter().enumerate() {
-                if route.slots.is_empty() {
-                    continue;
+        proc.wall_span("pack.gather", |proc| {
+            proc.with_category(Category::LocalComp, |proc| {
+                let mut moved = 0usize;
+                for (dst, route) in self.routes.iter().enumerate() {
+                    if route.slots.is_empty() {
+                        continue;
+                    }
+                    let RankList::Explicit(ranks) = &route.ranks else {
+                        unreachable!("pair schemes compose explicit ranks")
+                    };
+                    let (slot, mut buf) = proc.pool_checkout::<Vec<(u32, T)>>(self.pool_key, dst);
+                    buf.extend(
+                        ranks
+                            .iter()
+                            .zip(&route.slots)
+                            .map(|(&r, &s)| (r, a_local[s as usize])),
+                    );
+                    moved += ranks.len();
+                    slot.stash(buf);
                 }
-                let RankList::Explicit(ranks) = &route.ranks else {
-                    unreachable!("pair schemes compose explicit ranks")
-                };
-                let (slot, mut buf) = proc.pool_checkout::<Vec<(u32, T)>>(self.pool_key, dst);
-                buf.extend(
-                    ranks
-                        .iter()
-                        .zip(&route.slots)
-                        .map(|(&r, &s)| (r, a_local[s as usize])),
-                );
-                moved += ranks.len();
-                slot.stash(buf);
-            }
-            proc.charge_ops(moved);
+                proc.charge_ops(moved);
+                proc.wall_bytes((moved * std::mem::size_of::<(u32, T)>()) as u64);
+            })
         })
     }
 
@@ -302,21 +305,26 @@ impl PackPlan {
     /// header charge was paid at plan time). The route structure is fixed
     /// per plan, so refills reuse the message's segment skeleton in place.
     fn gather_segments<T: Wire + Default>(&self, proc: &mut Proc, a_local: &[T]) {
-        proc.with_category(Category::LocalComp, |proc| {
-            let mut moved = 0usize;
-            for (dst, route) in self.routes.iter().enumerate() {
-                if route.slots.is_empty() {
-                    continue;
+        proc.wall_span("pack.gather", |proc| {
+            proc.with_category(Category::LocalComp, |proc| {
+                let mut moved = 0usize;
+                for (dst, route) in self.routes.iter().enumerate() {
+                    if route.slots.is_empty() {
+                        continue;
+                    }
+                    let RankList::Runs(runs) = &route.ranks else {
+                        unreachable!("compact message composes runs")
+                    };
+                    let (slot, mut msg) = proc.pool_checkout::<CmsMessage<T>>(self.pool_key, dst);
+                    proc.wall_span("fill_segments", |proc| {
+                        compact_message::fill_segments(&mut msg, runs, &route.slots, a_local);
+                        proc.wall_bytes((route.slots.len() * std::mem::size_of::<T>()) as u64);
+                    });
+                    moved += route.slots.len();
+                    slot.stash(msg);
                 }
-                let RankList::Runs(runs) = &route.ranks else {
-                    unreachable!("compact message composes runs")
-                };
-                let (slot, mut msg) = proc.pool_checkout::<CmsMessage<T>>(self.pool_key, dst);
-                compact_message::fill_segments(&mut msg, runs, &route.slots, a_local);
-                moved += route.slots.len();
-                slot.stash(msg);
-            }
-            proc.charge_ops(moved);
+                proc.charge_ops(moved);
+            })
         })
     }
 
@@ -432,27 +440,30 @@ impl PackPlan {
         recvs: &mut Vec<Packet>,
         out: &mut Vec<T>,
     ) {
-        proc.with_category(Category::LocalComp, |proc| {
-            let me = proc.id();
-            out.clear();
-            out.resize(layout.local_len(me), T::default());
-            let mut placed = 0usize;
-            if self.a2a.to[me] {
-                let slot = proc.pool_current::<Vec<(u32, T)>>(self.pool_key, me);
-                let buf = slot.take_staged();
-                placed += place_pairs(layout, me, &buf, out);
-                slot.put_back(buf);
-            }
-            for pkt in recvs.drain(..) {
-                let slot = pkt
-                    .data
-                    .downcast::<PoolSlot<Vec<(u32, T)>>>()
-                    .expect("pooled exchange delivers pool slots");
-                let buf = slot.take_staged();
-                placed += place_pairs(layout, me, &buf, out);
-                slot.put_back(buf);
-            }
-            proc.charge_ops(2 * placed);
+        proc.wall_span("pack.decode", |proc| {
+            proc.with_category(Category::LocalComp, |proc| {
+                let me = proc.id();
+                out.clear();
+                out.resize(layout.local_len(me), T::default());
+                let mut placed = 0usize;
+                if self.a2a.to[me] {
+                    let slot = proc.pool_current::<Vec<(u32, T)>>(self.pool_key, me);
+                    let buf = slot.take_staged();
+                    placed += place_pairs(layout, me, &buf, out);
+                    slot.put_back(buf);
+                }
+                for pkt in recvs.drain(..) {
+                    let slot = pkt
+                        .data
+                        .downcast::<PoolSlot<Vec<(u32, T)>>>()
+                        .expect("pooled exchange delivers pool slots");
+                    let buf = slot.take_staged();
+                    placed += place_pairs(layout, me, &buf, out);
+                    slot.put_back(buf);
+                }
+                proc.charge_ops(2 * placed);
+                proc.wall_bytes((placed * std::mem::size_of::<(u32, T)>()) as u64);
+            })
         })
     }
 
@@ -465,27 +476,29 @@ impl PackPlan {
         recvs: &mut Vec<Packet>,
         out: &mut Vec<T>,
     ) {
-        proc.with_category(Category::LocalComp, |proc| {
-            let me = proc.id();
-            out.clear();
-            out.resize(layout.local_len(me), T::default());
-            let mut ops = 0usize;
-            if self.a2a.to[me] {
-                let slot = proc.pool_current::<CmsMessage<T>>(self.pool_key, me);
-                let msg = slot.take_staged();
-                ops += compact_message::place_segments(layout, me, &msg, out);
-                slot.put_back(msg);
-            }
-            for pkt in recvs.drain(..) {
-                let slot = pkt
-                    .data
-                    .downcast::<PoolSlot<CmsMessage<T>>>()
-                    .expect("pooled exchange delivers pool slots");
-                let msg = slot.take_staged();
-                ops += compact_message::place_segments(layout, me, &msg, out);
-                slot.put_back(msg);
-            }
-            proc.charge_ops(ops);
+        proc.wall_span("pack.decode", |proc| {
+            proc.with_category(Category::LocalComp, |proc| {
+                let me = proc.id();
+                out.clear();
+                out.resize(layout.local_len(me), T::default());
+                let mut ops = 0usize;
+                if self.a2a.to[me] {
+                    let slot = proc.pool_current::<CmsMessage<T>>(self.pool_key, me);
+                    let msg = slot.take_staged();
+                    ops += place_segments_walled(proc, layout, me, &msg, out);
+                    slot.put_back(msg);
+                }
+                for pkt in recvs.drain(..) {
+                    let slot = pkt
+                        .data
+                        .downcast::<PoolSlot<CmsMessage<T>>>()
+                        .expect("pooled exchange delivers pool slots");
+                    let msg = slot.take_staged();
+                    ops += place_segments_walled(proc, layout, me, &msg, out);
+                    slot.put_back(msg);
+                }
+                proc.charge_ops(ops);
+            })
         })
     }
 }
@@ -498,6 +511,24 @@ fn route_bytes(route: &Route) -> u64 {
         RankList::Runs(v) => v.len() as u64 * 8,
     };
     ranks + route.slots.len() as u64 * 4
+}
+
+/// [`compact_message::place_segments`] bracketed by a `place_segments`
+/// wall span, attributing the placed values' bytes (the 2-word segment
+/// headers are excluded from the byte count — they are index work, not
+/// value movement).
+fn place_segments_walled<T: Wire + Default>(
+    proc: &mut Proc,
+    layout: &DimLayout,
+    me: usize,
+    msg: &CmsMessage<T>,
+    out: &mut [T],
+) -> usize {
+    proc.wall_span("place_segments", |proc| {
+        let ops = compact_message::place_segments(layout, me, msg, out);
+        proc.wall_bytes((msg.value_count() * std::mem::size_of::<T>()) as u64);
+        ops
+    })
 }
 
 /// Place one pair message's `(global rank, value)` entries into the local
@@ -707,10 +738,13 @@ impl UnpackPlan {
         proc.with_stage("unpack.execute", |proc| {
             // Field copy: local computation for every unselected element
             // (the selected ones are overwritten below).
-            proc.with_category(Category::LocalComp, |proc| {
-                proc.charge_ops(f_local.len());
-                out.clear();
-                out.extend_from_slice(f_local);
+            proc.wall_span("unpack.fieldcopy", |proc| {
+                proc.with_category(Category::LocalComp, |proc| {
+                    proc.charge_ops(f_local.len());
+                    out.clear();
+                    out.extend_from_slice(f_local);
+                    proc.wall_bytes(std::mem::size_of_val(f_local) as u64);
+                })
             });
             if self.size == 0 {
                 return;
@@ -723,18 +757,22 @@ impl UnpackPlan {
             // buffer (one operation per value — the index arithmetic was
             // paid at plan time). Requesters with nothing to serve get no
             // buffer, matching the reply plan's silent rounds.
-            proc.with_category(Category::LocalComp, |proc| {
-                let mut ops = 0usize;
-                for (requester, idx) in self.serve_idx.iter().enumerate() {
-                    if idx.is_empty() {
-                        continue;
+            proc.wall_span("unpack.serve", |proc| {
+                proc.with_category(Category::LocalComp, |proc| {
+                    let mut ops = 0usize;
+                    for (requester, idx) in self.serve_idx.iter().enumerate() {
+                        if idx.is_empty() {
+                            continue;
+                        }
+                        let (slot, mut buf) =
+                            proc.pool_checkout::<Vec<T>>(self.pool_key, requester);
+                        buf.extend(idx.iter().map(|&i| v_local[i as usize]));
+                        ops += idx.len();
+                        slot.stash(buf);
                     }
-                    let (slot, mut buf) = proc.pool_checkout::<Vec<T>>(self.pool_key, requester);
-                    buf.extend(idx.iter().map(|&i| v_local[i as usize]));
-                    ops += idx.len();
-                    slot.stash(buf);
-                }
-                proc.charge_ops(ops);
+                    proc.charge_ops(ops);
+                    proc.wall_bytes((ops * std::mem::size_of::<T>()) as u64);
+                })
             });
             let mut recvs = proc.take_pkt_scratch();
             proc.with_stage("unpack.reply", |proc| {
@@ -751,26 +789,29 @@ impl UnpackPlan {
             // Scatter the replies into A at the recorded element slots,
             // returning each buffer to its sender's slot. The self-reply
             // never crossed the wire; its slot is drained in place.
-            proc.with_category(Category::LocalComp, |proc| {
-                let me = proc.id();
-                let mut ops = 0usize;
-                if self.reply_a2a.to[me] {
-                    let slot = proc.pool_current::<Vec<T>>(self.pool_key, me);
-                    let buf = slot.take_staged();
-                    ops += scatter_reply(&self.targets[me], &buf, out);
-                    slot.put_back(buf);
-                }
-                for pkt in recvs.drain(..) {
-                    let owner = pkt.src;
-                    let slot = pkt
-                        .data
-                        .downcast::<PoolSlot<Vec<T>>>()
-                        .expect("pooled exchange delivers pool slots");
-                    let buf = slot.take_staged();
-                    ops += scatter_reply(&self.targets[owner], &buf, out);
-                    slot.put_back(buf);
-                }
-                proc.charge_ops(ops);
+            proc.wall_span("unpack.scatter", |proc| {
+                proc.with_category(Category::LocalComp, |proc| {
+                    let me = proc.id();
+                    let mut ops = 0usize;
+                    if self.reply_a2a.to[me] {
+                        let slot = proc.pool_current::<Vec<T>>(self.pool_key, me);
+                        let buf = slot.take_staged();
+                        ops += scatter_reply(&self.targets[me], &buf, out);
+                        slot.put_back(buf);
+                    }
+                    for pkt in recvs.drain(..) {
+                        let owner = pkt.src;
+                        let slot = pkt
+                            .data
+                            .downcast::<PoolSlot<Vec<T>>>()
+                            .expect("pooled exchange delivers pool slots");
+                        let buf = slot.take_staged();
+                        ops += scatter_reply(&self.targets[owner], &buf, out);
+                        slot.put_back(buf);
+                    }
+                    proc.charge_ops(ops);
+                    proc.wall_bytes((ops * std::mem::size_of::<T>()) as u64);
+                })
             });
             proc.restore_pkt_scratch(recvs);
         });

@@ -300,51 +300,61 @@ pub fn alltoallv_pooled<B: Reusable>(
     assert_eq!(plan.from.len(), n, "plan must cover the world");
     let me = proc.id();
 
-    proc.with_stage("a2a.planned", |proc| match schedule {
-        A2aSchedule::NaivePush => {
-            for k in 1..n {
-                let dst = (me + k) % n;
-                if plan.to[dst] {
-                    let slot = proc.pool_current::<B>(key, dst);
-                    proc.send_pooled(dst, tags::ALLTOALL, &slot);
+    // Wall attribution: each received packet's charged wire words, so the
+    // profile reports the exchange's effective receive bandwidth.
+    fn recv_attributed(proc: &mut Proc, src: usize, out: &mut Vec<Packet>) {
+        let pkt = proc.recv_packet(src, tags::ALLTOALL);
+        proc.wall_bytes(pkt.words as u64 * 4);
+        out.push(pkt);
+    }
+
+    proc.wall_span("a2a.pooled", |proc| {
+        proc.with_stage("a2a.planned", |proc| match schedule {
+            A2aSchedule::NaivePush => {
+                for k in 1..n {
+                    let dst = (me + k) % n;
+                    if plan.to[dst] {
+                        let slot = proc.pool_current::<B>(key, dst);
+                        proc.send_pooled(dst, tags::ALLTOALL, &slot);
+                    }
+                }
+                for k in 1..n {
+                    let src = (me + n - k) % n;
+                    if plan.from[src] {
+                        recv_attributed(proc, src, out);
+                    }
                 }
             }
-            for k in 1..n {
-                let src = (me + n - k) % n;
-                if plan.from[src] {
-                    out.push(proc.recv_packet(src, tags::ALLTOALL));
+            A2aSchedule::PairwiseExchange if n.is_power_of_two() => {
+                for k in 1..n {
+                    let partner = me ^ k;
+                    if plan.to[partner] {
+                        let slot = proc.pool_current::<B>(key, partner);
+                        proc.send_pooled(partner, tags::ALLTOALL, &slot);
+                    }
+                    if plan.from[partner] {
+                        recv_attributed(proc, partner, out);
+                    }
                 }
             }
-        }
-        A2aSchedule::PairwiseExchange if n.is_power_of_two() => {
-            for k in 1..n {
-                let partner = me ^ k;
-                if plan.to[partner] {
-                    let slot = proc.pool_current::<B>(key, partner);
-                    proc.send_pooled(partner, tags::ALLTOALL, &slot);
-                }
-                if plan.from[partner] {
-                    out.push(proc.recv_packet(partner, tags::ALLTOALL));
-                }
-            }
-        }
-        // Linear permutation, and the non-power-of-two pairwise fallback.
-        _ => {
-            for k in 1..n {
-                let dst = (me + k) % n;
-                let src = (me + n - k) % n;
-                if plan.round_is_silent(dst, src) {
-                    continue;
-                }
-                if plan.to[dst] {
-                    let slot = proc.pool_current::<B>(key, dst);
-                    proc.send_pooled(dst, tags::ALLTOALL, &slot);
-                }
-                if plan.from[src] {
-                    out.push(proc.recv_packet(src, tags::ALLTOALL));
+            // Linear permutation, and the non-power-of-two pairwise fallback.
+            _ => {
+                for k in 1..n {
+                    let dst = (me + k) % n;
+                    let src = (me + n - k) % n;
+                    if plan.round_is_silent(dst, src) {
+                        continue;
+                    }
+                    if plan.to[dst] {
+                        let slot = proc.pool_current::<B>(key, dst);
+                        proc.send_pooled(dst, tags::ALLTOALL, &slot);
+                    }
+                    if plan.from[src] {
+                        recv_attributed(proc, src, out);
+                    }
                 }
             }
-        }
+        });
     });
 }
 

@@ -59,7 +59,10 @@ pub use error::MachineError;
 pub use fault::{FaultPlan, LinkFaults};
 pub use machine::Machine;
 pub use message::{Mailbox, Packet, Payload, Wire};
-pub use obs::{Event, EventKind, MemAccount, MetricsSnapshot, ObsConfig};
+pub use obs::{
+    folded_stacks, Event, EventKind, MemAccount, MetricsSnapshot, ObsConfig, WallProfile,
+    WallProfiler, WallSpan,
+};
 pub use pool::{fresh_pool_key, BufferPool, PoolSlot, Reusable};
 pub use proc::{tags, Group, Proc};
 pub use recovery::{Checkpoint, RecoveryStats};

@@ -43,6 +43,7 @@ pub struct Machine {
     recv_timeout: Duration,
     tracing: bool,
     metrics: bool,
+    wall_profiling: bool,
     faults: Option<Arc<FaultPlan>>,
 }
 
@@ -60,6 +61,7 @@ impl Machine {
             recv_timeout: Duration::from_secs(120),
             tracing: false,
             metrics: false,
+            wall_profiling: false,
             faults: None,
         }
     }
@@ -78,6 +80,16 @@ impl Machine {
     /// [`RunOutput::metrics`].
     pub fn with_metrics(mut self, metrics: bool) -> Self {
         self.metrics = metrics;
+        self
+    }
+
+    /// Enable per-processor wall-clock profiling (see
+    /// [`crate::obs::WallProfiler`]), collected into
+    /// [`RunOutput::wall_profiles`]. Wall-side only: simulated clocks,
+    /// events, and metrics are byte-identical with or without it. Off by
+    /// default so the steady-state execute loop stays allocation-free.
+    pub fn with_wall_profiling(mut self, wall: bool) -> Self {
+        self.wall_profiling = wall;
         self
     }
 
@@ -224,6 +236,7 @@ impl Machine {
             Vec<u64>,
             Vec<crate::obs::Event>,
             crate::obs::MetricsSnapshot,
+            crate::obs::WallProfile,
         );
         let mut out: Vec<Option<Result<ProcOk<R>, Failure>>> = (0..p).map(|_| None).collect();
         let mut failures: Vec<(usize, Failure)> = Vec::new();
@@ -246,6 +259,7 @@ impl Machine {
                 let obs = crate::obs::ObsConfig {
                     events: self.tracing,
                     metrics: self.metrics,
+                    wall: self.wall_profiling,
                 };
                 let plan = self.faults.clone();
                 let rec = Arc::clone(&rec);
@@ -287,11 +301,12 @@ impl Machine {
                             }
                         },
                     };
-                    let (mut clock, comm_row, rx, events, metrics) = proc.into_parts();
+                    let (mut clock, comm_row, rx, events, metrics, wall) = proc.into_parts();
                     let trace = clock.take_trace();
                     let _ = done.send((
                         id,
-                        outcome.map(|r| (r, clock.report(), trace, comm_row, events, metrics)),
+                        outcome
+                            .map(|r| (r, clock.report(), trace, comm_row, events, metrics, wall)),
                         rx,
                     ));
                 });
@@ -354,15 +369,17 @@ impl Machine {
         let mut comm = Vec::with_capacity(p);
         let mut events = Vec::with_capacity(p);
         let mut metrics = Vec::with_capacity(p);
+        let mut wall = Vec::with_capacity(p);
         for slot in out {
             match slot.expect("every processor completed") {
-                Ok((r, c, trace, comm_row, evs, snap)) => {
+                Ok((r, c, trace, comm_row, evs, snap, wp)) => {
                     results.push(r);
                     clocks.push(c);
                     traces.push(trace);
                     comm.push(comm_row);
                     events.push(evs);
                     metrics.push(snap);
+                    wall.push(wp);
                 }
                 Err(_) => unreachable!("failures were returned above"),
             }
@@ -372,6 +389,9 @@ impl Machine {
         run.comm_matrix = comm;
         run.events = events;
         run.metrics = metrics;
+        if self.wall_profiling {
+            run.wall_profiles = wall;
+        }
         run.recovery = Some(rec.stats());
         Ok(run)
     }
@@ -400,6 +420,7 @@ impl Machine {
             Vec<u64>,
             Vec<crate::obs::Event>,
             crate::obs::MetricsSnapshot,
+            crate::obs::WallProfile,
         );
         let mut out: Vec<Option<Result<ProcOk<R>, Failure>>> = (0..p).map(|_| None).collect();
 
@@ -415,6 +436,7 @@ impl Machine {
                 let obs = crate::obs::ObsConfig {
                     events: self.tracing,
                     metrics: self.metrics,
+                    wall: self.wall_profiling,
                 };
                 let plan = self.faults.clone();
                 handles.push(scope.spawn(move || {
@@ -463,10 +485,11 @@ impl Machine {
                             }
                         }
                     }
-                    let (mut clock, comm_row, rx, events, metrics) = proc.into_parts();
+                    let (mut clock, comm_row, rx, events, metrics, wall) = proc.into_parts();
                     let trace = clock.take_trace();
                     (
-                        outcome.map(|r| (r, clock.report(), trace, comm_row, events, metrics)),
+                        outcome
+                            .map(|r| (r, clock.report(), trace, comm_row, events, metrics, wall)),
                         rx,
                     )
                 }));
@@ -488,16 +511,18 @@ impl Machine {
         let mut comm = Vec::with_capacity(p);
         let mut events = Vec::with_capacity(p);
         let mut metrics = Vec::with_capacity(p);
+        let mut wall = Vec::with_capacity(p);
         let mut failures = Vec::new();
         for (id, slot) in out.into_iter().enumerate() {
             match slot.expect("every processor joined") {
-                Ok((r, c, trace, comm_row, evs, snap)) => {
+                Ok((r, c, trace, comm_row, evs, snap, wp)) => {
                     results.push(r);
                     clocks.push(c);
                     traces.push(trace);
                     comm.push(comm_row);
                     events.push(evs);
                     metrics.push(snap);
+                    wall.push(wp);
                 }
                 Err(failure) => failures.push((id, failure)),
             }
@@ -510,6 +535,9 @@ impl Machine {
         run.comm_matrix = comm;
         run.events = events;
         run.metrics = metrics;
+        if self.wall_profiling {
+            run.wall_profiles = wall;
+        }
         Ok(run)
     }
 }

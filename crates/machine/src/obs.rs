@@ -35,10 +35,15 @@ pub struct ObsConfig {
     pub events: bool,
     /// Maintain per-processor metric registries.
     pub metrics: bool,
+    /// Record wall-clock spans with a per-processor [`WallProfiler`]; see
+    /// [`crate::Machine::with_wall_profiling`].
+    pub wall: bool,
 }
 
 impl ObsConfig {
-    /// True iff nothing is enabled (the zero-overhead fast path).
+    /// True iff no *simulated* observability is enabled (the zero-overhead
+    /// fast path for event/metric recording). Wall profiling is deliberately
+    /// excluded: it has its own gate and never feeds the simulated streams.
     pub fn is_off(&self) -> bool {
         !self.events && !self.metrics
     }
@@ -1090,6 +1095,331 @@ pub fn chrome_trace_json(traces: &[Vec<Span>], events: &[Vec<Event>]) -> String 
     out
 }
 
+// ---------------------------------------------------------------------------
+// Wall-clock profiling
+// ---------------------------------------------------------------------------
+
+/// One closed wall-clock span recorded by a [`WallProfiler`].
+///
+/// Timestamps are monotonic-clock nanoseconds relative to the profiler's
+/// origin (its construction instant), on the recording processor's own OS
+/// thread. They share no timebase with the simulated clock and must never
+/// be compared against it — see DESIGN.md §14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WallSpan {
+    /// Stage name; reuses the simulated stage vocabulary where the span
+    /// brackets the same region (e.g. `"pack.execute"`).
+    pub name: &'static str,
+    /// Index of the enclosing span in the profile's span list, `None` for
+    /// a root span. Spans are stored in begin order (pre-order), so a
+    /// parent always precedes its children.
+    pub parent: Option<u32>,
+    /// Nesting depth (0 = root).
+    pub depth: u32,
+    /// Begin time, nanoseconds since the profiler's origin.
+    pub start_ns: u64,
+    /// Wall duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Payload bytes moved inside this span (attributed with
+    /// [`WallProfiler::add_bytes`]; excludes bytes attributed to child
+    /// spans).
+    pub bytes: u64,
+}
+
+impl WallSpan {
+    /// Effective copy bandwidth over the span, GB/s (bytes per wall
+    /// nanosecond). Zero for an instantaneous or byte-free span.
+    pub fn gbps(&self) -> f64 {
+        if self.dur_ns == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.dur_ns as f64
+        }
+    }
+}
+
+/// A per-thread wall-clock span recorder — the wall-side twin of the
+/// simulated stage tracer. Each [`crate::Proc`] optionally owns one (see
+/// [`crate::Machine::with_wall_profiling`]); when absent, every profiling
+/// hook is a single `Option` branch, so disabled runs pay ~zero overhead
+/// and the steady-state execute loop stays allocation-free.
+///
+/// Spans nest: `begin`/`end` must pair like brackets on one thread. The
+/// span vector is pre-reserved so recording inside a measured hot loop
+/// does not allocate until the reservation is exhausted.
+#[derive(Debug)]
+pub struct WallProfiler {
+    origin: std::time::Instant,
+    spans: Vec<WallSpan>,
+    /// Indices into `spans` of the currently open spans, innermost last.
+    open: Vec<u32>,
+    /// `end` calls with no matching `begin` (a bug the nesting check
+    /// surfaces).
+    unmatched_ends: u32,
+}
+
+impl Default for WallProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WallProfiler {
+    /// Pre-reserved span capacity: enough for the bench hot loops (tens of
+    /// spans per execute) without reallocation mid-measurement.
+    const RESERVE: usize = 4096;
+
+    /// A fresh profiler; its origin is *now*.
+    pub fn new() -> WallProfiler {
+        WallProfiler {
+            origin: std::time::Instant::now(),
+            spans: Vec::with_capacity(Self::RESERVE),
+            open: Vec::with_capacity(32),
+            unmatched_ends: 0,
+        }
+    }
+
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// Open a nested span named `name`.
+    #[inline]
+    pub fn begin(&mut self, name: &'static str) {
+        let idx = self.spans.len() as u32;
+        let parent = self.open.last().copied();
+        let depth = self.open.len() as u32;
+        let start_ns = self.now_ns();
+        self.spans.push(WallSpan {
+            name,
+            parent,
+            depth,
+            start_ns,
+            dur_ns: 0,
+            bytes: 0,
+        });
+        self.open.push(idx);
+    }
+
+    /// Close the innermost open span.
+    #[inline]
+    pub fn end(&mut self) {
+        let now = self.now_ns();
+        match self.open.pop() {
+            Some(idx) => {
+                let span = &mut self.spans[idx as usize];
+                span.dur_ns = now.saturating_sub(span.start_ns);
+            }
+            None => self.unmatched_ends += 1,
+        }
+    }
+
+    /// Attribute `bytes` of payload movement to the innermost open span
+    /// (dropped on the floor when no span is open).
+    #[inline]
+    pub fn add_bytes(&mut self, bytes: u64) {
+        if let Some(&idx) = self.open.last() {
+            self.spans[idx as usize].bytes += bytes;
+        }
+    }
+
+    /// Finish profiling: force-close any spans still open (counting them,
+    /// so [`WallProfile::well_formed`] can flag the leak) and freeze the
+    /// span list.
+    pub fn finish(mut self) -> WallProfile {
+        let forced = self.open.len() as u32;
+        while !self.open.is_empty() {
+            self.end();
+        }
+        WallProfile {
+            spans: self.spans,
+            forced_closes: forced,
+            unmatched_ends: self.unmatched_ends,
+        }
+    }
+}
+
+/// One processor's finished wall profile: the closed spans in begin
+/// (pre-)order plus bookkeeping for the nesting check.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WallProfile {
+    /// Closed spans, in begin order (a parent precedes its children).
+    pub spans: Vec<WallSpan>,
+    /// Spans still open when the profiler was finished (0 in a well-formed
+    /// profile — every `begin` had an `end`).
+    pub forced_closes: u32,
+    /// `end` calls that had no matching `begin`.
+    pub unmatched_ends: u32,
+}
+
+impl WallProfile {
+    /// Total root-span wall time, nanoseconds (children are contained in
+    /// their parents, so summing the roots never double-counts).
+    pub fn total_ns(&self) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.parent.is_none())
+            .map(|s| s.dur_ns)
+            .sum()
+    }
+
+    /// Span `i`'s *self* time: its duration minus its direct children's
+    /// durations (saturating — timer granularity can make children sum
+    /// slightly past the parent).
+    pub fn self_ns(&self, i: usize) -> u64 {
+        let children: u64 = self
+            .spans
+            .iter()
+            .filter(|s| s.parent == Some(i as u32))
+            .map(|s| s.dur_ns)
+            .sum();
+        self.spans[i].dur_ns.saturating_sub(children)
+    }
+
+    /// The dotted stack of span `i`, root-first, e.g.
+    /// `"pack.execute;a2a.planned"`.
+    pub fn stack_of(&self, i: usize) -> String {
+        let mut names = Vec::new();
+        let mut cur = Some(i as u32);
+        while let Some(c) = cur {
+            let s = &self.spans[c as usize];
+            names.push(s.name);
+            cur = s.parent;
+        }
+        names.reverse();
+        names.join(";")
+    }
+
+    /// Nesting check: every `begin` had an `end`, every `end` a `begin`,
+    /// and every child span lies within its parent's interval. Returns a
+    /// diagnostic for the first violation.
+    pub fn well_formed(&self) -> Result<(), String> {
+        if self.forced_closes > 0 {
+            return Err(format!(
+                "{} spans were never closed (begin without end)",
+                self.forced_closes
+            ));
+        }
+        if self.unmatched_ends > 0 {
+            return Err(format!(
+                "{} end calls had no open span",
+                self.unmatched_ends
+            ));
+        }
+        for (i, s) in self.spans.iter().enumerate() {
+            let Some(p) = s.parent else {
+                if s.depth != 0 {
+                    return Err(format!(
+                        "root span {} ({}) has depth {}",
+                        i, s.name, s.depth
+                    ));
+                }
+                continue;
+            };
+            let parent = &self.spans[p as usize];
+            if s.depth != parent.depth + 1 {
+                return Err(format!(
+                    "span {} ({}) depth {} under parent depth {}",
+                    i, s.name, s.depth, parent.depth
+                ));
+            }
+            if s.start_ns < parent.start_ns
+                || s.start_ns + s.dur_ns > parent.start_ns + parent.dur_ns
+            {
+                return Err(format!(
+                    "span {} ({}) [{}, {}] outside parent {} [{}, {}]",
+                    i,
+                    s.name,
+                    s.start_ns,
+                    s.start_ns + s.dur_ns,
+                    parent.name,
+                    parent.start_ns,
+                    parent.start_ns + parent.dur_ns
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Render per-processor wall profiles as folded stacks — the
+/// flamegraph.pl / inferno input format: one `stack;frames count` line per
+/// distinct stack, where the count is the stack's *self* wall time in
+/// nanoseconds. Stacks are rooted at `procN` and aggregated over all
+/// occurrences; lines are sorted, so the output is deterministic given the
+/// profiles.
+pub fn folded_stacks(profiles: &[WallProfile]) -> String {
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    for (pid, profile) in profiles.iter().enumerate() {
+        for i in 0..profile.spans.len() {
+            let self_ns = profile.self_ns(i);
+            if self_ns == 0 {
+                continue;
+            }
+            let stack = format!("proc{pid};{}", profile.stack_of(i));
+            *agg.entry(stack).or_insert(0) += self_ns;
+        }
+    }
+    let mut out = String::new();
+    for (stack, ns) in agg {
+        let _ = writeln!(out, "{stack} {ns}");
+    }
+    out
+}
+
+/// [`chrome_trace_json`] plus a dedicated per-processor wall-clock track:
+/// each profile's spans are emitted as complete `X` slices on `tid` 3
+/// (thread name `wall`), with the span's moved bytes and effective GB/s as
+/// args. Wall timestamps are monotonic nanoseconds since the profiler's
+/// origin — a different timebase from the simulated tracks, which is why
+/// they live on their own thread and are never mixed into the simulated
+/// rows.
+pub fn chrome_trace_json_with_wall(
+    traces: &[Vec<Span>],
+    events: &[Vec<Event>],
+    wall: &[WallProfile],
+) -> String {
+    let mut out = chrome_trace_json(traces, events);
+    debug_assert!(out.ends_with("]}"));
+    out.truncate(out.len() - 2);
+    let mut extra = String::new();
+    for (pid, profile) in wall.iter().enumerate() {
+        if profile.spans.is_empty() {
+            continue;
+        }
+        let _ = write!(
+            extra,
+            ",{{\"ph\":\"M\",\"pid\":{pid},\"tid\":3,\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"wall\"}}}}"
+        );
+        for s in &profile.spans {
+            let _ = write!(
+                extra,
+                ",{{\"ph\":\"X\",\"pid\":{pid},\"tid\":3,\"ts\":{:.3},\"dur\":{:.3},\
+                 \"name\":\"{}\",\"cat\":\"wall\",\"args\":{{\"bytes\":{},\
+                 \"gbps\":{:.3}}}}}",
+                s.start_ns as f64 / 1000.0,
+                s.dur_ns as f64 / 1000.0,
+                s.name,
+                s.bytes,
+                s.gbps()
+            );
+        }
+    }
+    if !extra.is_empty() {
+        // Skip the leading comma if the simulated export had no events at
+        // all (a zero-processor run).
+        if out.ends_with('[') {
+            out.push_str(&extra[1..]);
+        } else {
+            out.push_str(&extra);
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1285,5 +1615,117 @@ mod tests {
         let mut s = String::new();
         escape_into(&mut s, "a\"b\\c\nd");
         assert_eq!(s, "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn wall_profiler_records_nested_spans() {
+        let mut w = WallProfiler::new();
+        w.begin("outer");
+        w.add_bytes(100);
+        w.begin("inner");
+        w.add_bytes(40);
+        w.end();
+        w.end();
+        let p = w.finish();
+        p.well_formed().expect("balanced begins/ends");
+        assert_eq!(p.spans.len(), 2);
+        let outer = &p.spans[0];
+        let inner = &p.spans[1];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.parent, None);
+        assert_eq!(outer.depth, 0);
+        assert_eq!(outer.bytes, 100);
+        assert_eq!(inner.name, "inner");
+        assert_eq!(inner.parent, Some(0));
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.bytes, 40);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+        assert_eq!(p.total_ns(), outer.dur_ns);
+        assert_eq!(p.stack_of(1), "outer;inner");
+        assert_eq!(p.self_ns(0), outer.dur_ns - inner.dur_ns);
+    }
+
+    #[test]
+    fn wall_profile_flags_unbalanced_spans() {
+        let mut w = WallProfiler::new();
+        w.begin("leaked");
+        let p = w.finish();
+        assert!(p.well_formed().is_err(), "unclosed span must be flagged");
+
+        let mut w = WallProfiler::new();
+        w.end();
+        let p = w.finish();
+        assert!(p.well_formed().is_err(), "stray end must be flagged");
+    }
+
+    #[test]
+    fn folded_stacks_aggregate_self_time() {
+        let profile = WallProfile {
+            spans: vec![
+                WallSpan {
+                    name: "execute",
+                    parent: None,
+                    depth: 0,
+                    start_ns: 0,
+                    dur_ns: 100,
+                    bytes: 0,
+                },
+                WallSpan {
+                    name: "gather",
+                    parent: Some(0),
+                    depth: 1,
+                    start_ns: 10,
+                    dur_ns: 60,
+                    bytes: 0,
+                },
+            ],
+            forced_closes: 0,
+            unmatched_ends: 0,
+        };
+        let folded = folded_stacks(&[profile]);
+        assert_eq!(folded, "proc0;execute 40\nproc0;execute;gather 60\n");
+    }
+
+    #[test]
+    fn wall_track_extends_trace_without_touching_simulated_rows() {
+        let traces: Vec<Vec<Span>> = vec![Vec::new()];
+        let events: Vec<Vec<Event>> = vec![Vec::new()];
+        let base = chrome_trace_json(&traces, &events);
+        // No profiles, or only empty profiles: export is byte-identical.
+        assert_eq!(
+            chrome_trace_json_with_wall(&traces, &events, &[]),
+            base,
+            "empty wall must not change the export"
+        );
+        assert_eq!(
+            chrome_trace_json_with_wall(&traces, &events, &[WallProfile::default()]),
+            base
+        );
+
+        let profile = WallProfile {
+            spans: vec![WallSpan {
+                name: "pack.execute",
+                parent: None,
+                depth: 0,
+                start_ns: 1000,
+                dur_ns: 2000,
+                bytes: 4000,
+            }],
+            forced_closes: 0,
+            unmatched_ends: 0,
+        };
+        let json = chrome_trace_json_with_wall(&traces, &events, &[profile]);
+        assert!(json.starts_with(&base[..base.len() - 2]), "{json}");
+        assert!(json.contains("\"tid\":3"), "{json}");
+        assert!(json.contains("\"name\":\"wall\""), "{json}");
+        assert!(json.contains("\"bytes\":4000"), "{json}");
+        assert!(json.contains("\"gbps\":2.000"), "{json}");
+        let depth = json.chars().fold(0i32, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
     }
 }

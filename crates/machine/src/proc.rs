@@ -20,7 +20,7 @@ use crate::fault::FaultPlan;
 use crate::message::{Frame, Mailbox, Packet, Payload, PayloadCharge};
 use crate::obs::{
     Counter, Event, EventKind, Gauge, Histogram, MemAccount, MetricsSnapshot, ObsConfig, Registry,
-    TransportEvent,
+    TransportEvent, WallProfile, WallProfiler,
 };
 use crate::pool::{BufferPool, PoolSlot, Reusable};
 use crate::recovery::{Checkpoint, EpochSnapshot, RecoveryState, ResumeCtx};
@@ -149,6 +149,9 @@ pub struct Proc<'m> {
     events: Option<Vec<Event>>,
     /// Metric registry + cached hot-path handles, present iff enabled.
     metrics: Option<ProcMetrics>,
+    /// Wall-clock span recorder, present iff wall profiling is enabled.
+    /// Strictly wall-side: it never reads or charges the simulated clock.
+    wall: Option<WallProfiler>,
     /// Reusable send buffers for planned executes (see [`crate::pool`]).
     pool: BufferPool,
     /// Scratch space for pooled exchanges' received packets, pre-reserved
@@ -198,6 +201,7 @@ impl<'m> Proc<'m> {
             words_to: vec![0; nprocs],
             events: obs.events.then(Vec::new),
             metrics: obs.metrics.then(ProcMetrics::new),
+            wall: obs.wall.then(WallProfiler::new),
             pool: BufferPool::default(),
             pkt_scratch: Vec::with_capacity(nprocs),
             recovery: None,
@@ -369,6 +373,19 @@ impl<'m> Proc<'m> {
     /// between traces, metrics, perf reports, and the paper's section
     /// structure (see DESIGN.md §8).
     pub fn with_stage<R>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> R) -> R {
+        // Every simulated stage is also bracketed by a wall-clock span when
+        // profiling is on, so wall and simulated views share the same stage
+        // vocabulary without instrumenting call sites twice. Wall recording
+        // never touches the simulated side below.
+        if self.wall.is_none() {
+            return self.with_stage_sim(name, f);
+        }
+        self.wall_span(name, |p| p.with_stage_sim(name, f))
+    }
+
+    /// The simulated half of [`Proc::with_stage`]: event spans and the
+    /// stage-duration histogram.
+    fn with_stage_sim<R>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> R) -> R {
         if self.events.is_none() && self.metrics.is_none() {
             return f(self);
         }
@@ -384,6 +401,37 @@ impl<'m> Proc<'m> {
                 .observe(us);
         }
         out
+    }
+
+    /// Run `f` inside a wall-clock span named `name`. A single `Option`
+    /// branch when wall profiling is off — the default, keeping the
+    /// steady-state execute loop's zero-allocation guarantee intact. The
+    /// span records monotonic wall nanoseconds only; the simulated clock,
+    /// event log, and metrics are untouched, so enabling profiling can
+    /// never perturb simulated results.
+    #[inline]
+    pub fn wall_span<R>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> R) -> R {
+        if self.wall.is_none() {
+            return f(self);
+        }
+        if let Some(w) = self.wall.as_mut() {
+            w.begin(name);
+        }
+        let out = f(self);
+        if let Some(w) = self.wall.as_mut() {
+            w.end();
+        }
+        out
+    }
+
+    /// Attribute `bytes` of payload movement to the innermost open wall
+    /// span, so the profile can report effective copy bandwidth per stage.
+    /// No-op unless wall profiling is on.
+    #[inline]
+    pub fn wall_bytes(&mut self, bytes: u64) {
+        if let Some(w) = self.wall.as_mut() {
+            w.add_bytes(bytes);
+        }
     }
 
     /// Drop a named point annotation at the current simulated time (e.g. a
@@ -1218,6 +1266,7 @@ impl<'m> Proc<'m> {
         FrameReceiver,
         Vec<Event>,
         MetricsSnapshot,
+        WallProfile,
     ) {
         self.drain_transport_events();
         if let Some(t) = self.transport.as_ref() {
@@ -1229,7 +1278,12 @@ impl<'m> Proc<'m> {
             .take()
             .map(|m| m.registry.snapshot())
             .unwrap_or_default();
-        (self.clock, self.words_to, self.rx, events, metrics)
+        let wall = self
+            .wall
+            .take()
+            .map(WallProfiler::finish)
+            .unwrap_or_default();
+        (self.clock, self.words_to, self.rx, events, metrics, wall)
     }
 
     /// Charged words this processor has sent to each destination so far

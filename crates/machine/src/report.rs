@@ -3,7 +3,7 @@
 //! in total, in milliseconds.
 
 use crate::cost::{Category, ClockReport};
-use crate::obs::{Event, MetricsSnapshot};
+use crate::obs::{Event, MetricsSnapshot, WallProfile};
 use crate::recovery::RecoveryStats;
 
 /// Everything a [`crate::Machine::run`] call produced: per-processor results
@@ -30,6 +30,10 @@ pub struct RunOutput<R> {
     /// [`crate::Machine::run_recoverable`]; `replays == 0` when no crash
     /// fired).
     pub recovery: Option<RecoveryStats>,
+    /// Per-processor wall-clock profiles (strictly empty unless the machine
+    /// was built with [`crate::Machine::with_wall_profiling`] — wall data
+    /// never leaks into unprofiled runs).
+    pub wall_profiles: Vec<WallProfile>,
 }
 
 impl<R> RunOutput<R> {
@@ -42,6 +46,7 @@ impl<R> RunOutput<R> {
             events: Vec::new(),
             metrics: Vec::new(),
             recovery: None,
+            wall_profiles: Vec::new(),
         }
     }
 
@@ -67,7 +72,7 @@ impl<R> RunOutput<R> {
     /// `trace_event` JSON, loadable in [Perfetto](https://ui.perfetto.dev)
     /// or `chrome://tracing` (see [`crate::obs::chrome_trace_json`]).
     pub fn chrome_trace_json(&self) -> String {
-        crate::obs::chrome_trace_json(&self.traces, &self.events)
+        crate::obs::chrome_trace_json_with_wall(&self.traces, &self.events, &self.wall_profiles)
     }
 
     /// All processors' metric snapshots merged into one (counters add,
@@ -199,6 +204,7 @@ impl<R> RunOutput<R> {
             events: self.events.clone(),
             metrics: self.metrics.clone(),
             recovery: self.recovery.clone(),
+            wall_profiles: self.wall_profiles.clone(),
         }
     }
 }

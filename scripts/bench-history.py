@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Tabulate wall-clock and simulated headline metrics across perf reports
+into a markdown trend table.
+
+Walks the git history of results/BENCH_*.json (every committed revision of
+every per-revision report and the baseline), parses each version it can
+read, dedupes by the report's own `rev` + mode (newest commit wins), adds
+any reports sitting uncommitted in the working tree, and renders one row
+per report ordered oldest-first. Stdlib only.
+
+Headline columns: the summed simulated total (deterministic; any drift is
+a behavioural change), the summed wall medians (noisy; trend only), the
+worst measured cv (how trustworthy the wall column is), and the
+steady-state hot-path ns/element of the CMS pack kernel (the ROADMAP
+item-2 tuning target).
+
+Usage: bench-history.py [--out FILE]    (default: print to stdout)
+Exit code 0 even when no reports exist (prints an empty table) so the
+regen hook never turns a missing history into a failure.
+"""
+
+import datetime
+import json
+import os
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def git(*args):
+    return subprocess.run(
+        ["git", *args], capture_output=True, text=True, cwd=ROOT, check=False
+    )
+
+
+def committed_reports():
+    """Yield (commit_time, report_dict) for every parseable committed
+    version of a results/BENCH_*.json file."""
+    log = git(
+        "log", "--format=%h %ct", "--name-only", "--diff-filter=ACMR",
+        "--", "results/BENCH_*.json",
+    )
+    if log.returncode != 0:
+        return
+    commit, ctime = None, 0
+    for line in log.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) == 2 and parts[1].isdigit():
+            commit, ctime = parts[0], int(parts[1])
+            continue
+        if commit is None or not line.startswith("results/BENCH_"):
+            continue
+        show = git("show", f"{commit}:{line}")
+        if show.returncode != 0:
+            continue
+        try:
+            yield ctime, json.loads(show.stdout)
+        except json.JSONDecodeError:
+            continue
+
+
+def worktree_reports():
+    """Yield (mtime, report_dict) for reports in the working tree."""
+    results = os.path.join(ROOT, "results")
+    if not os.path.isdir(results):
+        return
+    for name in sorted(os.listdir(results)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        path = os.path.join(results, name)
+        try:
+            with open(path) as f:
+                yield int(os.path.getmtime(path)), json.load(f)
+        except (OSError, json.JSONDecodeError):
+            continue
+
+
+def wall_median_ms(w):
+    """A workload's wall median: the schema-v7 `wall` object when present,
+    the legacy flat `wall_ms` otherwise."""
+    wall = w.get("wall")
+    if isinstance(wall, dict) and isinstance(wall.get("median_ms"), (int, float)):
+        return wall["median_ms"]
+    ms = w.get("wall_ms")
+    return ms if isinstance(ms, (int, float)) else 0.0
+
+
+def headline(report):
+    workloads = [w for w in report.get("workloads", []) if isinstance(w, dict)]
+    sim = sum(
+        w["total_ms"] for w in workloads if isinstance(w.get("total_ms"), (int, float))
+    )
+    wall = sum(wall_median_ms(w) for w in workloads)
+    cvs = [
+        w["wall"]["cv"]
+        for w in workloads
+        if isinstance(w.get("wall"), dict)
+        and isinstance(w["wall"].get("cv"), (int, float))
+    ]
+    hot_ns = None
+    for w in workloads:
+        if w.get("name", "").startswith("exec_hot.pack.cms.") and isinstance(
+            w.get("hot"), dict
+        ):
+            ns = w["hot"].get("ns_per_element")
+            if isinstance(ns, (int, float)):
+                hot_ns = ns
+                break
+    return {
+        "rev": report.get("rev", "?"),
+        "mode": report.get("mode", "?"),
+        "n": len(workloads),
+        "sim_ms": sim,
+        "wall_ms": wall,
+        "max_cv": max(cvs) if cvs else None,
+        "hot_ns": hot_ns,
+    }
+
+
+def main():
+    out_path = None
+    args = sys.argv[1:]
+    if args[:1] == ["--out"]:
+        if len(args) != 2:
+            print("bench-history: --out requires a path", file=sys.stderr)
+            return 2
+        out_path = args[1]
+    elif args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    # Dedupe by (report rev, mode): a report re-committed unchanged keeps
+    # its oldest sighting so the trend shows when the numbers appeared.
+    seen = {}
+    for when, report in list(committed_reports()) + list(worktree_reports()):
+        key = (report.get("rev", "?"), report.get("mode", "?"))
+        if key not in seen or when < seen[key][0]:
+            seen[key] = (when, report)
+
+    rows = sorted(
+        ((when, headline(r)) for when, r in seen.values()), key=lambda t: t[0]
+    )
+
+    lines = [
+        "# Bench history",
+        "",
+        "| date | rev | mode | workloads | sim total (ms) | wall total (ms) | max cv | cms hot ns/elem |",
+        "|---|---|---|---:|---:|---:|---:|---:|",
+    ]
+    for when, h in rows:
+        date = datetime.datetime.fromtimestamp(when).strftime("%Y-%m-%d")
+        cv = f"{h['max_cv']:.3f}" if h["max_cv"] is not None else "—"
+        hot = f"{h['hot_ns']:.2f}" if h["hot_ns"] is not None else "—"
+        lines.append(
+            f"| {date} | {h['rev']} | {h['mode']} | {h['n']} "
+            f"| {h['sim_ms']:.3f} | {h['wall_ms']:.1f} | {cv} | {hot} |"
+        )
+    text = "\n".join(lines) + "\n"
+
+    if out_path:
+        with open(out_path, "w") as f:
+            f.write(text)
+        print(f"bench-history: {len(rows)} reports -> {out_path}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,10 +42,26 @@ print(f"trace check: {len(events)} events OK")
 EOF
 rm -f "$chaos_trace"
 
-echo "== perf smoke (machine-readable bench report + schema validation) =="
+echo "== perf smoke (machine-readable bench report + wall-profile gate) =="
 perf_json="$(mktemp)"
-cargo run -p hpf-bench --release --bin perf -- --smoke --out "$perf_json"
+perf_folded="$(mktemp)"
+cargo run -p hpf-bench --release --bin perf -- --smoke --out "$perf_json" \
+  --folded-out "$perf_folded"
 python3 scripts/validate_bench.py "$perf_json"
+# The folded-stack export must be non-empty and flamegraph-compatible:
+# every line is "frame;frame;... <ns>" rooted at a workload name.
+python3 - "$perf_folded" <<'EOF'
+import sys
+lines = [l.rstrip("\n") for l in open(sys.argv[1]) if l.strip()]
+assert lines, "folded-stack export is empty"
+for l in lines:
+    stack, _, ns = l.rpartition(" ")
+    assert stack and ";" in stack, f"malformed folded line: {l!r}"
+    assert ns.isdigit(), f"folded line has no integer self-time: {l!r}"
+assert any(s.startswith("exec_hot.") for s in lines), "no exec_hot stacks"
+print(f"folded check: {len(lines)} stack lines OK")
+EOF
+rm -f "$perf_folded"
 
 echo "== perf --filter exec_hot (steady-state zero-allocation gate) =="
 # The perf binary runs under the counting global allocator; the validator
@@ -72,9 +88,12 @@ if [[ -f results/BENCH_baseline.json ]]; then
   # reproduce the boxed path's accounting bit-exactly, so the gate is
   # effectively zero drift (0.001% absorbs only float formatting). An
   # intentional cost-model change must refresh the baseline via
-  # scripts/regen-results.sh in the same commit.
+  # scripts/regen-results.sh in the same commit. --wall adds the
+  # noise-aware wall-clock gate; smoke reports carry cv=null so wall rows
+  # are skipped in CI, but the flag keeps the parsing path exercised.
   cargo run -p hpf-bench --release --bin perfdiff -- \
-    results/BENCH_baseline.json "$perf_json" --warn-above 0.0001 --fail-above 0.001
+    results/BENCH_baseline.json "$perf_json" --wall \
+    --warn-above 0.0001 --fail-above 0.001
 else
   echo "perfdiff: no results/BENCH_baseline.json; skipping (run scripts/regen-results.sh)"
 fi

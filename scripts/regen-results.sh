@@ -33,4 +33,9 @@ cargo run -p hpf-bench --release --bin perf -- --smoke \
   --out results/BENCH_baseline.json --critpath-out results/critpath.txt
 python3 scripts/validate_bench.py results/BENCH_baseline.json
 
+echo "== bench history (wall + simulated trend table) =="
+# Tabulates headline metrics from every committed BENCH_*.json revision
+# plus the two reports regenerated above into a markdown trend table.
+python3 scripts/bench-history.py --out results/bench-history.md
+
 echo "done; outputs in results/"

@@ -10,9 +10,13 @@ recorded cost-model conformance verdict must pass, every `exec_hot`
 workload must report **zero** steady-state allocations per execute and
 zero deep-copied payload words, every `recovery` workload must have
 actually recovered its scheduled crash (replays >= 1, a live replay log,
-non-negative wall-clock overhead), and every `memory` workload's predicted
+non-negative wall-clock overhead), every `memory` workload's predicted
 peak must bound the measured one without over-estimating past the 1.25
-ratio gate.
+ratio gate, and every workload's `wall` statistics must be coherent:
+smoke reports are single-rep with `cv` null (unmeasured, never 0.0),
+full reports are multi-rep with `cv` measured and below WALL_CV_GATE —
+a noisier measurement means the wall numbers are not trustworthy enough
+to gate future revisions against.
 
 Usage: validate_bench.py REPORT.json [SCHEMA.json]
 Exit code 0 on success, 1 with a diagnostic per violation otherwise.
@@ -24,6 +28,20 @@ import sys
 
 # Mirrors hpf_analysis::memory::MEM_RATIO_GATE.
 MEM_RATIO_GATE = 1.25
+
+# Maximum tolerated coefficient of variation (MAD / median) of a full
+# report's wall measurement; noisier than this and the report is unfit to
+# serve as a perfdiff --wall baseline.
+WALL_CV_GATE = 0.15
+
+# The cv gate only applies to workloads whose wall median is at least this
+# many milliseconds: one scheduler preemption costs on the order of a
+# millisecond, so below a few milliseconds a single descheduling event
+# shifts the sample by tens of percent and relative noise is meaningless.
+# Sub-threshold workloads still get wall stats reported (and their
+# regressions are caught by the simulated gate); they just cannot fail on
+# noise alone.
+WALL_CV_MIN_MS = 5.0
 
 TYPES = {
     "object": dict,
@@ -289,6 +307,43 @@ def coverage_checks(report, errors):
                 f"workload {w.get('name')}: memory group entry carries "
                 "no memory report"
             )
+        wall = w.get("wall")
+        if isinstance(wall, dict):
+            name = w.get("name")
+            reps = wall.get("reps")
+            cv = wall.get("cv")
+            smoke = report.get("mode") == "smoke"
+            # Smoke pins reps=1 and must mark cv null: "unmeasured" and
+            # "measured, perfectly stable" are different claims. Full
+            # reports repeat the measurement, so cv must exist and stay
+            # under the gate for the report to be a usable wall baseline.
+            if smoke:
+                if reps != 1:
+                    errors.append(f"workload {name}: smoke report ran {reps} reps (must be 1)")
+                if cv is not None:
+                    errors.append(
+                        f"workload {name}: smoke report carries cv {cv} "
+                        "(single-rep noise is unmeasured; must be null)"
+                    )
+            else:
+                if not (isinstance(reps, int) and reps >= 2):
+                    errors.append(
+                        f"workload {name}: full report ran {reps} reps "
+                        "(need >= 2 to measure noise)"
+                    )
+                elif not isinstance(cv, (int, float)):
+                    errors.append(
+                        f"workload {name}: full report has cv {cv!r} "
+                        "(must be measured when reps >= 2)"
+                    )
+                elif cv > WALL_CV_GATE and wall.get("median_ms", 0) >= WALL_CV_MIN_MS:
+                    errors.append(
+                        f"workload {name}: wall cv {cv} exceeds {WALL_CV_GATE} — "
+                        "measurement too noisy to serve as a wall baseline"
+                    )
+            med = wall.get("median_ms")
+            if not isinstance(med, (int, float)) or med <= 0:
+                errors.append(f"workload {name}: wall median_ms {med!r} not positive")
 
 
 def main():
