@@ -73,6 +73,13 @@ pub fn measured_peak(events: &[Vec<Event>]) -> MeasuredPeak {
                 delta_bytes,
             } = &e.kind
             {
+                // The mailbox ring is a constant pre-reserve charged once at
+                // startup, not workload-driven memory: it would shift every
+                // peak by the same additive constant and is gated separately,
+                // byte-exactly, by `ring_accounting`.
+                if *account == MemAccount::MailboxRing {
+                    continue;
+                }
                 samples[*owner].push((e.ts_ns, u8::from(*delta_bytes < 0), *account, *delta_bytes));
             }
         }
@@ -103,6 +110,34 @@ pub fn measured_peak(events: &[Vec<Event>]) -> MeasuredPeak {
         }
     }
     best
+}
+
+/// Mailbox-ring accounting of one traced run: total `MailboxRing` bytes
+/// charged across all processors, and whether every processor charged
+/// exactly `expected_per_proc` — `capacity × size_of::<Frame>()`, i.e.
+/// `hpf_machine::ring_bytes(machine.chan_capacity())`. The ring is a
+/// constant pre-reserve, so unlike the workload peak (ratio-gated against
+/// a closed-form bound) it is asserted byte-exactly. Single-spawn runs
+/// only: a crash-recovery respawn charges its ring again.
+pub fn ring_accounting(events: &[Vec<Event>], expected_per_proc: u64) -> (u64, bool) {
+    let mut per_proc = vec![0i64; events.len()];
+    for evs in events {
+        for e in evs {
+            if let EventKind::MemSample {
+                account: MemAccount::MailboxRing,
+                owner,
+                delta_bytes,
+            } = &e.kind
+            {
+                per_proc[*owner] += delta_bytes;
+            }
+        }
+    }
+    let exact = per_proc
+        .iter()
+        .all(|&b| b >= 0 && b as u64 == expected_per_proc);
+    let total: i64 = per_proc.iter().map(|&b| b.max(0)).sum();
+    (total as u64, exact)
 }
 
 fn argmax(xs: &[i64]) -> usize {
@@ -307,14 +342,28 @@ pub struct PeakMemory {
     pub peak_account: String,
     /// Innermost stage enclosing the measured peak.
     pub peak_stage: String,
-    /// `predicted >= measured && ratio <= MEM_RATIO_GATE`.
+    /// Total mailbox-ring bytes charged across all processors (excluded
+    /// from the workload peak above; see [`ring_accounting`]).
+    pub ring_bytes: u64,
+    /// Every processor charged its ring byte-exactly.
+    pub ring_exact: bool,
+    /// `predicted >= measured && ratio <= MEM_RATIO_GATE && ring_exact`.
     pub pass: bool,
 }
 
 impl PeakMemory {
-    /// Gate a traced run's measured peak against per-processor predictions.
-    pub fn evaluate(scheme: &str, predicted: &[u64], events: &[Vec<Event>]) -> PeakMemory {
+    /// Gate a traced run's measured peak against per-processor predictions,
+    /// and the constant mailbox-ring pre-reserve against its byte-exact
+    /// expectation (`ring_bytes_per_proc`, from
+    /// `hpf_machine::ring_bytes(machine.chan_capacity())`).
+    pub fn evaluate(
+        scheme: &str,
+        predicted: &[u64],
+        events: &[Vec<Event>],
+        ring_bytes_per_proc: u64,
+    ) -> PeakMemory {
         let peak = measured_peak(events);
+        let (ring_bytes, ring_exact) = ring_accounting(events, ring_bytes_per_proc);
         let predicted_bytes = predicted.iter().copied().max().unwrap_or(0);
         let ratio = predicted_bytes as f64 / peak.bytes.max(1) as f64;
         PeakMemory {
@@ -325,15 +374,17 @@ impl PeakMemory {
             peak_proc: peak.proc,
             peak_account: peak.account.name().to_string(),
             peak_stage: peak.stage,
-            pass: predicted_bytes >= peak.bytes && ratio <= MEM_RATIO_GATE,
+            ring_bytes,
+            ring_exact,
+            pass: predicted_bytes >= peak.bytes && ratio <= MEM_RATIO_GATE && ring_exact,
         }
     }
 
     /// One-line report, e.g.
-    /// `pack.cms: peak 1234 B on proc 2 (mailbox, pack.execute), predicted 1300 B, ratio 1.05 [pass]`.
+    /// `pack.cms: peak 1234 B on proc 2 (mailbox, pack.execute), predicted 1300 B, ratio 1.05, ring 8192 B exact [pass]`.
     pub fn summary(&self) -> String {
         format!(
-            "{}: peak {} B on proc {} ({}, {}), predicted {} B, ratio {:.2} [{}]",
+            "{}: peak {} B on proc {} ({}, {}), predicted {} B, ratio {:.2}, ring {} B {} [{}]",
             self.scheme,
             self.measured_bytes,
             self.peak_proc,
@@ -341,6 +392,8 @@ impl PeakMemory {
             self.peak_stage,
             self.predicted_bytes,
             self.ratio,
+            self.ring_bytes,
+            if self.ring_exact { "exact" } else { "INEXACT" },
             if self.pass { "pass" } else { "FAIL" }
         )
     }
@@ -409,6 +462,32 @@ mod tests {
         let peak = measured_peak(&[vec![], vec![]]);
         assert_eq!(peak.bytes, 0);
         assert_eq!(peak.stage, "-");
+    }
+
+    #[test]
+    fn mailbox_ring_is_excluded_from_the_workload_peak() {
+        // The constant startup pre-reserve must not shift the peak; it is
+        // summed (and byte-checked) by ring_accounting instead.
+        let events = vec![
+            vec![
+                sample(0.0, MemAccount::MailboxRing, 0, 4096),
+                sample(10.0, MemAccount::Mailbox, 0, 100),
+            ],
+            vec![sample(0.0, MemAccount::MailboxRing, 1, 4096)],
+        ];
+        let peak = measured_peak(&events);
+        assert_eq!(peak.bytes, 100);
+        assert_eq!(peak.account, MemAccount::Mailbox);
+        assert_eq!(ring_accounting(&events, 4096), (8192, true));
+        assert_eq!(
+            ring_accounting(&events, 2048),
+            (8192, false),
+            "per-proc mismatch must flag inexact"
+        );
+        // A processor that never charged its ring is inexact too.
+        assert_eq!(ring_accounting(&events[..1], 4096), (4096, true));
+        let missing = vec![events[0].clone(), vec![]];
+        assert_eq!(ring_accounting(&missing, 4096), (4096, false));
     }
 
     #[test]
@@ -488,14 +567,22 @@ mod tests {
 
     #[test]
     fn evaluate_gates_ratio_and_direction() {
-        let events = vec![vec![sample(1.0, MemAccount::User, 0, 1000)]];
-        let good = PeakMemory::evaluate("pack.sss", &[1100], &events);
+        let events = vec![vec![
+            sample(0.0, MemAccount::MailboxRing, 0, 4096),
+            sample(1.0, MemAccount::User, 0, 1000),
+        ]];
+        let good = PeakMemory::evaluate("pack.sss", &[1100], &events, 4096);
         assert!(good.pass, "{}", good.summary());
         assert!((good.ratio - 1.1).abs() < 1e-9);
-        let under = PeakMemory::evaluate("pack.sss", &[900], &events);
+        assert_eq!(good.ring_bytes, 4096);
+        assert!(good.ring_exact);
+        let under = PeakMemory::evaluate("pack.sss", &[900], &events, 4096);
         assert!(!under.pass, "under-prediction must fail");
-        let over = PeakMemory::evaluate("pack.sss", &[2000], &events);
+        let over = PeakMemory::evaluate("pack.sss", &[2000], &events, 4096);
         assert!(!over.pass, "sloppy over-prediction must fail");
         assert!(over.summary().contains("FAIL"));
+        let wrong_ring = PeakMemory::evaluate("pack.sss", &[1100], &events, 8192);
+        assert!(!wrong_ring.pass, "inexact ring must fail the gate");
+        assert!(wrong_ring.summary().contains("INEXACT"));
     }
 }

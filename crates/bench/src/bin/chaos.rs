@@ -23,8 +23,12 @@
 //! Usage:
 //! ```sh
 //! cargo run -p hpf-bench --release --bin chaos -- [--seed N] [--iters N] \
-//!     [--reuse-plans] [--recover] [--trace-out FILE]
+//!     [--reuse-plans] [--recover] [--workers N] [--trace-out FILE]
 //! # defaults: seed 1, 20 iterations
+//! # --workers pins the cooperative scheduler's pool size for every machine
+//! # in the sweep (default: one permit per core); results and simulated
+//! # clocks are pool-size-invariant, so running the same seed under
+//! # --workers 1 and --workers N is itself a determinism drill
 //! # --recover replaces the fail-fast crash drill with a recovery drill on
 //! # every iteration: a crash is scheduled (send-side on even iterations,
 //! # receive-side on odd), the run goes through run_recoverable, and the
@@ -75,6 +79,7 @@ fn main() {
     let mut iters: usize = 20;
     let mut reuse_plans = false;
     let mut recover = false;
+    let mut workers: Option<usize> = None;
     let mut trace_out: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -108,6 +113,17 @@ fn main() {
                 recover = true;
                 i += 1;
             }
+            "--workers" => {
+                workers = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("--workers requires an integer");
+                            std::process::exit(2);
+                        }),
+                );
+                i += 2;
+            }
             "--trace-out" => {
                 trace_out = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
                     eprintln!("--trace-out requires a path");
@@ -119,7 +135,7 @@ fn main() {
                 eprintln!(
                     "unknown argument {other}; usage: \
                      chaos [--seed N] [--iters N] [--reuse-plans] [--recover] \
-                     [--trace-out FILE]"
+                     [--workers N] [--trace-out FILE]"
                 );
                 std::process::exit(2);
             }
@@ -132,7 +148,15 @@ fn main() {
         // On any panic the iteration context is printed first, so a failure
         // is reproducible with `--seed`.
         println!("iter {iter} (seed {seed}):");
-        run_iteration(&mut rng, seed, iter, reuse_plans, recover, &mut stats);
+        run_iteration(
+            &mut rng,
+            seed,
+            iter,
+            reuse_plans,
+            recover,
+            workers,
+            &mut stats,
+        );
     }
     if let Some(path) = &trace_out {
         write_trace(seed, path);
@@ -170,6 +194,7 @@ fn run_iteration(
     iter: usize,
     reuse_plans: bool,
     recover: bool,
+    workers: Option<usize>,
     stats: &mut Stats,
 ) {
     // Random rank-1 or rank-2 configuration; every dimension P·W | N.
@@ -217,7 +242,10 @@ fn run_iteration(
     );
     println!("  {ctx}");
 
-    let clean = Machine::new(grid.clone(), CostModel::cm5()).with_test_preset();
+    let mut clean = Machine::new(grid.clone(), CostModel::cm5()).with_test_preset();
+    if let Some(w) = workers {
+        clean = clean.with_workers(w);
+    }
     let faulty = clean.clone().with_faults(plan.clone());
 
     // ---- PACK: oracle, clean, faulted, faulted-again (determinism) ------

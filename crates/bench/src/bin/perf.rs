@@ -18,8 +18,8 @@
 //!     [--reps N] [--warmup M] [--folded-out FILE]
 //! # default output: results/BENCH_<rev>.json (rev = short git hash)
 //! # --filter runs only the named workload group (pack, redist, unpack,
-//! #   plan_reuse, exec_hot, recovery, apps, memory) and records the
-//! #   filter in the report
+//! #   plan_reuse, exec_hot, recovery, apps, memory, scale) and records
+//! #   the filter in the report
 //! ```
 //!
 //! Wall-clock is measured statistically: every workload runs `--warmup`
@@ -75,7 +75,7 @@ static ALLOC: CountingAllocator = CountingAllocator;
 
 /// Schema version of the emitted JSON (bump on breaking field changes;
 /// `scripts/bench-schema.json` must match).
-const SCHEMA_VERSION: u32 = 7;
+const SCHEMA_VERSION: u32 = 8;
 
 /// Timed wall-clock repetitions per workload in full mode (`--reps`
 /// overrides; `--smoke` forces 1). Seven reps keep the median/MAD
@@ -94,7 +94,7 @@ const REUSE_EXECUTES: usize = 16;
 const HOT_EXECUTES: usize = 16;
 
 /// The workload groups `--filter` accepts, in report order.
-const GROUPS: [&str; 8] = [
+const GROUPS: [&str; 9] = [
     "pack",
     "redist",
     "unpack",
@@ -103,6 +103,7 @@ const GROUPS: [&str; 8] = [
     "recovery",
     "apps",
     "memory",
+    "scale",
 ];
 
 /// Conformance tolerance: the Section 6.4 formulas are exact, so any
@@ -124,6 +125,20 @@ struct Entry {
     hot: Option<HotMeasurement>,
     recovery: Option<RecoveryReport>,
     memory: Option<PeakMemory>,
+    scale: Option<ScaleReport>,
+}
+
+/// Scale-sweep verdict for one machine shape: the same program run under
+/// a single-permit worker pool and under `workers_high` permits, compared
+/// bit-exactly (results, per-processor simulated clocks, communication
+/// matrix), plus the wall-side scheduling cost of one simulated processor
+/// step (local op or message start-up) — the metric that says what a
+/// virtual processor costs the host as P grows.
+struct ScaleReport {
+    workers_low: usize,
+    workers_high: usize,
+    identical: bool,
+    ns_per_proc_step: f64,
 }
 
 /// Wall-clock samples of one workload's repeated measurement, summarized
@@ -364,6 +379,7 @@ fn main() {
                     hot: None,
                     recovery: None,
                     memory: None,
+                    scale: None,
                 });
             }
         }
@@ -396,6 +412,7 @@ fn main() {
                 hot: None,
                 recovery: None,
                 memory: None,
+                scale: None,
             });
         }
     }
@@ -436,6 +453,7 @@ fn main() {
                     hot: None,
                     recovery: None,
                     memory: None,
+                    scale: None,
                 });
             }
         }
@@ -484,6 +502,7 @@ fn main() {
                     hot: None,
                     recovery: None,
                     memory: None,
+                    scale: None,
                 });
             }
         }
@@ -527,6 +546,7 @@ fn main() {
                     hot: Some(hot),
                     recovery: None,
                     memory: None,
+                    scale: None,
                 });
             }
             for scheme in UnpackScheme::ALL {
@@ -555,6 +575,7 @@ fn main() {
                     hot: Some(hot),
                     recovery: None,
                     memory: None,
+                    scale: None,
                 });
             }
         }
@@ -600,6 +621,9 @@ fn main() {
         let mask = pattern.global(&[n1d]);
         let cfg = ExpConfig::new(&[n1d], &[p1d], wide_w, pattern);
         let stats = MaskStats::from_mask(mask.data(), p1d, wide_w, None);
+        // Constant per-proc mailbox-ring pre-reserve, asserted byte-exactly
+        // (it is excluded from the workload peak the ratio gate covers).
+        let ring = hpf_machine::ring_bytes(hpf_machine::default_capacity(p1d));
         for scheme in PackScheme::ALL {
             let label = match scheme {
                 PackScheme::Simple => "sss",
@@ -610,7 +634,8 @@ fn main() {
                 run_pack_mem(&cfg, &PackOptions::new(scheme))
             });
             let predicted = predict_pack_peak(&stats, scheme);
-            let peak = PeakMemory::evaluate(&format!("pack.{label}"), &predicted, &out.events);
+            let peak =
+                PeakMemory::evaluate(&format!("pack.{label}"), &predicted, &out.events, ring);
             entries.push(Entry {
                 name: format!("memory.pack.{label}.w{wide_w}"),
                 group: "memory",
@@ -626,6 +651,7 @@ fn main() {
                 hot: None,
                 recovery: None,
                 memory: Some(peak),
+                scale: None,
             });
         }
         for scheme in UnpackScheme::ALL {
@@ -637,7 +663,8 @@ fn main() {
                 run_unpack_mem(&cfg, &UnpackOptions::new(scheme))
             });
             let predicted = predict_unpack_peak(&stats, scheme);
-            let peak = PeakMemory::evaluate(&format!("unpack.{label}"), &predicted, &out.events);
+            let peak =
+                PeakMemory::evaluate(&format!("unpack.{label}"), &predicted, &out.events, ring);
             entries.push(Entry {
                 name: format!("memory.unpack.{label}.w{wide_w}"),
                 group: "memory",
@@ -653,6 +680,7 @@ fn main() {
                 hot: None,
                 recovery: None,
                 memory: Some(peak),
+                scale: None,
             });
         }
         // Preliminary redistribution on cyclic input — Red.2's peak
@@ -669,7 +697,8 @@ fn main() {
                 run_pack_redist_mem(&cfg_cyc, scheme, &opts)
             });
             let predicted = predict_pack_redist_peak(&src, &blk, opts.scheme, scheme);
-            let peak = PeakMemory::evaluate(&format!("pack.{label}"), &predicted, &out.events);
+            let peak =
+                PeakMemory::evaluate(&format!("pack.{label}"), &predicted, &out.events, ring);
             entries.push(Entry {
                 name: format!("memory.pack.{label}"),
                 group: "memory",
@@ -685,7 +714,39 @@ fn main() {
                 hot: None,
                 recovery: None,
                 memory: Some(peak),
+                scale: None,
             });
+        }
+    }
+
+    // ---- Scale sweep (DESIGN.md §15: worker-pool scheduler) -------------
+    // A Table-I-style masked PACK → UNPACK roundtrip swept to machine
+    // shapes the paper could never run. Every entry runs the identical
+    // program under worker-pool sizes 1 and max(2, ncores) and reports the
+    // bit-identity verdict — the pool-size-invariance gate — plus the
+    // wall cost per simulated proc step. The local extent is fixed, so P
+    // itself is the swept variable.
+    if want("scale") {
+        let ps: &[usize] = if smoke {
+            &[64, 1024, 4096]
+        } else {
+            &[64, 256, 1024, 4096]
+        };
+        for &p in ps {
+            // The dense plan-time exchanges make the big shapes
+            // scheduler-handoff-bound (Θ(P²) frames; minutes of wall per
+            // run at P=4096 on one core): cap repetitions there so the
+            // sweep stays affordable. The simulated metrics are
+            // deterministic regardless of reps, and validate_bench.py
+            // knows large-P scale entries may be single-rep.
+            let (s_reps, s_warmup) = if p >= 2048 {
+                (1, 0)
+            } else if p >= 1024 {
+                (reps.min(3), warmup.min(1))
+            } else {
+                (reps, warmup)
+            };
+            entries.push(scale_workload(p, s_reps, s_warmup));
         }
     }
 
@@ -833,9 +894,25 @@ fn main() {
         }
     }
 
+    for e in &entries {
+        if let Some(sc) = &e.scale {
+            println!(
+                "  {:<26} workers {}→{}  identical {}  {:>8.1} ns/proc-step  \
+                 wall {:>9.1} ms",
+                e.name,
+                sc.workers_low,
+                sc.workers_high,
+                sc.identical,
+                sc.ns_per_proc_step,
+                e.wall.median_ms(),
+            );
+        }
+    }
+
     // Conformance gate: any drift from the Section 6.4 model fails the run.
     // The memory gate is its twin: the predicted peak must bound the
-    // measured one without over-estimating past MEM_RATIO_GATE.
+    // measured one without over-estimating past MEM_RATIO_GATE. The scale
+    // gate is the scheduler's: pool sizes must be invisible bit-for-bit.
     let mut drifted = false;
     for e in &entries {
         if let Some(c) = &e.conformance {
@@ -847,6 +924,15 @@ fn main() {
         if let Some(p) = &e.memory {
             if !p.pass {
                 eprintln!("memory FAIL: {}", p.summary());
+                drifted = true;
+            }
+        }
+        if let Some(sc) = &e.scale {
+            if !sc.identical {
+                eprintln!(
+                    "scale FAIL: {} diverged between worker-pool sizes {} and {}",
+                    e.name, sc.workers_low, sc.workers_high
+                );
                 drifted = true;
             }
         }
@@ -973,6 +1059,90 @@ fn recovery_workload(
         }),
         wall,
         memory: None,
+        scale: None,
+    }
+}
+
+/// One `scale` workload: a masked PACK → UNPACK roundtrip at `p`
+/// processors with a fixed local extent, run under worker-pool sizes 1
+/// and max(2, ncores) and compared bit-exactly. Tracing and metrics stay
+/// off (pure scheduler + algorithm cost), and the dense plan-time
+/// exchanges use the push schedule over a `p`-frame ring: round-paced
+/// schedules cost ~2.6× more wall for the same simulated numbers, because
+/// on a single host the sweep is bound by scheduler handoffs, not data.
+fn scale_workload(p: usize, reps: usize, warmup: usize) -> Entry {
+    let n = p * 16;
+    let w = 4usize;
+    let grid = ProcGrid::line(p);
+    let pattern = MaskPattern::Random {
+        density: 0.5,
+        seed: 42,
+    };
+    let g = grid.clone();
+    let program = move |proc: &mut hpf_machine::Proc<'_>| {
+        let desc = ArrayDesc::new(&[n], &g, &[Dist::BlockCyclic(w)]).unwrap();
+        let m = pattern.local(&desc, proc.id());
+        let a = local_from_fn(&desc, proc.id(), |gi| gi[0] as i32 * 3 - 50);
+        let popts = PackOptions {
+            schedule: A2aSchedule::NaivePush,
+            ..PackOptions::new(PackScheme::Simple)
+        };
+        let plan = plan_pack(proc, &desc, &m, &popts).unwrap();
+        let out = plan.execute(proc, &a).unwrap();
+        let vl = out.v_layout.expect("mask selects elements");
+        let f = local_from_fn(&desc, proc.id(), |gi| -(gi[0] as i32));
+        let uopts = UnpackOptions {
+            schedule: A2aSchedule::NaivePush,
+            ..UnpackOptions::new(UnpackScheme::Simple)
+        };
+        let uplan = plan_unpack(proc, &desc, &m, &vl, &uopts).unwrap();
+        let unpacked = uplan.execute(proc, &f, &out.local_v).unwrap();
+        (out.local_v, unpacked)
+    };
+    let workers_high = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1)
+        .max(2);
+    let build = |workers: usize| {
+        Machine::new(grid.clone(), CostModel::cm5())
+            .with_workers(workers)
+            .with_chan_capacity(p)
+    };
+    let low = build(1).run(&program);
+    let (high, wall) = timed(reps, warmup, || build(workers_high).run(&program));
+    let identical = low.results == high.results
+        && low.comm_matrix == high.comm_matrix
+        && low.clocks.iter().zip(&high.clocks).all(|(a, b)| {
+            a.now_ns == b.now_ns
+                && a.ops == b.ops
+                && a.words_sent == b.words_sent
+                && a.startups == b.startups
+                && Category::ALL.iter().all(|c| a.cat_ms(*c) == b.cat_ms(*c))
+        });
+    let steps: u64 = high.clocks.iter().map(|c| c.ops).sum::<u64>() + high.total_startups();
+    let elems: usize = high.results.iter().map(|r| r.0.len()).sum();
+    let ns_per_proc_step = wall.median_ms() * 1e6 / steps.max(1) as f64;
+    Entry {
+        name: format!("scale.roundtrip.p{p}"),
+        group: "scale",
+        shape: vec![n],
+        grid: vec![p],
+        w: Some(w),
+        density: Some(0.5),
+        m: measure(&high, elems),
+        wall,
+        critpath: None,
+        conformance: None,
+        reuse: None,
+        hot: None,
+        recovery: None,
+        memory: None,
+        scale: Some(ScaleReport {
+            workers_low: 1,
+            workers_high,
+            identical,
+            ns_per_proc_step,
+        }),
     }
 }
 
@@ -1044,6 +1214,7 @@ fn app_compaction(smoke: bool, reps: usize, warmup: usize) -> Entry {
         hot: None,
         recovery: None,
         memory: None,
+        scale: None,
     }
 }
 
@@ -1083,6 +1254,7 @@ fn app_sort(smoke: bool, reps: usize, warmup: usize) -> Entry {
         hot: None,
         recovery: None,
         memory: None,
+        scale: None,
     }
 }
 
@@ -1136,6 +1308,7 @@ fn app_spmv(smoke: bool, reps: usize, warmup: usize) -> Entry {
         hot: None,
         recovery: None,
         memory: None,
+        scale: None,
     }
 }
 
@@ -1178,6 +1351,7 @@ fn app_gather(smoke: bool, reps: usize, warmup: usize) -> Entry {
         hot: None,
         recovery: None,
         memory: None,
+        scale: None,
     }
 }
 
@@ -1359,6 +1533,7 @@ fn render_json(rev: &str, smoke: bool, filter: Option<&str>, entries: &[Entry]) 
                      \"measured_peak_bytes\": {}, \"predicted_peak_bytes\": {}, \
                      \"ratio\": {}, \"peak_proc\": {}, \
                      \"peak_account\": \"{}\", \"peak_stage\": \"{}\", \
+                     \"ring_bytes\": {}, \"ring_exact\": {}, \
                      \"pass\": {}}},",
                     p.scheme,
                     p.measured_bytes,
@@ -1367,10 +1542,26 @@ fn render_json(rev: &str, smoke: bool, filter: Option<&str>, entries: &[Entry]) 
                     p.peak_proc,
                     p.peak_account,
                     p.peak_stage,
+                    p.ring_bytes,
+                    p.ring_exact,
                     p.pass,
                 );
             }
             None => s.push_str("      \"memory\": null,\n"),
+        }
+        match &e.scale {
+            Some(sc) => {
+                let _ = writeln!(
+                    s,
+                    "      \"scale\": {{\"workers_low\": {}, \"workers_high\": {}, \
+                     \"identical\": {}, \"ns_per_proc_step\": {}}},",
+                    sc.workers_low,
+                    sc.workers_high,
+                    sc.identical,
+                    json_f64(sc.ns_per_proc_step),
+                );
+            }
+            None => s.push_str("      \"scale\": null,\n"),
         }
         let cv = match e.wall.cv() {
             Some(c) => json_f64(c),

@@ -1,0 +1,104 @@
+//! Scheduler invisibility at the algorithm level: a planned PACK → UNPACK
+//! roundtrip — every storage scheme, on 1-D and 2-D grids — produces
+//! bit-identical results and simulated clocks whatever the worker-pool
+//! size. The machine-level suite (hpf-machine `tests/sched.rs`) covers the
+//! substrate; this one covers the paper's actual algorithms end to end,
+//! including their pooled exchanges and plan-phase collectives.
+
+use hpf_core::{
+    pack, plan_unpack, MaskPattern, PackOptions, PackScheme, UnpackOptions, UnpackScheme,
+};
+use hpf_distarray::{local_from_fn, ArrayDesc, Dist};
+use hpf_machine::{Category, CostModel, Machine, Proc, ProcGrid, RunOutput};
+
+fn data_at(gidx: &[usize], salt: i32) -> i32 {
+    gidx.iter()
+        .fold(salt, |acc, &x| acc.wrapping_mul(31).wrapping_add(x as i32))
+}
+
+/// PACK a masked block-cyclic array, then UNPACK the vector back over a
+/// fresh field; returns both locals so every element's final placement is
+/// part of the compared result.
+fn roundtrip(
+    grid: ProcGrid,
+    dists: Vec<Dist>,
+    extents: Vec<usize>,
+    pack_opts: PackOptions,
+    unpack_opts: UnpackOptions,
+) -> impl Fn(&mut Proc) -> (Vec<i32>, Vec<i32>) + Sync {
+    move |proc: &mut Proc| {
+        let desc = ArrayDesc::new(&extents, &grid, &dists).unwrap();
+        let pattern = MaskPattern::Random {
+            density: 0.45,
+            seed: 23,
+        };
+        let m = pattern.local(&desc, proc.id());
+        let a = local_from_fn(&desc, proc.id(), |g| data_at(g, 17));
+        let out = pack(proc, &desc, &a, &m, &pack_opts).unwrap();
+        let vl = out.v_layout.expect("mask selects elements");
+        let f = local_from_fn(&desc, proc.id(), |g| data_at(g, -5));
+        let plan = plan_unpack(proc, &desc, &m, &vl, &unpack_opts).unwrap();
+        let unpacked = plan.execute(proc, &f, &out.local_v).unwrap();
+        (out.local_v, unpacked)
+    }
+}
+
+fn assert_identical(
+    a: &RunOutput<(Vec<i32>, Vec<i32>)>,
+    b: &RunOutput<(Vec<i32>, Vec<i32>)>,
+    what: &str,
+) {
+    assert_eq!(a.results, b.results, "{what}: results diverged");
+    for (ca, cb) in a.clocks.iter().zip(&b.clocks) {
+        assert_eq!(ca.now_ms(), cb.now_ms(), "{what}: final clock diverged");
+        for cat in Category::ALL {
+            assert_eq!(ca.cat_ms(cat), cb.cat_ms(cat), "{what}: {cat:?} diverged");
+        }
+        assert_eq!(ca.ops, cb.ops, "{what}: ops diverged");
+        assert_eq!(ca.words_sent, cb.words_sent, "{what}: words diverged");
+        assert_eq!(ca.startups, cb.startups, "{what}: startups diverged");
+    }
+    assert_eq!(a.comm_matrix, b.comm_matrix, "{what}: comm matrix diverged");
+}
+
+#[test]
+fn every_scheme_and_grid_is_identical_across_pool_sizes() {
+    let grids: Vec<(ProcGrid, Vec<Dist>, Vec<usize>)> = vec![
+        (ProcGrid::line(4), vec![Dist::BlockCyclic(2)], vec![24]),
+        (
+            ProcGrid::new(&[2, 3]),
+            vec![Dist::BlockCyclic(2), Dist::BlockCyclic(1)],
+            vec![8, 9],
+        ),
+    ];
+    for (grid, dists, extents) in grids {
+        for pack_scheme in PackScheme::ALL {
+            for unpack_scheme in UnpackScheme::ALL {
+                let program = roundtrip(
+                    grid.clone(),
+                    dists.clone(),
+                    extents.clone(),
+                    PackOptions::new(pack_scheme),
+                    UnpackOptions::new(unpack_scheme),
+                );
+                let build = |workers: usize| {
+                    Machine::new(grid.clone(), CostModel::cm5())
+                        .with_test_preset()
+                        .with_workers(workers)
+                };
+                let reference = build(1).run(&program);
+                for workers in [3usize, 8] {
+                    let out = build(workers).run(&program);
+                    assert_identical(
+                        &reference,
+                        &out,
+                        &format!(
+                            "{pack_scheme:?}/{unpack_scheme:?} on {:?} workers={workers}",
+                            grid.dims()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -2,26 +2,69 @@
 //!
 //! `std::sync::mpsc` allocates a fresh node per send, which would show up
 //! in the steady-state allocation gate even when every payload buffer is
-//! pooled. This channel is a `Mutex<VecDeque<Frame>>` + `Condvar` pair with
-//! a deterministically pre-reserved ring, so enqueue/dequeue is
+//! pooled. This channel is a `Mutex<VecDeque<Frame>>` with a
+//! deterministically pre-reserved ring, so enqueue/dequeue is
 //! allocation-free as long as the queue depth stays under the initial
 //! capacity (the buffer-pool back-pressure in [`crate::proc::Proc`] bounds
 //! depth to a few frames per sender; see DESIGN.md §11).
+//!
+//! Blocking is the scheduler's job, not the channel's: receivers probe with
+//! [`FrameReceiver::try_recv`] and park in [`crate::sched::Scheduler`];
+//! each sender clone carries a *waker* — the destination's scheduler handle
+//! — so every enqueue (data, acks, retransmissions, poison) unparks the
+//! destination, whichever thread performed it.
+//!
+//! The ring capacity is scale-aware (see [`default_capacity`]): the
+//! original fixed 1024-frame pre-reserve is kept through P=64 so small-P
+//! steady-state traffic never allocates, and shrinks hyperbolically above
+//! that — at P=4096 a full-size pre-reserve would cost ~P× more memory
+//! than any queue ever uses. Ring bytes are charged to the
+//! `mem.mailbox.ring` account at processor start (see DESIGN.md §13).
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex};
 
 use crate::message::Frame;
+use crate::sched::Scheduler;
 
-/// Initial queue capacity. Deep enough that no workload in this repo grows
-/// it; growth past this point allocates (correctly counted) but stays
-/// deterministic because queue depth is a function of program order only.
-const INITIAL_CAPACITY: usize = 1024;
+/// Per-processor frames pre-reserved across the whole machine, the budget
+/// [`default_capacity`] divides by P (chosen so P ≤ 64 keeps the historic
+/// 1024-slot ring).
+const TOTAL_FRAME_BUDGET: usize = 65_536;
+
+/// Ring capacity floor: even the largest machines keep a few slots so
+/// steady phase traffic (a handful of frames between dequeues) stays
+/// allocation-free.
+const MIN_CAPACITY: usize = 16;
+
+/// Historic per-processor pre-reserve, kept verbatim for P ≤ 64 so the
+/// small-P allocation behaviour (and the `exec_hot` zero-alloc gate) is
+/// byte-for-byte unchanged.
+const MAX_CAPACITY: usize = 1024;
+
+/// The scale-aware default ring capacity for a P-processor machine:
+/// `clamp(65536 / P, 16, 1024)` frames. Growth past the ring allocates
+/// (correctly counted) and stays results-deterministic — queue depth never
+/// influences matching, only the allocator.
+pub fn default_capacity(nprocs: usize) -> usize {
+    (TOTAL_FRAME_BUDGET / nprocs.max(1)).clamp(MIN_CAPACITY, MAX_CAPACITY)
+}
+
+/// Bytes the pre-reserved frame ring pins per processor at capacity `cap`
+/// — the exact quantity charged to the `mem.mailbox.ring` account and
+/// asserted byte-for-byte by the memory perf group.
+pub fn ring_bytes(cap: usize) -> u64 {
+    (cap * std::mem::size_of::<Frame>()) as u64
+}
 
 struct Shared {
     queue: Mutex<VecDeque<Frame>>,
-    ready: Condvar,
+    /// Pre-reserved ring capacity (the charged quantity; the `VecDeque`
+    /// may round up internally).
+    capacity: usize,
+    /// Destination scheduler handle: set once at machine start, before any
+    /// sender clone escapes, so every enqueue can unpark the receiver.
+    waker: Mutex<Option<(Arc<Scheduler>, usize)>>,
 }
 
 /// Sending half; cheaply cloneable, one clone per peer processor.
@@ -42,20 +85,12 @@ pub(crate) struct FrameReceiver {
     shared: Arc<Shared>,
 }
 
-/// Why a receive returned without a frame.
-#[derive(Debug, PartialEq, Eq)]
-pub(crate) enum RecvError {
-    /// No frame arrived within the timeout.
-    Timeout,
-    /// The queue is currently empty (non-blocking probe).
-    Empty,
-}
-
-/// A connected channel with `INITIAL_CAPACITY` slots pre-reserved.
-pub(crate) fn frame_channel() -> (FrameSender, FrameReceiver) {
+/// A connected channel with `capacity` slots pre-reserved.
+pub(crate) fn frame_channel_with_capacity(capacity: usize) -> (FrameSender, FrameReceiver) {
     let shared = Arc::new(Shared {
-        queue: Mutex::new(VecDeque::with_capacity(INITIAL_CAPACITY)),
-        ready: Condvar::new(),
+        queue: Mutex::new(VecDeque::with_capacity(capacity)),
+        capacity,
+        waker: Mutex::new(None),
     });
     (
         FrameSender {
@@ -65,39 +100,43 @@ pub(crate) fn frame_channel() -> (FrameSender, FrameReceiver) {
     )
 }
 
+/// A connected channel with the historic 1024-slot pre-reserve.
+#[cfg(test)]
+pub(crate) fn frame_channel() -> (FrameSender, FrameReceiver) {
+    frame_channel_with_capacity(MAX_CAPACITY)
+}
+
 impl FrameSender {
-    /// Enqueue a frame. Never blocks; receivers may already be gone during
-    /// teardown, in which case the frame is silently parked in the queue.
+    /// Enqueue a frame and unpark the destination. Never blocks; receivers
+    /// may already be gone during teardown, in which case the frame is
+    /// silently parked in the queue (the stale unpark is harmless — a
+    /// finished task ignores wakes).
     pub(crate) fn send(&self, frame: Frame) {
         let mut q = self.shared.queue.lock().unwrap();
         q.push_back(frame);
         drop(q);
-        self.shared.ready.notify_one();
+        let waker = self.shared.waker.lock().unwrap().clone();
+        if let Some((sched, dst)) = waker {
+            sched.unpark(dst);
+        }
     }
 }
 
 impl FrameReceiver {
-    /// Dequeue the next frame, waiting up to `timeout`.
-    pub(crate) fn recv_timeout(&self, timeout: Duration) -> Result<Frame, RecvError> {
-        let deadline = Instant::now() + timeout;
-        let mut q = self.shared.queue.lock().unwrap();
-        loop {
-            if let Some(frame) = q.pop_front() {
-                return Ok(frame);
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(RecvError::Timeout);
-            }
-            let (guard, _res) = self.shared.ready.wait_timeout(q, deadline - now).unwrap();
-            q = guard;
-        }
+    /// Register the owning processor's scheduler handle so senders can
+    /// unpark it. Called by the machine driver before carriers start.
+    pub(crate) fn attach_waker(&self, sched: Arc<Scheduler>, owner: usize) {
+        *self.shared.waker.lock().unwrap() = Some((sched, owner));
     }
 
     /// Dequeue the next frame if one is already queued.
-    pub(crate) fn try_recv(&self) -> Result<Frame, RecvError> {
-        let mut q = self.shared.queue.lock().unwrap();
-        q.pop_front().ok_or(RecvError::Empty)
+    pub(crate) fn try_recv(&self) -> Option<Frame> {
+        self.shared.queue.lock().unwrap().pop_front()
+    }
+
+    /// The pre-reserved ring capacity, in frames.
+    pub(crate) fn capacity(&self) -> usize {
+        self.shared.capacity
     }
 }
 
@@ -105,6 +144,7 @@ impl FrameReceiver {
 mod tests {
     use super::*;
     use crate::error::MachineError;
+    use std::time::{Duration, Instant};
 
     fn poison() -> Frame {
         Frame::Poison(MachineError::ProcPanicked {
@@ -119,32 +159,63 @@ mod tests {
         tx.send(Frame::Ack { from: 1, seq: 10 });
         tx.send(Frame::Ack { from: 2, seq: 20 });
         for expect in [(1, 10), (2, 20)] {
-            match rx.recv_timeout(Duration::from_secs(1)).unwrap() {
+            match rx.try_recv().unwrap() {
                 Frame::Ack { from, seq } => assert_eq!((from, seq), expect),
                 _ => panic!("wrong frame"),
             }
         }
-        assert!(matches!(rx.try_recv(), Err(RecvError::Empty)));
+        assert!(rx.try_recv().is_none());
     }
 
     #[test]
-    fn recv_times_out_when_empty() {
-        let (_tx, rx) = frame_channel();
-        match rx.recv_timeout(Duration::from_millis(10)) {
-            Err(e) => assert_eq!(e, RecvError::Timeout),
-            Ok(_) => panic!("empty channel must time out"),
-        }
-    }
-
-    #[test]
-    fn cross_thread_wakeup() {
+    fn send_unparks_the_attached_owner() {
+        // A machine of two scheduled tasks with one permit: task 1 parks
+        // (releasing the permit to task 0's acquire), then a send through
+        // the waker-attached channel wakes it.
+        let sched = Arc::new(Scheduler::new(2, 1));
         let (tx, rx) = frame_channel();
-        let t = std::thread::spawn(move || {
+        rx.attach_waker(Arc::clone(&sched), 1);
+        let s2 = Arc::clone(&sched);
+        let parker = std::thread::spawn(move || {
+            s2.acquire(1);
+            let out = s2.park(1, 0.0, Duration::from_secs(5));
+            s2.finish(1);
+            out
+        });
+        sched.acquire(0);
+        // Give task 1 the permit by parking task 0 until it is woken back.
+        let s3 = Arc::clone(&sched);
+        let t0 = Instant::now();
+        let waker_thread = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(20));
             tx.send(poison());
         });
-        let frame = rx.recv_timeout(Duration::from_secs(5)).unwrap();
-        assert!(matches!(frame, Frame::Poison(_)));
-        t.join().unwrap();
+        // Task 0 parks long; the send wakes task 1, which finishes and
+        // frees the permit... but nothing ever wakes task 0, so it times
+        // out — proving the send woke exactly its addressee.
+        let out0 = s3.park(0, 0.0, Duration::from_millis(200));
+        assert_eq!(out0, crate::sched::ParkOutcome::TimedOut);
+        assert_eq!(parker.join().unwrap(), crate::sched::ParkOutcome::Woken);
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        assert!(matches!(rx.try_recv(), Some(Frame::Poison(_))));
+        waker_thread.join().unwrap();
+    }
+
+    #[test]
+    fn capacity_is_scale_aware() {
+        assert_eq!(default_capacity(1), 1024);
+        assert_eq!(default_capacity(8), 1024);
+        assert_eq!(
+            default_capacity(64),
+            1024,
+            "small P keeps the historic ring"
+        );
+        assert_eq!(default_capacity(128), 512);
+        assert_eq!(default_capacity(1024), 64);
+        assert_eq!(default_capacity(4096), 16);
+        assert_eq!(default_capacity(1 << 20), 16, "floor holds");
+        let (_tx, rx) = frame_channel_with_capacity(default_capacity(4096));
+        assert_eq!(rx.capacity(), 16);
+        assert_eq!(ring_bytes(16), 16 * std::mem::size_of::<Frame>() as u64);
     }
 }

@@ -51,9 +51,11 @@ mod proc;
 pub mod recovery;
 mod reliable;
 mod report;
+mod sched;
 mod topology;
 pub mod trace;
 
+pub use chan::{default_capacity, ring_bytes};
 pub use cost::{Category, ClockReport, CostModel, SimClock, Words};
 pub use error::MachineError;
 pub use fault::{FaultPlan, LinkFaults};

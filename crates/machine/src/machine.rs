@@ -1,6 +1,15 @@
-//! The SPMD driver: spawns one OS thread per virtual processor and runs the
-//! same program closure on each, wiring up the message channels and
-//! collecting results and clock reports in processor order.
+//! The SPMD driver: runs the same program closure on every virtual
+//! processor, wiring up the message channels and collecting results and
+//! clock reports in processor order.
+//!
+//! Each virtual processor is a cooperatively scheduled task carried by its
+//! own (cheap, mostly-parked) OS thread, and at most
+//! [`Machine::with_workers`] of them hold a run permit at any instant (see
+//! [`crate::sched`] and DESIGN.md §15). Results, simulated clocks, events,
+//! and metrics are identical for every worker-pool size — determinism comes
+//! from (src, tag)-FIFO matching plus SPMD program order, never from
+//! scheduling — so a single pool carries P=4096 machines a thread-per-proc
+//! design could not.
 //!
 //! Failure handling: each processor thread runs the program closure under
 //! `catch_unwind`. When any processor fails — a program panic, a
@@ -17,7 +26,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::chan::{frame_channel, FrameReceiver};
+use crate::chan::{default_capacity, frame_channel_with_capacity, FrameReceiver, FrameSender};
 
 use crate::cost::{CostModel, SimClock};
 use crate::error::MachineError;
@@ -26,6 +35,7 @@ use crate::message::Frame;
 use crate::proc::Proc;
 use crate::recovery::{RecoveryState, ResumeCtx};
 use crate::report::RunOutput;
+use crate::sched::Scheduler;
 use crate::topology::ProcGrid;
 
 /// Respawns of one processor before the recovery driver gives up. The crash
@@ -33,6 +43,31 @@ use crate::topology::ProcGrid;
 /// same processor indicates a recovery bug rather than a second fault; the
 /// limit is a backstop against looping, not a tunable.
 const MAX_RESPAWNS: u32 = 4;
+
+/// Above this processor count, carrier threads get a reduced stack instead
+/// of the platform default (typically 2–8 MiB of reserved address space
+/// each): at P=4096 the default would reserve gigabytes for stacks that are
+/// mostly parked. SPMD programs here recurse at most logarithmically, so
+/// 1 MiB is comfortable.
+const LARGE_P: usize = 256;
+const CARRIER_STACK_BYTES: usize = 1 << 20;
+
+/// Spawn one carrier thread in `scope`, honouring the large-P stack cap.
+fn spawn_carrier<'scope, 'env, F, T>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    nprocs: usize,
+    f: F,
+) -> std::thread::ScopedJoinHandle<'scope, T>
+where
+    F: FnOnce() -> T + Send + 'scope,
+    T: Send + 'scope,
+{
+    let mut b = std::thread::Builder::new();
+    if nprocs >= LARGE_P {
+        b = b.stack_size(CARRIER_STACK_BYTES);
+    }
+    b.spawn_scoped(scope, f).expect("spawn carrier thread")
+}
 
 /// A simulated coarse-grained distributed memory parallel machine: a logical
 /// processor grid plus the two-level cost model its clocks charge against.
@@ -45,6 +80,11 @@ pub struct Machine {
     metrics: bool,
     wall_profiling: bool,
     faults: Option<Arc<FaultPlan>>,
+    /// Worker-pool size (run permits); `None` = available parallelism.
+    workers: Option<usize>,
+    /// Per-processor frame-ring capacity override; `None` = scale-aware
+    /// [`default_capacity`].
+    chan_capacity: Option<usize>,
 }
 
 /// What one processor thread produced besides its result: the original
@@ -63,7 +103,58 @@ impl Machine {
             metrics: false,
             wall_profiling: false,
             faults: None,
+            workers: None,
+            chan_capacity: None,
         }
+    }
+
+    /// Set the worker-pool size: how many virtual processors may run
+    /// simultaneously (clamped to at least 1). Defaults to the host's
+    /// available parallelism. A pure wall-clock/throughput knob — results,
+    /// simulated clocks, events, and metrics are identical for every value.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// The effective worker-pool size this machine will run with.
+    pub fn workers(&self) -> usize {
+        self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    }
+
+    /// Override the per-processor frame-ring pre-reserve (in frames).
+    /// Defaults to the scale-aware [`default_capacity`]; growth past the
+    /// ring allocates but never changes results.
+    pub fn with_chan_capacity(mut self, frames: usize) -> Self {
+        self.chan_capacity = Some(frames.max(1));
+        self
+    }
+
+    /// The effective per-processor frame-ring capacity.
+    pub fn chan_capacity(&self) -> usize {
+        self.chan_capacity
+            .unwrap_or_else(|| default_capacity(self.nprocs()))
+    }
+
+    /// Build the machine's channel set and scheduler: one frame channel per
+    /// processor with every receiver's waker attached, ready for carriers.
+    fn build_fabric(&self) -> (Vec<FrameSender>, Vec<FrameReceiver>, Arc<Scheduler>) {
+        let p = self.nprocs();
+        let cap = self.chan_capacity();
+        let sched = Arc::new(Scheduler::new(p, self.workers()));
+        let mut txs = Vec::with_capacity(p);
+        let mut rxs = Vec::with_capacity(p);
+        for id in 0..p {
+            let (tx, rx) = frame_channel_with_capacity(cap);
+            rx.attach_waker(Arc::clone(&sched), id);
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        (txs, rxs, sched)
     }
 
     /// Enable per-processor tracing: the clock's category spans (see
@@ -221,13 +312,7 @@ impl Machine {
         install_quiet_machine_error_hook();
         let p = self.nprocs();
         let rec = Arc::new(RecoveryState::new(p));
-        let mut txs = Vec::with_capacity(p);
-        let mut rxs = Vec::with_capacity(p);
-        for _ in 0..p {
-            let (tx, rx) = frame_channel();
-            txs.push(tx);
-            rxs.push(rx);
-        }
+        let (txs, rxs, sched) = self.build_fabric();
 
         type ProcOk<R> = (
             R,
@@ -264,12 +349,32 @@ impl Machine {
                 let plan = self.faults.clone();
                 let rec = Arc::clone(&rec);
                 let done = done_tx.clone();
-                scope.spawn(move || {
+                let sched = Arc::clone(&sched);
+                let respawned = resume.is_some();
+                spawn_carrier(scope, p, move || {
+                    // A respawned processor re-enters the scheduler: its
+                    // previous carrier called `finish` before reporting the
+                    // crash (the report the driver acted on), so the Done →
+                    // Ready transition here can never race the old carrier.
+                    if respawned {
+                        sched.enroll(id);
+                    }
+                    sched.acquire(id);
                     let mut clock = SimClock::new(cost);
                     if tracing {
                         clock.enable_trace();
                     }
-                    let mut proc = Proc::new(id, grid, clock, txs, rx, timeout, plan, obs);
+                    let mut proc = Proc::new(
+                        id,
+                        grid,
+                        clock,
+                        txs,
+                        rx,
+                        timeout,
+                        plan,
+                        obs,
+                        Arc::clone(&sched),
+                    );
                     proc.attach_recovery(rec, resume);
                     let (ac0, ab0) = crate::alloc_counter::thread_totals();
                     let result = catch_unwind(AssertUnwindSafe(|| program(&mut proc)));
@@ -303,6 +408,10 @@ impl Machine {
                     };
                     let (mut clock, comm_row, rx, events, metrics, wall) = proc.into_parts();
                     let trace = clock.take_trace();
+                    // Release the run permit strictly before reporting: by
+                    // the time the driver sees this message (and possibly
+                    // respawns this processor), the scheduler slot is free.
+                    sched.finish(id);
                     let _ = done.send((
                         id,
                         outcome
@@ -405,13 +514,7 @@ impl Machine {
     {
         install_quiet_machine_error_hook();
         let p = self.nprocs();
-        let mut txs = Vec::with_capacity(p);
-        let mut rxs = Vec::with_capacity(p);
-        for _ in 0..p {
-            let (tx, rx) = frame_channel();
-            txs.push(tx);
-            rxs.push(rx);
-        }
+        let (txs, rxs, sched) = self.build_fabric();
 
         type ProcOk<R> = (
             R,
@@ -439,12 +542,24 @@ impl Machine {
                     wall: self.wall_profiling,
                 };
                 let plan = self.faults.clone();
-                handles.push(scope.spawn(move || {
+                let sched = Arc::clone(&sched);
+                handles.push(spawn_carrier(scope, p, move || {
+                    sched.acquire(id);
                     let mut clock = SimClock::new(cost);
                     if tracing {
                         clock.enable_trace();
                     }
-                    let mut proc = Proc::new(id, grid, clock, txs, rx, timeout, plan, obs);
+                    let mut proc = Proc::new(
+                        id,
+                        grid,
+                        clock,
+                        txs,
+                        rx,
+                        timeout,
+                        plan,
+                        obs,
+                        Arc::clone(&sched),
+                    );
                     let (ac0, ab0) = crate::alloc_counter::thread_totals();
                     let result = catch_unwind(AssertUnwindSafe(|| program(&mut proc)));
                     let (ac1, ab1) = crate::alloc_counter::thread_totals();
@@ -475,6 +590,11 @@ impl Machine {
                             }
                         },
                     };
+                    // Retire from the scheduler on success and failure alike
+                    // — a permit leak would wedge every still-running peer.
+                    // Before the poison broadcast, so the woken peers find a
+                    // free slot to abort on.
+                    sched.finish(id);
                     if let Err((e, _)) = &outcome {
                         // Poison broadcast: peers blocked in receives abort
                         // with this error as their cause instead of waiting

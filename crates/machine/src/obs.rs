@@ -84,17 +84,24 @@ pub enum MemAccount {
     Plan = 4,
     /// User arrays registered through the `distarray` `TrackArray` hook.
     User = 5,
+    /// The frame channel's pre-reserved ring, charged once per processor at
+    /// start (constant for a machine shape, never released; see
+    /// [`crate::chan::default_capacity`]'s scale-aware sizing). Excluded
+    /// from the predicted-vs-measured peak gate, which covers workload-
+    /// driven memory; the ring is asserted byte-exactly instead.
+    MailboxRing = 6,
 }
 
 impl MemAccount {
     /// Every account, in gauge/track emission order.
-    pub const ALL: [MemAccount; 6] = [
+    pub const ALL: [MemAccount; 7] = [
         MemAccount::Mailbox,
         MemAccount::Payload,
         MemAccount::Pool,
         MemAccount::ReplayLog,
         MemAccount::Plan,
         MemAccount::User,
+        MemAccount::MailboxRing,
     ];
 
     /// Short account name, used in gauge and counter-track names.
@@ -106,6 +113,7 @@ impl MemAccount {
             MemAccount::ReplayLog => "replay_log",
             MemAccount::Plan => "plan",
             MemAccount::User => "user",
+            MemAccount::MailboxRing => "mailbox.ring",
         }
     }
 
@@ -118,6 +126,7 @@ impl MemAccount {
             MemAccount::ReplayLog => "mem.replay_log.cur",
             MemAccount::Plan => "mem.plan.cur",
             MemAccount::User => "mem.user.cur",
+            MemAccount::MailboxRing => "mem.mailbox.ring",
         }
     }
 }

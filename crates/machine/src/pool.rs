@@ -31,6 +31,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::message::Payload;
+use crate::sched::Scheduler;
 
 /// A pool-managed payload: resettable to an empty-but-capacitated state so
 /// the next fill reuses the allocation.
@@ -66,6 +67,11 @@ pub struct PoolSlot<B> {
     /// accounting charges a slot's *growth* once (the buffer is reused, so
     /// its footprint is its largest staging, never the sum).
     charged: AtomicU64,
+    /// The slot owner's scheduler handle, registered only while the owner
+    /// is parked in back-pressure ([`crate::proc::Proc::pool_checkout`]):
+    /// the receiver's `put_back` — which runs on a different carrier —
+    /// unparks the owner instead of leaving it to spin or poll.
+    waker: Mutex<Option<(Arc<Scheduler>, usize)>>,
 }
 
 impl<B: Reusable> PoolSlot<B> {
@@ -73,7 +79,13 @@ impl<B: Reusable> PoolSlot<B> {
         PoolSlot {
             state: Mutex::new(SlotState::Free(B::default())),
             charged: AtomicU64::new(0),
+            waker: Mutex::new(None),
         }
+    }
+
+    /// Register (or clear) the owner's park waker for this slot.
+    pub(crate) fn set_waker(&self, waker: Option<(Arc<Scheduler>, usize)>) {
+        *self.waker.lock().unwrap() = waker;
     }
 
     /// Raise the slot's charged high-water to `bytes`, returning the growth
@@ -125,7 +137,8 @@ impl<B: Reusable> PoolSlot<B> {
         }
     }
 
-    /// Return a decoded buffer to the pool (receiver side).
+    /// Return a decoded buffer to the pool (receiver side), unparking the
+    /// owner if it is waiting on this slot's back-pressure.
     pub fn put_back(&self, mut buf: B) {
         buf.reset();
         let mut st = self.state.lock().unwrap();
@@ -134,6 +147,11 @@ impl<B: Reusable> PoolSlot<B> {
             "put_back into occupied slot"
         );
         *st = SlotState::Free(buf);
+        drop(st);
+        let waker = self.waker.lock().unwrap().clone();
+        if let Some((sched, owner)) = waker {
+            sched.unpark(owner);
+        }
     }
 }
 

@@ -24,8 +24,16 @@ use crate::obs::{
 };
 use crate::pool::{BufferPool, PoolSlot, Reusable};
 use crate::recovery::{Checkpoint, EpochSnapshot, RecoveryState, ResumeCtx};
-use crate::reliable::{Transport, POLL_SLICE};
+use crate::reliable::Transport;
+use crate::sched::Scheduler;
 use crate::topology::ProcGrid;
+
+/// Cap on the per-processor packet-scratch pre-reserve. Reserving a full
+/// P-length scratch on every processor is P² machine-wide (~1 GB at
+/// P=4096); pooled exchanges rarely buffer more than a round's fan-in, and
+/// any overflow grows the vector on the first execute — before the
+/// steady-state zero-allocation window begins.
+const PKT_SCRATCH_RESERVE: usize = 256;
 
 /// Tag namespaces. Each collective type uses its own tag so that a program
 /// error (processors disagreeing about which collective comes next) fails
@@ -110,7 +118,7 @@ struct ProcMetrics {
     clone_words: Arc<Counter>,
     /// Per-account memory gauges, indexed by `MemAccount as usize`
     /// (`last` = current bytes, `max` = peak; see DESIGN.md §13).
-    mem: [Arc<Gauge>; 6],
+    mem: [Arc<Gauge>; MemAccount::ALL.len()],
 }
 
 impl ProcMetrics {
@@ -138,6 +146,11 @@ pub struct Proc<'m> {
     clock: SimClock,
     senders: &'m [FrameSender],
     rx: FrameReceiver,
+    /// The cooperative scheduler multiplexing virtual processors over the
+    /// machine's carrier-thread pool. Every wall-clock wait in this file
+    /// parks here instead of blocking or spinning, so a bounded pool can
+    /// carry thousands of processors (see DESIGN.md §15).
+    sched: Arc<Scheduler>,
     mailbox: Mailbox,
     recv_timeout: Duration,
     /// Reliable transport state; present iff the machine carries a
@@ -181,6 +194,7 @@ impl<'m> Proc<'m> {
         recv_timeout: Duration,
         plan: Option<Arc<FaultPlan>>,
         obs: ObsConfig,
+        sched: Arc<Scheduler>,
     ) -> Self {
         let nprocs = grid.nprocs();
         let mut transport = plan
@@ -189,12 +203,13 @@ impl<'m> Proc<'m> {
         if let Some(t) = transport.as_mut() {
             t.record = !obs.is_off();
         }
-        Proc {
+        let mut proc = Proc {
             id,
             grid,
             clock,
             senders,
             rx,
+            sched,
             mailbox: Mailbox::new(),
             recv_timeout,
             transport,
@@ -203,12 +218,19 @@ impl<'m> Proc<'m> {
             metrics: obs.metrics.then(ProcMetrics::new),
             wall: obs.wall.then(WallProfiler::new),
             pool: BufferPool::default(),
-            pkt_scratch: Vec::with_capacity(nprocs),
+            pkt_scratch: Vec::with_capacity(nprocs.min(PKT_SCRATCH_RESERVE)),
             recovery: None,
             resume: None,
             epoch_idx: 0,
             crash_armed: true,
-        }
+        };
+        // The frame ring pinned for this processor's lifetime, charged up
+        // front at simulated t=0 (a machine-shape constant, never released;
+        // asserted byte-exactly by the memory perf group rather than by the
+        // workload-driven peak gate).
+        let ring = crate::chan::ring_bytes(proc.rx.capacity());
+        proc.mem_charge(MemAccount::MailboxRing, ring);
+        proc
     }
 
     /// Attach shared crash-recovery state (and, on a respawned processor,
@@ -796,6 +818,39 @@ impl<'m> Proc<'m> {
         self.mem_sample(MemAccount::Mailbox, self.id, ts, -(pkt.words as i64 * 4));
     }
 
+    /// Park this virtual processor in the scheduler for at most `timeout`,
+    /// keyed on the current simulated time (the deterministic wake-priority
+    /// rule: among ready processors, the one furthest behind in simulated
+    /// time runs first). Woken early by any frame sent to this processor or
+    /// by a pool-slot return. The wait is attributed to the virtual
+    /// processor's own wall profile under `sched.park` — carrier threads
+    /// have no identity of their own.
+    fn park(&mut self, timeout: Duration) {
+        let key = self.clock.now_ns();
+        let sched = Arc::clone(&self.sched);
+        let id = self.id;
+        self.wall_span("sched.park", |_| {
+            sched.park(id, key, timeout);
+        });
+    }
+
+    /// How long a wait-for-frames park may sleep without starving the
+    /// reliable transport: the earliest retransmission deadline caps the
+    /// park so [`crate::reliable::Transport::pump`] runs on time (this also
+    /// bounds reordered-frame holdback, which retires through the same
+    /// retransmit path). Fault-free machines sleep the full remainder —
+    /// every frame arrival unparks them.
+    fn park_wait(&self, remaining: Duration) -> Duration {
+        match self
+            .transport
+            .as_ref()
+            .and_then(|t| t.next_retry_deadline())
+        {
+            Some(d) => remaining.min(d.saturating_duration_since(Instant::now())),
+            None => remaining,
+        }
+    }
+
     /// The frame-dispatch receive loop shared by every receive flavour.
     /// The deadline restarts whenever *any* frame arrives (progress), which
     /// matches the fault-free semantics where each successfully received
@@ -810,21 +865,17 @@ impl<'m> Proc<'m> {
                 t.pump(self.id, self.senders)?;
                 self.drain_transport_events();
             }
-            let slice = if self.transport.is_some() {
-                POLL_SLICE
-            } else {
-                self.recv_timeout
-            };
-            match self.rx.recv_timeout(slice.min(self.recv_timeout)) {
-                Ok(frame) => {
+            match self.rx.try_recv() {
+                Some(frame) => {
                     deadline = Instant::now() + self.recv_timeout;
                     self.dispatch(frame)?;
                     if let Some(p) = self.mailbox.take(src, tag) {
                         return Ok(p);
                     }
                 }
-                Err(_) => {
-                    if Instant::now() >= deadline {
+                None => {
+                    let now = Instant::now();
+                    if now >= deadline {
                         return Err(MachineError::RecvTimeout {
                             proc: self.id,
                             src,
@@ -832,6 +883,12 @@ impl<'m> Proc<'m> {
                             timeout: self.recv_timeout,
                         });
                     }
+                    // A frame enqueued between the probe above and this park
+                    // is covered by the scheduler's wake token: the sender's
+                    // unpark lands while we still run, and the park returns
+                    // immediately instead of sleeping.
+                    let wait = self.park_wait(deadline - now);
+                    self.park(wait);
                 }
             }
         }
@@ -1230,8 +1287,17 @@ impl<'m> Proc<'m> {
             if all_acked {
                 return Ok(());
             }
-            if let Ok(frame) = self.rx.recv_timeout(POLL_SLICE) {
+            if let Some(frame) = self.rx.try_recv() {
                 self.dispatch(frame)?;
+            } else {
+                let now = Instant::now();
+                if now < deadline {
+                    // Park until the awaited ack arrives or the next
+                    // retransmission is due (missing acks are exactly what
+                    // the retry deadline tracks, so this never oversleeps).
+                    let wait = self.park_wait(deadline - now);
+                    self.park(wait);
+                }
             }
             if Instant::now() >= deadline {
                 let (dst, seq, attempts) = self
@@ -1322,32 +1388,41 @@ impl<'m> Proc<'m> {
         if let Some(buf) = slot.try_checkout() {
             return (slot, buf);
         }
+        // Slow path: register as the slot's waker and park. The receiver's
+        // `put_back` — on whatever carrier it runs — unparks this processor
+        // directly, as does any incoming frame; there is no spinning or
+        // polling anywhere on this path.
+        slot.set_waker(Some((Arc::clone(&self.sched), self.id)));
         let deadline = Instant::now() + self.recv_timeout;
         loop {
             if let Some(t) = self.transport.as_mut() {
                 if let Err(e) = t.pump(self.id, self.senders) {
+                    slot.set_waker(None);
                     panic_any(e);
                 }
                 self.drain_transport_events();
             }
-            match self.rx.try_recv() {
-                Ok(frame) => {
-                    if let Err(e) = self.dispatch(frame) {
-                        panic_any(e);
-                    }
+            while let Some(frame) = self.rx.try_recv() {
+                if let Err(e) = self.dispatch(frame) {
+                    slot.set_waker(None);
+                    panic_any(e);
                 }
-                Err(_) => std::thread::yield_now(),
             }
             if let Some(buf) = slot.try_checkout() {
+                slot.set_waker(None);
                 return (slot, buf);
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
+                slot.set_waker(None);
                 panic!(
                     "proc {}: pool slot (key {key}, dst {dst}) was never returned \
                      within {:?} — receiver stalled or plan executed unevenly",
                     self.id, self.recv_timeout
                 );
             }
+            let wait = self.park_wait(deadline - now);
+            self.park(wait);
         }
     }
 

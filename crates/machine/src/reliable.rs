@@ -34,9 +34,6 @@ use crate::fault::{FaultPlan, Verdict};
 use crate::message::{Frame, Packet};
 use crate::obs::TransportEvent;
 
-/// How long a receive loop sleeps between transport pumps while a fault
-/// plan is active (retry timers are checked at this granularity).
-pub(crate) const POLL_SLICE: Duration = Duration::from_millis(2);
 /// First retransmit timeout.
 const RTO_INITIAL: Duration = Duration::from_millis(8);
 /// Backoff ceiling.
@@ -305,6 +302,16 @@ impl Transport {
         !self.unacked.is_empty()
     }
 
+    /// The earliest wall-clock instant at which [`Transport::pump`] has
+    /// retransmission work, or `None` while everything is acked. Receive
+    /// loops park exactly until this deadline instead of polling on a
+    /// fixed slice — the no-hang guarantee re-expressed as a scheduler
+    /// deadline (a held-back reordered frame is also `unacked`, so its
+    /// release is covered too).
+    pub(crate) fn next_retry_deadline(&self) -> Option<Instant> {
+        self.unacked.values().map(|st| st.deadline).min()
+    }
+
     /// The oldest unacknowledged send, as `(dst, seq, attempts)` — named in
     /// the error when a final flush gives up.
     pub(crate) fn oldest_unacked(&self) -> Option<(usize, u64, u32)> {
@@ -409,7 +416,7 @@ mod tests {
 
     fn data_frames(rx: &FrameReceiver) -> Vec<(u64, Packet)> {
         let mut out = Vec::new();
-        while let Ok(f) = rx.try_recv() {
+        while let Some(f) = rx.try_recv() {
             if let Frame::Data { seq, pkt } = f {
                 out.push((seq, pkt));
             }

@@ -12,6 +12,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== scheduler pool-identity gate (pool size 1 vs N, P=1024 smoke) =="
+# The cooperative scheduler's contract: results, simulated clocks, event
+# streams, and comm matrices are bit-identical for any worker-pool size.
+# Release mode so the P=1024 virtual-processor smoke inside the machine
+# suite runs at full speed; the core suite replays the contract through
+# the paper's actual PACK/UNPACK algorithms.
+cargo test -p hpf-machine --release -q --test sched
+cargo test -p hpf-core --release -q --test sched_determinism
+
 echo "== fuzz smoke via the plan-then-execute path =="
 cargo run -p hpf-bench --release --bin fuzz -- --cases 40 --seed 1 --reuse-plans
 
@@ -28,6 +37,12 @@ cargo run -p hpf-bench --release --bin chaos -- --seed 3 --iters 6 --recover
 echo "== chaos smoke with crash recovery over cached plans =="
 cargo run -p hpf-bench --release --bin chaos -- --seed 4 --iters 4 --recover --reuse-plans
 
+echo "== chaos smoke under a pinned two-permit worker pool =="
+# Fault injection + crash recovery with the pool artificially constrained:
+# parks, respawn re-enrollment, and replay all have to coexist with pool
+# backpressure without deadlocking or perturbing the simulated run.
+cargo run -p hpf-bench --release --bin chaos -- --seed 5 --iters 4 --recover --workers 2
+
 echo "== trace export parses as Chrome trace_event JSON =="
 python3 - "$chaos_trace" <<'EOF'
 import json, sys
@@ -43,6 +58,11 @@ EOF
 rm -f "$chaos_trace"
 
 echo "== perf smoke (machine-readable bench report + wall-profile gate) =="
+# Includes the `scale` group: P in {64, 1024, 4096} pack->unpack roundtrips,
+# each run under worker-pool sizes 1 and ncores and compared bit-exactly
+# (the perf binary exits nonzero on divergence; the validator re-checks the
+# emitted verdicts). The P=4096 leg is context-switch-bound and dominates
+# this step's wall time — several minutes on a small host is expected.
 perf_json="$(mktemp)"
 perf_folded="$(mktemp)"
 cargo run -p hpf-bench --release --bin perf -- --smoke --out "$perf_json" \

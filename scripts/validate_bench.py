@@ -12,7 +12,10 @@ zero deep-copied payload words, every `recovery` workload must have
 actually recovered its scheduled crash (replays >= 1, a live replay log,
 non-negative wall-clock overhead), every `memory` workload's predicted
 peak must bound the measured one without over-estimating past the 1.25
-ratio gate, and every workload's `wall` statistics must be coherent:
+ratio gate (with byte-exact mailbox-ring accounting), every `scale`
+workload must report bit-identical results across worker-pool sizes 1
+and N with a positive ns/proc-step, and every workload's `wall`
+statistics must be coherent:
 smoke reports are single-rep with `cv` null (unmeasured, never 0.0),
 full reports are multi-rep with `cv` measured and below WALL_CV_GATE —
 a noisier measurement means the wall numbers are not trustworthy enough
@@ -129,6 +132,9 @@ def coverage_checks(report, errors):
         ("memory", "memory.unpack.css"),
         ("memory", "memory.pack.red1"),
         ("memory", "memory.pack.red2"),
+        ("scale", "scale.roundtrip.p64"),
+        ("scale", "scale.roundtrip.p1024"),
+        ("scale", "scale.roundtrip.p4096"),
     ]
     fil = report.get("filter")
     for group, prefix in required_prefixes:
@@ -300,12 +306,51 @@ def coverage_checks(report, errors):
                     f"workload {name}: predicted/measured ratio {ratio} exceeds "
                     f"{MEM_RATIO_GATE}"
                 )
+            if mem.get("ring_exact") is not True:
+                errors.append(
+                    f"workload {name}: mailbox-ring accounting is not "
+                    f"byte-exact (ring_bytes {mem.get('ring_bytes')})"
+                )
             if mem.get("pass") is not True:
                 errors.append(f"workload {name}: memory gate failed")
         elif w.get("group") == "memory":
             errors.append(
                 f"workload {w.get('name')}: memory group entry carries "
                 "no memory report"
+            )
+        sc = w.get("scale")
+        if isinstance(sc, dict):
+            name = w.get("name")
+            # The scheduler-determinism gate: the same program under a
+            # single-permit worker pool and under a multi-permit pool must
+            # produce bit-identical results, simulated clocks, and
+            # communication matrices — the whole point of the cooperative
+            # scheduler is that worker count is wall-side only.
+            if sc.get("identical") is not True:
+                errors.append(
+                    f"workload {name}: diverged between worker-pool sizes "
+                    f"{sc.get('workers_low')} and {sc.get('workers_high')}"
+                )
+            if sc.get("workers_low") != 1:
+                errors.append(
+                    f"workload {name}: scale baseline pool size "
+                    f"{sc.get('workers_low')} (must be 1)"
+                )
+            wh = sc.get("workers_high")
+            if not (isinstance(wh, int) and wh >= 2):
+                errors.append(
+                    f"workload {name}: scale comparison pool size {wh!r} "
+                    "must be >= 2 to exercise real interleaving"
+                )
+            nps = sc.get("ns_per_proc_step")
+            if not isinstance(nps, (int, float)) or nps <= 0:
+                errors.append(
+                    f"workload {name}: ns_per_proc_step {nps!r} not positive"
+                )
+        elif w.get("group") == "scale":
+            errors.append(
+                f"workload {w.get('name')}: scale group entry carries "
+                "no scale report"
             )
         wall = w.get("wall")
         if isinstance(wall, dict):
@@ -326,7 +371,19 @@ def coverage_checks(report, errors):
                         "(single-rep noise is unmeasured; must be null)"
                     )
             else:
-                if not (isinstance(reps, int) and reps >= 2):
+                # Full-mode exemption: scale workloads at P >= 2048 are
+                # context-switch-bound and take minutes per rep, so they run
+                # single-rep even in full mode. Their gate is the bit-identity
+                # verdict, not wall noise — a single rep with cv unmeasured
+                # (null) is the honest report there.
+                procs = 1
+                for g in w.get("grid", []):
+                    if isinstance(g, int):
+                        procs *= g
+                big_scale = w.get("group") == "scale" and procs >= 2048
+                if big_scale and reps == 1 and cv is None:
+                    pass
+                elif not (isinstance(reps, int) and reps >= 2):
                     errors.append(
                         f"workload {name}: full report ran {reps} reps "
                         "(need >= 2 to measure noise)"
