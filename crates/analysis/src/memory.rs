@@ -180,7 +180,9 @@ fn enclosing_stage(events: &[Event], ts_ns: f64) -> String {
 // staged pool buffers, the plan, and the user arrays coexist):
 //
 //   user     what the workload registers: 4L data + L mask words→bytes
-//   plan     the retained route/flag buffers (PackPlan/UnpackPlan mem_bytes)
+//   plan     the retained route/flag buffers plus the lowered copy
+//            programs (PackPlan/UnpackPlan mem_bytes; the program bytes
+//            come exact from MaskStats, which runs the same lowering)
 //   pool     staged wire bytes (self-destined slot included: an upper
 //            bound — the executor never stages the self share, but that
 //            share has no closed form on block-cyclic layouts)
@@ -245,14 +247,14 @@ fn pack_exchange_bytes(
         // keep 4 bytes per explicit rank + 4 per slot; staged buffers
         // carry 2 words per element.
         PackScheme::Simple | PackScheme::CompactStorage => {
-            let plan = 2 * W * e + 2 * p;
+            let plan = 2 * W * e + 2 * p + stats.pack_prog_bytes[i];
             let pool = 2 * W * (e - overlap);
             plan + pool + allowance(2 * r, p)
         }
         // Compact messages: E values + 2-word header per segment. Routes
         // keep 8 bytes per run + 4 per slot.
         PackScheme::CompactMessage => {
-            let plan = W * e + 2 * W * gs + 2 * p;
+            let plan = W * e + 2 * W * gs + 2 * p + stats.pack_prog_bytes[i];
             let pool = W * (e - overlap) + 2 * W * gs;
             plan + pool + allowance(r + 2 * gr, p)
         }
@@ -271,7 +273,7 @@ pub fn predict_unpack_peak(stats: &MaskStats, _scheme: UnpackScheme) -> Vec<u64>
         .map(|i| {
             let (e, r) = (stats.e[i] as u64, stats.r[i] as u64);
             let user = 5 * stats.l as u64 + W * r;
-            let plan = W * e + W * r + 2 * p;
+            let plan = W * e + W * r + 2 * p + stats.unpack_prog_bytes[i];
             let pool = W * r;
             user + plan + pool + allowance(e, p)
         })

@@ -75,7 +75,7 @@ static ALLOC: CountingAllocator = CountingAllocator;
 
 /// Schema version of the emitted JSON (bump on breaking field changes;
 /// `scripts/bench-schema.json` must match).
-const SCHEMA_VERSION: u32 = 8;
+const SCHEMA_VERSION: u32 = 9;
 
 /// Timed wall-clock repetitions per workload in full mode (`--reps`
 /// overrides; `--smoke` forces 1). Seven reps keep the median/MAD
@@ -514,15 +514,25 @@ fn main() {
     // allocator. Steady-state allocations must be zero — the pooled
     // buffers absorb the whole gather → exchange → decode loop.
     if want("exec_hot") {
-        for w in [1usize, wide_w] {
-            let cfg = ExpConfig::new(&[n1d], &[p1d], w, pattern);
+        // Random-mask workloads at cyclic and wide-block widths, plus a
+        // dense (contiguous-mask) wide-block variant: the `.dense` rows
+        // are where the copy-program lowering must reach its bulk-copy
+        // fraction (gated >= 0.9 by validate_bench.py) and its memcpy-rate
+        // ns/element.
+        let hot_variants = [
+            (1usize, pattern, ""),
+            (wide_w, pattern, ""),
+            (wide_w, MaskPattern::FirstHalf, ".dense"),
+        ];
+        for (w, hot_pattern, suffix) in hot_variants {
+            let cfg = ExpConfig::new(&[n1d], &[p1d], w, hot_pattern);
             for scheme in PackScheme::ALL {
                 let label = match scheme {
                     PackScheme::Simple => "sss",
                     PackScheme::CompactStorage => "css",
                     PackScheme::CompactMessage => "cms",
                 };
-                let name = format!("exec_hot.pack.{label}.w{w}");
+                let name = format!("exec_hot.pack.{label}.w{w}{suffix}");
                 let ((hot, m), wall) = timed(reps, warmup, || {
                     time_pack_hot(&cfg, &PackOptions::new(scheme), HOT_EXECUTES)
                 });
@@ -554,7 +564,7 @@ fn main() {
                     UnpackScheme::Simple => "sss",
                     UnpackScheme::CompactStorage => "css",
                 };
-                let name = format!("exec_hot.unpack.{label}.w{w}");
+                let name = format!("exec_hot.unpack.{label}.w{w}{suffix}");
                 let ((hot, m), wall) = timed(reps, warmup, || {
                     time_unpack_hot(&cfg, &UnpackOptions::new(scheme), HOT_EXECUTES)
                 });
@@ -1374,6 +1384,11 @@ fn render_json(rev: &str, smoke: bool, filter: Option<&str>, entries: &[Entry]) 
         None => s.push_str("  \"filter\": null,\n"),
     }
     s.push_str("  \"cost_model\": \"cm5\",\n");
+    let _ = writeln!(
+        s,
+        "  \"memcpy_roof_gbps\": {},",
+        json_f64(memcpy_roof_gbps())
+    );
     s.push_str("  \"workloads\": [\n");
     for (i, e) in entries.iter().enumerate() {
         s.push_str("    {\n");
@@ -1494,7 +1509,10 @@ fn render_json(rev: &str, smoke: bool, filter: Option<&str>, entries: &[Entry]) 
                     "      \"hot\": {{\"executes\": {}, \"elements\": {}, \
                      \"wall_ns_per_exec\": {}, \"ns_per_element\": {}, \
                      \"allocs_per_execute\": {}, \"alloc_bytes_per_execute\": {}, \
-                     \"clone_words\": {}}},",
+                     \"clone_words\": {}, \"copy_ops\": {{\
+                     \"contig\": {}, \"strided\": {}, \"scatter\": {}, \
+                     \"bulk_elements\": {}, \"total_elements\": {}, \
+                     \"bulk_fraction\": {}}}}},",
                     h.executes,
                     h.elements,
                     json_f64(h.wall_ns_per_exec),
@@ -1502,6 +1520,12 @@ fn render_json(rev: &str, smoke: bool, filter: Option<&str>, entries: &[Entry]) 
                     json_f64(h.allocs_per_execute),
                     json_f64(h.alloc_bytes_per_execute),
                     h.clone_words,
+                    h.copy_ops.contig,
+                    h.copy_ops.strided,
+                    h.copy_ops.scatter,
+                    h.copy_ops.bulk_elements,
+                    h.copy_ops.total_elements,
+                    json_f64(h.copy_ops.bulk_fraction()),
                 );
             }
             None => s.push_str("      \"hot\": null,\n"),

@@ -15,10 +15,20 @@
 //! gates are independent by design — simulated drift is a behavioural
 //! change, wall drift is a real-machine performance change.
 //!
+//! With `--hot-band PCT`, a third gate compares `hot.ns_per_element` of
+//! every workload present in both reports with a *fixed* tolerance band.
+//! Unlike `--wall` it does not need repetition statistics, so it still
+//! bites in smoke mode where `cv` is null and every `--wall` row is
+//! skipped. The band is deliberately wide (scheduler overhead dominates
+//! tiny smoke shapes and is noisy) — its job is to catch losing a bulk
+//! kernel outright (a 4× slowdown is +300%), not percent-level drift.
+//! Workloads without a hot measurement on either side are skipped.
+//!
 //! Usage:
 //! ```sh
 //! cargo run -p hpf-bench --bin perfdiff -- OLD.json NEW.json \
-//!     [--warn-above PCT] [--fail-above PCT] [--wall] [--wall-fixed-pct PCT]
+//!     [--warn-above PCT] [--fail-above PCT] [--wall] [--wall-fixed-pct PCT] \
+//!     [--hot-band PCT]
 //! ```
 //!
 //! Exit codes: 0 = clean (or warnings only), 1 = regression at or above
@@ -34,6 +44,7 @@ fn main() {
     let mut fail_above = 10.0f64;
     let mut wall = false;
     let mut wall_fixed_pct = 10.0f64;
+    let mut hot_band: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -51,6 +62,10 @@ fn main() {
             }
             "--wall-fixed-pct" => {
                 wall_fixed_pct = parse_pct(args.get(i + 1), "--wall-fixed-pct");
+                i += 2;
+            }
+            "--hot-band" => {
+                hot_band = Some(parse_pct(args.get(i + 1), "--hot-band"));
                 i += 2;
             }
             flag if flag.starts_with("--") => usage(&format!("unknown flag {flag}")),
@@ -108,9 +123,83 @@ fn main() {
         }
     }
 
+    if let Some(band) = hot_band {
+        let (table, worst, breaches) = hot_band_gate(&old, &new, band).unwrap_or_else(|e| {
+            eprintln!("perfdiff: {e}");
+            std::process::exit(2);
+        });
+        println!("\n## hot ns/element (fixed band {band}%)\n");
+        print!("{table}");
+        if breaches > 0 {
+            eprintln!(
+                "perfdiff: hot FAIL ({breaches} workloads beyond the {band}% band, \
+                 worst {worst:+.2}%)"
+            );
+            failed = true;
+        }
+    }
+
     if failed {
         std::process::exit(1);
     }
+}
+
+/// Fixed-band comparison of `hot.ns_per_element` between two reports.
+/// Returns `(markdown table, worst delta pct, breach count)`. Workloads
+/// lacking a finite hot measurement on either side are skipped (a
+/// *missing workload* is already an unconditional `DiffReport` failure).
+fn hot_band_gate(old: &Json, new: &Json, band_pct: f64) -> Result<(String, f64, usize), String> {
+    let hot_ns = |report: &Json, which: &str| -> Result<Vec<(String, f64)>, String> {
+        let workloads = report
+            .get("workloads")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{which} report has no workloads array"))?;
+        let mut out = Vec::new();
+        for w in workloads {
+            let Some(name) = w.get("name").and_then(Json::as_str) else {
+                continue;
+            };
+            let Some(ns) = w
+                .get("hot")
+                .and_then(|h| h.get("ns_per_element"))
+                .and_then(Json::as_f64)
+            else {
+                continue;
+            };
+            if ns.is_finite() && ns > 0.0 {
+                out.push((name.to_string(), ns));
+            }
+        }
+        Ok(out)
+    };
+    let old_hot = hot_ns(old, "old")?;
+    let new_hot = hot_ns(new, "new")?;
+
+    let mut table = String::from(
+        "| workload | old ns/elem | new ns/elem | delta | verdict |\n\
+         |---|---|---|---|---|\n",
+    );
+    let mut worst = f64::NEG_INFINITY;
+    let mut breaches = 0usize;
+    for (name, o) in &old_hot {
+        let Some(n) = new_hot.iter().find(|(nm, _)| nm == name).map(|&(_, v)| v) else {
+            continue;
+        };
+        let delta_pct = 100.0 * (n - o) / o;
+        worst = worst.max(delta_pct);
+        let verdict = if delta_pct > band_pct {
+            breaches += 1;
+            "**FAIL**"
+        } else {
+            "ok"
+        };
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            table,
+            "| {name} | {o:.2} | {n:.2} | {delta_pct:+.2}% | {verdict} |"
+        );
+    }
+    Ok((table, worst, breaches))
 }
 
 fn parse_pct(arg: Option<&String>, flag: &str) -> f64 {
@@ -132,7 +221,7 @@ fn load(path: &str) -> Json {
 fn usage(msg: &str) -> ! {
     eprintln!(
         "perfdiff: {msg}\nusage: perfdiff OLD.json NEW.json [--warn-above PCT] \
-         [--fail-above PCT] [--wall] [--wall-fixed-pct PCT]"
+         [--fail-above PCT] [--wall] [--wall-fixed-pct PCT] [--hot-band PCT]"
     );
     std::process::exit(2);
 }

@@ -2,8 +2,8 @@
 //! PACK/UNPACK under a scheme, and report the simulated-time breakdown.
 
 use hpf_core::{
-    pack, pack_redistributed, plan_pack, plan_unpack, unpack, MaskPattern, PackOptions, PackScheme,
-    PlanCache, RedistScheme, UnpackOptions, UnpackScheme,
+    pack, pack_redistributed, plan_pack, plan_unpack, unpack, CopyStats, MaskPattern, PackOptions,
+    PackScheme, PlanCache, RedistScheme, UnpackOptions, UnpackScheme,
 };
 use hpf_distarray::{local_from_fn, ArrayDesc, DimLayout, Dist, GlobalArray, TrackArray};
 use hpf_machine::{Breakdown, Category, CostModel, Machine, ProcGrid, RunOutput, WallProfile};
@@ -324,6 +324,10 @@ pub struct HotMeasurement {
     /// `payload.clone_words` from a separate metrics-enabled run of the
     /// same workload: deep-copied payload words, zero on fault-free runs.
     pub clone_words: u64,
+    /// Op breakdown of the plan's lowered copy programs, merged across
+    /// processors (DESIGN.md §16): how much of the hot loop's value
+    /// movement runs as bulk copies instead of scalar indexing.
+    pub copy_ops: CopyStats,
 }
 
 impl HotMeasurement {
@@ -370,7 +374,7 @@ pub fn time_pack_hot(
         }
         let wall_ns = t0.elapsed().as_nanos() as u64;
         let (c1, b1) = thread_totals();
-        (out.size, wall_ns, c1 - c0, b1 - b0)
+        (out.size, wall_ns, c1 - c0, b1 - b0, plan.copy_stats())
     });
     let size = out.results[0].0;
     let sim = measure_run(&out, size);
@@ -431,7 +435,7 @@ pub fn time_unpack_hot(
         }
         let wall_ns = t0.elapsed().as_nanos() as u64;
         let (c1, b1) = thread_totals();
-        (out.len(), wall_ns, c1 - c0, b1 - b0)
+        (out.len(), wall_ns, c1 - c0, b1 - b0, plan.copy_stats())
     });
     let sim = measure_run(&out, size);
     let hot = hot_from_runs(&out.results, size, executes, {
@@ -454,11 +458,11 @@ pub fn time_unpack_hot(
     (hot, sim)
 }
 
-/// Fold per-processor `(len, wall_ns, allocs, bytes)` tuples into a
-/// [`HotMeasurement`]: slowest thread bounds the wall clock, allocations
-/// are summed across threads.
+/// Fold per-processor `(len, wall_ns, allocs, bytes, copy stats)` tuples
+/// into a [`HotMeasurement`]: slowest thread bounds the wall clock,
+/// allocations and copy-program stats are summed across threads.
 fn hot_from_runs(
-    results: &[(usize, u64, u64, u64)],
+    results: &[(usize, u64, u64, u64, CopyStats)],
     elements: usize,
     executes: usize,
     clone_words: u64,
@@ -466,6 +470,10 @@ fn hot_from_runs(
     let wall = results.iter().map(|r| r.1).max().unwrap_or(0);
     let allocs: u64 = results.iter().map(|r| r.2).sum();
     let bytes: u64 = results.iter().map(|r| r.3).sum();
+    let mut copy_ops = CopyStats::default();
+    for r in results {
+        copy_ops.merge(&r.4);
+    }
     HotMeasurement {
         executes,
         elements,
@@ -473,6 +481,7 @@ fn hot_from_runs(
         allocs_per_execute: allocs as f64 / executes.max(1) as f64,
         alloc_bytes_per_execute: bytes as f64 / executes.max(1) as f64,
         clone_words,
+        copy_ops,
     }
 }
 

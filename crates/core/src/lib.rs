@@ -66,6 +66,6 @@ pub use pack::{
     pack, pack_redistributed, pack_with_vector, predict, CmsMessage, MaskStats, PackOutput,
     RedistScheme,
 };
-pub use plan::{plan_pack, plan_unpack, PackPlan, PlanCache, UnpackPlan};
+pub use plan::{plan_pack, plan_unpack, CopyStats, PackPlan, PlanCache, UnpackPlan};
 pub use schemes::{PackOptions, PackScheme, ScanMethod, UnpackOptions, UnpackScheme};
 pub use unpack::{unpack, unpack_redistributed, RankRequest};

@@ -16,6 +16,13 @@
 //! that shrinking the result vector's block size `W'` inflates the segment
 //! count.
 //!
+//! The in-memory layout is structure-of-arrays: segment headers in
+//! [`CmsMessage::heads`], all values flattened into [`CmsMessage::vals`].
+//! The flat value array is what lets the execute hot path fill and decode
+//! a message with bulk `copy_from_slice` runs (see
+//! [`crate::plan::copyprog`]) — wire accounting is unchanged, since
+//! `Σ (2 + len)` and `2·G + Σ len` are the same sum.
+//!
 //! Under the plan/execute split, the scans and the run composition
 //! (`2/run` segment headers) are plan-time; the value gather (`1/value`)
 //! and the segment decode (`2/segment + 1/value`) are execute-time.
@@ -26,19 +33,23 @@ use hpf_machine::{Payload, Reusable, Wire, Words};
 use crate::plan::composer::{CompactComposer, ComposeCost, Composer, RankEmit};
 use crate::schemes::ScanMethod;
 
-/// A compact-message-scheme message: a stream of
-/// `(base rank, values…)` segments. Wire size is `Σ (2 + |values|)` words,
-/// exactly the paper's `E_i + 2·Gs_i` accounting.
+/// A compact-message-scheme message: `(base rank, len)` segment headers
+/// over a flat value array. Wire size is `Σ (2 + |values|)` words, exactly
+/// the paper's `E_i + 2·Gs_i` accounting.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CmsMessage<T> {
-    /// `(base rank, run of values with consecutive ranks)` segments.
-    pub segments: Vec<(u32, Vec<T>)>,
+    /// `(base rank, run length)` headers, one per segment; segment `g`'s
+    /// values start at `Σ len` of the headers before it.
+    pub heads: Vec<(u32, u32)>,
+    /// All segment values, concatenated in header order.
+    pub vals: Vec<T>,
 }
 
 impl<T> Default for CmsMessage<T> {
     fn default() -> Self {
         CmsMessage {
-            segments: Vec::new(),
+            heads: Vec::new(),
+            vals: Vec::new(),
         }
     }
 }
@@ -46,21 +57,18 @@ impl<T> Default for CmsMessage<T> {
 impl<T> CmsMessage<T> {
     /// Total number of values across all segments.
     pub fn value_count(&self) -> usize {
-        self.segments.iter().map(|(_, v)| v.len()).sum()
+        self.vals.len()
     }
 
     /// Number of segments (`Gs`/`Gr` in the paper's model).
     pub fn segment_count(&self) -> usize {
-        self.segments.len()
+        self.heads.len()
     }
 }
 
 impl<T: Wire> Payload for CmsMessage<T> {
     fn wire_words(&self) -> Words {
-        self.segments
-            .iter()
-            .map(|(_, v)| 2 + v.len() * T::WORDS)
-            .sum()
+        2 * self.heads.len() + self.vals.len() * T::WORDS
     }
 
     fn clone_payload(&self) -> Box<dyn std::any::Any + Send> {
@@ -69,43 +77,49 @@ impl<T: Wire> Payload for CmsMessage<T> {
 }
 
 impl<T: Wire> Reusable for CmsMessage<T> {
-    /// Clear each segment's values but keep the segment skeleton and every
-    /// inner allocation: a plan's routes are fixed, so the next
-    /// [`fill_segments`] refill for the same destination reuses both.
-    fn reset(&mut self) {
-        for (_, vals) in &mut self.segments {
-            vals.clear();
-        }
-    }
+    /// Keep both the header skeleton and the shaped value array: a plan's
+    /// routes are fixed, so the next [`ensure_shape`] for the same
+    /// destination finds everything in place and the refill is a pure
+    /// positional overwrite.
+    fn reset(&mut self) {}
 }
 
-/// Fill a pooled message from a route's run list (`(base rank, len)` pairs)
-/// and gather slots. If the skeleton already matches the run count — always
-/// true from the second execute of a plan — the refill is in place and
-/// allocation-free.
-pub(crate) fn fill_segments<T: Wire>(
+/// Shape a pooled message to a route's run list: headers equal to `runs`,
+/// value array sized to the route's element count. From the second execute
+/// of a plan this finds everything already in place and is a comparison
+/// plus a length check — no writes, no allocation.
+pub(crate) fn ensure_shape<T: Wire + Default>(
+    msg: &mut CmsMessage<T>,
+    runs: &[(u32, u32)],
+    value_count: usize,
+) {
+    if msg.heads != runs {
+        msg.heads.clear();
+        msg.heads.extend_from_slice(runs);
+    }
+    if msg.vals.len() != value_count {
+        msg.vals.clear();
+        msg.vals.resize(value_count, T::default());
+    }
+    debug_assert_eq!(
+        msg.heads.iter().map(|&(_, l)| l as usize).sum::<usize>(),
+        value_count,
+        "run lengths disagree with the slot count"
+    );
+}
+
+/// Fill a message from a route's run list and gather slots with the scalar
+/// reference walk — the crash-recovery (owned-buffer) path, and the oracle
+/// the lowered fill is checked against.
+pub(crate) fn fill_segments<T: Wire + Default>(
     msg: &mut CmsMessage<T>,
     runs: &[(u32, u32)],
     slots: &[u32],
     a_local: &[T],
 ) {
-    if msg.segments.len() != runs.len() {
-        msg.segments.clear();
-        msg.segments.extend(
-            runs.iter()
-                .map(|&(base, len)| (base, Vec::with_capacity(len as usize))),
-        );
-    }
-    let mut taken = 0usize;
-    for (seg, &(base, len)) in msg.segments.iter_mut().zip(runs) {
-        seg.0 = base;
-        seg.1.clear();
-        seg.1.extend(
-            slots[taken..taken + len as usize]
-                .iter()
-                .map(|&s| a_local[s as usize]),
-        );
-        taken += len as usize;
+    ensure_shape(msg, runs, slots.len());
+    for (v, &s) in msg.vals.iter_mut().zip(slots) {
+        *v = a_local[s as usize];
     }
 }
 
@@ -127,6 +141,13 @@ pub(crate) fn composer(scan_method: ScanMethod) -> Box<dyn Composer> {
 /// (Section 6.4.2: decomposition costs `E_a + 2·Gr_i` — two operations per
 /// segment plus one per value). Returns the operation count for the caller
 /// to charge once per decode pass.
+///
+/// Every segment was split at result-block boundaries by the sender's
+/// composer, so its ranks map to **contiguous** local indices on this
+/// owner (`local_of(base + j) == local_of(base) + j` within one block) —
+/// one `local_of` division and one `copy_from_slice` per segment instead
+/// of one of each per value. The `scalar-ref` feature keeps the
+/// per-element reference walk.
 pub(crate) fn place_segments<T: Wire + Default>(
     layout: &DimLayout,
     me: usize,
@@ -134,14 +155,30 @@ pub(crate) fn place_segments<T: Wire + Default>(
     out: &mut [T],
 ) -> usize {
     let mut ops = 0usize;
-    for (base, vals) in &msg.segments {
-        ops += 2 + vals.len();
-        for (j, &v) in vals.iter().enumerate() {
-            let rank = *base as usize + j;
-            debug_assert_eq!(layout.owner(rank), me, "misrouted segment");
-            out[layout.local_of(rank)] = v;
+    let mut off = 0usize;
+    for &(base, len) in &msg.heads {
+        let (base, len) = (base as usize, len as usize);
+        ops += 2 + len;
+        let vals = &msg.vals[off..off + len];
+        off += len;
+        debug_assert_eq!(layout.owner(base), me, "misrouted segment");
+        debug_assert_eq!(layout.owner(base + len - 1), me, "segment crosses owners");
+        if cfg!(feature = "scalar-ref") {
+            for (j, &v) in vals.iter().enumerate() {
+                debug_assert_eq!(layout.owner(base + j), me, "misrouted segment");
+                out[layout.local_of(base + j)] = v;
+            }
+        } else {
+            let lo = layout.local_of(base);
+            debug_assert_eq!(
+                layout.local_of(base + len - 1),
+                lo + len - 1,
+                "segment is not locally contiguous"
+            );
+            out[lo..lo + len].copy_from_slice(vals);
         }
     }
+    debug_assert_eq!(off, msg.vals.len(), "headers disagree with value count");
     ops
 }
 
@@ -153,7 +190,8 @@ mod tests {
     fn wire_words_match_paper_formula() {
         // E values in G segments -> E + 2G words (1-word elements).
         let msg = CmsMessage::<i32> {
-            segments: vec![(0, vec![1, 2, 3]), (10, vec![4]), (20, vec![5, 6])],
+            heads: vec![(0, 3), (10, 1), (20, 2)],
+            vals: vec![1, 2, 3, 4, 5, 6],
         };
         assert_eq!(msg.value_count(), 6);
         assert_eq!(msg.segment_count(), 3);
@@ -166,8 +204,50 @@ mod tests {
         // The paper: "the size of each segment is at least 3" — why CMS
         // cannot win at cyclic distribution.
         let msg = CmsMessage::<i32> {
-            segments: vec![(5, vec![9])],
+            heads: vec![(5, 1)],
+            vals: vec![9],
         };
         assert_eq!(msg.wire_words(), 3);
+    }
+
+    #[test]
+    fn fill_reuses_the_shape_in_place() {
+        let runs = [(4u32, 2u32), (9, 1)];
+        let slots = [0u32, 2, 3];
+        let a = [10i32, 20, 30, 40];
+        let mut msg = CmsMessage::default();
+        fill_segments(&mut msg, &runs, &slots, &a);
+        assert_eq!(msg.heads, runs);
+        assert_eq!(msg.vals, vec![10, 30, 40]);
+        let heads_ptr = msg.heads.as_ptr();
+        let vals_ptr = msg.vals.as_ptr();
+        msg.reset();
+        let b = [11i32, 21, 31, 41];
+        fill_segments(&mut msg, &runs, &slots, &b);
+        assert_eq!(msg.vals, vec![11, 31, 41]);
+        assert_eq!(msg.heads.as_ptr(), heads_ptr, "skeleton survives reset");
+        assert_eq!(msg.vals.as_ptr(), vals_ptr, "values refill in place");
+    }
+
+    #[test]
+    fn place_segments_bulk_matches_scalar() {
+        // W' = 4 over 2 procs: proc 0 owns ranks 0..4 and 8..12.
+        let layout = DimLayout::new_general(16, 2, 4).unwrap();
+        let msg = CmsMessage::<i32> {
+            heads: vec![(0, 4), (9, 2)],
+            vals: vec![1, 2, 3, 4, 5, 6],
+        };
+        let mut out = vec![0i32; layout.local_len(0)];
+        let ops = place_segments(&layout, 0, &msg, &mut out);
+        assert_eq!(ops, (2 + 4) + (2 + 2));
+        let mut want = vec![0i32; out.len()];
+        let mut off = 0;
+        for &(base, len) in &msg.heads {
+            for j in 0..len as usize {
+                want[layout.local_of(base as usize + j)] = msg.vals[off + j];
+            }
+            off += len as usize;
+        }
+        assert_eq!(out, want);
     }
 }

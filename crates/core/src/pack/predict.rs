@@ -36,6 +36,7 @@
 
 use hpf_distarray::DimLayout;
 
+use crate::plan::copyprog::CopyProgram;
 use crate::schemes::{PackScheme, ScanMethod, UnpackScheme};
 
 /// Mask-derived per-processor quantities for one 1-D workload. Everything
@@ -65,6 +66,17 @@ pub struct MaskStats {
     /// Method-1 second-scan cost per processor
     /// (`Σ` over non-empty slices of last-selected offset + 1).
     pub scan_until: Vec<usize>,
+    /// Retained bytes of the PACK plan's lowered gather copy programs per
+    /// processor (DESIGN.md §16) — exact, reconstructed by running the
+    /// same [`CopyProgram::lower`] over the same per-destination slot
+    /// lists the composers produce. Identical for all three schemes (the
+    /// gather order is rank order regardless of message format).
+    pub pack_prog_bytes: Vec<u64>,
+    /// Retained bytes of the UNPACK plan's lowered copy programs per
+    /// processor: the serve programs (over the local `V` indices each
+    /// requester is owed) plus the scatter programs (over the same
+    /// element-slot lists as the PACK gather).
+    pub unpack_prog_bytes: Vec<u64>,
 }
 
 impl MaskStats {
@@ -103,6 +115,16 @@ impl MaskStats {
             None => vec![0usize; p],
         };
 
+        // Per-destination index lists, rebuilt exactly as the composers
+        // and the request decode build them, so the copy programs lowered
+        // below are byte-identical to the ones the plans retain:
+        // `slots[i][dst]` = processor `i`'s local element indices routed to
+        // `dst`, in rank order (the PACK gather slots and the UNPACK
+        // targets alike); `serve[o][q]` = owner `o`'s local `V` indices
+        // owed to requester `q`, in rank order.
+        let mut slots: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); p]; p];
+        let mut serve: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); p]; p];
+
         // Walk global slices in element order: slice `s` lives on processor
         // `s mod P`; the running selected-count is the global rank of each
         // slice's first selected element (exactly how the prefix-reduction-
@@ -119,6 +141,17 @@ impl MaskStats {
             let last = slice.iter().rposition(|&b| b).expect("cnt > 0");
             scan_until[owner] += last + 1;
             let vl = v_layout.as_ref().expect("cnt > 0 implies size > 0");
+            let slice_base = (s / p) * w;
+            let mut rk = rank;
+            for (off, &b) in slice.iter().enumerate() {
+                if !b {
+                    continue;
+                }
+                let dst = vl.owner(rk);
+                slots[owner][dst].push((slice_base + off) as u32);
+                serve[dst][owner].push(vl.local_of(rk) as u32);
+                rk += 1;
+            }
             // Ranks rank..rank+cnt split into destination runs at W'
             // boundaries; each run lands wholly on one owner of V.
             let mut pos = rank;
@@ -131,6 +164,16 @@ impl MaskStats {
             }
             rank = end;
         }
+        let prog_bytes = |lists: &[Vec<u32>]| -> u64 {
+            lists
+                .iter()
+                .map(|l| CopyProgram::lower(l).mem_bytes())
+                .sum()
+        };
+        let pack_prog_bytes: Vec<u64> = slots.iter().map(|per_dst| prog_bytes(per_dst)).collect();
+        let unpack_prog_bytes: Vec<u64> = (0..p)
+            .map(|i| prog_bytes(&serve[i]) + pack_prog_bytes[i])
+            .collect();
         MaskStats {
             l,
             c,
@@ -143,6 +186,8 @@ impl MaskStats {
             gs,
             gr,
             scan_until,
+            pack_prog_bytes,
+            unpack_prog_bytes,
         }
     }
 

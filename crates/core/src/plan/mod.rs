@@ -11,7 +11,9 @@
 //!
 //! ```text
 //! plan  = scan + ranking (PRS collectives) + composition (+ request round)
-//! execute = gather/scatter values along the precomputed routes + exchange
+//!         + copy-program lowering
+//! execute = gather/scatter values along the precompiled copy programs
+//!           + exchange
 //! ```
 //!
 //! The split is exact with respect to the Section 6.4 operation model: the
@@ -19,6 +21,15 @@
 //! per-scheme formulas (see [`crate::predict`]), and
 //! `plan().execute(data)` is bit-identical to the one-shot entry points
 //! (which are now thin wrappers doing exactly `plan` + `execute`).
+//!
+//! Since the copy-program lowering (DESIGN.md §16), a plan also carries,
+//! per destination, a compiled [`copyprog::CopyProgram`] over its index
+//! lists; the execute kernels walk the program — bulk `copy_from_slice`
+//! runs and constant-stride loops where the mask allows, scalar ranges
+//! where it does not — instead of indexing element by element. Lowering is
+//! wall-clock-only: simulated operation charges are per *value moved* and
+//! do not depend on the loop shape, so every Section 6.4 metric is
+//! unchanged to the bit.
 //!
 //! Plans are generic over the element type at execute time: one
 //! [`PackPlan`] built for a mask/layout packs `f64` values and `u32`
@@ -31,14 +42,17 @@
 
 mod cache;
 pub(crate) mod composer;
+pub(crate) mod copyprog;
+mod poolmsg;
 
 pub use cache::PlanCache;
+pub use copyprog::CopyStats;
 
 use hpf_distarray::{ArrayDesc, DimLayout};
 use hpf_machine::collectives::{
     alltoallv, alltoallv_planned, alltoallv_pooled, A2aPlan, A2aSchedule,
 };
-use hpf_machine::{fresh_pool_key, Category, MemAccount, Packet, PoolSlot, Proc, Wire};
+use hpf_machine::{fresh_pool_key, Category, MemAccount, Packet, PoolSlot, Proc, Reusable, Wire};
 
 use crate::error::{PackError, UnpackError};
 use crate::pack::{compact_message, result_layout, CmsMessage, PackOutput};
@@ -47,6 +61,8 @@ use crate::schemes::{PackOptions, PackScheme, UnpackOptions, UnpackScheme};
 use crate::unpack::RankRequest;
 
 use composer::{Composer, RankList, Route};
+use copyprog::{CopyProgram, Phase};
+use poolmsg::{FlatMsg, PairMsg};
 
 /// A reusable, value-independent PACK plan for one `(descriptor, mask,
 /// options)` triple on one processor. Built by [`plan_pack`]; executed any
@@ -59,6 +75,9 @@ pub struct PackPlan {
     v_layout: Option<DimLayout>,
     local_len: usize,
     routes: Vec<Route>,
+    /// Per destination: the copy program lowered from the route's slot
+    /// list, driving the execute-time value gather (DESIGN.md §16).
+    gather: Vec<CopyProgram>,
     a2a: A2aPlan,
     /// Buffer-pool key: each plan owns a distinct family of reusable send
     /// buffers in every processor's pool (see DESIGN.md §11).
@@ -66,15 +85,19 @@ pub struct PackPlan {
 }
 
 /// Build a [`PackPlan`]: initial scan, ranking collectives, route
-/// composition, and a one-round exchange of send flags so every processor
-/// also knows which peers will message it at execute time.
+/// composition, copy-program lowering, and a one-round exchange of send
+/// flags so every processor also knows which peers will message it at
+/// execute time.
 ///
 /// All work is wrapped in the `pack.plan` stage span. Scanning, ranking
 /// arithmetic, and composition charge [`Category::LocalComp`] (plus the
 /// ranking collectives under [`Category::PrefixReductionSum`]); the flag
 /// exchange charges [`Category::Other`] — it is plan-time metadata, not
 /// part of the paper's data redistribution, and is paid once however many
-/// times the plan is executed.
+/// times the plan is executed. The copy-program lowering charges nothing
+/// simulated at all (`plan.lower` wall span only): it changes how the
+/// executor's loops are shaped, never how many per-value operations the
+/// model counts.
 ///
 /// This is a collective call: every processor must invoke it with its
 /// aligned local mask portion.
@@ -100,6 +123,7 @@ pub fn plan_pack(
                 v_layout: None,
                 local_len,
                 routes: Vec::new(),
+                gather: Vec::new(),
                 a2a: A2aPlan::from_flags(vec![false; n], vec![false; n]),
                 pool_key: fresh_pool_key(),
             };
@@ -109,6 +133,12 @@ pub fn plan_pack(
         let layout =
             result_layout(ranking.size, proc.nprocs(), opts.result_block_size).expect("size > 0");
         let routes = composer.compose(proc, &ranking, m_local, w0, &layout);
+        let gather = proc.wall_span("plan.lower", |_| {
+            routes
+                .iter()
+                .map(|r| CopyProgram::lower(&r.slots))
+                .collect()
+        });
         let to: Vec<bool> = routes.iter().map(|r| !r.slots.is_empty()).collect();
         let a2a = proc.with_category(Category::Other, |proc| {
             let world = proc.world();
@@ -121,6 +151,7 @@ pub fn plan_pack(
             v_layout: Some(layout),
             local_len,
             routes,
+            gather,
             a2a,
             pool_key: fresh_pool_key(),
         };
@@ -135,12 +166,24 @@ impl PackPlan {
         self.scheme
     }
 
-    /// Bytes retained by the plan's index structures (routes and exchange
-    /// flags), charged to the `plan` memory account at build time and never
-    /// released — plans live for the run, typically cached across calls.
+    /// Bytes retained by the plan's index structures (routes, lowered copy
+    /// programs, and exchange flags), charged to the `plan` memory account
+    /// at build time and never released — plans live for the run, typically
+    /// cached across calls.
     fn mem_bytes(&self) -> u64 {
         let routes: u64 = self.routes.iter().map(route_bytes).sum();
-        routes + 2 * self.a2a.to.len() as u64
+        let progs: u64 = self.gather.iter().map(CopyProgram::mem_bytes).sum();
+        routes + progs + 2 * self.a2a.to.len() as u64
+    }
+
+    /// Aggregate op breakdown of the plan's lowered gather programs —
+    /// how much of the execute-time value movement runs as bulk copies.
+    pub fn copy_stats(&self) -> CopyStats {
+        let mut s = CopyStats::default();
+        for p in &self.gather {
+            s.merge(p.stats());
+        }
+        s
     }
 
     /// Global number of packed elements (`Size`), replicated everywhere.
@@ -180,9 +223,9 @@ impl PackPlan {
     }
 
     /// [`PackPlan::execute`] writing into a caller-owned output. `out` is
-    /// cleared and refilled; from the second call with the same `out`
-    /// onward the whole gather → exchange → decode loop performs **zero
-    /// heap allocations**: send buffers come from the per-processor pool
+    /// refilled in place; from the second call with the same `out` onward
+    /// the whole gather → exchange → decode loop performs **zero heap
+    /// allocations**: send buffers come from the per-processor pool
     /// (checked out here, returned by the receiving processor's decode) and
     /// the result vector reuses its capacity.
     ///
@@ -228,7 +271,7 @@ impl PackPlan {
                     self.gather_pairs(proc, a_local);
                     let mut recvs = proc.take_pkt_scratch();
                     proc.with_category(Category::ManyToMany, |proc| {
-                        alltoallv_pooled::<Vec<(u32, T)>>(
+                        alltoallv_pooled::<PairMsg<T>>(
                             proc,
                             &self.a2a,
                             self.schedule,
@@ -269,10 +312,13 @@ impl PackPlan {
         Ok(())
     }
 
-    /// Gather `(rank, value)` pair messages along explicit-rank routes into
-    /// pooled per-destination buffers (one operation per moved element).
-    /// The buffer for each destination — this processor's own rank included
-    /// — is left staged in its slot for the exchange.
+    /// Gather `(rank, value)` pair messages into pooled per-destination
+    /// buffers (one operation per moved element). A warm buffer already
+    /// holds the plan-constant rank skeleton, so the refill walks the
+    /// lowered copy program and overwrites **values only**; cold buffers
+    /// (the first two executes, one per pool slot) build the skeleton
+    /// scalar. The buffer for each destination — this processor's own rank
+    /// included — is left staged in its slot for the exchange.
     fn gather_pairs<T: Wire + Default>(&self, proc: &mut Proc, a_local: &[T]) {
         proc.wall_span("pack.gather", |proc| {
             proc.with_category(Category::LocalComp, |proc| {
@@ -284,18 +330,35 @@ impl PackPlan {
                     let RankList::Explicit(ranks) = &route.ranks else {
                         unreachable!("pair schemes compose explicit ranks")
                     };
-                    let (slot, mut buf) = proc.pool_checkout::<Vec<(u32, T)>>(self.pool_key, dst);
-                    buf.extend(
-                        ranks
-                            .iter()
-                            .zip(&route.slots)
-                            .map(|(&r, &s)| (r, a_local[s as usize])),
-                    );
+                    let (slot, mut buf) = proc.pool_checkout::<PairMsg<T>>(self.pool_key, dst);
+                    if buf.pairs.len() == ranks.len() && !cfg!(feature = "scalar-ref") {
+                        debug_assert!(
+                            buf.pairs.iter().zip(ranks).all(|(p, &r)| p.0 == r),
+                            "stale rank skeleton in pooled pair buffer"
+                        );
+                        walk_pairs_refill(
+                            proc,
+                            &self.gather[dst],
+                            &route.slots,
+                            a_local,
+                            &mut buf.pairs,
+                        );
+                    } else {
+                        proc.wall_span("copy.scatter", |proc| {
+                            buf.pairs.clear();
+                            buf.pairs.extend(
+                                ranks
+                                    .iter()
+                                    .zip(&route.slots)
+                                    .map(|(&r, &s)| (r, a_local[s as usize])),
+                            );
+                            proc.wall_bytes((ranks.len() * std::mem::size_of::<(u32, T)>()) as u64);
+                        });
+                    }
                     moved += ranks.len();
                     slot.stash(buf);
                 }
                 proc.charge_ops(moved);
-                proc.wall_bytes((moved * std::mem::size_of::<(u32, T)>()) as u64);
             })
         })
     }
@@ -303,7 +366,8 @@ impl PackPlan {
     /// Gather compact-message segments along run-compressed routes into
     /// pooled buffers (one operation per moved value; the 2-per-segment
     /// header charge was paid at plan time). The route structure is fixed
-    /// per plan, so refills reuse the message's segment skeleton in place.
+    /// per plan, so refills find the header skeleton and the shaped flat
+    /// value array in place and only walk the copy program.
     fn gather_segments<T: Wire + Default>(&self, proc: &mut Proc, a_local: &[T]) {
         proc.wall_span("pack.gather", |proc| {
             proc.with_category(Category::LocalComp, |proc| {
@@ -317,8 +381,14 @@ impl PackPlan {
                     };
                     let (slot, mut msg) = proc.pool_checkout::<CmsMessage<T>>(self.pool_key, dst);
                     proc.wall_span("fill_segments", |proc| {
-                        compact_message::fill_segments(&mut msg, runs, &route.slots, a_local);
-                        proc.wall_bytes((route.slots.len() * std::mem::size_of::<T>()) as u64);
+                        compact_message::ensure_shape(&mut msg, runs, route.slots.len());
+                        walk_gather(
+                            proc,
+                            &self.gather[dst],
+                            &route.slots,
+                            a_local,
+                            &mut msg.vals,
+                        );
                     });
                     moved += route.slots.len();
                     slot.stash(msg);
@@ -330,7 +400,7 @@ impl PackPlan {
 
     /// [`PackPlan::gather_pairs`] into owned per-destination buffers — the
     /// crash-recovery path (same operations, same charge, fresh
-    /// allocations instead of pool slots).
+    /// allocations instead of pool slots, scalar-reference gather).
     fn gather_pairs_owned<T: Wire + Default>(
         &self,
         proc: &mut Proc,
@@ -359,7 +429,7 @@ impl PackPlan {
     }
 
     /// [`PackPlan::gather_segments`] into owned buffers — the crash-recovery
-    /// path.
+    /// path (scalar-reference fill).
     fn gather_segments_owned<T: Wire + Default>(
         &self,
         proc: &mut Proc,
@@ -395,14 +465,14 @@ impl PackPlan {
     ) {
         proc.with_category(Category::LocalComp, |proc| {
             let me = proc.id();
-            out.clear();
-            out.resize(layout.local_len(me), T::default());
+            prepare_out(out, layout.local_len(me));
             let mut placed = 0usize;
             for (src, buf) in recvs.iter().enumerate() {
                 if src == me || self.a2a.from[src] {
                     placed += place_pairs(layout, me, buf, out);
                 }
             }
+            debug_assert_eq!(placed, out.len(), "pack decode must cover V exactly");
             proc.charge_ops(2 * placed);
         })
     }
@@ -418,8 +488,7 @@ impl PackPlan {
     ) {
         proc.with_category(Category::LocalComp, |proc| {
             let me = proc.id();
-            out.clear();
-            out.resize(layout.local_len(me), T::default());
+            prepare_out(out, layout.local_len(me));
             let mut ops = 0usize;
             for (src, msg) in recvs.iter().enumerate() {
                 if src == me || self.a2a.from[src] {
@@ -431,8 +500,7 @@ impl PackPlan {
     }
 
     /// Decode pooled pair messages into `out` (Section 6.4.1: `2·E_a`),
-    /// returning each buffer to its sender's slot. The self-destined slot
-    /// is decoded in place; it never crossed the wire.
+    /// returning each buffer to its sender's slot via [`decode_pooled`].
     fn decode_pairs<T: Wire + Default>(
         &self,
         proc: &mut Proc,
@@ -443,24 +511,15 @@ impl PackPlan {
         proc.wall_span("pack.decode", |proc| {
             proc.with_category(Category::LocalComp, |proc| {
                 let me = proc.id();
-                out.clear();
-                out.resize(layout.local_len(me), T::default());
-                let mut placed = 0usize;
-                if self.a2a.to[me] {
-                    let slot = proc.pool_current::<Vec<(u32, T)>>(self.pool_key, me);
-                    let buf = slot.take_staged();
-                    placed += place_pairs(layout, me, &buf, out);
-                    slot.put_back(buf);
-                }
-                for pkt in recvs.drain(..) {
-                    let slot = pkt
-                        .data
-                        .downcast::<PoolSlot<Vec<(u32, T)>>>()
-                        .expect("pooled exchange delivers pool slots");
-                    let buf = slot.take_staged();
-                    placed += place_pairs(layout, me, &buf, out);
-                    slot.put_back(buf);
-                }
+                prepare_out(out, layout.local_len(me));
+                let placed = decode_pooled::<PairMsg<T>, _>(
+                    proc,
+                    self.pool_key,
+                    self.a2a.to[me],
+                    recvs,
+                    |_, _, buf| place_pairs(layout, me, &buf.pairs, out),
+                );
+                debug_assert_eq!(placed, out.len(), "pack decode must cover V exactly");
                 proc.charge_ops(2 * placed);
                 proc.wall_bytes((placed * std::mem::size_of::<(u32, T)>()) as u64);
             })
@@ -468,7 +527,8 @@ impl PackPlan {
     }
 
     /// Decode pooled segment messages into `out` (Section 6.4.2:
-    /// `E_a + 2·Gr_i`), returning each buffer to its sender's slot.
+    /// `E_a + 2·Gr_i`), returning each buffer to its sender's slot via
+    /// [`decode_pooled`].
     fn decode_segments<T: Wire + Default>(
         &self,
         proc: &mut Proc,
@@ -479,24 +539,20 @@ impl PackPlan {
         proc.wall_span("pack.decode", |proc| {
             proc.with_category(Category::LocalComp, |proc| {
                 let me = proc.id();
-                out.clear();
-                out.resize(layout.local_len(me), T::default());
-                let mut ops = 0usize;
-                if self.a2a.to[me] {
-                    let slot = proc.pool_current::<CmsMessage<T>>(self.pool_key, me);
-                    let msg = slot.take_staged();
-                    ops += place_segments_walled(proc, layout, me, &msg, out);
-                    slot.put_back(msg);
-                }
-                for pkt in recvs.drain(..) {
-                    let slot = pkt
-                        .data
-                        .downcast::<PoolSlot<CmsMessage<T>>>()
-                        .expect("pooled exchange delivers pool slots");
-                    let msg = slot.take_staged();
-                    ops += place_segments_walled(proc, layout, me, &msg, out);
-                    slot.put_back(msg);
-                }
+                prepare_out(out, layout.local_len(me));
+                let mut placed = 0usize;
+                let ops = decode_pooled::<CmsMessage<T>, _>(
+                    proc,
+                    self.pool_key,
+                    self.a2a.to[me],
+                    recvs,
+                    |proc, _, msg| {
+                        placed += msg.value_count();
+                        place_segments_walled(proc, layout, me, msg, out)
+                    },
+                );
+                debug_assert_eq!(placed, out.len(), "pack decode must cover V exactly");
+                let _ = placed;
                 proc.charge_ops(ops);
             })
         })
@@ -511,6 +567,119 @@ fn route_bytes(route: &Route) -> u64 {
         RankList::Runs(v) => v.len() as u64 * 8,
     };
     ranks + route.slots.len() as u64 * 4
+}
+
+/// Shape the decode output. `V`'s local slice is fully overwritten by the
+/// decode — every result rank is routed to exactly one processor and every
+/// processor's routes tile `0..Size` — so a right-sized buffer from a
+/// previous execute is reused as-is; the old unconditional clear +
+/// zero-resize re-zeroed `local_len` elements per execute for nothing.
+/// Fresh (or wrongly sized) buffers are zero-filled once. The coverage
+/// invariant is `debug_assert`ed by every decode path.
+fn prepare_out<T: Default + Clone>(out: &mut Vec<T>, local_len: usize) {
+    if out.len() != local_len {
+        out.clear();
+        out.resize(local_len, T::default());
+    }
+}
+
+/// The shared pooled-decode loop: take the self-staged buffer (it never
+/// crossed the wire), then every received packet's slot, run `place` over
+/// each, and return every buffer to its sender's slot. `place` gets the
+/// sending processor's id (this processor's own for the self slot) and
+/// returns whatever count it wants accumulated — placed values for pair
+/// decodes, model operations for segment decodes.
+fn decode_pooled<B: Reusable, F>(
+    proc: &mut Proc,
+    pool_key: u64,
+    self_staged: bool,
+    recvs: &mut Vec<Packet>,
+    mut place: F,
+) -> usize
+where
+    F: FnMut(&mut Proc, usize, &B) -> usize,
+{
+    let me = proc.id();
+    let mut acc = 0usize;
+    if self_staged {
+        let slot = proc.pool_current::<B>(pool_key, me);
+        let buf = slot.take_staged();
+        acc += place(proc, me, &buf);
+        slot.put_back(buf);
+    }
+    for pkt in recvs.drain(..) {
+        let src = pkt.src;
+        let slot = pkt
+            .data
+            .downcast::<PoolSlot<B>>()
+            .expect("pooled exchange delivers pool slots");
+        let buf = slot.take_staged();
+        acc += place(proc, src, &buf);
+        slot.put_back(buf);
+    }
+    acc
+}
+
+/// Walk a lowered gather program into a pre-shaped destination slice,
+/// splitting the bulk ops and the scalar ranges into their wall frames
+/// (`copy.contig` / `copy.scatter`) so hotspot attribution sees the shift
+/// from indexed to bulk movement.
+fn walk_gather<T: Wire>(
+    proc: &mut Proc,
+    prog: &CopyProgram,
+    idx: &[u32],
+    src: &[T],
+    dst: &mut [T],
+) {
+    let bulk = prog.stats().bulk_elements as usize;
+    proc.wall_span("copy.contig", |proc| {
+        copyprog::gather_fill(prog, idx, src, dst, Phase::Bulk);
+        proc.wall_bytes((bulk * std::mem::size_of::<T>()) as u64);
+    });
+    proc.wall_span("copy.scatter", |proc| {
+        copyprog::gather_fill(prog, idx, src, dst, Phase::Scatter);
+        proc.wall_bytes(((idx.len() - bulk) * std::mem::size_of::<T>()) as u64);
+    });
+}
+
+/// [`walk_gather`] for pair buffers: overwrite the value halves along the
+/// program, rank skeleton untouched.
+fn walk_pairs_refill<T: Wire>(
+    proc: &mut Proc,
+    prog: &CopyProgram,
+    idx: &[u32],
+    src: &[T],
+    dst: &mut [(u32, T)],
+) {
+    let bulk = prog.stats().bulk_elements as usize;
+    proc.wall_span("copy.contig", |proc| {
+        copyprog::gather_pairs_refill(prog, idx, src, dst, Phase::Bulk);
+        proc.wall_bytes((bulk * std::mem::size_of::<T>()) as u64);
+    });
+    proc.wall_span("copy.scatter", |proc| {
+        copyprog::gather_pairs_refill(prog, idx, src, dst, Phase::Scatter);
+        proc.wall_bytes(((idx.len() - bulk) * std::mem::size_of::<T>()) as u64);
+    });
+}
+
+/// Walk a lowered scatter program (`out[idx[k]] = vals[k]`) under the
+/// `copy.contig` / `copy.scatter` wall frames.
+fn walk_scatter<T: Wire>(
+    proc: &mut Proc,
+    prog: &CopyProgram,
+    idx: &[u32],
+    vals: &[T],
+    out: &mut [T],
+) {
+    let bulk = prog.stats().bulk_elements as usize;
+    proc.wall_span("copy.contig", |proc| {
+        copyprog::scatter_apply(prog, idx, vals, out, Phase::Bulk);
+        proc.wall_bytes((bulk * std::mem::size_of::<T>()) as u64);
+    });
+    proc.wall_span("copy.scatter", |proc| {
+        copyprog::scatter_apply(prog, idx, vals, out, Phase::Scatter);
+        proc.wall_bytes(((idx.len() - bulk) * std::mem::size_of::<T>()) as u64);
+    });
 }
 
 /// [`compact_message::place_segments`] bracketed by a `place_segments`
@@ -533,15 +702,52 @@ fn place_segments_walled<T: Wire + Default>(
 
 /// Place one pair message's `(global rank, value)` entries into the local
 /// slice of `V`; returns the number of values placed.
+///
+/// The receiver never learns the sender's rank lists at plan time (adding
+/// an exchange for them would change the simulated wire traffic), so runs
+/// are detected here at execute time: consecutive ranks within one result
+/// block map to consecutive local indices, so each run costs one
+/// `local_of` division and a tight copy loop instead of one division per
+/// value. The block-boundary cap makes the in-block contiguity theorem
+/// apply; owner and contiguity are re-checked per run under
+/// `debug_assertions`. The `scalar-ref` feature keeps the per-element
+/// reference walk.
 fn place_pairs<T: Wire + Default>(
     layout: &DimLayout,
     me: usize,
     pairs: &[(u32, T)],
     out: &mut [T],
 ) -> usize {
-    for &(rank, value) in pairs {
-        debug_assert_eq!(layout.owner(rank as usize), me, "misrouted element");
-        out[layout.local_of(rank as usize)] = value;
+    if cfg!(feature = "scalar-ref") {
+        for &(rank, value) in pairs {
+            debug_assert_eq!(layout.owner(rank as usize), me, "misrouted element");
+            out[layout.local_of(rank as usize)] = value;
+        }
+        return pairs.len();
+    }
+    let w = layout.w();
+    let mut i = 0usize;
+    while i < pairs.len() {
+        let r0 = pairs[i].0 as usize;
+        // A run of consecutive ranks stays locally contiguous only within
+        // one result block of size W'; cap the probe at the boundary.
+        let cap = w - r0 % w;
+        let mut len = 1usize;
+        while len < cap && i + len < pairs.len() && pairs[i + len].0 as usize == r0 + len {
+            len += 1;
+        }
+        debug_assert_eq!(layout.owner(r0), me, "misrouted element");
+        debug_assert_eq!(layout.owner(r0 + len - 1), me, "run crosses owners");
+        let base = layout.local_of(r0);
+        debug_assert_eq!(
+            layout.local_of(r0 + len - 1),
+            base + len - 1,
+            "run is not locally contiguous"
+        );
+        for (k, &(_, v)) in pairs[i..i + len].iter().enumerate() {
+            out[base + k] = v;
+        }
+        i += len;
     }
     pairs.len()
 }
@@ -560,14 +766,21 @@ pub struct UnpackPlan {
     /// Per requester: the local indices into my `V` slice to serve, in
     /// request order.
     serve_idx: Vec<Vec<u32>>,
+    /// Per requester: copy program lowered from `serve_idx` (the reply
+    /// fill).
+    serve_prog: Vec<CopyProgram>,
+    /// Per reply-sender: copy program lowered from `targets` (the reply
+    /// scatter).
+    scatter_prog: Vec<CopyProgram>,
     reply_a2a: A2aPlan,
     /// Buffer-pool key for the reply-round send buffers (DESIGN.md §11).
     pool_key: u64,
 }
 
 /// Build an [`UnpackPlan`]: initial scan, ranking collectives, request
-/// composition, the request exchange itself, and the owner-side
-/// precomputation of which local `V` indices each requester needs.
+/// composition, the request exchange itself, the owner-side precomputation
+/// of which local `V` indices each requester needs, and the lowering of
+/// both index families into copy programs.
 ///
 /// Wrapped in the `unpack.plan` stage span; the request round keeps its
 /// `unpack.request` span and [`Category::ManyToMany`] charge exactly as in
@@ -609,6 +822,8 @@ pub fn plan_unpack(
                 v_local_len,
                 targets: vec![Vec::new(); n],
                 serve_idx: vec![Vec::new(); n],
+                serve_prog: Vec::new(),
+                scatter_prog: Vec::new(),
                 reply_a2a: A2aPlan::from_flags(vec![false; n], vec![false; n]),
                 pool_key: fresh_pool_key(),
             };
@@ -651,6 +866,9 @@ pub fn plan_unpack(
             proc.charge_ops(ops);
             serve
         });
+        let (serve_prog, scatter_prog) = proc.wall_span("plan.lower", |_| {
+            (lower_idx_lists(&serve_idx), lower_idx_lists(&targets))
+        });
         // Reply directions are locally known: I reply to whoever asked,
         // and I await replies from whoever I asked.
         let to: Vec<bool> = serve_idx.iter().map(|s| !s.is_empty()).collect();
@@ -662,12 +880,19 @@ pub fn plan_unpack(
             v_local_len,
             targets,
             serve_idx,
+            serve_prog,
+            scatter_prog,
             reply_a2a: A2aPlan::from_flags(to, from),
             pool_key: fresh_pool_key(),
         };
         proc.mem_charge(MemAccount::Plan, plan.mem_bytes());
         Ok(plan)
     })
+}
+
+/// Lower each index list of a per-processor family into its copy program.
+fn lower_idx_lists(lists: &[Vec<u32>]) -> Vec<CopyProgram> {
+    lists.iter().map(|l| CopyProgram::lower(l)).collect()
 }
 
 impl UnpackPlan {
@@ -677,11 +902,28 @@ impl UnpackPlan {
     }
 
     /// Bytes retained by the plan's index structures (targets, serve
-    /// indices, reply flags); see [`PackPlan::mem_bytes`].
+    /// indices, lowered copy programs, reply flags); see
+    /// [`PackPlan::mem_bytes`].
     fn mem_bytes(&self) -> u64 {
         let targets: u64 = self.targets.iter().map(|v| v.len() as u64 * 4).sum();
         let serve: u64 = self.serve_idx.iter().map(|v| v.len() as u64 * 4).sum();
-        targets + serve + 2 * self.reply_a2a.to.len() as u64
+        let progs: u64 = self
+            .serve_prog
+            .iter()
+            .chain(&self.scatter_prog)
+            .map(CopyProgram::mem_bytes)
+            .sum();
+        targets + serve + progs + 2 * self.reply_a2a.to.len() as u64
+    }
+
+    /// Aggregate op breakdown of the plan's lowered serve + scatter
+    /// programs; see [`PackPlan::copy_stats`].
+    pub fn copy_stats(&self) -> CopyStats {
+        let mut s = CopyStats::default();
+        for p in self.serve_prog.iter().chain(&self.scatter_prog) {
+            s.merge(p.stats());
+        }
+        s
     }
 
     /// Execute the plan against fresh field and vector values: copy the
@@ -753,10 +995,11 @@ impl UnpackPlan {
                 self.exchange_owned(proc, v_local, out);
                 return;
             }
-            // Serve: fetch each precomputed local index into a pooled reply
-            // buffer (one operation per value — the index arithmetic was
-            // paid at plan time). Requesters with nothing to serve get no
-            // buffer, matching the reply plan's silent rounds.
+            // Serve: fill each requester's pooled reply buffer along the
+            // precomputed copy program (one operation per value — the
+            // index arithmetic was paid at plan time). Requesters with
+            // nothing to serve get no buffer, matching the reply plan's
+            // silent rounds.
             proc.wall_span("unpack.serve", |proc| {
                 proc.with_category(Category::LocalComp, |proc| {
                     let mut ops = 0usize;
@@ -765,19 +1008,28 @@ impl UnpackPlan {
                             continue;
                         }
                         let (slot, mut buf) =
-                            proc.pool_checkout::<Vec<T>>(self.pool_key, requester);
-                        buf.extend(idx.iter().map(|&i| v_local[i as usize]));
+                            proc.pool_checkout::<FlatMsg<T>>(self.pool_key, requester);
+                        if buf.vals.len() != idx.len() {
+                            buf.vals.clear();
+                            buf.vals.resize(idx.len(), T::default());
+                        }
+                        walk_gather(
+                            proc,
+                            &self.serve_prog[requester],
+                            idx,
+                            v_local,
+                            &mut buf.vals,
+                        );
                         ops += idx.len();
                         slot.stash(buf);
                     }
                     proc.charge_ops(ops);
-                    proc.wall_bytes((ops * std::mem::size_of::<T>()) as u64);
                 })
             });
             let mut recvs = proc.take_pkt_scratch();
             proc.with_stage("unpack.reply", |proc| {
                 proc.with_category(Category::ManyToMany, |proc| {
-                    alltoallv_pooled::<Vec<T>>(
+                    alltoallv_pooled::<FlatMsg<T>>(
                         proc,
                         &self.reply_a2a,
                         self.schedule,
@@ -786,31 +1038,34 @@ impl UnpackPlan {
                     );
                 })
             });
-            // Scatter the replies into A at the recorded element slots,
-            // returning each buffer to its sender's slot. The self-reply
-            // never crossed the wire; its slot is drained in place.
+            // Scatter the replies into A at the recorded element slots
+            // along the per-owner copy programs, returning each buffer to
+            // its sender's slot via the shared pooled-decode loop.
             proc.wall_span("unpack.scatter", |proc| {
                 proc.with_category(Category::LocalComp, |proc| {
                     let me = proc.id();
-                    let mut ops = 0usize;
-                    if self.reply_a2a.to[me] {
-                        let slot = proc.pool_current::<Vec<T>>(self.pool_key, me);
-                        let buf = slot.take_staged();
-                        ops += scatter_reply(&self.targets[me], &buf, out);
-                        slot.put_back(buf);
-                    }
-                    for pkt in recvs.drain(..) {
-                        let owner = pkt.src;
-                        let slot = pkt
-                            .data
-                            .downcast::<PoolSlot<Vec<T>>>()
-                            .expect("pooled exchange delivers pool slots");
-                        let buf = slot.take_staged();
-                        ops += scatter_reply(&self.targets[owner], &buf, out);
-                        slot.put_back(buf);
-                    }
+                    let ops = decode_pooled::<FlatMsg<T>, _>(
+                        proc,
+                        self.pool_key,
+                        self.reply_a2a.to[me],
+                        &mut recvs,
+                        |proc, src, buf| {
+                            debug_assert_eq!(
+                                buf.vals.len(),
+                                self.targets[src].len(),
+                                "reply length mismatch"
+                            );
+                            walk_scatter(
+                                proc,
+                                &self.scatter_prog[src],
+                                &self.targets[src],
+                                &buf.vals,
+                                out,
+                            );
+                            buf.vals.len()
+                        },
+                    );
                     proc.charge_ops(ops);
-                    proc.wall_bytes((ops * std::mem::size_of::<T>()) as u64);
                 })
             });
             proc.restore_pkt_scratch(recvs);
@@ -819,8 +1074,9 @@ impl UnpackPlan {
     }
 
     /// The serve → reply → scatter loop over owned buffers — the
-    /// crash-recovery path of [`UnpackPlan::execute_into`]. Charges, spans,
-    /// and wire words match the pooled loop exactly.
+    /// crash-recovery path of [`UnpackPlan::execute_into`], all scalar
+    /// reference walks. Charges, spans, and wire words match the pooled
+    /// loop exactly.
     fn exchange_owned<T: Wire + Default>(&self, proc: &mut Proc, v_local: &[T], out: &mut [T]) {
         let sends = proc.with_category(Category::LocalComp, |proc| {
             let mut ops = 0usize;
@@ -854,8 +1110,9 @@ impl UnpackPlan {
     }
 }
 
-/// Scatter one owner's reply values into the recorded element slots;
-/// returns the number of values scattered.
+/// Scatter one owner's reply values into the recorded element slots with
+/// the scalar reference walk (the crash-recovery path); returns the number
+/// of values scattered.
 fn scatter_reply<T: Wire>(slots: &[u32], values: &[T], out: &mut [T]) -> usize {
     debug_assert_eq!(values.len(), slots.len(), "reply length mismatch");
     for (&slot, &v) in slots.iter().zip(values) {

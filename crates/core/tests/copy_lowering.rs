@@ -1,0 +1,210 @@
+//! Kernel-identity properties for the plan-time copy-program lowering
+//! (DESIGN.md §16): across scheme × layout (block / cyclic /
+//! block-cyclic) × mask density × block width, the lowered bulk kernels
+//! must be bit-identical to the sequential Fortran oracle — on the first
+//! (cold, skeleton-building) execute *and* on steady-state refills of the
+//! pooled buffers, where the program-driven positional overwrite is the
+//! only thing touching the wire payloads.
+//!
+//! CI additionally runs the whole suite with `--features scalar-ref`,
+//! which forces every walker back to the per-element reference loop; both
+//! runs passing is the kernel-identity gate.
+
+use proptest::prelude::*;
+
+use hpf_core::{
+    plan_pack, plan_unpack,
+    seq::{pack_seq, unpack_seq},
+    MaskPattern, PackOptions, PackScheme, ScanMethod, UnpackOptions, UnpackScheme,
+};
+use hpf_distarray::{local_from_fn, ArrayDesc, DimLayout, Dist, GlobalArray};
+use hpf_machine::{CostModel, Machine, ProcGrid};
+
+/// 1-D layout sweep: `(P, W, T)` with `N = P·W·T`. `T = 1` is a block
+/// distribution, `W = 1` is cyclic, anything else is block-cyclic.
+fn any_layout() -> impl Strategy<Value = (usize, usize, usize)> {
+    (
+        1usize..=4,
+        prop::sample::select(vec![1usize, 2, 3, 8]),
+        1usize..=4,
+    )
+}
+
+fn any_pattern() -> impl Strategy<Value = MaskPattern> {
+    prop_oneof![
+        Just(MaskPattern::Full),
+        Just(MaskPattern::Empty),
+        Just(MaskPattern::FirstHalf),
+        (0.05f64..0.95, 0u64..1000)
+            .prop_map(|(density, seed)| MaskPattern::Random { density, seed }),
+    ]
+}
+
+fn build(p: usize, w: usize, t: usize) -> (ProcGrid, ArrayDesc) {
+    let grid = ProcGrid::new(&[p]);
+    let desc = ArrayDesc::new(&[p * w * t], &grid, &[Dist::BlockCyclic(w)]).unwrap();
+    (grid, desc)
+}
+
+/// Reassemble a distributed result vector into a dense global Vec.
+fn assemble<T: Copy + Default>(layout: &DimLayout, locals: &[Vec<T>], size: usize) -> Vec<T> {
+    let mut v = vec![T::default(); size];
+    for (p, local) in locals.iter().enumerate() {
+        for (l, &x) in local.iter().enumerate() {
+            v[layout.global_of(p, l)] = x;
+        }
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, .. ProptestConfig::default() })]
+
+    /// Planned PACK through the lowered kernels equals the sequential
+    /// oracle, both on the cold execute and on a warm pooled refill with
+    /// fresh values.
+    #[test]
+    fn lowered_pack_matches_oracle(
+        layout in any_layout(),
+        pattern in any_pattern(),
+        scheme in prop::sample::select(PackScheme::ALL.to_vec()),
+        method in prop::sample::select(vec![ScanMethod::UntilCollected, ScanMethod::WholeSlice]),
+        w_prime in prop::sample::select(vec![None, Some(1usize), Some(3)]),
+    ) {
+        let (p, w, t) = layout;
+        let (grid, desc) = build(p, w, t);
+        let n = p * w * t;
+        let mut opts = PackOptions::new(scheme);
+        opts.scan_method = method;
+        opts.result_block_size = w_prime;
+        let machine = Machine::new(grid, CostModel::cm5());
+        let (d, o) = (&desc, &opts);
+        let out = machine.run(move |proc| {
+            let m = pattern.local(d, proc.id());
+            let a = local_from_fn(d, proc.id(), |g| g[0] as i64 + 1);
+            let b = local_from_fn(d, proc.id(), |g| -(g[0] as i64) - 1000);
+            let plan = plan_pack(proc, d, &m, o).unwrap();
+            // Four executes: cold (skeletons built), second slot cold,
+            // then a fully warm positional refill; a final fresh execute
+            // cross-checks that warm refills did not corrupt anything.
+            let mut got = plan.execute(proc, &a).unwrap();
+            plan.execute_into(proc, &a, &mut got).unwrap();
+            plan.execute_into(proc, &b, &mut got).unwrap();
+            let cold = plan.execute(proc, &b).unwrap();
+            (got.local_v, cold.local_v)
+        });
+        let m = pattern.global(&[n]);
+        let b_global = GlobalArray::from_fn(&[n], |g| -(g[0] as i64) - 1000);
+        let want = pack_seq(&b_global, &m, None);
+        for (warm, cold) in &out.results {
+            prop_assert_eq!(warm, cold, "warm refill diverged from a fresh execute");
+        }
+        let locals: Vec<Vec<i64>> = out.results.into_iter().map(|r| r.0).collect();
+        if want.is_empty() {
+            prop_assert!(locals.iter().all(|l| l.is_empty()));
+        } else {
+            let layout = DimLayout::new_general(
+                want.len(),
+                p,
+                w_prime.unwrap_or_else(|| want.len().div_ceil(p)).max(1),
+            )
+            .unwrap();
+            prop_assert_eq!(assemble(&layout, &locals, want.len()), want);
+        }
+    }
+
+    /// Planned UNPACK through the lowered serve/scatter kernels equals the
+    /// sequential oracle, cold and warm.
+    #[test]
+    fn lowered_unpack_matches_oracle(
+        layout in any_layout(),
+        pattern in any_pattern(),
+        scheme in prop::sample::select(UnpackScheme::ALL.to_vec()),
+        slack in 0usize..4,
+        w_prime in 1usize..=4,
+    ) {
+        let (p, w, t) = layout;
+        let (grid, desc) = build(p, w, t);
+        let n = p * w * t;
+        let size = pattern.global(&[n]).data().iter().filter(|&&b| b).count();
+        let v_layout = DimLayout::new_general((size + slack).max(1), p, w_prime).unwrap();
+        let opts = UnpackOptions::new(scheme);
+        let machine = Machine::new(grid, CostModel::cm5());
+        let (d, vl, o) = (&desc, &v_layout, &opts);
+        let out = machine.run(move |proc| {
+            let m = pattern.local(d, proc.id());
+            let f = local_from_fn(d, proc.id(), |g| g[0] as i64 + 7000);
+            let mkv = |salt: i64| -> Vec<i64> {
+                (0..vl.local_len(proc.id()))
+                    .map(|l| salt + vl.global_of(proc.id(), l) as i64)
+                    .collect()
+            };
+            let (va, vb) = (mkv(-40_000), mkv(90_000));
+            let plan = plan_unpack(proc, d, &m, vl, o).unwrap();
+            let mut got = plan.execute(proc, &f, &va).unwrap();
+            plan.execute_into(proc, &f, &va, &mut got).unwrap();
+            plan.execute_into(proc, &f, &vb, &mut got).unwrap();
+            got
+        });
+        let m = pattern.global(&[n]);
+        let f_global = GlobalArray::from_fn(&[n], |g| g[0] as i64 + 7000);
+        let vb_global: Vec<i64> = (0..v_layout.n()).map(|g| 90_000 + g as i64).collect();
+        let want = unpack_seq(&vb_global, &m, &f_global);
+        let got = GlobalArray::assemble(&desc, &out.results);
+        prop_assert_eq!(got.data(), want.data());
+    }
+}
+
+/// Dense masks on block-dominant layouts must lower almost entirely to
+/// bulk ops — the invariant the perf layer gates (`bulk-copy fraction ≥
+/// 0.9` on dense workloads).
+#[test]
+fn dense_block_masks_lower_to_bulk() {
+    let (grid, desc) = build(4, 32, 2);
+    let machine = Machine::new(grid, CostModel::cm5());
+    let d = &desc;
+    let out = machine.run(move |proc| {
+        let m = MaskPattern::FirstHalf.local(d, proc.id());
+        let pack = plan_pack(proc, d, &m, &PackOptions::new(PackScheme::CompactMessage)).unwrap();
+        let vl = pack.v_layout().unwrap();
+        let unpack = plan_unpack(
+            proc,
+            d,
+            &m,
+            &vl,
+            &UnpackOptions::new(UnpackScheme::CompactStorage),
+        )
+        .unwrap();
+        (pack.copy_stats(), unpack.copy_stats())
+    });
+    for (ps, us) in out.results {
+        assert!(ps.total_elements > 0, "dense mask must move elements");
+        assert!(
+            ps.bulk_fraction() >= 0.9,
+            "pack bulk fraction {} < 0.9 ({ps:?})",
+            ps.bulk_fraction()
+        );
+        assert!(
+            us.bulk_fraction() >= 0.9,
+            "unpack bulk fraction {} < 0.9 ({us:?})",
+            us.bulk_fraction()
+        );
+    }
+}
+
+/// A periodic mask on a block layout gathers with a constant stride — the
+/// `Strided` op must actually fire (cyclic-style access without bulk runs).
+#[test]
+fn periodic_masks_lower_to_strided() {
+    let (grid, desc) = build(2, 64, 1);
+    let machine = Machine::new(grid, CostModel::cm5());
+    let d = &desc;
+    let out = machine.run(move |proc| {
+        let m: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+        let plan = plan_pack(proc, d, &m, &PackOptions::new(PackScheme::Simple)).unwrap();
+        plan.copy_stats()
+    });
+    for stats in out.results {
+        assert!(stats.strided > 0, "expected strided ops, got {stats:?}");
+    }
+}

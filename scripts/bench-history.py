@@ -10,9 +10,11 @@ per report ordered oldest-first. Stdlib only.
 
 Headline columns: the summed simulated total (deterministic; any drift is
 a behavioural change), the summed wall medians (noisy; trend only), the
-worst measured cv (how trustworthy the wall column is), and the
-steady-state hot-path ns/element of the CMS pack kernel (the ROADMAP
-item-2 tuning target).
+worst measured cv (how trustworthy the wall column is), the steady-state
+hot-path ns/element of the CMS pack kernel (the ROADMAP item-2 tuning
+target; the dense-mask variant when the report carries one), and that
+kernel's achieved GB/s as a fraction of the report's measured
+single-thread memcpy roof (schema v9+; em-dash for older reports).
 
 Usage: bench-history.py [--out FILE]    (default: print to stdout)
 Exit code 0 even when no reports exist (prints an empty table) so the
@@ -101,15 +103,29 @@ def headline(report):
         if isinstance(w.get("wall"), dict)
         and isinstance(w["wall"].get("cv"), (int, float))
     ]
+    # Headline kernel: the CMS pack hot path, preferring the dense-mask
+    # variant (the bulk-copy showcase) when the report carries one.
     hot_ns = None
-    for w in workloads:
-        if w.get("name", "").startswith("exec_hot.pack.cms.") and isinstance(
-            w.get("hot"), dict
-        ):
-            ns = w["hot"].get("ns_per_element")
-            if isinstance(ns, (int, float)):
-                hot_ns = ns
-                break
+    cms_hot = [
+        (w["name"], w["hot"].get("ns_per_element"))
+        for w in workloads
+        if w.get("name", "").startswith("exec_hot.pack.cms.")
+        and isinstance(w.get("hot"), dict)
+        and isinstance(w["hot"].get("ns_per_element"), (int, float))
+    ]
+    for name, ns in cms_hot:
+        if name.endswith(".dense"):
+            hot_ns = ns
+            break
+    if hot_ns is None and cms_hot:
+        hot_ns = cms_hot[0][1]
+    # Achieved throughput vs the memcpy roof: hot elements are i32, so
+    # 4 bytes / (ns/element) is GB/s; the roof is measured by the same
+    # report (schema v9+), making the ratio machine-relative.
+    roof = report.get("memcpy_roof_gbps")
+    roof_pct = None
+    if hot_ns and isinstance(roof, (int, float)) and roof > 0:
+        roof_pct = 100.0 * (4.0 / hot_ns) / roof
     return {
         "rev": report.get("rev", "?"),
         "mode": report.get("mode", "?"),
@@ -118,6 +134,8 @@ def headline(report):
         "wall_ms": wall,
         "max_cv": max(cvs) if cvs else None,
         "hot_ns": hot_ns,
+        "hot_gbps": (4.0 / hot_ns) if hot_ns else None,
+        "roof_pct": roof_pct,
     }
 
 
@@ -148,16 +166,22 @@ def main():
     lines = [
         "# Bench history",
         "",
-        "| date | rev | mode | workloads | sim total (ms) | wall total (ms) | max cv | cms hot ns/elem |",
-        "|---|---|---|---:|---:|---:|---:|---:|",
+        "| date | rev | mode | workloads | sim total (ms) | wall total (ms) | max cv | cms hot ns/elem | GB/s (% of memcpy roof) |",
+        "|---|---|---|---:|---:|---:|---:|---:|---:|",
     ]
     for when, h in rows:
         date = datetime.datetime.fromtimestamp(when).strftime("%Y-%m-%d")
         cv = f"{h['max_cv']:.3f}" if h["max_cv"] is not None else "—"
         hot = f"{h['hot_ns']:.2f}" if h["hot_ns"] is not None else "—"
+        if h["hot_gbps"] is not None and h["roof_pct"] is not None:
+            roof = f"{h['hot_gbps']:.2f} ({h['roof_pct']:.1f}%)"
+        elif h["hot_gbps"] is not None:
+            roof = f"{h['hot_gbps']:.2f} (—)"
+        else:
+            roof = "—"
         lines.append(
             f"| {date} | {h['rev']} | {h['mode']} | {h['n']} "
-            f"| {h['sim_ms']:.3f} | {h['wall_ms']:.1f} | {cv} | {hot} |"
+            f"| {h['sim_ms']:.3f} | {h['wall_ms']:.1f} | {cv} | {hot} | {roof} |"
         )
     text = "\n".join(lines) + "\n"
 

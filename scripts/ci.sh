@@ -21,6 +21,14 @@ echo "== scheduler pool-identity gate (pool size 1 vs N, P=1024 smoke) =="
 cargo test -p hpf-machine --release -q --test sched
 cargo test -p hpf-core --release -q --test sched_determinism
 
+echo "== kernel-identity gate (scalar-ref reference walkers, release) =="
+# The whole core suite re-runs with the lowered bulk copy kernels compiled
+# out (--features scalar-ref forces every walker onto the per-element
+# reference loop). Both feature configurations passing the same tests is
+# the proof that Contig/Strided lowering is a pure execution-strategy
+# change: bit-identical results and identical simulated accounting.
+cargo test -p hpf-core --release -q --features scalar-ref
+
 echo "== fuzz smoke via the plan-then-execute path =="
 cargo run -p hpf-bench --release --bin fuzz -- --cases 40 --seed 1 --reuse-plans
 
@@ -111,9 +119,12 @@ if [[ -f results/BENCH_baseline.json ]]; then
   # scripts/regen-results.sh in the same commit. --wall adds the
   # noise-aware wall-clock gate; smoke reports carry cv=null so wall rows
   # are skipped in CI, but the flag keeps the parsing path exercised.
+  # --hot-band is the gate that still bites in smoke mode: a fixed ±75%
+  # band on hot.ns_per_element, wide enough for scheduler-dominated smoke
+  # noise yet far below the +300% of losing a 4x bulk kernel.
   cargo run -p hpf-bench --release --bin perfdiff -- \
     results/BENCH_baseline.json "$perf_json" --wall \
-    --warn-above 0.0001 --fail-above 0.001
+    --warn-above 0.0001 --fail-above 0.001 --hot-band 75
 else
   echo "perfdiff: no results/BENCH_baseline.json; skipping (run scripts/regen-results.sh)"
 fi

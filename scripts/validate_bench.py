@@ -8,7 +8,9 @@ appear (restricted to the filtered group when the report carries a
 `--filter`), per-stage times must sum to (approximately) the total, every
 recorded cost-model conformance verdict must pass, every `exec_hot`
 workload must report **zero** steady-state allocations per execute and
-zero deep-copied payload words, every `recovery` workload must have
+zero deep-copied payload words (and dense-mask `.dense` workloads must
+move at least 90% of their elements through bulk copy ops — the
+copy-program lowering gate), every `recovery` workload must have
 actually recovered its scheduled crash (replays >= 1, a live replay log,
 non-negative wall-clock overhead), every `memory` workload's predicted
 peak must bound the measured one without over-estimating past the 1.25
@@ -142,6 +144,12 @@ def coverage_checks(report, errors):
             continue
         if not any(n == prefix or n.startswith(prefix + ".") for n in names):
             errors.append(f"coverage: no workload named {prefix}[.*]")
+    # The exec_hot sweep must include dense-mask variants: they are where
+    # the bulk-copy fraction and the memcpy-roof ns/element are gated.
+    if fil in (None, "exec_hot"):
+        hot_names = [n for n in names if n.startswith("exec_hot.")]
+        if hot_names and not any(n.endswith(".dense") for n in hot_names):
+            errors.append("coverage: exec_hot group carries no .dense workloads")
     for w in report.get("workloads", []):
         if isinstance(w, dict) and fil is not None and w.get("group") != fil:
             errors.append(
@@ -223,6 +231,21 @@ def coverage_checks(report, errors):
             wall = hot.get("wall_ns_per_exec")
             if not isinstance(wall, (int, float)) or wall <= 0:
                 errors.append(f"workload {name}: wall_ns_per_exec {wall} not positive")
+            # The copy-program lowering gate: on dense (contiguous-mask)
+            # workloads the plan must move nearly everything through bulk
+            # Contig/Strided ops; a fraction below 0.9 means the lowering
+            # stopped finding the runs the mask guarantees.
+            cops = hot.get("copy_ops")
+            if not isinstance(cops, dict):
+                errors.append(f"workload {name}: hot report carries no copy_ops")
+            elif isinstance(name, str) and name.endswith(".dense"):
+                bf = cops.get("bulk_fraction")
+                if not isinstance(bf, (int, float)) or bf < 0.9:
+                    errors.append(
+                        f"workload {name}: dense-mask bulk-copy fraction {bf} "
+                        "below 0.9 — the plan-time lowering is not producing "
+                        "bulk ops"
+                    )
         rec = w.get("recovery")
         if isinstance(rec, dict):
             name = w.get("name")
